@@ -1,0 +1,34 @@
+//! Micron Automata Processor (AP) simulator: functional execution,
+//! place-and-route capacity model, and cycle-level timing.
+//!
+//! The AP executes homogeneous automata natively — one input symbol per
+//! clock across *all* resident states — so its kernel time is simply
+//! `symbols / clock` regardless of pattern count, until (a) the pattern
+//! set no longer fits on the board (extra passes) or (b) report events
+//! throttle the output path. Those two effects are exactly what this crate
+//! models:
+//!
+//! * [`ApChipSpec`] / [`ApBoardSpec`] — D480-class chip and 32-chip board
+//!   parameters (STEs, block structure, 133 MHz symbol clock, output
+//!   event capacity).
+//! * [`place`] — packs each pattern automaton whole onto chips,
+//!   block-granular, reporting utilization and chips used (the paper's AP
+//!   capacity table, experiment E5).
+//! * [`ApSearch`] — runs a search: functionally exact hits (delegating to
+//!   the bit-parallel reference engine, which computes the same automaton
+//!   semantics orders of magnitude faster than naive frontier simulation)
+//!   plus a [`crispr_model::TimingBreakdown`] from the placement, stream
+//!   replication and report-stall models (experiments E2/E3/E4/E7).
+//!
+//! Every numeric default is a documented approximation of published D480
+//! figures; see `DESIGN.md` §2 for the substitution rationale.
+
+#![warn(missing_docs)]
+
+mod machine;
+mod place;
+mod spec;
+
+pub use machine::{ApRunReport, ApSearch};
+pub use place::{patterns_per_board, patterns_per_chip, place, PatternDemand, Placement};
+pub use spec::{ApBoardSpec, ApChipSpec};

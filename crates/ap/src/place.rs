@@ -1,0 +1,177 @@
+//! Block-granular placement of pattern automata onto AP chips.
+//!
+//! Each pattern's mismatch automaton is one connected component; the AP
+//! router keeps components whole within a chip and allocates routing in
+//! 256-STE blocks. We model that with first-fit packing of
+//! block-rounded component sizes, subject to the per-chip usable-STE and
+//! reporting-STE limits. The outputs — chips used, utilization, guides
+//! per chip/board — are the paper's AP capacity table (E5).
+
+use crate::{ApBoardSpec, ApChipSpec};
+use serde::{Deserialize, Serialize};
+
+/// Result of placing a pattern set onto chips.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Chip index assigned to each pattern, in input order.
+    pub per_pattern_chip: Vec<usize>,
+    /// Number of chips used.
+    pub chips_used: usize,
+    /// Raw STEs consumed (before block rounding).
+    pub stes_used: usize,
+    /// Block-rounded STEs reserved.
+    pub stes_reserved: usize,
+    /// Reporting STEs consumed.
+    pub report_states_used: usize,
+    /// `stes_used / (chips_used × stes_per_chip)` — the paper's
+    /// utilization metric.
+    pub utilization: f64,
+}
+
+/// Per-pattern resource demand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PatternDemand {
+    /// States in the pattern automaton.
+    pub states: usize,
+    /// Reporting states in the pattern automaton.
+    pub report_states: usize,
+}
+
+/// Places patterns (first-fit, input order) onto as many chips as needed.
+///
+/// # Panics
+///
+/// Panics if any single pattern exceeds one chip's usable capacity — a
+/// guide automaton is a few hundred STEs, so this only fires on misuse.
+pub fn place(demands: &[PatternDemand], chip: &ApChipSpec) -> Placement {
+    let usable = chip.usable_stes();
+    let mut per_pattern_chip = Vec::with_capacity(demands.len());
+    // (blocks free in STEs, reports free) per open chip.
+    let mut chips: Vec<(usize, usize)> = Vec::new();
+    let mut stes_used = 0usize;
+    let mut stes_reserved = 0usize;
+    let mut report_states_used = 0usize;
+
+    for demand in demands {
+        let rounded = demand.states.div_ceil(chip.block_size) * chip.block_size;
+        assert!(
+            rounded <= usable && demand.report_states <= chip.report_capacity,
+            "pattern of {} states / {} reports exceeds one chip",
+            demand.states,
+            demand.report_states
+        );
+        let slot = chips
+            .iter()
+            .position(|&(stes, reports)| stes >= rounded && reports >= demand.report_states);
+        let chip_idx = match slot {
+            Some(i) => i,
+            None => {
+                chips.push((usable, chip.report_capacity));
+                chips.len() - 1
+            }
+        };
+        chips[chip_idx].0 -= rounded;
+        chips[chip_idx].1 -= demand.report_states;
+        per_pattern_chip.push(chip_idx);
+        stes_used += demand.states;
+        stes_reserved += rounded;
+        report_states_used += demand.report_states;
+    }
+
+    let chips_used = chips.len();
+    Placement {
+        per_pattern_chip,
+        chips_used,
+        stes_used,
+        stes_reserved,
+        report_states_used,
+        utilization: if chips_used == 0 {
+            0.0
+        } else {
+            stes_used as f64 / (chips_used * chip.stes) as f64
+        },
+    }
+}
+
+/// How many identical patterns of `demand` fit on one chip.
+pub fn patterns_per_chip(demand: PatternDemand, chip: &ApChipSpec) -> usize {
+    let rounded = demand.states.div_ceil(chip.block_size) * chip.block_size;
+    if rounded == 0 {
+        return 0;
+    }
+    let by_stes = chip.usable_stes() / rounded;
+    let by_reports = if demand.report_states == 0 {
+        usize::MAX
+    } else {
+        chip.report_capacity / demand.report_states
+    };
+    by_stes.min(by_reports)
+}
+
+/// How many identical patterns fit on a whole board.
+pub fn patterns_per_board(demand: PatternDemand, board: &ApBoardSpec) -> usize {
+    patterns_per_chip(demand, &board.chip) * board.total_chips()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(states: usize) -> PatternDemand {
+        PatternDemand { states, report_states: 4 }
+    }
+
+    #[test]
+    fn single_pattern_uses_one_chip() {
+        let chip = ApChipSpec::default();
+        let p = place(&[demand(143)], &chip);
+        assert_eq!(p.chips_used, 1);
+        assert_eq!(p.stes_used, 143);
+        assert_eq!(p.stes_reserved, 256); // one block
+        assert_eq!(p.per_pattern_chip, vec![0]);
+        assert!(p.utilization > 0.0 && p.utilization < 0.01);
+    }
+
+    #[test]
+    fn many_patterns_spill_to_more_chips() {
+        let chip = ApChipSpec::default();
+        // 200 patterns × 256-rounded = 51,200 STEs > one chip's 44,236.
+        let demands = vec![demand(143); 200];
+        let p = place(&demands, &chip);
+        assert_eq!(p.chips_used, 2);
+        assert_eq!(p.stes_reserved, 200 * 256);
+        // First chip holds floor(44236/256)=172 patterns.
+        assert_eq!(p.per_pattern_chip.iter().filter(|&&c| c == 0).count(), 172);
+    }
+
+    #[test]
+    fn report_capacity_can_be_the_binding_constraint() {
+        let chip = ApChipSpec { report_capacity: 10, ..ApChipSpec::default() };
+        let demands = vec![demand(100); 5]; // 5 × 4 reports = 20 > 10
+        let p = place(&demands, &chip);
+        assert_eq!(p.chips_used, 3); // 2 patterns per chip by reports
+    }
+
+    #[test]
+    fn patterns_per_chip_and_board() {
+        let chip = ApChipSpec::default();
+        assert_eq!(patterns_per_chip(demand(143), &chip), 172);
+        assert_eq!(patterns_per_chip(demand(300), &chip), 86); // 2 blocks each
+        let board = ApBoardSpec::default();
+        assert_eq!(patterns_per_board(demand(143), &board), 172 * 32);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds one chip")]
+    fn oversized_pattern_panics() {
+        let chip = ApChipSpec::default();
+        let _ = place(&[demand(50_000)], &chip);
+    }
+
+    #[test]
+    fn empty_placement() {
+        let p = place(&[], &ApChipSpec::default());
+        assert_eq!(p.chips_used, 0);
+        assert_eq!(p.utilization, 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+use serde::{Deserialize, Serialize};
+
+/// Parameters of one AP chip (defaults: Micron D480).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApChipSpec {
+    /// State transition elements per chip.
+    pub stes: usize,
+    /// STEs per routing block; a pattern automaton consumes whole blocks
+    /// (intra-block routing is dense, inter-block routing is scarce).
+    pub block_size: usize,
+    /// Fraction of STEs the router can actually use before routing fails —
+    /// published AP designs rarely exceed ~90% fill.
+    pub routable_fraction: f64,
+    /// Symbol clock in Hz (D480: 7.5 ns per symbol).
+    pub clock_hz: f64,
+    /// Reporting STEs the output region can expose per chip.
+    pub report_capacity: usize,
+    /// Extra cycles charged for capturing an output event vector on a
+    /// cycle where at least one report fires.
+    pub report_vector_cycles: u64,
+    /// Time to load a precompiled binary image onto one chip, seconds.
+    pub load_time_s: f64,
+}
+
+impl Default for ApChipSpec {
+    fn default() -> ApChipSpec {
+        ApChipSpec {
+            stes: 49_152,
+            block_size: 256,
+            routable_fraction: 0.9,
+            clock_hz: 133.33e6,
+            report_capacity: 6_144,
+            report_vector_cycles: 2,
+            load_time_s: 0.05,
+        }
+    }
+}
+
+impl ApChipSpec {
+    /// STEs usable after the routability discount.
+    pub fn usable_stes(&self) -> usize {
+        (self.stes as f64 * self.routable_fraction) as usize
+    }
+
+    /// Routing blocks per chip.
+    pub fn blocks(&self) -> usize {
+        self.stes / self.block_size
+    }
+}
+
+/// Parameters of an AP board (defaults: the 32-chip development board the
+/// paper used — 4 ranks × 8 chips, each rank fed by its own input
+/// stream).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApBoardSpec {
+    /// Chips per rank (all chips in a rank see the same stream).
+    pub chips_per_rank: usize,
+    /// Independent ranks (= independent input streams).
+    pub ranks: usize,
+    /// The chip populated on this board.
+    pub chip: ApChipSpec,
+    /// Host staging bandwidth for the input stream, bytes/second.
+    pub host_bandwidth: f64,
+    /// Host-side report post-processing rate, events/second.
+    pub host_reports_per_s: f64,
+}
+
+impl Default for ApBoardSpec {
+    fn default() -> ApBoardSpec {
+        ApBoardSpec {
+            chips_per_rank: 8,
+            ranks: 4,
+            chip: ApChipSpec::default(),
+            host_bandwidth: 2.0e9,
+            host_reports_per_s: 1.0e8,
+        }
+    }
+}
+
+impl ApBoardSpec {
+    /// Total chips on the board.
+    pub fn total_chips(&self) -> usize {
+        self.chips_per_rank * self.ranks
+    }
+
+    /// Total usable STEs across the board.
+    pub fn total_usable_stes(&self) -> usize {
+        self.total_chips() * self.chip.usable_stes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn d480_defaults() {
+        let chip = ApChipSpec::default();
+        assert_eq!(chip.stes, 49_152);
+        assert_eq!(chip.blocks(), 192);
+        assert_eq!(chip.usable_stes(), 44_236);
+        let board = ApBoardSpec::default();
+        assert_eq!(board.total_chips(), 32);
+        assert_eq!(board.total_usable_stes(), 32 * 44_236);
+    }
+
+    #[test]
+    fn symbol_period_is_7_5ns() {
+        let chip = ApChipSpec::default();
+        let period_ns = 1e9 / chip.clock_hz;
+        assert!((period_ns - 7.5).abs() < 0.01, "{period_ns}");
+    }
+}

@@ -1,0 +1,263 @@
+//! ANML (Automata Network Markup Language) export and import.
+//!
+//! ANML is the AP toolchain's interchange format; the paper's AP and FPGA
+//! flows both start from ANML descriptions of the mismatch automata. We
+//! support the subset those automata need: `state-transition-element`s with
+//! a symbol set, a start kind, `activate-on-match` edges and
+//! `report-on-match` codes. Symbol sets are written as `*` (all) or a
+//! bracket expression of `\xHH` escapes, which round-trips any
+//! [`SymbolClass`] unambiguously.
+
+use crate::{AutomataError, Automaton, AutomatonBuilder, StartKind, StateId, SymbolClass};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Serializes `automaton` as an ANML document.
+pub fn to_anml(automaton: &Automaton, network_id: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "<anml version=\"1.0\">");
+    let _ = writeln!(out, "<automata-network id=\"{network_id}\">");
+    for id in automaton.state_ids() {
+        let state = automaton.state(id);
+        let start_attr = match state.start {
+            StartKind::None => String::new(),
+            StartKind::StartOfData => " start=\"start-of-data\"".to_string(),
+            StartKind::AllInput => " start=\"all-input\"".to_string(),
+        };
+        let _ = writeln!(
+            out,
+            "  <state-transition-element id=\"q{}\" symbol-set=\"{}\"{}>",
+            id.0,
+            symbol_set_to_string(&state.class),
+            start_attr
+        );
+        if let Some(code) = state.report {
+            let _ = writeln!(out, "    <report-on-match reportcode=\"{code}\"/>");
+        }
+        for succ in automaton.successors(id) {
+            let _ = writeln!(out, "    <activate-on-match element=\"q{}\"/>", succ.0);
+        }
+        let _ = writeln!(out, "  </state-transition-element>");
+    }
+    let _ = writeln!(out, "</automata-network>");
+    let _ = writeln!(out, "</anml>");
+    out
+}
+
+fn symbol_set_to_string(class: &SymbolClass) -> String {
+    if *class == SymbolClass::ALL {
+        return "*".to_string();
+    }
+    let mut s = String::from("[");
+    for symbol in class.iter() {
+        let _ = write!(s, "\\x{symbol:02x}");
+    }
+    s.push(']');
+    s
+}
+
+fn symbol_set_from_string(text: &str, line: usize) -> Result<SymbolClass, AutomataError> {
+    if text == "*" {
+        return Ok(SymbolClass::ALL);
+    }
+    let inner = text
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| AutomataError::AnmlParse {
+            line,
+            reason: format!("symbol set {text:?} is not '*' or a bracket expression"),
+        })?;
+    let mut class = SymbolClass::EMPTY;
+    let bytes = inner.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'\\' && i + 3 < bytes.len() && bytes[i + 1] == b'x' {
+            let hex = &inner[i + 2..i + 4];
+            let value = u8::from_str_radix(hex, 16).map_err(|_| AutomataError::AnmlParse {
+                line,
+                reason: format!("bad hex escape {hex:?}"),
+            })?;
+            class.insert(value);
+            i += 4;
+        } else {
+            class.insert(bytes[i]);
+            i += 1;
+        }
+    }
+    Ok(class)
+}
+
+/// Extracts the value of `attr="..."` from a tag line.
+fn attr(text: &str, name: &str) -> Option<String> {
+    let needle = format!("{name}=\"");
+    let start = text.find(&needle)? + needle.len();
+    let end = text[start..].find('"')? + start;
+    Some(text[start..end].to_string())
+}
+
+/// Parses an ANML document produced by [`to_anml`] (or hand-written in the
+/// same subset).
+///
+/// # Errors
+///
+/// [`AutomataError::AnmlParse`] describing the first offending line, or any
+/// validation error from [`AutomatonBuilder::build`].
+pub fn from_anml(text: &str) -> Result<Automaton, AutomataError> {
+    let mut builder = AutomatonBuilder::new();
+    let mut ids: HashMap<String, StateId> = HashMap::new();
+    let mut pending_edges: Vec<(StateId, String, usize)> = Vec::new();
+    let mut current: Option<StateId> = None;
+
+    for (line_no, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let line_no = line_no + 1;
+        if line.starts_with("<state-transition-element") {
+            let id = attr(line, "id").ok_or_else(|| AutomataError::AnmlParse {
+                line: line_no,
+                reason: "state-transition-element without id".into(),
+            })?;
+            let symbols = attr(line, "symbol-set").ok_or_else(|| AutomataError::AnmlParse {
+                line: line_no,
+                reason: "state-transition-element without symbol-set".into(),
+            })?;
+            let class = symbol_set_from_string(&symbols, line_no)?;
+            let start = match attr(line, "start").as_deref() {
+                None => StartKind::None,
+                Some("start-of-data") => StartKind::StartOfData,
+                Some("all-input") => StartKind::AllInput,
+                Some(other) => {
+                    return Err(AutomataError::AnmlParse {
+                        line: line_no,
+                        reason: format!("unknown start kind {other:?}"),
+                    })
+                }
+            };
+            let sid = builder.add_state(class, start);
+            if ids.insert(id.clone(), sid).is_some() {
+                return Err(AutomataError::AnmlParse {
+                    line: line_no,
+                    reason: format!("duplicate state id {id:?}"),
+                });
+            }
+            current = Some(sid);
+        } else if line.starts_with("<report-on-match") {
+            let sid = current.ok_or_else(|| AutomataError::AnmlParse {
+                line: line_no,
+                reason: "report-on-match outside a state".into(),
+            })?;
+            let code = attr(line, "reportcode")
+                .and_then(|c| c.parse().ok())
+                .ok_or_else(|| AutomataError::AnmlParse {
+                    line: line_no,
+                    reason: "report-on-match without numeric reportcode".into(),
+                })?;
+            builder.mark_report(sid, code);
+        } else if line.starts_with("<activate-on-match") {
+            let sid = current.ok_or_else(|| AutomataError::AnmlParse {
+                line: line_no,
+                reason: "activate-on-match outside a state".into(),
+            })?;
+            let target = attr(line, "element").ok_or_else(|| AutomataError::AnmlParse {
+                line: line_no,
+                reason: "activate-on-match without element".into(),
+            })?;
+            pending_edges.push((sid, target, line_no));
+        } else if line.starts_with("</state-transition-element") {
+            current = None;
+        }
+        // All other lines (<anml>, <automata-network>, blanks) are ignored.
+    }
+
+    for (from, target, line_no) in pending_edges {
+        let to = ids.get(&target).ok_or_else(|| AutomataError::AnmlParse {
+            line: line_no,
+            reason: format!("edge to unknown state {target:?}"),
+        })?;
+        builder.add_edge(from, *to);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+
+    fn sample() -> Automaton {
+        let mut b = AutomatonBuilder::new();
+        let q0 = b.add_state(SymbolClass::from_symbols(&[0, 2]), StartKind::AllInput);
+        let q1 = b.add_state(SymbolClass::single(1), StartKind::None);
+        let q2 = b.add_state(SymbolClass::ALL, StartKind::StartOfData);
+        b.add_edge(q0, q1);
+        b.add_edge(q1, q1);
+        b.add_edge(q2, q0);
+        b.mark_report(q1, 17);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_preserves_structure() {
+        let a = sample();
+        let text = to_anml(&a, "net");
+        let back = from_anml(&text).unwrap();
+        assert_eq!(back.state_count(), a.state_count());
+        assert_eq!(back.edge_count(), a.edge_count());
+        // Behavioural equivalence on a probe input.
+        let input = [0u8, 1, 1, 2, 1, 3];
+        assert_eq!(sim::run(&a, &input), sim::run(&back, &input));
+    }
+
+    #[test]
+    fn all_class_renders_as_star() {
+        let a = sample();
+        let text = to_anml(&a, "net");
+        assert!(text.contains("symbol-set=\"*\""));
+        assert!(text.contains("start=\"all-input\""));
+        assert!(text.contains("start=\"start-of-data\""));
+        assert!(text.contains("reportcode=\"17\""));
+    }
+
+    #[test]
+    fn parse_rejects_unknown_edge_target() {
+        let text = r#"
+            <state-transition-element id="a" symbol-set="[\x00]" start="all-input">
+              <activate-on-match element="ghost"/>
+            </state-transition-element>
+        "#;
+        assert!(matches!(from_anml(text), Err(AutomataError::AnmlParse { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_duplicate_ids() {
+        let text = r#"
+            <state-transition-element id="a" symbol-set="*" start="all-input"></state-transition-element>
+            <state-transition-element id="a" symbol-set="*"></state-transition-element>
+        "#;
+        assert!(matches!(from_anml(text), Err(AutomataError::AnmlParse { .. })));
+    }
+
+    #[test]
+    fn parse_rejects_bad_start_kind() {
+        let text = r#"<state-transition-element id="a" symbol-set="*" start="sometimes"></state-transition-element>"#;
+        assert!(matches!(from_anml(text), Err(AutomataError::AnmlParse { .. })));
+    }
+
+    #[test]
+    fn parse_literal_symbols_without_escapes() {
+        let text = r#"
+            <state-transition-element id="a" symbol-set="[AC]" start="all-input">
+              <report-on-match reportcode="1"/>
+            </state-transition-element>
+        "#;
+        let a = from_anml(text).unwrap();
+        assert!(a.state(StateId(0)).class.contains(b'A'));
+        assert!(a.state(StateId(0)).class.contains(b'C'));
+        assert_eq!(a.state(StateId(0)).class.len(), 2);
+    }
+
+    #[test]
+    fn parse_rejects_report_outside_state() {
+        let text = r#"<report-on-match reportcode="1"/>"#;
+        assert!(matches!(from_anml(text), Err(AutomataError::AnmlParse { .. })));
+    }
+}

@@ -1,0 +1,391 @@
+use crate::{AutomataError, SymbolClass};
+use std::fmt;
+
+/// Identifier of a state within one [`Automaton`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct StateId(pub u32);
+
+impl StateId {
+    /// The id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// How a state participates in starting the automaton — the AP's two start
+/// modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum StartKind {
+    /// Not a start state.
+    #[default]
+    None,
+    /// Enabled only for the first input symbol (`start-of-data` in ANML).
+    StartOfData,
+    /// Re-enabled on every input symbol (`all-input` in ANML) — this is what
+    /// lets one automaton match at every genome offset without an explicit
+    /// self-looping prefix state.
+    AllInput,
+}
+
+/// One state of a homogeneous automaton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct State {
+    /// The symbol class this state matches (an STE's recognizer).
+    pub class: SymbolClass,
+    /// Start behaviour.
+    pub start: StartKind,
+    /// If `Some(code)`, matching this state emits a report event carrying
+    /// `code` (an AP reporting STE).
+    pub report: Option<u32>,
+}
+
+/// A homogeneous (STE-style) nondeterministic finite automaton.
+///
+/// States match symbol classes; unlabeled edges activate successor states
+/// for the *next* symbol. Build with [`AutomatonBuilder`]. The layout is
+/// adjacency-list based and immutable after [`AutomatonBuilder::build`],
+/// which also validates edges and precomputes reverse adjacency for
+/// analyses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Automaton {
+    states: Vec<State>,
+    succ: Vec<Vec<StateId>>,
+    pred: Vec<Vec<StateId>>,
+}
+
+impl Automaton {
+    /// Number of states.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.succ.iter().map(|s| s.len()).sum()
+    }
+
+    /// The state record for `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn state(&self, id: StateId) -> &State {
+        &self.states[id.index()]
+    }
+
+    /// All states, indexable by [`StateId::index`].
+    pub fn states(&self) -> &[State] {
+        &self.states
+    }
+
+    /// Successor states of `id`.
+    pub fn successors(&self, id: StateId) -> &[StateId] {
+        &self.succ[id.index()]
+    }
+
+    /// Predecessor states of `id`.
+    pub fn predecessors(&self, id: StateId) -> &[StateId] {
+        &self.pred[id.index()]
+    }
+
+    /// Iterates all state ids.
+    pub fn state_ids(&self) -> impl Iterator<Item = StateId> {
+        (0..self.states.len() as u32).map(StateId)
+    }
+
+    /// Ids of start states (either kind).
+    pub fn start_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.state_ids().filter(|id| self.state(*id).start != StartKind::None)
+    }
+
+    /// Ids of reporting states.
+    pub fn report_states(&self) -> impl Iterator<Item = StateId> + '_ {
+        self.state_ids().filter(|id| self.state(*id).report.is_some())
+    }
+
+    /// States reachable from any start state (following edges forward).
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<StateId> = self.start_states().collect();
+        for s in &stack {
+            seen[s.index()] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in self.successors(s) {
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// States from which some reporting state is reachable ("live" states).
+    pub fn live(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.states.len()];
+        let mut stack: Vec<StateId> = self.report_states().collect();
+        for s in &stack {
+            seen[s.index()] = true;
+        }
+        while let Some(s) = stack.pop() {
+            for &t in self.predecessors(s) {
+                if !seen[t.index()] {
+                    seen[t.index()] = true;
+                    stack.push(t);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Returns a copy with unreachable and dead (non-live) states removed.
+    /// Report codes and start kinds are preserved; state ids are compacted.
+    pub fn trim(&self) -> Automaton {
+        let reachable = self.reachable();
+        let live = self.live();
+        let keep: Vec<bool> =
+            reachable.iter().zip(&live).map(|(r, l)| *r && *l).collect();
+        let mut remap = vec![None; self.states.len()];
+        let mut builder = AutomatonBuilder::new();
+        for (i, state) in self.states.iter().enumerate() {
+            if keep[i] {
+                let id = builder.add_state(state.class, state.start);
+                if let Some(code) = state.report {
+                    builder.mark_report(id, code);
+                }
+                remap[i] = Some(id);
+            }
+        }
+        for (i, targets) in self.succ.iter().enumerate() {
+            if let Some(from) = remap[i] {
+                for t in targets {
+                    if let Some(to) = remap[t.index()] {
+                        builder.add_edge(from, to);
+                    }
+                }
+            }
+        }
+        // A trimmed automaton may legitimately be empty (nothing live);
+        // bypass build()'s start-state validation in that case.
+        builder.build_unchecked()
+    }
+}
+
+/// Incremental builder for [`Automaton`].
+///
+/// ```
+/// use crispr_automata::{AutomatonBuilder, StartKind, SymbolClass};
+///
+/// let mut b = AutomatonBuilder::new();
+/// let s = b.add_state(SymbolClass::single(b'x'), StartKind::StartOfData);
+/// b.mark_report(s, 0);
+/// let a = b.build()?;
+/// assert_eq!(a.state_count(), 1);
+/// # Ok::<(), crispr_automata::AutomataError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AutomatonBuilder {
+    states: Vec<State>,
+    edges: Vec<(StateId, StateId)>,
+}
+
+impl AutomatonBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> AutomatonBuilder {
+        AutomatonBuilder::default()
+    }
+
+    /// Adds a state and returns its id.
+    pub fn add_state(&mut self, class: SymbolClass, start: StartKind) -> StateId {
+        let id = StateId(self.states.len() as u32);
+        self.states.push(State { class, start, report: None });
+        id
+    }
+
+    /// Marks `state` as reporting with `code`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was not created by this builder.
+    pub fn mark_report(&mut self, state: StateId, code: u32) {
+        self.states[state.index()].report = Some(code);
+    }
+
+    /// Changes the start kind of an existing state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `state` was not created by this builder.
+    pub fn set_start_kind(&mut self, state: StateId, start: StartKind) {
+        self.states[state.index()].start = start;
+    }
+
+    /// Adds an edge `from → to`. Duplicate edges are deduplicated at
+    /// [`AutomatonBuilder::build`] time.
+    pub fn add_edge(&mut self, from: StateId, to: StateId) {
+        self.edges.push((from, to));
+    }
+
+    /// Number of states added so far.
+    pub fn state_count(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Merges another builder's automaton into this one, returning the id
+    /// offset applied to the merged states. This is how multi-guide machines
+    /// are assembled: each guide's automaton is built independently and
+    /// unioned into one machine, exactly as independent automata share an AP
+    /// chip.
+    pub fn merge(&mut self, other: &AutomatonBuilder) -> u32 {
+        let offset = self.states.len() as u32;
+        self.states.extend(other.states.iter().cloned());
+        self.edges.extend(
+            other.edges.iter().map(|(f, t)| (StateId(f.0 + offset), StateId(t.0 + offset))),
+        );
+        offset
+    }
+
+    /// Validates and freezes the automaton.
+    ///
+    /// # Errors
+    ///
+    /// [`AutomataError::InvalidState`] if an edge references an unknown
+    /// state; [`AutomataError::NoStartState`] if no state has a start kind.
+    pub fn build(self) -> Result<Automaton, AutomataError> {
+        let n = self.states.len() as u32;
+        for &(f, t) in &self.edges {
+            if f.0 >= n {
+                return Err(AutomataError::InvalidState(f.0));
+            }
+            if t.0 >= n {
+                return Err(AutomataError::InvalidState(t.0));
+            }
+        }
+        if !self.states.iter().any(|s| s.start != StartKind::None) {
+            return Err(AutomataError::NoStartState);
+        }
+        Ok(self.build_unchecked())
+    }
+
+    fn build_unchecked(self) -> Automaton {
+        let n = self.states.len();
+        let mut succ = vec![Vec::new(); n];
+        let mut pred = vec![Vec::new(); n];
+        let mut edges = self.edges;
+        edges.sort_unstable();
+        edges.dedup();
+        for (f, t) in edges {
+            succ[f.index()].push(t);
+            pred[t.index()].push(f);
+        }
+        Automaton { states: self.states, succ, pred }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain(labels: &[u8]) -> AutomatonBuilder {
+        let mut b = AutomatonBuilder::new();
+        let mut prev: Option<StateId> = None;
+        for (i, &l) in labels.iter().enumerate() {
+            let kind = if i == 0 { StartKind::AllInput } else { StartKind::None };
+            let id = b.add_state(SymbolClass::single(l), kind);
+            if let Some(p) = prev {
+                b.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        if let Some(last) = prev {
+            b.mark_report(last, 0);
+        }
+        b
+    }
+
+    #[test]
+    fn build_validates_edges() {
+        let mut b = AutomatonBuilder::new();
+        let s = b.add_state(SymbolClass::ALL, StartKind::AllInput);
+        b.add_edge(s, StateId(5));
+        assert_eq!(b.build().unwrap_err(), AutomataError::InvalidState(5));
+    }
+
+    #[test]
+    fn build_requires_start() {
+        let mut b = AutomatonBuilder::new();
+        b.add_state(SymbolClass::ALL, StartKind::None);
+        assert_eq!(b.build().unwrap_err(), AutomataError::NoStartState);
+    }
+
+    #[test]
+    fn duplicate_edges_are_dedupped() {
+        let mut b = AutomatonBuilder::new();
+        let a = b.add_state(SymbolClass::ALL, StartKind::AllInput);
+        let c = b.add_state(SymbolClass::ALL, StartKind::None);
+        b.mark_report(c, 0);
+        b.add_edge(a, c);
+        b.add_edge(a, c);
+        let m = b.build().unwrap();
+        assert_eq!(m.edge_count(), 1);
+        assert_eq!(m.successors(a), &[c]);
+        assert_eq!(m.predecessors(c), &[a]);
+    }
+
+    #[test]
+    fn reachable_and_live() {
+        let mut b = chain(b"abc");
+        // An orphan state: unreachable and dead.
+        let orphan = b.add_state(SymbolClass::ALL, StartKind::None);
+        // A reachable but dead state.
+        let dead = b.add_state(SymbolClass::ALL, StartKind::None);
+        b.add_edge(StateId(0), dead);
+        let m = b.build().unwrap();
+        let reach = m.reachable();
+        assert!(reach[0] && reach[1] && reach[2]);
+        assert!(!reach[orphan.index()]);
+        assert!(reach[dead.index()]);
+        let live = m.live();
+        assert!(live[0] && live[2]);
+        assert!(!live[dead.index()]);
+    }
+
+    #[test]
+    fn trim_removes_dead_states() {
+        let mut b = chain(b"ab");
+        let dead = b.add_state(SymbolClass::ALL, StartKind::None);
+        b.add_edge(StateId(0), dead);
+        let m = b.build().unwrap();
+        assert_eq!(m.state_count(), 3);
+        let t = m.trim();
+        assert_eq!(t.state_count(), 2);
+        assert_eq!(t.edge_count(), 1);
+        assert_eq!(t.report_states().count(), 1);
+    }
+
+    #[test]
+    fn merge_offsets_ids() {
+        let mut a = chain(b"ab");
+        let b2 = chain(b"cd");
+        let offset = a.merge(&b2);
+        assert_eq!(offset, 2);
+        let m = a.build().unwrap();
+        assert_eq!(m.state_count(), 4);
+        assert_eq!(m.start_states().count(), 2);
+        assert_eq!(m.report_states().count(), 2);
+        assert_eq!(m.successors(StateId(2)), &[StateId(3)]);
+    }
+
+    #[test]
+    fn state_id_display() {
+        assert_eq!(StateId(4).to_string(), "q4");
+    }
+}

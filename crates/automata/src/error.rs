@@ -1,0 +1,61 @@
+use std::fmt;
+
+/// Error type for automaton construction and transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AutomataError {
+    /// An edge references a state id that does not exist.
+    InvalidState(u32),
+    /// The automaton has no start state, so it can never match.
+    NoStartState,
+    /// Subset construction exceeded its configured state budget.
+    DfaTooLarge {
+        /// The configured state budget that was exceeded.
+        limit: usize,
+    },
+    /// An ANML document failed to parse.
+    AnmlParse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A DFA was asked about a symbol outside its alphabet.
+    SymbolOutOfAlphabet {
+        /// The offending input symbol.
+        symbol: u8,
+        /// The DFA's alphabet size.
+        alphabet: usize,
+    },
+}
+
+impl fmt::Display for AutomataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomataError::InvalidState(id) => write!(f, "edge references unknown state {id}"),
+            AutomataError::NoStartState => write!(f, "automaton has no start state"),
+            AutomataError::DfaTooLarge { limit } => {
+                write!(f, "subset construction exceeded {limit} states")
+            }
+            AutomataError::AnmlParse { line, reason } => {
+                write!(f, "ANML parse error at line {line}: {reason}")
+            }
+            AutomataError::SymbolOutOfAlphabet { symbol, alphabet } => {
+                write!(f, "symbol {symbol} outside DFA alphabet of size {alphabet}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutomataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(AutomataError::InvalidState(3).to_string(), "edge references unknown state 3");
+        assert!(AutomataError::DfaTooLarge { limit: 10 }.to_string().contains("10"));
+        assert!(AutomataError::NoStartState.to_string().contains("start"));
+    }
+}

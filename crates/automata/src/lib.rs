@@ -1,0 +1,61 @@
+//! Homogeneous finite automata — the substrate the HPCA'18 off-target
+//! search is built on.
+//!
+//! The paper expresses approximate gRNA matching as *homogeneous* automata:
+//! every state carries a symbol class (the set of input symbols it matches)
+//! and edges carry no labels. This is exactly the model of Micron's Automata
+//! Processor (a state ≙ one STE) and of register-per-state FPGA automata,
+//! and it lowers directly to classic NFAs for software engines.
+//!
+//! What's here:
+//!
+//! * [`SymbolClass`] — a 256-bit set of input symbols (AP STEs match 8-bit
+//!   symbols; DNA uses the low 4 codes).
+//! * [`Automaton`] / [`AutomatonBuilder`] — the homogeneous NFA, with
+//!   AP-style start semantics ([`StartKind::AllInput`] starts re-arm every
+//!   cycle, [`StartKind::StartOfData`] only at stream start) and report
+//!   codes on accepting states.
+//! * [`sim`] — frontier (active-set) simulation with per-cycle activity
+//!   statistics; this is both the functional reference for every platform
+//!   and the AP/FPGA cycle model's source of truth.
+//! * [`dfa`] + [`subset`] + [`minimize`] — dense DFA over a small alphabet,
+//!   subset construction with a state cap, and Hopcroft minimization (what
+//!   a HyperScan-class engine does ahead of time when the state count
+//!   permits).
+//! * [`anml`] — export/import of the AP's ANML interchange format (the
+//!   subset the mismatch automata need).
+//! * [`stats`] — structural statistics used by the capacity/resource models.
+//!
+//! # Example: a 2-state automaton matching `ab` anywhere in the input
+//!
+//! ```
+//! use crispr_automata::{AutomatonBuilder, StartKind, SymbolClass};
+//!
+//! let mut b = AutomatonBuilder::new();
+//! let a = b.add_state(SymbolClass::single(b'a'), StartKind::AllInput);
+//! let bb = b.add_state(SymbolClass::single(b'b'), StartKind::None);
+//! b.add_edge(a, bb);
+//! b.mark_report(bb, 7);
+//! let automaton = b.build()?;
+//!
+//! let reports = crispr_automata::sim::run(&automaton, b"xxabyab");
+//! let ends: Vec<usize> = reports.iter().map(|r| r.pos).collect();
+//! assert_eq!(ends, vec![4, 7]); // `ab` ends just before offsets 4 and 7
+//! # Ok::<(), crispr_automata::AutomataError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod anml;
+mod automaton;
+pub mod dfa;
+mod error;
+pub mod minimize;
+pub mod sim;
+pub mod stats;
+pub mod subset;
+mod symbol;
+
+pub use automaton::{Automaton, AutomatonBuilder, StartKind, StateId};
+pub use error::AutomataError;
+pub use symbol::SymbolClass;

@@ -1,0 +1,170 @@
+//! DFA minimization by partition refinement.
+//!
+//! The Mealy flavour of Moore-style refinement: two states are equivalent
+//! iff for every symbol they emit the same report set and step to
+//! equivalent states. The initial partition groups states by their full
+//! per-symbol output row; each round refines blocks by the per-symbol
+//! block of the successor. Converges in at most `n` rounds; each round is
+//! `O(n × alphabet)` with hashing.
+
+use crate::dfa::{self, Dfa};
+use std::collections::HashMap;
+
+/// Returns a minimal DFA equivalent to `input` (same scan output on every
+/// input).
+pub fn minimize(input: &Dfa) -> Dfa {
+    let (alphabet, start, table, outputs, report_sets) = dfa::parts(input);
+    let n = if alphabet == 0 { 0 } else { table.len() / alphabet };
+    if n == 0 {
+        return input.clone();
+    }
+
+    // Initial partition: by output row.
+    let mut block: Vec<u32> = vec![0; n];
+    {
+        let mut index: HashMap<&[u32], u32> = HashMap::new();
+        for s in 0..n {
+            let row = &outputs[s * alphabet..(s + 1) * alphabet];
+            let next_id = index.len() as u32;
+            block[s] = *index.entry(row).or_insert(next_id);
+        }
+    }
+
+    // Refine until the class count stops growing (it is monotone
+    // non-decreasing, so equality means a fixed point).
+    loop {
+        let old_classes = block.iter().copied().max().unwrap_or(0) + 1;
+        let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+        let mut next_block = vec![0u32; n];
+        for s in 0..n {
+            let mut sig = Vec::with_capacity(alphabet + 1);
+            sig.push(block[s]);
+            for c in 0..alphabet {
+                sig.push(block[table[s * alphabet + c] as usize]);
+            }
+            let fresh = index.len() as u32;
+            next_block[s] = *index.entry(sig).or_insert(fresh);
+        }
+        let new_classes = index.len() as u32;
+        block = next_block;
+        if new_classes == old_classes {
+            break;
+        }
+    }
+
+    // Rebuild over blocks. Representative = lowest-indexed member.
+    let class_count = (block.iter().copied().max().unwrap_or(0) + 1) as usize;
+    let mut rep = vec![usize::MAX; class_count];
+    for s in 0..n {
+        let b = block[s] as usize;
+        if rep[b] == usize::MAX {
+            rep[b] = s;
+        }
+    }
+
+    let mut new_table = vec![0u32; class_count * alphabet];
+    let mut new_outputs = vec![0u32; class_count * alphabet];
+    for b in 0..class_count {
+        let s = rep[b];
+        for c in 0..alphabet {
+            new_table[b * alphabet + c] = block[table[s * alphabet + c] as usize];
+            new_outputs[b * alphabet + c] = outputs[s * alphabet + c];
+        }
+    }
+
+    dfa::from_parts(
+        alphabet,
+        block[start as usize],
+        new_table,
+        new_outputs,
+        report_sets.to_vec(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dfa::DfaBuilder;
+    use crate::subset::determinize;
+    use crate::{AutomatonBuilder, StartKind, SymbolClass};
+
+    #[test]
+    fn merges_equivalent_states() {
+        // Two redundant copies of the same accepting structure.
+        let mut b = DfaBuilder::new(2);
+        let s0 = b.add_state();
+        let s1 = b.add_state(); // identical to s2
+        let s2 = b.add_state();
+        for (s, t) in [(s0, s1), (s1, s0), (s2, s0)] {
+            b.set_transition(s, 0, t, vec![]);
+            b.set_transition(s, 1, s0, vec![7]);
+        }
+        b.set_start(s0);
+        let dfa = b.build();
+        let min = minimize(&dfa);
+        assert!(min.state_count() < dfa.state_count());
+        for input in [vec![0, 1], vec![1, 1, 0], vec![0, 0, 0, 1]] {
+            assert_eq!(dfa.scan(&input).unwrap(), min.scan(&input).unwrap(), "{input:?}");
+        }
+    }
+
+    #[test]
+    fn minimal_dfa_is_fixed_point() {
+        let mut b = DfaBuilder::new(2);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.set_transition(s0, 0, s1, vec![]);
+        b.set_transition(s0, 1, s0, vec![]);
+        b.set_transition(s1, 0, s1, vec![1]);
+        b.set_transition(s1, 1, s0, vec![]);
+        b.set_start(s0);
+        let dfa = b.build();
+        let min = minimize(&dfa);
+        assert_eq!(min.state_count(), dfa.state_count());
+        let min2 = minimize(&min);
+        assert_eq!(min2.state_count(), min.state_count());
+    }
+
+    #[test]
+    fn determinize_then_minimize_preserves_reports() {
+        // A literal NFA determinizes into a DFA with some mergeable states.
+        let mut nb = AutomatonBuilder::new();
+        let mut prev = None;
+        for (i, &c) in [0u8, 1, 0, 1].iter().enumerate() {
+            let kind = if i == 0 { StartKind::AllInput } else { StartKind::None };
+            let id = nb.add_state(SymbolClass::single(c), kind);
+            if let Some(p) = prev {
+                nb.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        nb.mark_report(prev.unwrap(), 3);
+        let nfa = nb.build().unwrap();
+        let dfa = determinize(&nfa, 4, 1000).unwrap();
+        let min = minimize(&dfa);
+        assert!(min.state_count() <= dfa.state_count());
+        let mut x = 99u64;
+        let input: Vec<u8> = (0..500)
+            .map(|_| {
+                x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+                ((x >> 33) % 4) as u8
+            })
+            .collect();
+        assert_eq!(dfa.scan(&input).unwrap(), min.scan(&input).unwrap());
+    }
+
+    #[test]
+    fn start_state_remaps_correctly() {
+        let mut b = DfaBuilder::new(2);
+        let s0 = b.add_state();
+        let s1 = b.add_state();
+        b.set_transition(s0, 0, s0, vec![]);
+        b.set_transition(s0, 1, s0, vec![]);
+        b.set_transition(s1, 0, s0, vec![5]);
+        b.set_transition(s1, 1, s0, vec![]);
+        b.set_start(s1);
+        let dfa = b.build();
+        let min = minimize(&dfa);
+        assert_eq!(dfa.scan(&[0]).unwrap(), min.scan(&[0]).unwrap());
+    }
+}

@@ -1,0 +1,348 @@
+//! Frontier (active-set) simulation of homogeneous automata.
+//!
+//! This is the functional reference for every platform in the workspace:
+//! the AP and FPGA simulators execute exactly this step function (one input
+//! symbol per cycle, all enabled states in parallel), and the GPU/CPU
+//! engines must agree with its reports. The per-cycle activity statistics
+//! it gathers ([`ActivityStats`]) feed the platform timing models — e.g.
+//! iNFAnt2's cost is driven by how many states are active per symbol.
+
+use crate::{Automaton, StartKind, StateId};
+
+/// A report event: reporting state `state` (code `code`) matched the input
+/// symbol at offset `pos` (i.e. the match *ends* at `pos`, inclusive,
+/// 1-based-exclusive style: `pos` is the index *after* the matched symbol).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Report {
+    /// Offset just past the symbol on which the report fired.
+    pub pos: usize,
+    /// The reporting state.
+    pub state: StateId,
+    /// The report code attached via
+    /// [`crate::AutomatonBuilder::mark_report`].
+    pub code: u32,
+}
+
+/// Aggregate activity of a simulation run — the raw material of the spatial
+/// platforms' power/timing discussion and of the iNFAnt2 cost model.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ActivityStats {
+    /// Input symbols consumed.
+    pub cycles: usize,
+    /// Sum over cycles of the number of *matched* (active) states.
+    pub total_active: u64,
+    /// Maximum matched states in any one cycle.
+    pub max_active: usize,
+    /// Sum over cycles of the number of *enabled* states (candidates before
+    /// symbol filtering).
+    pub total_enabled: u64,
+    /// Total report events emitted.
+    pub reports: usize,
+}
+
+impl ActivityStats {
+    /// Mean matched states per cycle.
+    pub fn mean_active(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_active as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mean enabled states per cycle.
+    pub fn mean_enabled(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_enabled as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// A reusable stepping simulator over one [`Automaton`].
+///
+/// ```
+/// use crispr_automata::{AutomatonBuilder, StartKind, SymbolClass};
+/// use crispr_automata::sim::Simulator;
+///
+/// let mut b = AutomatonBuilder::new();
+/// let s = b.add_state(SymbolClass::single(b'g'), StartKind::AllInput);
+/// b.mark_report(s, 1);
+/// let a = b.build()?;
+/// let mut sim = Simulator::new(&a);
+/// let mut reports = Vec::new();
+/// sim.feed(b"gattaca g", &mut reports);
+/// assert_eq!(reports.len(), 2); // two 'g's
+/// # Ok::<(), crispr_automata::AutomataError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'a> {
+    automaton: &'a Automaton,
+    words: usize,
+    /// Per-symbol mask of states whose class contains the symbol,
+    /// flattened `256 × words`.
+    symbol_masks: Vec<u64>,
+    /// Mask of reporting states.
+    report_mask: Vec<u64>,
+    start_all: Vec<u64>,
+    start_sod: Vec<u64>,
+    enabled: Vec<u64>,
+    next: Vec<u64>,
+    pos: usize,
+    stats: ActivityStats,
+}
+
+impl<'a> Simulator<'a> {
+    /// Prepares simulation state for `automaton` (O(states × 256 / 64)
+    /// setup).
+    pub fn new(automaton: &'a Automaton) -> Simulator<'a> {
+        let n = automaton.state_count();
+        let words = n.div_ceil(64).max(1);
+        let mut symbol_masks = vec![0u64; 256 * words];
+        let mut report_mask = vec![0u64; words];
+        let mut start_all = vec![0u64; words];
+        let mut start_sod = vec![0u64; words];
+
+        for id in automaton.state_ids() {
+            let i = id.index();
+            let state = automaton.state(id);
+            for sym in state.class.iter() {
+                symbol_masks[sym as usize * words + i / 64] |= 1u64 << (i % 64);
+            }
+            if state.report.is_some() {
+                report_mask[i / 64] |= 1u64 << (i % 64);
+            }
+            match state.start {
+                StartKind::AllInput => start_all[i / 64] |= 1u64 << (i % 64),
+                StartKind::StartOfData => start_sod[i / 64] |= 1u64 << (i % 64),
+                StartKind::None => {}
+            }
+        }
+
+        let mut enabled = vec![0u64; words];
+        for ((e, a), s) in enabled.iter_mut().zip(&start_all).zip(&start_sod) {
+            *e = a | s;
+        }
+
+        Simulator {
+            automaton,
+            words,
+            symbol_masks,
+            report_mask,
+            start_all,
+            start_sod,
+            next: vec![0u64; words],
+            enabled,
+            pos: 0,
+            stats: ActivityStats::default(),
+        }
+    }
+
+    /// Resets to the start-of-data configuration.
+    pub fn reset(&mut self) {
+        for ((e, a), s) in self.enabled.iter_mut().zip(&self.start_all).zip(&self.start_sod) {
+            *e = a | s;
+        }
+        self.pos = 0;
+        self.stats = ActivityStats::default();
+    }
+
+    /// Consumes one input symbol, appending any report events to `reports`.
+    pub fn step(&mut self, symbol: u8, reports: &mut Vec<Report>) {
+        let words = self.words;
+        let sym_base = symbol as usize * words;
+        self.pos += 1;
+        self.stats.cycles += 1;
+
+        let mut active_count = 0usize;
+        self.next.copy_from_slice(&self.start_all);
+
+        for w in 0..words {
+            self.stats.total_enabled += self.enabled[w].count_ones() as u64;
+            let mut matched = self.enabled[w] & self.symbol_masks[sym_base + w];
+            active_count += matched.count_ones() as usize;
+
+            // Reports for matched reporting states.
+            let mut reporting = matched & self.report_mask[w];
+            while reporting != 0 {
+                let bit = reporting.trailing_zeros() as usize;
+                reporting &= reporting - 1;
+                let id = StateId((w * 64 + bit) as u32);
+                let code = self.automaton.state(id).report.expect("state is in report mask");
+                reports.push(Report { pos: self.pos, state: id, code });
+            }
+
+            // Drive successors of matched states. Mismatch-grid states
+            // have at most two successors, so per-bit sets beat OR-ing a
+            // full-width mask per state by orders of magnitude on large
+            // multi-guide machines.
+            while matched != 0 {
+                let bit = matched.trailing_zeros() as usize;
+                matched &= matched - 1;
+                let id = StateId((w * 64 + bit) as u32);
+                for t in self.automaton.successors(id) {
+                    let i = t.index();
+                    self.next[i / 64] |= 1u64 << (i % 64);
+                }
+            }
+        }
+
+        self.stats.total_active += active_count as u64;
+        self.stats.max_active = self.stats.max_active.max(active_count);
+        self.stats.reports = reports.len().max(self.stats.reports);
+
+        std::mem::swap(&mut self.enabled, &mut self.next);
+    }
+
+    /// Consumes a whole input slice.
+    pub fn feed(&mut self, input: &[u8], reports: &mut Vec<Report>) {
+        for &symbol in input {
+            self.step(symbol, reports);
+        }
+        self.stats.reports = reports.len();
+    }
+
+    /// Offset of the next symbol to be consumed.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Activity statistics accumulated since construction or
+    /// [`Simulator::reset`].
+    pub fn stats(&self) -> ActivityStats {
+        self.stats
+    }
+}
+
+/// Runs `automaton` over `input` from the start configuration and returns
+/// all reports in order.
+pub fn run(automaton: &Automaton, input: &[u8]) -> Vec<Report> {
+    let mut reports = Vec::new();
+    Simulator::new(automaton).feed(input, &mut reports);
+    reports
+}
+
+/// Like [`run`] but also returns the activity statistics.
+pub fn run_with_stats(automaton: &Automaton, input: &[u8]) -> (Vec<Report>, ActivityStats) {
+    let mut reports = Vec::new();
+    let mut sim = Simulator::new(automaton);
+    sim.feed(input, &mut reports);
+    let stats = sim.stats();
+    (reports, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AutomatonBuilder, SymbolClass};
+
+    /// Literal-matching automaton with an all-input start.
+    fn literal(pattern: &[u8]) -> Automaton {
+        let mut b = AutomatonBuilder::new();
+        let mut prev = None;
+        for (i, &c) in pattern.iter().enumerate() {
+            let kind = if i == 0 { StartKind::AllInput } else { StartKind::None };
+            let id = b.add_state(SymbolClass::single(c), kind);
+            if let Some(p) = prev {
+                b.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        b.mark_report(prev.unwrap(), 42);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn literal_matches_at_every_occurrence() {
+        let a = literal(b"aba");
+        let reports = run(&a, b"ababa");
+        let ends: Vec<usize> = reports.iter().map(|r| r.pos).collect();
+        assert_eq!(ends, vec![3, 5]); // overlapping matches both found
+        assert!(reports.iter().all(|r| r.code == 42));
+    }
+
+    #[test]
+    fn start_of_data_only_matches_prefix() {
+        let mut b = AutomatonBuilder::new();
+        let s = b.add_state(SymbolClass::single(b'x'), StartKind::StartOfData);
+        b.mark_report(s, 0);
+        let a = b.build().unwrap();
+        assert_eq!(run(&a, b"xx").len(), 1);
+        assert_eq!(run(&a, b"ax").len(), 0);
+    }
+
+    #[test]
+    fn all_input_rearms_every_cycle() {
+        let mut b = AutomatonBuilder::new();
+        let s = b.add_state(SymbolClass::single(b'x'), StartKind::AllInput);
+        b.mark_report(s, 0);
+        let a = b.build().unwrap();
+        assert_eq!(run(&a, b"xxax").len(), 3);
+    }
+
+    #[test]
+    fn self_loop_keeps_state_alive() {
+        // q0 = 'a'* self loop, reports on each 'a' after the first.
+        let mut b = AutomatonBuilder::new();
+        let s = b.add_state(SymbolClass::single(b'a'), StartKind::StartOfData);
+        b.add_edge(s, s);
+        b.mark_report(s, 0);
+        let a = b.build().unwrap();
+        assert_eq!(run(&a, b"aaa").len(), 3);
+        assert_eq!(run(&a, b"aba").len(), 1); // loop broken by 'b'
+    }
+
+    #[test]
+    fn stats_track_activity() {
+        let a = literal(b"ab");
+        let (_, stats) = run_with_stats(&a, b"abab");
+        assert_eq!(stats.cycles, 4);
+        // Cycle contents: 'a' matches q0; 'b' matches q1; etc.
+        assert_eq!(stats.total_active, 4);
+        assert_eq!(stats.max_active, 1);
+        assert_eq!(stats.reports, 2);
+        assert!(stats.mean_active() > 0.9 && stats.mean_active() < 1.1);
+        assert!(stats.mean_enabled() >= stats.mean_active());
+    }
+
+    #[test]
+    fn reset_restores_start_configuration() {
+        let a = literal(b"ab");
+        let mut sim = Simulator::new(&a);
+        let mut reports = Vec::new();
+        sim.feed(b"ab", &mut reports);
+        assert_eq!(reports.len(), 1);
+        sim.reset();
+        assert_eq!(sim.pos(), 0);
+        let mut reports2 = Vec::new();
+        sim.feed(b"ab", &mut reports2);
+        assert_eq!(reports2.len(), 1);
+    }
+
+    #[test]
+    fn large_automaton_crosses_word_boundaries() {
+        // 70 states forces 2 words in every bitmask.
+        let pattern: Vec<u8> = (0..70).map(|i| b'a' + (i % 2)).collect();
+        let a = literal(&pattern);
+        assert_eq!(a.state_count(), 70);
+        let mut input = pattern.clone();
+        input.extend_from_slice(&pattern);
+        // The doubled input is one fully alternating string of length 140,
+        // so the length-70 alternating pattern matches at every even offset
+        // 0..=70: 36 occurrences, ending at 70, 72, ..., 140.
+        let reports = run(&a, &input);
+        assert_eq!(reports.len(), 36);
+        assert_eq!(reports[0].pos, 70);
+        assert_eq!(reports[35].pos, 140);
+    }
+
+    #[test]
+    fn empty_input_reports_nothing() {
+        let a = literal(b"ab");
+        let (reports, stats) = run_with_stats(&a, b"");
+        assert!(reports.is_empty());
+        assert_eq!(stats.cycles, 0);
+        assert_eq!(stats.mean_active(), 0.0);
+    }
+}

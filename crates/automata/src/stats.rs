@@ -1,0 +1,114 @@
+//! Structural statistics of automata — the inputs to the AP capacity model
+//! and the FPGA resource model.
+
+use crate::{Automaton, StartKind};
+
+/// Structural summary of one [`Automaton`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AutomatonStats {
+    /// Total states (≙ STEs on the AP, match registers on the FPGA).
+    pub states: usize,
+    /// Total edges (what the AP routing matrix must realize).
+    pub edges: usize,
+    /// States with [`StartKind::StartOfData`].
+    pub start_of_data: usize,
+    /// States with [`StartKind::AllInput`].
+    pub all_input: usize,
+    /// Reporting states (each consumes AP output-region capacity).
+    pub reports: usize,
+    /// Maximum out-degree over states (routing congestion proxy).
+    pub max_out_degree: usize,
+    /// Maximum in-degree over states.
+    pub max_in_degree: usize,
+    /// Mean out-degree.
+    pub mean_out_degree: f64,
+    /// States whose class matches exactly one symbol.
+    pub single_symbol_states: usize,
+    /// States whose class is the universal `*`.
+    pub star_states: usize,
+}
+
+impl AutomatonStats {
+    /// Computes statistics for `automaton`.
+    pub fn compute(automaton: &Automaton) -> AutomatonStats {
+        let states = automaton.state_count();
+        let edges = automaton.edge_count();
+        let mut start_of_data = 0;
+        let mut all_input = 0;
+        let mut reports = 0;
+        let mut max_out = 0;
+        let mut max_in = 0;
+        let mut single = 0;
+        let mut star = 0;
+        for id in automaton.state_ids() {
+            let state = automaton.state(id);
+            match state.start {
+                StartKind::StartOfData => start_of_data += 1,
+                StartKind::AllInput => all_input += 1,
+                StartKind::None => {}
+            }
+            if state.report.is_some() {
+                reports += 1;
+            }
+            max_out = max_out.max(automaton.successors(id).len());
+            max_in = max_in.max(automaton.predecessors(id).len());
+            match state.class.len() {
+                1 => single += 1,
+                256 => star += 1,
+                _ => {}
+            }
+        }
+        AutomatonStats {
+            states,
+            edges,
+            start_of_data,
+            all_input,
+            reports,
+            max_out_degree: max_out,
+            max_in_degree: max_in,
+            mean_out_degree: if states == 0 { 0.0 } else { edges as f64 / states as f64 },
+            single_symbol_states: single,
+            star_states: star,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{AutomatonBuilder, SymbolClass};
+
+    #[test]
+    fn stats_of_small_machine() {
+        let mut b = AutomatonBuilder::new();
+        let q0 = b.add_state(SymbolClass::single(0), StartKind::AllInput);
+        let q1 = b.add_state(SymbolClass::ALL, StartKind::None);
+        let q2 = b.add_state(SymbolClass::from_symbols(&[0, 1]), StartKind::StartOfData);
+        b.add_edge(q0, q1);
+        b.add_edge(q0, q2);
+        b.add_edge(q2, q1);
+        b.mark_report(q1, 0);
+        let a = b.build().unwrap();
+        let s = AutomatonStats::compute(&a);
+        assert_eq!(s.states, 3);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.start_of_data, 1);
+        assert_eq!(s.all_input, 1);
+        assert_eq!(s.reports, 1);
+        assert_eq!(s.max_out_degree, 2);
+        assert_eq!(s.max_in_degree, 2);
+        assert_eq!(s.single_symbol_states, 1);
+        assert_eq!(s.star_states, 1);
+        assert!((s.mean_out_degree - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_of_empty_trimmed_machine() {
+        let mut b = AutomatonBuilder::new();
+        b.add_state(SymbolClass::EMPTY, StartKind::AllInput);
+        let a = b.build().unwrap().trim(); // no reports → everything dead
+        let s = AutomatonStats::compute(&a);
+        assert_eq!(s.states, 0);
+        assert_eq!(s.mean_out_degree, 0.0);
+    }
+}

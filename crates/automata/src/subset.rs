@@ -1,0 +1,190 @@
+//! Subset construction: homogeneous NFA → dense Mealy DFA.
+//!
+//! Determinization is what makes the CPU DFA engine possible, and its state
+//! blow-up with mismatch budget *k* and pattern count is exactly why the
+//! paper's spatial platforms (which execute the NFA directly) scale better.
+//! [`determinize`] therefore takes an explicit state budget and fails
+//! loudly instead of exhausting memory, so the DFA-blow-up experiment (A1)
+//! can chart where determinization stops being viable.
+
+use crate::dfa::{Dfa, DfaBuilder};
+use crate::{AutomataError, Automaton, StartKind};
+use std::collections::HashMap;
+
+/// Determinizes `automaton` over the alphabet `0..alphabet`, refusing to
+/// create more than `max_states` DFA states.
+///
+/// The NFA's AP start semantics are preserved: `AllInput` start states are
+/// re-injected into every successor subset, so the DFA matches at every
+/// input offset just like the spatial platforms do.
+///
+/// # Errors
+///
+/// [`AutomataError::DfaTooLarge`] if the subset count exceeds `max_states`.
+pub fn determinize(
+    automaton: &Automaton,
+    alphabet: usize,
+    max_states: usize,
+) -> Result<Dfa, AutomataError> {
+    assert!(alphabet > 0 && alphabet <= 256, "alphabet must be within 1..=256");
+    let n = automaton.state_count();
+    let words = n.div_ceil(64).max(1);
+
+    // Bitset helpers over Vec<u64>.
+    let set = |bits: &mut [u64], i: usize| bits[i / 64] |= 1 << (i % 64);
+
+    let mut start_all = vec![0u64; words];
+    let mut initial = vec![0u64; words];
+    for id in automaton.state_ids() {
+        match automaton.state(id).start {
+            StartKind::AllInput => {
+                set(&mut start_all, id.index());
+                set(&mut initial, id.index());
+            }
+            StartKind::StartOfData => set(&mut initial, id.index()),
+            StartKind::None => {}
+        }
+    }
+
+    let mut builder = DfaBuilder::new(alphabet);
+    let mut subsets: Vec<Vec<u64>> = Vec::new();
+    let mut index: HashMap<Vec<u64>, u32> = HashMap::new();
+
+    let start_id = builder.add_state();
+    index.insert(initial.clone(), start_id);
+    subsets.push(initial);
+    builder.set_start(start_id);
+
+    let mut work = vec![start_id];
+    while let Some(dfa_state) = work.pop() {
+        let subset = subsets[dfa_state as usize].clone();
+        for symbol in 0..alphabet as u8 {
+            let mut next = start_all.clone();
+            let mut codes = Vec::new();
+            for w in 0..words {
+                let mut matched = subset[w];
+                if matched == 0 {
+                    continue;
+                }
+                while matched != 0 {
+                    let bit = matched.trailing_zeros() as usize;
+                    matched &= matched - 1;
+                    let sid = crate::StateId((w * 64 + bit) as u32);
+                    let state = automaton.state(sid);
+                    if !state.class.contains(symbol) {
+                        continue;
+                    }
+                    if let Some(code) = state.report {
+                        codes.push(code);
+                    }
+                    for &succ in automaton.successors(sid) {
+                        set(&mut next, succ.index());
+                    }
+                }
+            }
+            let target = match index.get(&next) {
+                Some(&t) => t,
+                None => {
+                    if subsets.len() >= max_states {
+                        return Err(AutomataError::DfaTooLarge { limit: max_states });
+                    }
+                    let t = builder.add_state();
+                    index.insert(next.clone(), t);
+                    subsets.push(next);
+                    work.push(t);
+                    t
+                }
+            };
+            builder.set_transition(dfa_state, symbol, target, codes);
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim;
+    use crate::{AutomatonBuilder, SymbolClass};
+
+    fn literal(pattern: &[u8]) -> Automaton {
+        let mut b = AutomatonBuilder::new();
+        let mut prev = None;
+        for (i, &c) in pattern.iter().enumerate() {
+            let kind = if i == 0 { StartKind::AllInput } else { StartKind::None };
+            let id = b.add_state(SymbolClass::single(c), kind);
+            if let Some(p) = prev {
+                b.add_edge(p, id);
+            }
+            prev = Some(id);
+        }
+        b.mark_report(prev.unwrap(), 5);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn dfa_agrees_with_nfa_simulation() {
+        let nfa = literal(&[0, 1, 0]);
+        let dfa = determinize(&nfa, 4, 1000).unwrap();
+        let input: Vec<u8> = vec![0, 1, 0, 1, 0, 2, 0, 1, 0];
+        let nfa_reports: Vec<usize> = sim::run(&nfa, &input).iter().map(|r| r.pos).collect();
+        let dfa_reports: Vec<usize> =
+            dfa.scan(&input).unwrap().iter().map(|r| r.pos).collect();
+        assert_eq!(nfa_reports, dfa_reports);
+        assert_eq!(nfa_reports, vec![3, 5, 9]);
+    }
+
+    #[test]
+    fn state_budget_is_enforced() {
+        let nfa = literal(&[0, 1, 0, 1, 0, 1, 2, 3]);
+        assert_eq!(
+            determinize(&nfa, 4, 2),
+            Err(AutomataError::DfaTooLarge { limit: 2 })
+        );
+    }
+
+    #[test]
+    fn start_of_data_semantics_preserved() {
+        let mut b = AutomatonBuilder::new();
+        let s = b.add_state(SymbolClass::single(1), StartKind::StartOfData);
+        b.mark_report(s, 0);
+        let nfa = b.build().unwrap();
+        let dfa = determinize(&nfa, 4, 100).unwrap();
+        assert_eq!(dfa.scan(&[1, 1]).unwrap().len(), 1);
+        assert_eq!(dfa.scan(&[0, 1]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn multiple_patterns_report_distinct_codes() {
+        let mut b = AutomatonBuilder::new();
+        let a0 = b.add_state(SymbolClass::single(0), StartKind::AllInput);
+        b.mark_report(a0, 100);
+        let b0 = b.add_state(SymbolClass::single(1), StartKind::AllInput);
+        b.mark_report(b0, 200);
+        let nfa = b.build().unwrap();
+        let dfa = determinize(&nfa, 4, 100).unwrap();
+        let reports = dfa.scan(&[0, 1]).unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].code, 100);
+        assert_eq!(reports[1].code, 200);
+    }
+
+    #[test]
+    fn randomized_equivalence_with_simulation() {
+        // Deterministic pseudo-random input; compares full report streams.
+        let nfa = literal(&[2, 2, 3]);
+        let dfa = determinize(&nfa, 4, 1000).unwrap();
+        let mut x = 12345u64;
+        let input: Vec<u8> = (0..2000)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                ((x >> 33) % 4) as u8
+            })
+            .collect();
+        let nfa_reports: Vec<usize> = sim::run(&nfa, &input).iter().map(|r| r.pos).collect();
+        let dfa_reports: Vec<usize> =
+            dfa.scan(&input).unwrap().iter().map(|r| r.pos).collect();
+        assert_eq!(nfa_reports, dfa_reports);
+        assert!(!nfa_reports.is_empty(), "input should contain the pattern");
+    }
+}

@@ -1,0 +1,214 @@
+use std::fmt;
+
+/// A set of 8-bit input symbols — the "character class" carried by every
+/// state of a homogeneous automaton (an AP STE's symbol recognizer).
+///
+/// Represented as a 256-bit bitmap (four `u64` words), so membership tests,
+/// unions and intersections are branch-free.
+///
+/// ```
+/// use crispr_automata::SymbolClass;
+///
+/// let vowels = SymbolClass::from_symbols(b"aeiou");
+/// assert!(vowels.contains(b'e'));
+/// assert!(!vowels.contains(b'z'));
+/// assert_eq!(vowels.len(), 5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SymbolClass {
+    words: [u64; 4],
+}
+
+impl SymbolClass {
+    /// The empty class (matches nothing).
+    pub const EMPTY: SymbolClass = SymbolClass { words: [0; 4] };
+    /// The universal class (matches every symbol), `*` in ANML.
+    pub const ALL: SymbolClass = SymbolClass { words: [u64::MAX; 4] };
+
+    /// A class containing exactly one symbol.
+    #[inline]
+    pub fn single(symbol: u8) -> SymbolClass {
+        let mut c = SymbolClass::EMPTY;
+        c.insert(symbol);
+        c
+    }
+
+    /// A class containing every listed symbol.
+    pub fn from_symbols(symbols: &[u8]) -> SymbolClass {
+        let mut c = SymbolClass::EMPTY;
+        for &s in symbols {
+            c.insert(s);
+        }
+        c
+    }
+
+    /// A class built from a 4-bit mask over the low four symbols `0..4` —
+    /// the direct image of a DNA IUPAC code under the 2-bit base encoding.
+    #[inline]
+    pub fn from_low_nibble_mask(mask: u8) -> SymbolClass {
+        SymbolClass { words: [(mask & 0xF) as u64, 0, 0, 0] }
+    }
+
+    /// Adds a symbol.
+    #[inline]
+    pub fn insert(&mut self, symbol: u8) {
+        self.words[(symbol >> 6) as usize] |= 1u64 << (symbol & 63);
+    }
+
+    /// Removes a symbol.
+    #[inline]
+    pub fn remove(&mut self, symbol: u8) {
+        self.words[(symbol >> 6) as usize] &= !(1u64 << (symbol & 63));
+    }
+
+    /// Whether `symbol` is in the class.
+    #[inline]
+    pub fn contains(&self, symbol: u8) -> bool {
+        self.words[(symbol >> 6) as usize] & (1u64 << (symbol & 63)) != 0
+    }
+
+    /// Number of symbols in the class.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the class is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words == [0; 4]
+    }
+
+    /// Set union.
+    #[inline]
+    pub fn union(&self, other: &SymbolClass) -> SymbolClass {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(other.words) {
+            *w |= o;
+        }
+        SymbolClass { words }
+    }
+
+    /// Set intersection.
+    #[inline]
+    pub fn intersect(&self, other: &SymbolClass) -> SymbolClass {
+        let mut words = self.words;
+        for (w, o) in words.iter_mut().zip(other.words) {
+            *w &= o;
+        }
+        SymbolClass { words }
+    }
+
+    /// Set complement over the full 8-bit alphabet.
+    #[inline]
+    pub fn complement(&self) -> SymbolClass {
+        let mut words = self.words;
+        for w in &mut words {
+            *w = !*w;
+        }
+        SymbolClass { words }
+    }
+
+    /// Iterates the member symbols in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = u8> + '_ {
+        (0u16..256).map(|s| s as u8).filter(move |&s| self.contains(s))
+    }
+}
+
+impl fmt::Debug for SymbolClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if *self == SymbolClass::ALL {
+            return write!(f, "SymbolClass(*)");
+        }
+        write!(f, "SymbolClass{{")?;
+        let mut first = true;
+        for s in self.iter() {
+            if !first {
+                write!(f, ",")?;
+            }
+            first = false;
+            if s.is_ascii_graphic() {
+                write!(f, "{}", s as char)?;
+            } else {
+                write!(f, "\\x{s:02x}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<u8> for SymbolClass {
+    fn from_iter<I: IntoIterator<Item = u8>>(iter: I) -> SymbolClass {
+        let mut c = SymbolClass::EMPTY;
+        for s in iter {
+            c.insert(s);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_all() {
+        assert_eq!(SymbolClass::EMPTY.len(), 0);
+        assert!(SymbolClass::EMPTY.is_empty());
+        assert_eq!(SymbolClass::ALL.len(), 256);
+        for s in [0u8, 63, 64, 127, 128, 255] {
+            assert!(SymbolClass::ALL.contains(s));
+            assert!(!SymbolClass::EMPTY.contains(s));
+        }
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let mut c = SymbolClass::EMPTY;
+        for s in [0u8, 63, 64, 200, 255] {
+            c.insert(s);
+            assert!(c.contains(s), "symbol {s}");
+        }
+        assert_eq!(c.len(), 5);
+        c.remove(64);
+        assert!(!c.contains(64));
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a = SymbolClass::from_symbols(b"abc");
+        let b = SymbolClass::from_symbols(b"bcd");
+        assert_eq!(a.union(&b).len(), 4);
+        assert_eq!(a.intersect(&b).len(), 2);
+        assert_eq!(a.complement().len(), 253);
+        assert_eq!(a.union(&a.complement()), SymbolClass::ALL);
+        assert_eq!(a.intersect(&a.complement()), SymbolClass::EMPTY);
+    }
+
+    #[test]
+    fn low_nibble_mask_maps_dna_codes() {
+        // Mask 0b0101 = codes {0, 2} = bases {A, G} = IUPAC R.
+        let c = SymbolClass::from_low_nibble_mask(0b0101);
+        assert!(c.contains(0) && c.contains(2));
+        assert!(!c.contains(1) && !c.contains(3));
+        assert_eq!(c.len(), 2);
+        // High bits of the mask byte are ignored.
+        assert_eq!(SymbolClass::from_low_nibble_mask(0xF0), SymbolClass::EMPTY);
+    }
+
+    #[test]
+    fn iter_is_sorted_and_complete() {
+        let c = SymbolClass::from_symbols(b"zax");
+        let collected: Vec<u8> = c.iter().collect();
+        assert_eq!(collected, vec![b'a', b'x', b'z']);
+        let back: SymbolClass = collected.into_iter().collect();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn debug_is_readable() {
+        let c = SymbolClass::from_symbols(b"ab");
+        assert_eq!(format!("{c:?}"), "SymbolClass{a,b}");
+        assert_eq!(format!("{:?}", SymbolClass::ALL), "SymbolClass(*)");
+        assert_eq!(format!("{:?}", SymbolClass::single(1)), "SymbolClass{\\x01}");
+    }
+}

@@ -1,0 +1,76 @@
+//! Criterion bench for the automata substrate itself: compilation,
+//! simulation throughput, determinization, ANML round-trip — the costs
+//! behind every platform's "config" bucket.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crispr_automata::sim::Simulator;
+use crispr_bench::workloads;
+use crispr_genome::Base;
+use crispr_guides::{compile, CompileOptions};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile_guides_k3");
+    for g in [1usize, 10, 100] {
+        let guides = workloads::guides(g, 37);
+        group.bench_with_input(BenchmarkId::from_parameter(g), &guides, |b, guides| {
+            b.iter(|| {
+                compile::compile_guides(guides, &CompileOptions::new(3)).expect("compiles")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let genome = workloads::genome(100_000, 38);
+    let symbols: Vec<u8> = genome.contigs()[0].seq().iter().map(Base::code).collect();
+    let mut group = c.benchmark_group("frontier_sim_100kbp");
+    group.throughput(Throughput::Bytes(symbols.len() as u64));
+    for g in [1usize, 10, 50] {
+        let guides = workloads::guides(g, 39);
+        let set = compile::compile_guides(&guides, &CompileOptions::new(3)).expect("compiles");
+        group.bench_with_input(BenchmarkId::from_parameter(g), &set, |b, set| {
+            b.iter(|| {
+                let mut sim = Simulator::new(&set.automaton);
+                let mut reports = Vec::new();
+                sim.feed(&symbols, &mut reports);
+                reports.len()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_determinize(c: &mut Criterion) {
+    let guides = workloads::guides(1, 40);
+    let mut group = c.benchmark_group("determinize_1guide");
+    for k in [0usize, 1, 2] {
+        let set = compile::compile_guides(&guides, &CompileOptions::new(k)).expect("compiles");
+        group.bench_with_input(BenchmarkId::from_parameter(k), &set, |b, set| {
+            b.iter(|| {
+                crispr_automata::subset::determinize(&set.automaton, 4, 1 << 20)
+                    .expect("within budget")
+                    .state_count()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_anml(c: &mut Criterion) {
+    let guides = workloads::guides(10, 41);
+    let set = compile::compile_guides(&guides, &CompileOptions::new(3)).expect("compiles");
+    let text = crispr_automata::anml::to_anml(&set.automaton, "bench");
+    c.bench_function("anml_roundtrip_10guides_k3", |b| {
+        b.iter(|| {
+            let t = crispr_automata::anml::to_anml(&set.automaton, "bench");
+            crispr_automata::anml::from_anml(&t).expect("round-trips").state_count()
+        });
+    });
+    c.bench_function("anml_parse_10guides_k3", |b| {
+        b.iter(|| crispr_automata::anml::from_anml(&text).expect("parses").state_count());
+    });
+}
+
+criterion_group!(benches, bench_compile, bench_simulation, bench_determinize, bench_anml);
+criterion_main!(benches);

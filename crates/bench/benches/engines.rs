@@ -1,0 +1,36 @@
+//! Criterion bench behind experiment E2's measured rows: every CPU engine
+//! on the standard workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crispr_bench::workloads;
+use crispr_engines::{
+    BitParallelEngine, CasOffinderCpuEngine, CasotEngine, Engine, NfaEngine,
+};
+
+fn bench_engines(c: &mut Criterion) {
+    let (genome, guides, _) = workloads::planted(1_000_000, 10, 4, 7);
+    let mut group = c.benchmark_group("engines_1mbp_10guides");
+    group.sample_size(10);
+    for k in [1usize, 3] {
+        group.bench_with_input(BenchmarkId::new("cpu-casot", k), &k, |b, &k| {
+            let engine = CasotEngine::new();
+            b.iter(|| engine.search(&genome, &guides, k).expect("engine runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("cpu-cas-offinder", k), &k, |b, &k| {
+            let engine = CasOffinderCpuEngine::new();
+            b.iter(|| engine.search(&genome, &guides, k).expect("engine runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("cpu-hyperscan", k), &k, |b, &k| {
+            let engine = BitParallelEngine::new();
+            b.iter(|| engine.search(&genome, &guides, k).expect("engine runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("cpu-nfa", k), &k, |b, &k| {
+            let engine = NfaEngine::new();
+            b.iter(|| engine.search(&genome, &guides, k).expect("engine runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Criterion bench behind experiment E3: kernel time vs guide count for
+//! the measured CPU engines (the modeled platforms' scaling comes from
+//! the `experiments` binary).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use crispr_bench::workloads;
+use crispr_engines::{BitParallelEngine, CasOffinderCpuEngine, CasotEngine, Engine};
+
+fn bench_scaling(c: &mut Criterion) {
+    let genome = workloads::genome(500_000, 17);
+    let mut group = c.benchmark_group("guide_scaling_500kbp_k3");
+    group.sample_size(10);
+    group.throughput(Throughput::Bytes(genome.total_len() as u64));
+    for g in [1usize, 10, 100] {
+        let guides = workloads::guides(g, 18);
+        group.bench_with_input(BenchmarkId::new("cpu-hyperscan", g), &guides, |b, guides| {
+            let engine = BitParallelEngine::new();
+            b.iter(|| engine.search(&genome, guides, 3).expect("engine runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("cpu-casot", g), &guides, |b, guides| {
+            let engine = CasotEngine::new();
+            b.iter(|| engine.search(&genome, guides, 3).expect("engine runs"));
+        });
+        group.bench_with_input(
+            BenchmarkId::new("cpu-cas-offinder", g),
+            &guides,
+            |b, guides| {
+                let engine = CasOffinderCpuEngine::new();
+                b.iter(|| engine.search(&genome, guides, 3).expect("engine runs"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Regenerates the paper's tables and figures.
+//!
+//! ```text
+//! cargo run -p crispr-bench --release --bin experiments            # all
+//! cargo run -p crispr-bench --release --bin experiments -- e2 e5  # some
+//! ```
+
+use crispr_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        experiments::ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match experiments::run(id) {
+            Some(text) => {
+                println!("{text}");
+            }
+            None => {
+                eprintln!(
+                    "unknown experiment {id:?}; known ids: {}",
+                    experiments::ALL.join(", ")
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+}

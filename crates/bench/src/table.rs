@@ -1,0 +1,106 @@
+//! Minimal aligned-table rendering for experiment output (markdown-pipe
+//! style so results paste straight into EXPERIMENTS.md).
+
+/// A simple table builder.
+#[derive(Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Table {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Table {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Renders as a markdown pipe table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| -> String {
+            let body: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", body.join(" | "))
+        };
+        let mut out = String::new();
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|", sep.join("-|-")));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats seconds compactly (µs/ms/s).
+pub fn secs(s: f64) -> String {
+    if s < 1e-3 {
+        format!("{:.1}µs", s * 1e6)
+    } else if s < 1.0 {
+        format!("{:.2}ms", s * 1e3)
+    } else if s < 100.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{s:.0}s")
+    }
+}
+
+/// Formats a speedup ratio.
+pub fn speedup(baseline: f64, this: f64) -> String {
+    if this <= 0.0 {
+        return "-".into();
+    }
+    format!("{:.1}x", baseline / this)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(["a", "long-header"]);
+        t.row(["1", "2"]);
+        t.row(["333", "4"]);
+        let text = t.render();
+        assert!(text.starts_with("| a   | long-header |\n"));
+        assert_eq!(text.lines().count(), 4);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.row(["1"]);
+        assert!(t.render().lines().nth(2).unwrap().matches('|').count() == 4);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(0.0000005), "0.5µs");
+        assert_eq!(secs(0.5), "500.00ms");
+        assert_eq!(secs(2.0), "2.00s");
+        assert_eq!(secs(200.0), "200s");
+        assert_eq!(speedup(10.0, 2.0), "5.0x");
+        assert_eq!(speedup(1.0, 0.0), "-");
+    }
+}

@@ -1,0 +1,53 @@
+//! Canonical workloads for the experiment suite. Sizes are chosen so the
+//! full `experiments all` run finishes in minutes in release mode while
+//! preserving the regimes the paper probes (PAM-filtered baselines,
+//! automata activity, board capacity).
+
+use crispr_genome::synth::SynthSpec;
+use crispr_genome::Genome;
+use crispr_guides::genset::{self, PlantPlan};
+use crispr_guides::{Guide, Hit, Pam};
+
+/// A reproducible genome of `len` bases with human-like GC.
+pub fn genome(len: usize, seed: u64) -> Genome {
+    SynthSpec::new(len).seed(seed).gc_content(0.41).generate()
+}
+
+/// `count` random 20-nt NGG guides.
+pub fn guides(count: usize, seed: u64) -> Vec<Guide> {
+    genset::random_guides(count, 20, &Pam::ngg(), seed)
+}
+
+/// The standard evaluation workload: genome + guides + planted sites at
+/// every mismatch level `0..=k` (2 per level per guide).
+pub fn planted(
+    genome_len: usize,
+    guide_count: usize,
+    k: usize,
+    seed: u64,
+) -> (Genome, Vec<Guide>, Vec<Hit>) {
+    let genome = genome(genome_len, seed);
+    let guides = guides(guide_count, seed + 1);
+    let (genome, hits) =
+        genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(k, 2), seed + 2);
+    (genome, guides, hits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_workload_shape() {
+        let (genome, guides, hits) = planted(10_000, 2, 2, 1);
+        assert_eq!(genome.total_len(), 10_000);
+        assert_eq!(guides.len(), 2);
+        assert_eq!(hits.len(), 2 * 3 * 2);
+    }
+
+    #[test]
+    fn workloads_are_reproducible() {
+        assert_eq!(genome(1000, 7), genome(1000, 7));
+        assert_eq!(guides(3, 9), guides(3, 9));
+    }
+}

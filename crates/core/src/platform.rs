@@ -1,0 +1,129 @@
+use std::fmt;
+
+/// An execution target for an off-target search — the paper's evaluation
+/// matrix as an enum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Platform {
+    /// Per-window scalar scoring: the obviously-correct oracle.
+    CpuScalar,
+    /// Cas-OFFinder's algorithm on the CPU (brute force, PAM-first,
+    /// packed compare) — baseline.
+    CpuCasOffinder,
+    /// CasOT's algorithm (PAM-anchored seed-and-extend) — baseline.
+    CpuCasot,
+    /// Bit-parallel Hamming shift-and: the HyperScan-class automata-on-CPU
+    /// data point.
+    CpuBitParallel,
+    /// Direct frontier simulation of the mismatch NFAs.
+    CpuNfa,
+    /// Ahead-of-time subset-constructed DFA scan.
+    CpuDfa,
+    /// Micron Automata Processor (modeled timing, exact hits).
+    Ap,
+    /// FPGA spatial automata (modeled timing, exact hits).
+    Fpga,
+    /// iNFAnt2-class GPU NFA engine (modeled timing, exact hits).
+    GpuInfant2,
+    /// Cas-OFFinder's GPU kernel (modeled timing, exact hits) — baseline.
+    GpuCasOffinder,
+}
+
+impl Platform {
+    /// Every platform, baselines and automata approaches alike.
+    pub const ALL: [Platform; 10] = [
+        Platform::CpuScalar,
+        Platform::CpuCasOffinder,
+        Platform::CpuCasot,
+        Platform::CpuBitParallel,
+        Platform::CpuNfa,
+        Platform::CpuDfa,
+        Platform::Ap,
+        Platform::Fpga,
+        Platform::GpuInfant2,
+        Platform::GpuCasOffinder,
+    ];
+
+    /// The paper's comparison set: the two baselines plus the four
+    /// automata platforms.
+    pub const PAPER_MATRIX: [Platform; 6] = [
+        Platform::CpuCasot,
+        Platform::GpuCasOffinder,
+        Platform::CpuBitParallel,
+        Platform::GpuInfant2,
+        Platform::Fpga,
+        Platform::Ap,
+    ];
+
+    /// Short stable identifier.
+    pub fn name(self) -> &'static str {
+        match self {
+            Platform::CpuScalar => "cpu-scalar",
+            Platform::CpuCasOffinder => "cpu-cas-offinder",
+            Platform::CpuCasot => "cpu-casot",
+            Platform::CpuBitParallel => "cpu-hyperscan",
+            Platform::CpuNfa => "cpu-nfa",
+            Platform::CpuDfa => "cpu-dfa",
+            Platform::Ap => "ap",
+            Platform::Fpga => "fpga",
+            Platform::GpuInfant2 => "gpu-infant2",
+            Platform::GpuCasOffinder => "gpu-cas-offinder",
+        }
+    }
+
+    /// Whether the timing is an analytic model (accelerators) rather than
+    /// measured wall-clock (CPU engines).
+    pub fn is_modeled(self) -> bool {
+        matches!(
+            self,
+            Platform::Ap | Platform::Fpga | Platform::GpuInfant2 | Platform::GpuCasOffinder
+        )
+    }
+
+    /// Whether this platform runs the automata formulation (as opposed to
+    /// a direct-comparison baseline).
+    pub fn is_automata(self) -> bool {
+        !matches!(
+            self,
+            Platform::CpuScalar
+                | Platform::CpuCasOffinder
+                | Platform::CpuCasot
+                | Platform::GpuCasOffinder
+        )
+    }
+}
+
+impl fmt::Display for Platform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = Platform::ALL.iter().map(|p| p.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), Platform::ALL.len());
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Platform::Ap.is_modeled() && Platform::Ap.is_automata());
+        assert!(!Platform::CpuBitParallel.is_modeled());
+        assert!(Platform::CpuBitParallel.is_automata());
+        assert!(!Platform::CpuCasot.is_automata());
+        assert!(Platform::GpuCasOffinder.is_modeled());
+        assert!(!Platform::GpuCasOffinder.is_automata());
+    }
+
+    #[test]
+    fn paper_matrix_is_subset_of_all() {
+        for p in Platform::PAPER_MATRIX {
+            assert!(Platform::ALL.contains(&p));
+        }
+    }
+}

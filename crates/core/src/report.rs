@@ -1,0 +1,85 @@
+use crate::Platform;
+use crispr_guides::Hit;
+use crispr_model::TimingBreakdown;
+
+/// The outcome of one [`crate::OffTargetSearch`] run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchReport {
+    platform: Platform,
+    hits: Vec<Hit>,
+    timing: TimingBreakdown,
+    genome_len: usize,
+    guide_count: usize,
+    k: usize,
+}
+
+impl SearchReport {
+    pub(crate) fn new(
+        platform: Platform,
+        hits: Vec<Hit>,
+        timing: TimingBreakdown,
+        genome_len: usize,
+        guide_count: usize,
+        k: usize,
+    ) -> SearchReport {
+        SearchReport { platform, hits, timing, genome_len, guide_count, k }
+    }
+
+    /// The platform that produced this report.
+    pub fn platform(&self) -> Platform {
+        self.platform
+    }
+
+    /// The normalized hit set.
+    pub fn hits(&self) -> &[Hit] {
+        &self.hits
+    }
+
+    /// Consumes the report, returning the hits.
+    pub fn into_hits(self) -> Vec<Hit> {
+        self.hits
+    }
+
+    /// Timing: measured wall-clock for CPU platforms, modeled for
+    /// accelerators (see [`Platform::is_modeled`]).
+    pub fn timing(&self) -> TimingBreakdown {
+        self.timing
+    }
+
+    /// Genome bases scanned.
+    pub fn genome_len(&self) -> usize {
+        self.genome_len
+    }
+
+    /// Guides searched.
+    pub fn guide_count(&self) -> usize {
+        self.guide_count
+    }
+
+    /// The mismatch budget.
+    pub fn max_mismatches(&self) -> usize {
+        self.k
+    }
+
+    /// Kernel throughput in input megabytes per second.
+    pub fn kernel_throughput_mbps(&self) -> f64 {
+        crispr_model::throughput_mbps(self.genome_len, self.timing.kernel_s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let timing = TimingBreakdown { kernel_s: 2.0, ..TimingBreakdown::default() };
+        let report = SearchReport::new(Platform::CpuScalar, Vec::new(), timing, 4_000_000, 5, 3);
+        assert_eq!(report.platform(), Platform::CpuScalar);
+        assert!(report.hits().is_empty());
+        assert_eq!(report.guide_count(), 5);
+        assert_eq!(report.max_mismatches(), 3);
+        assert!((report.kernel_throughput_mbps() - 2.0).abs() < 1e-9);
+        assert!(report.into_hits().is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+use crate::{Platform, SearchReport};
+use crispr_engines::{
+    BitParallelEngine, CasOffinderCpuEngine, CasotEngine, DfaEngine, Engine, EngineError,
+    NfaEngine, ParallelEngine, ScalarEngine,
+};
+use crispr_genome::Genome;
+use crispr_guides::{Guide, Hit};
+use crispr_model::TimingBreakdown;
+use std::time::Instant;
+
+/// Builder for a complete off-target search; see the crate docs for an
+/// end-to-end example.
+#[derive(Debug, Clone)]
+pub struct OffTargetSearch {
+    genome: Genome,
+    guides: Vec<Guide>,
+    k: usize,
+    platform: Platform,
+    threads: usize,
+}
+
+impl OffTargetSearch {
+    /// Starts a search over `genome` with defaults: no guides yet, k = 3,
+    /// the bit-parallel CPU platform, single-threaded.
+    pub fn new(genome: Genome) -> OffTargetSearch {
+        OffTargetSearch {
+            genome,
+            guides: Vec::new(),
+            k: 3,
+            platform: Platform::CpuBitParallel,
+            threads: 1,
+        }
+    }
+
+    /// Adds one guide.
+    pub fn guide(mut self, guide: Guide) -> OffTargetSearch {
+        self.guides.push(guide);
+        self
+    }
+
+    /// Adds many guides.
+    pub fn guides(mut self, guides: impl IntoIterator<Item = Guide>) -> OffTargetSearch {
+        self.guides.extend(guides);
+        self
+    }
+
+    /// Sets the mismatch budget.
+    pub fn max_mismatches(mut self, k: usize) -> OffTargetSearch {
+        self.k = k;
+        self
+    }
+
+    /// Selects the execution platform.
+    pub fn platform(mut self, platform: Platform) -> OffTargetSearch {
+        self.platform = platform;
+        self
+    }
+
+    /// Runs CPU platforms on `threads` worker threads (ignored by the
+    /// modeled accelerators, whose parallelism is part of the model).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn threads(mut self, threads: usize) -> OffTargetSearch {
+        assert!(threads > 0, "need at least one thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Executes the search.
+    ///
+    /// # Errors
+    ///
+    /// Guide-validation, compilation, or platform-capacity errors from the
+    /// selected backend.
+    pub fn run(&self) -> Result<SearchReport, EngineError> {
+        let (hits, timing) = match self.platform {
+            Platform::CpuScalar => self.run_cpu(ScalarEngine::new())?,
+            Platform::CpuCasOffinder => self.run_cpu(CasOffinderCpuEngine::new())?,
+            Platform::CpuCasot => self.run_cpu(CasotEngine::new())?,
+            Platform::CpuBitParallel => self.run_cpu(BitParallelEngine::new())?,
+            Platform::CpuNfa => self.run_cpu(NfaEngine::new())?,
+            Platform::CpuDfa => self.run_cpu(DfaEngine::new())?,
+            Platform::Ap => {
+                let report = crispr_ap::ApSearch::new().run(&self.genome, &self.guides, self.k)?;
+                (report.hits, report.timing)
+            }
+            Platform::Fpga => {
+                let report =
+                    crispr_fpga::FpgaSearch::new().run(&self.genome, &self.guides, self.k)?;
+                (report.hits, report.timing)
+            }
+            Platform::GpuInfant2 => {
+                let report =
+                    crispr_gpu::Infant2Search::new().run(&self.genome, &self.guides, self.k)?;
+                (report.hits, report.timing)
+            }
+            Platform::GpuCasOffinder => {
+                let report = crispr_gpu::CasOffinderGpuSearch::new()
+                    .run(&self.genome, &self.guides, self.k)?;
+                (report.hits, report.timing)
+            }
+        };
+        Ok(SearchReport::new(
+            self.platform,
+            hits,
+            timing,
+            self.genome.total_len(),
+            self.guides.len(),
+            self.k,
+        ))
+    }
+
+    fn run_cpu<E: Engine + Sync>(
+        &self,
+        engine: E,
+    ) -> Result<(Vec<Hit>, TimingBreakdown), EngineError> {
+        let start = Instant::now();
+        let hits = if self.threads > 1 {
+            ParallelEngine::new(engine, self.threads).search(&self.genome, &self.guides, self.k)?
+        } else {
+            engine.search(&self.genome, &self.guides, self.k)?
+        };
+        Ok((hits, TimingBreakdown::from_kernel(start.elapsed())))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crispr_genome::synth::SynthSpec;
+    use crispr_guides::genset::{self, PlantPlan};
+    use crispr_guides::Pam;
+
+    fn workload() -> (Genome, Vec<Guide>, Vec<Hit>) {
+        let genome = SynthSpec::new(20_000).seed(61).generate();
+        let guides = genset::random_guides(2, 20, &Pam::ngg(), 62);
+        let (genome, hits) =
+            genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(2, 2), 63);
+        (genome, guides, hits)
+    }
+
+    #[test]
+    fn every_platform_agrees() {
+        let (genome, guides, planted) = workload();
+        let mut reference: Option<Vec<Hit>> = None;
+        for platform in Platform::ALL {
+            let report = OffTargetSearch::new(genome.clone())
+                .guides(guides.clone())
+                .max_mismatches(2)
+                .platform(platform)
+                .run()
+                .unwrap_or_else(|e| panic!("{platform}: {e}"));
+            match &reference {
+                None => reference = Some(report.hits().to_vec()),
+                Some(r) => assert_eq!(report.hits(), &r[..], "{platform}"),
+            }
+        }
+        let reference = reference.unwrap();
+        for hit in &planted {
+            assert!(reference.contains(hit), "planted {hit} missing");
+        }
+    }
+
+    #[test]
+    fn threads_do_not_change_results() {
+        let (genome, guides, _) = workload();
+        let single = OffTargetSearch::new(genome.clone())
+            .guides(guides.clone())
+            .max_mismatches(2)
+            .run()
+            .unwrap();
+        let multi = OffTargetSearch::new(genome)
+            .guides(guides)
+            .max_mismatches(2)
+            .threads(4)
+            .run()
+            .unwrap();
+        assert_eq!(single.hits(), multi.hits());
+    }
+
+    #[test]
+    fn modeled_platforms_report_nonzero_buckets() {
+        let (genome, guides, _) = workload();
+        let report = OffTargetSearch::new(genome)
+            .guides(guides)
+            .max_mismatches(2)
+            .platform(Platform::Ap)
+            .run()
+            .unwrap();
+        let t = report.timing();
+        assert!(t.kernel_s > 0.0 && t.transfer_s > 0.0 && t.config_s > 0.0);
+        assert!(report.kernel_throughput_mbps() > 0.0);
+    }
+}

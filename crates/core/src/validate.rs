@@ -1,0 +1,128 @@
+//! Cross-platform equivalence validation (experiment E9).
+//!
+//! The automata formulation is only useful if every lowering of it — grid
+//! NFA, registers, DFA, each accelerator model — reports the same sites.
+//! [`cross_validate`] runs a workload on a platform list and diffs every
+//! result against the first, returning per-platform discrepancy lists
+//! rather than a bare boolean so failures are actionable.
+
+use crate::{OffTargetSearch, Platform};
+use crispr_engines::EngineError;
+use crispr_genome::Genome;
+use crispr_guides::{diff, Guide, Hit};
+
+/// One platform's agreement (or not) with the reference platform.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformAgreement {
+    /// The platform compared.
+    pub platform: Platform,
+    /// Hits this platform reported that the reference did not.
+    pub spurious: Vec<Hit>,
+    /// Hits the reference reported that this platform missed.
+    pub missing: Vec<Hit>,
+}
+
+impl PlatformAgreement {
+    /// Whether the platform agreed exactly.
+    pub fn agrees(&self) -> bool {
+        self.spurious.is_empty() && self.missing.is_empty()
+    }
+}
+
+/// Outcome of a cross-validation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ValidationReport {
+    /// The platform every other platform was compared against.
+    pub reference: Platform,
+    /// Hits of the reference platform.
+    pub reference_hits: Vec<Hit>,
+    /// Per-platform agreement, in input order (reference excluded).
+    pub agreements: Vec<PlatformAgreement>,
+}
+
+impl ValidationReport {
+    /// Whether every platform agreed exactly.
+    pub fn all_agree(&self) -> bool {
+        self.agreements.iter().all(PlatformAgreement::agrees)
+    }
+}
+
+/// Runs `platforms` (the first is the reference) on the workload and
+/// compares hit sets.
+///
+/// # Errors
+///
+/// Propagates the first platform error encountered.
+///
+/// # Panics
+///
+/// Panics if `platforms` is empty.
+pub fn cross_validate(
+    genome: &Genome,
+    guides: &[Guide],
+    k: usize,
+    platforms: &[Platform],
+) -> Result<ValidationReport, EngineError> {
+    assert!(!platforms.is_empty(), "need at least a reference platform");
+    let run = |platform: Platform| -> Result<Vec<Hit>, EngineError> {
+        Ok(OffTargetSearch::new(genome.clone())
+            .guides(guides.to_vec())
+            .max_mismatches(k)
+            .platform(platform)
+            .run()?
+            .into_hits())
+    };
+    let reference_hits = run(platforms[0])?;
+    let mut agreements = Vec::new();
+    for &platform in &platforms[1..] {
+        let hits = run(platform)?;
+        let (spurious, missing) = diff(&hits, &reference_hits);
+        agreements.push(PlatformAgreement { platform, spurious, missing });
+    }
+    Ok(ValidationReport { reference: platforms[0], reference_hits, agreements })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crispr_genome::synth::SynthSpec;
+    use crispr_guides::genset::{self, PlantPlan};
+    use crispr_guides::Pam;
+
+    #[test]
+    fn full_matrix_cross_validates() {
+        let genome = SynthSpec::new(15_000).seed(71).generate();
+        let guides = genset::random_guides(2, 20, &Pam::ngg(), 72);
+        let (genome, _) =
+            genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(2, 1), 73);
+        let report = cross_validate(&genome, &guides, 2, &Platform::ALL).unwrap();
+        assert!(report.all_agree(), "{:#?}", report.agreements);
+        assert_eq!(report.agreements.len(), Platform::ALL.len() - 1);
+    }
+
+    #[test]
+    fn disagreement_is_reported_not_hidden() {
+        // CasOT with a seed-mismatch limit returns a subset; emulate a
+        // "broken" platform by comparing filtered vs unfiltered directly.
+        use crispr_engines::{CasotEngine, Engine};
+        let genome = SynthSpec::new(20_000).seed(74).generate();
+        let guides = genset::random_guides(2, 20, &Pam::ngg(), 75);
+        let (genome, _) =
+            genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(3, 5), 76);
+        let full = CasotEngine::new().search(&genome, &guides, 3).unwrap();
+        let filtered = CasotEngine::new()
+            .with_seed_mismatch_limit(0)
+            .search(&genome, &guides, 3)
+            .unwrap();
+        let (spurious, missing) = diff(&filtered, &full);
+        assert!(spurious.is_empty());
+        assert!(!missing.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "reference platform")]
+    fn empty_platform_list_panics() {
+        let genome = SynthSpec::new(100).seed(1).generate();
+        let _ = cross_validate(&genome, &[], 1, &[]);
+    }
+}

@@ -1,0 +1,217 @@
+use crate::EngineError;
+use crispr_genome::{Genome, Strand};
+use crispr_guides::{normalize, Guide, Hit, SitePattern};
+
+/// A complete off-target search: genome × guides × mismatch budget →
+/// normalized hits.
+///
+/// Implementations must return *identical* hit sets for identical inputs:
+/// each hit is a `(contig, pos, guide, strand)` site whose spacer matches
+/// with `mismatches ≤ k` and whose PAM is valid, positions being
+/// forward-strand leftmost-base coordinates, sorted and deduplicated (see
+/// [`crispr_guides::normalize`]).
+pub trait Engine {
+    /// A short stable name for reports and benchmarks.
+    fn name(&self) -> &'static str;
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Implementation-specific; see each engine. All engines reject
+    /// invalid guide sets via [`crispr_guides::GuideError`].
+    fn search(&self, genome: &Genome, guides: &[Guide], k: usize)
+        -> Result<Vec<Hit>, EngineError>;
+}
+
+/// Validates a guide set the way the compilers do, returning the uniform
+/// site length.
+pub(crate) fn validate_guides(guides: &[Guide], k: usize) -> Result<usize, EngineError> {
+    if guides.is_empty() {
+        return Err(crispr_guides::GuideError::NoGuides.into());
+    }
+    if k > 30 {
+        return Err(crispr_guides::GuideError::BudgetTooLarge(k).into());
+    }
+    let site_len = guides[0].site_len();
+    for g in guides {
+        if g.site_len() != site_len {
+            return Err(crispr_guides::GuideError::MixedSiteLengths {
+                expected: site_len,
+                found: g.site_len(),
+            }
+            .into());
+        }
+    }
+    Ok(site_len)
+}
+
+/// Both-strand patterns for a guide set, tagged with guide indices.
+pub(crate) fn patterns(guides: &[Guide]) -> Vec<SitePattern> {
+    let mut out = Vec::with_capacity(guides.len() * 2);
+    for (i, g) in guides.iter().enumerate() {
+        for strand in Strand::BOTH {
+            out.push(SitePattern::from_guide(g, strand).with_guide_index(i as u32));
+        }
+    }
+    out
+}
+
+/// The ground-truth engine: scores every window of every contig against
+/// every pattern with [`SitePattern::score_window`]. O(genome × guides ×
+/// site length) — used as the oracle in tests and as the "no algorithmic
+/// idea at all" lower bound in ablations.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarEngine {
+    _private: (),
+}
+
+impl ScalarEngine {
+    /// Creates the engine.
+    pub fn new() -> ScalarEngine {
+        ScalarEngine::default()
+    }
+}
+
+impl Engine for ScalarEngine {
+    fn name(&self) -> &'static str {
+        "scalar-reference"
+    }
+
+    fn search(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+    ) -> Result<Vec<Hit>, EngineError> {
+        let site_len = validate_guides(guides, k)?;
+        let patterns = patterns(guides);
+        let mut hits = Vec::new();
+        for (ci, contig) in genome.contigs().iter().enumerate() {
+            if contig.len() < site_len {
+                continue;
+            }
+            let seq = contig.seq().as_slice();
+            for start in 0..=seq.len() - site_len {
+                let window = &seq[start..start + site_len];
+                for pattern in &patterns {
+                    if let Some(mm) = pattern.score_window(window) {
+                        if mm <= k {
+                            hits.push(Hit {
+                                contig: ci as u32,
+                                pos: start as u64,
+                                guide: pattern.guide_index(),
+                                strand: pattern.strand(),
+                                mismatches: mm as u8,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        normalize(&mut hits);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use crispr_genome::synth::SynthSpec;
+    use crispr_guides::genset::{self, PlantPlan};
+    use crispr_guides::Pam;
+
+    /// A small planted workload: (genome, guides, expected-subset hits).
+    pub fn planted_workload(seed: u64, k: usize) -> (Genome, Vec<Guide>, Vec<Hit>) {
+        let genome = SynthSpec::new(30_000).seed(seed).generate();
+        let guides = genset::random_guides(3, 20, &Pam::ngg(), seed + 1);
+        let (genome, hits) =
+            genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(k, 2), seed + 2);
+        (genome, guides, hits)
+    }
+
+    /// Asserts `engine` equals the scalar oracle on a planted workload and
+    /// covers all planted hits with mismatches ≤ k.
+    pub fn assert_engine_correct<E: Engine>(engine: &E, seed: u64, k: usize) {
+        let (genome, guides, planted) = planted_workload(seed, k);
+        let got = engine.search(&genome, &guides, k).unwrap();
+        let truth = ScalarEngine::new().search(&genome, &guides, k).unwrap();
+        let (only_got, only_truth) = crispr_guides::diff(&got, &truth);
+        assert!(
+            only_got.is_empty() && only_truth.is_empty(),
+            "{}: spurious {:?}, missing {:?}",
+            engine.name(),
+            &only_got[..only_got.len().min(5)],
+            &only_truth[..only_truth.len().min(5)]
+        );
+        for hit in planted.iter().filter(|h| (h.mismatches as usize) <= k) {
+            assert!(got.binary_search(hit).is_ok(), "{}: planted hit {hit} missing", engine.name());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crispr_genome::DnaSeq;
+    use crispr_guides::Pam;
+
+    fn tiny_genome(text: &str) -> Genome {
+        Genome::from_seq(text.parse::<DnaSeq>().unwrap())
+    }
+
+    #[test]
+    fn scalar_engine_finds_planted_exact_site() {
+        let guide =
+            Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
+        let genome = tiny_genome("TTTTGATTACAGATTACAGATTACTGGAAAA");
+        let hits = ScalarEngine::new().search(&genome, &[guide], 0).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].pos, 4);
+        assert_eq!(hits[0].strand, Strand::Forward);
+        assert_eq!(hits[0].mismatches, 0);
+    }
+
+    #[test]
+    fn scalar_engine_finds_reverse_site() {
+        let guide =
+            Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
+        let site: DnaSeq = "GATTACAGATTACAGATTACAGG".parse().unwrap();
+        let mut text: DnaSeq = "CCCC".parse().unwrap();
+        text.extend_from_seq(&site.revcomp());
+        text.extend_from_seq(&"AAAA".parse().unwrap());
+        let hits = ScalarEngine::new().search(&Genome::from_seq(text), &[guide], 0).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].pos, 4);
+        assert_eq!(hits[0].strand, Strand::Reverse);
+    }
+
+    #[test]
+    fn scalar_engine_respects_budget() {
+        let guide =
+            Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
+        // Two mismatches in the site.
+        let genome = tiny_genome("TTTTGATCACAGATTACAGATTGCTGGAAAA");
+        assert!(ScalarEngine::new().search(&genome, std::slice::from_ref(&guide), 1).unwrap().is_empty());
+        let hits = ScalarEngine::new().search(&genome, &[guide], 2).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].mismatches, 2);
+    }
+
+    #[test]
+    fn short_contigs_are_skipped() {
+        let guide =
+            Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
+        let genome = tiny_genome("ACGT");
+        assert!(ScalarEngine::new().search(&genome, &[guide], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn validation_is_enforced() {
+        let genome = tiny_genome("ACGTACGT");
+        assert!(matches!(
+            ScalarEngine::new().search(&genome, &[], 1),
+            Err(EngineError::Guide(crispr_guides::GuideError::NoGuides))
+        ));
+    }
+}

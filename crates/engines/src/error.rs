@@ -1,0 +1,60 @@
+use std::fmt;
+
+/// Error type for engine execution.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Guide validation or compilation failed.
+    Guide(crispr_guides::GuideError),
+    /// An automata transformation failed (e.g. DFA budget exceeded).
+    Automata(crispr_automata::AutomataError),
+    /// The engine's configuration cannot handle the request.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Guide(e) => write!(f, "guide error: {e}"),
+            EngineError::Automata(e) => write!(f, "automata error: {e}"),
+            EngineError::Unsupported(reason) => write!(f, "unsupported request: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Guide(e) => Some(e),
+            EngineError::Automata(e) => Some(e),
+            EngineError::Unsupported(_) => None,
+        }
+    }
+}
+
+impl From<crispr_guides::GuideError> for EngineError {
+    fn from(e: crispr_guides::GuideError) -> Self {
+        EngineError::Guide(e)
+    }
+}
+
+impl From<crispr_automata::AutomataError> for EngineError {
+    fn from(e: crispr_automata::AutomataError) -> Self {
+        EngineError::Automata(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = EngineError::from(crispr_guides::GuideError::NoGuides);
+        assert!(e.to_string().contains("guide error"));
+        assert!(e.source().is_some());
+        let u = EngineError::Unsupported("too big".into());
+        assert!(u.to_string().contains("too big"));
+        assert!(u.source().is_none());
+    }
+}

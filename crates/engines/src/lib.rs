@@ -1,0 +1,55 @@
+//! CPU off-target search engines: the automata-based approaches and the
+//! published-tool baselines, all functionally interchangeable behind
+//! [`Engine`].
+//!
+//! | Engine | Stands in for | Algorithm |
+//! |---|---|---|
+//! | [`ScalarEngine`] | ground truth | per-window IUPAC scoring (slowest, obviously correct) |
+//! | [`CasOffinderCpuEngine`] | Cas-OFFinder (CPU side) | PAM-first check + 2-bit packed spacer compare with early exit |
+//! | [`CasotEngine`] | CasOT | PAM-anchored scan with seed/total mismatch split |
+//! | [`BitParallelEngine`] | HyperScan (single thread) | multi-pattern bit-parallel Hamming shift-and, k+1 registers |
+//! | [`NfaEngine`] | direct automata execution (what iNFAnt2 runs) | frontier simulation of the compiled mismatch automata |
+//! | [`DfaEngine`] | HyperScan's DFA mode | subset-constructed DFA scan (fails loudly past its state budget) |
+//! | [`ParallelEngine`] | multi-threaded deployment | genome chunking with overlap around any inner engine |
+//! | [`PigeonholeEngine`] | index-based filtration tools | exact-seed q-gram filtration + verification |
+//! | [`IndelEngine`] / [`MyersMatcher`] | CasOT's indel mode | Myers bit-vector edit distance with PAM re-check |
+//!
+//! Every engine returns the same normalized [`crispr_guides::Hit`] set on the same
+//! inputs; the integration suite enforces this pairwise.
+//!
+//! ```
+//! use crispr_engines::{BitParallelEngine, Engine, ScalarEngine};
+//! use crispr_genome::synth::SynthSpec;
+//! use crispr_guides::genset;
+//!
+//! let genome = SynthSpec::new(20_000).seed(1).generate();
+//! let guides = genset::random_guides(2, 20, &crispr_guides::Pam::ngg(), 2);
+//! let fast = BitParallelEngine::new().search(&genome, &guides, 3)?;
+//! let truth = ScalarEngine::new().search(&genome, &guides, 3)?;
+//! assert_eq!(fast, truth);
+//! # Ok::<(), crispr_engines::EngineError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod bitparallel;
+mod casot;
+mod engine;
+mod error;
+mod myers;
+mod naive;
+mod nfa;
+mod offdfa;
+mod parallel;
+mod pigeonhole;
+
+pub use bitparallel::BitParallelEngine;
+pub use casot::CasotEngine;
+pub use engine::{Engine, ScalarEngine};
+pub use error::EngineError;
+pub use myers::{IndelEngine, MyersMatcher};
+pub use naive::CasOffinderCpuEngine;
+pub use nfa::{reports_to_hits, NfaEngine};
+pub use offdfa::DfaEngine;
+pub use parallel::ParallelEngine;
+pub use pigeonhole::PigeonholeEngine;

@@ -1,0 +1,305 @@
+//! Myers' bit-vector algorithm (1999) for semi-global edit distance — the
+//! CPU register lowering of the Levenshtein automaton, exactly as the
+//! bit-parallel shift-and is the lowering of the mismatch grid.
+//!
+//! For a pattern of length m ≤ 64, two words (`pv`, `mv`) encode the
+//! column-difference profile of the banded DP; each text symbol updates
+//! them in O(1) word operations and maintains the running distance of the
+//! pattern against the best suffix ending at the current position. This
+//! gives the indel-tolerant search its fast functional engine, validated
+//! against both the DP oracle and the Levenshtein automaton.
+
+use crispr_genome::{Base, DnaSeq, Genome, Strand};
+use crispr_guides::{normalize, Guide, Hit};
+
+/// A compiled Myers matcher for one concrete pattern (m ≤ 64).
+#[derive(Debug, Clone)]
+pub struct MyersMatcher {
+    eq: [u64; 4],
+    len: usize,
+    high: u64,
+}
+
+impl MyersMatcher {
+    /// Compiles `pattern`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty or longer than 64 bases.
+    pub fn new(pattern: &DnaSeq) -> MyersMatcher {
+        assert!(
+            !pattern.is_empty() && pattern.len() <= 64,
+            "pattern length must be within 1..=64"
+        );
+        let mut eq = [0u64; 4];
+        for (i, base) in pattern.iter().enumerate() {
+            eq[base.code() as usize] |= 1 << i;
+        }
+        MyersMatcher { eq, len: pattern.len(), high: 1 << (pattern.len() - 1) }
+    }
+
+    /// Pattern length.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the pattern is empty (never true; kept for API symmetry).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Streams `text`, invoking `on_end(end_pos, distance)` for every text
+    /// position whose best semi-global alignment distance is ≤ `k`
+    /// (`end_pos` is exclusive, matching
+    /// [`crispr_guides::leven::semiglobal_distances`]).
+    pub fn scan(&self, text: impl IntoIterator<Item = Base>, k: usize, mut on_end: impl FnMut(usize, usize)) {
+        let mut pv = u64::MAX;
+        let mut mv = 0u64;
+        let mut score = self.len;
+        for (i, base) in text.into_iter().enumerate() {
+            let eq = self.eq[base.code() as usize];
+            let xv = eq | mv;
+            let xh = (((eq & pv).wrapping_add(pv)) ^ pv) | eq;
+            let ph = mv | !(xh | pv);
+            let mh = pv & xh;
+            if ph & self.high != 0 {
+                score += 1;
+            } else if mh & self.high != 0 {
+                score -= 1;
+            }
+            // Search variant: the shifted-in horizontal delta is 0 (free
+            // text prefix), so no boundary bit is OR'd into `ph`.
+            let ph_shift = ph << 1;
+            pv = (mh << 1) | !(xv | ph_shift);
+            mv = ph_shift & xv;
+            if score <= k {
+                on_end(i + 1, score);
+            }
+        }
+    }
+
+    /// Collects `(end_pos, distance)` pairs with distance ≤ k.
+    pub fn matches(&self, text: &DnaSeq, k: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        self.scan(text.iter(), k, |pos, d| out.push((pos, d)));
+        out
+    }
+}
+
+/// Indel-tolerant off-target search: each guide's spacer is matched with
+/// ≤ k *edits* (Myers), and candidates are kept only when a valid PAM
+/// abuts the aligned end (3′-PAM logic; reverse strand handled by
+/// scanning the reverse-complemented pattern with a leading-PAM check).
+///
+/// Hits are **end-anchored**: `pos` is the forward-strand coordinate of
+/// the base just past the spacer alignment minus the nominal site length,
+/// the same convention as [`crispr_guides::leven::reports_to_hits`] —
+/// indel alignments have variable extent, so a nominal anchor is used.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IndelEngine {
+    _private: (),
+}
+
+impl IndelEngine {
+    /// Creates the engine.
+    pub fn new() -> IndelEngine {
+        IndelEngine::default()
+    }
+
+    /// Runs the indel search. Unlike the mismatch engines this is defined
+    /// for 3′-PAM guides only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a guide has a 5′ PAM or a spacer longer than 64 bases.
+    pub fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Vec<Hit> {
+        let mut hits = Vec::new();
+        for (gi, guide) in guides.iter().enumerate() {
+            assert_eq!(
+                guide.pam().side(),
+                crispr_guides::PamSide::Three,
+                "indel search supports 3'-PAM guides"
+            );
+            let site_len = guide.site_len();
+            let pam = guide.pam();
+            // Forward: spacer then PAM.
+            let fwd = MyersMatcher::new(guide.spacer());
+            // Reverse: the forward strand shows revcomp(PAM) then
+            // revcomp(spacer); match the revcomp'd spacer and check the
+            // complemented PAM *before* the alignment... which is
+            // end-anchored, so instead check after scanning: the PAM
+            // (complemented, reversed) sits immediately before the spacer
+            // alignment's *start* — unknown under indels. Anchor on the
+            // end instead: scan revcomp(spacer), then verify the
+            // complemented PAM in the window preceding the nominal start.
+            let rev_spacer = guide.spacer().revcomp();
+            let rev = MyersMatcher::new(&rev_spacer);
+
+            for (ci, contig) in genome.contigs().iter().enumerate() {
+                let seq = contig.seq();
+                fwd.scan(seq.iter(), k, |end, d| {
+                    // PAM must follow the alignment end.
+                    if end + pam.len() > seq.len() {
+                        return;
+                    }
+                    let ok = pam
+                        .codes()
+                        .iter()
+                        .enumerate()
+                        .all(|(i, c)| c.matches(seq[end + i]));
+                    if ok && end + pam.len() >= site_len {
+                        hits.push(Hit {
+                            contig: ci as u32,
+                            pos: (end + pam.len() - site_len) as u64,
+                            guide: gi as u32,
+                            strand: Strand::Forward,
+                            mismatches: d as u8,
+                        });
+                    }
+                });
+                rev.scan(seq.iter(), k, |end, d| {
+                    // Nominal start of the revcomp'd spacer alignment.
+                    let Some(start) = end.checked_sub(rev.len()) else { return };
+                    let Some(pam_start) = start.checked_sub(pam.len()) else { return };
+                    let ok = pam
+                        .codes()
+                        .iter()
+                        .rev()
+                        .enumerate()
+                        .all(|(i, c)| c.complement().matches(seq[pam_start + i]));
+                    if ok {
+                        hits.push(Hit {
+                            contig: ci as u32,
+                            pos: pam_start as u64,
+                            guide: gi as u32,
+                            strand: Strand::Reverse,
+                            mismatches: d as u8,
+                        });
+                    }
+                });
+            }
+        }
+        normalize(&mut hits);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crispr_guides::leven;
+    use crispr_guides::Pam;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn myers_agrees_with_dp_oracle() {
+        let pattern = seq("GATTACAGGATC");
+        let genome = crispr_genome::synth::SynthSpec::new(3_000).seed(401).generate();
+        let text = genome.contigs()[0].seq().clone();
+        let oracle = leven::semiglobal_distances(&pattern, &text);
+        for k in 0..=3usize {
+            let matcher = MyersMatcher::new(&pattern);
+            let got = matcher.matches(&text, k);
+            let expected: Vec<(usize, usize)> = oracle
+                .iter()
+                .enumerate()
+                .skip(1)
+                .filter(|(_, &d)| d <= k)
+                .map(|(e, &d)| (e, d))
+                .collect();
+            assert_eq!(got, expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn myers_agrees_with_levenshtein_automaton() {
+        use crispr_automata::sim;
+        let pattern = seq("ACGTGGCA");
+        let genome = crispr_genome::synth::SynthSpec::new(1_000).seed(402).generate();
+        let text = genome.contigs()[0].seq().clone();
+        let k = 2;
+        let automaton = leven::compile_levenshtein(&pattern, k, 0, Strand::Forward);
+        let symbols: Vec<u8> = text.iter().map(Base::code).collect();
+        let automaton_ends: Vec<(usize, u32)> = leven::min_reports(
+            sim::run(&automaton, &symbols).into_iter().map(|r| (r.pos, r.code)),
+        );
+        let matcher = MyersMatcher::new(&pattern);
+        let myers_ends: Vec<(usize, u32)> = matcher
+            .matches(&text, k)
+            .into_iter()
+            .map(|(e, d)| {
+                (e, crispr_guides::ReportCode::pack(0, Strand::Forward, d as u8).0)
+            })
+            .collect();
+        assert_eq!(myers_ends, automaton_ends);
+    }
+
+    #[test]
+    fn indel_engine_finds_bulged_site_with_valid_pam() {
+        let guide = Guide::new("g", seq("ACGTGGCATCAGATTAGGCC"), Pam::ngg()).unwrap();
+        // Forward site with one deletion in the spacer, followed by AGG.
+        let mut text = seq("TTTTTTTTTT");
+        text.extend_from_seq(&seq("ACGTGGCTCAGATTAGGCC")); // base 7 deleted
+        text.extend_from_seq(&seq("AGG"));
+        text.extend_from_seq(&seq("TTTTTTTTTT"));
+        let genome = Genome::from_seq(text);
+        let hits = IndelEngine::new().search(&genome, std::slice::from_ref(&guide), 1);
+        assert!(
+            hits.iter()
+                .any(|h| h.strand == Strand::Forward && h.mismatches == 1),
+            "{hits:?}"
+        );
+        // Without a PAM after the site, nothing fires.
+        let mut no_pam = seq("TTTTTTTTTT");
+        no_pam.extend_from_seq(&seq("ACGTGGCTCAGATTAGGCC"));
+        no_pam.extend_from_seq(&seq("TTT"));
+        let hits = IndelEngine::new().search(&Genome::from_seq(no_pam), &[guide], 1);
+        assert!(hits.iter().all(|h| h.strand != Strand::Forward), "{hits:?}");
+    }
+
+    #[test]
+    fn indel_engine_reverse_strand() {
+        let guide = Guide::new("g", seq("ACGTGGCATCAGATTAGGCC"), Pam::ngg()).unwrap();
+        // Construct the forward-strand image of a perfect reverse site.
+        let mut site = guide.spacer().clone();
+        site.extend_from_seq(&seq("TGG"));
+        let mut text = seq("CCCCCCCCCC");
+        text.extend_from_seq(&site.revcomp());
+        text.extend_from_seq(&seq("CCCCCCCCCC"));
+        let genome = Genome::from_seq(text);
+        let hits = IndelEngine::new().search(&genome, &[guide], 0);
+        assert!(
+            hits.iter()
+                .any(|h| h.strand == Strand::Reverse && h.mismatches == 0 && h.pos == 10),
+            "{hits:?}"
+        );
+    }
+
+    #[test]
+    fn zero_budget_matches_mismatch_engine_exact_hits() {
+        use crate::{Engine, ScalarEngine};
+        let genome = crispr_genome::synth::SynthSpec::new(30_000).seed(403).generate();
+        let guides = crispr_guides::genset::random_guides(2, 20, &Pam::ngg(), 404);
+        let (genome, _) = crispr_guides::genset::plant_offtargets(
+            genome,
+            &guides,
+            &crispr_guides::genset::PlantPlan::uniform(0, 5),
+            405,
+        );
+        let exact: Vec<Hit> = ScalarEngine::new()
+            .search(&genome, &guides, 0)
+            .unwrap();
+        let indel = IndelEngine::new().search(&genome, &guides, 0);
+        // At k=0 the two define the same sites.
+        assert_eq!(indel, exact);
+    }
+
+    #[test]
+    #[should_panic(expected = "within 1..=64")]
+    fn myers_rejects_long_patterns() {
+        let _ = MyersMatcher::new(&seq(&"A".repeat(65)));
+    }
+}

@@ -1,0 +1,166 @@
+//! Multi-threaded deployment of any engine by genome chunking.
+//!
+//! Each contig is split into near-equal chunks overlapping by
+//! `site_len − 1` bases so no window is lost at a boundary; chunks run on
+//! scoped threads ([`crossbeam::scope`]) through the inner engine, results
+//! are shifted back to contig coordinates and re-normalized (overlap
+//! regions produce duplicate hits by construction; normalization removes
+//! them). This is the standard way the paper's CPU tools scale to many
+//! cores, and the fixture for the chunking ablation.
+
+use crate::engine::{validate_guides, Engine};
+use crate::EngineError;
+use crispr_genome::{DnaSeq, Genome};
+use crispr_guides::{normalize, Guide, Hit};
+use parking_lot::Mutex;
+
+/// Parallel wrapper around an inner [`Engine`].
+#[derive(Debug)]
+pub struct ParallelEngine<E> {
+    inner: E,
+    threads: usize,
+}
+
+impl<E: Engine + Sync> ParallelEngine<E> {
+    /// Wraps `inner`, using `threads` worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(inner: E, threads: usize) -> ParallelEngine<E> {
+        assert!(threads > 0, "need at least one thread");
+        ParallelEngine { inner, threads }
+    }
+
+    /// The inner engine.
+    pub fn inner(&self) -> &E {
+        &self.inner
+    }
+
+    /// Splits `(contig index, sequence)` into overlapping chunk work
+    /// items: `(contig, chunk start, chunk genome)`.
+    fn chunks(&self, genome: &Genome, site_len: usize) -> Vec<(u32, u64, Genome)> {
+        let mut work = Vec::new();
+        for (ci, contig) in genome.contigs().iter().enumerate() {
+            if contig.len() < site_len {
+                continue;
+            }
+            let total = contig.len();
+            let chunk_count = self.threads.min(total / site_len.max(1)).max(1);
+            let base_len = total.div_ceil(chunk_count);
+            let mut start = 0usize;
+            while start < total {
+                let end = (start + base_len + site_len - 1).min(total);
+                let piece: DnaSeq = contig.seq().subseq(start..end);
+                work.push((ci as u32, start as u64, Genome::from_seq(piece)));
+                if end == total {
+                    break;
+                }
+                start += base_len;
+            }
+        }
+        work
+    }
+}
+
+impl<E: Engine + Sync> Engine for ParallelEngine<E> {
+    fn name(&self) -> &'static str {
+        "parallel"
+    }
+
+    fn search(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+    ) -> Result<Vec<Hit>, EngineError> {
+        let site_len = validate_guides(guides, k)?;
+        let work = self.chunks(genome, site_len);
+        let queue = Mutex::new(work.into_iter());
+        let results: Mutex<Vec<Hit>> = Mutex::new(Vec::new());
+        let error: Mutex<Option<EngineError>> = Mutex::new(None);
+
+        crossbeam::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|_| loop {
+                    let item = queue.lock().next();
+                    let Some((contig, offset, chunk)) = item else { break };
+                    match self.inner.search(&chunk, guides, k) {
+                        Ok(hits) => {
+                            let mut shifted: Vec<Hit> = hits
+                                .into_iter()
+                                .map(|mut h| {
+                                    h.contig = contig;
+                                    h.pos += offset;
+                                    h
+                                })
+                                .collect();
+                            results.lock().append(&mut shifted);
+                        }
+                        Err(e) => {
+                            let mut slot = error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                        }
+                    }
+                });
+            }
+        })
+        .expect("worker threads do not panic");
+
+        if let Some(e) = error.into_inner() {
+            return Err(e);
+        }
+        let mut hits = results.into_inner();
+        normalize(&mut hits);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_support::planted_workload;
+    use crate::{BitParallelEngine, CasOffinderCpuEngine, ScalarEngine};
+
+    #[test]
+    fn parallel_equals_serial_bitparallel() {
+        let (genome, guides, _) = planted_workload(71, 3);
+        let serial = BitParallelEngine::new().search(&genome, &guides, 3).unwrap();
+        for threads in [1, 2, 4, 7] {
+            let par = ParallelEngine::new(BitParallelEngine::new(), threads)
+                .search(&genome, &guides, 3)
+                .unwrap();
+            assert_eq!(par, serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_serial_brute_force() {
+        let (genome, guides, _) = planted_workload(72, 2);
+        let serial = CasOffinderCpuEngine::new().search(&genome, &guides, 2).unwrap();
+        let par = ParallelEngine::new(CasOffinderCpuEngine::new(), 3)
+            .search(&genome, &guides, 2)
+            .unwrap();
+        assert_eq!(par, serial);
+    }
+
+    #[test]
+    fn chunk_boundaries_do_not_lose_hits() {
+        // A genome barely larger than one site, forcing overlap handling.
+        let (genome, guides, _) = planted_workload(73, 1);
+        let truth = ScalarEngine::new().search(&genome, &guides, 1).unwrap();
+        let par = ParallelEngine::new(ScalarEngine::new(), 16)
+            .search(&genome, &guides, 1)
+            .unwrap();
+        assert_eq!(par, truth);
+    }
+
+    #[test]
+    fn inner_errors_propagate() {
+        let genome = crispr_genome::Genome::from_seq("ACGT".parse().unwrap());
+        let engine = ParallelEngine::new(ScalarEngine::new(), 2);
+        assert!(engine.search(&genome, &[], 1).is_err());
+    }
+}

@@ -1,0 +1,194 @@
+//! Pigeonhole filtration engine — the modern index-based CPU baseline
+//! class (exact-seed filtration, as in BWA-style and razers-style tools).
+//!
+//! By the pigeonhole principle, a site with ≤ k mismatches against a
+//! spacer split into k+1 segments must match at least one segment
+//! *exactly*. The engine builds one hash index of genome q-grams per
+//! distinct segment length, looks up every pattern segment, and verifies
+//! each candidate site with the scalar scorer. Results are identical to
+//! every other engine; cost shifts from scanning to indexing — fast for
+//! few guides at small k, degrading as k grows (shorter, less selective
+//! segments), the classic filtration trade-off charted in ablation A2/A1
+//! territory.
+
+use crate::engine::{patterns, validate_guides, Engine};
+use crate::EngineError;
+use crispr_genome::{Base, Genome};
+use crispr_guides::{normalize, Guide, Hit};
+use std::collections::HashMap;
+
+/// Exact-seed pigeonhole filtration engine; see the module docs.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PigeonholeEngine {
+    _private: (),
+}
+
+impl PigeonholeEngine {
+    /// Creates the engine.
+    pub fn new() -> PigeonholeEngine {
+        PigeonholeEngine::default()
+    }
+}
+
+/// 2-bit packs up to 32 bases starting at `start`.
+fn pack_qgram(seq: &[Base], start: usize, len: usize) -> u64 {
+    debug_assert!(len <= 32);
+    let mut value = 0u64;
+    for (i, base) in seq[start..start + len].iter().enumerate() {
+        value |= (base.code() as u64) << (2 * i);
+    }
+    value
+}
+
+impl Engine for PigeonholeEngine {
+    fn name(&self) -> &'static str {
+        "pigeonhole-filtration"
+    }
+
+    fn search(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+    ) -> Result<Vec<Hit>, EngineError> {
+        let site_len = validate_guides(guides, k)?;
+        let patterns = patterns(guides);
+
+        // Segment the counted positions of each pattern into k+1 exact
+        // seeds. Counted runs are contiguous for real guides.
+        struct Seed {
+            pattern_idx: usize,
+            /// Offset of the seed within the site.
+            offset: usize,
+            qgram: u64,
+            len: usize,
+        }
+        let mut seeds: Vec<Seed> = Vec::new();
+        let mut seg_lengths: Vec<usize> = Vec::new();
+        for (pi, pattern) in patterns.iter().enumerate() {
+            let counted: Vec<(usize, Base)> = pattern
+                .positions()
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.counted)
+                .map(|(i, p)| (i, p.class.bases().next().expect("spacer bases are concrete")))
+                .collect();
+            let n = counted.len();
+            let segments = k + 1;
+            if n < segments {
+                return Err(EngineError::Unsupported(format!(
+                    "budget {k} needs {segments} seeds but the spacer has only {n} bases"
+                )));
+            }
+            for s in 0..segments {
+                let lo = s * n / segments;
+                let hi = (s + 1) * n / segments;
+                let len = hi - lo;
+                let offset = counted[lo].0;
+                let mut qgram = 0u64;
+                for (i, &(_, base)) in counted[lo..hi].iter().enumerate() {
+                    qgram |= (base.code() as u64) << (2 * i);
+                }
+                seeds.push(Seed { pattern_idx: pi, offset, qgram, len });
+                if !seg_lengths.contains(&len) {
+                    seg_lengths.push(len);
+                }
+            }
+        }
+
+        // One q-gram index per distinct segment length, per contig.
+        let mut hits = Vec::new();
+        let mut candidates: Vec<(usize, usize)> = Vec::new(); // (pattern, site start)
+        for (ci, contig) in genome.contigs().iter().enumerate() {
+            if contig.len() < site_len {
+                continue;
+            }
+            let seq = contig.seq().as_slice();
+            candidates.clear();
+            for &len in &seg_lengths {
+                let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
+                for start in 0..=seq.len() - len {
+                    index.entry(pack_qgram(seq, start, len)).or_default().push(start as u32);
+                }
+                for seed in seeds.iter().filter(|s| s.len == len) {
+                    if let Some(positions) = index.get(&seed.qgram) {
+                        for &qpos in positions {
+                            let qpos = qpos as usize;
+                            if qpos >= seed.offset {
+                                let site_start = qpos - seed.offset;
+                                if site_start + site_len <= seq.len() {
+                                    candidates.push((seed.pattern_idx, site_start));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            for &(pi, start) in &candidates {
+                let pattern = &patterns[pi];
+                let window = &seq[start..start + site_len];
+                if let Some(mm) = pattern.score_window(window) {
+                    if mm <= k {
+                        hits.push(Hit {
+                            contig: ci as u32,
+                            pos: start as u64,
+                            guide: pattern.guide_index(),
+                            strand: pattern.strand(),
+                            mismatches: mm as u8,
+                        });
+                    }
+                }
+            }
+        }
+        normalize(&mut hits);
+        Ok(hits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::test_support::assert_engine_correct;
+
+    #[test]
+    fn matches_oracle_k0() {
+        assert_engine_correct(&PigeonholeEngine::new(), 81, 0);
+    }
+
+    #[test]
+    fn matches_oracle_k2() {
+        assert_engine_correct(&PigeonholeEngine::new(), 82, 2);
+    }
+
+    #[test]
+    fn matches_oracle_k4() {
+        assert_engine_correct(&PigeonholeEngine::new(), 83, 4);
+    }
+
+    #[test]
+    fn budget_exceeding_spacer_segments_is_rejected() {
+        let genome = crispr_genome::Genome::from_seq(
+            "ACGTACGTACGTACGTACGTACGTACGT".parse().unwrap(),
+        );
+        let guide = Guide::new(
+            "g",
+            "ACGT".parse().unwrap(),
+            crispr_guides::Pam::ngg(),
+        )
+        .unwrap();
+        // k=5 would need 6 seeds from a 4-base spacer.
+        assert!(matches!(
+            PigeonholeEngine::new().search(&genome, &[guide], 5),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn qgram_packing_is_positional() {
+        let seq: Vec<Base> = "ACGT".parse::<crispr_genome::DnaSeq>().unwrap().into_bases();
+        assert_eq!(pack_qgram(&seq, 0, 4), 0b11_10_01_00);
+        assert_eq!(pack_qgram(&seq, 1, 2), 0b10_01);
+    }
+}

@@ -1,0 +1,27 @@
+//! FPGA spatial-automata simulator: resource model, frequency model, and
+//! stream-replicated throughput (the platform the paper's headline 83×/600×
+//! speedups come from).
+//!
+//! HDL automata (REAPR-style) map each homogeneous state to one flip-flop
+//! plus LUTs for its symbol decode and predecessor-OR. The whole matcher
+//! advances one input symbol per clock, so a single instance processes
+//! `Fmax` bytes/s; spare logic is spent *replicating* the matcher into
+//! independent streams that each scan a shard of the genome. Throughput
+//! therefore scales with device size until either logic or PCIe bandwidth
+//! runs out — both limits are modeled, and the achievable clock degrades
+//! with device fill as real place-and-route does.
+//!
+//! * [`FpgaSpec`] — device parameters (defaults: Kintex UltraScale-class).
+//! * [`DesignEstimate`] / [`estimate_design`] — LUT/FF/BRAM and Fmax for a
+//!   compiled pattern set (the paper's FPGA resource table, E6).
+//! * [`FpgaSearch`] — functional run + [`crispr_model::TimingBreakdown`].
+
+#![warn(missing_docs)]
+
+mod machine;
+mod resource;
+mod spec;
+
+pub use machine::{FpgaRunReport, FpgaSearch};
+pub use resource::{estimate_design, estimate_design_replicated, instance_resources, plan_partitions, DesignEstimate};
+pub use spec::FpgaSpec;

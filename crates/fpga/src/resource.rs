@@ -1,0 +1,236 @@
+//! LUT/FF/BRAM estimation, replication and partition planning for an
+//! automata overlay.
+//!
+//! The paper's FPGA design is a **single-stream** overlay: one matcher
+//! instance advancing one symbol per clock (REAPR-style), so throughput =
+//! Fmax bytes/s. Stream *replication* — spending leftover logic on extra
+//! matcher copies over genome shards — is one of the §7 "methods to
+//! further improve performance on spatial architectures" and is therefore
+//! opt-in here ([`estimate_design_replicated`], experiment E11). Pattern
+//! sets too large for the device are split into sequential passes
+//! ([`plan_partitions`]).
+
+use crate::FpgaSpec;
+use crispr_automata::stats::AutomatonStats;
+use crispr_automata::Automaton;
+use serde::{Deserialize, Serialize};
+
+/// Resource and performance estimate for one matcher design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DesignEstimate {
+    /// LUTs of a single matcher instance.
+    pub luts_per_instance: usize,
+    /// Flip-flops of a single matcher instance.
+    pub ffs_per_instance: usize,
+    /// Block RAMs of a single matcher instance (report FIFO).
+    pub brams_per_instance: usize,
+    /// Instances on the device (1 unless replication was requested).
+    pub instances: usize,
+    /// Resulting LUT utilization (0..1).
+    pub utilization: f64,
+    /// Achievable clock at that utilization, Hz.
+    pub clock_hz: f64,
+    /// Aggregate matcher throughput, bytes/second, after the PCIe cap.
+    pub throughput_bps: f64,
+    /// Whether PCIe (rather than logic) limits the replication benefit.
+    pub pcie_bound: bool,
+}
+
+/// One matcher instance's resources from automaton structure.
+///
+/// Cost model (documented approximation of DNA automata overlays): the
+/// 2-bit symbol decode is shared design-wide (a fixed 64 LUTs); each
+/// state then needs one 6-LUT for `enable = (OR of ≤4 predecessors/start)
+/// AND symbol_line` — mismatch-grid states have fan-in ≤ 2 — plus
+/// `ceil((fan_in − 4)/5)` extra LUTs for rare wide-OR states; one FF per
+/// state; one BRAM report FIFO per 64 reporting states (min 2).
+pub fn instance_resources(stats: &AutomatonStats) -> (usize, usize, usize) {
+    let mut luts = 64 + stats.states;
+    if stats.max_in_degree > 4 {
+        // Conservative: charge every state as if at the max fan-in.
+        luts += stats.states * (stats.max_in_degree - 4).div_ceil(5);
+    }
+    let ffs = stats.states;
+    let brams = (stats.reports.div_ceil(64)).max(2);
+    (luts, ffs, brams)
+}
+
+fn single_instance(stats: &AutomatonStats, spec: &FpgaSpec) -> DesignEstimate {
+    let (luts, ffs, brams) = instance_resources(stats);
+    let lut_budget = (spec.luts as f64 * spec.max_utilization) as usize;
+    assert!(
+        luts <= lut_budget && ffs <= spec.ffs && brams <= spec.brams,
+        "one matcher instance ({luts} LUTs) exceeds the device; partition the pattern set"
+    );
+    let utilization = luts as f64 / spec.luts as f64;
+    let clock = spec.clock_at(utilization);
+    DesignEstimate {
+        luts_per_instance: luts,
+        ffs_per_instance: ffs,
+        brams_per_instance: brams,
+        instances: 1,
+        utilization,
+        clock_hz: clock,
+        throughput_bps: clock.min(spec.pcie_bandwidth),
+        pcie_bound: clock > spec.pcie_bandwidth,
+    }
+}
+
+/// The paper's single-stream design estimate for `automaton` on `spec`.
+///
+/// # Panics
+///
+/// Panics if one instance does not fit the device (use
+/// [`plan_partitions`] to split the pattern set first).
+pub fn estimate_design(automaton: &Automaton, spec: &FpgaSpec) -> DesignEstimate {
+    single_instance(&AutomatonStats::compute(automaton), spec)
+}
+
+/// §7 improvement: replicate the matcher into as many parallel streams as
+/// logic and PCIe allow, maximizing delivered throughput.
+///
+/// # Panics
+///
+/// Panics if one instance does not fit the device.
+pub fn estimate_design_replicated(automaton: &Automaton, spec: &FpgaSpec) -> DesignEstimate {
+    let stats = AutomatonStats::compute(automaton);
+    let base = single_instance(&stats, spec);
+    let luts = base.luts_per_instance;
+    let lut_budget = (spec.luts as f64 * spec.max_utilization) as usize;
+    let max_instances = (lut_budget / luts.max(1))
+        .min(spec.ffs / base.ffs_per_instance.max(1))
+        .min(spec.brams / base.brams_per_instance.max(1))
+        .max(1);
+
+    let mut best = base;
+    for n in 1..=max_instances {
+        let utilization = (n * luts) as f64 / spec.luts as f64;
+        let clock = spec.clock_at(utilization);
+        let raw = n as f64 * clock;
+        let capped = raw.min(spec.pcie_bandwidth);
+        if capped > best.throughput_bps {
+            best = DesignEstimate {
+                instances: n,
+                utilization,
+                clock_hz: clock,
+                throughput_bps: capped,
+                pcie_bound: raw > spec.pcie_bandwidth,
+                ..base
+            };
+        }
+    }
+    best
+}
+
+/// Splits a pattern set (given per-pattern state counts) into contiguous
+/// partitions whose single-instance designs each fit the device; the
+/// partitions are scanned as sequential passes. Returns the index ranges.
+///
+/// # Panics
+///
+/// Panics if one pattern alone exceeds the device.
+pub fn plan_partitions(per_pattern_states: &[usize], spec: &FpgaSpec) -> Vec<std::ops::Range<usize>> {
+    // Budget in states: invert the LUT model (64 shared + 1 LUT/state).
+    let lut_budget = (spec.luts as f64 * spec.max_utilization) as usize;
+    let state_budget = lut_budget.saturating_sub(64).min(spec.ffs);
+    let mut partitions = Vec::new();
+    let mut start = 0usize;
+    let mut used = 0usize;
+    for (i, &states) in per_pattern_states.iter().enumerate() {
+        assert!(states <= state_budget, "pattern of {states} states exceeds the device");
+        if used + states > state_budget {
+            partitions.push(start..i);
+            start = i;
+            used = 0;
+        }
+        used += states;
+    }
+    if start < per_pattern_states.len() || per_pattern_states.is_empty() {
+        partitions.push(start..per_pattern_states.len());
+    }
+    partitions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crispr_guides::{compile, CompileOptions};
+
+    fn automaton(guides_n: usize, k: usize) -> Automaton {
+        let guides =
+            crispr_guides::genset::random_guides(guides_n, 20, &crispr_guides::Pam::ngg(), 1);
+        compile::compile_guides(&guides, &CompileOptions::new(k)).unwrap().automaton
+    }
+
+    #[test]
+    fn single_stream_throughput_is_one_clock() {
+        let est = estimate_design(&automaton(10, 3), &FpgaSpec::default());
+        assert_eq!(est.instances, 1);
+        assert!((est.throughput_bps - est.clock_hz).abs() < 1.0);
+        assert!(est.clock_hz > 0.8 * FpgaSpec::default().base_clock_hz);
+    }
+
+    #[test]
+    fn replication_multiplies_throughput_for_small_designs() {
+        let spec = FpgaSpec::default();
+        let a = automaton(1, 1);
+        let single = estimate_design(&a, &spec);
+        let replicated = estimate_design_replicated(&a, &spec);
+        assert!(replicated.instances > 10);
+        assert!(replicated.throughput_bps > 5.0 * single.throughput_bps);
+        assert!(replicated.utilization <= spec.max_utilization + 1e-9);
+    }
+
+    #[test]
+    fn resources_grow_with_k_and_guides() {
+        let spec = FpgaSpec::default();
+        let small = estimate_design(&automaton(1, 1), &spec);
+        let bigger_k = estimate_design(&automaton(1, 4), &spec);
+        let more_guides = estimate_design(&automaton(10, 1), &spec);
+        assert!(bigger_k.luts_per_instance > small.luts_per_instance);
+        assert!(more_guides.luts_per_instance > 3 * small.luts_per_instance);
+        // Clock degrades as the design grows.
+        assert!(more_guides.clock_hz <= small.clock_hz);
+    }
+
+    #[test]
+    fn pcie_binds_with_slow_links() {
+        let spec = FpgaSpec { pcie_bandwidth: 0.2e9, ..FpgaSpec::default() };
+        let est = estimate_design_replicated(&automaton(1, 0), &spec);
+        assert!(est.pcie_bound);
+        assert!((est.throughput_bps - 0.2e9).abs() < 1e6);
+    }
+
+    #[test]
+    fn partitions_cover_everything_in_order() {
+        let spec = FpgaSpec::default();
+        let per_pattern = vec![100_000usize, 100_000, 100_000, 50_000];
+        let parts = plan_partitions(&per_pattern, &spec);
+        assert!(parts.len() >= 2);
+        let mut covered = Vec::new();
+        for p in &parts {
+            covered.extend(p.clone());
+        }
+        assert_eq!(covered, vec![0, 1, 2, 3]);
+        // Each partition fits.
+        let budget =
+            ((spec.luts as f64 * spec.max_utilization) as usize - 64).min(spec.ffs);
+        for p in &parts {
+            let sum: usize = per_pattern[p.clone()].iter().sum();
+            assert!(sum <= budget);
+        }
+    }
+
+    #[test]
+    fn small_sets_need_one_partition() {
+        let parts = plan_partitions(&[143, 143, 150], &FpgaSpec::default());
+        assert_eq!(parts, vec![0..3]);
+        assert_eq!(plan_partitions(&[], &FpgaSpec::default()), vec![0..0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the device")]
+    fn oversized_single_pattern_panics() {
+        let _ = plan_partitions(&[10_000_000], &FpgaSpec::default());
+    }
+}

@@ -1,0 +1,76 @@
+use serde::{Deserialize, Serialize};
+
+/// FPGA device and host-link parameters. Defaults approximate a Kintex
+/// UltraScale KU060 on PCIe gen3 ×8, the class of part used for published
+/// automata overlays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaSpec {
+    /// 6-input LUTs available.
+    pub luts: usize,
+    /// Flip-flops available.
+    pub ffs: usize,
+    /// 36Kb block RAMs available.
+    pub brams: usize,
+    /// Achievable clock of a small design, Hz.
+    pub base_clock_hz: f64,
+    /// Linear clock-degradation coefficient versus LUT utilization:
+    /// `f = base × (1 − slope × utilization)`.
+    pub clock_slope: f64,
+    /// Clock floor as a fraction of base (routing never degrades past
+    /// this in practice before the design simply fails to route).
+    pub clock_floor: f64,
+    /// Maximum LUT utilization place-and-route sustains.
+    pub max_utilization: f64,
+    /// Host link bandwidth, bytes/second (PCIe gen3 ×8 ≈ 7.8 GB/s).
+    pub pcie_bandwidth: f64,
+    /// Bitstream configuration time, seconds.
+    pub config_time_s: f64,
+    /// Host-side report post-processing rate, events/second.
+    pub host_reports_per_s: f64,
+}
+
+impl Default for FpgaSpec {
+    fn default() -> FpgaSpec {
+        FpgaSpec {
+            luts: 331_680,
+            ffs: 663_360,
+            brams: 1_080,
+            base_clock_hz: 300.0e6,
+            clock_slope: 0.45,
+            clock_floor: 0.4,
+            max_utilization: 0.85,
+            pcie_bandwidth: 7.8e9,
+            config_time_s: 0.2,
+            host_reports_per_s: 1.0e8,
+        }
+    }
+}
+
+impl FpgaSpec {
+    /// Achievable clock at a given LUT utilization (0..1).
+    pub fn clock_at(&self, utilization: f64) -> f64 {
+        let degraded = self.base_clock_hz * (1.0 - self.clock_slope * utilization.clamp(0.0, 1.0));
+        degraded.max(self.base_clock_hz * self.clock_floor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_degrades_monotonically() {
+        let spec = FpgaSpec::default();
+        assert_eq!(spec.clock_at(0.0), spec.base_clock_hz);
+        assert!(spec.clock_at(0.5) < spec.clock_at(0.1));
+        // The floor binds at full utilization (1 − 0.45 > 0.4 is false? 0.55 > 0.4,
+        // so the slope value, not the floor, applies here).
+        assert!((spec.clock_at(1.0) - spec.base_clock_hz * 0.55).abs() < 1.0);
+    }
+
+    #[test]
+    fn floor_binds_for_aggressive_slopes() {
+        let spec = FpgaSpec { clock_slope: 0.9, ..FpgaSpec::default() };
+        assert!((spec.clock_at(1.0) - spec.base_clock_hz * 0.4).abs() < 1.0);
+    }
+}

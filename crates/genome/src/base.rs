@@ -1,0 +1,299 @@
+use crate::GenomeError;
+use std::fmt;
+
+/// One of the four DNA nucleotides.
+///
+/// The discriminant is the canonical 2-bit encoding (`A=0, C=1, G=2, T=3`)
+/// used throughout the workspace: by [`crate::PackedSeq`], by the automata
+/// symbol classes, and by the bit-parallel engines. Complementation is the
+/// involution `b ^ 3` under this encoding, which [`Base::complement`]
+/// exploits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Base {
+    /// Adenine.
+    A = 0,
+    /// Cytosine.
+    C = 1,
+    /// Guanine.
+    G = 2,
+    /// Thymine.
+    T = 3,
+}
+
+impl Base {
+    /// All four bases in 2-bit-code order.
+    pub const ALL: [Base; 4] = [Base::A, Base::C, Base::G, Base::T];
+
+    /// Decodes a 2-bit code. Only the low two bits are inspected.
+    #[inline]
+    pub fn from_code(code: u8) -> Base {
+        match code & 0b11 {
+            0 => Base::A,
+            1 => Base::C,
+            2 => Base::G,
+            _ => Base::T,
+        }
+    }
+
+    /// The 2-bit code of this base.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+
+    /// Parses an ASCII byte (case-insensitive). Returns `None` for anything
+    /// that is not `ACGTacgt`.
+    #[inline]
+    pub fn from_ascii(byte: u8) -> Option<Base> {
+        match byte {
+            b'A' | b'a' => Some(Base::A),
+            b'C' | b'c' => Some(Base::C),
+            b'G' | b'g' => Some(Base::G),
+            b'T' | b't' => Some(Base::T),
+            _ => None,
+        }
+    }
+
+    /// The uppercase ASCII letter for this base.
+    #[inline]
+    pub fn to_ascii(self) -> u8 {
+        b"ACGT"[self as usize]
+    }
+
+    /// Watson–Crick complement (`A<->T`, `C<->G`).
+    #[inline]
+    pub fn complement(self) -> Base {
+        Base::from_code(self.code() ^ 0b11)
+    }
+}
+
+impl fmt::Display for Base {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+impl TryFrom<u8> for Base {
+    type Error = GenomeError;
+
+    fn try_from(byte: u8) -> Result<Base, GenomeError> {
+        Base::from_ascii(byte).ok_or(GenomeError::InvalidBase { byte, offset: 0 })
+    }
+}
+
+impl From<Base> for char {
+    fn from(b: Base) -> char {
+        b.to_ascii() as char
+    }
+}
+
+/// A 16-code IUPAC nucleotide ambiguity code, represented as a 4-bit mask
+/// over the bases (bit *i* set ⇔ [`Base::from_code`]`(i)` matches).
+///
+/// PAM motifs are written in this alphabet: `NGG` matches any base followed
+/// by two guanines, `NRG` additionally accepts `A`/`G` in the middle
+/// position, and SaCas9's `NNGRRT` uses `R` (purine) twice.
+///
+/// ```
+/// use crispr_genome::{Base, IupacCode};
+///
+/// let r = IupacCode::from_ascii(b'R').unwrap(); // purine: A or G
+/// assert!(r.matches(Base::A) && r.matches(Base::G));
+/// assert!(!r.matches(Base::C) && !r.matches(Base::T));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct IupacCode(u8);
+
+impl IupacCode {
+    /// Matches no base. Not a standard IUPAC letter; useful as a bottom
+    /// element when intersecting codes.
+    pub const NONE: IupacCode = IupacCode(0b0000);
+    /// `N`: matches every base.
+    pub const N: IupacCode = IupacCode(0b1111);
+
+    /// Builds a code from a 4-bit base mask. Bits above the low nibble are
+    /// discarded.
+    #[inline]
+    pub fn from_mask(mask: u8) -> IupacCode {
+        IupacCode(mask & 0b1111)
+    }
+
+    /// The 4-bit base mask.
+    #[inline]
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+
+    /// A code matching exactly one base.
+    #[inline]
+    pub fn from_base(base: Base) -> IupacCode {
+        IupacCode(1 << base.code())
+    }
+
+    /// Parses an IUPAC letter (case-insensitive). Supports the full
+    /// 15-letter alphabet `ACGTRYSWKMBDHVN`.
+    pub fn from_ascii(byte: u8) -> Option<IupacCode> {
+        let mask = match byte.to_ascii_uppercase() {
+            b'A' => 0b0001,
+            b'C' => 0b0010,
+            b'G' => 0b0100,
+            b'T' | b'U' => 0b1000,
+            b'R' => 0b0101, // A|G (purine)
+            b'Y' => 0b1010, // C|T (pyrimidine)
+            b'S' => 0b0110, // C|G (strong)
+            b'W' => 0b1001, // A|T (weak)
+            b'K' => 0b1100, // G|T (keto)
+            b'M' => 0b0011, // A|C (amino)
+            b'B' => 0b1110, // not A
+            b'D' => 0b1101, // not C
+            b'H' => 0b1011, // not G
+            b'V' => 0b0111, // not T
+            b'N' => 0b1111,
+            _ => return None,
+        };
+        Some(IupacCode(mask))
+    }
+
+    /// The canonical uppercase IUPAC letter for this code, or `'-'` for the
+    /// empty code.
+    pub fn to_ascii(self) -> u8 {
+        const LETTERS: [u8; 16] = [
+            b'-', b'A', b'C', b'M', b'G', b'R', b'S', b'V', b'T', b'W', b'Y', b'H', b'K', b'D',
+            b'B', b'N',
+        ];
+        LETTERS[self.0 as usize]
+    }
+
+    /// Whether `base` is accepted by this code.
+    #[inline]
+    pub fn matches(self, base: Base) -> bool {
+        self.0 & (1 << base.code()) != 0
+    }
+
+    /// Number of concrete bases this code accepts (1 for `ACGT`, 4 for `N`).
+    #[inline]
+    pub fn degeneracy(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// Complement code: accepts exactly the complements of the bases this
+    /// code accepts (`R` ↔ `Y`, `N` ↔ `N`, …).
+    pub fn complement(self) -> IupacCode {
+        let mut mask = 0u8;
+        for base in Base::ALL {
+            if self.matches(base) {
+                mask |= 1 << base.complement().code();
+            }
+        }
+        IupacCode(mask)
+    }
+
+    /// Intersection of two codes (bases accepted by both).
+    #[inline]
+    pub fn intersect(self, other: IupacCode) -> IupacCode {
+        IupacCode(self.0 & other.0)
+    }
+
+    /// Union of two codes (bases accepted by either).
+    #[inline]
+    pub fn union(self, other: IupacCode) -> IupacCode {
+        IupacCode(self.0 | other.0)
+    }
+
+    /// Iterates the concrete bases accepted by this code, in 2-bit-code
+    /// order.
+    pub fn bases(self) -> impl Iterator<Item = Base> {
+        Base::ALL.into_iter().filter(move |b| self.matches(*b))
+    }
+}
+
+impl fmt::Display for IupacCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_ascii() as char)
+    }
+}
+
+impl From<Base> for IupacCode {
+    fn from(base: Base) -> IupacCode {
+        IupacCode::from_base(base)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn base_roundtrip_ascii() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_ascii(b.to_ascii()), Some(b));
+            assert_eq!(Base::from_ascii(b.to_ascii().to_ascii_lowercase()), Some(b));
+        }
+        assert_eq!(Base::from_ascii(b'N'), None);
+        assert_eq!(Base::from_ascii(b'x'), None);
+    }
+
+    #[test]
+    fn base_roundtrip_code() {
+        for b in Base::ALL {
+            assert_eq!(Base::from_code(b.code()), b);
+        }
+    }
+
+    #[test]
+    fn complement_is_involution() {
+        for b in Base::ALL {
+            assert_eq!(b.complement().complement(), b);
+        }
+        assert_eq!(Base::A.complement(), Base::T);
+        assert_eq!(Base::C.complement(), Base::G);
+    }
+
+    #[test]
+    fn iupac_full_alphabet_roundtrip() {
+        for letter in *b"ACGTRYSWKMBDHVN" {
+            let code = IupacCode::from_ascii(letter).unwrap();
+            assert_eq!(code.to_ascii(), letter, "letter {}", letter as char);
+        }
+        assert_eq!(IupacCode::from_ascii(b'u').unwrap(), IupacCode::from_ascii(b'T').unwrap());
+        assert_eq!(IupacCode::from_ascii(b'Z'), None);
+    }
+
+    #[test]
+    fn iupac_n_matches_everything() {
+        for b in Base::ALL {
+            assert!(IupacCode::N.matches(b));
+        }
+        assert_eq!(IupacCode::N.degeneracy(), 4);
+    }
+
+    #[test]
+    fn iupac_complement_pairs() {
+        let r = IupacCode::from_ascii(b'R').unwrap();
+        let y = IupacCode::from_ascii(b'Y').unwrap();
+        assert_eq!(r.complement(), y);
+        assert_eq!(y.complement(), r);
+        assert_eq!(IupacCode::N.complement(), IupacCode::N);
+        let s = IupacCode::from_ascii(b'S').unwrap();
+        assert_eq!(s.complement(), s); // C|G is self-complementary
+    }
+
+    #[test]
+    fn iupac_set_operations() {
+        let a = IupacCode::from_base(Base::A);
+        let g = IupacCode::from_base(Base::G);
+        let r = a.union(g);
+        assert_eq!(r, IupacCode::from_ascii(b'R').unwrap());
+        assert_eq!(r.intersect(a), a);
+        assert_eq!(a.intersect(g), IupacCode::NONE);
+        assert_eq!(IupacCode::NONE.degeneracy(), 0);
+    }
+
+    #[test]
+    fn iupac_bases_iterator() {
+        let h = IupacCode::from_ascii(b'H').unwrap(); // not G
+        let bases: Vec<Base> = h.bases().collect();
+        assert_eq!(bases, vec![Base::A, Base::C, Base::T]);
+    }
+}

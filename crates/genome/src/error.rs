@@ -1,0 +1,80 @@
+use std::fmt;
+
+/// Error type for sequence parsing and FASTA I/O.
+#[derive(Debug)]
+pub enum GenomeError {
+    /// A byte that is not a valid DNA base (or IUPAC code, where allowed)
+    /// was encountered. Carries the offending byte and its offset.
+    InvalidBase {
+        /// The offending byte.
+        byte: u8,
+        /// Byte offset where it was found.
+        offset: usize,
+    },
+    /// A FASTA record was structurally malformed (e.g. sequence data before
+    /// the first `>` header).
+    MalformedFasta {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// A contig name was not found in the genome.
+    UnknownContig(String),
+    /// An underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for GenomeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenomeError::InvalidBase { byte, offset } => {
+                write!(f, "invalid DNA base {:?} at offset {}", *byte as char, offset)
+            }
+            GenomeError::MalformedFasta { line, reason } => {
+                write!(f, "malformed FASTA at line {}: {}", line, reason)
+            }
+            GenomeError::UnknownContig(name) => write!(f, "unknown contig {:?}", name),
+            GenomeError::Io(e) => write!(f, "i/o error: {}", e),
+        }
+    }
+}
+
+impl std::error::Error for GenomeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenomeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GenomeError {
+    fn from(e: std::io::Error) -> Self {
+        GenomeError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_invalid_base() {
+        let e = GenomeError::InvalidBase { byte: b'X', offset: 7 };
+        assert_eq!(e.to_string(), "invalid DNA base 'X' at offset 7");
+    }
+
+    #[test]
+    fn display_unknown_contig() {
+        let e = GenomeError::UnknownContig("chrZ".into());
+        assert!(e.to_string().contains("chrZ"));
+    }
+
+    #[test]
+    fn io_error_sources() {
+        use std::error::Error;
+        let e = GenomeError::from(std::io::Error::other("boom"));
+        assert!(e.source().is_some());
+    }
+}

@@ -1,0 +1,159 @@
+//! Minimal FASTA reading and writing.
+//!
+//! Supports the subset of FASTA the off-target pipeline needs: `>`-prefixed
+//! headers (the first whitespace-delimited token is the contig name), and
+//! sequence lines over `ACGTacgt`. Ambiguous bases (`N` runs common in real
+//! assemblies) are *skipped* by [`read_genome_lossy`] — the same
+//! preprocessing Cas-OFFinder applies — or rejected by the strict
+//! [`read_genome`].
+
+use crate::{Base, DnaSeq, Genome, GenomeError};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Reads a genome from FASTA, rejecting any non-`ACGT` sequence byte.
+///
+/// # Errors
+///
+/// [`GenomeError::MalformedFasta`] if sequence data precedes the first
+/// header; [`GenomeError::InvalidBase`] on the first invalid byte;
+/// [`GenomeError::Io`] on read failure.
+pub fn read_genome<R: Read>(reader: R) -> Result<Genome, GenomeError> {
+    read_impl(reader, false)
+}
+
+/// Reads a genome from FASTA, silently dropping bytes that are not
+/// `ACGTacgt` (ambiguity codes, gaps). This mirrors how the published tools
+/// preprocess reference assemblies.
+///
+/// # Errors
+///
+/// [`GenomeError::MalformedFasta`] or [`GenomeError::Io`] as for
+/// [`read_genome`].
+pub fn read_genome_lossy<R: Read>(reader: R) -> Result<Genome, GenomeError> {
+    read_impl(reader, true)
+}
+
+fn read_impl<R: Read>(reader: R, lossy: bool) -> Result<Genome, GenomeError> {
+    let reader = BufReader::new(reader);
+    let mut genome = Genome::new();
+    let mut name: Option<String> = None;
+    let mut seq = DnaSeq::new();
+    let mut offset = 0usize;
+
+    for (line_no, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            if let Some(prev) = name.take() {
+                genome.add_contig(prev, std::mem::take(&mut seq));
+            }
+            let token = header.split_whitespace().next().unwrap_or("");
+            name = Some(token.to_string());
+        } else {
+            if name.is_none() {
+                return Err(GenomeError::MalformedFasta {
+                    line: line_no + 1,
+                    reason: "sequence data before first '>' header",
+                });
+            }
+            for byte in line.bytes() {
+                match Base::from_ascii(byte) {
+                    Some(b) => seq.push(b),
+                    None if lossy => {}
+                    None => return Err(GenomeError::InvalidBase { byte, offset }),
+                }
+                offset += 1;
+            }
+        }
+    }
+    if let Some(prev) = name {
+        genome.add_contig(prev, seq);
+    }
+    Ok(genome)
+}
+
+/// Writes a genome as FASTA with `width`-column sequence lines.
+///
+/// # Errors
+///
+/// Propagates any I/O failure from `writer`.
+pub fn write_genome<W: Write>(mut writer: W, genome: &Genome, width: usize) -> Result<(), GenomeError> {
+    let width = width.max(1);
+    for contig in genome.contigs() {
+        writeln!(writer, ">{}", contig.name())?;
+        let text = contig.seq().to_string();
+        for chunk in text.as_bytes().chunks(width) {
+            writer.write_all(chunk)?;
+            writer.write_all(b"\n")?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let mut genome = Genome::new();
+        genome.add_contig("chr1", "ACGTACGTACGT".parse().unwrap());
+        genome.add_contig("chr2", "GGGG".parse().unwrap());
+        let mut buf = Vec::new();
+        write_genome(&mut buf, &genome, 5).unwrap();
+        let parsed = read_genome(buf.as_slice()).unwrap();
+        assert_eq!(parsed, genome);
+    }
+
+    #[test]
+    fn header_takes_first_token() {
+        let fasta = b">chr1 description here\nACGT\n";
+        let genome = read_genome(fasta.as_slice()).unwrap();
+        assert_eq!(genome.contigs()[0].name(), "chr1");
+    }
+
+    #[test]
+    fn strict_rejects_n() {
+        let fasta = b">c\nACGNACGT\n";
+        assert!(matches!(
+            read_genome(fasta.as_slice()),
+            Err(GenomeError::InvalidBase { byte: b'N', .. })
+        ));
+    }
+
+    #[test]
+    fn lossy_skips_n() {
+        let fasta = b">c\nACGNNNACGT\n";
+        let genome = read_genome_lossy(fasta.as_slice()).unwrap();
+        assert_eq!(genome.contigs()[0].seq().to_string(), "ACGACGT");
+    }
+
+    #[test]
+    fn sequence_before_header_is_malformed() {
+        let fasta = b"ACGT\n>c\nACGT\n";
+        assert!(matches!(
+            read_genome(fasta.as_slice()),
+            Err(GenomeError::MalformedFasta { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn blank_lines_and_case_are_tolerated() {
+        let fasta = b">c\n\nacgt\nACGT\n\n";
+        let genome = read_genome(fasta.as_slice()).unwrap();
+        assert_eq!(genome.contigs()[0].seq().to_string(), "ACGTACGT");
+    }
+
+    #[test]
+    fn multiline_wrapping_respects_width() {
+        let mut genome = Genome::new();
+        genome.add_contig("c", "ACGTACGTAC".parse().unwrap());
+        let mut buf = Vec::new();
+        write_genome(&mut buf, &genome, 4).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text, ">c\nACGT\nACGT\nAC\n");
+    }
+}

@@ -1,0 +1,264 @@
+use crate::{DnaSeq, GenomeError, PackedSeq};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which strand of the double helix a site lies on.
+///
+/// Off-target search always scans both strands: a guide can bind the
+/// protospacer on either. Coordinates reported for [`Strand::Reverse`] sites
+/// refer to the *forward*-strand position of the site's leftmost base, the
+/// convention Cas-OFFinder uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Strand {
+    /// The forward (`+`, Watson) strand as stored.
+    Forward,
+    /// The reverse (`-`, Crick) strand; sequences are read reverse-
+    /// complemented.
+    Reverse,
+}
+
+impl Strand {
+    /// Both strands, forward first.
+    pub const BOTH: [Strand; 2] = [Strand::Forward, Strand::Reverse];
+
+    /// The opposite strand.
+    pub fn flip(self) -> Strand {
+        match self {
+            Strand::Forward => Strand::Reverse,
+            Strand::Reverse => Strand::Forward,
+        }
+    }
+
+    /// The conventional `+`/`-` symbol.
+    pub fn symbol(self) -> char {
+        match self {
+            Strand::Forward => '+',
+            Strand::Reverse => '-',
+        }
+    }
+}
+
+impl fmt::Display for Strand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.symbol())
+    }
+}
+
+/// A named contiguous sequence (chromosome, scaffold, or synthetic contig).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Contig {
+    name: String,
+    seq: DnaSeq,
+}
+
+impl Contig {
+    /// Creates a contig.
+    pub fn new(name: impl Into<String>, seq: DnaSeq) -> Contig {
+        Contig { name: name.into(), seq }
+    }
+
+    /// The contig name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The forward-strand sequence.
+    pub fn seq(&self) -> &DnaSeq {
+        &self.seq
+    }
+
+    /// Length in bases.
+    pub fn len(&self) -> usize {
+        self.seq.len()
+    }
+
+    /// Whether the contig holds no bases.
+    pub fn is_empty(&self) -> bool {
+        self.seq.is_empty()
+    }
+}
+
+/// A reference genome: an ordered collection of named contigs.
+///
+/// ```
+/// use crispr_genome::{Genome, DnaSeq};
+///
+/// let mut genome = Genome::new();
+/// genome.add_contig("chr1", "ACGTACGTAA".parse()?);
+/// assert_eq!(genome.total_len(), 10);
+/// assert_eq!(genome.contig("chr1").unwrap().len(), 10);
+/// # Ok::<(), crispr_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Genome {
+    contigs: Vec<Contig>,
+}
+
+impl Genome {
+    /// Creates an empty genome.
+    pub fn new() -> Genome {
+        Genome::default()
+    }
+
+    /// Creates a genome holding a single contig named `"contig0"`.
+    pub fn from_seq(seq: DnaSeq) -> Genome {
+        let mut g = Genome::new();
+        g.add_contig("contig0", seq);
+        g
+    }
+
+    /// Appends a contig.
+    pub fn add_contig(&mut self, name: impl Into<String>, seq: DnaSeq) {
+        self.contigs.push(Contig::new(name, seq));
+    }
+
+    /// The contigs in insertion order.
+    pub fn contigs(&self) -> &[Contig] {
+        &self.contigs
+    }
+
+    /// Looks up a contig by name.
+    pub fn contig(&self, name: &str) -> Option<&Contig> {
+        self.contigs.iter().find(|c| c.name == name)
+    }
+
+    /// Looks up a contig by name, failing with [`GenomeError::UnknownContig`].
+    pub fn contig_or_err(&self, name: &str) -> Result<&Contig, GenomeError> {
+        self.contig(name).ok_or_else(|| GenomeError::UnknownContig(name.to_string()))
+    }
+
+    /// Total bases across all contigs.
+    pub fn total_len(&self) -> usize {
+        self.contigs.iter().map(|c| c.len()).sum()
+    }
+
+    /// Number of contigs.
+    pub fn contig_count(&self) -> usize {
+        self.contigs.len()
+    }
+
+    /// Whether the genome has no contigs.
+    pub fn is_empty(&self) -> bool {
+        self.contigs.is_empty()
+    }
+
+    /// Iterates fixed-length windows of `len` bases over one contig and
+    /// strand. Reverse-strand windows are reported at their forward-strand
+    /// coordinates but contain reverse-complemented sequence.
+    pub fn windows(&self, contig_idx: usize, strand: Strand, len: usize) -> WindowIter<'_> {
+        WindowIter { contig: &self.contigs[contig_idx], strand, len, pos: 0 }
+    }
+
+    /// Packs every contig to the 2-bit representation, in contig order.
+    pub fn pack(&self) -> Vec<PackedSeq> {
+        self.contigs.iter().map(|c| PackedSeq::from_seq(c.seq())).collect()
+    }
+}
+
+impl FromIterator<Contig> for Genome {
+    fn from_iter<I: IntoIterator<Item = Contig>>(iter: I) -> Genome {
+        Genome { contigs: iter.into_iter().collect() }
+    }
+}
+
+/// Iterator over fixed-length windows of a contig; see [`Genome::windows`].
+#[derive(Debug)]
+pub struct WindowIter<'a> {
+    contig: &'a Contig,
+    strand: Strand,
+    len: usize,
+    pos: usize,
+}
+
+impl<'a> Iterator for WindowIter<'a> {
+    /// `(forward-strand start position, window sequence)`.
+    type Item = (usize, DnaSeq);
+
+    fn next(&mut self) -> Option<(usize, DnaSeq)> {
+        if self.len == 0 || self.pos + self.len > self.contig.len() {
+            return None;
+        }
+        let start = self.pos;
+        self.pos += 1;
+        let window = self.contig.seq().subseq(start..start + self.len);
+        let window = match self.strand {
+            Strand::Forward => window,
+            Strand::Reverse => window.revcomp(),
+        };
+        Some((start, window))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let remaining = (self.contig.len() + 1).saturating_sub(self.pos + self.len);
+        (remaining, Some(remaining))
+    }
+}
+
+impl ExactSizeIterator for WindowIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn genome(s: &str) -> Genome {
+        Genome::from_seq(s.parse().unwrap())
+    }
+
+    #[test]
+    fn strand_flip_and_symbol() {
+        assert_eq!(Strand::Forward.flip(), Strand::Reverse);
+        assert_eq!(Strand::Reverse.flip(), Strand::Forward);
+        assert_eq!(Strand::Forward.to_string(), "+");
+        assert_eq!(Strand::Reverse.to_string(), "-");
+    }
+
+    #[test]
+    fn contig_lookup() {
+        let mut g = Genome::new();
+        g.add_contig("chr1", "ACGT".parse().unwrap());
+        g.add_contig("chr2", "TTTT".parse().unwrap());
+        assert_eq!(g.contig_count(), 2);
+        assert_eq!(g.total_len(), 8);
+        assert_eq!(g.contig("chr2").unwrap().seq().to_string(), "TTTT");
+        assert!(g.contig("chrX").is_none());
+        assert!(matches!(g.contig_or_err("chrX"), Err(GenomeError::UnknownContig(_))));
+    }
+
+    #[test]
+    fn forward_windows() {
+        let g = genome("ACGTA");
+        let windows: Vec<_> = g.windows(0, Strand::Forward, 3).collect();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0], (0, "ACG".parse().unwrap()));
+        assert_eq!(windows[2], (2, "GTA".parse().unwrap()));
+    }
+
+    #[test]
+    fn reverse_windows_are_revcomp_at_forward_coords() {
+        let g = genome("ACGTA");
+        let windows: Vec<_> = g.windows(0, Strand::Reverse, 3).collect();
+        assert_eq!(windows[0], (0, "CGT".parse().unwrap())); // revcomp(ACG)
+    }
+
+    #[test]
+    fn window_iter_exact_size() {
+        let g = genome("ACGTACGT");
+        let iter = g.windows(0, Strand::Forward, 4);
+        assert_eq!(iter.len(), 5);
+        assert_eq!(iter.count(), 5);
+        // Window longer than the contig yields nothing.
+        assert_eq!(g.windows(0, Strand::Forward, 9).count(), 0);
+        // Zero-length windows yield nothing rather than looping forever.
+        assert_eq!(g.windows(0, Strand::Forward, 0).count(), 0);
+    }
+
+    #[test]
+    fn pack_matches_contigs() {
+        let mut g = Genome::new();
+        g.add_contig("a", "ACGT".parse().unwrap());
+        g.add_contig("b", "GGCC".parse().unwrap());
+        let packed = g.pack();
+        assert_eq!(packed.len(), 2);
+        assert_eq!(packed[1].unpack().to_string(), "GGCC");
+    }
+}

@@ -1,0 +1,149 @@
+//! Q-gram (k-mer) indexing over 2-bit-packed DNA — the substrate for
+//! filtration-style engines and repeat analysis.
+//!
+//! A [`QGramIndex`] maps every packed q-gram of a sequence to its sorted
+//! occurrence positions. Construction is one linear scan with a rolling
+//! 2-bit code; queries are hash lookups. Q is limited to 32 bases (64
+//! bits).
+
+use crate::{Base, DnaSeq};
+use std::collections::HashMap;
+
+/// Packs `q ≤ 32` bases into a little-endian 2-bit code (base `i` at bits
+/// `2i`), matching [`crate::PackedSeq`]'s layout.
+pub fn pack_qgram(bases: &[Base]) -> u64 {
+    assert!(bases.len() <= 32, "q-grams are limited to 32 bases");
+    let mut value = 0u64;
+    for (i, base) in bases.iter().enumerate() {
+        value |= (base.code() as u64) << (2 * i);
+    }
+    value
+}
+
+/// An index of all `q`-grams of one sequence.
+///
+/// ```
+/// use crispr_genome::kmer::QGramIndex;
+///
+/// let seq = "ACGTACGT".parse()?;
+/// let index = QGramIndex::build(&seq, 4);
+/// let hits = index.lookup_seq(&"ACGT".parse()?);
+/// assert_eq!(hits, &[0, 4]);
+/// # Ok::<(), crispr_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QGramIndex {
+    q: usize,
+    map: HashMap<u64, Vec<u32>>,
+}
+
+impl QGramIndex {
+    /// Builds the index over every window of `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is 0 or greater than 32.
+    pub fn build(seq: &DnaSeq, q: usize) -> QGramIndex {
+        assert!(q >= 1 && q <= 32, "q must be within 1..=32");
+        let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+        if seq.len() >= q {
+            let mask = if q == 32 { u64::MAX } else { (1u64 << (2 * q)) - 1 };
+            let mut rolling = 0u64;
+            for (i, base) in seq.iter().enumerate() {
+                // Rolling code: drop the oldest base, append the newest at
+                // the high end of the window.
+                rolling = (rolling >> 2) | ((base.code() as u64) << (2 * (q - 1)));
+                rolling &= mask;
+                if i + 1 >= q {
+                    map.entry(rolling).or_default().push((i + 1 - q) as u32);
+                }
+            }
+        }
+        QGramIndex { q, map }
+    }
+
+    /// The q this index was built with.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Number of distinct q-grams present.
+    pub fn distinct(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Occurrence positions of a packed q-gram (sorted ascending), empty
+    /// if absent.
+    pub fn lookup(&self, qgram: u64) -> &[u32] {
+        self.map.get(&qgram).map_or(&[], Vec::as_slice)
+    }
+
+    /// Occurrence positions of a q-gram given as a sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq.len() != q`.
+    pub fn lookup_seq(&self, seq: &DnaSeq) -> &[u32] {
+        assert_eq!(seq.len(), self.q, "query length must equal q");
+        self.lookup(pack_qgram(seq.as_slice()))
+    }
+
+    /// Count of the most frequent q-gram — a crude repeat-content signal.
+    pub fn max_multiplicity(&self) -> usize {
+        self.map.values().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn finds_all_occurrences() {
+        let index = QGramIndex::build(&seq("ACGTACGTAC"), 3);
+        assert_eq!(index.lookup_seq(&seq("ACG")), &[0, 4]);
+        assert_eq!(index.lookup_seq(&seq("TAC")), &[3, 7]);
+        assert_eq!(index.lookup_seq(&seq("GGG")), &[] as &[u32]);
+    }
+
+    #[test]
+    fn rolling_code_matches_direct_packing() {
+        let text = seq("GATTACAGATTACA");
+        let q = 5;
+        let index = QGramIndex::build(&text, q);
+        for start in 0..=text.len() - q {
+            let window = text.subseq(start..start + q);
+            let positions = index.lookup(pack_qgram(window.as_slice()));
+            assert!(positions.contains(&(start as u32)), "start {start}");
+        }
+    }
+
+    #[test]
+    fn q_boundaries() {
+        let text = seq(&"ACGT".repeat(20));
+        let idx32 = QGramIndex::build(&text, 32);
+        assert_eq!(idx32.lookup_seq(&text.subseq(0..32)).first(), Some(&0));
+        let idx1 = QGramIndex::build(&seq("AACA"), 1);
+        assert_eq!(idx1.lookup_seq(&seq("A")), &[0, 1, 3]);
+        // Sequence shorter than q → empty index.
+        assert_eq!(QGramIndex::build(&seq("AC"), 3).distinct(), 0);
+    }
+
+    #[test]
+    fn repeat_signal() {
+        let unique = QGramIndex::build(&seq("ACGTGCTA"), 4);
+        assert_eq!(unique.max_multiplicity(), 1);
+        let repeaty = QGramIndex::build(&seq(&"ACGT".repeat(10)), 4);
+        assert!(repeaty.max_multiplicity() >= 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32")]
+    fn q_zero_rejected() {
+        let _ = QGramIndex::build(&seq("ACGT"), 0);
+    }
+}

@@ -1,0 +1,238 @@
+use crate::{Base, DnaSeq};
+
+/// A 2-bit-packed DNA sequence (four bases per byte).
+///
+/// This is the representation Cas-OFFinder-class brute-force kernels scan:
+/// it quarters memory traffic relative to byte-per-base and allows whole
+/// 32-base blocks to be compared with one XOR. The packing order is
+/// little-endian within a byte: base *i* occupies bits `2*(i%4)` of byte
+/// `i/4`.
+///
+/// ```
+/// use crispr_genome::{DnaSeq, PackedSeq};
+///
+/// let seq: DnaSeq = "ACGTACGTACGT".parse()?;
+/// let packed = PackedSeq::from_seq(&seq);
+/// assert_eq!(packed.len(), 12);
+/// assert_eq!(packed.unpack(), seq);
+/// # Ok::<(), crispr_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct PackedSeq {
+    words: Vec<u64>,
+    len: usize,
+}
+
+/// Bases per 64-bit word.
+const BASES_PER_WORD: usize = 32;
+
+impl PackedSeq {
+    /// Creates an empty packed sequence.
+    pub fn new() -> PackedSeq {
+        PackedSeq::default()
+    }
+
+    /// Packs a [`DnaSeq`].
+    pub fn from_seq(seq: &DnaSeq) -> PackedSeq {
+        let mut packed = PackedSeq::with_capacity(seq.len());
+        for base in seq.iter() {
+            packed.push(base);
+        }
+        packed
+    }
+
+    /// Creates an empty packed sequence with room for `capacity` bases.
+    pub fn with_capacity(capacity: usize) -> PackedSeq {
+        PackedSeq {
+            words: Vec::with_capacity(capacity.div_ceil(BASES_PER_WORD)),
+            len: 0,
+        }
+    }
+
+    /// Number of bases stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no bases are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Appends a base.
+    pub fn push(&mut self, base: Base) {
+        let bit = (self.len % BASES_PER_WORD) * 2;
+        if bit == 0 {
+            self.words.push(0);
+        }
+        let word = self.words.last_mut().expect("word allocated above");
+        *word |= (base.code() as u64) << bit;
+        self.len += 1;
+    }
+
+    /// The base at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[inline]
+    pub fn base(&self, index: usize) -> Base {
+        assert!(index < self.len, "index {} out of bounds (len {})", index, self.len);
+        let word = self.words[index / BASES_PER_WORD];
+        Base::from_code((word >> ((index % BASES_PER_WORD) * 2)) as u8)
+    }
+
+    /// Unpacks back to a [`DnaSeq`].
+    pub fn unpack(&self) -> DnaSeq {
+        (0..self.len).map(|i| self.base(i)).collect()
+    }
+
+    /// Counts mismatches between `pattern` (a short packed sequence) and the
+    /// window of the same length starting at `offset` in `self`, stopping
+    /// early once the count exceeds `limit`.
+    ///
+    /// This is the inner loop of the Cas-OFFinder-class brute-force engine:
+    /// XOR the 2-bit lanes, OR the two bits of each lane together, popcount.
+    /// Early exit on `> limit` is what gives brute force its only
+    /// mismatch-budget sensitivity.
+    ///
+    /// Returns `None` if the count exceeds `limit` (the caller only cares
+    /// about budget-respecting sites), otherwise `Some(count)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + pattern.len() > self.len()`.
+    pub fn count_mismatches(&self, pattern: &PackedSeq, offset: usize, limit: usize) -> Option<usize> {
+        assert!(
+            offset + pattern.len() <= self.len,
+            "window [{}, {}) out of bounds (len {})",
+            offset,
+            offset + pattern.len(),
+            self.len
+        );
+        let mut mismatches = 0usize;
+        let mut remaining = pattern.len();
+        let mut pat_idx = 0usize;
+        while remaining > 0 {
+            let take = remaining.min(BASES_PER_WORD);
+            let window = self.extract_word(offset + pat_idx, take);
+            let pat = pattern.extract_word(pat_idx, take);
+            let diff = window ^ pat;
+            // Collapse each 2-bit lane to its low bit: lane != 0 ⇔ mismatch.
+            let lane_hit = (diff | (diff >> 1)) & 0x5555_5555_5555_5555;
+            mismatches += lane_hit.count_ones() as usize;
+            if mismatches > limit {
+                return None;
+            }
+            pat_idx += take;
+            remaining -= take;
+        }
+        Some(mismatches)
+    }
+
+    /// Extracts `count ≤ 32` bases starting at `index` as a right-aligned
+    /// 2-bit-per-base word; lanes beyond `count` are zero.
+    fn extract_word(&self, index: usize, count: usize) -> u64 {
+        debug_assert!(count <= BASES_PER_WORD);
+        debug_assert!(index + count <= self.len);
+        let word_idx = index / BASES_PER_WORD;
+        let bit = (index % BASES_PER_WORD) * 2;
+        let mut value = self.words[word_idx] >> bit;
+        if bit != 0 && word_idx + 1 < self.words.len() {
+            value |= self.words[word_idx + 1] << (64 - bit);
+        }
+        if count < BASES_PER_WORD {
+            value &= (1u64 << (count * 2)) - 1;
+        }
+        value
+    }
+}
+
+impl From<&DnaSeq> for PackedSeq {
+    fn from(seq: &DnaSeq) -> PackedSeq {
+        PackedSeq::from_seq(seq)
+    }
+}
+
+impl FromIterator<Base> for PackedSeq {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> PackedSeq {
+        let mut packed = PackedSeq::new();
+        for base in iter {
+            packed.push(base);
+        }
+        packed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        for s in ["", "A", "ACGT", "GATTACAGATTACAGATTACAGATTACAGATTACAGATTACA"] {
+            let original = seq(s);
+            assert_eq!(PackedSeq::from_seq(&original).unpack(), original, "seq {s}");
+        }
+    }
+
+    #[test]
+    fn base_access_across_word_boundary() {
+        let original = seq(&"ACGT".repeat(20)); // 80 bases, > 2 words
+        let packed = PackedSeq::from_seq(&original);
+        for i in 0..original.len() {
+            assert_eq!(packed.base(i), original[i], "index {i}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn base_out_of_bounds_panics() {
+        PackedSeq::from_seq(&seq("ACGT")).base(4);
+    }
+
+    #[test]
+    fn count_mismatches_exact() {
+        let genome = PackedSeq::from_seq(&seq("AAAACGTAAAA"));
+        let pat = PackedSeq::from_seq(&seq("ACGT"));
+        assert_eq!(genome.count_mismatches(&pat, 3, 0), Some(0));
+        assert_eq!(genome.count_mismatches(&pat, 0, 4), Some(3)); // AAAA vs ACGT
+        assert_eq!(genome.count_mismatches(&pat, 0, 2), None);
+    }
+
+    #[test]
+    fn count_mismatches_spanning_words() {
+        // Pattern of length 40 straddles the 32-base word boundary for
+        // offsets 0..8.
+        let text = "ACGT".repeat(30);
+        let genome = PackedSeq::from_seq(&seq(&text));
+        let pat = PackedSeq::from_seq(&seq(&"ACGT".repeat(10)));
+        for offset in 0..genome.len() - pat.len() {
+            let expected =
+                seq(&text).subseq(offset..offset + 40).hamming_distance(&pat.unpack());
+            assert_eq!(
+                genome.count_mismatches(&pat, offset, 40),
+                Some(expected),
+                "offset {offset}"
+            );
+        }
+    }
+
+    #[test]
+    fn early_exit_respects_limit() {
+        let genome = PackedSeq::from_seq(&seq(&"A".repeat(64)));
+        let pat = PackedSeq::from_seq(&seq(&"C".repeat(64)));
+        assert_eq!(genome.count_mismatches(&pat, 0, 63), None);
+        assert_eq!(genome.count_mismatches(&pat, 0, 64), Some(64));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let packed: PackedSeq = Base::ALL.into_iter().collect();
+        assert_eq!(packed.unpack().to_string(), "ACGT");
+    }
+}

@@ -1,0 +1,277 @@
+use crate::{Base, GenomeError, IupacCode};
+use std::fmt;
+use std::ops::Index;
+use std::str::FromStr;
+
+/// An owned, validated DNA sequence over the strict `ACGT` alphabet.
+///
+/// `DnaSeq` is the working representation for guides, protospacers and
+/// synthetic contigs. It stores one [`Base`] per byte; the space-efficient
+/// 2-bit form used by scanning kernels is [`crate::PackedSeq`].
+///
+/// ```
+/// use crispr_genome::DnaSeq;
+///
+/// let s: DnaSeq = "GATTACA".parse()?;
+/// assert_eq!(s.revcomp().to_string(), "TGTAATC");
+/// # Ok::<(), crispr_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct DnaSeq {
+    bases: Vec<Base>,
+}
+
+impl DnaSeq {
+    /// Creates an empty sequence.
+    pub fn new() -> DnaSeq {
+        DnaSeq::default()
+    }
+
+    /// Creates a sequence from a vector of bases.
+    pub fn from_bases(bases: Vec<Base>) -> DnaSeq {
+        DnaSeq { bases }
+    }
+
+    /// Parses ASCII bytes (case-insensitive `ACGT`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GenomeError::InvalidBase`] with the byte offset of the
+    /// first non-base character.
+    pub fn from_ascii(bytes: &[u8]) -> Result<DnaSeq, GenomeError> {
+        let mut bases = Vec::with_capacity(bytes.len());
+        for (offset, &byte) in bytes.iter().enumerate() {
+            match Base::from_ascii(byte) {
+                Some(b) => bases.push(b),
+                None => return Err(GenomeError::InvalidBase { byte, offset }),
+            }
+        }
+        Ok(DnaSeq { bases })
+    }
+
+    /// Number of bases.
+    pub fn len(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// Whether the sequence is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// The bases as a slice.
+    pub fn as_slice(&self) -> &[Base] {
+        &self.bases
+    }
+
+    /// Consumes the sequence, returning its bases.
+    pub fn into_bases(self) -> Vec<Base> {
+        self.bases
+    }
+
+    /// Appends a base.
+    pub fn push(&mut self, base: Base) {
+        self.bases.push(base);
+    }
+
+    /// Appends every base of `other`.
+    pub fn extend_from_seq(&mut self, other: &DnaSeq) {
+        self.bases.extend_from_slice(&other.bases);
+    }
+
+    /// The base at `index`, or `None` if out of range.
+    pub fn get(&self, index: usize) -> Option<Base> {
+        self.bases.get(index).copied()
+    }
+
+    /// A sub-sequence copied out of `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn subseq(&self, range: std::ops::Range<usize>) -> DnaSeq {
+        DnaSeq { bases: self.bases[range].to_vec() }
+    }
+
+    /// The reverse complement (the sequence as read on the opposite strand).
+    pub fn revcomp(&self) -> DnaSeq {
+        DnaSeq { bases: self.bases.iter().rev().map(|b| b.complement()).collect() }
+    }
+
+    /// Iterates over the bases.
+    pub fn iter(&self) -> impl Iterator<Item = Base> + '_ {
+        self.bases.iter().copied()
+    }
+
+    /// Hamming distance to `other`, counting positions where the bases
+    /// differ.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ — Hamming distance is undefined there.
+    pub fn hamming_distance(&self, other: &DnaSeq) -> usize {
+        assert_eq!(self.len(), other.len(), "hamming distance requires equal lengths");
+        self.bases.iter().zip(&other.bases).filter(|(a, b)| a != b).count()
+    }
+
+    /// Number of positions where this sequence fails an IUPAC motif of the
+    /// same length (each motif position must [`IupacCode::matches`] the
+    /// base).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `motif.len() != self.len()`.
+    pub fn motif_mismatches(&self, motif: &[IupacCode]) -> usize {
+        assert_eq!(self.len(), motif.len(), "motif length must equal sequence length");
+        self.bases.iter().zip(motif).filter(|(b, c)| !c.matches(**b)).count()
+    }
+
+    /// Fraction of `G`/`C` bases, in `[0, 1]`. Returns 0 for an empty
+    /// sequence.
+    pub fn gc_content(&self) -> f64 {
+        if self.bases.is_empty() {
+            return 0.0;
+        }
+        let gc = self.bases.iter().filter(|b| matches!(b, Base::G | Base::C)).count();
+        gc as f64 / self.bases.len() as f64
+    }
+}
+
+impl Index<usize> for DnaSeq {
+    type Output = Base;
+
+    fn index(&self, index: usize) -> &Base {
+        &self.bases[index]
+    }
+}
+
+impl FromStr for DnaSeq {
+    type Err = GenomeError;
+
+    fn from_str(s: &str) -> Result<DnaSeq, GenomeError> {
+        DnaSeq::from_ascii(s.as_bytes())
+    }
+}
+
+impl fmt::Display for DnaSeq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.bases {
+            write!(f, "{}", b)?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<Base> for DnaSeq {
+    fn from_iter<I: IntoIterator<Item = Base>>(iter: I) -> DnaSeq {
+        DnaSeq { bases: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Base> for DnaSeq {
+    fn extend<I: IntoIterator<Item = Base>>(&mut self, iter: I) {
+        self.bases.extend(iter);
+    }
+}
+
+impl<'a> IntoIterator for &'a DnaSeq {
+    type Item = Base;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Base>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.bases.iter().copied()
+    }
+}
+
+impl From<Vec<Base>> for DnaSeq {
+    fn from(bases: Vec<Base>) -> DnaSeq {
+        DnaSeq { bases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        let s: DnaSeq = "ACGTacgt".parse().unwrap();
+        assert_eq!(s.to_string(), "ACGTACGT");
+        assert_eq!(s.len(), 8);
+    }
+
+    #[test]
+    fn parse_rejects_invalid() {
+        let err = "ACGN".parse::<DnaSeq>().unwrap_err();
+        match err {
+            GenomeError::InvalidBase { byte, offset } => {
+                assert_eq!(byte, b'N');
+                assert_eq!(offset, 3);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn revcomp_involution() {
+        let s: DnaSeq = "GATTACAGGT".parse().unwrap();
+        assert_eq!(s.revcomp().revcomp(), s);
+        assert_eq!(s.revcomp().to_string(), "ACCTGTAATC");
+    }
+
+    #[test]
+    fn hamming_distance_counts_mismatches() {
+        let a: DnaSeq = "ACGT".parse().unwrap();
+        let b: DnaSeq = "AGGA".parse().unwrap();
+        assert_eq!(a.hamming_distance(&b), 2);
+        assert_eq!(a.hamming_distance(&a), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_distance_panics_on_length_mismatch() {
+        let a: DnaSeq = "ACG".parse().unwrap();
+        let b: DnaSeq = "AC".parse().unwrap();
+        let _ = a.hamming_distance(&b);
+    }
+
+    #[test]
+    fn motif_mismatches_with_iupac() {
+        let s: DnaSeq = "AGG".parse().unwrap();
+        let motif: Vec<IupacCode> =
+            "NGG".bytes().map(|b| IupacCode::from_ascii(b).unwrap()).collect();
+        assert_eq!(s.motif_mismatches(&motif), 0);
+        let t: DnaSeq = "ACG".parse().unwrap();
+        assert_eq!(t.motif_mismatches(&motif), 1);
+    }
+
+    #[test]
+    fn gc_content() {
+        let s: DnaSeq = "GGCC".parse().unwrap();
+        assert_eq!(s.gc_content(), 1.0);
+        let t: DnaSeq = "ATGC".parse().unwrap();
+        assert_eq!(t.gc_content(), 0.5);
+        assert_eq!(DnaSeq::new().gc_content(), 0.0);
+    }
+
+    #[test]
+    fn subseq_and_index() {
+        let s: DnaSeq = "ACGTACGT".parse().unwrap();
+        assert_eq!(s.subseq(2..5).to_string(), "GTA");
+        assert_eq!(s[0], Base::A);
+        assert_eq!(s.get(100), None);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let s: DnaSeq = Base::ALL.into_iter().collect();
+        assert_eq!(s.to_string(), "ACGT");
+        let mut t = s.clone();
+        t.extend(Base::ALL);
+        assert_eq!(t.len(), 8);
+        let mut u = DnaSeq::new();
+        u.extend_from_seq(&s);
+        u.push(Base::G);
+        assert_eq!(u.to_string(), "ACGTG");
+    }
+}

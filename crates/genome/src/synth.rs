@@ -1,0 +1,423 @@
+//! Synthetic genome generation with planted ground truth.
+//!
+//! The paper evaluates against the human reference genome, which is not
+//! available here. This module substitutes synthetic genomes whose two
+//! properties that matter to off-target search cost are controllable:
+//!
+//! 1. **Bulk composition** — length and GC content set the background rate
+//!    of near-matches, which drives baseline early-exit behaviour and
+//!    automaton active-set size.
+//! 2. **Similarity structure** — repeat families emulate the repetitive
+//!    fraction of real genomes, and [`Planter`] embeds copies of a template
+//!    at an *exact* Hamming distance, giving every engine a precise oracle
+//!    (real genomes provide no ground truth at all).
+//!
+//! ```
+//! use crispr_genome::synth::SynthSpec;
+//!
+//! let genome = SynthSpec::new(10_000).seed(42).gc_content(0.41).generate();
+//! assert_eq!(genome.total_len(), 10_000);
+//! ```
+
+use crate::{Base, DnaSeq, Genome, Strand};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Specification for a synthetic genome. Construct with [`SynthSpec::new`],
+/// refine with the builder methods, and call [`SynthSpec::generate`].
+#[derive(Debug, Clone)]
+pub struct SynthSpec {
+    len: usize,
+    gc: f64,
+    seed: u64,
+    contigs: usize,
+    repeats: Vec<RepeatFamily>,
+}
+
+/// A family of similar repeated elements to embed in the genome.
+#[derive(Debug, Clone)]
+pub struct RepeatFamily {
+    /// Length of the repeat unit in bases.
+    pub unit_len: usize,
+    /// Number of copies pasted into the genome.
+    pub copies: usize,
+    /// Per-base probability that a copy diverges from the unit.
+    pub divergence: f64,
+}
+
+impl SynthSpec {
+    /// A spec for `len` total bases with human-like defaults
+    /// (GC 0.41, one contig, no repeats, seed 0).
+    pub fn new(len: usize) -> SynthSpec {
+        SynthSpec { len, gc: 0.41, seed: 0, contigs: 1, repeats: Vec::new() }
+    }
+
+    /// Sets the RNG seed, making generation deterministic per seed.
+    pub fn seed(mut self, seed: u64) -> SynthSpec {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets target GC content in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gc` is outside `[0, 1]`.
+    pub fn gc_content(mut self, gc: f64) -> SynthSpec {
+        assert!((0.0..=1.0).contains(&gc), "gc content must be within [0, 1], got {gc}");
+        self.gc = gc;
+        self
+    }
+
+    /// Splits the genome into `contigs` near-equal contigs named
+    /// `chr1..chrN`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contigs` is zero.
+    pub fn contigs(mut self, contigs: usize) -> SynthSpec {
+        assert!(contigs > 0, "a genome needs at least one contig");
+        self.contigs = contigs;
+        self
+    }
+
+    /// Adds a repeat family to embed.
+    pub fn repeat_family(mut self, family: RepeatFamily) -> SynthSpec {
+        self.repeats.push(family);
+        self
+    }
+
+    /// Generates the genome.
+    pub fn generate(&self) -> Genome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut bases = Vec::with_capacity(self.len);
+        for _ in 0..self.len {
+            bases.push(random_base(&mut rng, self.gc));
+        }
+
+        for family in &self.repeats {
+            if family.unit_len == 0 || family.unit_len > self.len {
+                continue;
+            }
+            let unit: Vec<Base> =
+                (0..family.unit_len).map(|_| random_base(&mut rng, self.gc)).collect();
+            for _ in 0..family.copies {
+                let start = rng.gen_range(0..=self.len - family.unit_len);
+                for (i, &b) in unit.iter().enumerate() {
+                    bases[start + i] = if rng.gen_bool(family.divergence) {
+                        mutate_base(&mut rng, b)
+                    } else {
+                        b
+                    };
+                }
+            }
+        }
+
+        let mut genome = Genome::new();
+        let per = self.len.div_ceil(self.contigs).max(1);
+        for (idx, chunk) in bases.chunks(per).enumerate() {
+            genome.add_contig(format!("chr{}", idx + 1), DnaSeq::from_bases(chunk.to_vec()));
+        }
+        if genome.is_empty() {
+            genome.add_contig("chr1", DnaSeq::new());
+        }
+        genome
+    }
+}
+
+fn random_base<R: Rng>(rng: &mut R, gc: f64) -> Base {
+    if rng.gen_bool(gc) {
+        if rng.gen_bool(0.5) {
+            Base::G
+        } else {
+            Base::C
+        }
+    } else if rng.gen_bool(0.5) {
+        Base::A
+    } else {
+        Base::T
+    }
+}
+
+/// Replaces `base` with a uniformly random *different* base.
+fn mutate_base<R: Rng>(rng: &mut R, base: Base) -> Base {
+    loop {
+        let candidate = Base::from_code(rng.gen_range(0..4));
+        if candidate != base {
+            return candidate;
+        }
+    }
+}
+
+/// A site embedded by [`Planter`]: the exact location, strand, and Hamming
+/// distance of the planted copy relative to its template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlantedSite {
+    /// Index of the contig the site was written into.
+    pub contig: usize,
+    /// Forward-strand position of the site's leftmost base.
+    pub pos: usize,
+    /// Strand on which the template reads.
+    pub strand: Strand,
+    /// Exact Hamming distance from the template within `mutable` positions.
+    pub mismatches: usize,
+    /// The exact sequence written (as read on [`PlantedSite::strand`]).
+    pub written: DnaSeq,
+}
+
+/// Embeds copies of template sequences into a genome at exact Hamming
+/// distances, recording each placement.
+///
+/// Plants never overlap one another, so each planted site's distance
+/// guarantee cannot be corrupted by a later plant. (Spontaneous background
+/// matches elsewhere in the random genome are still possible and are exactly
+/// what correctness tests must tolerate — engines are compared against each
+/// other and against a reference scan, with planted sites asserted as a
+/// subset.)
+#[derive(Debug)]
+pub struct Planter {
+    genome: Vec<Vec<Base>>,
+    names: Vec<String>,
+    occupied: Vec<Vec<(usize, usize)>>,
+    rng: StdRng,
+    planted: Vec<PlantedSite>,
+}
+
+impl Planter {
+    /// Starts planting into `genome` with a deterministic RNG seed.
+    pub fn new(genome: Genome, seed: u64) -> Planter {
+        let names = genome.contigs().iter().map(|c| c.name().to_string()).collect();
+        let data = genome
+            .contigs()
+            .iter()
+            .map(|c| c.seq().as_slice().to_vec())
+            .collect::<Vec<_>>();
+        Planter {
+            occupied: vec![Vec::new(); data.len()],
+            genome: data,
+            names,
+            rng: StdRng::seed_from_u64(seed),
+            planted: Vec::new(),
+        }
+    }
+
+    /// Plants `template` somewhere random with exactly `mismatches`
+    /// substitutions confined to the index range `mutable` of the template
+    /// (e.g. the spacer portion of guide+PAM, leaving the PAM intact).
+    ///
+    /// Returns `None` if no non-overlapping position could be found after a
+    /// bounded number of attempts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mutable` is out of the template's bounds or shorter than
+    /// `mismatches`.
+    pub fn plant(
+        &mut self,
+        template: &DnaSeq,
+        mutable: std::ops::Range<usize>,
+        mismatches: usize,
+        strand: Strand,
+    ) -> Option<PlantedSite> {
+        assert!(mutable.end <= template.len(), "mutable range outside template");
+        assert!(mutable.len() >= mismatches, "cannot place {mismatches} mismatches in {} positions", mutable.len());
+        let len = template.len();
+        for _ in 0..1000 {
+            let contig = self.rng.gen_range(0..self.genome.len());
+            if self.genome[contig].len() < len {
+                continue;
+            }
+            let pos = self.rng.gen_range(0..=self.genome[contig].len() - len);
+            if self.overlaps(contig, pos, len) {
+                continue;
+            }
+            return Some(self.plant_at(template, mutable, mismatches, strand, contig, pos));
+        }
+        None
+    }
+
+    /// Plants at an explicit location. See [`Planter::plant`] for mutation
+    /// semantics.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-bounds location or invalid `mutable` range.
+    pub fn plant_at(
+        &mut self,
+        template: &DnaSeq,
+        mutable: std::ops::Range<usize>,
+        mismatches: usize,
+        strand: Strand,
+        contig: usize,
+        pos: usize,
+    ) -> PlantedSite {
+        assert!(mutable.end <= template.len(), "mutable range outside template");
+        let len = template.len();
+        assert!(pos + len <= self.genome[contig].len(), "plant out of contig bounds");
+
+        // Choose `mismatches` distinct positions within the mutable range.
+        let mut positions: Vec<usize> = mutable.clone().collect();
+        for i in 0..mismatches {
+            let j = self.rng.gen_range(i..positions.len());
+            positions.swap(i, j);
+        }
+        positions.truncate(mismatches);
+
+        let mut written: Vec<Base> = template.as_slice().to_vec();
+        for &p in &positions {
+            written[p] = mutate_base(&mut self.rng, written[p]);
+        }
+        let written = DnaSeq::from_bases(written);
+
+        // What lands on the forward strand.
+        let forward = match strand {
+            Strand::Forward => written.clone(),
+            Strand::Reverse => written.revcomp(),
+        };
+        for (i, b) in forward.iter().enumerate() {
+            self.genome[contig][pos + i] = b;
+        }
+        self.occupied[contig].push((pos, len));
+
+        let site = PlantedSite { contig, pos, strand, mismatches, written };
+        self.planted.push(site.clone());
+        site
+    }
+
+    fn overlaps(&self, contig: usize, pos: usize, len: usize) -> bool {
+        self.occupied[contig]
+            .iter()
+            .any(|&(start, l)| pos < start + l && start < pos + len)
+    }
+
+    /// All sites planted so far, in plant order.
+    pub fn planted(&self) -> &[PlantedSite] {
+        &self.planted
+    }
+
+    /// Finishes planting, returning the modified genome and the ground
+    /// truth.
+    pub fn finish(self) -> (Genome, Vec<PlantedSite>) {
+        let mut genome = Genome::new();
+        for (name, data) in self.names.into_iter().zip(self.genome) {
+            genome.add_contig(name, DnaSeq::from_bases(data));
+        }
+        (genome, self.planted)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generate_is_deterministic_per_seed() {
+        let a = SynthSpec::new(500).seed(7).generate();
+        let b = SynthSpec::new(500).seed(7).generate();
+        let c = SynthSpec::new(500).seed(8).generate();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gc_content_is_respected() {
+        let g = SynthSpec::new(200_000).seed(1).gc_content(0.7).generate();
+        let gc = g.contigs()[0].seq().gc_content();
+        assert!((gc - 0.7).abs() < 0.01, "gc {gc}");
+    }
+
+    #[test]
+    fn extreme_gc_content() {
+        let g = SynthSpec::new(1000).seed(1).gc_content(1.0).generate();
+        assert_eq!(g.contigs()[0].seq().gc_content(), 1.0);
+        let g = SynthSpec::new(1000).seed(1).gc_content(0.0).generate();
+        assert_eq!(g.contigs()[0].seq().gc_content(), 0.0);
+    }
+
+    #[test]
+    fn contig_split_covers_all_bases() {
+        let g = SynthSpec::new(1003).seed(2).contigs(4).generate();
+        assert_eq!(g.contig_count(), 4);
+        assert_eq!(g.total_len(), 1003);
+        assert_eq!(g.contigs()[0].name(), "chr1");
+    }
+
+    #[test]
+    fn repeats_create_similarity() {
+        let family = RepeatFamily { unit_len: 50, copies: 20, divergence: 0.0 };
+        let g = SynthSpec::new(10_000).seed(3).repeat_family(family).generate();
+        assert_eq!(g.total_len(), 10_000);
+    }
+
+    #[test]
+    fn plant_forward_exact_distance() {
+        let genome = SynthSpec::new(5_000).seed(4).generate();
+        let template: DnaSeq = "ACGTACGTACGTACGTACGTAGG".parse().unwrap();
+        let mut planter = Planter::new(genome, 99);
+        let site = planter.plant(&template, 0..20, 3, Strand::Forward).unwrap();
+        assert_eq!(site.mismatches, 3);
+        assert_eq!(site.written.subseq(0..20).hamming_distance(&template.subseq(0..20)), 3);
+        // PAM region untouched.
+        assert_eq!(site.written.subseq(20..23), template.subseq(20..23));
+        let (genome, planted) = planter.finish();
+        assert_eq!(planted.len(), 1);
+        let read_back =
+            genome.contigs()[site.contig].seq().subseq(site.pos..site.pos + template.len());
+        assert_eq!(read_back, site.written);
+    }
+
+    #[test]
+    fn plant_reverse_is_revcomp_on_forward_strand() {
+        let genome = SynthSpec::new(2_000).seed(5).generate();
+        let template: DnaSeq = "ACGTACGTACGTACGTACGTAGG".parse().unwrap();
+        let mut planter = Planter::new(genome, 6);
+        let site = planter.plant(&template, 0..20, 0, Strand::Reverse).unwrap();
+        assert_eq!(site.written, template);
+        let (genome, _) = planter.finish();
+        let fwd = genome.contigs()[site.contig].seq().subseq(site.pos..site.pos + template.len());
+        assert_eq!(fwd.revcomp(), template);
+    }
+
+    #[test]
+    fn plants_do_not_overlap() {
+        let genome = SynthSpec::new(3_000).seed(6).generate();
+        let template: DnaSeq = "ACGTACGTACGTACGTACGTAGG".parse().unwrap();
+        let mut planter = Planter::new(genome, 7);
+        let mut sites = Vec::new();
+        for _ in 0..50 {
+            if let Some(s) = planter.plant(&template, 0..20, 1, Strand::Forward) {
+                sites.push(s);
+            }
+        }
+        for (i, a) in sites.iter().enumerate() {
+            for b in &sites[i + 1..] {
+                if a.contig == b.contig {
+                    let len = template.len();
+                    assert!(
+                        a.pos + len <= b.pos || b.pos + len <= a.pos,
+                        "overlap: {} vs {}",
+                        a.pos,
+                        b.pos
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "mutable range outside template")]
+    fn plant_rejects_bad_mutable_range() {
+        let genome = SynthSpec::new(1_000).seed(1).generate();
+        let template: DnaSeq = "ACGT".parse().unwrap();
+        let mut planter = Planter::new(genome, 1);
+        let _ = planter.plant(&template, 0..10, 0, Strand::Forward);
+    }
+
+    #[test]
+    fn plant_when_genome_too_small_returns_none() {
+        let genome = Genome::from_seq("ACG".parse().unwrap());
+        let template: DnaSeq = "ACGTACGT".parse().unwrap();
+        let mut planter = Planter::new(genome, 1);
+        assert!(planter.plant(&template, 0..8, 0, Strand::Forward).is_none());
+    }
+}

@@ -1,0 +1,181 @@
+//! The Cas-OFFinder (GPU/OpenCL) brute-force model.
+//!
+//! Cas-OFFinder runs two kernels: a PAM prescan over every window, then a
+//! full branchless spacer comparison (no early exit — divergence-free) at
+//! each PAM-passing candidate against every guide. Both kernels are
+//! dominated by scattered device-memory reads of the genome, so the model
+//! is traffic-bound:
+//!
+//! ```text
+//! bytes = windows × 2 (PAM prescan, both strands)
+//!       + windows × 2 × pam_rate × guides × spacer_len (full compares)
+//! time  = bytes / (mem_bandwidth × tool_efficiency)
+//! ```
+//!
+//! `tool_efficiency` (default 0.03) is calibrated so the model reproduces
+//! the published tool's effective throughput implied by the paper's
+//! numbers (FPGA ≈ 83× faster at genome scale ⇒ Cas-OFFinder ≈ 1000 s for
+//! a 3.1 Gbp × ~1000-guide workload); it accounts for OpenCL launch and
+//! buffering overheads, host chunking, and candidate-list round trips the
+//! idealized traffic count omits. See EXPERIMENTS.md.
+
+use crate::GpuSpec;
+use crispr_engines::{CasOffinderCpuEngine, Engine, EngineError};
+use crispr_genome::Genome;
+use crispr_guides::{Guide, Hit};
+use crispr_model::TimingBreakdown;
+use serde::{Deserialize, Serialize};
+
+/// Fraction of peak device bandwidth the published tool sustains end to
+/// end (see module docs).
+pub const TOOL_EFFICIENCY: f64 = 0.03;
+
+/// Cas-OFFinder-class GPU brute-force search.
+#[derive(Debug, Clone)]
+pub struct CasOffinderGpuSearch {
+    spec: GpuSpec,
+    tool_efficiency: f64,
+}
+
+impl Default for CasOffinderGpuSearch {
+    fn default() -> CasOffinderGpuSearch {
+        CasOffinderGpuSearch { spec: GpuSpec::default(), tool_efficiency: TOOL_EFFICIENCY }
+    }
+}
+
+/// Result of one Cas-OFFinder-GPU-model run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CasOffinderGpuReport {
+    /// The exact hit set (identical to every CPU engine's).
+    #[serde(skip)]
+    pub hits: Vec<Hit>,
+    /// Modeled time breakdown.
+    pub timing: TimingBreakdown,
+    /// Modeled device-memory bytes moved by the two kernels.
+    pub kernel_bytes: f64,
+}
+
+impl CasOffinderGpuSearch {
+    /// A search on the default GTX 1080-class device with the calibrated
+    /// tool efficiency.
+    pub fn new() -> CasOffinderGpuSearch {
+        CasOffinderGpuSearch::default()
+    }
+
+    /// Uses a custom device spec.
+    pub fn with_spec(mut self, spec: GpuSpec) -> CasOffinderGpuSearch {
+        self.spec = spec;
+        self
+    }
+
+    /// Overrides the calibrated tool-efficiency factor (1.0 = idealized
+    /// traffic at full bandwidth).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < efficiency ≤ 1`.
+    pub fn with_tool_efficiency(mut self, efficiency: f64) -> CasOffinderGpuSearch {
+        assert!(efficiency > 0.0 && efficiency <= 1.0, "efficiency must be in (0, 1]");
+        self.tool_efficiency = efficiency;
+        self
+    }
+
+    /// Runs the search: exact hits plus modeled timing.
+    ///
+    /// # Errors
+    ///
+    /// Guide-validation errors, as for the CPU engines.
+    pub fn run(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+    ) -> Result<CasOffinderGpuReport, EngineError> {
+        let hits = CasOffinderCpuEngine::new().search(genome, guides, k)?;
+
+        let windows = genome.total_len() as f64;
+        let g = guides.len() as f64;
+        let pam = guides[0].pam();
+        let spacer_len = guides[0].spacer().len() as f64;
+        let pam_pass = pam.background_rate();
+        // Both strands: PAM prescan reads each window once per strand;
+        // candidates get a full (branchless) spacer compare per guide.
+        // The budget k does not shorten compares, but raising it raises
+        // the verified-candidate volume the host must ingest; fold that
+        // into the report bucket below.
+        let kernel_bytes = windows * 2.0 + windows * 2.0 * pam_pass * g * spacer_len;
+        let kernel_s = kernel_bytes / (self.spec.mem_bandwidth * self.tool_efficiency);
+
+        let timing = TimingBreakdown {
+            config_s: self.spec.init_time_s,
+            transfer_s: windows / self.spec.pcie_bandwidth,
+            kernel_s,
+            report_s: hits.len() as f64 / self.spec.host_reports_per_s,
+        };
+        Ok(CasOffinderGpuReport { hits, timing, kernel_bytes })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crispr_engines::ScalarEngine;
+    use crispr_genome::synth::SynthSpec;
+    use crispr_guides::genset;
+    use crispr_guides::Pam;
+
+    #[test]
+    fn hits_match_scalar_oracle() {
+        let genome = SynthSpec::new(15_000).seed(51).generate();
+        let guides = genset::random_guides(2, 20, &Pam::ngg(), 52);
+        let report = CasOffinderGpuSearch::new().run(&genome, &guides, 3).unwrap();
+        let truth = ScalarEngine::new().search(&genome, &guides, 3).unwrap();
+        assert_eq!(report.hits, truth);
+    }
+
+    #[test]
+    fn kernel_time_scales_linearly_with_guides() {
+        let genome = SynthSpec::new(30_000).seed(53).generate();
+        let g10 = genset::random_guides(10, 20, &Pam::ngg(), 54);
+        let g100 = genset::random_guides(100, 20, &Pam::ngg(), 54);
+        let r10 = CasOffinderGpuSearch::new().run(&genome, &g10, 2).unwrap();
+        let r100 = CasOffinderGpuSearch::new().run(&genome, &g100, 2).unwrap();
+        let ratio = r100.timing.kernel_s / r10.timing.kernel_s;
+        assert!(ratio > 7.0 && ratio < 11.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn relaxed_pam_costs_more() {
+        let genome = SynthSpec::new(30_000).seed(55).generate();
+        let ngg = genset::random_guides(10, 20, &Pam::ngg(), 56);
+        let nrg = genset::random_guides(10, 20, &Pam::nrg(), 56);
+        let r_ngg = CasOffinderGpuSearch::new().run(&genome, &ngg, 2).unwrap();
+        let r_nrg = CasOffinderGpuSearch::new().run(&genome, &nrg, 2).unwrap();
+        assert!(r_nrg.timing.kernel_s > r_ngg.timing.kernel_s);
+    }
+
+    #[test]
+    fn calibration_matches_paper_scale() {
+        // 3.1 Gbp × 1000 guides should land near the ~1000 s the paper's
+        // 83× FPGA claim implies. Model it arithmetically (no giant
+        // genome needed): bytes = W·2 + W·2·(1/16)·1000·20.
+        let w = 3.1e9f64;
+        let bytes = w * 2.0 + w * 2.0 / 16.0 * 1000.0 * 20.0;
+        let secs = bytes / (320.0e9 * TOOL_EFFICIENCY);
+        assert!(secs > 500.0 && secs < 2000.0, "{secs}");
+    }
+
+    #[test]
+    fn efficiency_override_is_validated() {
+        let result = std::panic::catch_unwind(|| {
+            CasOffinderGpuSearch::new().with_tool_efficiency(0.0)
+        });
+        assert!(result.is_err());
+        let faster = CasOffinderGpuSearch::new().with_tool_efficiency(1.0);
+        let genome = SynthSpec::new(10_000).seed(57).generate();
+        let guides = genset::random_guides(2, 20, &Pam::ngg(), 58);
+        let fast = faster.run(&genome, &guides, 1).unwrap();
+        let slow = CasOffinderGpuSearch::new().run(&genome, &guides, 1).unwrap();
+        assert!(fast.timing.kernel_s < slow.timing.kernel_s);
+    }
+}

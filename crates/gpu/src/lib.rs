@@ -1,0 +1,28 @@
+//! GPU execution models: the iNFAnt2-class NFA engine and the
+//! Cas-OFFinder brute-force kernel.
+//!
+//! The paper's GPU story is a negative result worth reproducing: NFA
+//! traversal maps poorly to SIMT hardware because each input symbol
+//! triggers a small, irregular set of transition fetches from device
+//! memory — low arithmetic intensity, poor coalescing, and a per-symbol
+//! synchronization. Cas-OFFinder's brute force, by contrast, is perfectly
+//! regular and scales with core count, but its work grows with
+//! `guides × k`. Both effects fall out of the first-principles cost models
+//! here, which are driven by *measured* automaton activity (sampled
+//! frontier simulation) and exact workload counts.
+//!
+//! * [`GpuSpec`] — device parameters (defaults: GTX 1080-class).
+//! * [`Infant2Search`] — functional hits + modeled timing for the NFA
+//!   engine.
+//! * [`CasOffinderGpuSearch`] — functional hits + modeled timing for the
+//!   brute-force baseline.
+
+#![warn(missing_docs)]
+
+mod casoffinder;
+mod infant;
+mod spec;
+
+pub use casoffinder::{CasOffinderGpuReport, CasOffinderGpuSearch};
+pub use infant::{Infant2Report, Infant2Search};
+pub use spec::GpuSpec;

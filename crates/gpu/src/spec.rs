@@ -1,0 +1,64 @@
+use serde::{Deserialize, Serialize};
+
+/// GPU device and host-link parameters. Defaults approximate a GTX
+/// 1080-class part (the generation of the paper's GPU experiments).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuSpec {
+    /// Streaming multiprocessors.
+    pub sms: usize,
+    /// CUDA cores per SM.
+    pub cores_per_sm: usize,
+    /// Core clock, Hz.
+    pub clock_hz: f64,
+    /// Device memory bandwidth, bytes/second.
+    pub mem_bandwidth: f64,
+    /// Fraction of peak bandwidth irregular NFA transition fetches
+    /// achieve (iNFAnt2 sorts transition lists, so scattered 4-byte
+    /// records still land in roughly every other 32-byte transaction).
+    pub coalescing_efficiency: f64,
+    /// Host link bandwidth, bytes/second (PCIe gen3 ×16 ≈ 12 GB/s real).
+    pub pcie_bandwidth: f64,
+    /// One-time kernel/runtime initialization, seconds.
+    pub init_time_s: f64,
+    /// Host-side report post-processing rate, events/second.
+    pub host_reports_per_s: f64,
+}
+
+impl Default for GpuSpec {
+    fn default() -> GpuSpec {
+        GpuSpec {
+            sms: 20,
+            cores_per_sm: 128,
+            clock_hz: 1.6e9,
+            mem_bandwidth: 320.0e9,
+            coalescing_efficiency: 0.5,
+            pcie_bandwidth: 12.0e9,
+            init_time_s: 0.15,
+            host_reports_per_s: 1.0e8,
+        }
+    }
+}
+
+impl GpuSpec {
+    /// Total CUDA cores.
+    pub fn total_cores(&self) -> usize {
+        self.sms * self.cores_per_sm
+    }
+
+    /// Peak scalar operation rate, ops/second.
+    pub fn peak_ops(&self) -> f64 {
+        self.total_cores() as f64 * self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_1080_class() {
+        let spec = GpuSpec::default();
+        assert_eq!(spec.total_cores(), 2560);
+        assert!(spec.peak_ops() > 4e12-1.0 && spec.peak_ops() < 4.2e12);
+    }
+}

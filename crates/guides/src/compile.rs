@@ -1,0 +1,477 @@
+//! The mismatch-counting automaton compiler (paper §3).
+//!
+//! For a site pattern of length *L* with mismatch budget *k*, the compiler
+//! emits a grid of homogeneous states: column *i* consumes the *i*-th
+//! symbol of a candidate site, row *j* records "*j* mismatches so far".
+//! Each counted column contributes a *match* state (class = the guide
+//! base) per live row and a *mismatch* state (class = the other bases) per
+//! row with budget left; uncounted (PAM) columns contribute match states
+//! only, so an invalid PAM kills the site. Because the match and mismatch
+//! classes at a column are disjoint, any window threads **exactly one**
+//! path through the grid — so the accepting state's row *is* the exact
+//! mismatch count, and each valid window produces exactly one report.
+//!
+//! Two structural options are exposed because the paper's resource tables
+//! depend on them:
+//!
+//! * **triangle pruning** (`prune_triangle`, default on): row *j* cannot
+//!   exist before *j* counted columns have passed, deleting the unreachable
+//!   upper-left triangle of the grid;
+//! * **count-free reporting** (`report_counts` off): rows re-converge into
+//!   one shared PAM tail and report a single code, saving `(k)·|PAM|`
+//!   states per pattern at the cost of the host re-deriving the mismatch
+//!   count (the trade the paper discusses for AP output capacity).
+
+use crate::{Guide, GuideError, ReportCode, SitePattern, UNKNOWN_MISMATCHES};
+use crispr_automata::{Automaton, AutomatonBuilder, StartKind, StateId, SymbolClass};
+use crispr_genome::Strand;
+
+/// Options controlling automaton construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileOptions {
+    /// Mismatch budget *k*.
+    pub k: usize,
+    /// Report the exact mismatch count in the report code (default).
+    /// When off, patterns share one count-free report tail
+    /// ([`UNKNOWN_MISMATCHES`] in the code).
+    pub report_counts: bool,
+    /// Prune grid states that cannot be reached (default). Turning this
+    /// off reproduces the naive grid for the resource-table ablation.
+    pub prune_triangle: bool,
+    /// Compile patterns for both strands (default).
+    pub both_strands: bool,
+}
+
+impl CompileOptions {
+    /// Default options for budget `k`: count reporting, pruning, both
+    /// strands.
+    pub fn new(k: usize) -> CompileOptions {
+        CompileOptions { k, report_counts: true, prune_triangle: true, both_strands: true }
+    }
+
+    /// Disables exact-count reporting.
+    pub fn count_free(mut self) -> CompileOptions {
+        self.report_counts = false;
+        self
+    }
+
+    /// Disables triangle pruning.
+    pub fn unpruned(mut self) -> CompileOptions {
+        self.prune_triangle = false;
+        self
+    }
+
+    /// Restricts to the forward strand.
+    pub fn forward_only(mut self) -> CompileOptions {
+        self.both_strands = false;
+        self
+    }
+}
+
+/// A set of guides compiled into one multi-pattern automaton.
+#[derive(Debug, Clone)]
+pub struct CompiledSet {
+    /// The merged automaton over DNA symbol codes `0..4`.
+    pub automaton: Automaton,
+    /// Uniform site length (spacer + PAM) of every pattern.
+    pub site_len: usize,
+    /// The mismatch budget the set was compiled for.
+    pub k: usize,
+    /// Number of guides in the set.
+    pub guide_count: usize,
+    /// States contributed by each pattern, in `(guide, strand)` order —
+    /// forward then reverse per guide when both strands are compiled.
+    pub per_pattern_states: Vec<usize>,
+}
+
+impl CompiledSet {
+    /// Total states across all patterns.
+    pub fn total_states(&self) -> usize {
+        self.automaton.state_count()
+    }
+
+    /// Mean states per pattern.
+    pub fn mean_states_per_pattern(&self) -> f64 {
+        if self.per_pattern_states.is_empty() {
+            0.0
+        } else {
+            self.total_states() as f64 / self.per_pattern_states.len() as f64
+        }
+    }
+}
+
+/// Symbol class of a pattern position over the DNA codes `0..4`.
+fn match_class(pos: &crate::PatternPos) -> SymbolClass {
+    SymbolClass::from_low_nibble_mask(pos.class.mask())
+}
+
+/// Symbol class of the *mismatching* bases at a counted position.
+fn mismatch_class(pos: &crate::PatternPos) -> SymbolClass {
+    SymbolClass::from_low_nibble_mask(!pos.class.mask() & 0xF)
+}
+
+/// Compiles one [`SitePattern`] into `builder`, returning the number of
+/// states added.
+///
+/// # Panics
+///
+/// Panics if the pattern is empty.
+pub fn compile_pattern(
+    pattern: &SitePattern,
+    opts: &CompileOptions,
+    builder: &mut AutomatonBuilder,
+) -> usize {
+    assert!(!pattern.is_empty(), "cannot compile an empty pattern");
+    let before = builder.state_count();
+    let k = opts.k;
+    let positions = pattern.positions();
+    let len = positions.len();
+
+    // Count-free mode: carve off the trailing uncounted run as a shared
+    // tail.
+    let tail_len = if opts.report_counts {
+        0
+    } else {
+        positions.iter().rev().take_while(|p| !p.counted).count()
+    };
+    let grid_len = len - tail_len;
+
+    // pre[i] = counted positions strictly before column i.
+    let mut pre = Vec::with_capacity(grid_len + 1);
+    pre.push(0usize);
+    for pos in &positions[..grid_len] {
+        pre.push(pre.last().unwrap() + usize::from(pos.counted));
+    }
+
+    // match_states[i][j] / miss_states[i][j].
+    let mut match_states: Vec<Vec<Option<StateId>>> = vec![vec![None; k + 1]; grid_len];
+    let mut miss_states: Vec<Vec<Option<StateId>>> = vec![vec![None; k + 1]; grid_len];
+
+    for i in 0..grid_len {
+        let pos = &positions[i];
+        let max_m = if opts.prune_triangle { pre[i].min(k) } else { k };
+        for j in 0..=max_m {
+            match_states[i][j] = Some(builder.add_state(match_class(pos), StartKind::None));
+        }
+        if pos.counted && k >= 1 {
+            let mis = mismatch_class(pos);
+            if !mis.is_empty() {
+                let max_x = if opts.prune_triangle { (pre[i] + 1).min(k) } else { k };
+                for j in 1..=max_x {
+                    miss_states[i][j] = Some(builder.add_state(mis, StartKind::None));
+                }
+            }
+        }
+    }
+
+    // Optional shared count-free tail.
+    let mut tail_first: Option<StateId> = None;
+    let mut tail_last: Option<StateId> = None;
+    for pos in &positions[grid_len..] {
+        let s = builder.add_state(match_class(pos), StartKind::None);
+        if tail_first.is_none() {
+            tail_first = Some(s);
+        }
+        if let Some(prev) = tail_last {
+            builder.add_edge(prev, s);
+        }
+        tail_last = Some(s);
+    }
+
+    // Edges within the grid; report marks at the last column.
+    let code_for = |j: usize| -> u32 {
+        let mm = if opts.report_counts { j as u8 } else { UNKNOWN_MISMATCHES };
+        ReportCode::pack(pattern.guide_index(), pattern.strand(), mm).0
+    };
+    for i in 0..grid_len {
+        for j in 0..=k {
+            let sources = [match_states[i][j], miss_states[i][j]];
+            for state in sources.into_iter().flatten() {
+                if i + 1 < grid_len {
+                    if let Some(m) = match_states[i + 1][j] {
+                        builder.add_edge(state, m);
+                    }
+                    if j + 1 <= k {
+                        if let Some(x) = miss_states[i + 1][j + 1] {
+                            builder.add_edge(state, x);
+                        }
+                    }
+                } else if let Some(tail) = tail_first {
+                    builder.add_edge(state, tail);
+                } else {
+                    builder.mark_report(state, code_for(j));
+                }
+            }
+        }
+    }
+    if let Some(tail) = tail_last {
+        builder.mark_report(tail, code_for(0));
+    }
+
+    // Starts at column 0. With a one-column grid the same states already
+    // carry report marks; start kinds are orthogonal.
+    for state in [match_states[0][0], miss_states[0].get(1).copied().flatten()]
+        .into_iter()
+        .flatten()
+    {
+        promote_to_start(builder, state);
+    }
+
+    builder.state_count() - before
+}
+
+/// Rebuilds the state record with an all-input start. `AutomatonBuilder`
+/// has no direct mutator for start kind; re-adding would renumber, so we
+/// go through a dedicated hook.
+fn promote_to_start(builder: &mut AutomatonBuilder, state: StateId) {
+    builder.set_start_kind(state, StartKind::AllInput);
+}
+
+/// Compiles a set of guides into one automaton covering the requested
+/// strands.
+///
+/// # Errors
+///
+/// * [`GuideError::NoGuides`] — `guides` is empty.
+/// * [`GuideError::BudgetTooLarge`] — `opts.k > 30` (report-code space).
+/// * [`GuideError::MixedSiteLengths`] — guides disagree on site length.
+pub fn compile_guides(guides: &[Guide], opts: &CompileOptions) -> Result<CompiledSet, GuideError> {
+    if guides.is_empty() {
+        return Err(GuideError::NoGuides);
+    }
+    if opts.k > 30 {
+        return Err(GuideError::BudgetTooLarge(opts.k));
+    }
+    let site_len = guides[0].site_len();
+    let mut builder = AutomatonBuilder::new();
+    let mut per_pattern = Vec::new();
+    for (index, guide) in guides.iter().enumerate() {
+        if guide.site_len() != site_len {
+            return Err(GuideError::MixedSiteLengths {
+                expected: site_len,
+                found: guide.site_len(),
+            });
+        }
+        let strands: &[Strand] =
+            if opts.both_strands { &Strand::BOTH } else { &[Strand::Forward] };
+        for &strand in strands {
+            let pattern = SitePattern::from_guide(guide, strand).with_guide_index(index as u32);
+            per_pattern.push(compile_pattern(&pattern, opts, &mut builder));
+        }
+    }
+    let automaton = builder.build().expect("compiler always emits start states");
+    Ok(CompiledSet {
+        automaton,
+        site_len,
+        k: opts.k,
+        guide_count: guides.len(),
+        per_pattern_states: per_pattern,
+    })
+}
+
+/// Number of states one pattern needs under `opts` — the quantity the AP
+/// capacity and FPGA resource models consume (experiment E1).
+pub fn pattern_state_count(pattern: &SitePattern, opts: &CompileOptions) -> usize {
+    let mut builder = AutomatonBuilder::new();
+    compile_pattern(pattern, opts, &mut builder)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pam;
+    use crispr_automata::sim;
+    use crispr_genome::{Base, DnaSeq};
+
+    fn guide(spacer: &str) -> Guide {
+        Guide::new("g", spacer.parse().unwrap(), Pam::ngg()).unwrap()
+    }
+
+    /// Encodes a DnaSeq as automaton input symbols.
+    fn symbols(seq: &DnaSeq) -> Vec<u8> {
+        seq.iter().map(Base::code).collect()
+    }
+
+    /// Reference: all (end_pos, code) pairs expected for `text` under the
+    /// compiled set semantics.
+    fn oracle(guides: &[Guide], text: &DnaSeq, opts: &CompileOptions) -> Vec<(usize, u32)> {
+        let mut expected = Vec::new();
+        for (gi, g) in guides.iter().enumerate() {
+            let strands: &[Strand] =
+                if opts.both_strands { &Strand::BOTH } else { &[Strand::Forward] };
+            for &strand in strands {
+                let p = SitePattern::from_guide(g, strand).with_guide_index(gi as u32);
+                let l = p.len();
+                if text.len() < l {
+                    continue;
+                }
+                for start in 0..=text.len() - l {
+                    let window = text.subseq(start..start + l);
+                    if let Some(mm) = p.score_window(window.as_slice()) {
+                        if mm <= opts.k {
+                            let code = if opts.report_counts {
+                                ReportCode::pack(gi as u32, strand, mm as u8).0
+                            } else {
+                                ReportCode::pack(gi as u32, strand, UNKNOWN_MISMATCHES).0
+                            };
+                            expected.push((start + l, code));
+                        }
+                    }
+                }
+            }
+        }
+        expected.sort_unstable();
+        expected
+    }
+
+    fn run_set(set: &CompiledSet, text: &DnaSeq) -> Vec<(usize, u32)> {
+        let mut got: Vec<(usize, u32)> = sim::run(&set.automaton, &symbols(text))
+            .into_iter()
+            .map(|r| (r.pos, r.code))
+            .collect();
+        got.sort_unstable();
+        got
+    }
+
+    fn random_text(len: usize, seed: u64) -> DnaSeq {
+        let mut x = seed;
+        (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Base::from_code(((x >> 33) % 4) as u8)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn exact_match_k0() {
+        let g = guide("ACGTACGTACGTACGTACGT");
+        let opts = CompileOptions::new(0).forward_only();
+        let set = compile_guides(std::slice::from_ref(&g), &opts).unwrap();
+        let mut text: DnaSeq = "TT".parse().unwrap();
+        text.extend_from_seq(&"ACGTACGTACGTACGTACGTAGG".parse().unwrap());
+        let got = run_set(&set, &text);
+        assert_eq!(got, vec![(25, ReportCode::pack(0, Strand::Forward, 0).0)]);
+    }
+
+    #[test]
+    fn agrees_with_oracle_on_random_text() {
+        let g = guide("GATTACAGATTACAGATTAC");
+        for k in 0..=3 {
+            let opts = CompileOptions::new(k);
+            let set = compile_guides(std::slice::from_ref(&g), &opts).unwrap();
+            // Short guide-rich text: splice near-matches into random bases.
+            let mut text = random_text(500, 11 + k as u64);
+            text.extend_from_seq(&"GATTACAGATTACAGATTACTGG".parse().unwrap());
+            text.extend_from_seq(&random_text(100, 17));
+            text.extend_from_seq(&"GATCACAGATTACAGATTACTGG".parse().unwrap()); // 1 mm
+            text.extend_from_seq(&random_text(100, 23));
+            assert_eq!(run_set(&set, &text), oracle(&[g.clone()], &text, &opts), "k={k}");
+        }
+    }
+
+    #[test]
+    fn reverse_strand_sites_are_found() {
+        let g = guide("GATTACAGATTACAGATTAC");
+        let opts = CompileOptions::new(1);
+        let set = compile_guides(std::slice::from_ref(&g), &opts).unwrap();
+        // Forward text containing revcomp(spacer + AGG).
+        let site: DnaSeq = "GATTACAGATTACAGATTACAGG".parse().unwrap();
+        let mut text = random_text(200, 5);
+        text.extend_from_seq(&site.revcomp());
+        text.extend_from_seq(&random_text(50, 7));
+        let got = run_set(&set, &text);
+        let expected = oracle(&[g], &text, &opts);
+        assert_eq!(got, expected);
+        assert!(got
+            .iter()
+            .any(|(_, code)| ReportCode(*code).strand() == Strand::Reverse));
+    }
+
+    #[test]
+    fn unpruned_equals_pruned_behaviour() {
+        let g = guide("ACGTGGCATCAGATTACAGG");
+        let text = random_text(2000, 42);
+        let pruned = compile_guides(std::slice::from_ref(&g), &CompileOptions::new(2)).unwrap();
+        let unpruned =
+            compile_guides(std::slice::from_ref(&g), &CompileOptions::new(2).unpruned()).unwrap();
+        assert_eq!(run_set(&pruned, &text), run_set(&unpruned, &text));
+        assert!(pruned.total_states() < unpruned.total_states());
+    }
+
+    #[test]
+    fn count_free_mode_reports_unknown_and_saves_states() {
+        let g = guide("ACGTGGCATCAGATTACAGG");
+        let opts_counts = CompileOptions::new(3).forward_only();
+        let opts_free = CompileOptions::new(3).forward_only().count_free();
+        let with_counts = compile_guides(std::slice::from_ref(&g), &opts_counts).unwrap();
+        let count_free = compile_guides(std::slice::from_ref(&g), &opts_free).unwrap();
+        assert!(count_free.total_states() < with_counts.total_states());
+
+        let mut text = random_text(300, 3);
+        text.extend_from_seq(&"ACGTGGCATCAGATTACAGGCGG".parse().unwrap());
+        let got = run_set(&count_free, &text);
+        assert_eq!(got, oracle(&[g], &text, &opts_free));
+        assert!(got
+            .iter()
+            .all(|(_, code)| ReportCode(*code).mismatches() == UNKNOWN_MISMATCHES));
+    }
+
+    #[test]
+    fn state_count_formula_for_ngg_k3() {
+        // L=20 spacer + 3 uncounted PAM, k=3, pruned, with counts:
+        // match: sum_{i<20}(min(i,3)+1) + 3*4 = 74 + 12 = 86
+        // mismatch: sum_{i<20} min(i+1,3) = 1+2+3*18 = 57  → 143 total.
+        let g = guide("ACGTACGTACGTACGTACGT");
+        let p = SitePattern::from_guide(&g, Strand::Forward);
+        assert_eq!(pattern_state_count(&p, &CompileOptions::new(3)), 143);
+        // Unpruned: (k+1)*L_match over all 23 columns + k*20 mismatch
+        // = 4*23 + 3*20 = 152.
+        assert_eq!(pattern_state_count(&p, &CompileOptions::new(3).unpruned()), 152);
+    }
+
+    #[test]
+    fn multi_guide_codes_are_disjoint() {
+        let guides =
+            vec![guide("ACGTACGTACGTACGTACGT"), guide("GGGGCCCCAAAATTTTACGT")];
+        let opts = CompileOptions::new(1);
+        let set = compile_guides(&guides, &opts).unwrap();
+        assert_eq!(set.guide_count, 2);
+        assert_eq!(set.per_pattern_states.len(), 4); // 2 guides × 2 strands
+        let text = random_text(3000, 77);
+        assert_eq!(run_set(&set, &text), oracle(&guides, &text, &opts));
+    }
+
+    #[test]
+    fn validation_errors() {
+        assert_eq!(
+            compile_guides(&[], &CompileOptions::new(1)).unwrap_err(),
+            GuideError::NoGuides
+        );
+        let g = guide("ACGTACGTACGTACGTACGT");
+        assert_eq!(
+            compile_guides(std::slice::from_ref(&g), &CompileOptions::new(31)).unwrap_err(),
+            GuideError::BudgetTooLarge(31)
+        );
+        let short = guide("ACGTACGTAC");
+        assert_eq!(
+            compile_guides(&[g, short], &CompileOptions::new(1)).unwrap_err(),
+            GuideError::MixedSiteLengths { expected: 23, found: 13 }
+        );
+    }
+
+    #[test]
+    fn n_in_spacer_cannot_mismatch() {
+        // A guide whose spacer contains what lowers to an N-class position
+        // can never mismatch there; the compiler must not emit an
+        // empty-class state. We emulate via the PAM's N position instead:
+        // column 20 (N) gets no mismatch state even though the site
+        // pattern marks PAM positions uncounted anyway — covered by the
+        // formula test. Here we check no state has an empty class.
+        let g = guide("ACGTACGTACGTACGTACGT");
+        let set = compile_guides(&[g], &CompileOptions::new(3)).unwrap();
+        for id in set.automaton.state_ids() {
+            assert!(!set.automaton.state(id).class.is_empty(), "{id}");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Guide-set generation and ground-truth planting.
+//!
+//! The paper's workloads are "G guides × genome × budget k". This module
+//! generates those workloads synthetically: random guides (optionally
+//! sourced from the genome itself so on-target sites exist), and planted
+//! off-target sites at exact mismatch counts via
+//! [`crispr_genome::synth::Planter`], returning the corresponding
+//! [`Hit`]s as an oracle.
+
+use crate::{Guide, Hit, Pam};
+use crispr_genome::synth::Planter;
+use crispr_genome::{Base, DnaSeq, Genome, Strand};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates `count` random guides with `spacer_len`-base spacers and the
+/// given PAM. Deterministic per seed.
+pub fn random_guides(count: usize, spacer_len: usize, pam: &Pam, seed: u64) -> Vec<Guide> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let spacer: DnaSeq =
+                (0..spacer_len).map(|_| Base::from_code(rng.gen_range(0..4))).collect();
+            Guide::new(format!("guide{i}"), spacer, pam.clone())
+                .expect("generated spacer is non-empty")
+        })
+        .collect()
+}
+
+/// Extracts `count` guides from sites actually present in `genome` (so
+/// each has a 0-mismatch on-target site), requiring a valid PAM at the
+/// sampled location. Returns fewer than `count` if the genome runs out of
+/// PAM sites within the attempt budget.
+pub fn guides_from_genome(
+    genome: &Genome,
+    count: usize,
+    spacer_len: usize,
+    pam: &Pam,
+    seed: u64,
+) -> Vec<Guide> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut guides = Vec::new();
+    let site_len = spacer_len + pam.len();
+    let mut attempts = 0usize;
+    while guides.len() < count && attempts < count * 10_000 {
+        attempts += 1;
+        let contig = &genome.contigs()[rng.gen_range(0..genome.contig_count())];
+        if contig.len() < site_len {
+            continue;
+        }
+        let start = rng.gen_range(0..=contig.len() - site_len);
+        let window = contig.seq().subseq(start..start + site_len);
+        // 3'-PAM layout: spacer then PAM (5'-PAM guides sample analogously).
+        let (spacer, pam_part) = match pam.side() {
+            crate::PamSide::Three => {
+                (window.subseq(0..spacer_len), window.subseq(spacer_len..site_len))
+            }
+            crate::PamSide::Five => {
+                (window.subseq(pam.len()..site_len), window.subseq(0..pam.len()))
+            }
+        };
+        let pam_ok = pam_part
+            .iter()
+            .zip(pam.codes())
+            .all(|(base, code)| code.matches(base));
+        if pam_ok {
+            let id = format!("guide{}", guides.len());
+            guides.push(Guide::new(id, spacer, pam.clone()).expect("spacer non-empty"));
+        }
+    }
+    guides
+}
+
+/// A planting plan: for each guide, plant `count` sites at each listed
+/// mismatch level, alternating strands.
+#[derive(Debug, Clone)]
+pub struct PlantPlan {
+    /// `(mismatches, sites per guide)` pairs.
+    pub levels: Vec<(usize, usize)>,
+}
+
+impl PlantPlan {
+    /// A plan with `per_level` sites at every mismatch level `0..=k`.
+    pub fn uniform(k: usize, per_level: usize) -> PlantPlan {
+        PlantPlan { levels: (0..=k).map(|mm| (mm, per_level)).collect() }
+    }
+}
+
+/// Plants off-target sites for every guide into `genome` per `plan`,
+/// returning the modified genome and the exact expected hits.
+///
+/// The written template is the guide's spacer plus a *concrete* PAM drawn
+/// from the motif, so each planted site matches its guide with exactly the
+/// requested mismatch count and a valid PAM. Note the genome may contain
+/// additional spontaneous sites; the returned hits are a guaranteed
+/// *subset* of any correct engine's output.
+pub fn plant_offtargets(
+    genome: Genome,
+    guides: &[Guide],
+    plan: &PlantPlan,
+    seed: u64,
+) -> (Genome, Vec<Hit>) {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    let mut planter = Planter::new(genome, seed);
+    let mut hits = Vec::new();
+    for (gi, guide) in guides.iter().enumerate() {
+        let spacer_len = guide.spacer().len();
+        for &(mm, count) in &plan.levels {
+            for _ in 0..count {
+                let template = concrete_site(guide, &mut rng);
+                let mutable = match guide.pam().side() {
+                    crate::PamSide::Three => 0..spacer_len,
+                    crate::PamSide::Five => guide.pam().len()..guide.site_len(),
+                };
+                let strand = if rng.gen_bool(0.5) { Strand::Forward } else { Strand::Reverse };
+                if let Some(site) = planter.plant(&template, mutable, mm, strand) {
+                    hits.push(Hit {
+                        contig: site.contig as u32,
+                        pos: site.pos as u64,
+                        guide: gi as u32,
+                        strand,
+                        mismatches: mm as u8,
+                    });
+                }
+            }
+        }
+    }
+    let (genome, _) = planter.finish();
+    crate::hit::normalize(&mut hits);
+    (genome, hits)
+}
+
+/// The guide's site with every PAM position resolved to a concrete base
+/// accepted by its IUPAC code.
+fn concrete_site(guide: &Guide, rng: &mut StdRng) -> DnaSeq {
+    let mut site = DnaSeq::new();
+    let push_pam = |site: &mut DnaSeq, rng: &mut StdRng| {
+        for code in guide.pam().codes() {
+            let options: Vec<Base> = code.bases().collect();
+            site.push(options[rng.gen_range(0..options.len())]);
+        }
+    };
+    match guide.pam().side() {
+        crate::PamSide::Three => {
+            site.extend_from_seq(guide.spacer());
+            push_pam(&mut site, rng);
+        }
+        crate::PamSide::Five => {
+            push_pam(&mut site, rng);
+            site.extend_from_seq(guide.spacer());
+        }
+    }
+    site
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SitePattern;
+    use crispr_genome::synth::SynthSpec;
+
+    #[test]
+    fn random_guides_are_deterministic_and_distinct() {
+        let a = random_guides(5, 20, &Pam::ngg(), 1);
+        let b = random_guides(5, 20, &Pam::ngg(), 1);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 5);
+        assert!(a.iter().all(|g| g.spacer().len() == 20));
+        assert_ne!(a[0].spacer(), a[1].spacer());
+        assert_eq!(a[3].id(), "guide3");
+    }
+
+    #[test]
+    fn guides_from_genome_have_on_target_sites() {
+        let genome = SynthSpec::new(100_000).seed(3).generate();
+        let guides = guides_from_genome(&genome, 10, 20, &Pam::ngg(), 4);
+        assert_eq!(guides.len(), 10);
+        for g in &guides {
+            let pattern = SitePattern::from_guide(g, Strand::Forward);
+            let contig = &genome.contigs()[0];
+            let found = (0..=contig.len() - pattern.len()).any(|start| {
+                let window = contig.seq().subseq(start..start + pattern.len());
+                pattern.score_window(window.as_slice()) == Some(0)
+            });
+            assert!(found, "guide {} has no on-target site", g.id());
+        }
+    }
+
+    #[test]
+    fn planted_sites_score_as_planned() {
+        let genome = SynthSpec::new(50_000).seed(5).generate();
+        let guides = random_guides(3, 20, &Pam::ngg(), 6);
+        let plan = PlantPlan::uniform(3, 2);
+        let (genome, hits) = plant_offtargets(genome, &guides, &plan, 7);
+        assert_eq!(hits.len(), 3 * 4 * 2);
+        for hit in &hits {
+            let guide = &guides[hit.guide as usize];
+            let pattern = SitePattern::from_guide(guide, hit.strand);
+            let contig = &genome.contigs()[hit.contig as usize];
+            let window =
+                contig.seq().subseq(hit.pos as usize..hit.pos as usize + pattern.len());
+            assert_eq!(
+                pattern.score_window(window.as_slice()),
+                Some(hit.mismatches as usize),
+                "hit {hit}"
+            );
+        }
+    }
+
+    #[test]
+    fn plant_plan_uniform_levels() {
+        let plan = PlantPlan::uniform(2, 5);
+        assert_eq!(plan.levels, vec![(0, 5), (1, 5), (2, 5)]);
+    }
+
+    #[test]
+    fn five_prime_pam_planting() {
+        let pam = Pam::tttv();
+        let genome = SynthSpec::new(20_000).seed(8).generate();
+        let guides = random_guides(2, 20, &pam, 9);
+        let (genome, hits) =
+            plant_offtargets(genome, &guides, &PlantPlan::uniform(1, 1), 10);
+        for hit in &hits {
+            let guide = &guides[hit.guide as usize];
+            let pattern = SitePattern::from_guide(guide, hit.strand);
+            let contig = &genome.contigs()[hit.contig as usize];
+            let window =
+                contig.seq().subseq(hit.pos as usize..hit.pos as usize + pattern.len());
+            assert_eq!(pattern.score_window(window.as_slice()), Some(hit.mismatches as usize));
+        }
+    }
+}

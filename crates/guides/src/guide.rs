@@ -1,0 +1,176 @@
+use crate::Pam;
+use crispr_genome::{DnaSeq, IupacCode};
+use std::fmt;
+
+/// Error type for guide and PAM construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GuideError {
+    /// A PAM motif letter was not a valid IUPAC code.
+    InvalidPam {
+        /// The offending motif letter.
+        byte: u8,
+        /// Its offset within the motif.
+        offset: usize,
+    },
+    /// The spacer was empty.
+    EmptySpacer,
+    /// The mismatch budget cannot be represented in a report code
+    /// (maximum 30).
+    BudgetTooLarge(usize),
+    /// Guides in one compiled set must share a site length (the engines
+    /// and platform models assume uniform windows, as the paper does).
+    MixedSiteLengths {
+        /// Site length of the first guide in the set.
+        expected: usize,
+        /// The differing length encountered.
+        found: usize,
+    },
+    /// A compiled set needs at least one guide.
+    NoGuides,
+}
+
+impl fmt::Display for GuideError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GuideError::InvalidPam { byte, offset } => {
+                write!(f, "invalid PAM letter {:?} at offset {}", *byte as char, offset)
+            }
+            GuideError::EmptySpacer => write!(f, "guide spacer is empty"),
+            GuideError::BudgetTooLarge(k) => {
+                write!(f, "mismatch budget {k} exceeds the report-code maximum of 30")
+            }
+            GuideError::MixedSiteLengths { expected, found } => {
+                write!(f, "guide site length {found} differs from the set's {expected}")
+            }
+            GuideError::NoGuides => write!(f, "guide set is empty"),
+        }
+    }
+}
+
+impl std::error::Error for GuideError {}
+
+/// A named gRNA: spacer sequence plus the nuclease's PAM.
+///
+/// ```
+/// use crispr_guides::{Guide, Pam};
+///
+/// let g = Guide::new("EMX1", "GAGTCCGAGCAGAAGAAGAA".parse().unwrap(), Pam::ngg())?;
+/// assert_eq!(g.site_len(), 23);
+/// # Ok::<(), crispr_guides::GuideError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Guide {
+    id: String,
+    spacer: DnaSeq,
+    pam: Pam,
+}
+
+impl Guide {
+    /// Creates a guide.
+    ///
+    /// # Errors
+    ///
+    /// [`GuideError::EmptySpacer`] if `spacer` has no bases.
+    pub fn new(id: impl Into<String>, spacer: DnaSeq, pam: Pam) -> Result<Guide, GuideError> {
+        if spacer.is_empty() {
+            return Err(GuideError::EmptySpacer);
+        }
+        Ok(Guide { id: id.into(), spacer, pam })
+    }
+
+    /// The guide's identifier.
+    pub fn id(&self) -> &str {
+        &self.id
+    }
+
+    /// The spacer sequence (5′→3′, protospacer strand).
+    pub fn spacer(&self) -> &DnaSeq {
+        &self.spacer
+    }
+
+    /// The PAM.
+    pub fn pam(&self) -> &Pam {
+        &self.pam
+    }
+
+    /// Total genomic footprint: spacer length + PAM length.
+    pub fn site_len(&self) -> usize {
+        self.spacer.len() + self.pam.len()
+    }
+
+    /// The full site as IUPAC codes in protospacer orientation: spacer
+    /// bases as exact codes, PAM codes on the configured side.
+    pub fn site_codes(&self) -> Vec<IupacCode> {
+        let spacer = self.spacer.iter().map(IupacCode::from_base);
+        match self.pam.side() {
+            crate::PamSide::Three => spacer.chain(self.pam.codes().iter().copied()).collect(),
+            crate::PamSide::Five => {
+                self.pam.codes().iter().copied().chain(spacer).collect()
+            }
+        }
+    }
+}
+
+impl fmt::Display for Guide {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pam.side() {
+            crate::PamSide::Three => write!(f, "{}:{}+{}", self.id, self.spacer, self.pam),
+            crate::PamSide::Five => write!(f, "{}:{}+{}", self.id, self.pam, self.spacer),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PamSide;
+
+    fn spacer() -> DnaSeq {
+        "ACGTACGTACGTACGTACGT".parse().unwrap()
+    }
+
+    #[test]
+    fn construction_and_accessors() {
+        let g = Guide::new("g1", spacer(), Pam::ngg()).unwrap();
+        assert_eq!(g.id(), "g1");
+        assert_eq!(g.spacer().len(), 20);
+        assert_eq!(g.site_len(), 23);
+        assert_eq!(g.to_string(), "g1:ACGTACGTACGTACGTACGT+NGG");
+    }
+
+    #[test]
+    fn empty_spacer_rejected() {
+        assert_eq!(
+            Guide::new("g", DnaSeq::new(), Pam::ngg()).unwrap_err(),
+            GuideError::EmptySpacer
+        );
+    }
+
+    #[test]
+    fn site_codes_three_prime() {
+        let g = Guide::new("g", "AC".parse().unwrap(), Pam::ngg()).unwrap();
+        let codes = g.site_codes();
+        assert_eq!(codes.len(), 5);
+        assert_eq!(codes[0], IupacCode::from_ascii(b'A').unwrap());
+        assert_eq!(codes[2], IupacCode::N);
+        assert_eq!(codes[4], IupacCode::from_ascii(b'G').unwrap());
+    }
+
+    #[test]
+    fn site_codes_five_prime() {
+        let pam = Pam::new("TTTV", PamSide::Five).unwrap();
+        let g = Guide::new("g", "AC".parse().unwrap(), pam).unwrap();
+        let codes = g.site_codes();
+        assert_eq!(codes.len(), 6);
+        assert_eq!(codes[0], IupacCode::from_ascii(b'T').unwrap());
+        assert_eq!(codes[4], IupacCode::from_ascii(b'A').unwrap());
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(GuideError::BudgetTooLarge(99).to_string().contains("99"));
+        assert!(GuideError::MixedSiteLengths { expected: 23, found: 24 }
+            .to_string()
+            .contains("24"));
+    }
+}

@@ -1,0 +1,175 @@
+use crispr_genome::Strand;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Sentinel mismatch count meaning "not encoded in the report code" —
+/// produced by automata compiled with shared (count-free) report chains,
+/// where the host re-derives the count from the site sequence, exactly as
+/// the AP flow post-processes report events.
+pub const UNKNOWN_MISMATCHES: u8 = 31;
+
+/// Packing of `(guide index, strand, mismatch count)` into the `u32`
+/// report code carried by automaton states.
+///
+/// Layout: bits `[31:6]` guide index, bit `5` strand (1 = reverse), bits
+/// `[4:0]` mismatch count (31 = [`UNKNOWN_MISMATCHES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ReportCode(pub u32);
+
+impl ReportCode {
+    /// Packs the fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mismatches > 31` or `guide_index >= 2^26`.
+    pub fn pack(guide_index: u32, strand: Strand, mismatches: u8) -> ReportCode {
+        assert!(mismatches <= 31, "mismatch count {mismatches} exceeds code space");
+        assert!(guide_index < (1 << 26), "guide index {guide_index} exceeds code space");
+        let strand_bit = match strand {
+            Strand::Forward => 0,
+            Strand::Reverse => 1,
+        };
+        ReportCode((guide_index << 6) | (strand_bit << 5) | mismatches as u32)
+    }
+
+    /// The guide index.
+    pub fn guide_index(self) -> u32 {
+        self.0 >> 6
+    }
+
+    /// The strand.
+    pub fn strand(self) -> Strand {
+        if self.0 & (1 << 5) == 0 {
+            Strand::Forward
+        } else {
+            Strand::Reverse
+        }
+    }
+
+    /// The mismatch count, or [`UNKNOWN_MISMATCHES`].
+    pub fn mismatches(self) -> u8 {
+        (self.0 & 31) as u8
+    }
+}
+
+impl From<u32> for ReportCode {
+    fn from(raw: u32) -> ReportCode {
+        ReportCode(raw)
+    }
+}
+
+/// One candidate off-target site — the common currency of every engine and
+/// platform in the workspace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Hit {
+    /// Index of the contig within the searched genome.
+    pub contig: u32,
+    /// Forward-strand position of the site's leftmost base.
+    pub pos: u64,
+    /// Index of the guide within the searched set.
+    pub guide: u32,
+    /// Strand the guide binds on.
+    pub strand: Strand,
+    /// Number of spacer mismatches (never [`UNKNOWN_MISMATCHES`] in final
+    /// results; engines that receive count-free reports re-derive it).
+    pub mismatches: u8,
+}
+
+impl fmt::Display for Hit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "guide{}@contig{}:{}{} mm={}",
+            self.guide, self.contig, self.pos, self.strand, self.mismatches
+        )
+    }
+}
+
+/// Sorts hits into the canonical order (contig, pos, guide, strand,
+/// mismatches) and removes exact duplicates — the normal form used to
+/// compare engines' outputs.
+pub fn normalize(hits: &mut Vec<Hit>) {
+    hits.sort_unstable();
+    hits.dedup();
+}
+
+/// Returns the hits present in exactly one of the two (normalized) slices:
+/// `(only_in_a, only_in_b)`. Used by cross-engine validation to produce
+/// actionable diffs instead of a bare boolean.
+pub fn diff(a: &[Hit], b: &[Hit]) -> (Vec<Hit>, Vec<Hit>) {
+    let mut only_a = Vec::new();
+    let mut only_b = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                only_a.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                only_b.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    only_a.extend_from_slice(&a[i..]);
+    only_b.extend_from_slice(&b[j..]);
+    (only_a, only_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_code_roundtrip() {
+        for guide in [0u32, 1, 1000, (1 << 26) - 1] {
+            for strand in Strand::BOTH {
+                for mm in [0u8, 3, 31] {
+                    let code = ReportCode::pack(guide, strand, mm);
+                    assert_eq!(code.guide_index(), guide);
+                    assert_eq!(code.strand(), strand);
+                    assert_eq!(code.mismatches(), mm);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds code space")]
+    fn report_code_rejects_large_mismatches() {
+        let _ = ReportCode::pack(0, Strand::Forward, 32);
+    }
+
+    fn hit(pos: u64, guide: u32) -> Hit {
+        Hit { contig: 0, pos, guide, strand: Strand::Forward, mismatches: 1 }
+    }
+
+    #[test]
+    fn normalize_sorts_and_dedups() {
+        let mut hits = vec![hit(5, 0), hit(1, 1), hit(5, 0), hit(1, 0)];
+        normalize(&mut hits);
+        assert_eq!(hits, vec![hit(1, 0), hit(1, 1), hit(5, 0)]);
+    }
+
+    #[test]
+    fn diff_reports_asymmetries() {
+        let a = vec![hit(1, 0), hit(2, 0), hit(3, 0)];
+        let b = vec![hit(2, 0), hit(4, 0)];
+        let (only_a, only_b) = diff(&a, &b);
+        assert_eq!(only_a, vec![hit(1, 0), hit(3, 0)]);
+        assert_eq!(only_b, vec![hit(4, 0)]);
+        let (ea, eb) = diff(&a, &a);
+        assert!(ea.is_empty() && eb.is_empty());
+    }
+
+    #[test]
+    fn hit_display_is_informative() {
+        let h = Hit { contig: 2, pos: 99, guide: 7, strand: Strand::Reverse, mismatches: 3 };
+        assert_eq!(h.to_string(), "guide7@contig2:99- mm=3");
+    }
+}

@@ -1,0 +1,173 @@
+//! Plain-text guide list I/O for the command-line tools.
+//!
+//! Format: one guide per line, whitespace-separated
+//! `id  spacer  pam[/5]` — a trailing `/5` marks a 5′ PAM (Cas12a-style);
+//! `#` starts a comment. Example:
+//!
+//! ```text
+//! # id      spacer                 pam
+//! EMX1      GAGTCCGAGCAGAAGAAGAA   NGG
+//! cpf1_g1   TTTACGCATGCATGCATGCA   TTTV/5
+//! ```
+
+use crate::{Guide, GuideError, Pam, PamSide};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Error type for guide-file parsing.
+#[derive(Debug)]
+pub enum GuideIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line did not have the `id spacer pam` shape.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        reason: String,
+    },
+    /// A field failed domain validation.
+    Invalid {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying validation failure.
+        source: GuideError,
+    },
+}
+
+impl std::fmt::Display for GuideIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GuideIoError::Io(e) => write!(f, "i/o error: {e}"),
+            GuideIoError::Malformed { line, reason } => {
+                write!(f, "guide file line {line}: {reason}")
+            }
+            GuideIoError::Invalid { line, source } => {
+                write!(f, "guide file line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GuideIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GuideIoError::Io(e) => Some(e),
+            GuideIoError::Invalid { source, .. } => Some(source),
+            GuideIoError::Malformed { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for GuideIoError {
+    fn from(e: std::io::Error) -> Self {
+        GuideIoError::Io(e)
+    }
+}
+
+/// Reads a guide list.
+///
+/// # Errors
+///
+/// [`GuideIoError`] describing the first offending line, or I/O failure.
+pub fn read_guides<R: Read>(reader: R) -> Result<Vec<Guide>, GuideIoError> {
+    let reader = BufReader::new(reader);
+    let mut guides = Vec::new();
+    for (line_no, line) in reader.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = line?;
+        let content = line.split('#').next().unwrap_or("").trim();
+        if content.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = content.split_whitespace().collect();
+        if fields.len() != 3 {
+            return Err(GuideIoError::Malformed {
+                line: line_no,
+                reason: format!("expected `id spacer pam`, got {} fields", fields.len()),
+            });
+        }
+        let spacer = fields[1].parse().map_err(|_| GuideIoError::Malformed {
+            line: line_no,
+            reason: format!("spacer {:?} is not a DNA sequence", fields[1]),
+        })?;
+        let (motif, side) = match fields[2].strip_suffix("/5") {
+            Some(m) => (m, PamSide::Five),
+            None => (fields[2], PamSide::Three),
+        };
+        let pam = Pam::new(motif, side)
+            .map_err(|source| GuideIoError::Invalid { line: line_no, source })?;
+        let guide = Guide::new(fields[0], spacer, pam)
+            .map_err(|source| GuideIoError::Invalid { line: line_no, source })?;
+        guides.push(guide);
+    }
+    Ok(guides)
+}
+
+/// Writes a guide list in the format [`read_guides`] accepts.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `writer`.
+pub fn write_guides<W: Write>(mut writer: W, guides: &[Guide]) -> Result<(), GuideIoError> {
+    writeln!(writer, "# id\tspacer\tpam")?;
+    for guide in guides {
+        let suffix = match guide.pam().side() {
+            PamSide::Three => "",
+            PamSide::Five => "/5",
+        };
+        writeln!(writer, "{}\t{}\t{}{}", guide.id(), guide.spacer(), guide.pam(), suffix)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let guides = vec![
+            Guide::new("a", "ACGTACGTACGTACGTACGT".parse().unwrap(), Pam::ngg()).unwrap(),
+            Guide::new("b", "TTTTACGTACGTACGTACGT".parse().unwrap(), Pam::tttv()).unwrap(),
+        ];
+        let mut buf = Vec::new();
+        write_guides(&mut buf, &guides).unwrap();
+        let back = read_guides(buf.as_slice()).unwrap();
+        assert_eq!(back, guides);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\ng1 ACGT NGG # trailing comment\n";
+        let guides = read_guides(text.as_bytes()).unwrap();
+        assert_eq!(guides.len(), 1);
+        assert_eq!(guides[0].id(), "g1");
+    }
+
+    #[test]
+    fn malformed_lines_are_located() {
+        let text = "g1 ACGT NGG\ng2 ACGT\n";
+        match read_guides(text.as_bytes()) {
+            Err(GuideIoError::Malformed { line: 2, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_spacer_and_pam_are_rejected() {
+        assert!(matches!(
+            read_guides("g ACGX NGG".as_bytes()),
+            Err(GuideIoError::Malformed { line: 1, .. })
+        ));
+        assert!(matches!(
+            read_guides("g ACGT NQG".as_bytes()),
+            Err(GuideIoError::Invalid { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn five_prime_suffix_parses() {
+        let guides = read_guides("g ACGT TTTV/5".as_bytes()).unwrap();
+        assert_eq!(guides[0].pam().side(), PamSide::Five);
+    }
+}

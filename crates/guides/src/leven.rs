@@ -1,0 +1,295 @@
+//! Indel-tolerant (Levenshtein) site automata — the paper's extension
+//! beyond pure mismatches (CasOT's "indel" mode).
+//!
+//! The construction generalizes the mismatch grid with insertion states
+//! (class `*`, progress unchanged) and deletion *edges* (column-skipping,
+//! since homogeneous states always consume a symbol). A state that is
+//! within trailing-deletion range of the pattern end reports immediately
+//! with the deletions priced in. Unlike the mismatch grid, paths are
+//! non-deterministic: one window can report several achievable costs, so
+//! consumers take the minimum per position ([`min_reports`]).
+//!
+//! Indels are priced uniformly across the pattern; PAM validity for indel
+//! hits is re-checked by the host (the verification step the AP flow
+//! performs on report events anyway).
+
+use crate::{Hit, ReportCode};
+use crispr_automata::{Automaton, AutomatonBuilder, StartKind, StateId, SymbolClass};
+use crispr_genome::{Base, DnaSeq, Strand};
+use std::collections::HashMap;
+
+/// Compiles a Levenshtein automaton for `pattern` with edit budget `k`,
+/// reporting codes that encode `(guide_index, strand, edit distance)`.
+///
+/// # Panics
+///
+/// Panics if `pattern` is empty or `k > 30`.
+pub fn compile_levenshtein(
+    pattern: &DnaSeq,
+    k: usize,
+    guide_index: u32,
+    strand: Strand,
+) -> Automaton {
+    assert!(!pattern.is_empty(), "cannot compile an empty pattern");
+    assert!(k <= 30, "edit budget {k} exceeds report-code space");
+    let l = pattern.len();
+    let mut b = AutomatonBuilder::new();
+
+    let single = |base: Base| SymbolClass::from_low_nibble_mask(1 << base.code());
+    let other = |base: Base| SymbolClass::from_low_nibble_mask(!(1u8 << base.code()) & 0xF);
+    let any = SymbolClass::from_low_nibble_mask(0xF);
+
+    // States keyed by (kind, index, errors). Kind: 0 = match position i,
+    // 1 = substitute position i, 2 = insertion while next position is i.
+    let mut states: HashMap<(u8, usize, usize), StateId> = HashMap::new();
+    for i in 0..l {
+        for j in 0..=k {
+            states.insert((0, i, j), b.add_state(single(pattern[i]), StartKind::None));
+            if j >= 1 {
+                states.insert((1, i, j), b.add_state(other(pattern[i]), StartKind::None));
+                // Insertion with next expected position i+1 (1..=l):
+                // insertions before any progress are subsumed by the free
+                // text prefix, but *trailing* insertions (i+1 == l) are
+                // real alignments that must report.
+                states.insert((2, i + 1, j), b.add_state(any, StartKind::None));
+            }
+        }
+    }
+
+    // Progress (pattern chars consumed) and errors of a state key.
+    let progress = |key: &(u8, usize, usize)| -> usize {
+        match key.0 {
+            0 | 1 => key.1 + 1,
+            _ => key.1,
+        }
+    };
+
+    let mark = |b: &mut AutomatonBuilder, id: StateId, total: usize| {
+        b.mark_report(id, ReportCode::pack(guide_index, strand, total as u8).0);
+    };
+
+    let keys: Vec<(u8, usize, usize)> = states.keys().copied().collect();
+    for key in &keys {
+        let id = states[key];
+        let p = progress(key);
+        let j = key.2;
+
+        // Reports: exact end, or end via trailing deletions.
+        let deletions_needed = l - p;
+        if deletions_needed + j <= k {
+            mark(&mut b, id, j + deletions_needed);
+        }
+
+        // Successors: match/substitute position p (+ deletions skipping
+        // ahead), or insert.
+        for d in 0..=k.saturating_sub(j) {
+            let target_pos = p + d;
+            if target_pos >= l {
+                break;
+            }
+            if let Some(&m) = states.get(&(0, target_pos, j + d)) {
+                b.add_edge(id, m);
+            }
+            if let Some(&s) = states.get(&(1, target_pos, j + d + 1)) {
+                b.add_edge(id, s);
+            }
+        }
+        if let Some(&ins) = states.get(&(2, p, j + 1)) {
+            b.add_edge(id, ins);
+        }
+    }
+
+    // Starts: first consumed symbol is position d (after deleting d
+    // leading positions), matched or substituted.
+    for d in 0..=k {
+        if d < l {
+            if let Some(&m) = states.get(&(0, d, d)) {
+                b.set_start_kind(m, StartKind::AllInput);
+            }
+            if let Some(&s) = states.get(&(1, d, d + 1)) {
+                b.set_start_kind(s, StartKind::AllInput);
+            }
+        }
+    }
+
+    b.build().expect("levenshtein automaton always has starts").trim()
+}
+
+/// Collapses raw `(pos, code)` reports to the minimum edit distance per
+/// `(pos, guide, strand)` — the semantics engines expose for indel search.
+pub fn min_reports(reports: impl IntoIterator<Item = (usize, u32)>) -> Vec<(usize, u32)> {
+    let mut best: HashMap<(usize, u32), u8> = HashMap::new();
+    for (pos, raw) in reports {
+        let code = ReportCode(raw);
+        let key = (pos, raw & !31);
+        let entry = best.entry(key).or_insert(u8::MAX);
+        *entry = (*entry).min(code.mismatches());
+    }
+    let mut out: Vec<(usize, u32)> =
+        best.into_iter().map(|((pos, base), mm)| (pos, base | mm as u32)).collect();
+    out.sort_unstable();
+    out
+}
+
+/// Semi-global edit distance of `pattern` against every end position of
+/// `text`: `result[e]` is the minimum edits to align the whole pattern to
+/// some substring of `text` ending at `e` (exclusive). The DP oracle the
+/// automaton is validated against, and the reference for indel engines.
+pub fn semiglobal_distances(pattern: &DnaSeq, text: &DnaSeq) -> Vec<usize> {
+    let l = pattern.len();
+    let n = text.len();
+    let mut prev: Vec<usize> = (0..=l).collect(); // column for t = 0
+    let mut result = vec![prev[l]; n + 1];
+    let mut curr = vec![0usize; l + 1];
+    for t in 1..=n {
+        curr[0] = 0; // free leading text
+        for i in 1..=l {
+            let sub = prev[i - 1] + usize::from(pattern[i - 1] != text[t - 1]);
+            let del = prev[i] + 1; // delete pattern char (pattern char unmatched)
+            let ins = curr[i - 1] + 1;
+            curr[i] = sub.min(del).min(ins);
+        }
+        result[t] = curr[l];
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    result
+}
+
+/// Converts min-reports against a single contig into [`Hit`]s, anchoring
+/// each hit at `end - pattern_len` (indel hits have variable true extent;
+/// this fixed anchor matches how the engines report them).
+pub fn reports_to_hits(reports: &[(usize, u32)], pattern_len: usize, contig: u32) -> Vec<Hit> {
+    reports
+        .iter()
+        .filter(|(pos, _)| *pos >= pattern_len)
+        .map(|&(pos, raw)| {
+            let code = ReportCode(raw);
+            Hit {
+                contig,
+                pos: (pos - pattern_len) as u64,
+                guide: code.guide_index(),
+                strand: code.strand(),
+                mismatches: code.mismatches(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crispr_automata::sim;
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn symbols(s: &DnaSeq) -> Vec<u8> {
+        s.iter().map(Base::code).collect()
+    }
+
+    fn min_dist_reports(pattern: &DnaSeq, k: usize, text: &DnaSeq) -> Vec<(usize, u32)> {
+        let a = compile_levenshtein(pattern, k, 0, Strand::Forward);
+        min_reports(sim::run(&a, &symbols(text)).into_iter().map(|r| (r.pos, r.code)))
+    }
+
+    #[test]
+    fn exact_match_distance_zero() {
+        let pattern = seq("ACGTACGT");
+        let text = seq("TTACGTACGTTT");
+        let reports = min_dist_reports(&pattern, 2, &text);
+        assert!(reports.contains(&(10, ReportCode::pack(0, Strand::Forward, 0).0)));
+    }
+
+    #[test]
+    fn single_insertion_and_deletion() {
+        let pattern = seq("ACGTACGT");
+        // Insertion in the text (extra G in the middle).
+        let reports = min_dist_reports(&pattern, 2, &seq("ACGTGACGT"));
+        assert!(
+            reports
+                .iter()
+                .any(|(pos, code)| *pos == 9 && ReportCode(*code).mismatches() == 1),
+            "{reports:?}"
+        );
+        // Deletion in the text (missing the second A).
+        let reports = min_dist_reports(&pattern, 2, &seq("ACGTCGT"));
+        assert!(
+            reports
+                .iter()
+                .any(|(pos, code)| *pos == 7 && ReportCode(*code).mismatches() == 1),
+            "{reports:?}"
+        );
+    }
+
+    #[test]
+    fn agrees_with_dp_oracle() {
+        let pattern = seq("GATTACAG");
+        let mut x = 2024u64;
+        let text: DnaSeq = (0..400)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                Base::from_code(((x >> 33) % 4) as u8)
+            })
+            .collect();
+        for k in 0..=2 {
+            let reports = min_dist_reports(&pattern, k, &text);
+            let oracle = semiglobal_distances(&pattern, &text);
+            // Every oracle-reachable end with distance ≤ k must be
+            // reported with exactly the oracle distance, and vice versa.
+            let mut expected = Vec::new();
+            for (e, &d) in oracle.iter().enumerate() {
+                if d <= k && e > 0 {
+                    expected.push((e, ReportCode::pack(0, Strand::Forward, d as u8).0));
+                }
+            }
+            assert_eq!(reports, expected, "k={k}");
+        }
+    }
+
+    #[test]
+    fn trailing_deletions_report_early() {
+        // Pattern ACGT, text ends right after ACG: distance 1 via deleting T.
+        let reports = min_dist_reports(&seq("ACGT"), 1, &seq("ACG"));
+        assert!(
+            reports
+                .iter()
+                .any(|(pos, code)| *pos == 3 && ReportCode(*code).mismatches() == 1),
+            "{reports:?}"
+        );
+    }
+
+    #[test]
+    fn budget_zero_degenerates_to_exact_match() {
+        let pattern = seq("ACGT");
+        let reports = min_dist_reports(&pattern, 0, &seq("AACGTA"));
+        assert_eq!(reports, vec![(5, ReportCode::pack(0, Strand::Forward, 0).0)]);
+    }
+
+    #[test]
+    fn min_reports_takes_minimum_per_slot() {
+        let base0 = ReportCode::pack(0, Strand::Forward, 0).0 & !31;
+        let base1 = ReportCode::pack(1, Strand::Forward, 0).0 & !31;
+        let collapsed = min_reports(vec![
+            (5, base0 | 3),
+            (5, base0 | 1),
+            (5, base1 | 2),
+            (6, base0 | 2),
+        ]);
+        assert_eq!(collapsed, vec![(5, base0 | 1), (5, base1 | 2), (6, base0 | 2)]);
+    }
+
+    #[test]
+    fn reports_to_hits_anchors_positions() {
+        let code = ReportCode::pack(3, Strand::Reverse, 2).0;
+        let hits = reports_to_hits(&[(23, code), (30, code)], 23, 1);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(hits[0].pos, 0);
+        assert_eq!(hits[1].pos, 7);
+        assert_eq!(hits[0].guide, 3);
+        assert_eq!(hits[0].strand, Strand::Reverse);
+        // End positions before a full pattern length are dropped.
+        let hits = reports_to_hits(&[(5, code)], 23, 0);
+        assert!(hits.is_empty());
+    }
+}

@@ -1,0 +1,52 @@
+//! gRNA guides, PAM motifs, and the mismatch/indel automaton compilers —
+//! the paper's core contribution.
+//!
+//! A CRISPR/Cas9 target site is a ~20-nt *spacer* adjacent to a short
+//! *PAM* motif (`NGG` for SpCas9). Off-target search asks: where in the
+//! genome does a guide's spacer match with at most *k* mismatches (and a
+//! valid PAM)? This crate turns that question into homogeneous automata:
+//!
+//! * [`Pam`] — IUPAC PAM motifs with their side (3′ for Cas9, 5′ for
+//!   Cas12a) and strand arithmetic.
+//! * [`Guide`] — a named spacer + PAM.
+//! * [`SitePattern`] — the guide lowered to a forward-strand position list
+//!   (concrete spacer bases = *counted* positions, PAM codes = *must-match,
+//!   uncounted*), for either strand.
+//! * [`compile`] — the mismatch-counting automaton: a (k+1)-row grid of
+//!   match/mismatch states with upper-triangle pruning, reporting the exact
+//!   mismatch count (paper §3).
+//! * [`leven`] — the optional indel-tolerant (Levenshtein) variant.
+//! * [`Hit`] / [`ReportCode`] — what every engine returns, and how automaton
+//!   report codes encode (guide, strand, mismatch-count).
+//! * [`genset`] — random guide sets and ground-truth planting on synthetic
+//!   genomes.
+//!
+//! # Example: compile one guide and scan a sequence
+//!
+//! ```
+//! use crispr_guides::{compile, CompileOptions, Guide, Pam};
+//!
+//! let guide = Guide::new("g", "GACGTCTGAGGAACCTAGCA".parse().unwrap(), Pam::ngg())?;
+//! let compiled = compile::compile_guides(&[guide], &CompileOptions::new(2))?;
+//! // 23-symbol sites (20 spacer + NGG) on both strands, ≤2 mismatches.
+//! assert!(compiled.automaton.state_count() > 0);
+//! # Ok::<(), crispr_guides::GuideError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod compile;
+pub mod genset;
+mod guide;
+mod hit;
+pub mod io;
+pub mod leven;
+pub mod stride;
+mod pam;
+mod pattern;
+
+pub use compile::{CompileOptions, CompiledSet};
+pub use guide::{Guide, GuideError};
+pub use hit::{diff, normalize, Hit, ReportCode, UNKNOWN_MISMATCHES};
+pub use pam::{Pam, PamSide};
+pub use pattern::{PatternPos, SitePattern};

@@ -1,0 +1,158 @@
+use crate::GuideError;
+use crispr_genome::IupacCode;
+use std::fmt;
+
+/// Which side of the spacer the PAM sits on, reading the protospacer
+/// 5′→3′.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PamSide {
+    /// PAM follows the spacer (3′ side) — SpCas9 and variants.
+    Three,
+    /// PAM precedes the spacer (5′ side) — Cas12a/Cpf1.
+    Five,
+}
+
+/// A protospacer-adjacent motif: a short IUPAC pattern the nuclease
+/// requires next to the spacer. PAM positions are *required* matches —
+/// they never count against the mismatch budget, matching the semantics of
+/// Cas-OFFinder and CasOT.
+///
+/// ```
+/// use crispr_guides::{Pam, PamSide};
+///
+/// let pam = Pam::ngg();
+/// assert_eq!(pam.len(), 3);
+/// assert_eq!(pam.side(), PamSide::Three);
+/// assert_eq!(pam.to_string(), "NGG");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Pam {
+    name: String,
+    codes: Vec<IupacCode>,
+    side: PamSide,
+}
+
+impl Pam {
+    /// Parses an IUPAC motif.
+    ///
+    /// # Errors
+    ///
+    /// [`GuideError::InvalidPam`] if `motif` contains a non-IUPAC letter.
+    pub fn new(motif: &str, side: PamSide) -> Result<Pam, GuideError> {
+        let mut codes = Vec::with_capacity(motif.len());
+        for (i, byte) in motif.bytes().enumerate() {
+            codes.push(IupacCode::from_ascii(byte).ok_or(GuideError::InvalidPam {
+                byte,
+                offset: i,
+            })?);
+        }
+        Ok(Pam { name: motif.to_ascii_uppercase(), codes, side })
+    }
+
+    /// SpCas9's canonical `NGG` (3′).
+    pub fn ngg() -> Pam {
+        Pam::new("NGG", PamSide::Three).expect("static motif is valid")
+    }
+
+    /// SpCas9's relaxed `NRG` (3′) — also accepts the `NAG` class.
+    pub fn nrg() -> Pam {
+        Pam::new("NRG", PamSide::Three).expect("static motif is valid")
+    }
+
+    /// The `NAG` alternative PAM (3′).
+    pub fn nag() -> Pam {
+        Pam::new("NAG", PamSide::Three).expect("static motif is valid")
+    }
+
+    /// SaCas9's `NNGRRT` (3′).
+    pub fn nngrrt() -> Pam {
+        Pam::new("NNGRRT", PamSide::Three).expect("static motif is valid")
+    }
+
+    /// Cas12a/Cpf1's `TTTV` (5′).
+    pub fn tttv() -> Pam {
+        Pam::new("TTTV", PamSide::Five).expect("static motif is valid")
+    }
+
+    /// An empty PAM (pure spacer search).
+    pub fn none() -> Pam {
+        Pam { name: String::new(), codes: Vec::new(), side: PamSide::Three }
+    }
+
+    /// Number of PAM positions.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// Whether the PAM is empty.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The IUPAC codes, 5′→3′ on the protospacer strand.
+    pub fn codes(&self) -> &[IupacCode] {
+        &self.codes
+    }
+
+    /// Which side of the spacer the PAM sits on.
+    pub fn side(&self) -> PamSide {
+        self.side
+    }
+
+    /// Mean number of genome positions (out of 4^len) accepted by the
+    /// motif, as a fraction — e.g. `NGG` accepts 1/16 of random 3-mers.
+    pub fn background_rate(&self) -> f64 {
+        self.codes.iter().map(|c| c.degeneracy() as f64 / 4.0).product()
+    }
+}
+
+impl fmt::Display for Pam {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crispr_genome::Base;
+
+    #[test]
+    fn canonical_pams() {
+        assert_eq!(Pam::ngg().len(), 3);
+        assert_eq!(Pam::nrg().to_string(), "NRG");
+        assert_eq!(Pam::nngrrt().len(), 6);
+        assert_eq!(Pam::tttv().side(), PamSide::Five);
+        assert!(Pam::none().is_empty());
+    }
+
+    #[test]
+    fn invalid_motif_is_rejected() {
+        assert!(matches!(
+            Pam::new("NXG", PamSide::Three),
+            Err(GuideError::InvalidPam { byte: b'X', offset: 1 })
+        ));
+    }
+
+    #[test]
+    fn ngg_codes_match_expected_bases() {
+        let pam = Pam::ngg();
+        assert!(pam.codes()[0].matches(Base::A));
+        assert!(pam.codes()[1].matches(Base::G));
+        assert!(!pam.codes()[1].matches(Base::A));
+    }
+
+    #[test]
+    fn background_rates() {
+        assert!((Pam::ngg().background_rate() - 1.0 / 16.0).abs() < 1e-12);
+        assert!((Pam::nrg().background_rate() - 1.0 / 8.0).abs() < 1e-12);
+        assert_eq!(Pam::none().background_rate(), 1.0);
+    }
+
+    #[test]
+    fn lowercase_motifs_are_normalized() {
+        let pam = Pam::new("ngg", PamSide::Three).unwrap();
+        assert_eq!(pam.to_string(), "NGG");
+        assert_eq!(pam, Pam::ngg());
+    }
+}

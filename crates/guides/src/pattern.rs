@@ -1,0 +1,207 @@
+use crate::Guide;
+use crispr_genome::{IupacCode, Strand};
+
+/// One position of a site pattern as it appears on the forward genome
+/// strand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PatternPos {
+    /// Accepted bases at this position.
+    pub class: IupacCode,
+    /// Whether a non-matching base here consumes mismatch budget
+    /// (spacer positions) or disqualifies the site outright (PAM
+    /// positions).
+    pub counted: bool,
+}
+
+/// A guide lowered to the forward-strand coordinate frame for one strand.
+///
+/// The genome is scanned left→right exactly once (the streaming model every
+/// platform shares). A forward-strand site reads `spacer ++ PAM` (for a 3′
+/// PAM); the same guide on the reverse strand appears on the forward strand
+/// as the reverse complement, i.e. `revcomp(PAM) ++ revcomp(spacer)`. Both
+/// cases collapse into one representation: an ordered list of
+/// [`PatternPos`].
+///
+/// ```
+/// use crispr_guides::{Guide, Pam, SitePattern};
+/// use crispr_genome::Strand;
+///
+/// let g = Guide::new("g", "ACGTACGTACGTACGTACGT".parse().unwrap(), Pam::ngg())?;
+/// let fwd = SitePattern::from_guide(&g, Strand::Forward);
+/// let rev = SitePattern::from_guide(&g, Strand::Reverse);
+/// assert_eq!(fwd.len(), 23);
+/// // Reverse-strand pattern starts with revcomp(NGG) = CCN.
+/// assert_eq!(rev.positions()[0].class.to_string(), "C");
+/// assert!(!rev.positions()[0].counted);
+/// # Ok::<(), crispr_guides::GuideError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SitePattern {
+    positions: Vec<PatternPos>,
+    strand: Strand,
+    guide_index: u32,
+}
+
+impl SitePattern {
+    /// Lowers `guide` to strand `strand` (guide index 0; see
+    /// [`SitePattern::with_guide_index`]).
+    pub fn from_guide(guide: &Guide, strand: Strand) -> SitePattern {
+        let codes = guide.site_codes();
+        let pam_len = guide.pam().len();
+        let spacer_len = guide.spacer().len();
+        // counted flags in protospacer orientation.
+        let counted: Vec<bool> = match guide.pam().side() {
+            crate::PamSide::Three => (0..spacer_len + pam_len).map(|i| i < spacer_len).collect(),
+            crate::PamSide::Five => (0..spacer_len + pam_len).map(|i| i >= pam_len).collect(),
+        };
+        let positions: Vec<PatternPos> = match strand {
+            Strand::Forward => codes
+                .iter()
+                .zip(&counted)
+                .map(|(c, k)| PatternPos { class: *c, counted: *k })
+                .collect(),
+            Strand::Reverse => codes
+                .iter()
+                .zip(&counted)
+                .rev()
+                .map(|(c, k)| PatternPos { class: c.complement(), counted: *k })
+                .collect(),
+        };
+        SitePattern { positions, strand, guide_index: 0 }
+    }
+
+    /// Tags the pattern with the index of its guide within a set.
+    pub fn with_guide_index(mut self, index: u32) -> SitePattern {
+        self.guide_index = index;
+        self
+    }
+
+    /// The positions in forward-strand scan order.
+    pub fn positions(&self) -> &[PatternPos] {
+        &self.positions
+    }
+
+    /// Pattern length in bases.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the pattern is empty.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Which strand this pattern represents.
+    pub fn strand(&self) -> Strand {
+        self.strand
+    }
+
+    /// Index of the originating guide within its set.
+    pub fn guide_index(&self) -> u32 {
+        self.guide_index
+    }
+
+    /// Number of counted (budget-consuming) positions.
+    pub fn counted_len(&self) -> usize {
+        self.positions.iter().filter(|p| p.counted).count()
+    }
+
+    /// Counts mismatches of `window` (same length, forward-strand bases)
+    /// against this pattern: `None` if an *uncounted* position fails
+    /// (invalid PAM), otherwise the number of counted positions that
+    /// differ.
+    ///
+    /// This is the scalar reference every engine is validated against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window.len() != self.len()`.
+    pub fn score_window(&self, window: &[crispr_genome::Base]) -> Option<usize> {
+        assert_eq!(window.len(), self.len(), "window length must equal pattern length");
+        let mut mismatches = 0;
+        for (pos, &base) in self.positions.iter().zip(window) {
+            if !pos.class.matches(base) {
+                if !pos.counted {
+                    return None;
+                }
+                mismatches += 1;
+            }
+        }
+        Some(mismatches)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Pam, PamSide};
+    use crispr_genome::DnaSeq;
+
+    fn guide() -> Guide {
+        Guide::new("g", "ACGTACGTACGTACGTACGT".parse().unwrap(), Pam::ngg()).unwrap()
+    }
+
+    #[test]
+    fn forward_pattern_layout() {
+        let p = SitePattern::from_guide(&guide(), Strand::Forward);
+        assert_eq!(p.len(), 23);
+        assert_eq!(p.counted_len(), 20);
+        assert!(p.positions()[0].counted);
+        assert!(!p.positions()[20].counted);
+        assert_eq!(p.positions()[20].class, IupacCode::N);
+    }
+
+    #[test]
+    fn reverse_pattern_is_revcomp_with_pam_first() {
+        let p = SitePattern::from_guide(&guide(), Strand::Reverse);
+        assert_eq!(p.len(), 23);
+        // revcomp(NGG) = CCN at the front, uncounted.
+        assert!(!p.positions()[0].counted);
+        assert_eq!(p.positions()[0].class.to_string(), "C");
+        assert_eq!(p.positions()[2].class, IupacCode::N);
+        // Last position is complement of spacer[0] = A → T, counted.
+        assert!(p.positions()[22].counted);
+        assert_eq!(p.positions()[22].class.to_string(), "T");
+    }
+
+    #[test]
+    fn five_prime_pam_counted_flags() {
+        let pam = Pam::new("TTTV", PamSide::Five).unwrap();
+        let g = Guide::new("g", "ACGTACGTACGTACGTACGT".parse().unwrap(), pam).unwrap();
+        let fwd = SitePattern::from_guide(&g, Strand::Forward);
+        assert!(!fwd.positions()[0].counted); // PAM first
+        assert!(fwd.positions()[4].counted);
+        let rev = SitePattern::from_guide(&g, Strand::Reverse);
+        assert!(rev.positions()[0].counted); // spacer (revcomp) first
+        assert!(!rev.positions()[23].counted);
+    }
+
+    #[test]
+    fn score_window_counts_and_rejects() {
+        let g = Guide::new("g", "ACGT".parse().unwrap(), Pam::ngg()).unwrap();
+        let p = SitePattern::from_guide(&g, Strand::Forward);
+        let exact: DnaSeq = "ACGTAGG".parse().unwrap();
+        assert_eq!(p.score_window(exact.as_slice()), Some(0));
+        let two_mm: DnaSeq = "TCGAAGG".parse().unwrap();
+        assert_eq!(p.score_window(two_mm.as_slice()), Some(2));
+        let bad_pam: DnaSeq = "ACGTATG".parse().unwrap();
+        assert_eq!(p.score_window(bad_pam.as_slice()), None);
+    }
+
+    #[test]
+    fn reverse_score_window_matches_planted_site() {
+        // Plant guide on reverse strand manually: forward strand holds
+        // revcomp(spacer+PAM).
+        let g = Guide::new("g", "ACGT".parse().unwrap(), Pam::ngg()).unwrap();
+        let site: DnaSeq = "ACGTAGG".parse().unwrap(); // spacer + concrete PAM AGG
+        let fwd_text = site.revcomp();
+        let p = SitePattern::from_guide(&g, Strand::Reverse);
+        assert_eq!(p.score_window(fwd_text.as_slice()), Some(0));
+    }
+
+    #[test]
+    fn guide_index_tagging() {
+        let p = SitePattern::from_guide(&guide(), Strand::Forward).with_guide_index(5);
+        assert_eq!(p.guide_index(), 5);
+    }
+}

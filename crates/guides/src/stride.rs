@@ -1,0 +1,403 @@
+//! Multi-stride (2 bases/symbol) mismatch automata — the paper's §7
+//! proposal for further spatial-architecture speedups.
+//!
+//! Spatial platforms consume one input symbol per cycle, so halving the
+//! symbol count doubles throughput. The transformation re-expresses the
+//! mismatch grid over a 16-symbol *pair* alphabet: each strided column
+//! covers two site positions and carries one state per *mismatch delta*
+//! `d ∈ {0,1,2}` and reachable running total. Two alignment copies (site
+//! starting on an even or odd genome offset) cover every start position
+//! in a single strided stream.
+//!
+//! Reports fire at pair granularity, so the final pair of an odd-aligned
+//! site can include one base past the site; consumers re-verify candidate
+//! hits against the genome — the same host-side verification the AP flow
+//! performs on report events anyway (see [`StridedScan`]).
+
+use crate::{CompileOptions, Hit, ReportCode, SitePattern};
+use crispr_automata::{Automaton, AutomatonBuilder, StartKind, StateId, SymbolClass};
+use crispr_genome::{Base, DnaSeq, Genome, Strand};
+
+/// Encodes a base pair as one 16-alphabet symbol (`first × 4 + second`).
+#[inline]
+pub fn pair_symbol(first: Base, second: Base) -> u8 {
+    first.code() * 4 + second.code()
+}
+
+/// Converts a sequence into the strided pair stream, padding an odd tail
+/// with `A` (spurious tail matches are removed by re-verification).
+pub fn stride_symbols(seq: &DnaSeq) -> Vec<u8> {
+    let mut out = Vec::with_capacity(seq.len().div_ceil(2));
+    let mut iter = seq.iter();
+    while let Some(first) = iter.next() {
+        let second = iter.next().unwrap_or(Base::A);
+        out.push(pair_symbol(first, second));
+    }
+    out
+}
+
+/// Which genome-offset parity a strided copy matches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StrideAlignment {
+    /// Site starts on an even genome offset (aligned with pair
+    /// boundaries).
+    Even,
+    /// Site starts on an odd genome offset (its first base is the second
+    /// element of a pair).
+    Odd,
+}
+
+impl StrideAlignment {
+    /// Both alignments.
+    pub const BOTH: [StrideAlignment; 2] = [StrideAlignment::Even, StrideAlignment::Odd];
+
+    fn offset(self) -> usize {
+        match self {
+            StrideAlignment::Even => 0,
+            StrideAlignment::Odd => 1,
+        }
+    }
+}
+
+/// The pair-symbol class for one strided column at mismatch delta `d`.
+///
+/// `lo`/`hi` are the pattern positions covered by the pair's first/second
+/// element (`None` = outside the pattern, wildcard). Uncounted positions
+/// must match in every class; counted positions distribute the delta.
+fn pair_class(
+    lo: Option<&crate::PatternPos>,
+    hi: Option<&crate::PatternPos>,
+    d: usize,
+) -> SymbolClass {
+    let mut class = SymbolClass::EMPTY;
+    for first in Base::ALL {
+        for second in Base::ALL {
+            let mut mismatches = 0usize;
+            let mut valid = true;
+            for (pos, base) in [(lo, first), (hi, second)] {
+                if let Some(p) = pos {
+                    if !p.class.matches(base) {
+                        if p.counted {
+                            mismatches += 1;
+                        } else {
+                            valid = false;
+                        }
+                    }
+                }
+            }
+            if valid && mismatches == d {
+                class.insert(pair_symbol(first, second));
+            }
+        }
+    }
+    class
+}
+
+/// Compiles one strided copy of `pattern` into `builder`, returning the
+/// number of states added. Report codes carry the exact mismatch count;
+/// callers map pair-granular report positions back to base coordinates
+/// via [`StridedScan`].
+///
+/// # Panics
+///
+/// Panics if the pattern is empty.
+pub fn compile_strided_pattern(
+    pattern: &SitePattern,
+    k: usize,
+    alignment: StrideAlignment,
+    builder: &mut AutomatonBuilder,
+) -> usize {
+    assert!(!pattern.is_empty(), "cannot compile an empty pattern");
+    let before = builder.state_count();
+    let positions = pattern.positions();
+    let a = alignment.offset();
+    let columns = (a + positions.len()).div_ceil(2);
+
+    // states[c][j][d] = state consuming pair-column c, arriving at total j
+    // via delta d.
+    let mut states: Vec<Vec<[Option<StateId>; 3]>> = vec![vec![[None; 3]; k + 1]; columns];
+    for (c, column) in states.iter_mut().enumerate() {
+        let lo_idx = (2 * c).checked_sub(a);
+        let hi_idx = 2 * c + 1 - a;
+        let lo = lo_idx.and_then(|i| positions.get(i));
+        let hi = positions.get(hi_idx);
+        for d in 0..=2usize.min(k) {
+            let class = pair_class(lo, hi, d);
+            if class.is_empty() {
+                continue;
+            }
+            for j in d..=k {
+                column[j][d] = Some(builder.add_state(class, StartKind::None));
+            }
+        }
+    }
+
+    // Edges, starts, reports.
+    for c in 0..columns {
+        for j in 0..=k {
+            for d in 0..=2 {
+                let Some(state) = states[c][j][d] else { continue };
+                if c == 0 && j == d {
+                    builder.set_start_kind(state, StartKind::AllInput);
+                }
+                if c + 1 < columns {
+                    for d2 in 0..=2usize {
+                        if j + d2 <= k {
+                            if let Some(next) = states[c + 1][j + d2][d2] {
+                                builder.add_edge(state, next);
+                            }
+                        }
+                    }
+                } else {
+                    let code =
+                        ReportCode::pack(pattern.guide_index(), pattern.strand(), j as u8);
+                    builder.mark_report(state, code.0);
+                }
+            }
+        }
+    }
+
+    builder.state_count() - before
+}
+
+/// A compiled strided scanner over a guide set: both strands × both
+/// alignments per guide, scanned on the pair stream, with candidate hits
+/// re-verified against the genome.
+#[derive(Debug)]
+pub struct StridedScan {
+    automaton: Automaton,
+    /// `(site_len, k)` recorded for position mapping and verification.
+    site_len: usize,
+    k: usize,
+    /// Pattern metadata per `(guide, strand)`, for verification.
+    patterns: Vec<SitePattern>,
+    /// States per compiled copy, in (guide, strand, alignment) order.
+    pub per_copy_states: Vec<usize>,
+}
+
+impl StridedScan {
+    /// Compiles `guides` for strided scanning with budget `k`.
+    ///
+    /// # Errors
+    ///
+    /// The same guide-set validation as [`crate::compile::compile_guides`].
+    pub fn compile(
+        guides: &[crate::Guide],
+        opts: &CompileOptions,
+    ) -> Result<StridedScan, crate::GuideError> {
+        if guides.is_empty() {
+            return Err(crate::GuideError::NoGuides);
+        }
+        if opts.k > 30 {
+            return Err(crate::GuideError::BudgetTooLarge(opts.k));
+        }
+        let site_len = guides[0].site_len();
+        let mut builder = AutomatonBuilder::new();
+        let mut per_copy = Vec::new();
+        let mut patterns = Vec::new();
+        for (i, guide) in guides.iter().enumerate() {
+            if guide.site_len() != site_len {
+                return Err(crate::GuideError::MixedSiteLengths {
+                    expected: site_len,
+                    found: guide.site_len(),
+                });
+            }
+            let strands: &[Strand] =
+                if opts.both_strands { &Strand::BOTH } else { &[Strand::Forward] };
+            for &strand in strands {
+                let pattern = SitePattern::from_guide(guide, strand).with_guide_index(i as u32);
+                for alignment in StrideAlignment::BOTH {
+                    per_copy.push(compile_strided_pattern(
+                        &pattern,
+                        opts.k,
+                        alignment,
+                        &mut builder,
+                    ));
+                }
+                patterns.push(pattern);
+            }
+        }
+        Ok(StridedScan {
+            automaton: builder.build().expect("strided compiler emits start states"),
+            site_len,
+            k: opts.k,
+            patterns,
+            per_copy_states: per_copy,
+        })
+    }
+
+    /// The combined strided automaton (for capacity/resource models).
+    pub fn automaton(&self) -> &Automaton {
+        &self.automaton
+    }
+
+    /// Scans `genome` on the pair stream and returns verified hits.
+    pub fn search(&self, genome: &Genome) -> Vec<Hit> {
+        let mut hits = Vec::new();
+        for (ci, contig) in genome.contigs().iter().enumerate() {
+            let symbols = stride_symbols(contig.seq());
+            let reports = crispr_automata::sim::run(&self.automaton, &symbols);
+            for report in reports {
+                let code = ReportCode(report.code);
+                // A report at pair position p means the site's final pair
+                // was pair p−1 (0-based), i.e. the site ends at base
+                // 2p−1 or 2p−2 depending on alignment. Rather than track
+                // which copy fired, verify both candidate start offsets.
+                let end_base = 2 * report.pos;
+                for slack in 0..=1usize {
+                    let Some(end) = end_base.checked_sub(slack) else { continue };
+                    let Some(start) = end.checked_sub(self.site_len) else { continue };
+                    if end > contig.len() {
+                        continue;
+                    }
+                    let window = contig.seq().subseq(start..start + self.site_len);
+                    for pattern in &self.patterns {
+                        if pattern.guide_index() != code.guide_index()
+                            || pattern.strand() != code.strand()
+                        {
+                            continue;
+                        }
+                        if let Some(mm) = pattern.score_window(window.as_slice()) {
+                            if mm == code.mismatches() as usize && mm <= self.k {
+                                hits.push(Hit {
+                                    contig: ci as u32,
+                                    pos: start as u64,
+                                    guide: code.guide_index(),
+                                    strand: code.strand(),
+                                    mismatches: mm as u8,
+                                });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        crate::hit::normalize(&mut hits);
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Guide, Pam};
+    use crispr_genome::synth::SynthSpec;
+
+    fn guides(n: usize) -> Vec<Guide> {
+        crate::genset::random_guides(n, 20, &Pam::ngg(), 5)
+    }
+
+    #[test]
+    fn stride_symbols_pack_pairs() {
+        let seq: DnaSeq = "ACGT".parse().unwrap();
+        assert_eq!(stride_symbols(&seq), vec![1, 2 * 4 + 3]);
+        let odd: DnaSeq = "ACG".parse().unwrap();
+        assert_eq!(stride_symbols(&odd), vec![1, 2 * 4]); // padded with A
+    }
+
+    #[test]
+    fn pair_class_distributes_mismatch_deltas() {
+        use crispr_genome::IupacCode;
+        let counted = crate::PatternPos { class: IupacCode::from_base(Base::A), counted: true };
+        // Both positions counted 'A': d=0 is {AA}, d=1 is {Ax, xA}, d=2 the rest.
+        let c0 = pair_class(Some(&counted), Some(&counted), 0);
+        let c1 = pair_class(Some(&counted), Some(&counted), 1);
+        let c2 = pair_class(Some(&counted), Some(&counted), 2);
+        assert_eq!(c0.len(), 1);
+        assert_eq!(c1.len(), 6);
+        assert_eq!(c2.len(), 9);
+        // Classes partition the 16-symbol alphabet.
+        assert_eq!(c0.union(&c1).union(&c2).len(), 16);
+        // Uncounted position: mismatch excluded entirely.
+        let uncounted = crate::PatternPos { class: IupacCode::from_base(Base::G), counted: false };
+        let u0 = pair_class(Some(&uncounted), Some(&counted), 0);
+        assert_eq!(u0.len(), 1); // GA only
+        assert!(pair_class(Some(&uncounted), Some(&counted), 2).is_empty());
+    }
+
+    #[test]
+    fn strided_equals_unstrided_on_planted_workload() {
+        fn oracle(genome: &Genome, guides: &[Guide], k: usize) -> Vec<Hit> {
+            let mut hits = Vec::new();
+            for (ci, contig) in genome.contigs().iter().enumerate() {
+                for (gi, g) in guides.iter().enumerate() {
+                    for strand in Strand::BOTH {
+                        let p = SitePattern::from_guide(g, strand).with_guide_index(gi as u32);
+                        if contig.len() < p.len() {
+                            continue;
+                        }
+                        for start in 0..=contig.len() - p.len() {
+                            let w = contig.seq().subseq(start..start + p.len());
+                            if let Some(mm) = p.score_window(w.as_slice()) {
+                                if mm <= k {
+                                    hits.push(Hit {
+                                        contig: ci as u32,
+                                        pos: start as u64,
+                                        guide: gi as u32,
+                                        strand,
+                                        mismatches: mm as u8,
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            crate::hit::normalize(&mut hits);
+            hits
+        }
+
+        let genome = SynthSpec::new(20_000).seed(6).generate();
+        let gs = guides(2);
+        let (genome, _) = crate::genset::plant_offtargets(
+            genome,
+            &gs,
+            &crate::genset::PlantPlan::uniform(2, 3),
+            7,
+        );
+        for k in [0usize, 2] {
+            let scan = StridedScan::compile(&gs, &CompileOptions::new(k)).unwrap();
+            assert_eq!(scan.search(&genome), oracle(&genome, &gs, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn strided_state_overhead_is_bounded() {
+        let gs = guides(1);
+        let k = 3;
+        let scan = StridedScan::compile(&gs, &CompileOptions::new(k)).unwrap();
+        let unstrided =
+            crate::compile::compile_guides(&gs, &CompileOptions::new(k)).unwrap();
+        // Two alignment copies halve the columns each: total strided states
+        // stay within ~2.5× of the unstrided machine.
+        let ratio = scan.automaton().state_count() as f64 / unstrided.total_states() as f64;
+        assert!(ratio < 2.5, "ratio {ratio}");
+        assert_eq!(scan.per_copy_states.len(), 4); // 2 strands × 2 alignments
+    }
+
+    #[test]
+    fn odd_genome_tail_is_handled() {
+        // Site flush against an odd-length contig end.
+        let gs = guides(1);
+        let g = &gs[0];
+        let mut text: DnaSeq = "T".repeat(101).parse().unwrap(); // odd length
+        // Overwrite the tail with a perfect site (ends at base 101).
+        let mut site = g.spacer().clone();
+        site.extend_from_seq(&"AGG".parse().unwrap());
+        let start = 101 - site.len();
+        let mut bases = text.clone().into_bases();
+        for (i, b) in site.iter().enumerate() {
+            bases[start + i] = b;
+        }
+        text = DnaSeq::from_bases(bases);
+        let genome = Genome::from_seq(text);
+        let scan = StridedScan::compile(&gs, &CompileOptions::new(0)).unwrap();
+        let hits = scan.search(&genome);
+        assert!(hits.iter().any(|h| h.pos == start as u64), "{hits:?}");
+    }
+
+    #[test]
+    fn validation_errors_propagate() {
+        assert!(StridedScan::compile(&[], &CompileOptions::new(1)).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Shared performance-model types for the platform simulators.
+//!
+//! The AP, FPGA and GPU crates all report timing in the same four buckets
+//! the paper's end-to-end figures use: one-time configuration, host↔device
+//! data transfer, kernel execution, and output/report processing. Keeping
+//! the type here lets `crispr-core` and the benchmark harness aggregate
+//! across platforms without conversion glue.
+
+#![warn(missing_docs)]
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::time::Duration;
+
+/// Modeled execution-time breakdown of one search on one platform.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    /// One-time setup: automata compilation/placement, FPGA bitstream
+    /// load, GPU kernel build. Amortizable across searches.
+    pub config_s: f64,
+    /// Moving the genome (and patterns) to the device.
+    pub transfer_s: f64,
+    /// The matching kernel itself.
+    pub kernel_s: f64,
+    /// Draining and post-processing report/output events.
+    pub report_s: f64,
+}
+
+impl TimingBreakdown {
+    /// Total excluding one-time configuration — the paper's headline
+    /// "kernel execution" comparisons amortize config.
+    pub fn online_s(&self) -> f64 {
+        self.transfer_s + self.kernel_s + self.report_s
+    }
+
+    /// Grand total including configuration.
+    pub fn total_s(&self) -> f64 {
+        self.config_s + self.online_s()
+    }
+
+    /// Sums two breakdowns bucket-wise.
+    pub fn combine(&self, other: &TimingBreakdown) -> TimingBreakdown {
+        TimingBreakdown {
+            config_s: self.config_s + other.config_s,
+            transfer_s: self.transfer_s + other.transfer_s,
+            kernel_s: self.kernel_s + other.kernel_s,
+            report_s: self.report_s + other.report_s,
+        }
+    }
+
+    /// A breakdown with only measured kernel (wall-clock) time — how CPU
+    /// engines, which have no device, report themselves.
+    pub fn from_kernel(duration: Duration) -> TimingBreakdown {
+        TimingBreakdown { kernel_s: duration.as_secs_f64(), ..TimingBreakdown::default() }
+    }
+}
+
+impl fmt::Display for TimingBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "config {:.3}s + transfer {:.3}s + kernel {:.3}s + report {:.3}s = {:.3}s",
+            self.config_s,
+            self.transfer_s,
+            self.kernel_s,
+            self.report_s,
+            self.total_s()
+        )
+    }
+}
+
+/// Throughput helper: input bytes over seconds, in MB/s (10^6 bytes).
+pub fn throughput_mbps(bytes: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    bytes as f64 / seconds / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_and_online() {
+        let t = TimingBreakdown { config_s: 10.0, transfer_s: 1.0, kernel_s: 2.0, report_s: 0.5 };
+        assert_eq!(t.online_s(), 3.5);
+        assert_eq!(t.total_s(), 13.5);
+    }
+
+    #[test]
+    fn combine_is_bucketwise() {
+        let a = TimingBreakdown { config_s: 1.0, transfer_s: 2.0, kernel_s: 3.0, report_s: 4.0 };
+        let b = a.combine(&a);
+        assert_eq!(b.kernel_s, 6.0);
+        assert_eq!(b.total_s(), 20.0);
+    }
+
+    #[test]
+    fn from_kernel_only_sets_kernel() {
+        let t = TimingBreakdown::from_kernel(Duration::from_millis(1500));
+        assert!((t.kernel_s - 1.5).abs() < 1e-9);
+        assert_eq!(t.config_s, 0.0);
+        assert_eq!(t.online_s(), t.kernel_s);
+    }
+
+    #[test]
+    fn throughput_guards_zero() {
+        assert_eq!(throughput_mbps(100, 0.0), 0.0);
+        assert!((throughput_mbps(2_000_000, 2.0) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_complete() {
+        let t = TimingBreakdown { config_s: 1.0, transfer_s: 0.0, kernel_s: 0.5, report_s: 0.0 };
+        let s = t.to_string();
+        assert!(s.contains("config 1.000s") && s.contains("= 1.500s"));
+    }
+}

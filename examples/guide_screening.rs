@@ -1,0 +1,67 @@
+//! Guide specificity screening — the workload the paper's introduction
+//! motivates: given many candidate guides for a locus, rank them by how
+//! few off-target sites they have, so the wet lab picks the safest.
+//!
+//! ```text
+//! cargo run --release --example guide_screening
+//! ```
+
+use crispr_offtarget::core::{OffTargetSearch, Platform};
+use crispr_offtarget::genome::synth::{RepeatFamily, SynthSpec};
+use crispr_offtarget::guides::{genset, Pam};
+use std::collections::HashMap;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A repeat-rich genome: repeats are what make some guides unsafe.
+    let genome = SynthSpec::new(1_000_000)
+        .seed(11)
+        .gc_content(0.45)
+        .repeat_family(RepeatFamily { unit_len: 300, copies: 120, divergence: 0.03 })
+        .generate();
+
+    // 24 candidate guides sampled from the genome (each has an on-target).
+    let guides = genset::guides_from_genome(&genome, 24, 20, &Pam::ngg(), 13);
+    println!("screening {} candidate guides, budget k=3, PAM NGG\n", guides.len());
+
+    let report = OffTargetSearch::new(genome)
+        .guides(guides.clone())
+        .max_mismatches(3)
+        .platform(Platform::CpuBitParallel)
+        .threads(4)
+        .run()?;
+
+    // Count candidate sites per guide, weighting close matches higher
+    // (a 1-mismatch site is far more likely to cut than a 3-mismatch one).
+    let mut score: HashMap<u32, f64> = HashMap::new();
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for hit in report.hits() {
+        *counts.entry(hit.guide).or_default() += 1;
+        *score.entry(hit.guide).or_default() += match hit.mismatches {
+            0 => 0.0, // the on-target itself
+            1 => 10.0,
+            2 => 3.0,
+            _ => 1.0,
+        };
+    }
+
+    let mut ranked: Vec<_> = guides.iter().enumerate().collect();
+    ranked.sort_by(|a, b| {
+        let sa = score.get(&(a.0 as u32)).copied().unwrap_or(0.0);
+        let sb = score.get(&(b.0 as u32)).copied().unwrap_or(0.0);
+        sa.partial_cmp(&sb).expect("scores are finite")
+    });
+
+    println!("rank  guide     sites  risk   spacer");
+    for (rank, (idx, guide)) in ranked.iter().enumerate() {
+        println!(
+            "{:>4}  {:<8}  {:>5}  {:>5.1}  {}",
+            rank + 1,
+            guide.id(),
+            counts.get(&(*idx as u32)).copied().unwrap_or(0),
+            score.get(&(*idx as u32)).copied().unwrap_or(0.0),
+            guide.spacer(),
+        );
+    }
+    println!("\nsafest pick: {}", ranked.first().map(|(_, g)| g.id()).unwrap_or("-"));
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! Run the paper's full platform matrix on one workload and print the
+//! comparison table — a miniature of experiment E2.
+//!
+//! ```text
+//! cargo run --release --example platform_comparison
+//! ```
+
+use crispr_offtarget::core::{OffTargetSearch, Platform};
+use crispr_offtarget::genome::synth::SynthSpec;
+use crispr_offtarget::guides::{genset, Pam};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let genome = SynthSpec::new(2_000_000).seed(21).generate();
+    let guides = genset::random_guides(20, 20, &Pam::ngg(), 22);
+    let k = 3;
+
+    println!("workload: {} bases × {} guides, k={k}\n", genome.total_len(), guides.len());
+    println!(
+        "{:<18} {:>9} {:>12} {:>12} {:>8}",
+        "platform", "hits", "kernel (s)", "MB/s", "timing"
+    );
+
+    let mut baseline_kernel = None;
+    for platform in Platform::PAPER_MATRIX {
+        let report = OffTargetSearch::new(genome.clone())
+            .guides(guides.clone())
+            .max_mismatches(k)
+            .platform(platform)
+            .run()?;
+        let kernel = report.timing().kernel_s;
+        if platform == Platform::CpuCasot {
+            baseline_kernel = Some(kernel);
+        }
+        let speedup = baseline_kernel
+            .map(|b| format!("{:.1}x", b / kernel))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:<18} {:>9} {:>12.4} {:>12.1} {:>8}",
+            format!(
+                "{}{}",
+                platform,
+                if platform.is_modeled() { "*" } else { "" }
+            ),
+            report.hits().len(),
+            kernel,
+            report.kernel_throughput_mbps(),
+            speedup,
+        );
+    }
+    println!("\n* modeled timing (simulated hardware); speedups are vs cpu-casot kernel time");
+    Ok(())
+}

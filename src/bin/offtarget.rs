@@ -1,0 +1,232 @@
+//! `offtarget` — command-line front end for the off-target search suite.
+//!
+//! ```text
+//! offtarget synth  --len 2000000 --seed 42 [--gc 0.41] [--contigs 1] -o genome.fa
+//! offtarget guides --count 20 [--from-genome genome.fa] [--seed 7] [--pam NGG] -o guides.txt
+//! offtarget search --genome genome.fa --guides guides.txt [-k 3]
+//!                  [--platform cpu-hyperscan] [--threads 1] [--format tsv|json] [-o hits.tsv]
+//! offtarget anml   --guides guides.txt [-k 3] [-o out.anml]
+//! ```
+
+use crispr_offtarget::core::{OffTargetSearch, Platform};
+use crispr_offtarget::genome::synth::SynthSpec;
+use crispr_offtarget::genome::{fasta, Genome};
+use crispr_offtarget::guides::{genset, io as guide_io, Guide, Pam};
+use std::collections::HashMap;
+use std::fs::File;
+use std::io::Write;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((command, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let result = match command.as_str() {
+        "synth" => cmd_synth(rest),
+        "guides" => cmd_guides(rest),
+        "search" => cmd_search(rest),
+        "anml" => cmd_anml(rest),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("offtarget: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  offtarget synth  --len N [--seed S] [--gc F] [--contigs C] -o genome.fa
+  offtarget guides --count N [--from-genome genome.fa] [--seed S] [--pam MOTIF[/5]] -o guides.txt
+  offtarget search --genome genome.fa --guides guides.txt [-k K]
+                   [--platform NAME] [--threads T] [--format tsv|json] [-o hits]
+  offtarget anml   --guides guides.txt [-k K] [-o out.anml]
+
+platforms: cpu-scalar cpu-cas-offinder cpu-casot cpu-hyperscan cpu-nfa cpu-dfa
+           ap fpga gpu-infant2 gpu-cas-offinder";
+
+type CliError = Box<dyn std::error::Error>;
+
+/// Parses `--flag value` pairs (and `-k`, `-o` shorthands).
+fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+    let mut flags = HashMap::new();
+    let mut iter = args.iter();
+    while let Some(flag) = iter.next() {
+        let key = match flag.as_str() {
+            "-o" => "out",
+            "-k" => "k",
+            s if s.starts_with("--") => &s[2..],
+            s => return Err(format!("unexpected argument {s:?}").into()),
+        };
+        let value = iter.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
+        flags.insert(key.to_string(), value.clone());
+    }
+    Ok(flags)
+}
+
+fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, CliError> {
+    flags.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}").into())
+}
+
+fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    match flags.get(key) {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|e| format!("--{key} {v:?}: {e}").into()),
+    }
+}
+
+fn out_writer(flags: &HashMap<String, String>) -> Result<Box<dyn Write>, CliError> {
+    match flags.get("out") {
+        Some(path) => Ok(Box::new(File::create(path)?)),
+        None => Ok(Box::new(std::io::stdout())),
+    }
+}
+
+fn load_genome(path: &str) -> Result<Genome, CliError> {
+    Ok(fasta::read_genome_lossy(File::open(path)?)?)
+}
+
+fn load_guides(path: &str) -> Result<Vec<Guide>, CliError> {
+    Ok(guide_io::read_guides(File::open(path)?)?)
+}
+
+fn parse_pam(text: &str) -> Result<Pam, CliError> {
+    let (motif, side) = match text.strip_suffix("/5") {
+        Some(m) => (m, crispr_offtarget::guides::PamSide::Five),
+        None => (text, crispr_offtarget::guides::PamSide::Three),
+    };
+    Ok(Pam::new(motif, side)?)
+}
+
+fn cmd_synth(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let len: usize = get(&flags, "len")?.parse().map_err(|e| format!("--len: {e}"))?;
+    let spec = SynthSpec::new(len)
+        .seed(parse(&flags, "seed", 0u64)?)
+        .gc_content(parse(&flags, "gc", 0.41f64)?)
+        .contigs(parse(&flags, "contigs", 1usize)?);
+    let genome = spec.generate();
+    let mut writer = out_writer(&flags)?;
+    fasta::write_genome(&mut writer, &genome, 70)?;
+    eprintln!("wrote {} bases in {} contigs", genome.total_len(), genome.contig_count());
+    Ok(())
+}
+
+fn cmd_guides(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let count: usize = get(&flags, "count")?.parse().map_err(|e| format!("--count: {e}"))?;
+    let seed = parse(&flags, "seed", 0u64)?;
+    let pam = parse_pam(flags.get("pam").map(String::as_str).unwrap_or("NGG"))?;
+    let guides = match flags.get("from-genome") {
+        Some(path) => {
+            let genome = load_genome(path)?;
+            genset::guides_from_genome(&genome, count, 20, &pam, seed)
+        }
+        None => genset::random_guides(count, 20, &pam, seed),
+    };
+    if guides.len() < count {
+        eprintln!("warning: only {} of {count} guides could be sampled", guides.len());
+    }
+    let mut writer = out_writer(&flags)?;
+    guide_io::write_guides(&mut writer, &guides)?;
+    Ok(())
+}
+
+fn parse_platform(name: &str) -> Result<Platform, CliError> {
+    Platform::ALL
+        .into_iter()
+        .find(|p| p.name() == name)
+        .ok_or_else(|| format!("unknown platform {name:?}; see `offtarget help`").into())
+}
+
+fn cmd_search(args: &[String]) -> Result<(), CliError> {
+    let flags = parse_flags(args)?;
+    let genome = load_genome(get(&flags, "genome")?)?;
+    let guides = load_guides(get(&flags, "guides")?)?;
+    let k = parse(&flags, "k", 3usize)?;
+    let platform = parse_platform(flags.get("platform").map(String::as_str).unwrap_or("cpu-hyperscan"))?;
+    let threads = parse(&flags, "threads", 1usize)?;
+    let format = flags.get("format").map(String::as_str).unwrap_or("tsv");
+
+    let contig_names: Vec<String> =
+        genome.contigs().iter().map(|c| c.name().to_string()).collect();
+    let report = OffTargetSearch::new(genome)
+        .guides(guides.clone())
+        .max_mismatches(k)
+        .platform(platform)
+        .threads(threads)
+        .run()?;
+
+    let mut writer = out_writer(&flags)?;
+    match format {
+        "tsv" => {
+            writeln!(writer, "#guide\tcontig\tpos\tstrand\tmismatches")?;
+            for hit in report.hits() {
+                writeln!(
+                    writer,
+                    "{}\t{}\t{}\t{}\t{}",
+                    guides[hit.guide as usize].id(),
+                    contig_names[hit.contig as usize],
+                    hit.pos,
+                    hit.strand,
+                    hit.mismatches
+                )?;
+            }
+        }
+        "json" => {
+            writeln!(writer, "[")?;
+            for (i, hit) in report.hits().iter().enumerate() {
+                let comma = if i + 1 < report.hits().len() { "," } else { "" };
+                writeln!(
+                    writer,
+                    "  {{\"guide\":\"{}\",\"contig\":\"{}\",\"pos\":{},\"strand\":\"{}\",\"mismatches\":{}}}{comma}",
+                    guides[hit.guide as usize].id(),
+                    contig_names[hit.contig as usize],
+                    hit.pos,
+                    hit.strand,
+                    hit.mismatches
+                )?;
+            }
+            writeln!(writer, "]")?;
+        }
+        other => return Err(format!("unknown format {other:?} (tsv|json)").into()),
+    }
+    eprintln!(
+        "{}: {} hits, {} ({}){}",
+        platform,
+        report.hits().len(),
+        report.timing(),
+        if platform.is_modeled() { "modeled" } else { "measured" },
+        if threads > 1 { format!(", {threads} threads") } else { String::new() },
+    );
+    Ok(())
+}
+
+fn cmd_anml(args: &[String]) -> Result<(), CliError> {
+    use crispr_offtarget::automata::anml;
+    use crispr_offtarget::guides::{compile, CompileOptions};
+    let flags = parse_flags(args)?;
+    let guides = load_guides(get(&flags, "guides")?)?;
+    let k = parse(&flags, "k", 3usize)?;
+    let set = compile::compile_guides(&guides, &CompileOptions::new(k))?;
+    let mut writer = out_writer(&flags)?;
+    writer.write_all(anml::to_anml(&set.automaton, "offtarget").as_bytes())?;
+    eprintln!(
+        "{} guides → {} states, {} edges",
+        set.guide_count,
+        set.automaton.state_count(),
+        set.automaton.edge_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,49 @@
+//! Umbrella crate for the automata-based CRISPR/Cas9 off-target search
+//! workspace — a reproduction of Bo et al., *"Searching for Potential gRNA
+//! Off-Target Sites for CRISPR/Cas9 Using Automata Processing Across
+//! Different Platforms"* (HPCA 2018).
+//!
+//! This crate re-exports every workspace member under one roof so examples
+//! and downstream users can depend on a single package:
+//!
+//! * [`genome`] — DNA sequences, FASTA, synthetic genomes with planted
+//!   ground truth.
+//! * [`automata`] — homogeneous (STE-style) finite automata, DFA
+//!   conversion, simulation, ANML export.
+//! * [`guides`] — gRNA model, PAM motifs, mismatch/indel automaton
+//!   compilers.
+//! * [`engines`] — CPU search engines: the automata-based ones
+//!   (bit-parallel "HyperScan-class", NFA, DFA) and the baselines
+//!   (Cas-OFFinder-class brute force, CasOT-class seed-and-extend).
+//! * [`ap`] / [`fpga`] / [`gpu`] — platform simulators with first-principles
+//!   timing models for Micron's Automata Processor, FPGA spatial automata,
+//!   and GPU execution (iNFAnt2-class NFA engine, Cas-OFFinder brute force).
+//! * [`core`] — the high-level [`core::OffTargetSearch`] API tying it all
+//!   together.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use crispr_offtarget::core::OffTargetSearch;
+//! use crispr_offtarget::genome::synth::SynthSpec;
+//! use crispr_offtarget::guides::{Guide, Pam};
+//!
+//! let genome = SynthSpec::new(50_000).seed(1).generate();
+//! let guide = Guide::new("g1", "GACGCATAAAGATGAGACGCTGG".parse().unwrap(), Pam::ngg())?;
+//! let report = OffTargetSearch::new(genome)
+//!     .guide(guide)
+//!     .max_mismatches(3)
+//!     .run()?;
+//! println!("{} candidate off-target sites", report.hits().len());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use crispr_ap as ap;
+pub use crispr_automata as automata;
+pub use crispr_core as core;
+pub use crispr_model as model;
+pub use crispr_engines as engines;
+pub use crispr_fpga as fpga;
+pub use crispr_genome as genome;
+pub use crispr_gpu as gpu;
+pub use crispr_guides as guides;

@@ -1,0 +1,110 @@
+//! Integration: every platform reports the identical hit set (E9), across
+//! budgets, PAMs and genome shapes.
+
+use crispr_offtarget::core::{validate, OffTargetSearch, Platform};
+use crispr_offtarget::genome::synth::{RepeatFamily, SynthSpec};
+use crispr_offtarget::guides::genset::{self, PlantPlan};
+use crispr_offtarget::guides::Pam;
+
+#[test]
+fn full_matrix_agrees_on_planted_workload() {
+    let genome = SynthSpec::new(40_000).seed(101).generate();
+    let guides = genset::random_guides(3, 20, &Pam::ngg(), 102);
+    let (genome, planted) =
+        genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(3, 2), 103);
+    let report = validate::cross_validate(&genome, &guides, 3, &Platform::ALL).unwrap();
+    assert!(report.all_agree(), "{:#?}", report.agreements);
+    for hit in &planted {
+        assert!(
+            report.reference_hits.binary_search(hit).is_ok(),
+            "planted hit {hit} missing from reference"
+        );
+    }
+}
+
+#[test]
+fn matrix_agrees_at_k0_and_k5() {
+    let genome = SynthSpec::new(20_000).seed(104).generate();
+    let guides = genset::random_guides(2, 20, &Pam::ngg(), 105);
+    for k in [0usize, 5] {
+        // k=5 makes the DFA explode; exclude it there.
+        let platforms: Vec<Platform> = Platform::ALL
+            .into_iter()
+            .filter(|p| !(k == 5 && *p == Platform::CpuDfa))
+            .collect();
+        let report = validate::cross_validate(&genome, &guides, k, &platforms).unwrap();
+        assert!(report.all_agree(), "k={k}: {:#?}", report.agreements);
+    }
+}
+
+#[test]
+fn matrix_agrees_with_alternative_pams() {
+    for (pam, seed) in [(Pam::nrg(), 111u64), (Pam::nag(), 112), (Pam::nngrrt(), 113)] {
+        let genome = SynthSpec::new(15_000).seed(seed).generate();
+        let guides = genset::random_guides(2, 20, &pam, seed + 1);
+        let (genome, _) =
+            genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(2, 1), seed + 2);
+        let platforms =
+            [Platform::CpuScalar, Platform::CpuBitParallel, Platform::CpuCasOffinder, Platform::Ap];
+        let report = validate::cross_validate(&genome, &guides, 2, &platforms).unwrap();
+        assert!(report.all_agree(), "pam={pam}: {:#?}", report.agreements);
+    }
+}
+
+#[test]
+fn matrix_agrees_with_five_prime_pam() {
+    let genome = SynthSpec::new(15_000).seed(121).generate();
+    let guides = genset::random_guides(2, 20, &Pam::tttv(), 122);
+    let platforms = [Platform::CpuScalar, Platform::CpuBitParallel, Platform::CpuCasot];
+    let report = validate::cross_validate(&genome, &guides, 2, &platforms).unwrap();
+    assert!(report.all_agree(), "{:#?}", report.agreements);
+}
+
+#[test]
+fn repeat_rich_genomes_do_not_break_agreement() {
+    let genome = SynthSpec::new(30_000)
+        .seed(131)
+        .repeat_family(RepeatFamily { unit_len: 23, copies: 400, divergence: 0.1 })
+        .generate();
+    let guides = genset::guides_from_genome(&genome, 3, 20, &Pam::ngg(), 132);
+    assert!(!guides.is_empty());
+    let report =
+        validate::cross_validate(&genome, &guides, 3, &Platform::PAPER_MATRIX).unwrap();
+    assert!(report.all_agree(), "{:#?}", report.agreements);
+}
+
+#[test]
+fn extension_engines_agree_with_reference() {
+    use crispr_offtarget::engines::{Engine, PigeonholeEngine, ScalarEngine};
+    use crispr_offtarget::guides::stride::StridedScan;
+    use crispr_offtarget::guides::CompileOptions;
+    let genome = SynthSpec::new(30_000).seed(151).generate();
+    let guides = genset::random_guides(3, 20, &Pam::ngg(), 152);
+    let (genome, _) =
+        genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(3, 2), 153);
+    let truth = ScalarEngine::new().search(&genome, &guides, 3).unwrap();
+    // Pigeonhole filtration.
+    let ph = PigeonholeEngine::new().search(&genome, &guides, 3).unwrap();
+    assert_eq!(ph, truth);
+    // 2-strided automata (§7 improvement) with host verification.
+    let strided = StridedScan::compile(&guides, &CompileOptions::new(3)).unwrap();
+    assert_eq!(strided.search(&genome), truth);
+}
+
+#[test]
+fn multi_contig_coordinates_are_consistent() {
+    let genome = SynthSpec::new(25_000).seed(141).contigs(5).generate();
+    let guides = genset::random_guides(2, 20, &Pam::ngg(), 142);
+    let (genome, planted) =
+        genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(2, 2), 143);
+    let report = OffTargetSearch::new(genome)
+        .guides(guides)
+        .max_mismatches(2)
+        .platform(Platform::CpuBitParallel)
+        .run()
+        .unwrap();
+    for hit in &planted {
+        assert!(report.hits().binary_search(hit).is_ok(), "{hit} missing");
+    }
+    assert!(report.hits().iter().any(|h| h.contig > 0), "no hits beyond contig 0");
+}

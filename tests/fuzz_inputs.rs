@@ -1,0 +1,69 @@
+//! Failure-injection / fuzz-style tests: malformed external inputs must
+//! produce errors, never panics.
+
+use crispr_offtarget::automata::anml;
+use crispr_offtarget::genome::fasta;
+use crispr_offtarget::guides::io as guide_io;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The FASTA parsers accept or reject arbitrary bytes without
+    /// panicking, and the lossy parser never errors on anything with a
+    /// leading header.
+    #[test]
+    fn fasta_parsers_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = fasta::read_genome(bytes.as_slice());
+        let mut with_header = b">f\n".to_vec();
+        with_header.extend(&bytes);
+        // Lossy parse of header + arbitrary bytes only fails on a stray
+        // '>'-introduced structure problem, never panics.
+        let _ = fasta::read_genome_lossy(with_header.as_slice());
+    }
+
+    /// The ANML parser survives arbitrary text.
+    #[test]
+    fn anml_parser_never_panics(text in "[ -~\n]{0,400}") {
+        let _ = anml::from_anml(&text);
+    }
+
+    /// The ANML parser survives tag-shaped garbage specifically.
+    #[test]
+    fn anml_parser_survives_tag_soup(
+        ids in prop::collection::vec("[a-z0-9]{1,4}", 0..6),
+        starts in prop::collection::vec(prop::sample::select(vec!["all-input", "start-of-data", "bogus"]), 0..6),
+    ) {
+        let mut text = String::new();
+        for (i, id) in ids.iter().enumerate() {
+            let start = starts.get(i).copied().unwrap_or("all-input");
+            text.push_str(&format!(
+                "<state-transition-element id=\"{id}\" symbol-set=\"*\" start=\"{start}\">\n\
+                 <activate-on-match element=\"{id}\"/>\n\
+                 </state-transition-element>\n"
+            ));
+        }
+        let _ = anml::from_anml(&text);
+    }
+
+    /// The guide-file parser survives arbitrary text lines.
+    #[test]
+    fn guide_file_parser_never_panics(text in "[ -~\tACGT\n#/]{0,300}") {
+        let _ = guide_io::read_guides(text.as_bytes());
+    }
+}
+
+#[test]
+fn fasta_errors_carry_positions() {
+    let err = fasta::read_genome(b"ACGT\n".as_slice()).unwrap_err();
+    assert!(err.to_string().contains("line 1"));
+    let err = fasta::read_genome(b">c\nAXGT\n".as_slice()).unwrap_err();
+    assert!(err.to_string().contains('X'));
+}
+
+#[test]
+fn anml_error_messages_name_the_line() {
+    let text = "<state-transition-element symbol-set=\"*\">";
+    let err = anml::from_anml(text).unwrap_err();
+    assert!(err.to_string().contains("line 1"), "{err}");
+}

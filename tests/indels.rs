@@ -1,0 +1,88 @@
+//! Integration: the Levenshtein (indel) extension agrees with the DP
+//! oracle over synthetic genomes.
+
+use crispr_offtarget::automata::sim;
+use crispr_offtarget::genome::synth::SynthSpec;
+use crispr_offtarget::genome::{Base, DnaSeq, Strand};
+use crispr_offtarget::guides::leven;
+use crispr_offtarget::guides::ReportCode;
+
+fn symbols(seq: &DnaSeq) -> Vec<u8> {
+    seq.iter().map(Base::code).collect()
+}
+
+#[test]
+fn levenshtein_matches_dp_on_synthetic_contig() {
+    let genome = SynthSpec::new(4_000).seed(301).generate();
+    let text = genome.contigs()[0].seq().clone();
+    let pattern: DnaSeq = "GATTACAGGATC".parse().unwrap();
+    for k in 0..=2 {
+        let automaton = leven::compile_levenshtein(&pattern, k, 0, Strand::Forward);
+        let reports = leven::min_reports(
+            sim::run(&automaton, &symbols(&text)).into_iter().map(|r| (r.pos, r.code)),
+        );
+        let oracle = leven::semiglobal_distances(&pattern, &text);
+        let expected: Vec<(usize, u32)> = oracle
+            .iter()
+            .enumerate()
+            .skip(1)
+            .filter(|(_, &d)| d <= k)
+            .map(|(e, &d)| (e, ReportCode::pack(0, Strand::Forward, d as u8).0))
+            .collect();
+        assert_eq!(reports, expected, "k={k}");
+    }
+}
+
+#[test]
+fn indel_budget_finds_planted_bulge() {
+    // Plant a site with a 1-base deletion relative to the pattern: the
+    // mismatch automaton misses it at k=1, the Levenshtein one finds it.
+    let pattern: DnaSeq = "ACGTGGCATCAGATTA".parse().unwrap();
+    let with_deletion: DnaSeq = "ACGTGGCTCAGATTA".parse().unwrap(); // "A" at idx 7 dropped
+    let mut text: DnaSeq = "TTTTTTTTTT".parse().unwrap();
+    text.extend_from_seq(&with_deletion);
+    text.extend_from_seq(&"TTTTTTTTTT".parse().unwrap());
+
+    let lev = leven::compile_levenshtein(&pattern, 1, 0, Strand::Forward);
+    let reports = leven::min_reports(
+        sim::run(&lev, &symbols(&text)).into_iter().map(|r| (r.pos, r.code)),
+    );
+    assert!(
+        reports
+            .iter()
+            .any(|&(pos, code)| pos == 25 && ReportCode(code).mismatches() == 1),
+        "{reports:?}"
+    );
+
+    // Hamming automaton at k=1 must not fire at this end position: the
+    // frameshift makes nearly every position mismatch.
+    use crispr_offtarget::automata::AutomatonBuilder;
+    use crispr_offtarget::guides::{compile, CompileOptions, SitePattern};
+    let guide = crispr_offtarget::guides::Guide::new(
+        "g",
+        pattern.clone(),
+        crispr_offtarget::guides::Pam::none(),
+    )
+    .unwrap();
+    let p = SitePattern::from_guide(&guide, Strand::Forward);
+    let mut b = AutomatonBuilder::new();
+    compile::compile_pattern(&p, &CompileOptions::new(1), &mut b);
+    let ham = b.build().unwrap();
+    let ham_ends: Vec<usize> = sim::run(&ham, &symbols(&text)).iter().map(|r| r.pos).collect();
+    assert!(!ham_ends.contains(&25), "{ham_ends:?}");
+}
+
+#[test]
+fn edit_distance_zero_budget_is_exact_search() {
+    let genome = SynthSpec::new(2_000).seed(302).generate();
+    let text = genome.contigs()[0].seq().clone();
+    let pattern = text.subseq(500..512); // guaranteed exact occurrence
+    let lev = leven::compile_levenshtein(&pattern, 0, 0, Strand::Forward);
+    let reports = leven::min_reports(
+        sim::run(&lev, &symbols(&text)).into_iter().map(|r| (r.pos, r.code)),
+    );
+    assert!(reports.iter().any(|&(pos, _)| pos == 512));
+    assert!(reports
+        .iter()
+        .all(|&(_, code)| ReportCode(code).mismatches() == 0));
+}

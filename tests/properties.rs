@@ -1,0 +1,159 @@
+//! Property-based integration tests: randomized workloads must satisfy the
+//! system's core invariants end to end.
+
+use crispr_offtarget::automata::{anml, sim};
+use crispr_offtarget::engines::{
+    BitParallelEngine, CasOffinderCpuEngine, CasotEngine, Engine, NfaEngine, ScalarEngine,
+};
+use crispr_offtarget::genome::{Base, DnaSeq, Genome, PackedSeq};
+use crispr_offtarget::guides::{compile, CompileOptions, Guide, Pam};
+use proptest::prelude::*;
+
+fn dna_seq(len: std::ops::Range<usize>) -> impl Strategy<Value = DnaSeq> {
+    prop::collection::vec(0u8..4, len)
+        .prop_map(|codes| codes.into_iter().map(Base::from_code).collect())
+}
+
+fn guide(spacer_len: usize) -> impl Strategy<Value = Guide> {
+    dna_seq(spacer_len..spacer_len + 1)
+        .prop_map(|spacer| Guide::new("g", spacer, Pam::ngg()).expect("non-empty spacer"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Reverse complement is an involution through the full pipeline type.
+    #[test]
+    fn revcomp_involution(seq in dna_seq(0..200)) {
+        prop_assert_eq!(seq.revcomp().revcomp(), seq);
+    }
+
+    /// 2-bit packing is lossless and window mismatch counts agree with the
+    /// scalar definition.
+    #[test]
+    fn packed_mismatches_agree_with_scalar(
+        text in dna_seq(30..120),
+        pat in dna_seq(8..24),
+        offset in 0usize..8,
+    ) {
+        prop_assume!(offset + pat.len() <= text.len());
+        let packed_text = PackedSeq::from_seq(&text);
+        prop_assert_eq!(packed_text.unpack(), text.clone());
+        let packed_pat = PackedSeq::from_seq(&pat);
+        let expected = text.subseq(offset..offset + pat.len()).hamming_distance(&pat);
+        prop_assert_eq!(
+            packed_text.count_mismatches(&packed_pat, offset, pat.len()),
+            Some(expected)
+        );
+    }
+
+    /// All CPU engines agree with the scalar oracle on random workloads.
+    #[test]
+    fn engines_agree_on_random_genomes(
+        text in dna_seq(200..2_000),
+        g in guide(20),
+        k in 0usize..4,
+    ) {
+        let genome = Genome::from_seq(text);
+        let guides = vec![g];
+        let truth = ScalarEngine::new().search(&genome, &guides, k).unwrap();
+        let bp = BitParallelEngine::new().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&bp, &truth);
+        let bf = CasOffinderCpuEngine::new().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&bf, &truth);
+        let co = CasotEngine::new().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&co, &truth);
+        let nfa = NfaEngine::new().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&nfa, &truth);
+    }
+
+    /// The compiled automaton round-trips through ANML with identical
+    /// behaviour.
+    #[test]
+    fn anml_roundtrip_behaviour(g in guide(12), k in 0usize..3, probe in dna_seq(50..300)) {
+        let set = compile::compile_guides(&[g], &CompileOptions::new(k)).unwrap();
+        let text = anml::to_anml(&set.automaton, "prop");
+        let back = anml::from_anml(&text).unwrap();
+        let symbols: Vec<u8> = probe.iter().map(Base::code).collect();
+        prop_assert_eq!(
+            sim::run(&set.automaton, &symbols),
+            sim::run(&back, &symbols)
+        );
+    }
+
+    /// Pruned and unpruned grids are behaviourally identical; pruning only
+    /// removes states.
+    #[test]
+    fn pruning_is_behaviour_preserving(g in guide(10), k in 0usize..4, probe in dna_seq(100..400)) {
+        let guides = [g];
+        let pruned =
+            compile::compile_guides(&guides, &CompileOptions::new(k)).unwrap();
+        let unpruned =
+            compile::compile_guides(&guides, &CompileOptions::new(k).unpruned()).unwrap();
+        prop_assert!(pruned.total_states() <= unpruned.total_states());
+        let symbols: Vec<u8> = probe.iter().map(Base::code).collect();
+        let a: Vec<_> = sim::run(&pruned.automaton, &symbols)
+            .into_iter().map(|r| (r.pos, r.code)).collect();
+        let b: Vec<_> = sim::run(&unpruned.automaton, &symbols)
+            .into_iter().map(|r| (r.pos, r.code)).collect();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Myers' bit-vector distances equal the DP oracle on random inputs.
+    #[test]
+    fn myers_equals_dp(pat in dna_seq(2..30), text in dna_seq(10..300), k in 0usize..4) {
+        use crispr_offtarget::engines::MyersMatcher;
+        use crispr_offtarget::guides::leven;
+        let matcher = MyersMatcher::new(&pat);
+        let got = matcher.matches(&text, k);
+        let oracle = leven::semiglobal_distances(&pat, &text);
+        let expected: Vec<(usize, usize)> = oracle
+            .iter().enumerate().skip(1)
+            .filter(|(_, &d)| d <= k)
+            .map(|(e, &d)| (e, d))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    /// The 2-strided scan finds exactly the reference hit set.
+    #[test]
+    fn strided_scan_equals_reference(
+        text in dna_seq(200..1_000),
+        g in guide(12),
+        k in 0usize..3,
+    ) {
+        use crispr_offtarget::guides::stride::StridedScan;
+        use crispr_offtarget::guides::CompileOptions;
+        let genome = Genome::from_seq(text);
+        let guides = vec![g];
+        let truth = ScalarEngine::new().search(&genome, &guides, k).unwrap();
+        let strided = StridedScan::compile(&guides, &CompileOptions::new(k)).unwrap();
+        prop_assert_eq!(strided.search(&genome), truth);
+    }
+
+    /// Every hit an engine reports actually scores within budget when
+    /// re-checked against the genome (no false positives, by construction
+    /// of an independent re-scorer).
+    #[test]
+    fn reported_hits_rescore_within_budget(
+        text in dna_seq(500..1_500),
+        g in guide(20),
+        k in 0usize..4,
+    ) {
+        use crispr_offtarget::guides::SitePattern;
+        let genome = Genome::from_seq(text);
+        let hits = BitParallelEngine::new().search(&genome, &[g.clone()], k).unwrap();
+        for hit in hits {
+            let pattern = SitePattern::from_guide(&g, hit.strand);
+            let contig = &genome.contigs()[hit.contig as usize];
+            let window = contig
+                .seq()
+                .subseq(hit.pos as usize..hit.pos as usize + pattern.len());
+            prop_assert_eq!(
+                pattern.score_window(window.as_slice()),
+                Some(hit.mismatches as usize)
+            );
+            prop_assert!((hit.mismatches as usize) <= k);
+        }
+    }
+}
