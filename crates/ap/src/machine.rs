@@ -6,7 +6,6 @@ use crispr_engines::{BitParallelEngine, Engine, EngineError};
 use crispr_genome::Genome;
 use crispr_guides::{compile, CompileOptions, Guide, Hit};
 use crispr_model::TimingBreakdown;
-use serde::{Deserialize, Serialize};
 use std::collections::HashSet;
 
 /// AP off-target search with a configurable board.
@@ -31,10 +30,9 @@ pub struct ApSearch {
 
 /// Everything one AP run produces: exact hits plus the modeled execution
 /// report.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ApRunReport {
     /// The exact hit set (identical to every CPU engine's).
-    #[serde(skip)]
     pub hits: Vec<Hit>,
     /// Modeled time breakdown.
     pub timing: TimingBreakdown,
@@ -88,7 +86,12 @@ impl ApSearch {
     /// # Errors
     ///
     /// Guide-validation and compilation errors, as for the CPU engines.
-    pub fn run(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<ApRunReport, EngineError> {
+    pub fn run(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+    ) -> Result<ApRunReport, EngineError> {
         let mut opts = CompileOptions::new(k);
         if self.count_free {
             opts = opts.count_free();
@@ -123,8 +126,7 @@ impl ApSearch {
         let site_len = set.site_len as u64;
         let reporting_cycles: HashSet<(u32, u64)> =
             hits.iter().map(|h| (h.contig, h.pos + site_len)).collect();
-        let stall_cycles =
-            reporting_cycles.len() as u64 * self.board.chip.report_vector_cycles;
+        let stall_cycles = reporting_cycles.len() as u64 * self.board.chip.report_vector_cycles;
 
         let bases_per_symbol = if self.strided { 2 } else { 1 };
         let total_symbols = (genome.total_len() as u64).div_ceil(bases_per_symbol);
@@ -167,8 +169,7 @@ mod tests {
     fn workload(guides_n: usize, len: usize) -> (Genome, Vec<Guide>) {
         let genome = SynthSpec::new(len).seed(5).generate();
         let guides = genset::random_guides(guides_n, 20, &Pam::ngg(), 6);
-        let (genome, _) =
-            genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(2, 2), 7);
+        let (genome, _) = genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(2, 2), 7);
         (genome, guides)
     }
 

@@ -8,10 +8,9 @@
 //! per chip/board — are the paper's AP capacity table (E5).
 
 use crate::{ApBoardSpec, ApChipSpec};
-use serde::{Deserialize, Serialize};
 
 /// Result of placing a pattern set onto chips.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     /// Chip index assigned to each pattern, in input order.
     pub per_pattern_chip: Vec<usize>,
@@ -29,7 +28,7 @@ pub struct Placement {
 }
 
 /// Per-pattern resource demand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PatternDemand {
     /// States in the pattern automaton.
     pub states: usize,
@@ -100,11 +99,7 @@ pub fn patterns_per_chip(demand: PatternDemand, chip: &ApChipSpec) -> usize {
         return 0;
     }
     let by_stes = chip.usable_stes() / rounded;
-    let by_reports = if demand.report_states == 0 {
-        usize::MAX
-    } else {
-        chip.report_capacity / demand.report_states
-    };
+    let by_reports = chip.report_capacity.checked_div(demand.report_states).unwrap_or(usize::MAX);
     by_stes.min(by_reports)
 }
 

@@ -1,7 +1,5 @@
-use serde::{Deserialize, Serialize};
-
 /// Parameters of one AP chip (defaults: Micron D480).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ApChipSpec {
     /// State transition elements per chip.
     pub stes: usize,
@@ -51,7 +49,7 @@ impl ApChipSpec {
 /// Parameters of an AP board (defaults: the 32-chip development board the
 /// paper used — 4 ranks × 8 chips, each rank fed by its own input
 /// stream).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ApBoardSpec {
     /// Chips per rank (all chips in a rank see the same stream).
     pub chips_per_rank: usize,

@@ -60,13 +60,12 @@ fn symbol_set_from_string(text: &str, line: usize) -> Result<SymbolClass, Automa
     if text == "*" {
         return Ok(SymbolClass::ALL);
     }
-    let inner = text
-        .strip_prefix('[')
-        .and_then(|t| t.strip_suffix(']'))
-        .ok_or_else(|| AutomataError::AnmlParse {
+    let inner = text.strip_prefix('[').and_then(|t| t.strip_suffix(']')).ok_or_else(|| {
+        AutomataError::AnmlParse {
             line,
             reason: format!("symbol set {text:?} is not '*' or a bracket expression"),
-        })?;
+        }
+    })?;
     let mut class = SymbolClass::EMPTY;
     let bytes = inner.as_bytes();
     let mut i = 0;
@@ -145,12 +144,12 @@ pub fn from_anml(text: &str) -> Result<Automaton, AutomataError> {
                 line: line_no,
                 reason: "report-on-match outside a state".into(),
             })?;
-            let code = attr(line, "reportcode")
-                .and_then(|c| c.parse().ok())
-                .ok_or_else(|| AutomataError::AnmlParse {
+            let code = attr(line, "reportcode").and_then(|c| c.parse().ok()).ok_or_else(|| {
+                AutomataError::AnmlParse {
                     line: line_no,
                     reason: "report-on-match without numeric reportcode".into(),
-                })?;
+                }
+            })?;
             builder.mark_report(sid, code);
         } else if line.starts_with("<activate-on-match") {
             let sid = current.ok_or_else(|| AutomataError::AnmlParse {

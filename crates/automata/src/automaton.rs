@@ -151,8 +151,7 @@ impl Automaton {
     pub fn trim(&self) -> Automaton {
         let reachable = self.reachable();
         let live = self.live();
-        let keep: Vec<bool> =
-            reachable.iter().zip(&live).map(|(r, l)| *r && *l).collect();
+        let keep: Vec<bool> = reachable.iter().zip(&live).map(|(r, l)| *r && *l).collect();
         let mut remap = vec![None; self.states.len()];
         let mut builder = AutomatonBuilder::new();
         for (i, state) in self.states.iter().enumerate() {

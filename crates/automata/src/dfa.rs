@@ -33,11 +33,7 @@ pub struct Dfa {
 impl Dfa {
     /// Number of states.
     pub fn state_count(&self) -> usize {
-        if self.alphabet == 0 {
-            0
-        } else {
-            self.table.len() / self.alphabet
-        }
+        self.table.len().checked_div(self.alphabet).unwrap_or(0)
     }
 
     /// Alphabet size; valid input symbols are `0..alphabet`.
@@ -93,10 +89,7 @@ impl Dfa {
         let mut state = self.start;
         for (i, &symbol) in input.iter().enumerate() {
             if symbol as usize >= self.alphabet {
-                return Err(AutomataError::SymbolOutOfAlphabet {
-                    symbol,
-                    alphabet: self.alphabet,
-                });
+                return Err(AutomataError::SymbolOutOfAlphabet { symbol, alphabet: self.alphabet });
             }
             let cell = state as usize * self.alphabet + symbol as usize;
             let out = self.outputs[cell];

@@ -14,7 +14,7 @@ use std::collections::HashMap;
 /// input).
 pub fn minimize(input: &Dfa) -> Dfa {
     let (alphabet, start, table, outputs, report_sets) = dfa::parts(input);
-    let n = if alphabet == 0 { 0 } else { table.len() / alphabet };
+    let n = table.len().checked_div(alphabet).unwrap_or(0);
     if n == 0 {
         return input.clone();
     }
@@ -55,8 +55,8 @@ pub fn minimize(input: &Dfa) -> Dfa {
     // Rebuild over blocks. Representative = lowest-indexed member.
     let class_count = (block.iter().copied().max().unwrap_or(0) + 1) as usize;
     let mut rep = vec![usize::MAX; class_count];
-    for s in 0..n {
-        let b = block[s] as usize;
+    for (s, &b) in block.iter().enumerate() {
+        let b = b as usize;
         if rep[b] == usize::MAX {
             rep[b] = s;
         }
@@ -72,13 +72,7 @@ pub fn minimize(input: &Dfa) -> Dfa {
         }
     }
 
-    dfa::from_parts(
-        alphabet,
-        block[start as usize],
-        new_table,
-        new_outputs,
-        report_sets.to_vec(),
-    )
+    dfa::from_parts(alphabet, block[start as usize], new_table, new_outputs, report_sets.to_vec())
 }
 
 #[cfg(test)]

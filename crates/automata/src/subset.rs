@@ -61,8 +61,8 @@ pub fn determinize(
         for symbol in 0..alphabet as u8 {
             let mut next = start_all.clone();
             let mut codes = Vec::new();
-            for w in 0..words {
-                let mut matched = subset[w];
+            for (w, &subset_word) in subset.iter().enumerate() {
+                let mut matched = subset_word;
                 if matched == 0 {
                     continue;
                 }
@@ -128,8 +128,7 @@ mod tests {
         let dfa = determinize(&nfa, 4, 1000).unwrap();
         let input: Vec<u8> = vec![0, 1, 0, 1, 0, 2, 0, 1, 0];
         let nfa_reports: Vec<usize> = sim::run(&nfa, &input).iter().map(|r| r.pos).collect();
-        let dfa_reports: Vec<usize> =
-            dfa.scan(&input).unwrap().iter().map(|r| r.pos).collect();
+        let dfa_reports: Vec<usize> = dfa.scan(&input).unwrap().iter().map(|r| r.pos).collect();
         assert_eq!(nfa_reports, dfa_reports);
         assert_eq!(nfa_reports, vec![3, 5, 9]);
     }
@@ -137,10 +136,7 @@ mod tests {
     #[test]
     fn state_budget_is_enforced() {
         let nfa = literal(&[0, 1, 0, 1, 0, 1, 2, 3]);
-        assert_eq!(
-            determinize(&nfa, 4, 2),
-            Err(AutomataError::DfaTooLarge { limit: 2 })
-        );
+        assert_eq!(determinize(&nfa, 4, 2), Err(AutomataError::DfaTooLarge { limit: 2 }));
     }
 
     #[test]
@@ -182,8 +178,7 @@ mod tests {
             })
             .collect();
         let nfa_reports: Vec<usize> = sim::run(&nfa, &input).iter().map(|r| r.pos).collect();
-        let dfa_reports: Vec<usize> =
-            dfa.scan(&input).unwrap().iter().map(|r| r.pos).collect();
+        let dfa_reports: Vec<usize> = dfa.scan(&input).unwrap().iter().map(|r| r.pos).collect();
         assert_eq!(nfa_reports, dfa_reports);
         assert!(!nfa_reports.is_empty(), "input should contain the pattern");
     }

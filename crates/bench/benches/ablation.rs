@@ -2,12 +2,12 @@
 //! same automaton (registers vs frontier NFA vs subset DFA), plus the
 //! parallel chunking wrapper.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crispr_bench::workloads;
 use crispr_engines::{
-    BitParallelEngine, DfaEngine, Engine, IndelEngine, NfaEngine, ParallelEngine,
-    PigeonholeEngine, ScalarEngine,
+    BitParallelEngine, DfaEngine, Engine, IndelEngine, NfaEngine, ParallelEngine, PigeonholeEngine,
+    ScalarEngine,
 };
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_lowerings(c: &mut Criterion) {
     let (genome, guides, _) = workloads::planted(300_000, 2, 1, 27);

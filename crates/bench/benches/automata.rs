@@ -2,20 +2,18 @@
 //! simulation throughput, determinization, ANML round-trip — the costs
 //! behind every platform's "config" bucket.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use crispr_automata::sim::Simulator;
 use crispr_bench::workloads;
 use crispr_genome::Base;
 use crispr_guides::{compile, CompileOptions};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("compile_guides_k3");
     for g in [1usize, 10, 100] {
         let guides = workloads::guides(g, 37);
         group.bench_with_input(BenchmarkId::from_parameter(g), &guides, |b, guides| {
-            b.iter(|| {
-                compile::compile_guides(guides, &CompileOptions::new(3)).expect("compiles")
-            });
+            b.iter(|| compile::compile_guides(guides, &CompileOptions::new(3)).expect("compiles"));
         });
     }
     group.finish();

@@ -1,11 +1,9 @@
 //! Criterion bench behind experiment E2's measured rows: every CPU engine
 //! on the standard workload.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crispr_bench::workloads;
-use crispr_engines::{
-    BitParallelEngine, CasOffinderCpuEngine, CasotEngine, Engine, NfaEngine,
-};
+use crispr_engines::{BitParallelEngine, CasOffinderCpuEngine, CasotEngine, Engine, NfaEngine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_engines(c: &mut Criterion) {
     let (genome, guides, _) = workloads::planted(1_000_000, 10, 4, 7);

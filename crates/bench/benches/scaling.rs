@@ -2,9 +2,9 @@
 //! the measured CPU engines (the modeled platforms' scaling comes from
 //! the `experiments` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use crispr_bench::workloads;
 use crispr_engines::{BitParallelEngine, CasOffinderCpuEngine, CasotEngine, Engine};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
 fn bench_scaling(c: &mut Criterion) {
     let genome = workloads::genome(500_000, 17);
@@ -21,14 +21,10 @@ fn bench_scaling(c: &mut Criterion) {
             let engine = CasotEngine::new();
             b.iter(|| engine.search(&genome, guides, 3).expect("engine runs"));
         });
-        group.bench_with_input(
-            BenchmarkId::new("cpu-cas-offinder", g),
-            &guides,
-            |b, guides| {
-                let engine = CasOffinderCpuEngine::new();
-                b.iter(|| engine.search(&genome, guides, 3).expect("engine runs"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("cpu-cas-offinder", g), &guides, |b, guides| {
+            let engine = CasOffinderCpuEngine::new();
+            b.iter(|| engine.search(&genome, guides, 3).expect("engine runs"));
+        });
     }
     group.finish();
 }

@@ -20,10 +20,7 @@ fn main() {
                 println!("{text}");
             }
             None => {
-                eprintln!(
-                    "unknown experiment {id:?}; known ids: {}",
-                    experiments::ALL.join(", ")
-                );
+                eprintln!("unknown experiment {id:?}; known ids: {}", experiments::ALL.join(", "));
                 std::process::exit(2);
             }
         }

@@ -14,7 +14,7 @@ use crispr_genome::{Genome, Strand};
 use crispr_gpu::{CasOffinderGpuSearch, Infant2Search};
 use crispr_guides::genset::{self, PlantPlan};
 use crispr_guides::{compile, CompileOptions, Guide, Pam, SitePattern};
-use crispr_model::TimingBreakdown;
+use crispr_model::{SearchMetrics, TimingBreakdown};
 use std::time::Instant;
 
 /// Documented stand-in for the Perl interpreter overhead of the published
@@ -71,6 +71,7 @@ struct MeasuredRow {
     name: &'static str,
     kernel_s: f64,
     hits: usize,
+    metrics: SearchMetrics,
 }
 
 fn run_measured(
@@ -81,8 +82,15 @@ fn run_measured(
 ) -> Vec<MeasuredRow> {
     let mut rows = Vec::new();
     let mut push = |name: &'static str, engine: &dyn Engine| {
-        let (hits, secs) = timed(|| engine.search(genome, guides, k).expect("engine runs"));
-        rows.push(MeasuredRow { name, kernel_s: secs, hits: hits.len() });
+        let mut metrics = SearchMetrics::default();
+        let hits = engine.search_metered(genome, guides, k, &mut metrics).expect("engine runs");
+        rows.push(MeasuredRow {
+            name,
+            // Phase-accurate: the scan span only, compile time excluded.
+            kernel_s: metrics.phases.kernel_scan_s,
+            hits: hits.len(),
+            metrics,
+        });
     };
     push("cpu-casot (baseline)", &CasotEngine::new());
     push("cpu-cas-offinder (baseline)", &CasOffinderCpuEngine::new());
@@ -93,7 +101,23 @@ fn run_measured(
     rows
 }
 
-fn run_modeled(genome: &Genome, guides: &[Guide], k: usize) -> Vec<(&'static str, TimingBreakdown, usize)> {
+/// One JSON line per measured engine — the observability record behind
+/// the timing table it follows.
+fn metrics_appendix(rows: &[MeasuredRow]) -> String {
+    let mut out = String::from("\nmetrics:\n");
+    for row in rows {
+        out.push_str("  ");
+        out.push_str(&row.metrics.to_json());
+        out.push('\n');
+    }
+    out
+}
+
+fn run_modeled(
+    genome: &Genome,
+    guides: &[Guide],
+    k: usize,
+) -> Vec<(&'static str, TimingBreakdown, usize)> {
     let ap = ApSearch::new().run(genome, guides, k).expect("ap model runs");
     let fpga = FpgaSearch::new().run(genome, guides, k).expect("fpga model runs");
     let infant = Infant2Search::new().run(genome, guides, k).expect("gpu nfa model runs");
@@ -136,6 +160,7 @@ pub fn e2() -> String {
             ]);
         }
         out.push_str(&format!("\n### k = {k}\n\n{}", t.render()));
+        out.push_str(&metrics_appendix(&measured));
     }
     out
 }
@@ -173,10 +198,7 @@ pub fn e3() -> String {
             secs(modeled[3].1.kernel_s),
         ]);
     }
-    format!(
-        "## E3 — kernel time vs guide count, 1 Mbp, k=3 (* = modeled)\n\n{}",
-        t.render()
-    )
+    format!("## E3 — kernel time vs guide count, 1 Mbp, k=3 (* = modeled)\n\n{}", t.render())
 }
 
 /// E4 — end-to-end breakdown (config + transfer + kernel + report) per
@@ -277,13 +299,8 @@ pub fn e6() -> String {
 /// output-reporting discussion).
 pub fn e7() -> String {
     let guide = workloads::guides(1, 51).remove(0);
-    let mut t = Table::new([
-        "planted sites",
-        "hits",
-        "stall cycles",
-        "kernel",
-        "throughput (MB/s)",
-    ]);
+    let mut t =
+        Table::new(["planted sites", "hits", "stall cycles", "kernel", "throughput (MB/s)"]);
     for &sites in &[0usize, 100, 1_000, 10_000] {
         let genome = workloads::genome(2_000_000, 52);
         let (genome, _) = genset::plant_offtargets(
@@ -292,7 +309,8 @@ pub fn e7() -> String {
             &PlantPlan { levels: vec![(3, sites)] },
             53,
         );
-        let report = ApSearch::new().run(&genome, std::slice::from_ref(&guide), 3).expect("ap runs");
+        let report =
+            ApSearch::new().run(&genome, std::slice::from_ref(&guide), 3).expect("ap runs");
         t.row([
             sites.to_string(),
             report.hits.len().to_string(),
@@ -328,12 +346,10 @@ pub fn e8() -> String {
             &PlantPlan::uniform(3, 1),
             63,
         );
-        let (hits, bp_secs) = timed(|| {
-            BitParallelEngine::new().search(&genome, &guides, 3).expect("engine runs")
-        });
-        let (_, bf_secs) = timed(|| {
-            CasOffinderCpuEngine::new().search(&genome, &guides, 3).expect("engine runs")
-        });
+        let (hits, bp_secs) =
+            timed(|| BitParallelEngine::new().search(&genome, &guides, 3).expect("engine runs"));
+        let (_, bf_secs) =
+            timed(|| CasOffinderCpuEngine::new().search(&genome, &guides, 3).expect("engine runs"));
         let ap = ApSearch::new().run(&genome, &guides, 3).expect("ap runs");
         t.row([
             pam.to_string(),
@@ -353,12 +369,7 @@ pub fn e9() -> String {
     let report = crispr_core::validate::cross_validate(&genome, &guides, 3, &Platform::ALL)
         .expect("all platforms run");
     let mut t = Table::new(["platform", "agrees", "spurious", "missing"]);
-    t.row([
-        format!("{} (reference)", report.reference),
-        "yes".into(),
-        "0".into(),
-        "0".into(),
-    ]);
+    t.row([format!("{} (reference)", report.reference), "yes".into(), "0".into(), "0".into()]);
     for a in &report.agreements {
         t.row([
             a.platform.to_string(),
@@ -367,10 +378,8 @@ pub fn e9() -> String {
             a.missing.len().to_string(),
         ]);
     }
-    let planted_found = planted
-        .iter()
-        .filter(|h| report.reference_hits.binary_search(h).is_ok())
-        .count();
+    let planted_found =
+        planted.iter().filter(|h| report.reference_hits.binary_search(h).is_ok()).count();
     format!(
         "## E9 — cross-platform validation (40 kbp planted workload)\n\n{}\nplanted ground truth recovered: {}/{}\n",
         t.render(),
@@ -401,12 +410,7 @@ pub fn e10() -> String {
 
     let mut t = Table::new(["platform", "kernel (3.1 Gbp)", "vs casot", "vs cas-offinder-gpu"]);
     let mut row = |name: &str, kernel: f64| {
-        t.row([
-            name.to_string(),
-            secs(kernel),
-            speedup(casot, kernel),
-            speedup(gpu_bf, kernel),
-        ]);
+        t.row([name.to_string(), secs(kernel), speedup(casot, kernel), speedup(gpu_bf, kernel)]);
     };
     row("cpu-casot (Perl-modeled baseline)", casot);
     row("cpu-cas-offinder", cas_offinder_cpu);
@@ -458,7 +462,13 @@ pub fn e11() -> String {
     let strided_replicated =
         crispr_fpga::estimate_design_replicated(strided.automaton(), &fpga_spec);
 
-    let mut t = Table::new(["configuration", "states", "chips/instances", "throughput (MB/s)", "vs baseline"]);
+    let mut t = Table::new([
+        "configuration",
+        "states",
+        "chips/instances",
+        "throughput (MB/s)",
+        "vs baseline",
+    ]);
     let mbps = |bps: f64| format!("{:.0}", bps / 1e6);
     t.row([
         "ap (baseline)".to_string(),
@@ -500,10 +510,7 @@ pub fn e11() -> String {
         strided.automaton().state_count().to_string(),
         strided_replicated.instances.to_string(),
         mbps(strided_replicated.throughput_bps * 2.0),
-        format!(
-            "{:.1}x",
-            strided_replicated.throughput_bps * 2.0 / single.throughput_bps
-        ),
+        format!("{:.1}x", strided_replicated.throughput_bps * 2.0 / single.throughput_bps),
     ]);
     format!(
         "## E11 — §7 improvements: striding and replication (100 guides, k=3)\n\n{}",
@@ -548,12 +555,7 @@ pub fn e12() -> String {
     let mut t = Table::new(["modification", "chips", "kernel (3.1 Gbp)", "vs D480"]);
     let (base_s, base_chips) = kernel(&base_chip, &board, &set.per_pattern_states, 1.0);
     let mut row = |name: &str, secs_taken: f64, chips: usize| {
-        t.row([
-            name.to_string(),
-            chips.to_string(),
-            secs(secs_taken),
-            speedup(base_s, secs_taken),
-        ]);
+        t.row([name.to_string(), chips.to_string(), secs(secs_taken), speedup(base_s, secs_taken)]);
     };
     row("D480 baseline (133 MHz, 1 sym/cycle)", base_s, base_chips);
 
@@ -598,16 +600,12 @@ pub fn a1() -> String {
                 .expect("guide set compiles");
             let nfa_states = set.total_states();
             let cell = match DfaEngine::new().with_max_states(200_000).dfa_states(&guides, k) {
-                Ok(states) => (states.to_string(), format!("{:.1}", states as f64 / nfa_states as f64)),
+                Ok(states) => {
+                    (states.to_string(), format!("{:.1}", states as f64 / nfa_states as f64))
+                }
                 Err(_) => (">200000".into(), "-".into()),
             };
-            t.row([
-                g.to_string(),
-                k.to_string(),
-                nfa_states.to_string(),
-                cell.0,
-                cell.1,
-            ]);
+            t.row([g.to_string(), k.to_string(), nfa_states.to_string(), cell.0, cell.1]);
         }
     }
     format!("## A1 — DFA determinization blow-up\n\n{}", t.render())
@@ -621,8 +619,7 @@ pub fn a2() -> String {
     let mut t = Table::new(["seed limit", "kernel", "hits", "recall vs unlimited"]);
     for limit in [0usize, 1, 2, 3] {
         let engine = CasotEngine::new().with_seed_mismatch_limit(limit);
-        let (hits, secs_taken) =
-            timed(|| engine.search(&genome, &guides, 4).expect("casot runs"));
+        let (hits, secs_taken) = timed(|| engine.search(&genome, &guides, 4).expect("casot runs"));
         t.row([
             limit.to_string(),
             secs(secs_taken),
@@ -688,5 +685,21 @@ mod tests {
     fn run_dispatches_known_ids_only() {
         assert!(run("e1").is_some());
         assert!(run("nope").is_none());
+    }
+
+    #[test]
+    fn measured_rows_carry_populated_metrics() {
+        let (genome, guides, _) = workloads::planted(40_000, 3, 2, 13);
+        let rows = run_measured(&genome, &guides, 2, true);
+        assert_eq!(rows.len(), 4);
+        for row in &rows {
+            assert!(!row.metrics.engine.is_empty(), "{}", row.name);
+            assert!(row.metrics.phases.kernel_scan_s > 0.0, "{}", row.name);
+            assert!(row.metrics.counters.any_nonzero(), "{}", row.name);
+            assert_eq!(row.kernel_s, row.metrics.phases.kernel_scan_s);
+        }
+        let appendix = metrics_appendix(&rows);
+        assert!(appendix.contains("\"engine\":\"casot\""));
+        assert!(appendix.contains("\"engine\":\"bitparallel-hyperscan\""));
     }
 }

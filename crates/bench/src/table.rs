@@ -31,11 +31,8 @@ impl Table {
             }
         }
         let fmt_row = |cells: &[String]| -> String {
-            let body: Vec<String> = cells
-                .iter()
-                .zip(&widths)
-                .map(|(c, w)| format!("{c:<w$}"))
-                .collect();
+            let body: Vec<String> =
+                cells.iter().zip(&widths).map(|(c, w)| format!("{c:<w$}")).collect();
             format!("| {} |", body.join(" | "))
         };
         let mut out = String::new();

@@ -1,13 +1,13 @@
 use crate::Platform;
 use crispr_guides::Hit;
-use crispr_model::TimingBreakdown;
+use crispr_model::{SearchMetrics, TimingBreakdown};
 
 /// The outcome of one [`crate::OffTargetSearch`] run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchReport {
     platform: Platform,
     hits: Vec<Hit>,
-    timing: TimingBreakdown,
+    metrics: SearchMetrics,
     genome_len: usize,
     guide_count: usize,
     k: usize,
@@ -17,12 +17,12 @@ impl SearchReport {
     pub(crate) fn new(
         platform: Platform,
         hits: Vec<Hit>,
-        timing: TimingBreakdown,
+        metrics: SearchMetrics,
         genome_len: usize,
         guide_count: usize,
         k: usize,
     ) -> SearchReport {
-        SearchReport { platform, hits, timing, genome_len, guide_count, k }
+        SearchReport { platform, hits, metrics, genome_len, guide_count, k }
     }
 
     /// The platform that produced this report.
@@ -41,9 +41,18 @@ impl SearchReport {
     }
 
     /// Timing: measured wall-clock for CPU platforms, modeled for
-    /// accelerators (see [`Platform::is_modeled`]).
+    /// accelerators (see [`Platform::is_modeled`]). Derived from
+    /// [`SearchReport::metrics`] — `kernel_s` covers the scan only, with
+    /// guide compilation attributed to `config_s`.
     pub fn timing(&self) -> TimingBreakdown {
-        self.timing
+        self.metrics.timing()
+    }
+
+    /// The full observability record behind [`SearchReport::timing`]:
+    /// phase spans, engine work counters, parallel-deployment statistics
+    /// and model gauges.
+    pub fn metrics(&self) -> &SearchMetrics {
+        &self.metrics
     }
 
     /// Genome bases scanned.
@@ -63,7 +72,7 @@ impl SearchReport {
 
     /// Kernel throughput in input megabytes per second.
     pub fn kernel_throughput_mbps(&self) -> f64 {
-        crispr_model::throughput_mbps(self.genome_len, self.timing.kernel_s)
+        crispr_model::throughput_mbps(self.genome_len, self.timing().kernel_s)
     }
 }
 
@@ -74,11 +83,14 @@ mod tests {
     #[test]
     fn accessors_roundtrip() {
         let timing = TimingBreakdown { kernel_s: 2.0, ..TimingBreakdown::default() };
-        let report = SearchReport::new(Platform::CpuScalar, Vec::new(), timing, 4_000_000, 5, 3);
+        let metrics = SearchMetrics::from_timing("scalar-reference", &timing);
+        let report = SearchReport::new(Platform::CpuScalar, Vec::new(), metrics, 4_000_000, 5, 3);
         assert_eq!(report.platform(), Platform::CpuScalar);
         assert!(report.hits().is_empty());
         assert_eq!(report.guide_count(), 5);
         assert_eq!(report.max_mismatches(), 3);
+        assert_eq!(report.timing(), timing);
+        assert_eq!(report.metrics().engine, "scalar-reference");
         assert!((report.kernel_throughput_mbps() - 2.0).abs() < 1e-9);
         assert!(report.into_hits().is_empty());
     }

@@ -5,8 +5,7 @@ use crispr_engines::{
 };
 use crispr_genome::Genome;
 use crispr_guides::{Guide, Hit};
-use crispr_model::TimingBreakdown;
-use std::time::Instant;
+use crispr_model::SearchMetrics;
 
 /// Builder for a complete off-target search; see the crate docs for an
 /// end-to-end example.
@@ -75,7 +74,7 @@ impl OffTargetSearch {
     /// Guide-validation, compilation, or platform-capacity errors from the
     /// selected backend.
     pub fn run(&self) -> Result<SearchReport, EngineError> {
-        let (hits, timing) = match self.platform {
+        let (hits, metrics) = match self.platform {
             Platform::CpuScalar => self.run_cpu(ScalarEngine::new())?,
             Platform::CpuCasOffinder => self.run_cpu(CasOffinderCpuEngine::new())?,
             Platform::CpuCasot => self.run_cpu(CasotEngine::new())?,
@@ -84,45 +83,81 @@ impl OffTargetSearch {
             Platform::CpuDfa => self.run_cpu(DfaEngine::new())?,
             Platform::Ap => {
                 let report = crispr_ap::ApSearch::new().run(&self.genome, &self.guides, self.k)?;
-                (report.hits, report.timing)
+                let mut m = SearchMetrics::from_timing("ap-modeled", &report.timing);
+                m.counters.raw_hits = report.hits.len() as u64;
+                m.set_gauge("streams", report.streams as f64);
+                m.set_gauge("passes", report.passes as f64);
+                m.set_gauge("stall_cycles", report.stall_cycles as f64);
+                m.set_gauge("chips_used", report.placement.chips_used as f64);
+                m.set_gauge("stes_used", report.placement.stes_used as f64);
+                m.set_gauge("ste_utilization", report.placement.utilization);
+                (report.hits, m)
             }
             Platform::Fpga => {
                 let report =
                     crispr_fpga::FpgaSearch::new().run(&self.genome, &self.guides, self.k)?;
-                (report.hits, report.timing)
+                let mut m = SearchMetrics::from_timing("fpga-modeled", &report.timing);
+                m.counters.raw_hits = report.hits.len() as u64;
+                m.set_gauge("passes", report.passes as f64);
+                m.set_gauge("designs", report.designs.len() as f64);
+                if let Some(d) = report.designs.first() {
+                    m.set_gauge("instances", d.instances as f64);
+                    m.set_gauge("clock_hz", d.clock_hz);
+                    m.set_gauge("lut_utilization", d.utilization);
+                }
+                (report.hits, m)
             }
             Platform::GpuInfant2 => {
                 let report =
                     crispr_gpu::Infant2Search::new().run(&self.genome, &self.guides, self.k)?;
-                (report.hits, report.timing)
+                let mut m = SearchMetrics::from_timing("gpu-infant2-modeled", &report.timing);
+                m.counters.raw_hits = report.hits.len() as u64;
+                m.set_gauge("mean_active_states", report.mean_active);
+                m.set_gauge("bytes_per_symbol", report.bytes_per_symbol);
+                (report.hits, m)
             }
             Platform::GpuCasOffinder => {
-                let report = crispr_gpu::CasOffinderGpuSearch::new()
-                    .run(&self.genome, &self.guides, self.k)?;
-                (report.hits, report.timing)
+                let report = crispr_gpu::CasOffinderGpuSearch::new().run(
+                    &self.genome,
+                    &self.guides,
+                    self.k,
+                )?;
+                let mut m = SearchMetrics::from_timing("gpu-cas-offinder-modeled", &report.timing);
+                m.counters.raw_hits = report.hits.len() as u64;
+                m.set_gauge("kernel_bytes", report.kernel_bytes);
+                (report.hits, m)
             }
         };
         Ok(SearchReport::new(
             self.platform,
             hits,
-            timing,
+            metrics,
             self.genome.total_len(),
             self.guides.len(),
             self.k,
         ))
     }
 
+    /// Runs a CPU engine (parallel-wrapped when `threads > 1`) with full
+    /// metering: the engine attributes guide compilation to the config
+    /// bucket and the scan to the kernel bucket, so `kernel_s` no longer
+    /// absorbs compile time the way the old lumped measurement did.
     fn run_cpu<E: Engine + Sync>(
         &self,
         engine: E,
-    ) -> Result<(Vec<Hit>, TimingBreakdown), EngineError> {
-        let start = Instant::now();
+    ) -> Result<(Vec<Hit>, SearchMetrics), EngineError> {
+        let mut metrics = SearchMetrics::default();
         let hits = if self.threads > 1 {
-            ParallelEngine::new(engine, self.threads).search(&self.genome, &self.guides, self.k)?
+            ParallelEngine::new(engine, self.threads).search_metered(
+                &self.genome,
+                &self.guides,
+                self.k,
+                &mut metrics,
+            )?
         } else {
-            engine.search(&self.genome, &self.guides, self.k)?
+            engine.search_metered(&self.genome, &self.guides, self.k, &mut metrics)?
         };
-        Ok((hits, TimingBreakdown::from_kernel(start.elapsed())))
+        Ok((hits, metrics))
     }
 }
 
@@ -171,12 +206,8 @@ mod tests {
             .max_mismatches(2)
             .run()
             .unwrap();
-        let multi = OffTargetSearch::new(genome)
-            .guides(guides)
-            .max_mismatches(2)
-            .threads(4)
-            .run()
-            .unwrap();
+        let multi =
+            OffTargetSearch::new(genome).guides(guides).max_mismatches(2).threads(4).run().unwrap();
         assert_eq!(single.hits(), multi.hits());
     }
 
@@ -192,5 +223,69 @@ mod tests {
         let t = report.timing();
         assert!(t.kernel_s > 0.0 && t.transfer_s > 0.0 && t.config_s > 0.0);
         assert!(report.kernel_throughput_mbps() > 0.0);
+    }
+
+    #[test]
+    fn every_platform_populates_metrics() {
+        let (genome, guides, _) = workload();
+        for platform in Platform::ALL {
+            let report = OffTargetSearch::new(genome.clone())
+                .guides(guides.clone())
+                .max_mismatches(2)
+                .platform(platform)
+                .run()
+                .unwrap_or_else(|e| panic!("{platform}: {e}"));
+            let m = report.metrics();
+            assert!(!m.engine.is_empty(), "{platform}: engine label missing");
+            assert!(m.phases.kernel_scan_s > 0.0, "{platform}: no kernel span");
+            assert!(m.phases.total_s() > 0.0, "{platform}: empty phase spans");
+            assert_eq!(m.timing(), report.timing(), "{platform}: timing mismatch");
+            if !platform.is_modeled() {
+                // Every measured CPU engine increments at least one
+                // algorithm-specific counter beyond raw hits.
+                let c = &m.counters;
+                assert!(
+                    c.windows_scanned
+                        + c.pam_anchors_tested
+                        + c.seed_survivors
+                        + c.bit_steps
+                        + c.candidates_verified
+                        > 0,
+                    "{platform}: no engine-specific counters"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kernel_time_excludes_guide_compile() {
+        // The DFA engine's subset construction dominates its runtime on a
+        // small genome; with phase-accurate attribution it lands in
+        // config_s, not kernel_s (the old lumped measurement put
+        // everything in kernel_s).
+        let (genome, guides, _) = workload();
+        let report = OffTargetSearch::new(genome)
+            .guides(guides)
+            .max_mismatches(2)
+            .platform(Platform::CpuDfa)
+            .run()
+            .unwrap();
+        let t = report.timing();
+        assert!(t.config_s > 0.0, "compile time not attributed");
+        assert_eq!(t.kernel_s, report.metrics().phases.kernel_scan_s);
+        assert!(report.metrics().gauge("dfa_states").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn threaded_run_reports_parallel_metrics() {
+        let (genome, guides, _) = workload();
+        let report =
+            OffTargetSearch::new(genome).guides(guides).max_mismatches(2).threads(4).run().unwrap();
+        let m = report.metrics();
+        assert_eq!(m.engine, "parallel");
+        let p = m.parallel.as_ref().expect("parallel stats");
+        assert_eq!(p.threads.len(), 4);
+        assert!(p.chunks_total >= 1);
+        assert!(m.counters.any_nonzero());
     }
 }

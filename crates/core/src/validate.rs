@@ -93,8 +93,7 @@ mod tests {
     fn full_matrix_cross_validates() {
         let genome = SynthSpec::new(15_000).seed(71).generate();
         let guides = genset::random_guides(2, 20, &Pam::ngg(), 72);
-        let (genome, _) =
-            genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(2, 1), 73);
+        let (genome, _) = genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(2, 1), 73);
         let report = cross_validate(&genome, &guides, 2, &Platform::ALL).unwrap();
         assert!(report.all_agree(), "{:#?}", report.agreements);
         assert_eq!(report.agreements.len(), Platform::ALL.len() - 1);
@@ -107,13 +106,10 @@ mod tests {
         use crispr_engines::{CasotEngine, Engine};
         let genome = SynthSpec::new(20_000).seed(74).generate();
         let guides = genset::random_guides(2, 20, &Pam::ngg(), 75);
-        let (genome, _) =
-            genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(3, 5), 76);
+        let (genome, _) = genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(3, 5), 76);
         let full = CasotEngine::new().search(&genome, &guides, 3).unwrap();
-        let filtered = CasotEngine::new()
-            .with_seed_mismatch_limit(0)
-            .search(&genome, &guides, 3)
-            .unwrap();
+        let filtered =
+            CasotEngine::new().with_seed_mismatch_limit(0).search(&genome, &guides, 3).unwrap();
         let (spurious, missing) = diff(&filtered, &full);
         assert!(spurious.is_empty());
         assert!(!missing.is_empty());

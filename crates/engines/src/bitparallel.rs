@@ -25,6 +25,8 @@ use crate::engine::{patterns, validate_guides, Engine};
 use crate::EngineError;
 use crispr_genome::{Base, Genome};
 use crispr_guides::{normalize, Guide, Hit, SitePattern};
+use crispr_model::SearchMetrics;
+use std::time::Instant;
 
 /// All patterns' register machines in struct-of-arrays layout: the hot
 /// loop walks flat, contiguous arrays (4·P accept masks, (k+1)·P
@@ -151,17 +153,15 @@ impl BitParallelEngine {
     }
 }
 
-impl Engine for BitParallelEngine {
-    fn name(&self) -> &'static str {
-        "bitparallel-hyperscan"
-    }
-
-    fn search(
+impl BitParallelEngine {
+    fn scan(
         &self,
         genome: &Genome,
         guides: &[Guide],
         k: usize,
+        m: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        let compile_start = Instant::now();
         let site_len = validate_guides(guides, k)?;
         if site_len > 64 {
             return Err(EngineError::Unsupported(format!(
@@ -170,10 +170,15 @@ impl Engine for BitParallelEngine {
         }
         let pattern_list = patterns(guides);
         let mut bank = RegisterBank::new(&pattern_list, k);
+        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+
+        let scan_start = Instant::now();
         let mut shifted = vec![0u64; bank.patterns];
         let mut hits = Vec::new();
         for (ci, contig) in genome.contigs().iter().enumerate() {
             bank.reset();
+            m.counters.bit_steps += contig.len() as u64;
+            m.counters.windows_scanned += (contig.len() + 1).saturating_sub(site_len) as u64;
             for (end, base) in contig.seq().iter().enumerate() {
                 let code = base.code() as usize;
                 if bank.step(code, &mut shifted) != 0 {
@@ -190,8 +195,34 @@ impl Engine for BitParallelEngine {
                 }
             }
         }
+        m.counters.raw_hits += hits.len() as u64;
+        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+
+        let report_start = Instant::now();
         normalize(&mut hits);
+        m.phases.report_s += report_start.elapsed().as_secs_f64();
         Ok(hits)
+    }
+}
+
+impl Engine for BitParallelEngine {
+    fn name(&self) -> &'static str {
+        "bitparallel-hyperscan"
+    }
+
+    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
+        self.scan(genome, guides, k, &mut SearchMetrics::default())
+    }
+
+    fn search_metered(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
+        metrics.engine = self.name().to_string();
+        self.scan(genome, guides, k, metrics)
     }
 }
 
@@ -221,12 +252,7 @@ mod tests {
     fn pam_mismatch_never_paid_from_budget() {
         // Site with perfect spacer but broken PAM must not appear even at
         // high budget.
-        let guide = Guide::new(
-            "g",
-            "GATTACAGATTACAGATTAC".parse().unwrap(),
-            Pam::ngg(),
-        )
-        .unwrap();
+        let guide = Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
         let genome = crispr_genome::Genome::from_seq(
             "TTTTGATTACAGATTACAGATTACTTTAAAA".parse().unwrap(), // PAM = TTT
         );
@@ -236,12 +262,7 @@ mod tests {
 
     #[test]
     fn sites_longer_than_64_are_rejected() {
-        let guide = Guide::new(
-            "g",
-            "A".repeat(70).parse().unwrap(),
-            Pam::ngg(),
-        )
-        .unwrap();
+        let guide = Guide::new("g", "A".repeat(70).parse().unwrap(), Pam::ngg()).unwrap();
         let genome = crispr_genome::Genome::from_seq("ACGT".parse().unwrap());
         assert!(matches!(
             BitParallelEngine::new().search(&genome, &[guide], 1),

@@ -19,6 +19,8 @@ use crate::engine::{patterns, validate_guides, Engine};
 use crate::EngineError;
 use crispr_genome::{Base, Genome, IupacCode};
 use crispr_guides::{normalize, Guide, Hit, SitePattern};
+use crispr_model::SearchMetrics;
+use std::time::Instant;
 
 /// PAM-anchored seed-and-compare baseline; see the module docs.
 #[derive(Debug, Clone, Copy)]
@@ -86,13 +88,7 @@ impl Anchored {
         // first. With a contiguous PAM block this is distance to the block.
         if let (Some(&(first_pam, _)), true) = (pam.first(), !pam.is_empty()) {
             let last_pam = pam.last().expect("non-empty").0;
-            counted.sort_by_key(|&(i, _)| {
-                if i < first_pam {
-                    first_pam - i
-                } else {
-                    i - last_pam
-                }
-            });
+            counted.sort_by_key(|&(i, _)| if i < first_pam { first_pam - i } else { i - last_pam });
         }
         Anchored {
             pam,
@@ -104,21 +100,22 @@ impl Anchored {
     }
 }
 
-impl Engine for CasotEngine {
-    fn name(&self) -> &'static str {
-        "casot"
-    }
-
-    fn search(
+impl CasotEngine {
+    fn scan(
         &self,
         genome: &Genome,
         guides: &[Guide],
         k: usize,
+        m: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        let compile_start = Instant::now();
         let site_len = validate_guides(guides, k)?;
         let anchored: Vec<Anchored> =
             patterns(guides).iter().map(|p| Anchored::new(p, self.seed_len)).collect();
         let seed_limit = self.seed_mismatch_limit.unwrap_or(k);
+        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+
+        let scan_start = Instant::now();
         let mut hits = Vec::new();
         for (ci, contig) in genome.contigs().iter().enumerate() {
             if contig.len() < site_len {
@@ -126,6 +123,7 @@ impl Engine for CasotEngine {
             }
             let seq: &[Base] = contig.seq().as_slice();
             for start in 0..=seq.len() - site_len {
+                m.counters.windows_scanned += 1;
                 'pattern: for a in &anchored {
                     // Anchor: all PAM positions must match.
                     for &(offset, class) in &a.pam {
@@ -133,15 +131,25 @@ impl Engine for CasotEngine {
                             continue 'pattern;
                         }
                     }
+                    m.counters.pam_anchors_tested += 1;
                     // Seed first under the seed limit, then the rest under
                     // the total budget.
                     let mut mismatches = 0usize;
-                    for (rank, &(offset, base)) in a.spacer.iter().enumerate() {
+                    for &(offset, base) in &a.spacer[..a.seed_len] {
                         if seq[start + offset] != base {
                             mismatches += 1;
-                            if mismatches > k
-                                || (rank < a.seed_len && mismatches > seed_limit)
-                            {
+                            if mismatches > k || mismatches > seed_limit {
+                                m.counters.early_exits += 1;
+                                continue 'pattern;
+                            }
+                        }
+                    }
+                    m.counters.seed_survivors += 1;
+                    for &(offset, base) in &a.spacer[a.seed_len..] {
+                        if seq[start + offset] != base {
+                            mismatches += 1;
+                            if mismatches > k {
+                                m.counters.early_exits += 1;
                                 continue 'pattern;
                             }
                         }
@@ -156,8 +164,34 @@ impl Engine for CasotEngine {
                 }
             }
         }
+        m.counters.raw_hits += hits.len() as u64;
+        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+
+        let report_start = Instant::now();
         normalize(&mut hits);
+        m.phases.report_s += report_start.elapsed().as_secs_f64();
         Ok(hits)
+    }
+}
+
+impl Engine for CasotEngine {
+    fn name(&self) -> &'static str {
+        "casot"
+    }
+
+    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
+        self.scan(genome, guides, k, &mut SearchMetrics::default())
+    }
+
+    fn search_metered(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
+        metrics.engine = self.name().to_string();
+        self.scan(genome, guides, k, metrics)
     }
 }
 
@@ -183,13 +217,10 @@ mod tests {
     fn seed_limit_filters_distal_heavy_sites() {
         let genome = crispr_genome::synth::SynthSpec::new(30_000).seed(63).generate();
         let guides = genset::random_guides(2, 20, &Pam::ngg(), 64);
-        let (genome, _) =
-            genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(3, 4), 65);
+        let (genome, _) = genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(3, 4), 65);
         let all = CasotEngine::new().search(&genome, &guides, 3).unwrap();
-        let filtered = CasotEngine::new()
-            .with_seed_mismatch_limit(0)
-            .search(&genome, &guides, 3)
-            .unwrap();
+        let filtered =
+            CasotEngine::new().with_seed_mismatch_limit(0).search(&genome, &guides, 3).unwrap();
         assert!(filtered.len() <= all.len());
         // Every filtered hit is also an unfiltered hit.
         let (extra, _) = crispr_guides::diff(&filtered, &all);
@@ -202,12 +233,8 @@ mod tests {
     #[test]
     fn seed_ordering_is_pam_proximal() {
         use crispr_genome::Strand;
-        let g = crispr_guides::Guide::new(
-            "g",
-            "ACGTACGTACGTACGTACGT".parse().unwrap(),
-            Pam::ngg(),
-        )
-        .unwrap();
+        let g = crispr_guides::Guide::new("g", "ACGTACGTACGTACGTACGT".parse().unwrap(), Pam::ngg())
+            .unwrap();
         let p = SitePattern::from_guide(&g, Strand::Forward);
         let a = Anchored::new(&p, 12);
         // Forward 3'-PAM: seed should start from position 19 (nearest PAM

@@ -1,6 +1,8 @@
 use crate::EngineError;
 use crispr_genome::{Genome, Strand};
 use crispr_guides::{normalize, Guide, Hit, SitePattern};
+use crispr_model::SearchMetrics;
+use std::time::Instant;
 
 /// A complete off-target search: genome × guides × mismatch budget →
 /// normalized hits.
@@ -20,8 +22,33 @@ pub trait Engine {
     ///
     /// Implementation-specific; see each engine. All engines reject
     /// invalid guide sets via [`crispr_guides::GuideError`].
-    fn search(&self, genome: &Genome, guides: &[Guide], k: usize)
-        -> Result<Vec<Hit>, EngineError>;
+    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError>;
+
+    /// Runs the search while filling `metrics` — the observability hook.
+    ///
+    /// The hit set is identical to [`Engine::search`]. Engines override
+    /// this to attribute wall-clock to the right [`crispr_model::PhaseSpans`]
+    /// phase (guide compile vs kernel scan vs normalize) and to increment
+    /// their algorithm's [`crispr_model::EngineCounters`]. The default
+    /// measures the whole run as kernel time and counts only raw hits.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::search`].
+    fn search_metered(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
+        metrics.engine = self.name().to_string();
+        let start = Instant::now();
+        let hits = self.search(genome, guides, k)?;
+        metrics.phases.kernel_scan_s += start.elapsed().as_secs_f64();
+        metrics.counters.raw_hits += hits.len() as u64;
+        Ok(hits)
+    }
 }
 
 /// Validates a guide set the way the compilers do, returning the uniform
@@ -73,19 +100,20 @@ impl ScalarEngine {
     }
 }
 
-impl Engine for ScalarEngine {
-    fn name(&self) -> &'static str {
-        "scalar-reference"
-    }
-
-    fn search(
+impl ScalarEngine {
+    fn scan(
         &self,
         genome: &Genome,
         guides: &[Guide],
         k: usize,
+        m: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        let compile_start = Instant::now();
         let site_len = validate_guides(guides, k)?;
         let patterns = patterns(guides);
+        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+
+        let scan_start = Instant::now();
         let mut hits = Vec::new();
         for (ci, contig) in genome.contigs().iter().enumerate() {
             if contig.len() < site_len {
@@ -93,8 +121,10 @@ impl Engine for ScalarEngine {
             }
             let seq = contig.seq().as_slice();
             for start in 0..=seq.len() - site_len {
+                m.counters.windows_scanned += 1;
                 let window = &seq[start..start + site_len];
                 for pattern in &patterns {
+                    m.counters.candidates_verified += 1;
                     if let Some(mm) = pattern.score_window(window) {
                         if mm <= k {
                             hits.push(Hit {
@@ -109,8 +139,34 @@ impl Engine for ScalarEngine {
                 }
             }
         }
+        m.counters.raw_hits += hits.len() as u64;
+        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+
+        let report_start = Instant::now();
         normalize(&mut hits);
+        m.phases.report_s += report_start.elapsed().as_secs_f64();
         Ok(hits)
+    }
+}
+
+impl Engine for ScalarEngine {
+    fn name(&self) -> &'static str {
+        "scalar-reference"
+    }
+
+    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
+        self.scan(genome, guides, k, &mut SearchMetrics::default())
+    }
+
+    fn search_metered(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
+        metrics.engine = self.name().to_string();
+        self.scan(genome, guides, k, metrics)
     }
 }
 
@@ -162,8 +218,7 @@ mod tests {
 
     #[test]
     fn scalar_engine_finds_planted_exact_site() {
-        let guide =
-            Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
+        let guide = Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
         let genome = tiny_genome("TTTTGATTACAGATTACAGATTACTGGAAAA");
         let hits = ScalarEngine::new().search(&genome, &[guide], 0).unwrap();
         assert_eq!(hits.len(), 1);
@@ -174,8 +229,7 @@ mod tests {
 
     #[test]
     fn scalar_engine_finds_reverse_site() {
-        let guide =
-            Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
+        let guide = Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
         let site: DnaSeq = "GATTACAGATTACAGATTACAGG".parse().unwrap();
         let mut text: DnaSeq = "CCCC".parse().unwrap();
         text.extend_from_seq(&site.revcomp());
@@ -188,11 +242,13 @@ mod tests {
 
     #[test]
     fn scalar_engine_respects_budget() {
-        let guide =
-            Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
+        let guide = Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
         // Two mismatches in the site.
         let genome = tiny_genome("TTTTGATCACAGATTACAGATTGCTGGAAAA");
-        assert!(ScalarEngine::new().search(&genome, std::slice::from_ref(&guide), 1).unwrap().is_empty());
+        assert!(ScalarEngine::new()
+            .search(&genome, std::slice::from_ref(&guide), 1)
+            .unwrap()
+            .is_empty());
         let hits = ScalarEngine::new().search(&genome, &[guide], 2).unwrap();
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].mismatches, 2);
@@ -200,8 +256,7 @@ mod tests {
 
     #[test]
     fn short_contigs_are_skipped() {
-        let guide =
-            Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
+        let guide = Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
         let genome = tiny_genome("ACGT");
         assert!(ScalarEngine::new().search(&genome, &[guide], 3).unwrap().is_empty());
     }

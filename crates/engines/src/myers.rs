@@ -27,10 +27,7 @@ impl MyersMatcher {
     ///
     /// Panics if the pattern is empty or longer than 64 bases.
     pub fn new(pattern: &DnaSeq) -> MyersMatcher {
-        assert!(
-            !pattern.is_empty() && pattern.len() <= 64,
-            "pattern length must be within 1..=64"
-        );
+        assert!(!pattern.is_empty() && pattern.len() <= 64, "pattern length must be within 1..=64");
         let mut eq = [0u64; 4];
         for (i, base) in pattern.iter().enumerate() {
             eq[base.code() as usize] |= 1 << i;
@@ -52,7 +49,12 @@ impl MyersMatcher {
     /// position whose best semi-global alignment distance is ≤ `k`
     /// (`end_pos` is exclusive, matching
     /// [`crispr_guides::leven::semiglobal_distances`]).
-    pub fn scan(&self, text: impl IntoIterator<Item = Base>, k: usize, mut on_end: impl FnMut(usize, usize)) {
+    pub fn scan(
+        &self,
+        text: impl IntoIterator<Item = Base>,
+        k: usize,
+        mut on_end: impl FnMut(usize, usize),
+    ) {
         let mut pv = u64::MAX;
         let mut mv = 0u64;
         let mut score = self.len;
@@ -142,11 +144,7 @@ impl IndelEngine {
                     if end + pam.len() > seq.len() {
                         return;
                     }
-                    let ok = pam
-                        .codes()
-                        .iter()
-                        .enumerate()
-                        .all(|(i, c)| c.matches(seq[end + i]));
+                    let ok = pam.codes().iter().enumerate().all(|(i, c)| c.matches(seq[end + i]));
                     if ok && end + pam.len() >= site_len {
                         hits.push(Hit {
                             contig: ci as u32,
@@ -223,16 +221,13 @@ mod tests {
         let k = 2;
         let automaton = leven::compile_levenshtein(&pattern, k, 0, Strand::Forward);
         let symbols: Vec<u8> = text.iter().map(Base::code).collect();
-        let automaton_ends: Vec<(usize, u32)> = leven::min_reports(
-            sim::run(&automaton, &symbols).into_iter().map(|r| (r.pos, r.code)),
-        );
+        let automaton_ends: Vec<(usize, u32)> =
+            leven::min_reports(sim::run(&automaton, &symbols).into_iter().map(|r| (r.pos, r.code)));
         let matcher = MyersMatcher::new(&pattern);
         let myers_ends: Vec<(usize, u32)> = matcher
             .matches(&text, k)
             .into_iter()
-            .map(|(e, d)| {
-                (e, crispr_guides::ReportCode::pack(0, Strand::Forward, d as u8).0)
-            })
+            .map(|(e, d)| (e, crispr_guides::ReportCode::pack(0, Strand::Forward, d as u8).0))
             .collect();
         assert_eq!(myers_ends, automaton_ends);
     }
@@ -247,11 +242,7 @@ mod tests {
         text.extend_from_seq(&seq("TTTTTTTTTT"));
         let genome = Genome::from_seq(text);
         let hits = IndelEngine::new().search(&genome, std::slice::from_ref(&guide), 1);
-        assert!(
-            hits.iter()
-                .any(|h| h.strand == Strand::Forward && h.mismatches == 1),
-            "{hits:?}"
-        );
+        assert!(hits.iter().any(|h| h.strand == Strand::Forward && h.mismatches == 1), "{hits:?}");
         // Without a PAM after the site, nothing fires.
         let mut no_pam = seq("TTTTTTTTTT");
         no_pam.extend_from_seq(&seq("ACGTGGCTCAGATTAGGCC"));
@@ -272,8 +263,7 @@ mod tests {
         let genome = Genome::from_seq(text);
         let hits = IndelEngine::new().search(&genome, &[guide], 0);
         assert!(
-            hits.iter()
-                .any(|h| h.strand == Strand::Reverse && h.mismatches == 0 && h.pos == 10),
+            hits.iter().any(|h| h.strand == Strand::Reverse && h.mismatches == 0 && h.pos == 10),
             "{hits:?}"
         );
     }
@@ -289,9 +279,7 @@ mod tests {
             &crispr_guides::genset::PlantPlan::uniform(0, 5),
             405,
         );
-        let exact: Vec<Hit> = ScalarEngine::new()
-            .search(&genome, &guides, 0)
-            .unwrap();
+        let exact: Vec<Hit> = ScalarEngine::new().search(&genome, &guides, 0).unwrap();
         let indel = IndelEngine::new().search(&genome, &guides, 0);
         // At k=0 the two define the same sites.
         assert_eq!(indel, exact);

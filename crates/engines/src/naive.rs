@@ -12,6 +12,8 @@ use crate::engine::{patterns, validate_guides, Engine};
 use crate::EngineError;
 use crispr_genome::{Base, Genome, IupacCode, PackedSeq};
 use crispr_guides::{normalize, Guide, Hit, SitePattern};
+use crispr_model::SearchMetrics;
+use std::time::Instant;
 
 /// Precompiled form of one pattern for brute-force scanning.
 #[derive(Debug)]
@@ -36,11 +38,8 @@ impl Precompiled {
                 if spacer_offset.is_none() {
                     spacer_offset = Some(i);
                 }
-                let base = pos
-                    .class
-                    .bases()
-                    .next()
-                    .expect("counted positions are concrete single bases");
+                let base =
+                    pos.class.bases().next().expect("counted positions are concrete single bases");
                 debug_assert_eq!(pos.class.degeneracy(), 1);
                 spacer.push(base);
             } else {
@@ -76,36 +75,42 @@ impl CasOffinderCpuEngine {
     }
 }
 
-impl Engine for CasOffinderCpuEngine {
-    fn name(&self) -> &'static str {
-        "cas-offinder-cpu"
-    }
-
-    fn search(
+impl CasOffinderCpuEngine {
+    fn scan(
         &self,
         genome: &Genome,
         guides: &[Guide],
         k: usize,
+        m: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        let compile_start = Instant::now();
         let site_len = validate_guides(guides, k)?;
         let compiled: Vec<Precompiled> = patterns(guides).iter().map(Precompiled::new).collect();
+        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+
         let mut hits = Vec::new();
         for (ci, contig) in genome.contigs().iter().enumerate() {
             if contig.len() < site_len {
                 continue;
             }
             let seq: &[Base] = contig.seq().as_slice();
+            let pack_start = Instant::now();
             let packed = PackedSeq::from_seq(contig.seq());
+            m.phases.genome_load_s += pack_start.elapsed().as_secs_f64();
+
+            let scan_start = Instant::now();
             for start in 0..=seq.len() - site_len {
+                m.counters.windows_scanned += 1;
                 'pattern: for p in &compiled {
                     for &(offset, class) in &p.pam_checks {
                         if !class.matches(seq[start + offset]) {
                             continue 'pattern;
                         }
                     }
-                    if let Some(mm) =
-                        packed.count_mismatches(&p.spacer, start + p.spacer_offset, k)
+                    m.counters.pam_anchors_tested += 1;
+                    if let Some(mm) = packed.count_mismatches(&p.spacer, start + p.spacer_offset, k)
                     {
+                        m.counters.candidates_verified += 1;
                         hits.push(Hit {
                             contig: ci as u32,
                             pos: start as u64,
@@ -113,12 +118,40 @@ impl Engine for CasOffinderCpuEngine {
                             strand: p.strand,
                             mismatches: mm as u8,
                         });
+                    } else {
+                        m.counters.early_exits += 1;
                     }
                 }
             }
+            m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
         }
+        m.counters.raw_hits += hits.len() as u64;
+
+        let report_start = Instant::now();
         normalize(&mut hits);
+        m.phases.report_s += report_start.elapsed().as_secs_f64();
         Ok(hits)
+    }
+}
+
+impl Engine for CasOffinderCpuEngine {
+    fn name(&self) -> &'static str {
+        "cas-offinder-cpu"
+    }
+
+    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
+        self.scan(genome, guides, k, &mut SearchMetrics::default())
+    }
+
+    fn search_metered(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
+        metrics.engine = self.name().to_string();
+        self.scan(genome, guides, k, metrics)
     }
 }
 

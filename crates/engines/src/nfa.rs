@@ -13,6 +13,8 @@ use crate::EngineError;
 use crispr_automata::sim::Simulator;
 use crispr_genome::Genome;
 use crispr_guides::{compile, normalize, CompileOptions, Guide, Hit, ReportCode};
+use crispr_model::SearchMetrics;
+use std::time::Instant;
 
 /// NFA frontier-simulation engine over the compiled mismatch automata.
 #[derive(Debug, Clone, Copy, Default)]
@@ -25,30 +27,33 @@ impl NfaEngine {
     pub fn new() -> NfaEngine {
         NfaEngine::default()
     }
-}
 
-impl Engine for NfaEngine {
-    fn name(&self) -> &'static str {
-        "nfa-frontier"
-    }
-
-    fn search(
+    fn scan(
         &self,
         genome: &Genome,
         guides: &[Guide],
         k: usize,
+        m: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        let compile_start = Instant::now();
         validate_guides(guides, k)?;
         let set = compile::compile_guides(guides, &CompileOptions::new(k))?;
         let mut sim = Simulator::new(&set.automaton);
+        m.set_gauge("nfa_states", set.automaton.state_count() as f64);
+        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+
+        let scan_start = Instant::now();
         let mut hits = Vec::new();
         let mut reports = Vec::new();
         for (ci, contig) in genome.contigs().iter().enumerate() {
             sim.reset();
             reports.clear();
+            m.counters.bit_steps += contig.len() as u64;
+            m.counters.windows_scanned += (contig.len() + 1).saturating_sub(set.site_len) as u64;
             for base in contig.seq().iter() {
                 sim.step(base.code(), &mut reports);
             }
+            m.counters.raw_hits += reports.len() as u64;
             for report in &reports {
                 let code = ReportCode(report.code);
                 hits.push(Hit {
@@ -60,8 +65,33 @@ impl Engine for NfaEngine {
                 });
             }
         }
+        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+
+        let report_start = Instant::now();
         normalize(&mut hits);
+        m.phases.report_s += report_start.elapsed().as_secs_f64();
         Ok(hits)
+    }
+}
+
+impl Engine for NfaEngine {
+    fn name(&self) -> &'static str {
+        "nfa-frontier"
+    }
+
+    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
+        self.scan(genome, guides, k, &mut SearchMetrics::default())
+    }
+
+    fn search_metered(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
+        metrics.engine = self.name().to_string();
+        self.scan(genome, guides, k, metrics)
     }
 }
 

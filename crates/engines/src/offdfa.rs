@@ -12,6 +12,8 @@ use crate::engine::{validate_guides, Engine};
 use crate::EngineError;
 use crispr_genome::{Base, Genome};
 use crispr_guides::{compile, normalize, CompileOptions, Guide, Hit, ReportCode};
+use crispr_model::SearchMetrics;
+use std::time::Instant;
 
 /// Ahead-of-time determinizing engine with a configurable state budget.
 #[derive(Debug, Clone, Copy)]
@@ -57,32 +59,37 @@ impl DfaEngine {
         let dfa = if self.minimize { crispr_automata::minimize::minimize(&dfa) } else { dfa };
         Ok(dfa.state_count())
     }
-}
 
-impl Engine for DfaEngine {
-    fn name(&self) -> &'static str {
-        "dfa-subset"
-    }
-
-    fn search(
+    fn scan(
         &self,
         genome: &Genome,
         guides: &[Guide],
         k: usize,
+        m: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        let compile_start = Instant::now();
         validate_guides(guides, k)?;
         let set = compile::compile_guides(guides, &CompileOptions::new(k))?;
         let dfa = crispr_automata::subset::determinize(&set.automaton, 4, self.max_states)?;
         let dfa = if self.minimize { crispr_automata::minimize::minimize(&dfa) } else { dfa };
+        m.set_gauge("dfa_states", dfa.state_count() as f64);
+        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
 
         let mut hits = Vec::new();
         let mut reports = Vec::new();
         let mut symbols = Vec::new();
         for (ci, contig) in genome.contigs().iter().enumerate() {
+            let load_start = Instant::now();
             symbols.clear();
             symbols.extend(contig.seq().iter().map(Base::code));
+            m.phases.genome_load_s += load_start.elapsed().as_secs_f64();
+
+            let scan_start = Instant::now();
             reports.clear();
             dfa.scan_into(&symbols, &mut reports)?;
+            m.counters.bit_steps += symbols.len() as u64;
+            m.counters.windows_scanned += (symbols.len() + 1).saturating_sub(set.site_len) as u64;
+            m.counters.raw_hits += reports.len() as u64;
             for report in &reports {
                 let code = ReportCode(report.code);
                 hits.push(Hit {
@@ -93,9 +100,34 @@ impl Engine for DfaEngine {
                     mismatches: code.mismatches(),
                 });
             }
+            m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
         }
+
+        let report_start = Instant::now();
         normalize(&mut hits);
+        m.phases.report_s += report_start.elapsed().as_secs_f64();
         Ok(hits)
+    }
+}
+
+impl Engine for DfaEngine {
+    fn name(&self) -> &'static str {
+        "dfa-subset"
+    }
+
+    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
+        self.scan(genome, guides, k, &mut SearchMetrics::default())
+    }
+
+    fn search_metered(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
+        metrics.engine = self.name().to_string();
+        self.scan(genome, guides, k, metrics)
     }
 }
 

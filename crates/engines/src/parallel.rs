@@ -2,17 +2,19 @@
 //!
 //! Each contig is split into near-equal chunks overlapping by
 //! `site_len − 1` bases so no window is lost at a boundary; chunks run on
-//! scoped threads ([`crossbeam::scope`]) through the inner engine, results
-//! are shifted back to contig coordinates and re-normalized (overlap
-//! regions produce duplicate hits by construction; normalization removes
-//! them). This is the standard way the paper's CPU tools scale to many
-//! cores, and the fixture for the chunking ablation.
+//! scoped threads ([`std::thread::scope`]) through the inner engine,
+//! results are shifted back to contig coordinates and re-normalized
+//! (overlap regions produce duplicate hits by construction; normalization
+//! removes them). This is the standard way the paper's CPU tools scale to
+//! many cores, and the fixture for the chunking ablation.
 
 use crate::engine::{validate_guides, Engine};
 use crate::EngineError;
 use crispr_genome::{DnaSeq, Genome};
 use crispr_guides::{normalize, Guide, Hit};
-use parking_lot::Mutex;
+use crispr_model::{ParallelMetrics, SearchMetrics, ThreadStats};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Parallel wrapper around an inner [`Engine`].
 #[derive(Debug)]
@@ -63,58 +65,119 @@ impl<E: Engine + Sync> ParallelEngine<E> {
     }
 }
 
+impl<E: Engine + Sync> ParallelEngine<E> {
+    fn scan(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+        m: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
+        let compile_start = Instant::now();
+        let site_len = validate_guides(guides, k)?;
+        let work = self.chunks(genome, site_len);
+        let chunks_total = work.len() as u64;
+        let mut chunk_len_min = 0u64;
+        let mut chunk_len_max = 0u64;
+        for (_, _, chunk) in &work {
+            let len = chunk.contigs().iter().map(|c| c.len() as u64).sum::<u64>();
+            if chunk_len_min == 0 || len < chunk_len_min {
+                chunk_len_min = len;
+            }
+            chunk_len_max = chunk_len_max.max(len);
+        }
+        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+
+        let scan_start = Instant::now();
+        let queue = Mutex::new(work.into_iter());
+        let results: Mutex<Vec<Hit>> = Mutex::new(Vec::new());
+        let error: Mutex<Option<EngineError>> = Mutex::new(None);
+        let workers: Mutex<Vec<(ThreadStats, SearchMetrics)>> = Mutex::new(Vec::new());
+
+        std::thread::scope(|scope| {
+            for _ in 0..self.threads {
+                scope.spawn(|| {
+                    let mut stats = ThreadStats::default();
+                    let mut local = SearchMetrics::default();
+                    loop {
+                        let item = queue.lock().expect("queue lock").next();
+                        let Some((contig, offset, chunk)) = item else { break };
+                        let busy_start = Instant::now();
+                        let outcome = self.inner.search_metered(&chunk, guides, k, &mut local);
+                        stats.busy_s += busy_start.elapsed().as_secs_f64();
+                        stats.chunks += 1;
+                        match outcome {
+                            Ok(hits) => {
+                                stats.raw_hits += hits.len() as u64;
+                                let mut shifted: Vec<Hit> = hits
+                                    .into_iter()
+                                    .map(|mut h| {
+                                        h.contig = contig;
+                                        h.pos += offset;
+                                        h
+                                    })
+                                    .collect();
+                                results.lock().expect("results lock").append(&mut shifted);
+                            }
+                            Err(e) => {
+                                let mut slot = error.lock().expect("error lock");
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                            }
+                        }
+                    }
+                    workers.lock().expect("workers lock").push((stats, local));
+                });
+            }
+        });
+        let wall_s = scan_start.elapsed().as_secs_f64();
+        m.phases.kernel_scan_s += wall_s;
+
+        if let Some(e) = error.into_inner().expect("error lock") {
+            return Err(e);
+        }
+
+        let mut parallel = ParallelMetrics {
+            threads: Vec::with_capacity(self.threads),
+            chunks_total,
+            chunk_len_min,
+            chunk_len_max,
+            overlap: site_len.saturating_sub(1) as u64,
+        };
+        for (stats, local) in workers.into_inner().expect("workers lock") {
+            parallel.threads.push(stats);
+            m.counters.merge(&local.counters);
+        }
+        m.set_gauge("utilization", parallel.utilization(wall_s));
+        m.parallel = Some(parallel);
+
+        let report_start = Instant::now();
+        let mut hits = results.into_inner().expect("results lock");
+        normalize(&mut hits);
+        m.phases.report_s += report_start.elapsed().as_secs_f64();
+        Ok(hits)
+    }
+}
+
 impl<E: Engine + Sync> Engine for ParallelEngine<E> {
     fn name(&self) -> &'static str {
         "parallel"
     }
 
-    fn search(
+    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
+        self.scan(genome, guides, k, &mut SearchMetrics::default())
+    }
+
+    fn search_metered(
         &self,
         genome: &Genome,
         guides: &[Guide],
         k: usize,
+        metrics: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
-        let site_len = validate_guides(guides, k)?;
-        let work = self.chunks(genome, site_len);
-        let queue = Mutex::new(work.into_iter());
-        let results: Mutex<Vec<Hit>> = Mutex::new(Vec::new());
-        let error: Mutex<Option<EngineError>> = Mutex::new(None);
-
-        crossbeam::scope(|scope| {
-            for _ in 0..self.threads {
-                scope.spawn(|_| loop {
-                    let item = queue.lock().next();
-                    let Some((contig, offset, chunk)) = item else { break };
-                    match self.inner.search(&chunk, guides, k) {
-                        Ok(hits) => {
-                            let mut shifted: Vec<Hit> = hits
-                                .into_iter()
-                                .map(|mut h| {
-                                    h.contig = contig;
-                                    h.pos += offset;
-                                    h
-                                })
-                                .collect();
-                            results.lock().append(&mut shifted);
-                        }
-                        Err(e) => {
-                            let mut slot = error.lock();
-                            if slot.is_none() {
-                                *slot = Some(e);
-                            }
-                        }
-                    }
-                });
-            }
-        })
-        .expect("worker threads do not panic");
-
-        if let Some(e) = error.into_inner() {
-            return Err(e);
-        }
-        let mut hits = results.into_inner();
-        normalize(&mut hits);
-        Ok(hits)
+        metrics.engine = self.name().to_string();
+        self.scan(genome, guides, k, metrics)
     }
 }
 
@@ -151,9 +214,7 @@ mod tests {
         // A genome barely larger than one site, forcing overlap handling.
         let (genome, guides, _) = planted_workload(73, 1);
         let truth = ScalarEngine::new().search(&genome, &guides, 1).unwrap();
-        let par = ParallelEngine::new(ScalarEngine::new(), 16)
-            .search(&genome, &guides, 1)
-            .unwrap();
+        let par = ParallelEngine::new(ScalarEngine::new(), 16).search(&genome, &guides, 1).unwrap();
         assert_eq!(par, truth);
     }
 
@@ -162,5 +223,73 @@ mod tests {
         let genome = crispr_genome::Genome::from_seq("ACGT".parse().unwrap());
         let engine = ParallelEngine::new(ScalarEngine::new(), 2);
         assert!(engine.search(&genome, &[], 1).is_err());
+    }
+
+    /// Builds a multi-contig genome whose contig lengths straddle the
+    /// chunk size: below one site, exactly one site, below one chunk,
+    /// and many chunks long.
+    fn straddling_genome() -> Genome {
+        use crispr_genome::synth::SynthSpec;
+        let piece = |len: usize, seed: u64| {
+            SynthSpec::new(len).seed(seed).generate().contigs()[0].seq().clone()
+        };
+        let mut genome = Genome::new();
+        genome.add_contig("tiny", piece(10, 91)); // shorter than a site: skipped
+        genome.add_contig("one-site", piece(23, 92)); // exactly one window
+        genome.add_contig("sub-chunk", piece(40, 93)); // smaller than one chunk
+        genome.add_contig("long", piece(12_000, 94)); // splits into many chunks
+        genome
+    }
+
+    #[test]
+    fn multi_contig_chunking_matches_serial() {
+        use crispr_guides::genset::{self, PlantPlan};
+        let guides = genset::random_guides(3, 20, &crispr_guides::Pam::ngg(), 95);
+        let (genome, planted) =
+            genset::plant_offtargets(straddling_genome(), &guides, &PlantPlan::uniform(3, 2), 96);
+        let truth = ScalarEngine::new().search(&genome, &guides, 3).unwrap();
+        for threads in [1, 2, 4, 9] {
+            let par = ParallelEngine::new(BitParallelEngine::new(), threads)
+                .search(&genome, &guides, 3)
+                .unwrap();
+            assert_eq!(par, truth, "threads={threads}");
+            for hit in planted.iter().filter(|h| h.mismatches <= 3) {
+                assert!(par.binary_search(hit).is_ok(), "planted hit {hit} missing");
+            }
+        }
+    }
+
+    #[test]
+    fn chunk_boundary_duplicates_are_removed() {
+        // Overlapping chunks re-discover boundary-window hits; the merged
+        // result must still be strictly sorted and duplicate-free.
+        let (genome, guides, _) = planted_workload(74, 2);
+        let par = ParallelEngine::new(ScalarEngine::new(), 16).search(&genome, &guides, 2).unwrap();
+        assert!(par.windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+    }
+
+    #[test]
+    fn metered_parallel_fills_stats_and_counters() {
+        let (genome, guides, _) = planted_workload(75, 2);
+        let engine = ParallelEngine::new(BitParallelEngine::new(), 3);
+        let mut m = SearchMetrics::default();
+        let hits = engine.search_metered(&genome, &guides, 2, &mut m).unwrap();
+        let serial = BitParallelEngine::new().search(&genome, &guides, 2).unwrap();
+        assert_eq!(hits, serial);
+        assert_eq!(m.engine, "parallel");
+        let p = m.parallel.as_ref().expect("parallel stats present");
+        assert_eq!(p.threads.len(), 3);
+        assert!(p.chunks_total >= 1);
+        assert_eq!(p.threads.iter().map(|t| t.chunks).sum::<u64>(), p.chunks_total);
+        assert!(p.chunk_len_min > 0 && p.chunk_len_min <= p.chunk_len_max);
+        assert_eq!(p.overlap, 22); // site_len 23 → overlap 22
+                                   // Counters merged up from the inner engines; raw hits include
+                                   // boundary duplicates, so they bound the deduplicated output.
+        assert!(m.counters.windows_scanned > 0);
+        assert!(m.counters.bit_steps > 0);
+        assert!(m.counters.raw_hits >= hits.len() as u64);
+        assert!(m.phases.kernel_scan_s > 0.0);
+        let utilization = m.gauge("utilization").expect("utilization gauge");
+        assert!((0.0..=1.0 + 1e-9).contains(&utilization));
     }
 }

@@ -15,7 +15,9 @@ use crate::engine::{patterns, validate_guides, Engine};
 use crate::EngineError;
 use crispr_genome::{Base, Genome};
 use crispr_guides::{normalize, Guide, Hit};
+use crispr_model::SearchMetrics;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Exact-seed pigeonhole filtration engine; see the module docs.
 #[derive(Debug, Clone, Copy, Default)]
@@ -40,17 +42,15 @@ fn pack_qgram(seq: &[Base], start: usize, len: usize) -> u64 {
     value
 }
 
-impl Engine for PigeonholeEngine {
-    fn name(&self) -> &'static str {
-        "pigeonhole-filtration"
-    }
-
-    fn search(
+impl PigeonholeEngine {
+    fn scan(
         &self,
         genome: &Genome,
         guides: &[Guide],
         k: usize,
+        m: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        let compile_start = Instant::now();
         let site_len = validate_guides(guides, k)?;
         let patterns = patterns(guides);
 
@@ -95,6 +95,8 @@ impl Engine for PigeonholeEngine {
                 }
             }
         }
+        m.set_gauge("seeds", seeds.len() as f64);
+        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
 
         // One q-gram index per distinct segment length, per contig.
         let mut hits = Vec::new();
@@ -104,12 +106,17 @@ impl Engine for PigeonholeEngine {
                 continue;
             }
             let seq = contig.seq().as_slice();
+            m.counters.windows_scanned += (seq.len() + 1 - site_len) as u64;
             candidates.clear();
             for &len in &seg_lengths {
+                let index_start = Instant::now();
                 let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
                 for start in 0..=seq.len() - len {
                     index.entry(pack_qgram(seq, start, len)).or_default().push(start as u32);
                 }
+                m.phases.genome_load_s += index_start.elapsed().as_secs_f64();
+
+                let lookup_start = Instant::now();
                 for seed in seeds.iter().filter(|s| s.len == len) {
                     if let Some(positions) = index.get(&seed.qgram) {
                         for &qpos in positions {
@@ -123,12 +130,16 @@ impl Engine for PigeonholeEngine {
                         }
                     }
                 }
+                m.phases.kernel_scan_s += lookup_start.elapsed().as_secs_f64();
             }
+            let verify_start = Instant::now();
             candidates.sort_unstable();
             candidates.dedup();
+            m.counters.seed_survivors += candidates.len() as u64;
             for &(pi, start) in &candidates {
                 let pattern = &patterns[pi];
                 let window = &seq[start..start + site_len];
+                m.counters.candidates_verified += 1;
                 if let Some(mm) = pattern.score_window(window) {
                     if mm <= k {
                         hits.push(Hit {
@@ -138,12 +149,42 @@ impl Engine for PigeonholeEngine {
                             strand: pattern.strand(),
                             mismatches: mm as u8,
                         });
+                    } else {
+                        m.counters.early_exits += 1;
                     }
+                } else {
+                    m.counters.early_exits += 1;
                 }
             }
+            m.phases.kernel_scan_s += verify_start.elapsed().as_secs_f64();
         }
+        m.counters.raw_hits += hits.len() as u64;
+
+        let report_start = Instant::now();
         normalize(&mut hits);
+        m.phases.report_s += report_start.elapsed().as_secs_f64();
         Ok(hits)
+    }
+}
+
+impl Engine for PigeonholeEngine {
+    fn name(&self) -> &'static str {
+        "pigeonhole-filtration"
+    }
+
+    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
+        self.scan(genome, guides, k, &mut SearchMetrics::default())
+    }
+
+    fn search_metered(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
+        metrics.engine = self.name().to_string();
+        self.scan(genome, guides, k, metrics)
     }
 }
 
@@ -169,15 +210,9 @@ mod tests {
 
     #[test]
     fn budget_exceeding_spacer_segments_is_rejected() {
-        let genome = crispr_genome::Genome::from_seq(
-            "ACGTACGTACGTACGTACGTACGTACGT".parse().unwrap(),
-        );
-        let guide = Guide::new(
-            "g",
-            "ACGT".parse().unwrap(),
-            crispr_guides::Pam::ngg(),
-        )
-        .unwrap();
+        let genome =
+            crispr_genome::Genome::from_seq("ACGTACGTACGTACGTACGTACGTACGT".parse().unwrap());
+        let guide = Guide::new("g", "ACGT".parse().unwrap(), crispr_guides::Pam::ngg()).unwrap();
         // k=5 would need 6 seeds from a 4-base spacer.
         assert!(matches!(
             PigeonholeEngine::new().search(&genome, &[guide], 5),

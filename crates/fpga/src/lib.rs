@@ -23,5 +23,8 @@ mod resource;
 mod spec;
 
 pub use machine::{FpgaRunReport, FpgaSearch};
-pub use resource::{estimate_design, estimate_design_replicated, instance_resources, plan_partitions, DesignEstimate};
+pub use resource::{
+    estimate_design, estimate_design_replicated, instance_resources, plan_partitions,
+    DesignEstimate,
+};
 pub use spec::FpgaSpec;

@@ -10,7 +10,6 @@ use crispr_engines::{BitParallelEngine, Engine, EngineError};
 use crispr_genome::Genome;
 use crispr_guides::{compile, CompileOptions, Guide, Hit};
 use crispr_model::TimingBreakdown;
-use serde::{Deserialize, Serialize};
 
 /// FPGA off-target search with a configurable device.
 ///
@@ -32,10 +31,9 @@ pub struct FpgaSearch {
 }
 
 /// Result of one FPGA run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FpgaRunReport {
     /// The exact hit set (identical to every CPU engine's).
-    #[serde(skip)]
     pub hits: Vec<Hit>,
     /// Modeled time breakdown (summed across passes).
     pub timing: TimingBreakdown,
@@ -105,8 +103,7 @@ impl FpgaSearch {
             designs.push(estimate(&set.automaton));
         } else {
             for part in &partitions {
-                let sub =
-                    compile::compile_guides(&guides[part.clone()], &CompileOptions::new(k))?;
+                let sub = compile::compile_guides(&guides[part.clone()], &CompileOptions::new(k))?;
                 designs.push(estimate(&sub.automaton));
             }
         }
@@ -139,8 +136,7 @@ mod tests {
     fn hits_match_scalar_oracle() {
         let genome = SynthSpec::new(20_000).seed(31).generate();
         let guides = genset::random_guides(3, 20, &Pam::ngg(), 32);
-        let (genome, _) =
-            genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(2, 2), 33);
+        let (genome, _) = genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(2, 2), 33);
         let report = FpgaSearch::new().run(&genome, &guides, 2).unwrap();
         let truth = ScalarEngine::new().search(&genome, &guides, 2).unwrap();
         assert_eq!(report.hits, truth);

@@ -13,10 +13,9 @@
 use crate::FpgaSpec;
 use crispr_automata::stats::AutomatonStats;
 use crispr_automata::Automaton;
-use serde::{Deserialize, Serialize};
 
 /// Resource and performance estimate for one matcher design.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DesignEstimate {
     /// LUTs of a single matcher instance.
     pub luts_per_instance: usize,
@@ -129,7 +128,10 @@ pub fn estimate_design_replicated(automaton: &Automaton, spec: &FpgaSpec) -> Des
 /// # Panics
 ///
 /// Panics if one pattern alone exceeds the device.
-pub fn plan_partitions(per_pattern_states: &[usize], spec: &FpgaSpec) -> Vec<std::ops::Range<usize>> {
+pub fn plan_partitions(
+    per_pattern_states: &[usize],
+    spec: &FpgaSpec,
+) -> Vec<std::ops::Range<usize>> {
     // Budget in states: invert the LUT model (64 shared + 1 LUT/state).
     let lut_budget = (spec.luts as f64 * spec.max_utilization) as usize;
     let state_budget = lut_budget.saturating_sub(64).min(spec.ffs);
@@ -213,8 +215,7 @@ mod tests {
         }
         assert_eq!(covered, vec![0, 1, 2, 3]);
         // Each partition fits.
-        let budget =
-            ((spec.luts as f64 * spec.max_utilization) as usize - 64).min(spec.ffs);
+        let budget = ((spec.luts as f64 * spec.max_utilization) as usize - 64).min(spec.ffs);
         for p in &parts {
             let sum: usize = per_pattern[p.clone()].iter().sum();
             assert!(sum <= budget);

@@ -1,9 +1,7 @@
-use serde::{Deserialize, Serialize};
-
 /// FPGA device and host-link parameters. Defaults approximate a Kintex
 /// UltraScale KU060 on PCIe gen3 ×8, the class of part used for published
 /// automata overlays.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FpgaSpec {
     /// 6-input LUTs available.
     pub luts: usize,

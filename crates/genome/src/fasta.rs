@@ -80,7 +80,11 @@ fn read_impl<R: Read>(reader: R, lossy: bool) -> Result<Genome, GenomeError> {
 /// # Errors
 ///
 /// Propagates any I/O failure from `writer`.
-pub fn write_genome<W: Write>(mut writer: W, genome: &Genome, width: usize) -> Result<(), GenomeError> {
+pub fn write_genome<W: Write>(
+    mut writer: W,
+    genome: &Genome,
+    width: usize,
+) -> Result<(), GenomeError> {
     let width = width.max(1);
     for contig in genome.contigs() {
         writeln!(writer, ">{}", contig.name())?;

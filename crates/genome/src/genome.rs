@@ -1,5 +1,4 @@
 use crate::{DnaSeq, GenomeError, PackedSeq};
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Which strand of the double helix a site lies on.
@@ -8,7 +7,7 @@ use std::fmt;
 /// protospacer on either. Coordinates reported for [`Strand::Reverse`] sites
 /// refer to the *forward*-strand position of the site's leftmost base, the
 /// convention Cas-OFFinder uses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Strand {
     /// The forward (`+`, Watson) strand as stored.
     Forward,

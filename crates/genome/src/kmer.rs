@@ -44,7 +44,7 @@ impl QGramIndex {
     ///
     /// Panics if `q` is 0 or greater than 32.
     pub fn build(seq: &DnaSeq, q: usize) -> QGramIndex {
-        assert!(q >= 1 && q <= 32, "q must be within 1..=32");
+        assert!((1..=32).contains(&q), "q must be within 1..=32");
         let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
         if seq.len() >= q {
             let mask = if q == 32 { u64::MAX } else { (1u64 << (2 * q)) - 1 };

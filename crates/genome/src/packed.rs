@@ -43,10 +43,7 @@ impl PackedSeq {
 
     /// Creates an empty packed sequence with room for `capacity` bases.
     pub fn with_capacity(capacity: usize) -> PackedSeq {
-        PackedSeq {
-            words: Vec::with_capacity(capacity.div_ceil(BASES_PER_WORD)),
-            len: 0,
-        }
+        PackedSeq { words: Vec::with_capacity(capacity.div_ceil(BASES_PER_WORD)), len: 0 }
     }
 
     /// Number of bases stored.
@@ -102,7 +99,12 @@ impl PackedSeq {
     /// # Panics
     ///
     /// Panics if `offset + pattern.len() > self.len()`.
-    pub fn count_mismatches(&self, pattern: &PackedSeq, offset: usize, limit: usize) -> Option<usize> {
+    pub fn count_mismatches(
+        &self,
+        pattern: &PackedSeq,
+        offset: usize,
+        limit: usize,
+    ) -> Option<usize> {
         assert!(
             offset + pattern.len() <= self.len,
             "window [{}, {}) out of bounds (len {})",
@@ -212,8 +214,7 @@ mod tests {
         let genome = PackedSeq::from_seq(&seq(&text));
         let pat = PackedSeq::from_seq(&seq(&"ACGT".repeat(10)));
         for offset in 0..genome.len() - pat.len() {
-            let expected =
-                seq(&text).subseq(offset..offset + 40).hamming_distance(&pat.unpack());
+            let expected = seq(&text).subseq(offset..offset + 40).hamming_distance(&pat.unpack());
             assert_eq!(
                 genome.count_mismatches(&pat, offset, 40),
                 Some(expected),

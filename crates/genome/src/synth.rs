@@ -104,11 +104,8 @@ impl SynthSpec {
             for _ in 0..family.copies {
                 let start = rng.gen_range(0..=self.len - family.unit_len);
                 for (i, &b) in unit.iter().enumerate() {
-                    bases[start + i] = if rng.gen_bool(family.divergence) {
-                        mutate_base(&mut rng, b)
-                    } else {
-                        b
-                    };
+                    bases[start + i] =
+                        if rng.gen_bool(family.divergence) { mutate_base(&mut rng, b) } else { b };
                 }
             }
         }
@@ -187,11 +184,7 @@ impl Planter {
     /// Starts planting into `genome` with a deterministic RNG seed.
     pub fn new(genome: Genome, seed: u64) -> Planter {
         let names = genome.contigs().iter().map(|c| c.name().to_string()).collect();
-        let data = genome
-            .contigs()
-            .iter()
-            .map(|c| c.seq().as_slice().to_vec())
-            .collect::<Vec<_>>();
+        let data = genome.contigs().iter().map(|c| c.seq().as_slice().to_vec()).collect::<Vec<_>>();
         Planter {
             occupied: vec![Vec::new(); data.len()],
             genome: data,
@@ -220,7 +213,11 @@ impl Planter {
         strand: Strand,
     ) -> Option<PlantedSite> {
         assert!(mutable.end <= template.len(), "mutable range outside template");
-        assert!(mutable.len() >= mismatches, "cannot place {mismatches} mismatches in {} positions", mutable.len());
+        assert!(
+            mutable.len() >= mismatches,
+            "cannot place {mismatches} mismatches in {} positions",
+            mutable.len()
+        );
         let len = template.len();
         for _ in 0..1000 {
             let contig = self.rng.gen_range(0..self.genome.len());
@@ -285,9 +282,7 @@ impl Planter {
     }
 
     fn overlaps(&self, contig: usize, pos: usize, len: usize) -> bool {
-        self.occupied[contig]
-            .iter()
-            .any(|&(start, l)| pos < start + l && start < pos + len)
+        self.occupied[contig].iter().any(|&(start, l)| pos < start + l && start < pos + len)
     }
 
     /// All sites planted so far, in plant order.

@@ -24,7 +24,6 @@ use crispr_engines::{CasOffinderCpuEngine, Engine, EngineError};
 use crispr_genome::Genome;
 use crispr_guides::{Guide, Hit};
 use crispr_model::TimingBreakdown;
-use serde::{Deserialize, Serialize};
 
 /// Fraction of peak device bandwidth the published tool sustains end to
 /// end (see module docs).
@@ -44,10 +43,9 @@ impl Default for CasOffinderGpuSearch {
 }
 
 /// Result of one Cas-OFFinder-GPU-model run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CasOffinderGpuReport {
     /// The exact hit set (identical to every CPU engine's).
-    #[serde(skip)]
     pub hits: Vec<Hit>,
     /// Modeled time breakdown.
     pub timing: TimingBreakdown,
@@ -167,9 +165,8 @@ mod tests {
 
     #[test]
     fn efficiency_override_is_validated() {
-        let result = std::panic::catch_unwind(|| {
-            CasOffinderGpuSearch::new().with_tool_efficiency(0.0)
-        });
+        let result =
+            std::panic::catch_unwind(|| CasOffinderGpuSearch::new().with_tool_efficiency(0.0));
         assert!(result.is_err());
         let faster = CasOffinderGpuSearch::new().with_tool_efficiency(1.0);
         let genome = SynthSpec::new(10_000).seed(57).generate();

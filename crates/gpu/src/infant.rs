@@ -26,7 +26,6 @@ use crispr_engines::{BitParallelEngine, Engine, EngineError};
 use crispr_genome::Genome;
 use crispr_guides::{compile, CompileOptions, Guide, Hit};
 use crispr_model::TimingBreakdown;
-use serde::{Deserialize, Serialize};
 
 /// Bytes per transition record in the device-resident table.
 const RECORD_BYTES: f64 = 4.0;
@@ -42,10 +41,9 @@ pub struct Infant2Search {
 }
 
 /// Result of one iNFAnt2-model run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Infant2Report {
     /// The exact hit set (identical to every CPU engine's).
-    #[serde(skip)]
     pub hits: Vec<Hit>,
     /// Modeled time breakdown.
     pub timing: TimingBreakdown,

@@ -1,8 +1,6 @@
-use serde::{Deserialize, Serialize};
-
 /// GPU device and host-link parameters. Defaults approximate a GTX
 /// 1080-class part (the generation of the paper's GPU experiments).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct GpuSpec {
     /// Streaming multiprocessors.
     pub sms: usize,
@@ -59,6 +57,6 @@ mod tests {
     fn defaults_are_1080_class() {
         let spec = GpuSpec::default();
         assert_eq!(spec.total_cores(), 2560);
-        assert!(spec.peak_ops() > 4e12-1.0 && spec.peak_ops() < 4.2e12);
+        assert!(spec.peak_ops() > 4e12 - 1.0 && spec.peak_ops() < 4.2e12);
     }
 }

@@ -150,15 +150,15 @@ pub fn compile_pattern(
     for i in 0..grid_len {
         let pos = &positions[i];
         let max_m = if opts.prune_triangle { pre[i].min(k) } else { k };
-        for j in 0..=max_m {
-            match_states[i][j] = Some(builder.add_state(match_class(pos), StartKind::None));
+        for slot in match_states[i].iter_mut().take(max_m + 1) {
+            *slot = Some(builder.add_state(match_class(pos), StartKind::None));
         }
         if pos.counted && k >= 1 {
             let mis = mismatch_class(pos);
             if !mis.is_empty() {
                 let max_x = if opts.prune_triangle { (pre[i] + 1).min(k) } else { k };
-                for j in 1..=max_x {
-                    miss_states[i][j] = Some(builder.add_state(mis, StartKind::None));
+                for slot in miss_states[i].iter_mut().take(max_x + 1).skip(1) {
+                    *slot = Some(builder.add_state(mis, StartKind::None));
                 }
             }
         }
@@ -191,7 +191,7 @@ pub fn compile_pattern(
                     if let Some(m) = match_states[i + 1][j] {
                         builder.add_edge(state, m);
                     }
-                    if j + 1 <= k {
+                    if j < k {
                         if let Some(x) = miss_states[i + 1][j + 1] {
                             builder.add_edge(state, x);
                         }
@@ -210,9 +210,8 @@ pub fn compile_pattern(
 
     // Starts at column 0. With a one-column grid the same states already
     // carry report marks; start kinds are orthogonal.
-    for state in [match_states[0][0], miss_states[0].get(1).copied().flatten()]
-        .into_iter()
-        .flatten()
+    for state in
+        [match_states[0][0], miss_states[0].get(1).copied().flatten()].into_iter().flatten()
     {
         promote_to_start(builder, state);
     }
@@ -252,8 +251,7 @@ pub fn compile_guides(guides: &[Guide], opts: &CompileOptions) -> Result<Compile
                 found: guide.site_len(),
             });
         }
-        let strands: &[Strand] =
-            if opts.both_strands { &Strand::BOTH } else { &[Strand::Forward] };
+        let strands: &[Strand] = if opts.both_strands { &Strand::BOTH } else { &[Strand::Forward] };
         for &strand in strands {
             let pattern = SitePattern::from_guide(guide, strand).with_guide_index(index as u32);
             per_pattern.push(compile_pattern(&pattern, opts, &mut builder));
@@ -325,10 +323,8 @@ mod tests {
     }
 
     fn run_set(set: &CompiledSet, text: &DnaSeq) -> Vec<(usize, u32)> {
-        let mut got: Vec<(usize, u32)> = sim::run(&set.automaton, &symbols(text))
-            .into_iter()
-            .map(|r| (r.pos, r.code))
-            .collect();
+        let mut got: Vec<(usize, u32)> =
+            sim::run(&set.automaton, &symbols(text)).into_iter().map(|r| (r.pos, r.code)).collect();
         got.sort_unstable();
         got
     }
@@ -366,7 +362,11 @@ mod tests {
             text.extend_from_seq(&random_text(100, 17));
             text.extend_from_seq(&"GATCACAGATTACAGATTACTGG".parse().unwrap()); // 1 mm
             text.extend_from_seq(&random_text(100, 23));
-            assert_eq!(run_set(&set, &text), oracle(&[g.clone()], &text, &opts), "k={k}");
+            assert_eq!(
+                run_set(&set, &text),
+                oracle(std::slice::from_ref(&g), &text, &opts),
+                "k={k}"
+            );
         }
     }
 
@@ -383,9 +383,7 @@ mod tests {
         let got = run_set(&set, &text);
         let expected = oracle(&[g], &text, &opts);
         assert_eq!(got, expected);
-        assert!(got
-            .iter()
-            .any(|(_, code)| ReportCode(*code).strand() == Strand::Reverse));
+        assert!(got.iter().any(|(_, code)| ReportCode(*code).strand() == Strand::Reverse));
     }
 
     #[test]
@@ -412,9 +410,7 @@ mod tests {
         text.extend_from_seq(&"ACGTGGCATCAGATTACAGGCGG".parse().unwrap());
         let got = run_set(&count_free, &text);
         assert_eq!(got, oracle(&[g], &text, &opts_free));
-        assert!(got
-            .iter()
-            .all(|(_, code)| ReportCode(*code).mismatches() == UNKNOWN_MISMATCHES));
+        assert!(got.iter().all(|(_, code)| ReportCode(*code).mismatches() == UNKNOWN_MISMATCHES));
     }
 
     #[test]
@@ -432,8 +428,7 @@ mod tests {
 
     #[test]
     fn multi_guide_codes_are_disjoint() {
-        let guides =
-            vec![guide("ACGTACGTACGTACGTACGT"), guide("GGGGCCCCAAAATTTTACGT")];
+        let guides = vec![guide("ACGTACGTACGTACGTACGT"), guide("GGGGCCCCAAAATTTTACGT")];
         let opts = CompileOptions::new(1);
         let set = compile_guides(&guides, &opts).unwrap();
         assert_eq!(set.guide_count, 2);
@@ -444,10 +439,7 @@ mod tests {
 
     #[test]
     fn validation_errors() {
-        assert_eq!(
-            compile_guides(&[], &CompileOptions::new(1)).unwrap_err(),
-            GuideError::NoGuides
-        );
+        assert_eq!(compile_guides(&[], &CompileOptions::new(1)).unwrap_err(), GuideError::NoGuides);
         let g = guide("ACGTACGTACGTACGTACGT");
         assert_eq!(
             compile_guides(std::slice::from_ref(&g), &CompileOptions::new(31)).unwrap_err(),

@@ -59,10 +59,7 @@ pub fn guides_from_genome(
                 (window.subseq(pam.len()..site_len), window.subseq(0..pam.len()))
             }
         };
-        let pam_ok = pam_part
-            .iter()
-            .zip(pam.codes())
-            .all(|(base, code)| code.matches(base));
+        let pam_ok = pam_part.iter().zip(pam.codes()).all(|(base, code)| code.matches(base));
         if pam_ok {
             let id = format!("guide{}", guides.len());
             guides.push(Guide::new(id, spacer, pam.clone()).expect("spacer non-empty"));
@@ -197,8 +194,7 @@ mod tests {
             let guide = &guides[hit.guide as usize];
             let pattern = SitePattern::from_guide(guide, hit.strand);
             let contig = &genome.contigs()[hit.contig as usize];
-            let window =
-                contig.seq().subseq(hit.pos as usize..hit.pos as usize + pattern.len());
+            let window = contig.seq().subseq(hit.pos as usize..hit.pos as usize + pattern.len());
             assert_eq!(
                 pattern.score_window(window.as_slice()),
                 Some(hit.mismatches as usize),
@@ -218,14 +214,12 @@ mod tests {
         let pam = Pam::tttv();
         let genome = SynthSpec::new(20_000).seed(8).generate();
         let guides = random_guides(2, 20, &pam, 9);
-        let (genome, hits) =
-            plant_offtargets(genome, &guides, &PlantPlan::uniform(1, 1), 10);
+        let (genome, hits) = plant_offtargets(genome, &guides, &PlantPlan::uniform(1, 1), 10);
         for hit in &hits {
             let guide = &guides[hit.guide as usize];
             let pattern = SitePattern::from_guide(guide, hit.strand);
             let contig = &genome.contigs()[hit.contig as usize];
-            let window =
-                contig.seq().subseq(hit.pos as usize..hit.pos as usize + pattern.len());
+            let window = contig.seq().subseq(hit.pos as usize..hit.pos as usize + pattern.len());
             assert_eq!(pattern.score_window(window.as_slice()), Some(hit.mismatches as usize));
         }
     }

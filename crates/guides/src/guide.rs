@@ -104,9 +104,7 @@ impl Guide {
         let spacer = self.spacer.iter().map(IupacCode::from_base);
         match self.pam.side() {
             crate::PamSide::Three => spacer.chain(self.pam.codes().iter().copied()).collect(),
-            crate::PamSide::Five => {
-                self.pam.codes().iter().copied().chain(spacer).collect()
-            }
+            crate::PamSide::Five => self.pam.codes().iter().copied().chain(spacer).collect(),
         }
     }
 }

@@ -1,5 +1,4 @@
 use crispr_genome::Strand;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Sentinel mismatch count meaning "not encoded in the report code" —
@@ -60,7 +59,7 @@ impl From<u32> for ReportCode {
 
 /// One candidate off-target site — the common currency of every engine and
 /// platform in the workspace.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Hit {
     /// Index of the contig within the searched genome.
     pub contig: u32,

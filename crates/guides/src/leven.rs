@@ -207,17 +207,13 @@ mod tests {
         // Insertion in the text (extra G in the middle).
         let reports = min_dist_reports(&pattern, 2, &seq("ACGTGACGT"));
         assert!(
-            reports
-                .iter()
-                .any(|(pos, code)| *pos == 9 && ReportCode(*code).mismatches() == 1),
+            reports.iter().any(|(pos, code)| *pos == 9 && ReportCode(*code).mismatches() == 1),
             "{reports:?}"
         );
         // Deletion in the text (missing the second A).
         let reports = min_dist_reports(&pattern, 2, &seq("ACGTCGT"));
         assert!(
-            reports
-                .iter()
-                .any(|(pos, code)| *pos == 7 && ReportCode(*code).mismatches() == 1),
+            reports.iter().any(|(pos, code)| *pos == 7 && ReportCode(*code).mismatches() == 1),
             "{reports:?}"
         );
     }
@@ -252,9 +248,7 @@ mod tests {
         // Pattern ACGT, text ends right after ACG: distance 1 via deleting T.
         let reports = min_dist_reports(&seq("ACGT"), 1, &seq("ACG"));
         assert!(
-            reports
-                .iter()
-                .any(|(pos, code)| *pos == 3 && ReportCode(*code).mismatches() == 1),
+            reports.iter().any(|(pos, code)| *pos == 3 && ReportCode(*code).mismatches() == 1),
             "{reports:?}"
         );
     }
@@ -270,12 +264,8 @@ mod tests {
     fn min_reports_takes_minimum_per_slot() {
         let base0 = ReportCode::pack(0, Strand::Forward, 0).0 & !31;
         let base1 = ReportCode::pack(1, Strand::Forward, 0).0 & !31;
-        let collapsed = min_reports(vec![
-            (5, base0 | 3),
-            (5, base0 | 1),
-            (5, base1 | 2),
-            (6, base0 | 2),
-        ]);
+        let collapsed =
+            min_reports(vec![(5, base0 | 3), (5, base0 | 1), (5, base1 | 2), (6, base0 | 2)]);
         assert_eq!(collapsed, vec![(5, base0 | 1), (5, base1 | 2), (6, base0 | 2)]);
     }
 

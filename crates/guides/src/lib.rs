@@ -41,9 +41,9 @@ mod guide;
 mod hit;
 pub mod io;
 pub mod leven;
-pub mod stride;
 mod pam;
 mod pattern;
+pub mod stride;
 
 pub use compile::{CompileOptions, CompiledSet};
 pub use guide::{Guide, GuideError};

@@ -41,10 +41,9 @@ impl Pam {
     pub fn new(motif: &str, side: PamSide) -> Result<Pam, GuideError> {
         let mut codes = Vec::with_capacity(motif.len());
         for (i, byte) in motif.bytes().enumerate() {
-            codes.push(IupacCode::from_ascii(byte).ok_or(GuideError::InvalidPam {
-                byte,
-                offset: i,
-            })?);
+            codes.push(
+                IupacCode::from_ascii(byte).ok_or(GuideError::InvalidPam { byte, offset: i })?,
+            );
         }
         Ok(Pam { name: motif.to_ascii_uppercase(), codes, side })
     }

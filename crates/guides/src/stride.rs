@@ -126,8 +126,8 @@ pub fn compile_strided_pattern(
             if class.is_empty() {
                 continue;
             }
-            for j in d..=k {
-                column[j][d] = Some(builder.add_state(class, StartKind::None));
+            for slot in column.iter_mut().skip(d) {
+                slot[d] = Some(builder.add_state(class, StartKind::None));
             }
         }
     }
@@ -149,8 +149,7 @@ pub fn compile_strided_pattern(
                         }
                     }
                 } else {
-                    let code =
-                        ReportCode::pack(pattern.guide_index(), pattern.strand(), j as u8);
+                    let code = ReportCode::pack(pattern.guide_index(), pattern.strand(), j as u8);
                     builder.mark_report(state, code.0);
                 }
             }
@@ -366,8 +365,7 @@ mod tests {
         let gs = guides(1);
         let k = 3;
         let scan = StridedScan::compile(&gs, &CompileOptions::new(k)).unwrap();
-        let unstrided =
-            crate::compile::compile_guides(&gs, &CompileOptions::new(k)).unwrap();
+        let unstrided = crate::compile::compile_guides(&gs, &CompileOptions::new(k)).unwrap();
         // Two alignment copies halve the columns each: total strided states
         // stay within ~2.5× of the unstrided machine.
         let ratio = scan.automaton().state_count() as f64 / unstrided.total_states() as f64;
@@ -381,7 +379,7 @@ mod tests {
         let gs = guides(1);
         let g = &gs[0];
         let mut text: DnaSeq = "T".repeat(101).parse().unwrap(); // odd length
-        // Overwrite the tail with a perfect site (ends at base 101).
+                                                                 // Overwrite the tail with a perfect site (ends at base 101).
         let mut site = g.spacer().clone();
         site.extend_from_seq(&"AGG".parse().unwrap());
         let start = 101 - site.len();

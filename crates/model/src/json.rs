@@ -1,0 +1,342 @@
+//! Dependency-free JSON helpers: string escaping for the writers and a
+//! small strict parser used to *validate* emitted documents in tests and
+//! tooling. This is not a general-purpose serialization framework — the
+//! workspace writes its JSON by hand and uses [`escape`] to make that
+//! safe and [`parse`] to prove it.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes `text` for inclusion inside a JSON string literal (quotes,
+/// backslashes and control characters per RFC 8259).
+pub fn escape(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Number(f64),
+    /// A string, unescaped.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object (key order not preserved).
+    Object(BTreeMap<String, Value>),
+}
+
+impl Value {
+    /// Member lookup on objects; `None` elsewhere or when absent.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(map) => map.get(key),
+            _ => None,
+        }
+    }
+
+    /// The number, if this is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one complete JSON document (trailing whitespace allowed,
+/// trailing garbage rejected).
+///
+/// # Errors
+///
+/// A human-readable description with a byte offset.
+pub fn parse(text: &str) -> Result<Value, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while let Some(&b) = bytes.get(*pos) {
+        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+            *pos += 1;
+        } else {
+            break;
+        }
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if bytes.get(*pos) == Some(&byte) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected {:?} at byte {}", byte as char, *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => parse_literal(bytes, pos, b"null", Value::Null),
+        Some(b't') => parse_literal(bytes, pos, b"true", Value::Bool(true)),
+        Some(b'f') => parse_literal(bytes, pos, b"false", Value::Bool(false)),
+        Some(b'"') => Ok(Value::String(parse_string(bytes, pos)?)),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'-') | Some(b'0'..=b'9') => parse_number(bytes, pos),
+        Some(&other) => Err(format!("unexpected byte {:?} at {}", other as char, *pos)),
+    }
+}
+
+fn parse_literal(
+    bytes: &[u8],
+    pos: &mut usize,
+    literal: &[u8],
+    value: Value,
+) -> Result<Value, String> {
+    if bytes[*pos..].starts_with(literal) {
+        *pos += literal.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while matches!(bytes.get(*pos), Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')) {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).expect("ASCII slice");
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{08}'),
+                    Some(b'f') => out.push('\u{0C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let unit = parse_hex4(bytes, *pos + 1)?;
+                        *pos += 4;
+                        let c = match unit {
+                            0xD800..=0xDBFF => {
+                                // Surrogate pair: require \uXXXX low half.
+                                if bytes.get(*pos + 1..*pos + 3) != Some(&b"\\u"[..]) {
+                                    return Err(format!(
+                                        "lone high surrogate at byte {}",
+                                        *pos - 5
+                                    ));
+                                }
+                                let low = parse_hex4(bytes, *pos + 3)?;
+                                *pos += 6;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err("invalid low surrogate".to_string());
+                                }
+                                let code = 0x10000
+                                    + ((unit as u32 - 0xD800) << 10)
+                                    + (low as u32 - 0xDC00);
+                                char::from_u32(code).ok_or("invalid surrogate pair")?
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(format!("lone low surrogate at byte {}", *pos - 5))
+                            }
+                            unit => char::from_u32(unit as u32).ok_or("invalid codepoint")?,
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&b) if b < 0x20 => {
+                return Err(format!("raw control byte 0x{b:02x} in string at {}", *pos))
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar.
+                let rest = std::str::from_utf8(&bytes[*pos..])
+                    .map_err(|_| format!("invalid UTF-8 at byte {}", *pos))?;
+                let c = rest.chars().next().expect("non-empty");
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_hex4(bytes: &[u8], at: usize) -> Result<u16, String> {
+    let slice =
+        bytes.get(at..at + 4).ok_or_else(|| format!("truncated \\u escape at byte {at}"))?;
+    let text = std::str::from_utf8(slice).map_err(|_| "non-ASCII \\u escape".to_string())?;
+    u16::from_str_radix(text, 16).map_err(|_| format!("invalid \\u escape {text:?}"))
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Value::Array(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+    expect(bytes, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Value::Object(map));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        let value = parse_value(bytes, pos)?;
+        map.insert(key, value);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_quotes_backslashes_and_controls() {
+        assert_eq!(escape("plain"), "plain");
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb\tc"), "a\\nb\\tc");
+        assert_eq!(escape("\u{01}"), "\\u0001");
+        assert_eq!(escape("héllo"), "héllo");
+    }
+
+    #[test]
+    fn escaped_strings_round_trip_through_the_parser() {
+        for original in ["", "plain", "a\"b\\c", "line\nbreak\ttab", "\u{08}\u{0C}\u{01}", "naïve"]
+        {
+            let doc = format!("{{\"key\":\"{}\"}}", escape(original));
+            let parsed = parse(&doc).expect("round-trip parses");
+            assert_eq!(parsed.get("key").and_then(Value::as_str), Some(original), "{original:?}");
+        }
+    }
+
+    #[test]
+    fn parses_nested_documents() {
+        let v = parse(r#"{"a": [1, 2.5, -3e2], "b": {"c": null, "d": true}, "e": "x"}"#).unwrap();
+        assert_eq!(v.get("a").and_then(Value::as_array).map(<[Value]>::len), Some(3));
+        assert_eq!(v.get("a").unwrap().as_array().unwrap()[2].as_f64(), Some(-300.0));
+        assert_eq!(v.get("b").and_then(|b| b.get("c")), Some(&Value::Null));
+        assert_eq!(v.get("b").and_then(|b| b.get("d")), Some(&Value::Bool(true)));
+        assert_eq!(v.get("e").and_then(Value::as_str), Some("x"));
+    }
+
+    #[test]
+    fn rejects_malformed_documents() {
+        for bad in
+            ["{", "[1,", "{\"a\" 1}", "\"unterminated", "01x", "{} trailing", "{\"a\":\"\u{01}\"}"]
+        {
+            assert!(parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parses_unicode_escapes_and_surrogates() {
+        let v = parse(r#""A🦠""#).unwrap();
+        assert_eq!(v.as_str(), Some("A🦠"));
+        assert!(parse(r#""\ud83e""#).is_err(), "lone surrogate rejected");
+    }
+
+    #[test]
+    fn empty_containers_parse() {
+        assert_eq!(parse("[]").unwrap(), Value::Array(Vec::new()));
+        assert_eq!(parse(" { } ").unwrap(), Value::Object(BTreeMap::new()));
+    }
+}

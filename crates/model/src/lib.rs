@@ -5,15 +5,26 @@
 //! data transfer, kernel execution, and output/report processing. Keeping
 //! the type here lets `crispr-core` and the benchmark harness aggregate
 //! across platforms without conversion glue.
+//!
+//! Beyond the timing buckets, [`SearchMetrics`] is the workspace-wide
+//! observability record — per-phase spans, per-engine work counters,
+//! parallel-deployment statistics and model gauges — that measured
+//! engines fill with instrumentation and modeled platforms fill from
+//! their analytic models. [`json`] holds the escaping/validation helpers
+//! every JSON emitter in the workspace shares.
 
 #![warn(missing_docs)]
 
-use serde::{Deserialize, Serialize};
+pub mod json;
+mod metrics;
+
+pub use metrics::{EngineCounters, ParallelMetrics, PhaseSpans, SearchMetrics, ThreadStats};
+
 use std::fmt;
 use std::time::Duration;
 
 /// Modeled execution-time breakdown of one search on one platform.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct TimingBreakdown {
     /// One-time setup: automata compilation/placement, FPGA bitstream
     /// load, GPU kernel build. Amortizable across searches.

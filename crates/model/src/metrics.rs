@@ -1,0 +1,361 @@
+//! The search-wide observability structure every engine and platform
+//! fills: per-phase wall-clock spans, per-engine work counters, optional
+//! parallel-deployment statistics, and free-form model gauges.
+//!
+//! CPU engines *measure* these values; the modeled accelerator platforms
+//! fill the same structure from their analytic models, so a
+//! [`SearchMetrics`] is the common audit trail behind every
+//! `TimingBreakdown` the workspace reports.
+
+use crate::json::escape;
+use crate::TimingBreakdown;
+
+/// Wall-clock seconds per logical phase of one search.
+///
+/// The four phases map onto the paper's timing buckets (see
+/// [`SearchMetrics::timing`]): genome load/preparation ↔ transfer, guide
+/// compilation ↔ config, scan ↔ kernel, normalize/report ↔ report. Unlike
+/// the old lumped `TimingBreakdown::from_kernel` measurement, compile
+/// time is attributed here to its own phase and never to the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PhaseSpans {
+    /// Loading or preparing the genome representation the engine scans
+    /// (2-bit packing, symbol extraction, q-gram indexing; for modeled
+    /// platforms, host→device transfer).
+    pub genome_load_s: f64,
+    /// Compiling guides into the engine's matching structure (patterns,
+    /// register banks, automata, DFA tables; for modeled platforms, the
+    /// one-time configuration).
+    pub guide_compile_s: f64,
+    /// The scan itself — and nothing else.
+    pub kernel_scan_s: f64,
+    /// Normalizing, deduplicating and draining hits.
+    pub report_s: f64,
+}
+
+impl PhaseSpans {
+    /// Sum of all phase spans.
+    pub fn total_s(&self) -> f64 {
+        self.genome_load_s + self.guide_compile_s + self.kernel_scan_s + self.report_s
+    }
+}
+
+/// Work counters engines increment while scanning.
+///
+/// Every engine fills the subset that is meaningful for its algorithm
+/// and leaves the rest at zero; the counters quantify the filter
+/// cascades the paper's cost arguments rest on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineCounters {
+    /// Candidate site windows enumerated.
+    pub windows_scanned: u64,
+    /// Windows passing a pattern's PAM anchor check (PAM-first engines).
+    pub pam_anchors_tested: u64,
+    /// Candidates surviving the seed filter (seed-and-extend engines).
+    pub seed_survivors: u64,
+    /// Per-symbol automaton/register-bank update steps.
+    pub bit_steps: u64,
+    /// Comparisons abandoned early once the mismatch budget was exceeded.
+    pub early_exits: u64,
+    /// Candidates fully verified by a scoring pass.
+    pub candidates_verified: u64,
+    /// Hits emitted before normalization/dedup.
+    pub raw_hits: u64,
+}
+
+impl EngineCounters {
+    /// Adds `other` into `self`, counter-wise.
+    pub fn merge(&mut self, other: &EngineCounters) {
+        self.windows_scanned += other.windows_scanned;
+        self.pam_anchors_tested += other.pam_anchors_tested;
+        self.seed_survivors += other.seed_survivors;
+        self.bit_steps += other.bit_steps;
+        self.early_exits += other.early_exits;
+        self.candidates_verified += other.candidates_verified;
+        self.raw_hits += other.raw_hits;
+    }
+
+    /// True if any counter was incremented.
+    pub fn any_nonzero(&self) -> bool {
+        self.windows_scanned
+            + self.pam_anchors_tested
+            + self.seed_survivors
+            + self.bit_steps
+            + self.early_exits
+            + self.candidates_verified
+            + self.raw_hits
+            > 0
+    }
+}
+
+/// Per-worker statistics from a parallel deployment.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ThreadStats {
+    /// Chunks this worker processed.
+    pub chunks: u64,
+    /// Seconds this worker spent inside the inner engine.
+    pub busy_s: f64,
+    /// Hits this worker produced before global dedup.
+    pub raw_hits: u64,
+}
+
+/// Chunking and utilization statistics from `ParallelEngine`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ParallelMetrics {
+    /// One entry per worker thread.
+    pub threads: Vec<ThreadStats>,
+    /// Total chunks enqueued.
+    pub chunks_total: u64,
+    /// Smallest chunk length in bases (0 when no chunks).
+    pub chunk_len_min: u64,
+    /// Largest chunk length in bases.
+    pub chunk_len_max: u64,
+    /// Overlap between adjacent chunks (`site_len − 1`).
+    pub overlap: u64,
+}
+
+impl ParallelMetrics {
+    /// Total busy seconds across all workers.
+    pub fn busy_total_s(&self) -> f64 {
+        self.threads.iter().map(|t| t.busy_s).sum()
+    }
+
+    /// Mean worker utilization over `wall_s` of parallel-region
+    /// wall-clock (1.0 = all workers busy the whole time).
+    pub fn utilization(&self, wall_s: f64) -> f64 {
+        if self.threads.is_empty() || wall_s <= 0.0 {
+            return 0.0;
+        }
+        self.busy_total_s() / (wall_s * self.threads.len() as f64)
+    }
+}
+
+/// Complete observability record of one search on one engine/platform.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SearchMetrics {
+    /// Engine or platform name that produced the record.
+    pub engine: String,
+    /// Per-phase wall-clock spans (measured or modeled).
+    pub phases: PhaseSpans,
+    /// Work counters (measured engines only; zero for pure models).
+    pub counters: EngineCounters,
+    /// Parallel-deployment statistics, when a `ParallelEngine` ran.
+    pub parallel: Option<ParallelMetrics>,
+    /// Named model- or engine-specific values (streams, passes, DFA
+    /// states, mean active states, …).
+    pub gauges: Vec<(String, f64)>,
+}
+
+impl SearchMetrics {
+    /// An empty record labeled with `engine`.
+    pub fn new(engine: &str) -> SearchMetrics {
+        SearchMetrics { engine: engine.to_string(), ..SearchMetrics::default() }
+    }
+
+    /// A record whose phases are filled from a modeled timing breakdown
+    /// (config ↔ guide compile, transfer ↔ genome load).
+    pub fn from_timing(engine: &str, timing: &TimingBreakdown) -> SearchMetrics {
+        let mut m = SearchMetrics::new(engine);
+        m.phases = PhaseSpans {
+            genome_load_s: timing.transfer_s,
+            guide_compile_s: timing.config_s,
+            kernel_scan_s: timing.kernel_s,
+            report_s: timing.report_s,
+        };
+        m
+    }
+
+    /// Sets (or overwrites) a named gauge.
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        match self.gauges.iter_mut().find(|(n, _)| n == name) {
+            Some((_, v)) => *v = value,
+            None => self.gauges.push((name.to_string(), value)),
+        }
+    }
+
+    /// Reads a named gauge.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The phase spans folded into the paper's four timing buckets.
+    pub fn timing(&self) -> TimingBreakdown {
+        TimingBreakdown {
+            config_s: self.phases.guide_compile_s,
+            transfer_s: self.phases.genome_load_s,
+            kernel_s: self.phases.kernel_scan_s,
+            report_s: self.phases.report_s,
+        }
+    }
+
+    /// Serializes the record as a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push_str(&format!("{{\"engine\":\"{}\",", escape(&self.engine)));
+        out.push_str(&format!(
+            "\"phases\":{{\"genome_load_s\":{},\"guide_compile_s\":{},\"kernel_scan_s\":{},\"report_s\":{}}},",
+            num(self.phases.genome_load_s),
+            num(self.phases.guide_compile_s),
+            num(self.phases.kernel_scan_s),
+            num(self.phases.report_s),
+        ));
+        let c = &self.counters;
+        out.push_str(&format!(
+            "\"counters\":{{\"windows_scanned\":{},\"pam_anchors_tested\":{},\"seed_survivors\":{},\"bit_steps\":{},\"early_exits\":{},\"candidates_verified\":{},\"raw_hits\":{}}}",
+            c.windows_scanned,
+            c.pam_anchors_tested,
+            c.seed_survivors,
+            c.bit_steps,
+            c.early_exits,
+            c.candidates_verified,
+            c.raw_hits,
+        ));
+        if let Some(p) = &self.parallel {
+            out.push_str(&format!(
+                ",\"parallel\":{{\"chunks_total\":{},\"chunk_len_min\":{},\"chunk_len_max\":{},\"overlap\":{},\"threads\":[",
+                p.chunks_total, p.chunk_len_min, p.chunk_len_max, p.overlap,
+            ));
+            for (i, t) in p.threads.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"chunks\":{},\"busy_s\":{},\"raw_hits\":{}}}",
+                    t.chunks,
+                    num(t.busy_s),
+                    t.raw_hits
+                ));
+            }
+            out.push_str("]}");
+        }
+        if !self.gauges.is_empty() {
+            out.push_str(",\"gauges\":{");
+            for (i, (name, value)) in self.gauges.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("\"{}\":{}", escape(name), num(*value)));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// JSON number formatting: finite floats as-is, non-finite as null.
+fn num(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn timing_maps_phases_to_buckets() {
+        let mut m = SearchMetrics::new("test");
+        m.phases = PhaseSpans {
+            genome_load_s: 1.0,
+            guide_compile_s: 2.0,
+            kernel_scan_s: 3.0,
+            report_s: 4.0,
+        };
+        let t = m.timing();
+        assert_eq!(t.transfer_s, 1.0);
+        assert_eq!(t.config_s, 2.0);
+        assert_eq!(t.kernel_s, 3.0);
+        assert_eq!(t.report_s, 4.0);
+        assert_eq!(m.phases.total_s(), t.total_s());
+    }
+
+    #[test]
+    fn from_timing_round_trips() {
+        let t = TimingBreakdown { config_s: 0.5, transfer_s: 0.25, kernel_s: 2.0, report_s: 0.125 };
+        let m = SearchMetrics::from_timing("modeled", &t);
+        assert_eq!(m.timing(), t);
+        assert_eq!(m.engine, "modeled");
+    }
+
+    #[test]
+    fn gauges_set_and_overwrite() {
+        let mut m = SearchMetrics::new("g");
+        m.set_gauge("streams", 4.0);
+        m.set_gauge("streams", 8.0);
+        m.set_gauge("passes", 2.0);
+        assert_eq!(m.gauge("streams"), Some(8.0));
+        assert_eq!(m.gauge("passes"), Some(2.0));
+        assert_eq!(m.gauge("absent"), None);
+        assert_eq!(m.gauges.len(), 2);
+    }
+
+    #[test]
+    fn counters_merge_is_counter_wise() {
+        let mut a = EngineCounters { windows_scanned: 1, raw_hits: 2, ..Default::default() };
+        let b = EngineCounters { windows_scanned: 10, early_exits: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.windows_scanned, 11);
+        assert_eq!(a.early_exits, 5);
+        assert_eq!(a.raw_hits, 2);
+        assert!(a.any_nonzero());
+        assert!(!EngineCounters::default().any_nonzero());
+    }
+
+    #[test]
+    fn utilization_is_bounded_by_construction() {
+        let p = ParallelMetrics {
+            threads: vec![
+                ThreadStats { chunks: 2, busy_s: 0.5, raw_hits: 1 },
+                ThreadStats { chunks: 2, busy_s: 1.0, raw_hits: 0 },
+            ],
+            chunks_total: 4,
+            chunk_len_min: 100,
+            chunk_len_max: 120,
+            overlap: 22,
+        };
+        assert!((p.busy_total_s() - 1.5).abs() < 1e-12);
+        assert!((p.utilization(1.0) - 0.75).abs() < 1e-12);
+        assert_eq!(p.utilization(0.0), 0.0);
+        assert_eq!(ParallelMetrics::default().utilization(1.0), 0.0);
+    }
+
+    #[test]
+    fn to_json_is_parseable_and_complete() {
+        let mut m = SearchMetrics::new("ex\"otic\\engine");
+        m.phases.kernel_scan_s = 0.125;
+        m.counters.windows_scanned = 42;
+        m.parallel = Some(ParallelMetrics {
+            threads: vec![ThreadStats { chunks: 3, busy_s: 0.0625, raw_hits: 7 }],
+            chunks_total: 3,
+            chunk_len_min: 50,
+            chunk_len_max: 60,
+            overlap: 22,
+        });
+        m.set_gauge("dfa_states", 1234.0);
+        let text = m.to_json();
+        let value = json::parse(&text).expect("metrics JSON parses");
+        assert_eq!(value.get("engine").and_then(json::Value::as_str), Some("ex\"otic\\engine"));
+        let phases = value.get("phases").expect("phases present");
+        assert_eq!(phases.get("kernel_scan_s").and_then(json::Value::as_f64), Some(0.125));
+        let counters = value.get("counters").expect("counters present");
+        assert_eq!(counters.get("windows_scanned").and_then(json::Value::as_f64), Some(42.0));
+        let parallel = value.get("parallel").expect("parallel present");
+        assert_eq!(parallel.get("chunks_total").and_then(json::Value::as_f64), Some(3.0));
+        let gauges = value.get("gauges").expect("gauges present");
+        assert_eq!(gauges.get("dfa_states").and_then(json::Value::as_f64), Some(1234.0));
+    }
+
+    #[test]
+    fn non_finite_gauges_serialize_as_null() {
+        let mut m = SearchMetrics::new("n");
+        m.set_gauge("bad", f64::NAN);
+        let text = m.to_json();
+        assert!(text.contains("\"bad\":null"));
+        json::parse(&text).expect("still valid JSON");
+    }
+}

@@ -35,18 +35,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("planted a 1-deletion (bulged) site at position {at}\n");
 
     // Mismatch-only search at k=3: the frameshift makes the site invisible.
-    let mismatch_hits = BitParallelEngine::new().search(&genome, std::slice::from_ref(&guide), 3)?;
+    let mismatch_hits =
+        BitParallelEngine::new().search(&genome, std::slice::from_ref(&guide), 3)?;
     let seen = mismatch_hits.iter().any(|h| (h.pos as usize).abs_diff(at) <= 2);
-    println!(
-        "mismatch search (k=3): {} hits, bulged site found: {}",
-        mismatch_hits.len(),
-        seen
-    );
+    println!("mismatch search (k=3): {} hits, bulged site found: {}", mismatch_hits.len(), seen);
 
     // Edit-distance search at k=1: one deletion is one edit.
     let indel_hits = IndelEngine::new().search(&genome, &[guide], 1);
-    let found: Vec<_> =
-        indel_hits.iter().filter(|h| (h.pos as usize).abs_diff(at) <= 2).collect();
+    let found: Vec<_> = indel_hits.iter().filter(|h| (h.pos as usize).abs_diff(at) <= 2).collect();
     println!("edit-distance search (k=1 edit): {} hits total", indel_hits.len());
     for hit in &found {
         println!("  bulged site recovered: {hit}");

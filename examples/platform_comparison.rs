@@ -31,16 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         if platform == Platform::CpuCasot {
             baseline_kernel = Some(kernel);
         }
-        let speedup = baseline_kernel
-            .map(|b| format!("{:.1}x", b / kernel))
-            .unwrap_or_else(|| "-".into());
+        let speedup =
+            baseline_kernel.map(|b| format!("{:.1}x", b / kernel)).unwrap_or_else(|| "-".into());
         println!(
             "{:<18} {:>9} {:>12.4} {:>12.1} {:>8}",
-            format!(
-                "{}{}",
-                platform,
-                if platform.is_modeled() { "*" } else { "" }
-            ),
+            format!("{}{}", platform, if platform.is_modeled() { "*" } else { "" }),
             report.hits().len(),
             kernel,
             report.kernel_throughput_mbps(),

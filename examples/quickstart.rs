@@ -14,8 +14,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // One explicit guide (EMX1's classic spacer) plus two sampled from the
     // genome so on-target sites exist.
-    let mut guides =
-        vec![Guide::new("EMX1", "GAGTCCGAGCAGAAGAAGAA".parse()?, Pam::ngg())?];
+    let mut guides = vec![Guide::new("EMX1", "GAGTCCGAGCAGAAGAAGAA".parse()?, Pam::ngg())?];
     guides.extend(genset::guides_from_genome(&genome, 2, 20, &Pam::ngg(), 7));
 
     let report = OffTargetSearch::new(genome)

@@ -4,7 +4,8 @@
 //! offtarget synth  --len 2000000 --seed 42 [--gc 0.41] [--contigs 1] -o genome.fa
 //! offtarget guides --count 20 [--from-genome genome.fa] [--seed 7] [--pam NGG] -o guides.txt
 //! offtarget search --genome genome.fa --guides guides.txt [-k 3]
-//!                  [--platform cpu-hyperscan] [--threads 1] [--format tsv|json] [-o hits.tsv]
+//!                  [--platform cpu-hyperscan] [--threads 1] [--format tsv|json]
+//!                  [--metrics metrics.json] [-o hits.tsv]
 //! offtarget anml   --guides guides.txt [-k 3] [-o out.anml]
 //! ```
 
@@ -12,6 +13,7 @@ use crispr_offtarget::core::{OffTargetSearch, Platform};
 use crispr_offtarget::genome::synth::SynthSpec;
 use crispr_offtarget::genome::{fasta, Genome};
 use crispr_offtarget::guides::{genset, io as guide_io, Guide, Pam};
+use crispr_offtarget::model::json::escape;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::Write;
@@ -47,7 +49,8 @@ const USAGE: &str = "usage:
   offtarget synth  --len N [--seed S] [--gc F] [--contigs C] -o genome.fa
   offtarget guides --count N [--from-genome genome.fa] [--seed S] [--pam MOTIF[/5]] -o guides.txt
   offtarget search --genome genome.fa --guides guides.txt [-k K]
-                   [--platform NAME] [--threads T] [--format tsv|json] [-o hits]
+                   [--platform NAME] [--threads T] [--format tsv|json]
+                   [--metrics metrics.json] [-o hits]
   offtarget anml   --guides guides.txt [-k K] [-o out.anml]
 
 platforms: cpu-scalar cpu-cas-offinder cpu-casot cpu-hyperscan cpu-nfa cpu-dfa
@@ -76,7 +79,11 @@ fn get<'a>(flags: &'a HashMap<String, String>, key: &str) -> Result<&'a str, Cli
     flags.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}").into())
 }
 
-fn parse<T: std::str::FromStr>(flags: &HashMap<String, String>, key: &str, default: T) -> Result<T, CliError>
+fn parse<T: std::str::FromStr>(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: T,
+) -> Result<T, CliError>
 where
     T::Err: std::fmt::Display,
 {
@@ -155,12 +162,12 @@ fn cmd_search(args: &[String]) -> Result<(), CliError> {
     let genome = load_genome(get(&flags, "genome")?)?;
     let guides = load_guides(get(&flags, "guides")?)?;
     let k = parse(&flags, "k", 3usize)?;
-    let platform = parse_platform(flags.get("platform").map(String::as_str).unwrap_or("cpu-hyperscan"))?;
+    let platform =
+        parse_platform(flags.get("platform").map(String::as_str).unwrap_or("cpu-hyperscan"))?;
     let threads = parse(&flags, "threads", 1usize)?;
     let format = flags.get("format").map(String::as_str).unwrap_or("tsv");
 
-    let contig_names: Vec<String> =
-        genome.contigs().iter().map(|c| c.name().to_string()).collect();
+    let contig_names: Vec<String> = genome.contigs().iter().map(|c| c.name().to_string()).collect();
     let report = OffTargetSearch::new(genome)
         .guides(guides.clone())
         .max_mismatches(k)
@@ -185,22 +192,34 @@ fn cmd_search(args: &[String]) -> Result<(), CliError> {
             }
         }
         "json" => {
-            writeln!(writer, "[")?;
+            writeln!(writer, "{{")?;
+            writeln!(writer, "  \"platform\": \"{}\",", escape(platform.name()))?;
+            writeln!(writer, "  \"k\": {k},")?;
+            writeln!(writer, "  \"threads\": {threads},")?;
+            writeln!(writer, "  \"genome_len\": {},", report.genome_len())?;
+            writeln!(writer, "  \"guide_count\": {},", report.guide_count())?;
+            writeln!(writer, "  \"hits\": [")?;
             for (i, hit) in report.hits().iter().enumerate() {
                 let comma = if i + 1 < report.hits().len() { "," } else { "" };
                 writeln!(
                     writer,
-                    "  {{\"guide\":\"{}\",\"contig\":\"{}\",\"pos\":{},\"strand\":\"{}\",\"mismatches\":{}}}{comma}",
-                    guides[hit.guide as usize].id(),
-                    contig_names[hit.contig as usize],
+                    "    {{\"guide\":\"{}\",\"contig\":\"{}\",\"pos\":{},\"strand\":\"{}\",\"mismatches\":{}}}{comma}",
+                    escape(guides[hit.guide as usize].id()),
+                    escape(&contig_names[hit.contig as usize]),
                     hit.pos,
                     hit.strand,
                     hit.mismatches
                 )?;
             }
-            writeln!(writer, "]")?;
+            writeln!(writer, "  ],")?;
+            writeln!(writer, "  \"metrics\": {}", report.metrics().to_json())?;
+            writeln!(writer, "}}")?;
         }
         other => return Err(format!("unknown format {other:?} (tsv|json)").into()),
+    }
+    if let Some(path) = flags.get("metrics") {
+        let mut out = File::create(path)?;
+        writeln!(out, "{}", report.metrics().to_json())?;
     }
     eprintln!(
         "{}: {} hits, {} ({}){}",

@@ -41,9 +41,9 @@
 pub use crispr_ap as ap;
 pub use crispr_automata as automata;
 pub use crispr_core as core;
-pub use crispr_model as model;
 pub use crispr_engines as engines;
 pub use crispr_fpga as fpga;
 pub use crispr_genome as genome;
 pub use crispr_gpu as gpu;
 pub use crispr_guides as guides;
+pub use crispr_model as model;

@@ -1,0 +1,110 @@
+//! End-to-end tests of the `offtarget` binary, covering the JSON writer
+//! regression: guide ids and contig names are arbitrary whitespace-free
+//! tokens, so they must be escaped when interpolated into JSON output.
+
+use crispr_offtarget::model::json::{self, Value};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+/// A scratch directory unique to this test process.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("offtarget-cli-{tag}-{}", std::process::id()));
+    fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+const SPACER: &str = "GATTACAGATTACAGATTAC";
+
+/// Writes a genome containing one exact site for [`SPACER`] (NGG PAM) on
+/// a contig whose name needs JSON escaping, and a guide list whose id
+/// needs JSON escaping.
+fn write_workload(dir: &Path) -> (PathBuf, PathBuf) {
+    let genome_path = dir.join("genome.fa");
+    let guides_path = dir.join("guides.txt");
+    fs::write(&genome_path, format!(">chr\"1\\weird\nTTTT{SPACER}TGGAAAACCCCGGGGTTTTACGT\n"))
+        .expect("write genome");
+    fs::write(&guides_path, format!("g\"1\\weird {SPACER} NGG\n")).expect("write guides");
+    (genome_path, guides_path)
+}
+
+fn run_search(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_offtarget"))
+        .arg("search")
+        .args(args)
+        .output()
+        .expect("run offtarget")
+}
+
+#[test]
+fn json_output_escapes_ids_and_includes_metrics() {
+    let dir = scratch("json");
+    let (genome, guides) = write_workload(&dir);
+    let hits_path = dir.join("hits.json");
+    let output = run_search(&[
+        "--genome",
+        genome.to_str().unwrap(),
+        "--guides",
+        guides.to_str().unwrap(),
+        "-k",
+        "1",
+        "--format",
+        "json",
+        "-o",
+        hits_path.to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    let text = fs::read_to_string(&hits_path).expect("read hits");
+    let value = json::parse(&text).unwrap_or_else(|e| panic!("invalid JSON ({e}): {text}"));
+
+    let hits = value.get("hits").and_then(Value::as_array).expect("hits array");
+    assert!(!hits.is_empty(), "planted site not found");
+    assert_eq!(
+        hits[0].get("guide").and_then(Value::as_str),
+        Some("g\"1\\weird"),
+        "guide id must round-trip through escaping"
+    );
+    assert_eq!(hits[0].get("contig").and_then(Value::as_str), Some("chr\"1\\weird"));
+
+    let metrics = value.get("metrics").expect("metrics block");
+    let phases = metrics.get("phases").expect("phases");
+    assert!(
+        phases.get("kernel_scan_s").and_then(Value::as_f64).expect("kernel span") > 0.0,
+        "kernel span must be populated"
+    );
+    let counters = metrics.get("counters").expect("counters");
+    assert!(counters.get("windows_scanned").and_then(Value::as_f64).unwrap_or(0.0) > 0.0);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_flag_writes_standalone_json() {
+    let dir = scratch("metrics");
+    let (genome, guides) = write_workload(&dir);
+    let metrics_path = dir.join("metrics.json");
+    let output = run_search(&[
+        "--genome",
+        genome.to_str().unwrap(),
+        "--guides",
+        guides.to_str().unwrap(),
+        "-k",
+        "1",
+        "--platform",
+        "cpu-cas-offinder",
+        "--metrics",
+        metrics_path.to_str().unwrap(),
+        "-o",
+        dir.join("hits.tsv").to_str().unwrap(),
+    ]);
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    let text = fs::read_to_string(&metrics_path).expect("read metrics");
+    let value = json::parse(&text).expect("metrics JSON parses");
+    assert_eq!(value.get("engine").and_then(Value::as_str), Some("cas-offinder-cpu"));
+    let counters = value.get("counters").expect("counters");
+    assert!(counters.get("pam_anchors_tested").and_then(Value::as_f64).is_some());
+
+    fs::remove_dir_all(&dir).ok();
+}

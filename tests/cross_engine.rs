@@ -28,10 +28,8 @@ fn matrix_agrees_at_k0_and_k5() {
     let guides = genset::random_guides(2, 20, &Pam::ngg(), 105);
     for k in [0usize, 5] {
         // k=5 makes the DFA explode; exclude it there.
-        let platforms: Vec<Platform> = Platform::ALL
-            .into_iter()
-            .filter(|p| !(k == 5 && *p == Platform::CpuDfa))
-            .collect();
+        let platforms: Vec<Platform> =
+            Platform::ALL.into_iter().filter(|p| !(k == 5 && *p == Platform::CpuDfa)).collect();
         let report = validate::cross_validate(&genome, &guides, k, &platforms).unwrap();
         assert!(report.all_agree(), "k={k}: {:#?}", report.agreements);
     }
@@ -68,8 +66,7 @@ fn repeat_rich_genomes_do_not_break_agreement() {
         .generate();
     let guides = genset::guides_from_genome(&genome, 3, 20, &Pam::ngg(), 132);
     assert!(!guides.is_empty());
-    let report =
-        validate::cross_validate(&genome, &guides, 3, &Platform::PAPER_MATRIX).unwrap();
+    let report = validate::cross_validate(&genome, &guides, 3, &Platform::PAPER_MATRIX).unwrap();
     assert!(report.all_agree(), "{:#?}", report.agreements);
 }
 
@@ -80,8 +77,7 @@ fn extension_engines_agree_with_reference() {
     use crispr_offtarget::guides::CompileOptions;
     let genome = SynthSpec::new(30_000).seed(151).generate();
     let guides = genset::random_guides(3, 20, &Pam::ngg(), 152);
-    let (genome, _) =
-        genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(3, 2), 153);
+    let (genome, _) = genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(3, 2), 153);
     let truth = ScalarEngine::new().search(&genome, &guides, 3).unwrap();
     // Pigeonhole filtration.
     let ph = PigeonholeEngine::new().search(&genome, &guides, 3).unwrap();

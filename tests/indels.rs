@@ -44,13 +44,10 @@ fn indel_budget_finds_planted_bulge() {
     text.extend_from_seq(&"TTTTTTTTTT".parse().unwrap());
 
     let lev = leven::compile_levenshtein(&pattern, 1, 0, Strand::Forward);
-    let reports = leven::min_reports(
-        sim::run(&lev, &symbols(&text)).into_iter().map(|r| (r.pos, r.code)),
-    );
+    let reports =
+        leven::min_reports(sim::run(&lev, &symbols(&text)).into_iter().map(|r| (r.pos, r.code)));
     assert!(
-        reports
-            .iter()
-            .any(|&(pos, code)| pos == 25 && ReportCode(code).mismatches() == 1),
+        reports.iter().any(|&(pos, code)| pos == 25 && ReportCode(code).mismatches() == 1),
         "{reports:?}"
     );
 
@@ -78,11 +75,8 @@ fn edit_distance_zero_budget_is_exact_search() {
     let text = genome.contigs()[0].seq().clone();
     let pattern = text.subseq(500..512); // guaranteed exact occurrence
     let lev = leven::compile_levenshtein(&pattern, 0, 0, Strand::Forward);
-    let reports = leven::min_reports(
-        sim::run(&lev, &symbols(&text)).into_iter().map(|r| (r.pos, r.code)),
-    );
+    let reports =
+        leven::min_reports(sim::run(&lev, &symbols(&text)).into_iter().map(|r| (r.pos, r.code)));
     assert!(reports.iter().any(|&(pos, _)| pos == 512));
-    assert!(reports
-        .iter()
-        .all(|&(_, code)| ReportCode(code).mismatches() == 0));
+    assert!(reports.iter().all(|&(_, code)| ReportCode(code).mismatches() == 0));
 }

@@ -22,16 +22,9 @@ fn fasta_roundtrip_preserves_search_results() {
     let reread: Genome = fasta::read_genome(buffer.as_slice()).unwrap();
     assert_eq!(reread, genome);
 
-    let before = OffTargetSearch::new(genome)
-        .guides(guides.clone())
-        .max_mismatches(2)
-        .run()
-        .unwrap();
-    let after = OffTargetSearch::new(reread)
-        .guides(guides)
-        .max_mismatches(2)
-        .run()
-        .unwrap();
+    let before =
+        OffTargetSearch::new(genome).guides(guides.clone()).max_mismatches(2).run().unwrap();
+    let after = OffTargetSearch::new(reread).guides(guides).max_mismatches(2).run().unwrap();
     assert_eq!(before.hits(), after.hits());
 }
 

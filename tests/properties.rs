@@ -142,7 +142,7 @@ proptest! {
     ) {
         use crispr_offtarget::guides::SitePattern;
         let genome = Genome::from_seq(text);
-        let hits = BitParallelEngine::new().search(&genome, &[g.clone()], k).unwrap();
+        let hits = BitParallelEngine::new().search(&genome, std::slice::from_ref(&g), k).unwrap();
         for hit in hits {
             let pattern = SitePattern::from_guide(&g, hit.strand);
             let contig = &genome.contigs()[hit.contig as usize];

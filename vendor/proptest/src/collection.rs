@@ -1,0 +1,51 @@
+//! Collection strategies (`prop::collection`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// Length specifications accepted by [`vec`].
+pub trait SizeRange {
+    /// Draws a length from the specification.
+    fn sample_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeRange for core::ops::Range<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for core::ops::RangeInclusive<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+/// A strategy for `Vec<S::Value>` with lengths drawn from `size`.
+pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+    VecStrategy { element, size }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, R> {
+    element: S,
+    size: R,
+}
+
+impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = self.size.sample_len(rng);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}

@@ -1,0 +1,260 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so the workspace vendors
+//! a small but *functional* property-testing engine implementing the
+//! strategy subset its test suites use: integer ranges,
+//! [`collection::vec`], [`sample::select`], [`Strategy::prop_map`],
+//! [`any`], and character-class regex strategies like `"[a-z0-9]{1,4}"`.
+//! The [`proptest!`] macro runs each property for
+//! [`ProptestConfig::cases`] deterministic cases (seeded from the test
+//! name), so failures reproduce exactly; unlike upstream there is no
+//! shrinking — the failing case's assertion message is the diagnostic.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub mod collection;
+pub mod sample;
+pub mod string;
+
+/// Per-property configuration (`#![proptest_config(..)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+
+    fn generate(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize);
+
+impl Strategy for &str {
+    type Value = String;
+
+    /// String patterns are interpreted as the character-class regex
+    /// subset documented in [`string`].
+    fn generate(&self, rng: &mut StdRng) -> String {
+        string::generate(self, rng)
+    }
+}
+
+/// Types with a canonical "any value" strategy ([`any`]).
+pub trait Arbitrary: Sized {
+    /// The strategy type [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The full-range strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Arbitrary for $t {
+            type Strategy = core::ops::RangeInclusive<$t>;
+            fn arbitrary() -> Self::Strategy {
+                <$t>::MIN..=<$t>::MAX
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize);
+
+/// Any value of `A` (e.g. `any::<u8>()`).
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// A deterministic generator seeded from the property name, so every
+/// `cargo test` run replays the same cases.
+pub fn deterministic_rng(name: &str) -> StdRng {
+    // FNV-1a over the test name.
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// Defines deterministic property tests; see the crate docs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!($crate::ProptestConfig::default(); $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; ) => {};
+    ($cfg:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::deterministic_rng(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                $body
+            }
+        }
+        $crate::__proptest_impl!($cfg; $($rest)*);
+    };
+}
+
+/// Asserts within a property (no shrinking: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { assert!($($t)*) };
+}
+
+/// Equality assertion within a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { assert_eq!($($t)*) };
+}
+
+/// Skips the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+pub mod prelude {
+    //! One-stop import, mirroring `proptest::prelude`.
+
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, Arbitrary, ProptestConfig,
+        Strategy,
+    };
+
+    pub mod prop {
+        //! The `prop::` paths (`prop::collection`, `prop::sample`).
+        pub use crate::{collection, sample};
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vec_sizes_hold(x in 3usize..9, v in prop::collection::vec(0u8..4, 2..5)) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&b| b < 4));
+        }
+
+        #[test]
+        fn assume_skips_cases(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert!(a != b);
+        }
+
+        #[test]
+        fn map_and_select_compose(
+            s in prop::sample::select(vec!["x", "y"]),
+            n in (0usize..5).prop_map(|v| v * 2),
+        ) {
+            prop_assert!(s == "x" || s == "y");
+            prop_assert_eq!(n % 2, 0);
+        }
+
+        #[test]
+        fn regex_classes_generate_in_class(text in "[a-c0-1]{2,6}") {
+            prop_assert!((2..=6).contains(&text.chars().count()));
+            prop_assert!(text.chars().all(|c| "abc01".contains(c)));
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_is_name_stable() {
+        use crate::Strategy;
+        let mut a = crate::deterministic_rng("t");
+        let mut b = crate::deterministic_rng("t");
+        assert_eq!((0u8..255).generate(&mut a), (0u8..255).generate(&mut b));
+    }
+}

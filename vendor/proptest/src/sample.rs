@@ -1,0 +1,30 @@
+//! Sampling strategies (`prop::sample`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::Strategy;
+
+/// A strategy drawing uniformly from `options`.
+///
+/// # Panics
+///
+/// [`Strategy::generate`] panics if `options` is empty.
+pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+    Select { options }
+}
+
+/// The strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    options: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        assert!(!self.options.is_empty(), "select requires at least one option");
+        self.options[rng.gen_range(0..self.options.len())].clone()
+    }
+}

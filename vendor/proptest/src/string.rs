@@ -1,0 +1,99 @@
+//! Character-class regex string strategies.
+//!
+//! Supports exactly the pattern shape the workspace's tests use:
+//! `[class]{m,n}` — one bracketed ASCII character class (literals,
+//! `X-Y` ranges, and `\n`/`\t`/`\r`/`\\` escapes) followed by a
+//! `{min,max}` repetition (both bounds inclusive). Anything else
+//! panics at generation time so unsupported patterns fail loudly
+//! instead of silently generating the wrong distribution.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Generates one string matching `pattern` (see module docs).
+pub fn generate(pattern: &str, rng: &mut StdRng) -> String {
+    let (alphabet, min, max) = parse(pattern);
+    let len = rng.gen_range(min..=max);
+    (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+}
+
+fn unsupported(pattern: &str) -> ! {
+    panic!("unsupported string pattern {pattern:?}: expected \"[class]{{m,n}}\"")
+}
+
+/// Parses `[class]{m,n}` into (alphabet, min, max).
+fn parse(pattern: &str) -> (Vec<char>, usize, usize) {
+    let Some(rest) = pattern.strip_prefix('[') else { unsupported(pattern) };
+    let Some((class, reps)) = rest.split_once(']') else { unsupported(pattern) };
+    let Some(reps) = reps.strip_prefix('{').and_then(|r| r.strip_suffix('}')) else {
+        unsupported(pattern)
+    };
+    let Some((min, max)) = reps.split_once(',') else { unsupported(pattern) };
+    let Ok(min) = min.trim().parse::<usize>() else { unsupported(pattern) };
+    let Ok(max) = max.trim().parse::<usize>() else { unsupported(pattern) };
+    assert!(min <= max, "empty repetition range in pattern {pattern:?}");
+
+    let mut alphabet = Vec::new();
+    let mut chars = class.chars().peekable();
+    while let Some(c) = chars.next() {
+        let lo = match c {
+            '\\' => match chars.next() {
+                Some('n') => '\n',
+                Some('t') => '\t',
+                Some('r') => '\r',
+                Some('\\') => '\\',
+                Some(other) => other,
+                None => panic!("dangling escape in pattern {pattern:?}"),
+            },
+            other => other,
+        };
+        // `X-Y` is a range unless `-` is the last character of the class.
+        if chars.peek() == Some(&'-') && chars.clone().nth(1).is_some() {
+            chars.next();
+            let hi = chars.next().expect("checked above");
+            assert!(lo <= hi, "inverted range {lo:?}-{hi:?} in pattern {pattern:?}");
+            alphabet.extend((lo as u32..=hi as u32).filter_map(char::from_u32));
+        } else {
+            alphabet.push(lo);
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty character class in pattern {pattern:?}");
+    (alphabet, min, max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse;
+
+    #[test]
+    fn parses_printable_ascii_class() {
+        let (alphabet, min, max) = parse("[ -~\n]{0,400}");
+        assert_eq!((min, max), (0, 400));
+        assert!(alphabet.contains(&' '));
+        assert!(alphabet.contains(&'~'));
+        assert!(alphabet.contains(&'\n'));
+        assert_eq!(alphabet.len(), 96); // 95 printable + newline
+    }
+
+    #[test]
+    fn parses_mixed_ranges_and_literals() {
+        let (alphabet, min, max) = parse("[ -~\tACGT\n#/]{0,300}");
+        assert_eq!((min, max), (0, 300));
+        for c in ['\t', '\n', '#', '/', 'A', 'C', 'G', 'T', ' ', '~'] {
+            assert!(alphabet.contains(&c), "{c:?} missing");
+        }
+    }
+
+    #[test]
+    fn parses_alnum_class() {
+        let (alphabet, min, max) = parse("[a-z0-9]{1,4}");
+        assert_eq!((min, max), (1, 4));
+        assert_eq!(alphabet.len(), 36);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported string pattern")]
+    fn rejects_unbracketed_patterns() {
+        parse("abc{1,2}");
+    }
+}
