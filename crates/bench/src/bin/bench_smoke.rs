@@ -1,0 +1,145 @@
+//! `bench_smoke` — the CI perf smoke: kernel ns/base per CPU engine on a
+//! small canonical workload, emitted as `BENCH_cpu.json`.
+//!
+//! Two numbers per engine:
+//!
+//! * `kernel_ns_per_base` — best-of-3 kernel-phase wall time over the
+//!   workload, in nanoseconds per genome base. The perf trajectory; it
+//!   varies with the machine, so it is recorded but not gated.
+//! * `relative` — that time divided by the scalar reference engine's
+//!   time *measured in the same run*. Machine speed cancels, so this is
+//!   the number the CI threshold check gates: an engine whose `relative`
+//!   grows by more than [`TOLERANCE`] versus the committed baseline has
+//!   genuinely regressed against the code it shipped with.
+//!
+//! Usage:
+//!
+//! * `bench_smoke` — print fresh JSON to stdout (redirect to
+//!   `BENCH_cpu.json` to refresh the baseline).
+//! * `bench_smoke --check BENCH_cpu.json` — measure, compare `relative`
+//!   per engine against the baseline file, exit non-zero on regression.
+
+use std::time::Instant;
+
+use crispr_bench::workloads;
+use crispr_engines::{
+    BitParallelEngine, CasOffinderCpuEngine, CasotEngine, Engine, NfaEngine, ScalarEngine,
+};
+use crispr_genome::Genome;
+use crispr_guides::Guide;
+use crispr_model::{json, SearchMetrics};
+
+/// Allowed growth of an engine's `relative` before the check fails.
+const TOLERANCE: f64 = 0.25;
+/// Workload shape: kept small so the smoke finishes in CI seconds while
+/// still spanning thousands of anchor words per contig.
+const GENOME_LEN: usize = 1_000_000;
+const GUIDES: usize = 25;
+const K: usize = 3;
+const SEED: u64 = 11;
+/// Timing repetitions; the minimum is reported.
+const REPS: usize = 3;
+
+fn kernel_seconds(engine: &dyn Engine, genome: &Genome, guides: &[Guide]) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..REPS {
+        let mut m = SearchMetrics::default();
+        engine.search_metered(genome, guides, K, &mut m).expect("engine runs");
+        best = best.min(m.phases.kernel_scan_s);
+    }
+    best
+}
+
+fn measure() -> Vec<(&'static str, f64)> {
+    let (genome, guides, _) = workloads::planted(GENOME_LEN, GUIDES, K, SEED);
+    let engines: Vec<(&'static str, Box<dyn Engine>)> = vec![
+        ("cpu-scalar", Box::new(ScalarEngine::new())),
+        ("cpu-casot", Box::new(CasotEngine::new())),
+        ("cpu-casot-nofilter", Box::new(CasotEngine::new().without_prefilter())),
+        ("cpu-cas-offinder", Box::new(CasOffinderCpuEngine::new())),
+        ("cpu-cas-offinder-nofilter", Box::new(CasOffinderCpuEngine::without_prefilter())),
+        ("cpu-hyperscan", Box::new(BitParallelEngine::new())),
+        ("cpu-hyperscan-nofilter", Box::new(BitParallelEngine::without_prefilter())),
+        ("cpu-nfa", Box::new(NfaEngine::new())),
+    ];
+    engines
+        .iter()
+        .map(|(name, engine)| (*name, kernel_seconds(engine.as_ref(), &genome, &guides)))
+        .collect()
+}
+
+fn render(rows: &[(&'static str, f64)]) -> String {
+    let scalar_s = rows.iter().find(|(n, _)| *n == "cpu-scalar").expect("scalar is measured").1;
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"genome_bases\": {GENOME_LEN}, \"guides\": {GUIDES}, \"k\": {K}, \
+         \"seed\": {SEED}}},\n"
+    ));
+    out.push_str("  \"engines\": {\n");
+    for (i, (name, secs)) in rows.iter().enumerate() {
+        let ns_per_base = secs * 1e9 / GENOME_LEN as f64;
+        let comma = if i + 1 == rows.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    \"{name}\": {{\"kernel_ns_per_base\": {ns_per_base:.3}, \"relative\": \
+             {:.4}}}{comma}\n",
+            secs / scalar_s
+        ));
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
+fn check(rows: &[(&'static str, f64)], baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let baseline = json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let engines = baseline.get("engines").ok_or("baseline has no \"engines\" member")?;
+    let scalar_s = rows.iter().find(|(n, _)| *n == "cpu-scalar").expect("scalar is measured").1;
+    let mut failures = Vec::new();
+    for (name, secs) in rows {
+        let Some(was) = engines.get(name).and_then(|e| e.get("relative")).and_then(|v| v.as_f64())
+        else {
+            println!("  {name}: no baseline entry, skipped");
+            continue;
+        };
+        let now = secs / scalar_s;
+        let verdict = if now > was * (1.0 + TOLERANCE) {
+            failures.push(name.to_string());
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!("  {name}: relative {now:.4} vs baseline {was:.4} — {verdict}");
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "{} engine(s) regressed >{:.0}% vs {baseline_path}: {}",
+            failures.len(),
+            TOLERANCE * 100.0,
+            failures.join(", ")
+        ))
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let start = Instant::now();
+    let rows = measure();
+    eprintln!("measured {} engines in {:.1}s", rows.len(), start.elapsed().as_secs_f64());
+    match args.as_slice() {
+        [] => print!("{}", render(&rows)),
+        [flag, path] if flag == "--check" => {
+            if let Err(msg) = check(&rows, path) {
+                eprintln!("bench-smoke: {msg}");
+                std::process::exit(1);
+            }
+            println!("bench-smoke: within {:.0}% of baseline", TOLERANCE * 100.0);
+        }
+        _ => {
+            eprintln!("usage: bench_smoke [--check BENCH_cpu.json]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -142,6 +142,12 @@ impl OffTargetSearch {
     /// metering: the engine attributes guide compilation to the config
     /// bucket and the scan to the kernel bucket, so `kernel_s` no longer
     /// absorbs compile time the way the old lumped measurement did.
+    ///
+    /// Both paths go through the engine's prepare/scan split
+    /// (`Engine::prepare` once, `PreparedSearch::scan_slice` per contig
+    /// or chunk — see DESIGN.md §7.1), so `guide_compile_s` is paid once
+    /// regardless of `threads`, and the parallel wrapper fans the same
+    /// prepared searcher out over borrowed chunks without copying.
     fn run_cpu<E: Engine + Sync>(
         &self,
         engine: E,

@@ -1,5 +1,5 @@
 //! The HyperScan-class CPU automata engine: multi-pattern bit-parallel
-//! Hamming shift-and.
+//! Hamming shift-and, fronted by the PAM-anchor prefilter.
 //!
 //! This is the mismatch automaton of [`crispr_guides::compile`] executed
 //! in registers instead of state graphs: register `R_j` holds, for each
@@ -20,11 +20,19 @@
 //! libraries lower small patterns to; its cost per input symbol is
 //! `O(patterns × (k+1))` word operations, flat in genome content — the
 //! "automata on CPU" data point of the paper.
+//!
+//! When the guide set is PAM-anchorable, the engine instead deploys the
+//! shared [`crate::prefilter`] pass — HyperScan's own trick of cheap
+//! literal prefilters in front of the automaton, here with the PAM as the
+//! literal. The register machine remains the fallback for unanchorable
+//! pattern sets and the ground truth the prefiltered path is tested
+//! against.
 
-use crate::engine::{patterns, validate_guides, Engine};
+use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
+use crate::prefilter::AnchoredScan;
 use crate::EngineError;
-use crispr_genome::{Base, Genome};
-use crispr_guides::{normalize, Guide, Hit, SitePattern};
+use crispr_genome::Base;
+use crispr_guides::{Guide, Hit, SitePattern};
 use crispr_model::SearchMetrics;
 use std::time::Instant;
 
@@ -33,6 +41,10 @@ use std::time::Instant;
 /// registers) instead of chasing one heap `Vec` per pattern — on
 /// thousand-pattern sets this is worth several × in throughput, the same
 /// data-layout discipline a production engine applies.
+///
+/// The bank itself is immutable compiled state; the mutable registers live
+/// in caller-provided scratch so one compiled bank can serve concurrent
+/// scans.
 #[derive(Debug, Clone)]
 struct RegisterBank {
     /// `S[c]` flattened as `accept[code · patterns + p]`.
@@ -41,8 +53,6 @@ struct RegisterBank {
     counted: Vec<u64>,
     /// High bit (site length − 1); identical for all patterns.
     top: u64,
-    /// `R_j` flattened as `regs[j · patterns + p]`.
-    regs: Vec<u64>,
     patterns: usize,
     k: usize,
     guide_index: Vec<u32>,
@@ -57,7 +67,6 @@ impl RegisterBank {
             accept: vec![0; 4 * n],
             counted: vec![0; n],
             top: 1 << (site_len - 1),
-            regs: vec![0; (k + 1) * n],
             patterns: n,
             k,
             guide_index: Vec::with_capacity(n),
@@ -81,8 +90,9 @@ impl RegisterBank {
         bank
     }
 
-    fn reset(&mut self) {
-        self.regs.iter_mut().for_each(|r| *r = 0);
+    /// Fresh zeroed register scratch for one scan.
+    fn scratch(&self) -> Vec<u64> {
+        vec![0; (self.k + 1) * self.patterns]
     }
 
     /// Advances every pattern by one symbol. The hot path is branch-free
@@ -94,7 +104,7 @@ impl RegisterBank {
     /// `shifted` is caller-provided scratch of `patterns` words carrying
     /// `((R_{j−1} << 1) | 1)` between rows.
     #[inline]
-    fn step(&mut self, code: usize, shifted: &mut [u64]) -> u64 {
+    fn step(&self, regs: &mut [u64], code: usize, shifted: &mut [u64]) -> u64 {
         let n = self.patterns;
         let accept = &self.accept[code * n..(code + 1) * n];
         let top = self.top;
@@ -103,19 +113,19 @@ impl RegisterBank {
         // Row 0 (exact-prefix row) — no mismatch inflow. Stash the
         // shifted pre-update value for row 1's mismatch path.
         for p in 0..n {
-            let s = (self.regs[p] << 1) | 1;
+            let s = (regs[p] << 1) | 1;
             let next = s & accept[p];
             shifted[p] = s;
-            self.regs[p] = next;
+            regs[p] = next;
             any |= next;
         }
         for j in 1..=self.k {
             let row = j * n;
             for p in 0..n {
-                let s = (self.regs[row + p] << 1) | 1;
+                let s = (regs[row + p] << 1) | 1;
                 let next = (s & accept[p]) | (shifted[p] & self.counted[p]);
                 shifted[p] = s;
-                self.regs[row + p] = next;
+                regs[row + p] = next;
                 any |= next;
             }
         }
@@ -126,12 +136,12 @@ impl RegisterBank {
     /// return was nonzero: for each pattern whose top bit is set in some
     /// row, the lowest such row is the exact mismatch count (rows are
     /// supersets upward).
-    fn collect_hits(&self, mut on_hit: impl FnMut(usize, u8)) {
+    fn collect_hits(&self, regs: &[u64], mut on_hit: impl FnMut(usize, u8)) {
         let n = self.patterns;
         let top = self.top;
         'pattern: for p in 0..n {
             for j in 0..=self.k {
-                if self.regs[j * n + p] & top != 0 {
+                if regs[j * n + p] & top != 0 {
                     on_hit(p, j as u8);
                     continue 'pattern;
                 }
@@ -141,67 +151,86 @@ impl RegisterBank {
 }
 
 /// Bit-parallel multi-pattern engine; see the module docs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct BitParallelEngine {
-    _private: (),
+    prefilter: bool,
 }
 
-impl BitParallelEngine {
-    /// Creates the engine.
-    pub fn new() -> BitParallelEngine {
-        BitParallelEngine::default()
+impl Default for BitParallelEngine {
+    fn default() -> BitParallelEngine {
+        BitParallelEngine::new()
     }
 }
 
 impl BitParallelEngine {
-    fn scan(
+    /// Creates the engine (PAM-anchor prefilter enabled where applicable).
+    pub fn new() -> BitParallelEngine {
+        BitParallelEngine { prefilter: true }
+    }
+
+    /// Creates the engine with the prefilter disabled — every slice runs
+    /// through the register machine. The ablation baseline.
+    pub fn without_prefilter() -> BitParallelEngine {
+        BitParallelEngine { prefilter: false }
+    }
+}
+
+/// Compiled form: register bank plus, when applicable, the anchor-and-
+/// verify deployment that replaces register stepping on anchorable sets.
+#[derive(Debug)]
+struct BitParallelPrepared {
+    bank: RegisterBank,
+    anchored: Option<AnchoredScan>,
+    site_len: usize,
+    k: usize,
+}
+
+impl PreparedSearch for BitParallelPrepared {
+    fn site_len(&self) -> usize {
+        self.site_len
+    }
+
+    fn scan_slice(
         &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
+        seq: &[Base],
+        out: &mut Vec<Hit>,
         m: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        let compile_start = Instant::now();
-        let site_len = validate_guides(guides, k)?;
-        if site_len > 64 {
-            return Err(EngineError::Unsupported(format!(
-                "site length {site_len} exceeds the 64-bit register width"
-            )));
+    ) -> Result<(), EngineError> {
+        // Both paths are linear bitwise passes over the slice; meter them
+        // under the same symbol count.
+        m.counters.bit_steps += seq.len() as u64;
+        if let Some(anchored) = &self.anchored {
+            anchored.scan_slice(seq, self.k, out, m);
+            return Ok(());
         }
-        let pattern_list = patterns(guides);
-        let mut bank = RegisterBank::new(&pattern_list, k);
-        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
 
         let scan_start = Instant::now();
-        let mut shifted = vec![0u64; bank.patterns];
-        let mut hits = Vec::new();
-        for (ci, contig) in genome.contigs().iter().enumerate() {
-            bank.reset();
-            m.counters.bit_steps += contig.len() as u64;
-            m.counters.windows_scanned += (contig.len() + 1).saturating_sub(site_len) as u64;
-            for (end, base) in contig.seq().iter().enumerate() {
-                let code = base.code() as usize;
-                if bank.step(code, &mut shifted) != 0 {
-                    let pos = (end + 1 - site_len) as u64;
-                    bank.collect_hits(|p, mm| {
-                        hits.push(Hit {
-                            contig: ci as u32,
-                            pos,
-                            guide: bank.guide_index[p],
-                            strand: bank.strand[p],
-                            mismatches: mm,
-                        });
+        m.counters.windows_scanned += (seq.len() + 1).saturating_sub(self.site_len) as u64;
+        let mut regs = self.bank.scratch();
+        let mut shifted = vec![0u64; self.bank.patterns];
+        for (end, &base) in seq.iter().enumerate() {
+            let code = base.code() as usize;
+            if self.bank.step(&mut regs, code, &mut shifted) != 0 {
+                let pos = (end + 1 - self.site_len) as u64;
+                self.bank.collect_hits(&regs, |p, mm| {
+                    out.push(Hit {
+                        contig: 0,
+                        pos,
+                        guide: self.bank.guide_index[p],
+                        strand: self.bank.strand[p],
+                        mismatches: mm,
                     });
-                }
+                });
             }
         }
-        m.counters.raw_hits += hits.len() as u64;
         m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+        Ok(())
+    }
 
-        let report_start = Instant::now();
-        normalize(&mut hits);
-        m.phases.report_s += report_start.elapsed().as_secs_f64();
-        Ok(hits)
+    fn record_gauges(&self, m: &mut SearchMetrics) {
+        if let Some(anchored) = &self.anchored {
+            m.set_gauge("anchor_rate", anchored.rate());
+        }
     }
 }
 
@@ -210,26 +239,25 @@ impl Engine for BitParallelEngine {
         "bitparallel-hyperscan"
     }
 
-    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
-        self.scan(genome, guides, k, &mut SearchMetrics::default())
-    }
-
-    fn search_metered(
-        &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
-        metrics: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        metrics.engine = self.name().to_string();
-        self.scan(genome, guides, k, metrics)
+    fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError> {
+        let site_len = validate_guides(guides, k)?;
+        if site_len > 64 {
+            return Err(EngineError::Unsupported(format!(
+                "site length {site_len} exceeds the 64-bit register width"
+            )));
+        }
+        let pattern_list = patterns(guides);
+        let anchored =
+            if self.prefilter { AnchoredScan::build(&pattern_list, site_len) } else { None };
+        let bank = RegisterBank::new(&pattern_list, k);
+        Ok(Box::new(BitParallelPrepared { bank, anchored, site_len, k }))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::test_support::assert_engine_correct;
+    use crate::engine::test_support::{assert_engine_correct, planted_workload};
     use crate::engine::ScalarEngine;
     use crispr_guides::Pam;
 
@@ -249,6 +277,44 @@ mod tests {
     }
 
     #[test]
+    fn register_path_matches_oracle_without_prefilter() {
+        assert_engine_correct(&BitParallelEngine::without_prefilter(), 24, 3);
+    }
+
+    #[test]
+    fn prefiltered_and_register_paths_agree() {
+        let (genome, guides, _) = planted_workload(31, 3);
+        let fast = BitParallelEngine::new().search(&genome, &guides, 3).unwrap();
+        let plain = BitParallelEngine::without_prefilter().search(&genome, &guides, 3).unwrap();
+        assert_eq!(fast, plain);
+    }
+
+    #[test]
+    fn pamless_guides_fall_back_to_registers() {
+        let guide = Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::none()).unwrap();
+        let (genome, _, _) = planted_workload(32, 0);
+        let guides = vec![guide];
+        let fast = BitParallelEngine::new().search(&genome, &guides, 1).unwrap();
+        let truth = ScalarEngine::new().search(&genome, &guides, 1).unwrap();
+        assert_eq!(fast, truth);
+        // No anchor gauge when the register path runs.
+        let mut m = SearchMetrics::default();
+        let _ = BitParallelEngine::new().search_metered(&genome, &guides, 1, &mut m).unwrap();
+        assert_eq!(m.gauge("anchor_rate"), None);
+    }
+
+    #[test]
+    fn anchor_gauge_reports_pam_rate() {
+        let (genome, guides, _) = planted_workload(33, 1);
+        let mut m = SearchMetrics::default();
+        let _ = BitParallelEngine::new().search_metered(&genome, &guides, 1, &mut m).unwrap();
+        // NGG both strands: 1/16 + 1/16.
+        assert!((m.gauge("anchor_rate").unwrap() - 0.125).abs() < 1e-12);
+        assert!(m.counters.pam_anchors_tested > 0);
+        assert!(m.counters.early_exits > 0);
+    }
+
+    #[test]
     fn pam_mismatch_never_paid_from_budget() {
         // Site with perfect spacer but broken PAM must not appear even at
         // high budget.
@@ -256,8 +322,10 @@ mod tests {
         let genome = crispr_genome::Genome::from_seq(
             "TTTTGATTACAGATTACAGATTACTTTAAAA".parse().unwrap(), // PAM = TTT
         );
-        let hits = BitParallelEngine::new().search(&genome, &[guide], 6).unwrap();
-        assert!(hits.iter().all(|h| h.pos != 4 || h.strand == crispr_genome::Strand::Reverse));
+        for engine in [BitParallelEngine::new(), BitParallelEngine::without_prefilter()] {
+            let hits = engine.search(&genome, std::slice::from_ref(&guide), 6).unwrap();
+            assert!(hits.iter().all(|h| h.pos != 4 || h.strand == crispr_genome::Strand::Reverse));
+        }
     }
 
     #[test]

@@ -8,6 +8,12 @@
 //! length` and with k (weaker early exits), the same unfavourable scaling
 //! as brute force but with the PAM filter hoisted out.
 //!
+//! The PAM walk itself is delegated to the shared anchor prefilter
+//! ([`crate::prefilter`]) when the guide set is anchorable: instead of
+//! probing PAM positions window by window, one bitwise pass yields the
+//! candidate starts and the seed/distal compare runs only there. The
+//! verification order and the seed-limit semantics are unchanged.
+//!
 //! Note on absolute numbers: the published CasOT is a Perl program; this
 //! reimplementation of its algorithm in Rust is dramatically faster than
 //! the original, so measured speedup *ratios* versus automata engines are
@@ -15,10 +21,12 @@
 //! Perl tool). The experiment harness reports both the measured ratio and
 //! a modeled one with a documented interpreter factor; see EXPERIMENTS.md.
 
-use crate::engine::{patterns, validate_guides, Engine};
+use crate::engine::AnchorGroup;
+use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
+use crate::prefilter::anchor_plan;
 use crate::EngineError;
-use crispr_genome::{Base, Genome, IupacCode};
-use crispr_guides::{normalize, Guide, Hit, SitePattern};
+use crispr_genome::{Base, IupacCode, PackedSeq};
+use crispr_guides::{Guide, Hit, SitePattern};
 use crispr_model::SearchMetrics;
 use std::time::Instant;
 
@@ -27,13 +35,14 @@ use std::time::Instant;
 pub struct CasotEngine {
     seed_len: usize,
     seed_mismatch_limit: Option<usize>,
+    prefilter: bool,
 }
 
 impl Default for CasotEngine {
     fn default() -> CasotEngine {
         // CasOT's default: 12-base PAM-proximal seed, no extra seed limit
         // (so results equal the other engines'; a limit tightens them).
-        CasotEngine { seed_len: 12, seed_mismatch_limit: None }
+        CasotEngine { seed_len: 12, seed_mismatch_limit: None, prefilter: true }
     }
 }
 
@@ -55,6 +64,13 @@ impl CasotEngine {
     /// hits (biologically motivated filtering, off by default).
     pub fn with_seed_mismatch_limit(mut self, limit: usize) -> CasotEngine {
         self.seed_mismatch_limit = Some(limit);
+        self
+    }
+
+    /// Disables the bitwise anchor pass — PAM positions are probed window
+    /// by window as in the original tool. The ablation baseline.
+    pub fn without_prefilter(mut self) -> CasotEngine {
+        self.prefilter = false;
         self
     }
 }
@@ -100,77 +116,122 @@ impl Anchored {
     }
 }
 
-impl CasotEngine {
-    fn scan(
-        &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
-        m: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        let compile_start = Instant::now();
-        let site_len = validate_guides(guides, k)?;
-        let anchored: Vec<Anchored> =
-            patterns(guides).iter().map(|p| Anchored::new(p, self.seed_len)).collect();
-        let seed_limit = self.seed_mismatch_limit.unwrap_or(k);
-        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+/// Compiled form: per-pattern seed/distal comparers plus, when the set is
+/// anchorable, the grouped anchor scanners that replace per-window PAM
+/// probing.
+#[derive(Debug)]
+struct CasotPrepared {
+    anchored: Vec<Anchored>,
+    /// `(scanner, member indices into anchored)` per PAM signature, with
+    /// the summed anchor rate; `None` → probe windows directly.
+    plan: Option<(Vec<AnchorGroup>, f64)>,
+    site_len: usize,
+    k: usize,
+    seed_limit: usize,
+}
 
-        let scan_start = Instant::now();
-        let mut hits = Vec::new();
-        for (ci, contig) in genome.contigs().iter().enumerate() {
-            if contig.len() < site_len {
-                continue;
-            }
-            let seq: &[Base] = contig.seq().as_slice();
-            for start in 0..=seq.len() - site_len {
-                m.counters.windows_scanned += 1;
-                'pattern: for a in &anchored {
-                    // Anchor: all PAM positions must match.
-                    for &(offset, class) in &a.pam {
-                        if !class.matches(seq[start + offset]) {
-                            continue 'pattern;
-                        }
-                    }
-                    m.counters.pam_anchors_tested += 1;
-                    // Seed first under the seed limit, then the rest under
-                    // the total budget.
-                    let mut mismatches = 0usize;
-                    for &(offset, base) in &a.spacer[..a.seed_len] {
-                        if seq[start + offset] != base {
-                            mismatches += 1;
-                            if mismatches > k || mismatches > seed_limit {
-                                m.counters.early_exits += 1;
-                                continue 'pattern;
-                            }
-                        }
-                    }
-                    m.counters.seed_survivors += 1;
-                    for &(offset, base) in &a.spacer[a.seed_len..] {
-                        if seq[start + offset] != base {
-                            mismatches += 1;
-                            if mismatches > k {
-                                m.counters.early_exits += 1;
-                                continue 'pattern;
-                            }
-                        }
-                    }
-                    hits.push(Hit {
-                        contig: ci as u32,
-                        pos: start as u64,
-                        guide: a.guide_index,
-                        strand: a.strand,
-                        mismatches: mismatches as u8,
-                    });
+impl CasotPrepared {
+    /// Seed-then-distal compare of pattern `a` against the window at
+    /// `start`, counting into `m` exactly like the original per-window
+    /// loop. `pam_verified` states the PAM already matched (anchor pass);
+    /// otherwise the PAM positions are probed here first.
+    #[inline]
+    fn verify(
+        &self,
+        a: &Anchored,
+        seq: &[Base],
+        start: usize,
+        pam_verified: bool,
+        out: &mut Vec<Hit>,
+        m: &mut SearchMetrics,
+    ) {
+        if !pam_verified {
+            for &(offset, class) in &a.pam {
+                if !class.matches(seq[start + offset]) {
+                    return;
                 }
             }
         }
-        m.counters.raw_hits += hits.len() as u64;
-        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+        m.counters.pam_anchors_tested += 1;
+        // Seed first under the seed limit, then the rest under the total
+        // budget.
+        let mut mismatches = 0usize;
+        for &(offset, base) in &a.spacer[..a.seed_len] {
+            if seq[start + offset] != base {
+                mismatches += 1;
+                if mismatches > self.k || mismatches > self.seed_limit {
+                    m.counters.early_exits += 1;
+                    return;
+                }
+            }
+        }
+        m.counters.seed_survivors += 1;
+        for &(offset, base) in &a.spacer[a.seed_len..] {
+            if seq[start + offset] != base {
+                mismatches += 1;
+                if mismatches > self.k {
+                    m.counters.early_exits += 1;
+                    return;
+                }
+            }
+        }
+        out.push(Hit {
+            contig: 0,
+            pos: start as u64,
+            guide: a.guide_index,
+            strand: a.strand,
+            mismatches: mismatches as u8,
+        });
+    }
+}
 
-        let report_start = Instant::now();
-        normalize(&mut hits);
-        m.phases.report_s += report_start.elapsed().as_secs_f64();
-        Ok(hits)
+impl PreparedSearch for CasotPrepared {
+    fn site_len(&self) -> usize {
+        self.site_len
+    }
+
+    fn scan_slice(
+        &self,
+        seq: &[Base],
+        out: &mut Vec<Hit>,
+        m: &mut SearchMetrics,
+    ) -> Result<(), EngineError> {
+        if seq.len() < self.site_len {
+            return Ok(());
+        }
+        if let Some((groups, _)) = &self.plan {
+            let load_start = Instant::now();
+            let packed = PackedSeq::from_bases(seq);
+            m.phases.genome_load_s += load_start.elapsed().as_secs_f64();
+
+            let scan_start = Instant::now();
+            m.counters.windows_scanned += (seq.len() + 1 - self.site_len) as u64;
+            for (scanner, members) in groups {
+                for start in &scanner.candidates(&packed, self.site_len) {
+                    for &pi in members {
+                        self.verify(&self.anchored[pi], seq, start, true, out, m);
+                    }
+                }
+            }
+            m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+            return Ok(());
+        }
+
+        let scan_start = Instant::now();
+        for start in 0..=seq.len() - self.site_len {
+            m.counters.windows_scanned += 1;
+            for a in &self.anchored {
+                self.verify(a, seq, start, false, out, m);
+            }
+        }
+        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn record_gauges(&self, m: &mut SearchMetrics) {
+        if let Some((_, rate)) = &self.plan {
+            m.set_gauge("anchor_rate", *rate);
+        }
     }
 }
 
@@ -179,19 +240,19 @@ impl Engine for CasotEngine {
         "casot"
     }
 
-    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
-        self.scan(genome, guides, k, &mut SearchMetrics::default())
-    }
-
-    fn search_metered(
-        &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
-        metrics: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        metrics.engine = self.name().to_string();
-        self.scan(genome, guides, k, metrics)
+    fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError> {
+        let site_len = validate_guides(guides, k)?;
+        let pattern_list = patterns(guides);
+        let plan = if self.prefilter { anchor_plan(&pattern_list, site_len) } else { None };
+        let anchored: Vec<Anchored> =
+            pattern_list.iter().map(|p| Anchored::new(p, self.seed_len)).collect();
+        Ok(Box::new(CasotPrepared {
+            anchored,
+            plan,
+            site_len,
+            k,
+            seed_limit: self.seed_mismatch_limit.unwrap_or(k),
+        }))
     }
 }
 
@@ -214,6 +275,11 @@ mod tests {
     }
 
     #[test]
+    fn unfiltered_path_matches_oracle() {
+        assert_engine_correct(&CasotEngine::new().without_prefilter(), 68, 3);
+    }
+
+    #[test]
     fn seed_limit_filters_distal_heavy_sites() {
         let genome = crispr_genome::synth::SynthSpec::new(30_000).seed(63).generate();
         let guides = genset::random_guides(2, 20, &Pam::ngg(), 64);
@@ -228,6 +294,13 @@ mod tests {
         // And some multi-mismatch site should have been dropped (with 24
         // planted sites at k ≤ 3 this is overwhelmingly likely).
         assert!(filtered.len() < all.len());
+        // The seed limit behaves identically without the anchor pass.
+        let filtered_plain = CasotEngine::new()
+            .with_seed_mismatch_limit(0)
+            .without_prefilter()
+            .search(&genome, &guides, 3)
+            .unwrap();
+        assert_eq!(filtered, filtered_plain);
     }
 
     #[test]

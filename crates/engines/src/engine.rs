@@ -1,8 +1,44 @@
 use crate::EngineError;
-use crispr_genome::{Genome, Strand};
+use crispr_genome::pamindex::AnchorScanner;
+use crispr_genome::{Base, Genome, IupacCode, Strand};
 use crispr_guides::{normalize, Guide, Hit, SitePattern};
 use crispr_model::SearchMetrics;
 use std::time::Instant;
+
+/// The compiled, reusable half of a search: guides × budget lowered to an
+/// engine's internal tables, ready to scan any number of genome slices
+/// without recompiling.
+///
+/// [`PreparedSearch::scan_slice`] appends *raw* hits: `contig` is left 0
+/// and `pos` is slice-relative; the caller re-bases and normalizes
+/// ([`scan_genome`] does both, the parallel deployment shifts by chunk
+/// offset first). Implementations attribute their own per-slice phases —
+/// packing/indexing to `genome_load_s`, scanning to `kernel_scan_s` — and
+/// counters; they never touch `guide_compile_s`, which belongs to
+/// [`Engine::prepare`] alone. That invariant is what makes compile cost
+/// independent of how many slices (chunks, genomes) are scanned.
+pub trait PreparedSearch: Send + Sync {
+    /// Uniform site length of the compiled guide set.
+    fn site_len(&self) -> usize;
+
+    /// Scans one contiguous forward-strand slice, appending raw hits.
+    ///
+    /// # Errors
+    ///
+    /// Scan-phase failures only (e.g. a DFA transition-table fault);
+    /// guide-set problems are rejected by [`Engine::prepare`].
+    fn scan_slice(
+        &self,
+        seq: &[Base],
+        out: &mut Vec<Hit>,
+        m: &mut SearchMetrics,
+    ) -> Result<(), EngineError>;
+
+    /// Records compile-time gauges (automaton state counts, seed counts,
+    /// anchor rates) into `m`. Called once per metered search, not per
+    /// slice.
+    fn record_gauges(&self, _m: &mut SearchMetrics) {}
+}
 
 /// A complete off-target search: genome × guides × mismatch budget →
 /// normalized hits.
@@ -12,25 +48,40 @@ use std::time::Instant;
 /// with `mismatches ≤ k` and whose PAM is valid, positions being
 /// forward-strand leftmost-base coordinates, sorted and deduplicated (see
 /// [`crispr_guides::normalize`]).
+///
+/// The trait is split into a compile phase ([`Engine::prepare`]) and a
+/// scan phase ([`PreparedSearch::scan_slice`]); `search`/`search_metered`
+/// are drivers over that split and rarely need overriding.
 pub trait Engine {
     /// A short stable name for reports and benchmarks.
     fn name(&self) -> &'static str;
 
-    /// Runs the search.
+    /// Compiles `guides` at budget `k` into a reusable [`PreparedSearch`].
+    ///
+    /// This is the expensive half of a search — pattern tables, register
+    /// banks, automata, anchor scanners are all built here, once. The
+    /// returned value scans arbitrarily many slices or genomes.
     ///
     /// # Errors
     ///
     /// Implementation-specific; see each engine. All engines reject
     /// invalid guide sets via [`crispr_guides::GuideError`].
-    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError>;
+    fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError>;
+
+    /// Runs the search.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::prepare`], plus scan-phase failures.
+    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
+        self.search_metered(genome, guides, k, &mut SearchMetrics::default())
+    }
 
     /// Runs the search while filling `metrics` — the observability hook.
     ///
-    /// The hit set is identical to [`Engine::search`]. Engines override
-    /// this to attribute wall-clock to the right [`crispr_model::PhaseSpans`]
-    /// phase (guide compile vs kernel scan vs normalize) and to increment
-    /// their algorithm's [`crispr_model::EngineCounters`]. The default
-    /// measures the whole run as kernel time and counts only raw hits.
+    /// The hit set is identical to [`Engine::search`]. The default driver
+    /// charges [`Engine::prepare`] to `guide_compile_s` exactly once and
+    /// delegates per-slice attribution to the prepared search.
     ///
     /// # Errors
     ///
@@ -43,12 +94,39 @@ pub trait Engine {
         metrics: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
         metrics.engine = self.name().to_string();
-        let start = Instant::now();
-        let hits = self.search(genome, guides, k)?;
-        metrics.phases.kernel_scan_s += start.elapsed().as_secs_f64();
-        metrics.counters.raw_hits += hits.len() as u64;
-        Ok(hits)
+        let compile_start = Instant::now();
+        let prepared = self.prepare(guides, k)?;
+        metrics.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+        prepared.record_gauges(metrics);
+        scan_genome(prepared.as_ref(), genome, metrics)
     }
+}
+
+/// Drives a prepared search over every contig of `genome`: scan each
+/// contig slice, re-base contig indices, count raw hits, normalize
+/// (attributed to `report_s`).
+///
+/// # Errors
+///
+/// Propagates [`PreparedSearch::scan_slice`] failures.
+pub fn scan_genome(
+    prepared: &dyn PreparedSearch,
+    genome: &Genome,
+    m: &mut SearchMetrics,
+) -> Result<Vec<Hit>, EngineError> {
+    let mut hits = Vec::new();
+    for (ci, contig) in genome.contigs().iter().enumerate() {
+        let before = hits.len();
+        prepared.scan_slice(contig.seq().as_slice(), &mut hits, m)?;
+        for hit in &mut hits[before..] {
+            hit.contig = ci as u32;
+        }
+    }
+    m.counters.raw_hits += hits.len() as u64;
+    let report_start = Instant::now();
+    normalize(&mut hits);
+    m.phases.report_s += report_start.elapsed().as_secs_f64();
+    Ok(hits)
 }
 
 /// Validates a guide set the way the compilers do, returning the uniform
@@ -84,10 +162,65 @@ pub(crate) fn patterns(guides: &[Guide]) -> Vec<SitePattern> {
     out
 }
 
+/// Combined candidate rate above which anchor prefiltering stops paying:
+/// past one window in four, the verifier does brute-force-shaped work and
+/// the full scan is cheaper.
+pub(crate) const ANCHOR_MAX_RATE: f64 = 0.25;
+
+/// One anchor group: the shared scanner plus the indices of the patterns
+/// it fronts.
+pub(crate) type AnchorGroup = (AnchorScanner, Vec<usize>);
+
+/// Groups `patterns` by PAM-anchor signature — the selective (degeneracy
+/// < 4) uncounted positions, which for every real PAM are exactly the
+/// positions a window must match outright. All patterns sharing a
+/// signature (e.g. every forward-strand `NGG` pattern) share one
+/// [`AnchorScanner`]; the per-group member lists index back into
+/// `patterns`.
+///
+/// Returns `None` when prefiltering is inapplicable: some pattern has no
+/// selective anchor (`Pam::none()`), or the summed per-group hit rate
+/// exceeds `max_rate` and a full scan is cheaper than anchor-and-verify.
+pub(crate) fn anchor_groups(patterns: &[SitePattern], max_rate: f64) -> Option<Vec<AnchorGroup>> {
+    type Signature = Vec<(usize, IupacCode)>;
+    let mut signatures: Vec<(Signature, Vec<usize>)> = Vec::new();
+    for (pi, pattern) in patterns.iter().enumerate() {
+        let signature: Signature = pattern
+            .positions()
+            .iter()
+            .enumerate()
+            .filter(|(_, p)| !p.counted && p.class.degeneracy() < 4)
+            .map(|(i, p)| (i, p.class))
+            .collect();
+        if signature.is_empty() {
+            return None;
+        }
+        match signatures.iter_mut().find(|(s, _)| *s == signature) {
+            Some((_, members)) => members.push(pi),
+            None => signatures.push((signature, vec![pi])),
+        }
+    }
+    let groups: Vec<AnchorGroup> = signatures
+        .into_iter()
+        .map(|(signature, members)| {
+            (AnchorScanner::new(signature).expect("signature is non-empty"), members)
+        })
+        .collect();
+    let rate: f64 = groups.iter().map(|(scanner, _)| scanner.hit_rate()).sum();
+    (rate <= max_rate).then_some(groups)
+}
+
+/// Sum of per-group anchor hit rates — the gauge value engines publish as
+/// `anchor_rate` when the prefilter is active.
+pub(crate) fn anchor_rate(groups: &[AnchorGroup]) -> f64 {
+    groups.iter().map(|(scanner, _)| scanner.hit_rate()).sum()
+}
+
 /// The ground-truth engine: scores every window of every contig against
 /// every pattern with [`SitePattern::score_window`]. O(genome × guides ×
 /// site length) — used as the oracle in tests and as the "no algorithmic
-/// idea at all" lower bound in ablations.
+/// idea at all" lower bound in ablations. Deliberately unfiltered: the
+/// oracle must not share the prefilter whose correctness it vouches for.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ScalarEngine {
     _private: (),
@@ -100,52 +233,49 @@ impl ScalarEngine {
     }
 }
 
-impl ScalarEngine {
-    fn scan(
-        &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
-        m: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        let compile_start = Instant::now();
-        let site_len = validate_guides(guides, k)?;
-        let patterns = patterns(guides);
-        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+/// Prepared form of [`ScalarEngine`]: the pattern list, nothing more.
+#[derive(Debug)]
+struct ScalarPrepared {
+    patterns: Vec<SitePattern>,
+    site_len: usize,
+    k: usize,
+}
 
+impl PreparedSearch for ScalarPrepared {
+    fn site_len(&self) -> usize {
+        self.site_len
+    }
+
+    fn scan_slice(
+        &self,
+        seq: &[Base],
+        out: &mut Vec<Hit>,
+        m: &mut SearchMetrics,
+    ) -> Result<(), EngineError> {
+        if seq.len() < self.site_len {
+            return Ok(());
+        }
         let scan_start = Instant::now();
-        let mut hits = Vec::new();
-        for (ci, contig) in genome.contigs().iter().enumerate() {
-            if contig.len() < site_len {
-                continue;
-            }
-            let seq = contig.seq().as_slice();
-            for start in 0..=seq.len() - site_len {
-                m.counters.windows_scanned += 1;
-                let window = &seq[start..start + site_len];
-                for pattern in &patterns {
-                    m.counters.candidates_verified += 1;
-                    if let Some(mm) = pattern.score_window(window) {
-                        if mm <= k {
-                            hits.push(Hit {
-                                contig: ci as u32,
-                                pos: start as u64,
-                                guide: pattern.guide_index(),
-                                strand: pattern.strand(),
-                                mismatches: mm as u8,
-                            });
-                        }
+        for start in 0..=seq.len() - self.site_len {
+            m.counters.windows_scanned += 1;
+            let window = &seq[start..start + self.site_len];
+            for pattern in &self.patterns {
+                m.counters.candidates_verified += 1;
+                if let Some(mm) = pattern.score_window(window) {
+                    if mm <= self.k {
+                        out.push(Hit {
+                            contig: 0,
+                            pos: start as u64,
+                            guide: pattern.guide_index(),
+                            strand: pattern.strand(),
+                            mismatches: mm as u8,
+                        });
                     }
                 }
             }
         }
-        m.counters.raw_hits += hits.len() as u64;
         m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
-
-        let report_start = Instant::now();
-        normalize(&mut hits);
-        m.phases.report_s += report_start.elapsed().as_secs_f64();
-        Ok(hits)
+        Ok(())
     }
 }
 
@@ -154,19 +284,9 @@ impl Engine for ScalarEngine {
         "scalar-reference"
     }
 
-    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
-        self.scan(genome, guides, k, &mut SearchMetrics::default())
-    }
-
-    fn search_metered(
-        &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
-        metrics: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        metrics.engine = self.name().to_string();
-        self.scan(genome, guides, k, metrics)
+    fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError> {
+        let site_len = validate_guides(guides, k)?;
+        Ok(Box::new(ScalarPrepared { patterns: patterns(guides), site_len, k }))
     }
 }
 
@@ -268,5 +388,47 @@ mod tests {
             ScalarEngine::new().search(&genome, &[], 1),
             Err(EngineError::Guide(crispr_guides::GuideError::NoGuides))
         ));
+    }
+
+    #[test]
+    fn prepared_search_is_reusable_across_genomes() {
+        let guide = Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
+        let prepared = ScalarEngine::new().prepare(std::slice::from_ref(&guide), 0).unwrap();
+        assert_eq!(prepared.site_len(), 23);
+        let a = tiny_genome("TTTTGATTACAGATTACAGATTACTGGAAAA");
+        let b = tiny_genome("GATTACAGATTACAGATTACAGGCCCC");
+        let mut m = SearchMetrics::default();
+        let hits_a = scan_genome(prepared.as_ref(), &a, &mut m).unwrap();
+        let hits_b = scan_genome(prepared.as_ref(), &b, &mut m).unwrap();
+        assert_eq!(
+            hits_a,
+            ScalarEngine::new().search(&a, std::slice::from_ref(&guide), 0).unwrap()
+        );
+        assert_eq!(hits_b, ScalarEngine::new().search(&b, &[guide], 0).unwrap());
+    }
+
+    #[test]
+    fn anchor_groups_cover_ngg_both_strands() {
+        let guides = vec![
+            Guide::new("a", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap(),
+            Guide::new("b", "ACGTACGTACGTACGTACGT".parse().unwrap(), Pam::ngg()).unwrap(),
+        ];
+        let pats = patterns(&guides);
+        let groups = anchor_groups(&pats, ANCHOR_MAX_RATE).expect("NGG is anchorable");
+        // One forward group, one reverse group, each with both guides.
+        assert_eq!(groups.len(), 2);
+        let mut members: Vec<usize> = groups.iter().flat_map(|(_, m)| m.iter().copied()).collect();
+        members.sort_unstable();
+        assert_eq!(members, vec![0, 1, 2, 3]);
+        for (scanner, _) in &groups {
+            assert!((scanner.hit_rate() - 1.0 / 16.0).abs() < 1e-12);
+            assert_eq!(scanner.pairs().len(), 2);
+        }
+    }
+
+    #[test]
+    fn pamless_guides_are_not_anchorable() {
+        let guide = Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::none()).unwrap();
+        assert!(anchor_groups(&patterns(&[guide]), ANCHOR_MAX_RATE).is_none());
     }
 }

@@ -17,6 +17,16 @@
 //! Every engine returns the same normalized [`crispr_guides::Hit`] set on the same
 //! inputs; the integration suite enforces this pairwise.
 //!
+//! Searches are split into a compile phase and a scan phase:
+//! [`Engine::prepare`] lowers guides × budget once into a reusable
+//! [`PreparedSearch`], whose [`PreparedSearch::scan_slice`] runs against
+//! any number of borrowed genome slices — the contract that lets
+//! [`ParallelEngine`] fan chunks out without recompiling or copying, and
+//! lets callers amortize compilation across genomes. Engines whose guide
+//! sets carry a selective PAM additionally front their scans with the
+//! shared PAM-anchor prefilter (see [`crispr_genome::pamindex`]); the
+//! `without_prefilter` constructors expose the unfiltered baselines.
+//!
 //! ```
 //! use crispr_engines::{BitParallelEngine, Engine, ScalarEngine};
 //! use crispr_genome::synth::SynthSpec;
@@ -42,10 +52,11 @@ mod nfa;
 mod offdfa;
 mod parallel;
 mod pigeonhole;
+mod prefilter;
 
 pub use bitparallel::BitParallelEngine;
 pub use casot::CasotEngine;
-pub use engine::{Engine, ScalarEngine};
+pub use engine::{scan_genome, Engine, PreparedSearch, ScalarEngine};
 pub use error::EngineError;
 pub use myers::{IndelEngine, MyersMatcher};
 pub use naive::CasOffinderCpuEngine;

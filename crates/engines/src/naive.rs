@@ -7,11 +7,17 @@
 //! with the budget k (later early exits) — the scaling the paper contrasts
 //! against automata, whose cost is flat in both. The spacer comparison
 //! here runs on the 2-bit packed genome, one XOR/popcount per 32 bases.
+//!
+//! With the PAM-anchor prefilter (the default on anchorable guide sets),
+//! the per-window PAM probing is replaced by the shared bitwise anchor
+//! pass of [`crate::prefilter`] — the per-candidate verify is unchanged,
+//! only the walk to the candidates gets cheaper.
 
-use crate::engine::{patterns, validate_guides, Engine};
+use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
+use crate::prefilter::AnchoredScan;
 use crate::EngineError;
-use crispr_genome::{Base, Genome, IupacCode, PackedSeq};
-use crispr_guides::{normalize, Guide, Hit, SitePattern};
+use crispr_genome::{Base, IupacCode, PackedSeq};
+use crispr_guides::{Guide, Hit, SitePattern};
 use crispr_model::SearchMetrics;
 use std::time::Instant;
 
@@ -63,74 +69,96 @@ impl Precompiled {
 }
 
 /// Brute-force direct-comparison engine; see the module docs.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct CasOffinderCpuEngine {
-    _private: (),
+    prefilter: bool,
 }
 
-impl CasOffinderCpuEngine {
-    /// Creates the engine.
-    pub fn new() -> CasOffinderCpuEngine {
-        CasOffinderCpuEngine::default()
+impl Default for CasOffinderCpuEngine {
+    fn default() -> CasOffinderCpuEngine {
+        CasOffinderCpuEngine::new()
     }
 }
 
 impl CasOffinderCpuEngine {
-    fn scan(
+    /// Creates the engine (PAM-anchor prefilter enabled where applicable).
+    pub fn new() -> CasOffinderCpuEngine {
+        CasOffinderCpuEngine { prefilter: true }
+    }
+
+    /// Creates the engine with the prefilter disabled — the per-window
+    /// PAM-probe scan of the original tool. The ablation baseline.
+    pub fn without_prefilter() -> CasOffinderCpuEngine {
+        CasOffinderCpuEngine { prefilter: false }
+    }
+}
+
+/// Compiled form: per-pattern packed verifiers plus, when applicable, the
+/// shared anchor deployment.
+#[derive(Debug)]
+struct CasOffinderPrepared {
+    compiled: Vec<Precompiled>,
+    anchored: Option<AnchoredScan>,
+    site_len: usize,
+    k: usize,
+}
+
+impl PreparedSearch for CasOffinderPrepared {
+    fn site_len(&self) -> usize {
+        self.site_len
+    }
+
+    fn scan_slice(
         &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
+        seq: &[Base],
+        out: &mut Vec<Hit>,
         m: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        let compile_start = Instant::now();
-        let site_len = validate_guides(guides, k)?;
-        let compiled: Vec<Precompiled> = patterns(guides).iter().map(Precompiled::new).collect();
-        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+    ) -> Result<(), EngineError> {
+        if let Some(anchored) = &self.anchored {
+            anchored.scan_slice(seq, self.k, out, m);
+            return Ok(());
+        }
+        if seq.len() < self.site_len {
+            return Ok(());
+        }
+        let pack_start = Instant::now();
+        let packed = PackedSeq::from_bases(seq);
+        m.phases.genome_load_s += pack_start.elapsed().as_secs_f64();
 
-        let mut hits = Vec::new();
-        for (ci, contig) in genome.contigs().iter().enumerate() {
-            if contig.len() < site_len {
-                continue;
-            }
-            let seq: &[Base] = contig.seq().as_slice();
-            let pack_start = Instant::now();
-            let packed = PackedSeq::from_seq(contig.seq());
-            m.phases.genome_load_s += pack_start.elapsed().as_secs_f64();
-
-            let scan_start = Instant::now();
-            for start in 0..=seq.len() - site_len {
-                m.counters.windows_scanned += 1;
-                'pattern: for p in &compiled {
-                    for &(offset, class) in &p.pam_checks {
-                        if !class.matches(seq[start + offset]) {
-                            continue 'pattern;
-                        }
-                    }
-                    m.counters.pam_anchors_tested += 1;
-                    if let Some(mm) = packed.count_mismatches(&p.spacer, start + p.spacer_offset, k)
-                    {
-                        m.counters.candidates_verified += 1;
-                        hits.push(Hit {
-                            contig: ci as u32,
-                            pos: start as u64,
-                            guide: p.guide_index,
-                            strand: p.strand,
-                            mismatches: mm as u8,
-                        });
-                    } else {
-                        m.counters.early_exits += 1;
+        let scan_start = Instant::now();
+        for start in 0..=seq.len() - self.site_len {
+            m.counters.windows_scanned += 1;
+            'pattern: for p in &self.compiled {
+                for &(offset, class) in &p.pam_checks {
+                    if !class.matches(seq[start + offset]) {
+                        continue 'pattern;
                     }
                 }
+                m.counters.pam_anchors_tested += 1;
+                if let Some(mm) =
+                    packed.count_mismatches(&p.spacer, start + p.spacer_offset, self.k)
+                {
+                    m.counters.candidates_verified += 1;
+                    out.push(Hit {
+                        contig: 0,
+                        pos: start as u64,
+                        guide: p.guide_index,
+                        strand: p.strand,
+                        mismatches: mm as u8,
+                    });
+                } else {
+                    m.counters.early_exits += 1;
+                }
             }
-            m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
         }
-        m.counters.raw_hits += hits.len() as u64;
+        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+        Ok(())
+    }
 
-        let report_start = Instant::now();
-        normalize(&mut hits);
-        m.phases.report_s += report_start.elapsed().as_secs_f64();
-        Ok(hits)
+    fn record_gauges(&self, m: &mut SearchMetrics) {
+        if let Some(anchored) = &self.anchored {
+            m.set_gauge("anchor_rate", anchored.rate());
+        }
     }
 }
 
@@ -139,26 +167,20 @@ impl Engine for CasOffinderCpuEngine {
         "cas-offinder-cpu"
     }
 
-    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
-        self.scan(genome, guides, k, &mut SearchMetrics::default())
-    }
-
-    fn search_metered(
-        &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
-        metrics: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        metrics.engine = self.name().to_string();
-        self.scan(genome, guides, k, metrics)
+    fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError> {
+        let site_len = validate_guides(guides, k)?;
+        let pattern_list = patterns(guides);
+        let anchored =
+            if self.prefilter { AnchoredScan::build(&pattern_list, site_len) } else { None };
+        let compiled = pattern_list.iter().map(Precompiled::new).collect();
+        Ok(Box::new(CasOffinderPrepared { compiled, anchored, site_len, k }))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::engine::test_support::assert_engine_correct;
+    use crate::engine::test_support::{assert_engine_correct, planted_workload};
 
     #[test]
     fn matches_oracle_k0() {
@@ -173,6 +195,28 @@ mod tests {
     #[test]
     fn matches_oracle_k4() {
         assert_engine_correct(&CasOffinderCpuEngine::new(), 13, 4);
+    }
+
+    #[test]
+    fn unfiltered_path_matches_oracle() {
+        assert_engine_correct(&CasOffinderCpuEngine::without_prefilter(), 14, 2);
+    }
+
+    #[test]
+    fn prefilter_preserves_pam_anchor_counter() {
+        // The anchor pass is PAM-exact, so `pam_anchors_tested` must count
+        // the same (window, pattern) events with and without the filter.
+        let (genome, guides, _) = planted_workload(15, 2);
+        let mut filtered = SearchMetrics::default();
+        let mut unfiltered = SearchMetrics::default();
+        let fast =
+            CasOffinderCpuEngine::new().search_metered(&genome, &guides, 2, &mut filtered).unwrap();
+        let slow = CasOffinderCpuEngine::without_prefilter()
+            .search_metered(&genome, &guides, 2, &mut unfiltered)
+            .unwrap();
+        assert_eq!(fast, slow);
+        assert_eq!(filtered.counters.pam_anchors_tested, unfiltered.counters.pam_anchors_tested);
+        assert_eq!(filtered.counters.windows_scanned, unfiltered.counters.windows_scanned);
     }
 
     #[test]

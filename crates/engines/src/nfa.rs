@@ -8,11 +8,11 @@
 //! wins on CPU while spatial platforms, which evaluate all states in
 //! parallel silicon, do not care — the comparison in ablation A1.
 
-use crate::engine::{validate_guides, Engine};
+use crate::engine::{validate_guides, Engine, PreparedSearch};
 use crate::EngineError;
 use crispr_automata::sim::Simulator;
-use crispr_genome::Genome;
-use crispr_guides::{compile, normalize, CompileOptions, Guide, Hit, ReportCode};
+use crispr_genome::Base;
+use crispr_guides::{compile, CompileOptions, Guide, Hit, ReportCode};
 use crispr_model::SearchMetrics;
 use std::time::Instant;
 
@@ -27,50 +27,51 @@ impl NfaEngine {
     pub fn new() -> NfaEngine {
         NfaEngine::default()
     }
+}
 
-    fn scan(
+/// Compiled form: the guide-set automaton. The frontier itself is
+/// per-scan state, built fresh for each slice so one compiled set can
+/// serve concurrent scans.
+#[derive(Debug)]
+struct NfaPrepared {
+    set: compile::CompiledSet,
+}
+
+impl PreparedSearch for NfaPrepared {
+    fn site_len(&self) -> usize {
+        self.set.site_len
+    }
+
+    fn scan_slice(
         &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
+        seq: &[Base],
+        out: &mut Vec<Hit>,
         m: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        let compile_start = Instant::now();
-        validate_guides(guides, k)?;
-        let set = compile::compile_guides(guides, &CompileOptions::new(k))?;
-        let mut sim = Simulator::new(&set.automaton);
-        m.set_gauge("nfa_states", set.automaton.state_count() as f64);
-        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
-
+    ) -> Result<(), EngineError> {
         let scan_start = Instant::now();
-        let mut hits = Vec::new();
+        let mut sim = Simulator::new(&self.set.automaton);
         let mut reports = Vec::new();
-        for (ci, contig) in genome.contigs().iter().enumerate() {
-            sim.reset();
-            reports.clear();
-            m.counters.bit_steps += contig.len() as u64;
-            m.counters.windows_scanned += (contig.len() + 1).saturating_sub(set.site_len) as u64;
-            for base in contig.seq().iter() {
-                sim.step(base.code(), &mut reports);
-            }
-            m.counters.raw_hits += reports.len() as u64;
-            for report in &reports {
-                let code = ReportCode(report.code);
-                hits.push(Hit {
-                    contig: ci as u32,
-                    pos: (report.pos - set.site_len) as u64,
-                    guide: code.guide_index(),
-                    strand: code.strand(),
-                    mismatches: code.mismatches(),
-                });
-            }
+        m.counters.bit_steps += seq.len() as u64;
+        m.counters.windows_scanned += (seq.len() + 1).saturating_sub(self.set.site_len) as u64;
+        for base in seq {
+            sim.step(base.code(), &mut reports);
+        }
+        for report in &reports {
+            let code = ReportCode(report.code);
+            out.push(Hit {
+                contig: 0,
+                pos: (report.pos - self.set.site_len) as u64,
+                guide: code.guide_index(),
+                strand: code.strand(),
+                mismatches: code.mismatches(),
+            });
         }
         m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+        Ok(())
+    }
 
-        let report_start = Instant::now();
-        normalize(&mut hits);
-        m.phases.report_s += report_start.elapsed().as_secs_f64();
-        Ok(hits)
+    fn record_gauges(&self, m: &mut SearchMetrics) {
+        m.set_gauge("nfa_states", self.set.automaton.state_count() as f64);
     }
 }
 
@@ -79,19 +80,10 @@ impl Engine for NfaEngine {
         "nfa-frontier"
     }
 
-    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
-        self.scan(genome, guides, k, &mut SearchMetrics::default())
-    }
-
-    fn search_metered(
-        &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
-        metrics: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        metrics.engine = self.name().to_string();
-        self.scan(genome, guides, k, metrics)
+    fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError> {
+        validate_guides(guides, k)?;
+        let set = compile::compile_guides(guides, &CompileOptions::new(k))?;
+        Ok(Box::new(NfaPrepared { set }))
     }
 }
 

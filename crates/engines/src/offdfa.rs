@@ -8,10 +8,10 @@
 //! reports [`crispr_automata::AutomataError::DfaTooLarge`] where
 //! determinization stops being viable (charted by ablation A1).
 
-use crate::engine::{validate_guides, Engine};
+use crate::engine::{validate_guides, Engine, PreparedSearch};
 use crate::EngineError;
-use crispr_genome::{Base, Genome};
-use crispr_guides::{compile, normalize, CompileOptions, Guide, Hit, ReportCode};
+use crispr_genome::Base;
+use crispr_guides::{compile, CompileOptions, Guide, Hit, ReportCode};
 use crispr_model::SearchMetrics;
 use std::time::Instant;
 
@@ -59,54 +59,52 @@ impl DfaEngine {
         let dfa = if self.minimize { crispr_automata::minimize::minimize(&dfa) } else { dfa };
         Ok(dfa.state_count())
     }
+}
 
-    fn scan(
+/// Compiled form: the determinized transition table. The subset blow-up
+/// is paid exactly once here, however many slices are scanned.
+#[derive(Debug)]
+struct DfaPrepared {
+    dfa: crispr_automata::dfa::Dfa,
+    site_len: usize,
+}
+
+impl PreparedSearch for DfaPrepared {
+    fn site_len(&self) -> usize {
+        self.site_len
+    }
+
+    fn scan_slice(
         &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
+        seq: &[Base],
+        out: &mut Vec<Hit>,
         m: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        let compile_start = Instant::now();
-        validate_guides(guides, k)?;
-        let set = compile::compile_guides(guides, &CompileOptions::new(k))?;
-        let dfa = crispr_automata::subset::determinize(&set.automaton, 4, self.max_states)?;
-        let dfa = if self.minimize { crispr_automata::minimize::minimize(&dfa) } else { dfa };
-        m.set_gauge("dfa_states", dfa.state_count() as f64);
-        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+    ) -> Result<(), EngineError> {
+        let load_start = Instant::now();
+        let symbols: Vec<u8> = seq.iter().map(|b| b.code()).collect();
+        m.phases.genome_load_s += load_start.elapsed().as_secs_f64();
 
-        let mut hits = Vec::new();
+        let scan_start = Instant::now();
         let mut reports = Vec::new();
-        let mut symbols = Vec::new();
-        for (ci, contig) in genome.contigs().iter().enumerate() {
-            let load_start = Instant::now();
-            symbols.clear();
-            symbols.extend(contig.seq().iter().map(Base::code));
-            m.phases.genome_load_s += load_start.elapsed().as_secs_f64();
-
-            let scan_start = Instant::now();
-            reports.clear();
-            dfa.scan_into(&symbols, &mut reports)?;
-            m.counters.bit_steps += symbols.len() as u64;
-            m.counters.windows_scanned += (symbols.len() + 1).saturating_sub(set.site_len) as u64;
-            m.counters.raw_hits += reports.len() as u64;
-            for report in &reports {
-                let code = ReportCode(report.code);
-                hits.push(Hit {
-                    contig: ci as u32,
-                    pos: (report.pos - set.site_len) as u64,
-                    guide: code.guide_index(),
-                    strand: code.strand(),
-                    mismatches: code.mismatches(),
-                });
-            }
-            m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+        self.dfa.scan_into(&symbols, &mut reports)?;
+        m.counters.bit_steps += symbols.len() as u64;
+        m.counters.windows_scanned += (symbols.len() + 1).saturating_sub(self.site_len) as u64;
+        for report in &reports {
+            let code = ReportCode(report.code);
+            out.push(Hit {
+                contig: 0,
+                pos: (report.pos - self.site_len) as u64,
+                guide: code.guide_index(),
+                strand: code.strand(),
+                mismatches: code.mismatches(),
+            });
         }
+        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+        Ok(())
+    }
 
-        let report_start = Instant::now();
-        normalize(&mut hits);
-        m.phases.report_s += report_start.elapsed().as_secs_f64();
-        Ok(hits)
+    fn record_gauges(&self, m: &mut SearchMetrics) {
+        m.set_gauge("dfa_states", self.dfa.state_count() as f64);
     }
 }
 
@@ -115,19 +113,12 @@ impl Engine for DfaEngine {
         "dfa-subset"
     }
 
-    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
-        self.scan(genome, guides, k, &mut SearchMetrics::default())
-    }
-
-    fn search_metered(
-        &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
-        metrics: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        metrics.engine = self.name().to_string();
-        self.scan(genome, guides, k, metrics)
+    fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError> {
+        validate_guides(guides, k)?;
+        let set = compile::compile_guides(guides, &CompileOptions::new(k))?;
+        let dfa = crispr_automata::subset::determinize(&set.automaton, 4, self.max_states)?;
+        let dfa = if self.minimize { crispr_automata::minimize::minimize(&dfa) } else { dfa };
+        Ok(Box::new(DfaPrepared { dfa, site_len: set.site_len }))
     }
 }
 

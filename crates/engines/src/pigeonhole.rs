@@ -3,7 +3,7 @@
 //!
 //! By the pigeonhole principle, a site with ≤ k mismatches against a
 //! spacer split into k+1 segments must match at least one segment
-//! *exactly*. The engine builds one hash index of genome q-grams per
+//! *exactly*. The engine builds one [`QGramIndex`] of genome q-grams per
 //! distinct segment length, looks up every pattern segment, and verifies
 //! each candidate site with the scalar scorer. Results are identical to
 //! every other engine; cost shifts from scanning to indexing — fast for
@@ -11,12 +11,12 @@
 //! segments), the classic filtration trade-off charted in ablation A2/A1
 //! territory.
 
-use crate::engine::{patterns, validate_guides, Engine};
+use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
 use crate::EngineError;
-use crispr_genome::{Base, Genome};
-use crispr_guides::{normalize, Guide, Hit};
+use crispr_genome::kmer::QGramIndex;
+use crispr_genome::Base;
+use crispr_guides::{Guide, Hit, SitePattern};
 use crispr_model::SearchMetrics;
-use std::collections::HashMap;
 use std::time::Instant;
 
 /// Exact-seed pigeonhole filtration engine; see the module docs.
@@ -32,37 +32,106 @@ impl PigeonholeEngine {
     }
 }
 
-/// 2-bit packs up to 32 bases starting at `start`.
-fn pack_qgram(seq: &[Base], start: usize, len: usize) -> u64 {
-    debug_assert!(len <= 32);
-    let mut value = 0u64;
-    for (i, base) in seq[start..start + len].iter().enumerate() {
-        value |= (base.code() as u64) << (2 * i);
-    }
-    value
+/// One exact seed of one pattern.
+#[derive(Debug)]
+struct Seed {
+    pattern_idx: usize,
+    /// Offset of the seed within the site.
+    offset: usize,
+    qgram: u64,
+    len: usize,
 }
 
-impl PigeonholeEngine {
-    fn scan(
+/// Compiled form: the pattern list segmented into exact seeds, grouped by
+/// the distinct segment lengths that each need a genome index.
+#[derive(Debug)]
+struct PigeonholePrepared {
+    patterns: Vec<SitePattern>,
+    seeds: Vec<Seed>,
+    seg_lengths: Vec<usize>,
+    site_len: usize,
+    k: usize,
+}
+
+impl PreparedSearch for PigeonholePrepared {
+    fn site_len(&self) -> usize {
+        self.site_len
+    }
+
+    fn scan_slice(
         &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
+        seq: &[Base],
+        out: &mut Vec<Hit>,
         m: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        let compile_start = Instant::now();
+    ) -> Result<(), EngineError> {
+        if seq.len() < self.site_len {
+            return Ok(());
+        }
+        m.counters.windows_scanned += (seq.len() + 1 - self.site_len) as u64;
+        let mut candidates: Vec<(usize, usize)> = Vec::new(); // (pattern, site start)
+        for &len in &self.seg_lengths {
+            let index_start = Instant::now();
+            let index = QGramIndex::build_from_bases(seq, len);
+            m.phases.genome_load_s += index_start.elapsed().as_secs_f64();
+
+            let lookup_start = Instant::now();
+            for seed in self.seeds.iter().filter(|s| s.len == len) {
+                for &qpos in index.lookup(seed.qgram) {
+                    let qpos = qpos as usize;
+                    if qpos >= seed.offset {
+                        let site_start = qpos - seed.offset;
+                        if site_start + self.site_len <= seq.len() {
+                            candidates.push((seed.pattern_idx, site_start));
+                        }
+                    }
+                }
+            }
+            m.phases.kernel_scan_s += lookup_start.elapsed().as_secs_f64();
+        }
+        let verify_start = Instant::now();
+        candidates.sort_unstable();
+        candidates.dedup();
+        m.counters.seed_survivors += candidates.len() as u64;
+        for &(pi, start) in &candidates {
+            let pattern = &self.patterns[pi];
+            let window = &seq[start..start + self.site_len];
+            m.counters.candidates_verified += 1;
+            if let Some(mm) = pattern.score_window(window) {
+                if mm <= self.k {
+                    out.push(Hit {
+                        contig: 0,
+                        pos: start as u64,
+                        guide: pattern.guide_index(),
+                        strand: pattern.strand(),
+                        mismatches: mm as u8,
+                    });
+                } else {
+                    m.counters.early_exits += 1;
+                }
+            } else {
+                m.counters.early_exits += 1;
+            }
+        }
+        m.phases.kernel_scan_s += verify_start.elapsed().as_secs_f64();
+        Ok(())
+    }
+
+    fn record_gauges(&self, m: &mut SearchMetrics) {
+        m.set_gauge("seeds", self.seeds.len() as f64);
+    }
+}
+
+impl Engine for PigeonholeEngine {
+    fn name(&self) -> &'static str {
+        "pigeonhole-filtration"
+    }
+
+    fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError> {
         let site_len = validate_guides(guides, k)?;
         let patterns = patterns(guides);
 
         // Segment the counted positions of each pattern into k+1 exact
         // seeds. Counted runs are contiguous for real guides.
-        struct Seed {
-            pattern_idx: usize,
-            /// Offset of the seed within the site.
-            offset: usize,
-            qgram: u64,
-            len: usize,
-        }
         let mut seeds: Vec<Seed> = Vec::new();
         let mut seg_lengths: Vec<usize> = Vec::new();
         for (pi, pattern) in patterns.iter().enumerate() {
@@ -84,6 +153,11 @@ impl PigeonholeEngine {
                 let lo = s * n / segments;
                 let hi = (s + 1) * n / segments;
                 let len = hi - lo;
+                if len > 32 {
+                    return Err(EngineError::Unsupported(format!(
+                        "seed length {len} exceeds the 32-base q-gram limit; raise k"
+                    )));
+                }
                 let offset = counted[lo].0;
                 let mut qgram = 0u64;
                 for (i, &(_, base)) in counted[lo..hi].iter().enumerate() {
@@ -95,96 +169,7 @@ impl PigeonholeEngine {
                 }
             }
         }
-        m.set_gauge("seeds", seeds.len() as f64);
-        m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
-
-        // One q-gram index per distinct segment length, per contig.
-        let mut hits = Vec::new();
-        let mut candidates: Vec<(usize, usize)> = Vec::new(); // (pattern, site start)
-        for (ci, contig) in genome.contigs().iter().enumerate() {
-            if contig.len() < site_len {
-                continue;
-            }
-            let seq = contig.seq().as_slice();
-            m.counters.windows_scanned += (seq.len() + 1 - site_len) as u64;
-            candidates.clear();
-            for &len in &seg_lengths {
-                let index_start = Instant::now();
-                let mut index: HashMap<u64, Vec<u32>> = HashMap::new();
-                for start in 0..=seq.len() - len {
-                    index.entry(pack_qgram(seq, start, len)).or_default().push(start as u32);
-                }
-                m.phases.genome_load_s += index_start.elapsed().as_secs_f64();
-
-                let lookup_start = Instant::now();
-                for seed in seeds.iter().filter(|s| s.len == len) {
-                    if let Some(positions) = index.get(&seed.qgram) {
-                        for &qpos in positions {
-                            let qpos = qpos as usize;
-                            if qpos >= seed.offset {
-                                let site_start = qpos - seed.offset;
-                                if site_start + site_len <= seq.len() {
-                                    candidates.push((seed.pattern_idx, site_start));
-                                }
-                            }
-                        }
-                    }
-                }
-                m.phases.kernel_scan_s += lookup_start.elapsed().as_secs_f64();
-            }
-            let verify_start = Instant::now();
-            candidates.sort_unstable();
-            candidates.dedup();
-            m.counters.seed_survivors += candidates.len() as u64;
-            for &(pi, start) in &candidates {
-                let pattern = &patterns[pi];
-                let window = &seq[start..start + site_len];
-                m.counters.candidates_verified += 1;
-                if let Some(mm) = pattern.score_window(window) {
-                    if mm <= k {
-                        hits.push(Hit {
-                            contig: ci as u32,
-                            pos: start as u64,
-                            guide: pattern.guide_index(),
-                            strand: pattern.strand(),
-                            mismatches: mm as u8,
-                        });
-                    } else {
-                        m.counters.early_exits += 1;
-                    }
-                } else {
-                    m.counters.early_exits += 1;
-                }
-            }
-            m.phases.kernel_scan_s += verify_start.elapsed().as_secs_f64();
-        }
-        m.counters.raw_hits += hits.len() as u64;
-
-        let report_start = Instant::now();
-        normalize(&mut hits);
-        m.phases.report_s += report_start.elapsed().as_secs_f64();
-        Ok(hits)
-    }
-}
-
-impl Engine for PigeonholeEngine {
-    fn name(&self) -> &'static str {
-        "pigeonhole-filtration"
-    }
-
-    fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
-        self.scan(genome, guides, k, &mut SearchMetrics::default())
-    }
-
-    fn search_metered(
-        &self,
-        genome: &Genome,
-        guides: &[Guide],
-        k: usize,
-        metrics: &mut SearchMetrics,
-    ) -> Result<Vec<Hit>, EngineError> {
-        metrics.engine = self.name().to_string();
-        self.scan(genome, guides, k, metrics)
+        Ok(Box::new(PigeonholePrepared { patterns, seeds, seg_lengths, site_len, k }))
     }
 }
 
@@ -221,9 +206,22 @@ mod tests {
     }
 
     #[test]
+    fn seeds_longer_than_qgram_limit_are_rejected() {
+        // A 40-base spacer at k=0 would need one 40-base exact seed.
+        let genome = crispr_genome::Genome::from_seq("ACGT".repeat(20).parse().unwrap());
+        let guide =
+            Guide::new("g", "ACGT".repeat(10).parse().unwrap(), crispr_guides::Pam::ngg()).unwrap();
+        assert!(matches!(
+            PigeonholeEngine::new().search(&genome, &[guide], 0),
+            Err(EngineError::Unsupported(_))
+        ));
+    }
+
+    #[test]
     fn qgram_packing_is_positional() {
+        use crispr_genome::kmer::pack_qgram;
         let seq: Vec<Base> = "ACGT".parse::<crispr_genome::DnaSeq>().unwrap().into_bases();
-        assert_eq!(pack_qgram(&seq, 0, 4), 0b11_10_01_00);
-        assert_eq!(pack_qgram(&seq, 1, 2), 0b10_01);
+        assert_eq!(pack_qgram(&seq[0..4]), 0b11_10_01_00);
+        assert_eq!(pack_qgram(&seq[1..3]), 0b10_01);
     }
 }

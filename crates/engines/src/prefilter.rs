@@ -1,0 +1,239 @@
+//! The shared PAM-anchor prefilter deployment: anchor with
+//! [`crispr_genome::pamindex`], verify candidates on the 2-bit packing.
+//!
+//! Every CPU engine whose patterns carry a selective PAM can trade its
+//! full per-window scan for anchor-and-verify: one linear bitwise pass
+//! marks the windows whose PAM positions match
+//! ([`crispr_genome::pamindex::AnchorScanner`]), and
+//! only those — ~1/16 of positions for `NGG`, both strands together ~1/8
+//! — reach a packed XOR/popcount spacer comparison. The filter is
+//! *PAM-exact*: a window passes the anchor iff its PAM matches, because
+//! the anchor signature contains every uncounted position with degeneracy
+//! < 4 and the remaining uncounted positions (`N`) match any base. The
+//! prefiltered scan therefore produces byte-identical hits to the full
+//! scan it replaces, and `pam_anchors_tested` counts the same events
+//! either way — which is what lets the existing counters meter filter
+//! efficiency directly.
+
+use crate::engine::AnchorGroup;
+use crispr_genome::{Base, PackedSeq, Strand};
+use crispr_guides::{Hit, SitePattern};
+use crispr_model::SearchMetrics;
+use std::time::Instant;
+
+/// One pattern lowered to the packed-verify form: the concrete spacer run
+/// as a [`PackedSeq`] plus its offset within the site. PAM positions are
+/// *absent* — the anchor already proved them.
+#[derive(Debug)]
+pub(crate) struct PackedPattern {
+    spacer: PackedSeq,
+    spacer_offset: usize,
+    /// The whole spacer as one right-aligned 2-bit word when it fits 32
+    /// bases (every real guide does) — the one-XOR verify fast path.
+    word: Option<u64>,
+    guide_index: u32,
+    strand: Strand,
+}
+
+impl PackedPattern {
+    /// Lowers `pattern`, or `None` when the packed compare does not apply:
+    /// the counted run is non-contiguous or contains a degenerate class.
+    /// Real guide patterns (concrete spacer, IUPAC PAM) always lower.
+    fn new(pattern: &SitePattern) -> Option<PackedPattern> {
+        let mut bases = Vec::new();
+        let mut spacer_offset = None;
+        for (i, pos) in pattern.positions().iter().enumerate() {
+            if !pos.counted {
+                continue;
+            }
+            let offset = *spacer_offset.get_or_insert(i);
+            if i != offset + bases.len() || pos.class.degeneracy() != 1 {
+                return None;
+            }
+            bases.push(pos.class.bases().next().expect("degeneracy 1 has a base"));
+        }
+        let spacer = PackedSeq::from_bases(&bases);
+        let word = (bases.len() <= 32).then(|| spacer.window_word(0, bases.len()));
+        Some(PackedPattern {
+            spacer,
+            spacer_offset: spacer_offset?,
+            word,
+            guide_index: pattern.guide_index(),
+            strand: pattern.strand(),
+        })
+    }
+}
+
+/// Signature-grouped anchor scanners for `patterns` plus their summed hit
+/// rate, or `None` when anchoring does not apply (unanchorable pattern,
+/// rate above [`crate::engine::ANCHOR_MAX_RATE`], or an anchor outside
+/// the window). The common planning step for every prefiltered engine;
+/// engines with bespoke verifiers (CasOT's seed split) consume the plan
+/// directly instead of through [`AnchoredScan`].
+pub(crate) fn anchor_plan(
+    patterns: &[SitePattern],
+    site_len: usize,
+) -> Option<(Vec<AnchorGroup>, f64)> {
+    let groups = crate::engine::anchor_groups(patterns, crate::engine::ANCHOR_MAX_RATE)?;
+    if groups.iter().any(|(scanner, _)| scanner.span() > site_len) {
+        return None;
+    }
+    let rate = crate::engine::anchor_rate(&groups);
+    Some((groups, rate))
+}
+
+/// A compiled anchor-and-verify deployment for one pattern set: anchor
+/// scanners grouped by PAM signature, plus one packed verifier per
+/// pattern. Built once at [`crate::Engine::prepare`] time, scanned against
+/// any number of slices.
+#[derive(Debug)]
+pub(crate) struct AnchoredScan {
+    /// `(scanner, member pattern indices)` per distinct anchor signature.
+    groups: Vec<AnchorGroup>,
+    /// Verifiers indexed like the pattern list the groups refer into.
+    verifiers: Vec<PackedPattern>,
+    site_len: usize,
+    /// Summed per-group anchor hit rate — the `anchor_rate` gauge value.
+    rate: f64,
+}
+
+impl AnchoredScan {
+    /// Compiles the deployment, or `None` when prefiltering does not
+    /// apply: some pattern is unanchorable (`Pam::none()`), the combined
+    /// candidate rate exceeds [`crate::engine::ANCHOR_MAX_RATE`] (full
+    /// scan is cheaper), an anchor falls outside the window, or a pattern
+    /// does not lower to the packed compare.
+    pub fn build(patterns: &[SitePattern], site_len: usize) -> Option<AnchoredScan> {
+        let (groups, rate) = anchor_plan(patterns, site_len)?;
+        let verifiers = patterns.iter().map(PackedPattern::new).collect::<Option<Vec<_>>>()?;
+        Some(AnchoredScan { groups, verifiers, site_len, rate })
+    }
+
+    /// Summed anchor hit rate across groups.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Scans one slice: pack (`genome_load_s`), anchor + verify
+    /// (`kernel_scan_s`), appending slice-relative hits. Counter semantics
+    /// match the unfiltered brute-force scan: `windows_scanned` counts all
+    /// windows, `pam_anchors_tested` counts `(window, pattern)` PAM
+    /// passes, and verification outcomes land in `candidates_verified` /
+    /// `early_exits`.
+    pub fn scan_slice(&self, seq: &[Base], k: usize, out: &mut Vec<Hit>, m: &mut SearchMetrics) {
+        if seq.len() < self.site_len {
+            return;
+        }
+        let load_start = Instant::now();
+        let packed = PackedSeq::from_bases(seq);
+        m.phases.genome_load_s += load_start.elapsed().as_secs_f64();
+
+        let scan_start = Instant::now();
+        m.counters.windows_scanned += (seq.len() + 1 - self.site_len) as u64;
+        for (scanner, members) in &self.groups {
+            for start in &scanner.candidates(&packed, self.site_len) {
+                // Group members share a PAM signature, hence a spacer
+                // offset and length: extract the window word once per
+                // candidate and XOR it against each member's spacer word.
+                let mut cached = (usize::MAX, 0usize);
+                let mut window = 0u64;
+                for &pi in members {
+                    m.counters.pam_anchors_tested += 1;
+                    let v = &self.verifiers[pi];
+                    let verdict = match v.word {
+                        Some(word) => {
+                            let key = (start + v.spacer_offset, v.spacer.len());
+                            if key != cached {
+                                window = packed.window_word(key.0, key.1);
+                                cached = key;
+                            }
+                            let diff = window ^ word;
+                            let lanes = (diff | (diff >> 1)) & 0x5555_5555_5555_5555;
+                            let mm = lanes.count_ones() as usize;
+                            (mm <= k).then_some(mm)
+                        }
+                        None => packed.count_mismatches(&v.spacer, start + v.spacer_offset, k),
+                    };
+                    match verdict {
+                        Some(mm) => {
+                            m.counters.candidates_verified += 1;
+                            out.push(Hit {
+                                contig: 0,
+                                pos: start as u64,
+                                guide: v.guide_index,
+                                strand: v.strand,
+                                mismatches: mm as u8,
+                            });
+                        }
+                        None => m.counters.early_exits += 1,
+                    }
+                }
+            }
+        }
+        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::patterns;
+    use crispr_guides::{Guide, Pam};
+
+    fn guide(pam: Pam) -> Guide {
+        Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), pam).unwrap()
+    }
+
+    #[test]
+    fn builds_for_every_real_pam() {
+        for (pam, rate) in [
+            (Pam::ngg(), 2.0 / 16.0),
+            (Pam::nag(), 2.0 / 16.0),
+            (Pam::nrg(), 2.0 / 8.0),
+            (Pam::nngrrt(), 2.0 / 64.0),
+            (Pam::tttv(), 2.0 * (3.0 / 4.0) / 64.0),
+        ] {
+            let pats = patterns(&[guide(pam.clone())]);
+            let scan = AnchoredScan::build(&pats, pats[0].len())
+                .unwrap_or_else(|| panic!("{pam:?} should anchor"));
+            assert!((scan.rate() - rate).abs() < 1e-12, "{pam:?}");
+        }
+    }
+
+    #[test]
+    fn pamless_patterns_do_not_build() {
+        let pats = patterns(&[guide(Pam::none())]);
+        assert!(AnchoredScan::build(&pats, pats[0].len()).is_none());
+    }
+
+    #[test]
+    fn anchored_scan_matches_brute_force_on_a_slice() {
+        let pats = patterns(&[guide(Pam::ngg())]);
+        let site_len = pats[0].len();
+        let scan = AnchoredScan::build(&pats, site_len).unwrap();
+        let text: crispr_genome::DnaSeq =
+            "TTTTGATTACAGATTACAGATTACTGGAAAAGATTACAGATTACAGATCACAGGCC".parse().unwrap();
+        let k = 2;
+        let mut m = SearchMetrics::default();
+        let mut got = Vec::new();
+        scan.scan_slice(text.as_slice(), k, &mut got, &mut m);
+
+        let mut want = Vec::new();
+        for start in 0..=text.len() - site_len {
+            for p in &pats {
+                if let Some(mm) = p.score_window(&text.as_slice()[start..start + site_len]) {
+                    if mm <= k {
+                        want.push((start as u64, p.guide_index(), p.strand(), mm as u8));
+                    }
+                }
+            }
+        }
+        let mut got_keys: Vec<_> =
+            got.iter().map(|h| (h.pos, h.guide, h.strand, h.mismatches)).collect();
+        got_keys.sort_unstable();
+        want.sort_unstable();
+        assert_eq!(got_keys, want);
+        assert!(m.counters.pam_anchors_tested > 0);
+        assert!(m.counters.windows_scanned >= m.counters.pam_anchors_tested);
+    }
+}

@@ -44,6 +44,16 @@ impl QGramIndex {
     ///
     /// Panics if `q` is 0 or greater than 32.
     pub fn build(seq: &DnaSeq, q: usize) -> QGramIndex {
+        QGramIndex::build_from_bases(seq.as_slice(), q)
+    }
+
+    /// Builds the index over every window of a borrowed base slice — the
+    /// entry point for engines scanning borrowed genome slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is 0 or greater than 32.
+    pub fn build_from_bases(seq: &[Base], q: usize) -> QGramIndex {
         assert!((1..=32).contains(&q), "q must be within 1..=32");
         let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
         if seq.len() >= q {

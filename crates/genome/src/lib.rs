@@ -8,6 +8,10 @@
 //! * [`DnaSeq`] — an owned, validated DNA sequence with reverse-complement and
 //!   slicing support, and [`PackedSeq`] — the 2-bit-packed representation used
 //!   by the brute-force (Cas-OFFinder-class) comparison kernels.
+//! * [`pamindex`] — the PAM-anchor prefilter: one linear pass over a packed
+//!   slice yielding a bitmask of candidate site starts, shared by the CPU
+//!   engines as a skip-ahead, and [`kmer`] — q-gram indexing for
+//!   filtration-style engines.
 //! * [`fasta`] — a minimal FASTA reader/writer.
 //! * [`Genome`] — a set of named contigs with window iteration over both
 //!   strands.
@@ -35,6 +39,7 @@ pub mod fasta;
 mod genome;
 pub mod kmer;
 mod packed;
+pub mod pamindex;
 mod seq;
 pub mod synth;
 

@@ -1,4 +1,4 @@
-use crate::{Base, DnaSeq};
+use crate::{Base, DnaSeq, IupacCode};
 
 /// A 2-bit-packed DNA sequence (four bases per byte).
 ///
@@ -34,11 +34,21 @@ impl PackedSeq {
 
     /// Packs a [`DnaSeq`].
     pub fn from_seq(seq: &DnaSeq) -> PackedSeq {
-        let mut packed = PackedSeq::with_capacity(seq.len());
-        for base in seq.iter() {
-            packed.push(base);
+        PackedSeq::from_bases(seq.as_slice())
+    }
+
+    /// Packs a borrowed base slice without an intermediate [`DnaSeq`] —
+    /// the entry point for engines that scan borrowed genome slices.
+    pub fn from_bases(bases: &[Base]) -> PackedSeq {
+        let mut words = Vec::with_capacity(bases.len().div_ceil(BASES_PER_WORD));
+        for chunk in bases.chunks(BASES_PER_WORD) {
+            let mut word = 0u64;
+            for (i, base) in chunk.iter().enumerate() {
+                word |= (base.code() as u64) << (2 * i);
+            }
+            words.push(word);
         }
-        packed
+        PackedSeq { words, len: bases.len() }
     }
 
     /// Creates an empty packed sequence with room for `capacity` bases.
@@ -132,6 +142,46 @@ impl PackedSeq {
         Some(mismatches)
     }
 
+    /// Position bitmask of the bases accepted by `class`: bit `p % 64` of
+    /// word `p / 64` of the result is set iff `class.matches(self.base(p))`.
+    ///
+    /// One output word condenses two packed words. Each packed word is
+    /// reduced by broadcasting a base code to all 2-bit lanes, XOR-ing,
+    /// and detecting zero lanes, then gathering the per-lane bits with an
+    /// even-bit compress — about a dozen word operations per 32 bases per
+    /// concrete base of the class. This is the linear pass the
+    /// [`crate::pamindex`] PAM-anchor prefilter is built on.
+    pub fn match_mask(&self, class: IupacCode) -> Vec<u64> {
+        let mut out = vec![0u64; self.len.div_ceil(2 * BASES_PER_WORD)];
+        for (o, slot) in out.iter_mut().enumerate() {
+            let lo = self.words.get(2 * o).copied().unwrap_or(0);
+            let hi = self.words.get(2 * o + 1).copied().unwrap_or(0);
+            *slot = eq_positions(lo, class) as u64 | ((eq_positions(hi, class) as u64) << 32);
+        }
+        // Tail lanes of the last packed word are zero (= A) and must not
+        // leak spurious matches past the sequence end.
+        if !self.len.is_multiple_of(64) {
+            if let Some(last) = out.last_mut() {
+                *last &= (1u64 << (self.len % 64)) - 1;
+            }
+        }
+        out
+    }
+
+    /// Extracts `count` bases starting at `index` as a right-aligned
+    /// 2-bit-per-base word; lanes beyond `count` are zero. The public
+    /// entry point for word-at-a-time verifiers (the PAM-anchor
+    /// prefilter compares one extracted window word against many
+    /// precomputed spacer words).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32` or `index + count > self.len()` (debug
+    /// builds; release builds may return garbage instead).
+    pub fn window_word(&self, index: usize, count: usize) -> u64 {
+        self.extract_word(index, count)
+    }
+
     /// Extracts `count ≤ 32` bases starting at `index` as a right-aligned
     /// 2-bit-per-base word; lanes beyond `count` are zero.
     fn extract_word(&self, index: usize, count: usize) -> u64 {
@@ -148,6 +198,33 @@ impl PackedSeq {
         }
         value
     }
+}
+
+/// Per-base match positions of one packed word against `class`,
+/// compressed to one bit per base: bit `i` of the result is set iff lane
+/// `i` of `word` holds a base the class accepts.
+fn eq_positions(word: u64, class: IupacCode) -> u32 {
+    const LOW_LANE_BITS: u64 = 0x5555_5555_5555_5555;
+    let mut lanes = 0u64;
+    for base in Base::ALL {
+        if class.matches(base) {
+            let broadcast = LOW_LANE_BITS.wrapping_mul(base.code() as u64);
+            let diff = word ^ broadcast;
+            lanes |= !(diff | (diff >> 1)) & LOW_LANE_BITS;
+        }
+    }
+    compress_even_bits(lanes)
+}
+
+/// Gathers the even bits of `x` (bit `2i` → bit `i` of the result).
+fn compress_even_bits(mut x: u64) -> u32 {
+    x &= 0x5555_5555_5555_5555;
+    x = (x | (x >> 1)) & 0x3333_3333_3333_3333;
+    x = (x | (x >> 2)) & 0x0F0F_0F0F_0F0F_0F0F;
+    x = (x | (x >> 4)) & 0x00FF_00FF_00FF_00FF;
+    x = (x | (x >> 8)) & 0x0000_FFFF_0000_FFFF;
+    x = (x | (x >> 16)) & 0x0000_0000_FFFF_FFFF;
+    x as u32
 }
 
 impl From<&DnaSeq> for PackedSeq {
@@ -235,5 +312,47 @@ mod tests {
     fn collect_from_iterator() {
         let packed: PackedSeq = Base::ALL.into_iter().collect();
         assert_eq!(packed.unpack().to_string(), "ACGT");
+    }
+
+    #[test]
+    fn from_bases_equals_from_seq() {
+        let text = seq(&"ACGTGCTA".repeat(17));
+        for len in [0, 1, 31, 32, 33, 63, 64, 65, 130] {
+            let original = text.subseq(0..len);
+            assert_eq!(
+                PackedSeq::from_bases(original.as_slice()),
+                PackedSeq::from_seq(&original),
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn match_mask_agrees_with_scalar_matching() {
+        // Lengths straddling every word boundary: packed-word (32),
+        // mask-word (64), and ragged tails.
+        let text = seq(&"GATTACAGGCCTAGGT".repeat(10)); // 160 bases
+        for len in [0, 1, 5, 31, 32, 33, 63, 64, 65, 96, 127, 128, 129, 160] {
+            let prefix = text.subseq(0..len);
+            let packed = PackedSeq::from_seq(&prefix);
+            for letter in *b"ACGTRYSWKMBDHVN" {
+                let class = IupacCode::from_ascii(letter).unwrap();
+                let mask = packed.match_mask(class);
+                assert_eq!(mask.len(), len.div_ceil(64), "len {len}");
+                for p in 0..len {
+                    let bit = mask[p / 64] >> (p % 64) & 1 == 1;
+                    assert_eq!(
+                        bit,
+                        class.matches(prefix[p]),
+                        "len {len} pos {p} class {}",
+                        letter as char
+                    );
+                }
+                // No bits past the end.
+                if len % 64 != 0 {
+                    assert_eq!(mask[len / 64] >> (len % 64), 0, "tail leak at len {len}");
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,287 @@
+//! PAM-anchor prefiltering: one linear pass over a 2-bit packed slice
+//! that yields a bitmask of candidate site starts.
+//!
+//! Off-target sites are anchored by their PAM: only ~1/16 of genome
+//! positions carry an `NGG`, yet a full scan pays per-pattern work at
+//! *every* position. An [`AnchorScanner`] holds the selective anchor
+//! positions of one pattern class — e.g. forward-strand `NGG` requires
+//! `G` at site offsets 21 and 22 — and intersects per-class position
+//! bitmaps ([`crate::PackedSeq::match_mask`]) shifted by each anchor
+//! offset. The result is a [`CandidateMask`] whose set bits are exactly
+//! the window starts where every anchor position matches; engines verify
+//! only those. This is the pre-alignment-filter shape of GateKeeper-class
+//! tools: a cheap bitwise pass in front of an expensive verifier.
+//!
+//! ```
+//! use crispr_genome::pamindex::AnchorScanner;
+//! use crispr_genome::{IupacCode, PackedSeq};
+//!
+//! // Forward-strand NGG on a 23-base site: G at offsets 21 and 22.
+//! let g = IupacCode::from_ascii(b'G').unwrap();
+//! let scanner = AnchorScanner::new(vec![(21, g), (22, g)]).unwrap();
+//! let text: crispr_genome::DnaSeq =
+//!     "ACGTACGTACGTACGTACGTAGGACGTACGTACGTACGTACGTACGG".parse()?;
+//! let candidates = scanner.candidates(&PackedSeq::from_seq(&text), 23);
+//! // Two anchored windows: the planted AGG at 21 and the trailing CGG.
+//! assert_eq!(candidates.iter().collect::<Vec<_>>(), vec![0, 24]);
+//! # Ok::<(), crispr_genome::GenomeError>(())
+//! ```
+
+use crate::{IupacCode, PackedSeq};
+
+/// The selective anchor positions of one pattern class: `(site offset,
+/// accepted bases)` pairs that a window must satisfy to be a candidate.
+#[derive(Debug, Clone)]
+pub struct AnchorScanner {
+    /// Anchor pairs sorted by offset.
+    pairs: Vec<(usize, IupacCode)>,
+    /// Distinct classes among the pairs (mask computed once per class).
+    classes: Vec<IupacCode>,
+    /// One past the largest anchored offset.
+    span: usize,
+}
+
+impl AnchorScanner {
+    /// Builds a scanner from anchor pairs. Returns `None` when there is
+    /// nothing to anchor on — no pairs at all, or a pair whose class
+    /// accepts no base (the scan would be degenerate either way).
+    pub fn new(mut pairs: Vec<(usize, IupacCode)>) -> Option<AnchorScanner> {
+        if pairs.is_empty() || pairs.iter().any(|&(_, c)| c.degeneracy() == 0) {
+            return None;
+        }
+        pairs.sort_by_key(|&(offset, _)| offset);
+        let span = pairs.last().expect("non-empty").0 + 1;
+        let mut classes: Vec<IupacCode> = Vec::new();
+        for &(_, class) in &pairs {
+            if !classes.contains(&class) {
+                classes.push(class);
+            }
+        }
+        Some(AnchorScanner { pairs, classes, span })
+    }
+
+    /// The anchor pairs, sorted by offset.
+    pub fn pairs(&self) -> &[(usize, IupacCode)] {
+        &self.pairs
+    }
+
+    /// One past the largest anchored offset — the minimum window length
+    /// this scanner can filter for.
+    pub fn span(&self) -> usize {
+        self.span
+    }
+
+    /// Expected fraction of random positions passing all anchors —
+    /// `NGG`'s two concrete positions give 1/16, `NRG`'s 1/8.
+    pub fn hit_rate(&self) -> f64 {
+        self.pairs.iter().map(|&(_, c)| f64::from(c.degeneracy()) / 4.0).product()
+    }
+
+    /// Candidate starts in `packed`: positions where a `window`-length
+    /// site fits and every anchor position matches its class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < self.span()` (an anchor would fall outside the
+    /// window).
+    pub fn candidates(&self, packed: &PackedSeq, window: usize) -> CandidateMask {
+        assert!(window >= self.span, "window {window} shorter than anchor span {}", self.span);
+        let limit = (packed.len() + 1).saturating_sub(window.max(1));
+        let words = limit.div_ceil(64);
+        if words == 0 {
+            return CandidateMask { words: Vec::new(), limit: 0 };
+        }
+        let class_masks: Vec<(IupacCode, Vec<u64>)> =
+            self.classes.iter().map(|&c| (c, packed.match_mask(c))).collect();
+        let mut acc = vec![u64::MAX; words];
+        for &(offset, class) in &self.pairs {
+            let mask = &class_masks
+                .iter()
+                .find(|(c, _)| *c == class)
+                .expect("every pair class is cached")
+                .1;
+            and_shifted(&mut acc, mask, offset);
+        }
+        if !limit.is_multiple_of(64) {
+            *acc.last_mut().expect("words > 0") &= (1u64 << (limit % 64)) - 1;
+        }
+        CandidateMask { words: acc, limit }
+    }
+}
+
+/// In-place `acc[p] &= mask[p + offset]` at bit granularity.
+fn and_shifted(acc: &mut [u64], mask: &[u64], offset: usize) {
+    let word_shift = offset / 64;
+    let bit_shift = offset % 64;
+    for (i, slot) in acc.iter_mut().enumerate() {
+        let lo = mask.get(i + word_shift).copied().unwrap_or(0) >> bit_shift;
+        let hi = if bit_shift == 0 {
+            0
+        } else {
+            mask.get(i + word_shift + 1).copied().unwrap_or(0) << (64 - bit_shift)
+        };
+        *slot &= lo | hi;
+    }
+}
+
+/// The set of candidate window starts produced by one
+/// [`AnchorScanner::candidates`] pass, as a position bitmask.
+#[derive(Debug, Clone)]
+pub struct CandidateMask {
+    words: Vec<u64>,
+    limit: usize,
+}
+
+impl CandidateMask {
+    /// Number of candidate starts.
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Number of valid window starts considered (candidates or not).
+    pub fn limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Whether `pos` is a candidate start.
+    pub fn contains(&self, pos: usize) -> bool {
+        pos < self.limit && self.words[pos / 64] >> (pos % 64) & 1 == 1
+    }
+
+    /// Iterates candidate starts in ascending order.
+    pub fn iter(&self) -> Candidates<'_> {
+        Candidates { words: &self.words, next_word: 0, current: 0 }
+    }
+}
+
+impl<'a> IntoIterator for &'a CandidateMask {
+    type Item = usize;
+    type IntoIter = Candidates<'a>;
+
+    fn into_iter(self) -> Candidates<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over the set bits of a [`CandidateMask`].
+#[derive(Debug)]
+pub struct Candidates<'a> {
+    words: &'a [u64],
+    next_word: usize,
+    current: u64,
+}
+
+impl Iterator for Candidates<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                return Some((self.next_word - 1) * 64 + bit);
+            }
+            if self.next_word == self.words.len() {
+                return None;
+            }
+            self.current = self.words[self.next_word];
+            self.next_word += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Base, DnaSeq};
+
+    fn seq(s: &str) -> DnaSeq {
+        s.parse().unwrap()
+    }
+
+    fn class(letter: u8) -> IupacCode {
+        IupacCode::from_ascii(letter).unwrap()
+    }
+
+    /// Candidate starts computed the slow way.
+    fn scalar_candidates(text: &DnaSeq, pairs: &[(usize, IupacCode)], window: usize) -> Vec<usize> {
+        if text.len() < window {
+            return Vec::new();
+        }
+        (0..=text.len() - window)
+            .filter(|&start| pairs.iter().all(|&(off, c)| c.matches(text[start + off])))
+            .collect()
+    }
+
+    #[test]
+    fn agrees_with_scalar_on_mixed_content() {
+        // Deterministic but irregular content spanning several mask words.
+        let mut text = DnaSeq::default();
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..700 {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            text.push(Base::from_code((state >> 33) as u8));
+        }
+        let packed = PackedSeq::from_seq(&text);
+        let cases: Vec<(Vec<(usize, IupacCode)>, usize)> = vec![
+            (vec![(21, class(b'G')), (22, class(b'G'))], 23), // NGG forward
+            (vec![(0, class(b'C')), (1, class(b'C'))], 23),   // NGG reverse image
+            (vec![(21, class(b'R')), (22, class(b'G'))], 23), // NRG-ish
+            (vec![(2, class(b'G')), (3, class(b'R')), (4, class(b'R')), (5, class(b'T'))], 26),
+            (vec![(0, class(b'N')), (7, class(b'S'))], 9), // degenerate + N
+            (vec![(63, class(b'T')), (64, class(b'A'))], 70), // word-boundary offsets
+        ];
+        for (pairs, window) in cases {
+            let scanner = AnchorScanner::new(pairs.clone()).unwrap();
+            let got: Vec<usize> = scanner.candidates(&packed, window).iter().collect();
+            assert_eq!(got, scalar_candidates(&text, &pairs, window), "pairs {pairs:?}");
+        }
+    }
+
+    #[test]
+    fn count_limit_and_contains_are_consistent() {
+        let text = seq(&"ACGTAGGT".repeat(20)); // 160 bases
+        let scanner = AnchorScanner::new(vec![(5, class(b'G')), (6, class(b'G'))]).unwrap();
+        let mask = scanner.candidates(&PackedSeq::from_seq(&text), 8);
+        assert_eq!(mask.limit(), 153);
+        let listed: Vec<usize> = mask.iter().collect();
+        assert_eq!(listed.len(), mask.count());
+        for &pos in &listed {
+            assert!(mask.contains(pos));
+        }
+        assert!(!mask.contains(mask.limit()));
+    }
+
+    #[test]
+    fn sequences_shorter_than_one_window_yield_nothing() {
+        let scanner = AnchorScanner::new(vec![(21, class(b'G')), (22, class(b'G'))]).unwrap();
+        for text in ["", "A", "ACGTACGTACGTACGTACGTAG"] {
+            let mask = scanner.candidates(&PackedSeq::from_seq(&seq(text)), 23);
+            assert_eq!(mask.count(), 0, "text {text:?}");
+            assert_eq!(mask.limit(), 0, "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn hit_rates_match_pam_degeneracy() {
+        let ngg = AnchorScanner::new(vec![(21, class(b'G')), (22, class(b'G'))]).unwrap();
+        assert!((ngg.hit_rate() - 1.0 / 16.0).abs() < 1e-12);
+        let nrg = AnchorScanner::new(vec![(21, class(b'R')), (22, class(b'G'))]).unwrap();
+        assert!((nrg.hit_rate() - 1.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unanchorable_inputs_are_rejected() {
+        assert!(AnchorScanner::new(Vec::new()).is_none());
+        assert!(AnchorScanner::new(vec![(3, IupacCode::NONE)]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than anchor span")]
+    fn window_shorter_than_span_panics() {
+        let scanner = AnchorScanner::new(vec![(10, class(b'G'))]).unwrap();
+        let _ = scanner.candidates(&PackedSeq::from_seq(&seq("ACGTACGTACGTACGT")), 5);
+    }
+}

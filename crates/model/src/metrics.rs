@@ -38,6 +38,15 @@ impl PhaseSpans {
     pub fn total_s(&self) -> f64 {
         self.genome_load_s + self.guide_compile_s + self.kernel_scan_s + self.report_s
     }
+
+    /// Adds `other` into `self`, span-wise — used to fold worker-thread
+    /// phase spans into an aggregate.
+    pub fn merge(&mut self, other: &PhaseSpans) {
+        self.genome_load_s += other.genome_load_s;
+        self.guide_compile_s += other.guide_compile_s;
+        self.kernel_scan_s += other.kernel_scan_s;
+        self.report_s += other.report_s;
+    }
 }
 
 /// Work counters engines increment while scanning.
@@ -61,6 +70,11 @@ pub struct EngineCounters {
     pub candidates_verified: u64,
     /// Hits emitted before normalization/dedup.
     pub raw_hits: u64,
+    /// Genome bases copied into scratch buffers (chunking, re-packing of
+    /// owned sub-genomes). The parallel deployment scans borrowed slices,
+    /// so this should stay zero — a nonzero value flags a reintroduced
+    /// per-chunk copy.
+    pub bytes_copied: u64,
 }
 
 impl EngineCounters {
@@ -73,6 +87,7 @@ impl EngineCounters {
         self.early_exits += other.early_exits;
         self.candidates_verified += other.candidates_verified;
         self.raw_hits += other.raw_hits;
+        self.bytes_copied += other.bytes_copied;
     }
 
     /// True if any counter was incremented.
@@ -84,6 +99,7 @@ impl EngineCounters {
             + self.early_exits
             + self.candidates_verified
             + self.raw_hits
+            + self.bytes_copied
             > 0
     }
 }
@@ -112,6 +128,11 @@ pub struct ParallelMetrics {
     pub chunk_len_max: u64,
     /// Overlap between adjacent chunks (`site_len − 1`).
     pub overlap: u64,
+    /// Phase spans summed across worker threads (CPU-seconds, not
+    /// wall-clock). With the prepare/scan split workers never compile, so
+    /// `worker_phases.guide_compile_s` must stay zero; packing/indexing
+    /// workers perform per chunk surfaces in `genome_load_s`.
+    pub worker_phases: PhaseSpans,
 }
 
 impl ParallelMetrics {
@@ -201,7 +222,7 @@ impl SearchMetrics {
         ));
         let c = &self.counters;
         out.push_str(&format!(
-            "\"counters\":{{\"windows_scanned\":{},\"pam_anchors_tested\":{},\"seed_survivors\":{},\"bit_steps\":{},\"early_exits\":{},\"candidates_verified\":{},\"raw_hits\":{}}}",
+            "\"counters\":{{\"windows_scanned\":{},\"pam_anchors_tested\":{},\"seed_survivors\":{},\"bit_steps\":{},\"early_exits\":{},\"candidates_verified\":{},\"raw_hits\":{},\"bytes_copied\":{}}}",
             c.windows_scanned,
             c.pam_anchors_tested,
             c.seed_survivors,
@@ -209,11 +230,19 @@ impl SearchMetrics {
             c.early_exits,
             c.candidates_verified,
             c.raw_hits,
+            c.bytes_copied,
         ));
         if let Some(p) = &self.parallel {
             out.push_str(&format!(
-                ",\"parallel\":{{\"chunks_total\":{},\"chunk_len_min\":{},\"chunk_len_max\":{},\"overlap\":{},\"threads\":[",
-                p.chunks_total, p.chunk_len_min, p.chunk_len_max, p.overlap,
+                ",\"parallel\":{{\"chunks_total\":{},\"chunk_len_min\":{},\"chunk_len_max\":{},\"overlap\":{},\"worker_phases\":{{\"genome_load_s\":{},\"guide_compile_s\":{},\"kernel_scan_s\":{},\"report_s\":{}}},\"threads\":[",
+                p.chunks_total,
+                p.chunk_len_min,
+                p.chunk_len_max,
+                p.overlap,
+                num(p.worker_phases.genome_load_s),
+                num(p.worker_phases.guide_compile_s),
+                num(p.worker_phases.kernel_scan_s),
+                num(p.worker_phases.report_s),
             ));
             for (i, t) in p.threads.iter().enumerate() {
                 if i > 0 {
@@ -304,6 +333,25 @@ mod tests {
         assert_eq!(a.raw_hits, 2);
         assert!(a.any_nonzero());
         assert!(!EngineCounters::default().any_nonzero());
+        // A lone copy regression still registers.
+        let copied = EngineCounters { bytes_copied: 1, ..Default::default() };
+        assert!(copied.any_nonzero());
+    }
+
+    #[test]
+    fn phase_spans_merge_is_span_wise() {
+        let mut a = PhaseSpans { kernel_scan_s: 1.0, ..PhaseSpans::default() };
+        let b = PhaseSpans {
+            genome_load_s: 0.5,
+            guide_compile_s: 0.25,
+            kernel_scan_s: 2.0,
+            report_s: 0.125,
+        };
+        a.merge(&b);
+        assert_eq!(a.kernel_scan_s, 3.0);
+        assert_eq!(a.genome_load_s, 0.5);
+        assert_eq!(a.guide_compile_s, 0.25);
+        assert_eq!(a.report_s, 0.125);
     }
 
     #[test]
@@ -317,6 +365,7 @@ mod tests {
             chunk_len_min: 100,
             chunk_len_max: 120,
             overlap: 22,
+            worker_phases: PhaseSpans::default(),
         };
         assert!((p.busy_total_s() - 1.5).abs() < 1e-12);
         assert!((p.utilization(1.0) - 0.75).abs() < 1e-12);
@@ -335,6 +384,7 @@ mod tests {
             chunk_len_min: 50,
             chunk_len_max: 60,
             overlap: 22,
+            worker_phases: PhaseSpans { kernel_scan_s: 0.0625, ..PhaseSpans::default() },
         });
         m.set_gauge("dfa_states", 1234.0);
         let text = m.to_json();
@@ -346,6 +396,10 @@ mod tests {
         assert_eq!(counters.get("windows_scanned").and_then(json::Value::as_f64), Some(42.0));
         let parallel = value.get("parallel").expect("parallel present");
         assert_eq!(parallel.get("chunks_total").and_then(json::Value::as_f64), Some(3.0));
+        let worker = parallel.get("worker_phases").expect("worker phases present");
+        assert_eq!(worker.get("kernel_scan_s").and_then(json::Value::as_f64), Some(0.0625));
+        assert_eq!(worker.get("guide_compile_s").and_then(json::Value::as_f64), Some(0.0));
+        assert_eq!(counters.get("bytes_copied").and_then(json::Value::as_f64), Some(0.0));
         let gauges = value.get("gauges").expect("gauges present");
         assert_eq!(gauges.get("dfa_states").and_then(json::Value::as_f64), Some(1234.0));
     }

@@ -19,6 +19,10 @@ fn guide(spacer_len: usize) -> impl Strategy<Value = Guide> {
         .prop_map(|spacer| Guide::new("g", spacer, Pam::ngg()).expect("non-empty spacer"))
 }
 
+fn iupac_pam() -> impl Strategy<Value = Pam> {
+    prop::sample::select(vec![Pam::ngg(), Pam::nag(), Pam::nrg(), Pam::nngrrt()])
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
 
@@ -129,6 +133,72 @@ proptest! {
         let truth = ScalarEngine::new().search(&genome, &guides, k).unwrap();
         let strided = StridedScan::compile(&guides, &CompileOptions::new(k)).unwrap();
         prop_assert_eq!(strided.search(&genome), truth);
+    }
+
+    /// The prefiltered engines agree with the scalar oracle across the
+    /// degenerate IUPAC PAM repertoire (NGG, NAG, NRG, NNGRRT), on both
+    /// strands (site patterns always cover forward and reverse), and on
+    /// genomes that include a contig shorter than one site.
+    #[test]
+    fn prefiltered_engines_agree_across_pams(
+        text in dna_seq(200..1_500),
+        stub in dna_seq(0..20),
+        spacer in dna_seq(20..21),
+        pam in iupac_pam(),
+        k in 0usize..4,
+    ) {
+        let g = Guide::new("g", spacer, pam).expect("non-empty spacer");
+        let mut genome = Genome::from_seq(text);
+        // A contig shorter than one 23+ base site must contribute nothing
+        // (and must not trip the anchor scanner's window handling).
+        genome.add_contig("stub", stub);
+        let guides = vec![g];
+        let truth = ScalarEngine::new().search(&genome, &guides, k).unwrap();
+        let bp = BitParallelEngine::new().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&bp, &truth);
+        let bf = CasOffinderCpuEngine::new().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&bf, &truth);
+        let co = CasotEngine::new().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&co, &truth);
+        // And each ablated (unfiltered) twin returns the same hits.
+        let bp0 = BitParallelEngine::without_prefilter().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&bp0, &truth);
+        let bf0 = CasOffinderCpuEngine::without_prefilter().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&bf0, &truth);
+        let co0 = CasotEngine::new().without_prefilter().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&co0, &truth);
+    }
+
+    /// A search prepared once scans any number of genomes: reusing one
+    /// `PreparedSearch` across two different genomes returns exactly the
+    /// hits of two fresh searches.
+    #[test]
+    fn prepared_search_reuse_equals_fresh(
+        text_a in dna_seq(200..1_000),
+        text_b in dna_seq(200..1_000),
+        spacer in dna_seq(20..21),
+        pam in iupac_pam(),
+        k in 0usize..4,
+    ) {
+        use crispr_offtarget::engines::scan_genome;
+        use crispr_offtarget::model::SearchMetrics;
+        let g = Guide::new("g", spacer, pam).expect("non-empty spacer");
+        let genome_a = Genome::from_seq(text_a);
+        let genome_b = Genome::from_seq(text_b);
+        let guides = vec![g];
+        for engine in [
+            &BitParallelEngine::new() as &dyn Engine,
+            &CasOffinderCpuEngine::new(),
+            &CasotEngine::new(),
+            &ScalarEngine::new(),
+        ] {
+            let prepared = engine.prepare(&guides, k).unwrap();
+            let mut m = SearchMetrics::default();
+            let reused_a = scan_genome(prepared.as_ref(), &genome_a, &mut m).unwrap();
+            let reused_b = scan_genome(prepared.as_ref(), &genome_b, &mut m).unwrap();
+            prop_assert_eq!(&reused_a, &engine.search(&genome_a, &guides, k).unwrap());
+            prop_assert_eq!(&reused_b, &engine.search(&genome_b, &guides, k).unwrap());
+        }
     }
 
     /// Every hit an engine reports actually scores within budget when
