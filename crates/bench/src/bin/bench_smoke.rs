@@ -37,17 +37,18 @@ const GENOME_LEN: usize = 1_000_000;
 const GUIDES: usize = 25;
 const K: usize = 3;
 const SEED: u64 = 11;
-/// Timing repetitions; the minimum is reported.
-const REPS: usize = 3;
+/// Timing rounds. Each round measures every engine once, in order, and
+/// the per-engine minimum across rounds is reported. Interleaving rounds
+/// (rather than finishing one engine's reps before the next starts)
+/// means transient machine load hits every engine's round equally, so
+/// each engine — including the scalar reference the `relative` column
+/// divides by — gets at least one sample from the same quiet windows.
+const ROUNDS: usize = 7;
 
 fn kernel_seconds(engine: &dyn Engine, genome: &Genome, guides: &[Guide]) -> f64 {
-    let mut best = f64::INFINITY;
-    for _ in 0..REPS {
-        let mut m = SearchMetrics::default();
-        engine.search_metered(genome, guides, K, &mut m).expect("engine runs");
-        best = best.min(m.phases.kernel_scan_s);
-    }
-    best
+    let mut m = SearchMetrics::default();
+    engine.search_metered(genome, guides, K, &mut m).expect("engine runs");
+    m.phases.kernel_scan_s
 }
 
 fn measure() -> Vec<(&'static str, f64)> {
@@ -60,12 +61,16 @@ fn measure() -> Vec<(&'static str, f64)> {
         ("cpu-cas-offinder-nofilter", Box::new(CasOffinderCpuEngine::without_prefilter())),
         ("cpu-hyperscan", Box::new(BitParallelEngine::new())),
         ("cpu-hyperscan-nofilter", Box::new(BitParallelEngine::without_prefilter())),
+        ("cpu-hyperscan-batched", Box::new(BitParallelEngine::batched())),
         ("cpu-nfa", Box::new(NfaEngine::new())),
     ];
-    engines
-        .iter()
-        .map(|(name, engine)| (*name, kernel_seconds(engine.as_ref(), &genome, &guides)))
-        .collect()
+    let mut best = vec![f64::INFINITY; engines.len()];
+    for _ in 0..ROUNDS {
+        for (i, (_, engine)) in engines.iter().enumerate() {
+            best[i] = best[i].min(kernel_seconds(engine.as_ref(), &genome, &guides));
+        }
+    }
+    engines.iter().zip(best).map(|((name, _), secs)| (*name, secs)).collect()
 }
 
 fn render(rows: &[(&'static str, f64)]) -> String {

@@ -29,6 +29,7 @@
 //! against.
 
 use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
+use crate::multiseed::{MultiSeedPrepared, MultiSeedScan};
 use crate::prefilter::AnchoredScan;
 use crate::EngineError;
 use crispr_genome::Base;
@@ -154,6 +155,7 @@ impl RegisterBank {
 #[derive(Debug, Clone, Copy)]
 pub struct BitParallelEngine {
     prefilter: bool,
+    batched: bool,
 }
 
 impl Default for BitParallelEngine {
@@ -165,13 +167,22 @@ impl Default for BitParallelEngine {
 impl BitParallelEngine {
     /// Creates the engine (PAM-anchor prefilter enabled where applicable).
     pub fn new() -> BitParallelEngine {
-        BitParallelEngine { prefilter: true }
+        BitParallelEngine { prefilter: true, batched: false }
     }
 
     /// Creates the engine with the prefilter disabled — every slice runs
     /// through the register machine. The ablation baseline.
     pub fn without_prefilter() -> BitParallelEngine {
-        BitParallelEngine { prefilter: false }
+        BitParallelEngine { prefilter: false, batched: false }
+    }
+
+    /// Creates the engine in batched multi-guide mode: where the guide
+    /// set admits it, `prepare` compiles the shared seed automaton of
+    /// [`crate::multiseed`] instead of per-guide anchor-and-verify, so
+    /// scan cost grows with seed traffic rather than guide count.
+    /// Unbatchable sets fall back to [`BitParallelEngine::new`] behavior.
+    pub fn batched() -> BitParallelEngine {
+        BitParallelEngine { prefilter: true, batched: true }
     }
 }
 
@@ -236,7 +247,11 @@ impl PreparedSearch for BitParallelPrepared {
 
 impl Engine for BitParallelEngine {
     fn name(&self) -> &'static str {
-        "bitparallel-hyperscan"
+        if self.batched {
+            "bitparallel-hyperscan-batched"
+        } else {
+            "bitparallel-hyperscan"
+        }
     }
 
     fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError> {
@@ -247,6 +262,11 @@ impl Engine for BitParallelEngine {
             )));
         }
         let pattern_list = patterns(guides);
+        if self.batched {
+            if let Some(scan) = MultiSeedScan::build(&pattern_list, site_len, k) {
+                return Ok(Box::new(MultiSeedPrepared::new(scan)));
+            }
+        }
         let anchored =
             if self.prefilter { AnchoredScan::build(&pattern_list, site_len) } else { None };
         let bank = RegisterBank::new(&pattern_list, k);
@@ -279,6 +299,28 @@ mod tests {
     #[test]
     fn register_path_matches_oracle_without_prefilter() {
         assert_engine_correct(&BitParallelEngine::without_prefilter(), 24, 3);
+    }
+
+    #[test]
+    fn batched_path_matches_oracle() {
+        assert_engine_correct(&BitParallelEngine::batched(), 25, 0);
+        assert_engine_correct(&BitParallelEngine::batched(), 26, 3);
+        assert_eq!(BitParallelEngine::batched().name(), "bitparallel-hyperscan-batched");
+    }
+
+    #[test]
+    fn batched_pamless_guides_fall_back_to_registers() {
+        let guide = Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::none()).unwrap();
+        let (genome, _, _) = planted_workload(27, 0);
+        let guides = vec![guide];
+        let mut m = SearchMetrics::default();
+        let batched =
+            BitParallelEngine::batched().search_metered(&genome, &guides, 1, &mut m).unwrap();
+        let truth = ScalarEngine::new().search(&genome, &guides, 1).unwrap();
+        assert_eq!(batched, truth);
+        // The fallback is the register machine, not the seed automaton.
+        assert_eq!(m.counters.multiseed_candidates, 0);
+        assert!(m.counters.bit_steps > 0);
     }
 
     #[test]

@@ -123,6 +123,7 @@ pub fn scan_genome(
         }
     }
     m.counters.raw_hits += hits.len() as u64;
+    m.finalize_derived_gauges();
     let report_start = Instant::now();
     normalize(&mut hits);
     m.phases.report_s += report_start.elapsed().as_secs_f64();

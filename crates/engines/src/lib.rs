@@ -46,6 +46,7 @@ mod bitparallel;
 mod casot;
 mod engine;
 mod error;
+pub mod multiseed;
 mod myers;
 mod naive;
 mod nfa;
@@ -58,6 +59,7 @@ pub use bitparallel::BitParallelEngine;
 pub use casot::CasotEngine;
 pub use engine::{scan_genome, Engine, PreparedSearch, ScalarEngine};
 pub use error::EngineError;
+pub use multiseed::MultiSeedScan;
 pub use myers::{IndelEngine, MyersMatcher};
 pub use naive::CasOffinderCpuEngine;
 pub use nfa::{reports_to_hits, NfaEngine};

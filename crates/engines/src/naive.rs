@@ -14,6 +14,7 @@
 //! only the walk to the candidates gets cheaper.
 
 use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
+use crate::multiseed::{MultiSeedPrepared, MultiSeedScan};
 use crate::prefilter::AnchoredScan;
 use crate::EngineError;
 use crispr_genome::{Base, IupacCode, PackedSeq};
@@ -72,6 +73,7 @@ impl Precompiled {
 #[derive(Debug, Clone, Copy)]
 pub struct CasOffinderCpuEngine {
     prefilter: bool,
+    batched: bool,
 }
 
 impl Default for CasOffinderCpuEngine {
@@ -83,13 +85,21 @@ impl Default for CasOffinderCpuEngine {
 impl CasOffinderCpuEngine {
     /// Creates the engine (PAM-anchor prefilter enabled where applicable).
     pub fn new() -> CasOffinderCpuEngine {
-        CasOffinderCpuEngine { prefilter: true }
+        CasOffinderCpuEngine { prefilter: true, batched: false }
     }
 
     /// Creates the engine with the prefilter disabled — the per-window
     /// PAM-probe scan of the original tool. The ablation baseline.
     pub fn without_prefilter() -> CasOffinderCpuEngine {
-        CasOffinderCpuEngine { prefilter: false }
+        CasOffinderCpuEngine { prefilter: false, batched: false }
+    }
+
+    /// Creates the engine in batched multi-guide mode: where the guide
+    /// set admits it, `prepare` compiles the shared seed automaton of
+    /// [`crate::multiseed`] so one pass serves every guide; unbatchable
+    /// sets fall back to [`CasOffinderCpuEngine::new`] behavior.
+    pub fn batched() -> CasOffinderCpuEngine {
+        CasOffinderCpuEngine { prefilter: true, batched: true }
     }
 }
 
@@ -164,12 +174,21 @@ impl PreparedSearch for CasOffinderPrepared {
 
 impl Engine for CasOffinderCpuEngine {
     fn name(&self) -> &'static str {
-        "cas-offinder-cpu"
+        if self.batched {
+            "cas-offinder-cpu-batched"
+        } else {
+            "cas-offinder-cpu"
+        }
     }
 
     fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError> {
         let site_len = validate_guides(guides, k)?;
         let pattern_list = patterns(guides);
+        if self.batched {
+            if let Some(scan) = MultiSeedScan::build(&pattern_list, site_len, k) {
+                return Ok(Box::new(MultiSeedPrepared::new(scan)));
+            }
+        }
         let anchored =
             if self.prefilter { AnchoredScan::build(&pattern_list, site_len) } else { None };
         let compiled = pattern_list.iter().map(Precompiled::new).collect();
@@ -200,6 +219,13 @@ mod tests {
     #[test]
     fn unfiltered_path_matches_oracle() {
         assert_engine_correct(&CasOffinderCpuEngine::without_prefilter(), 14, 2);
+    }
+
+    #[test]
+    fn batched_path_matches_oracle() {
+        assert_engine_correct(&CasOffinderCpuEngine::batched(), 16, 0);
+        assert_engine_correct(&CasOffinderCpuEngine::batched(), 17, 3);
+        assert_eq!(CasOffinderCpuEngine::batched().name(), "cas-offinder-cpu-batched");
     }
 
     #[test]

@@ -30,6 +30,7 @@ use std::time::Instant;
 pub struct ParallelEngine<E> {
     inner: E,
     threads: usize,
+    chunk_len: Option<usize>,
 }
 
 impl<E: Engine + Sync> ParallelEngine<E> {
@@ -40,7 +41,21 @@ impl<E: Engine + Sync> ParallelEngine<E> {
     /// Panics if `threads` is zero.
     pub fn new(inner: E, threads: usize) -> ParallelEngine<E> {
         assert!(threads > 0, "need at least one thread");
-        ParallelEngine { inner, threads }
+        ParallelEngine { inner, threads, chunk_len: None }
+    }
+
+    /// Overrides the per-chunk base length (normally `contig length /
+    /// thread count`). A test-surface knob: adversarially small chunks —
+    /// around one site length — maximize boundary traffic and are how the
+    /// chunk-boundary regressions pin down overlap handling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn with_chunk_len(mut self, chunk_len: usize) -> ParallelEngine<E> {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        self.chunk_len = Some(chunk_len);
+        self
     }
 
     /// The inner engine.
@@ -58,8 +73,13 @@ impl<E: Engine + Sync> ParallelEngine<E> {
             }
             let seq = contig.seq().as_slice();
             let total = seq.len();
-            let chunk_count = self.threads.min(total / site_len.max(1)).max(1);
-            let base_len = total.div_ceil(chunk_count);
+            let base_len = match self.chunk_len {
+                Some(len) => len,
+                None => {
+                    let chunk_count = self.threads.min(total / site_len.max(1)).max(1);
+                    total.div_ceil(chunk_count)
+                }
+            };
             let mut start = 0usize;
             while start < total {
                 let end = (start + base_len + site_len - 1).min(total);
@@ -162,6 +182,9 @@ impl<E: Engine + Sync> ParallelEngine<E> {
         }
         m.set_gauge("utilization", parallel.utilization(wall_s));
         m.parallel = Some(parallel);
+        // Worker gauges are not merged upward, so ratio gauges over the
+        // merged counters are computed here, after the fold.
+        m.finalize_derived_gauges();
 
         let report_start = Instant::now();
         let mut hits = results.into_inner().expect("results lock");
@@ -285,6 +308,40 @@ mod tests {
         let (genome, guides, _) = planted_workload(74, 2);
         let par = ParallelEngine::new(ScalarEngine::new(), 16).search(&genome, &guides, 2).unwrap();
         assert!(par.windows(2).all(|w| w[0] < w[1]), "sorted and deduplicated");
+    }
+
+    #[test]
+    fn adversarial_chunk_lens_keep_batched_hits_exact() {
+        // The batched path finds one site through several seed fragments;
+        // without its streaming dedup, overlap windows at chunk boundaries
+        // emit duplicate raw hits and double-counted verifier work. Chunk
+        // lengths of site_len − 1, site_len, and site_len + 1 maximize
+        // boundary traffic (nearly every window touches an overlap).
+        let (genome, guides, _) = planted_workload(77, 3);
+        let truth = ScalarEngine::new().search(&genome, &guides, 3).unwrap();
+        let site_len = guides[0].site_len();
+        let serial = {
+            let mut m = SearchMetrics::default();
+            let hits =
+                BitParallelEngine::batched().search_metered(&genome, &guides, 3, &mut m).unwrap();
+            assert_eq!(hits, truth);
+            m
+        };
+        for chunk_len in [site_len - 1, site_len, site_len + 1] {
+            for threads in [1, 3, 8] {
+                let engine = ParallelEngine::new(BitParallelEngine::batched(), threads)
+                    .with_chunk_len(chunk_len);
+                let mut m = SearchMetrics::default();
+                let hits = engine.search_metered(&genome, &guides, 3, &mut m).unwrap();
+                assert_eq!(hits, truth, "chunk_len={chunk_len} threads={threads}");
+                assert!(hits.windows(2).all(|w| w[0] < w[1]), "sorted, duplicate-free");
+                // Chunk windows partition contig windows exactly, so the
+                // merged counters — raw hits included — must equal the
+                // serial scan's, whatever the chunk geometry.
+                assert_eq!(m.counters, serial.counters, "chunk_len={chunk_len} threads={threads}");
+                assert_eq!(m.counters.bytes_copied, 0);
+            }
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ impl PackedPattern {
     /// Lowers `pattern`, or `None` when the packed compare does not apply:
     /// the counted run is non-contiguous or contains a degenerate class.
     /// Real guide patterns (concrete spacer, IUPAC PAM) always lower.
-    fn new(pattern: &SitePattern) -> Option<PackedPattern> {
+    pub(crate) fn new(pattern: &SitePattern) -> Option<PackedPattern> {
         let mut bases = Vec::new();
         let mut spacer_offset = None;
         for (i, pos) in pattern.positions().iter().enumerate() {
@@ -61,6 +61,34 @@ impl PackedPattern {
             guide_index: pattern.guide_index(),
             strand: pattern.strand(),
         })
+    }
+
+    /// Index of the originating guide within its set.
+    pub(crate) fn guide_index(&self) -> u32 {
+        self.guide_index
+    }
+
+    /// Strand this pattern represents.
+    pub(crate) fn strand(&self) -> Strand {
+        self.strand
+    }
+
+    /// Verifies the window at `start` of `packed` (PAM positions assumed
+    /// already proven by an anchor pass): `Some(mm)` with the exact spacer
+    /// mismatch count when `mm ≤ k`, `None` past the budget. Single-XOR
+    /// fast path when the spacer fits one 2-bit word.
+    #[inline]
+    pub(crate) fn verify(&self, packed: &PackedSeq, start: usize, k: usize) -> Option<usize> {
+        match self.word {
+            Some(word) => {
+                let window = packed.window_word(start + self.spacer_offset, self.spacer.len());
+                let diff = window ^ word;
+                let lanes = (diff | (diff >> 1)) & 0x5555_5555_5555_5555;
+                let mm = lanes.count_ones() as usize;
+                (mm <= k).then_some(mm)
+            }
+            None => packed.count_mismatches(&self.spacer, start + self.spacer_offset, k),
+        }
     }
 }
 

@@ -20,6 +20,62 @@ pub fn pack_qgram(bases: &[Base]) -> u64 {
     value
 }
 
+/// A streaming rolling q-gram register: feed bases left to right and read
+/// back the packed code of the window *ending* at the fed base.
+///
+/// This is the one-pass primitive both [`QGramIndex`] construction and
+/// multi-pattern seed scanning share: per symbol it costs a shift, an OR
+/// and a mask, and after `q` symbols the register always holds the code
+/// of the latest window in [`pack_qgram`] layout (base `i` of the window
+/// at bits `2i`).
+///
+/// ```
+/// use crispr_genome::kmer::{pack_qgram, QGramRoller};
+/// use crispr_genome::DnaSeq;
+///
+/// let seq: DnaSeq = "GATTACA".parse()?;
+/// let mut roller = QGramRoller::new(3);
+/// let mut codes = Vec::new();
+/// for (i, &base) in seq.as_slice().iter().enumerate() {
+///     let code = roller.push(base);
+///     if i + 1 >= 3 {
+///         codes.push(code);
+///     }
+/// }
+/// assert_eq!(codes[0], pack_qgram(&seq.as_slice()[0..3]));
+/// # Ok::<(), crispr_genome::GenomeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct QGramRoller {
+    rolling: u64,
+    shift: u32,
+    mask: u64,
+}
+
+impl QGramRoller {
+    /// Creates a roller for windows of `q` bases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is 0 or greater than 32.
+    pub fn new(q: usize) -> QGramRoller {
+        assert!((1..=32).contains(&q), "q must be within 1..=32");
+        let mask = if q == 32 { u64::MAX } else { (1u64 << (2 * q)) - 1 };
+        QGramRoller { rolling: 0, shift: 2 * (q as u32 - 1), mask }
+    }
+
+    /// Rolls `base` in and returns the code of the window ending at it.
+    /// The return value is only a complete window once `q` bases have
+    /// been pushed; the caller tracks that warm-up.
+    #[inline]
+    pub fn push(&mut self, base: Base) -> u64 {
+        // Rolling code: drop the oldest base, append the newest at the
+        // high end of the window.
+        self.rolling = ((self.rolling >> 2) | ((base.code() as u64) << self.shift)) & self.mask;
+        self.rolling
+    }
+}
+
 /// An index of all `q`-grams of one sequence.
 ///
 /// ```
@@ -57,15 +113,11 @@ impl QGramIndex {
         assert!((1..=32).contains(&q), "q must be within 1..=32");
         let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
         if seq.len() >= q {
-            let mask = if q == 32 { u64::MAX } else { (1u64 << (2 * q)) - 1 };
-            let mut rolling = 0u64;
-            for (i, base) in seq.iter().enumerate() {
-                // Rolling code: drop the oldest base, append the newest at
-                // the high end of the window.
-                rolling = (rolling >> 2) | ((base.code() as u64) << (2 * (q - 1)));
-                rolling &= mask;
+            let mut roller = QGramRoller::new(q);
+            for (i, &base) in seq.iter().enumerate() {
+                let code = roller.push(base);
                 if i + 1 >= q {
-                    map.entry(rolling).or_default().push((i + 1 - q) as u32);
+                    map.entry(code).or_default().push((i + 1 - q) as u32);
                 }
             }
         }
@@ -155,5 +207,26 @@ mod tests {
     #[should_panic(expected = "1..=32")]
     fn q_zero_rejected() {
         let _ = QGramIndex::build(&seq("ACGT"), 0);
+    }
+
+    #[test]
+    fn roller_matches_direct_packing_at_every_q() {
+        let text = seq(&"GATTACAGGCCTAGGT".repeat(5));
+        for q in [1usize, 2, 5, 13, 31, 32] {
+            let mut roller = QGramRoller::new(q);
+            for (i, &base) in text.as_slice().iter().enumerate() {
+                let code = roller.push(base);
+                if i + 1 >= q {
+                    let start = i + 1 - q;
+                    assert_eq!(code, pack_qgram(&text.as_slice()[start..start + q]), "q={q} i={i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=32")]
+    fn roller_rejects_oversized_q() {
+        let _ = QGramRoller::new(33);
     }
 }

@@ -66,6 +66,15 @@ pub struct EngineCounters {
     pub bit_steps: u64,
     /// Comparisons abandoned early once the mismatch budget was exceeded.
     pub early_exits: u64,
+    /// `(pattern, window)` candidate pairs emitted by the shared
+    /// multi-guide seed automaton (batched engines only), before the
+    /// PAM-anchor intersection and before per-pattern deduplication.
+    pub multiseed_candidates: u64,
+    /// Distinct window positions at which the shared seed automaton fired
+    /// for at least one pattern (batched engines only). Together with
+    /// `multiseed_candidates` this yields the `guides_per_candidate`
+    /// gauge.
+    pub multiseed_positions: u64,
     /// Candidates fully verified by a scoring pass.
     pub candidates_verified: u64,
     /// Hits emitted before normalization/dedup.
@@ -85,6 +94,8 @@ impl EngineCounters {
         self.seed_survivors += other.seed_survivors;
         self.bit_steps += other.bit_steps;
         self.early_exits += other.early_exits;
+        self.multiseed_candidates += other.multiseed_candidates;
+        self.multiseed_positions += other.multiseed_positions;
         self.candidates_verified += other.candidates_verified;
         self.raw_hits += other.raw_hits;
         self.bytes_copied += other.bytes_copied;
@@ -97,6 +108,8 @@ impl EngineCounters {
             + self.seed_survivors
             + self.bit_steps
             + self.early_exits
+            + self.multiseed_candidates
+            + self.multiseed_positions
             + self.candidates_verified
             + self.raw_hits
             + self.bytes_copied
@@ -199,6 +212,23 @@ impl SearchMetrics {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
     }
 
+    /// Sets the gauges that are ratios of finished counters, once all
+    /// slices (and, for parallel deployments, all workers) have been
+    /// folded in. Today that is `guides_per_candidate` — the mean number
+    /// of `(pattern, window)` pairs the shared seed automaton dispatched
+    /// per distinct candidate window, the batched path's fan-in measure.
+    /// Search drivers call this after merging; per-slice code cannot,
+    /// because worker-local gauges are not merged upward.
+    pub fn finalize_derived_gauges(&mut self) {
+        if self.counters.multiseed_positions > 0 {
+            self.set_gauge(
+                "guides_per_candidate",
+                self.counters.multiseed_candidates as f64
+                    / self.counters.multiseed_positions as f64,
+            );
+        }
+    }
+
     /// The phase spans folded into the paper's four timing buckets.
     pub fn timing(&self) -> TimingBreakdown {
         TimingBreakdown {
@@ -222,12 +252,14 @@ impl SearchMetrics {
         ));
         let c = &self.counters;
         out.push_str(&format!(
-            "\"counters\":{{\"windows_scanned\":{},\"pam_anchors_tested\":{},\"seed_survivors\":{},\"bit_steps\":{},\"early_exits\":{},\"candidates_verified\":{},\"raw_hits\":{},\"bytes_copied\":{}}}",
+            "\"counters\":{{\"windows_scanned\":{},\"pam_anchors_tested\":{},\"seed_survivors\":{},\"bit_steps\":{},\"early_exits\":{},\"multiseed_candidates\":{},\"multiseed_positions\":{},\"candidates_verified\":{},\"raw_hits\":{},\"bytes_copied\":{}}}",
             c.windows_scanned,
             c.pam_anchors_tested,
             c.seed_survivors,
             c.bit_steps,
             c.early_exits,
+            c.multiseed_candidates,
+            c.multiseed_positions,
             c.candidates_verified,
             c.raw_hits,
             c.bytes_copied,
@@ -402,6 +434,31 @@ mod tests {
         assert_eq!(counters.get("bytes_copied").and_then(json::Value::as_f64), Some(0.0));
         let gauges = value.get("gauges").expect("gauges present");
         assert_eq!(gauges.get("dfa_states").and_then(json::Value::as_f64), Some(1234.0));
+    }
+
+    #[test]
+    fn multiseed_counters_merge_serialize_and_derive() {
+        let mut m = SearchMetrics::new("batched");
+        m.counters.multiseed_candidates = 12;
+        m.counters.multiseed_positions = 4;
+        let extra = EngineCounters {
+            multiseed_candidates: 8,
+            multiseed_positions: 1,
+            ..Default::default()
+        };
+        m.counters.merge(&extra);
+        assert!(extra.any_nonzero());
+        m.finalize_derived_gauges();
+        assert_eq!(m.gauge("guides_per_candidate"), Some(4.0));
+        let value = json::parse(&m.to_json()).expect("metrics JSON parses");
+        let counters = value.get("counters").expect("counters present");
+        assert_eq!(counters.get("multiseed_candidates").and_then(json::Value::as_f64), Some(20.0));
+        assert_eq!(counters.get("multiseed_positions").and_then(json::Value::as_f64), Some(5.0));
+        // Non-batched searches never emit the gauge.
+        let mut plain = SearchMetrics::new("per-guide");
+        plain.counters.windows_scanned = 10;
+        plain.finalize_derived_gauges();
+        assert_eq!(plain.gauge("guides_per_candidate"), None);
     }
 
     #[test]

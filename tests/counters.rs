@@ -1,0 +1,128 @@
+//! Counter-semantics regressions: `SearchMetrics` counters must mean the
+//! same thing whichever path produced them. The batched (shared seed
+//! automaton) and per-guide paths run the same workload and their
+//! counters are checked against each other: identical where the semantics
+//! promise identity (`windows_scanned`, `candidates_verified`, hits),
+//! subset-ordered where the batched path provably does less work
+//! (`pam_anchors_tested`, `early_exits`), and path-exclusive for the
+//! multiseed meters. The parallel deployment must neither copy genome
+//! bytes nor change any work counter relative to the serial scan.
+
+use crispr_offtarget::engines::{
+    BitParallelEngine, CasOffinderCpuEngine, CasotEngine, Engine, ParallelEngine,
+};
+use crispr_offtarget::genome::synth::SynthSpec;
+use crispr_offtarget::genome::Genome;
+use crispr_offtarget::guides::genset::{self, PlantPlan};
+use crispr_offtarget::guides::{Guide, Hit, Pam};
+use crispr_offtarget::model::SearchMetrics;
+
+const K: usize = 3;
+
+fn workload() -> (Genome, Vec<Guide>) {
+    let genome = SynthSpec::new(60_000).seed(301).generate();
+    let guides = genset::random_guides(4, 20, &Pam::ngg(), 302);
+    let (genome, _) = genset::plant_offtargets(genome, &guides, &PlantPlan::uniform(K, 3), 303);
+    (genome, guides)
+}
+
+fn run(engine: &dyn Engine, genome: &Genome, guides: &[Guide]) -> (Vec<Hit>, SearchMetrics) {
+    let mut m = SearchMetrics::default();
+    let hits = engine.search_metered(genome, guides, K, &mut m).expect("engine runs");
+    (hits, m)
+}
+
+#[test]
+fn batched_counters_are_consistent_with_per_guide() {
+    let (genome, guides) = workload();
+    for (per_guide, batched) in [
+        (
+            Box::new(BitParallelEngine::new()) as Box<dyn Engine>,
+            Box::new(BitParallelEngine::batched()) as Box<dyn Engine>,
+        ),
+        (Box::new(CasOffinderCpuEngine::new()), Box::new(CasOffinderCpuEngine::batched())),
+    ] {
+        let (hits_pg, m_pg) = run(per_guide.as_ref(), &genome, &guides);
+        let (hits_b, m_b) = run(batched.as_ref(), &genome, &guides);
+        let label = batched.name();
+        assert_eq!(hits_b, hits_pg, "{label}: hit sets must be identical");
+        // Both paths enumerate every window of every long-enough contig.
+        assert_eq!(m_b.counters.windows_scanned, m_pg.counters.windows_scanned, "{label}");
+        // `candidates_verified` counts within-budget verifications — the
+        // hit count — on both paths, so it is exactly equal.
+        assert_eq!(m_b.counters.candidates_verified, m_pg.counters.candidates_verified, "{label}");
+        assert_eq!(m_b.counters.candidates_verified, m_b.counters.raw_hits, "{label}");
+        // The seed automaton only ever *removes* (window, pattern) pairs
+        // from the anchor path's work, never adds.
+        assert!(
+            m_b.counters.pam_anchors_tested <= m_pg.counters.pam_anchors_tested,
+            "{label}: batched {} > per-guide {}",
+            m_b.counters.pam_anchors_tested,
+            m_pg.counters.pam_anchors_tested
+        );
+        assert!(m_b.counters.pam_anchors_tested > 0, "{label}");
+        assert!(m_b.counters.early_exits <= m_pg.counters.early_exits, "{label}");
+        // Multiseed meters are exclusive to the batched path.
+        assert!(m_b.counters.multiseed_candidates >= m_b.counters.multiseed_positions, "{label}");
+        assert!(m_b.counters.multiseed_positions > 0, "{label}");
+        assert_eq!(m_pg.counters.multiseed_candidates, 0, "{label}");
+        assert_eq!(m_pg.counters.multiseed_positions, 0, "{label}");
+        // Derived gauge and compile-time gauges surface on the batched run.
+        assert!(m_b.gauge("guides_per_candidate").expect("gauge present") >= 1.0, "{label}");
+        assert!(m_b.gauge("seed_automaton_states").expect("gauge present") >= 1.0, "{label}");
+        assert_eq!(m_pg.gauge("guides_per_candidate"), None, "{label}");
+    }
+}
+
+#[test]
+fn casot_batched_matches_casot_hits_with_multiseed_meters() {
+    // CasOT's per-guide path has bespoke counter semantics (it meters
+    // seed_survivors, not candidates_verified), so for it only the hit
+    // set and the batched meters are comparable.
+    let (genome, guides) = workload();
+    let (hits_pg, m_pg) = run(&CasotEngine::new(), &genome, &guides);
+    let (hits_b, m_b) = run(&CasotEngine::batched(), &genome, &guides);
+    assert_eq!(hits_b, hits_pg);
+    assert_eq!(m_b.counters.windows_scanned, m_pg.counters.windows_scanned);
+    assert!(m_b.counters.multiseed_positions > 0);
+    assert_eq!(m_b.counters.seed_survivors, 0, "batched path does not use CasOT's seed split");
+    assert!(m_pg.counters.seed_survivors > 0);
+}
+
+#[test]
+fn parallel_batched_preserves_counters_and_copies_nothing() {
+    let (genome, guides) = workload();
+    let (serial_hits, serial_m) = run(&BitParallelEngine::batched(), &genome, &guides);
+    for threads in [2, 5] {
+        let engine = ParallelEngine::new(BitParallelEngine::batched(), threads);
+        let (par_hits, par_m) = run(&engine, &genome, &guides);
+        assert_eq!(par_hits, serial_hits, "threads={threads}");
+        // Chunk windows partition the contig windows exactly, so every
+        // work counter — including the multiseed meters — is invariant
+        // under chunking. (`raw_hits` equality doubles as the
+        // no-duplicate-at-boundary regression.)
+        assert_eq!(par_m.counters, serial_m.counters, "threads={threads}");
+        // Workers scan borrowed slices; any copy is a regression.
+        assert_eq!(par_m.counters.bytes_copied, 0, "threads={threads}");
+        // The derived gauge is computed after the merge, from the same
+        // counters, so it matches the serial value exactly.
+        assert_eq!(
+            par_m.gauge("guides_per_candidate"),
+            serial_m.gauge("guides_per_candidate"),
+            "threads={threads}"
+        );
+    }
+}
+
+#[test]
+fn parallel_per_guide_still_copies_nothing() {
+    let (genome, guides) = workload();
+    for engine in [
+        ParallelEngine::new(BitParallelEngine::new(), 3),
+        ParallelEngine::new(BitParallelEngine::without_prefilter(), 3),
+    ] {
+        let (_, m) = run(&engine, &genome, &guides);
+        assert_eq!(m.counters.bytes_copied, 0);
+        assert_eq!(m.parallel.as_ref().expect("parallel stats").worker_phases.guide_compile_s, 0.0);
+    }
+}

@@ -167,6 +167,13 @@ proptest! {
         prop_assert_eq!(&bf0, &truth);
         let co0 = CasotEngine::new().without_prefilter().search(&genome, &guides, k).unwrap();
         prop_assert_eq!(&co0, &truth);
+        // As does each batched (shared seed automaton) twin.
+        let bpb = BitParallelEngine::batched().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&bpb, &truth);
+        let bfb = CasOffinderCpuEngine::batched().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&bfb, &truth);
+        let cob = CasotEngine::batched().search(&genome, &guides, k).unwrap();
+        prop_assert_eq!(&cob, &truth);
     }
 
     /// A search prepared once scans any number of genomes: reusing one
@@ -188,7 +195,9 @@ proptest! {
         let guides = vec![g];
         for engine in [
             &BitParallelEngine::new() as &dyn Engine,
+            &BitParallelEngine::batched(),
             &CasOffinderCpuEngine::new(),
+            &CasOffinderCpuEngine::batched(),
             &CasotEngine::new(),
             &ScalarEngine::new(),
         ] {
@@ -199,6 +208,80 @@ proptest! {
             prop_assert_eq!(&reused_a, &engine.search(&genome_a, &guides, k).unwrap());
             prop_assert_eq!(&reused_b, &engine.search(&genome_b, &guides, k).unwrap());
         }
+    }
+
+    /// The shared seed automaton honors the pigeonhole guarantee: any
+    /// window within k spacer mismatches of a pattern (PAM valid or not —
+    /// seeds cover only the spacer, so we assert on the PAM-valid subset
+    /// the engines report) must fire at least one of that pattern's seed
+    /// fragments. This is the soundness half of the batched cascade: a
+    /// site the seed stage misses is lost for good.
+    #[test]
+    fn multiseed_pigeonhole_guarantee(
+        text in dna_seq(60..600),
+        spacer in dna_seq(20..21),
+        pam in iupac_pam(),
+        k in 0usize..4,
+    ) {
+        use crispr_offtarget::engines::MultiSeedScan;
+        use crispr_offtarget::genome::Strand;
+        use crispr_offtarget::guides::SitePattern;
+        let g = Guide::new("g", spacer, pam).expect("non-empty spacer");
+        let guides = vec![g.clone()];
+        let scan = MultiSeedScan::from_guides(&guides, k)
+            .expect("valid guide set")
+            .expect("real PAMs batch");
+        let site_len = scan.site_len();
+        let cands = scan.seed_candidates(text.as_slice());
+        if text.len() >= site_len {
+            // Pattern order matches the engines': guide 0 forward, then
+            // reverse.
+            for (pi, strand) in [(0u32, Strand::Forward), (1, Strand::Reverse)] {
+                let pattern = SitePattern::from_guide(&g, strand);
+                for start in 0..=text.len() - site_len {
+                    let window = &text.as_slice()[start..start + site_len];
+                    if let Some(mm) = pattern.score_window(window) {
+                        if mm <= k {
+                            prop_assert!(
+                                cands.binary_search(&(pi, start)).is_ok(),
+                                "window at {start} ({strand}, {mm} mismatches ≤ k={k}) \
+                                 fired no seed fragment"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// A batched search prepared once scans any number of genomes — the
+    /// compiled seed automaton carries no per-slice state across calls
+    /// (rolling registers and dedup masks are rebuilt per slice).
+    #[test]
+    fn batched_prepared_search_reuse_equals_fresh(
+        text_a in dna_seq(100..800),
+        text_b in dna_seq(100..800),
+        spacer in dna_seq(20..21),
+        pam in iupac_pam(),
+        k in 0usize..4,
+    ) {
+        use crispr_offtarget::engines::scan_genome;
+        use crispr_offtarget::model::SearchMetrics;
+        let g = Guide::new("g", spacer, pam).expect("non-empty spacer");
+        let genome_a = Genome::from_seq(text_a);
+        let genome_b = Genome::from_seq(text_b);
+        let guides = vec![g];
+        let engine = BitParallelEngine::batched();
+        let prepared = engine.prepare(&guides, k).unwrap();
+        let mut m = SearchMetrics::default();
+        // Interleave: a, b, then a again — the third scan must reproduce
+        // the first even with b's slice in between.
+        let first_a = scan_genome(prepared.as_ref(), &genome_a, &mut m).unwrap();
+        let only_b = scan_genome(prepared.as_ref(), &genome_b, &mut m).unwrap();
+        let second_a = scan_genome(prepared.as_ref(), &genome_a, &mut m).unwrap();
+        prop_assert_eq!(&first_a, &second_a);
+        prop_assert_eq!(&first_a, &engine.search(&genome_a, &guides, k).unwrap());
+        prop_assert_eq!(&only_b, &engine.search(&genome_b, &guides, k).unwrap());
     }
 
     /// Every hit an engine reports actually scores within budget when
