@@ -16,6 +16,8 @@ pub struct OffTargetSearch {
     k: usize,
     platform: Platform,
     threads: usize,
+    chunk_retries: u32,
+    input_degradations: u64,
 }
 
 impl OffTargetSearch {
@@ -28,6 +30,8 @@ impl OffTargetSearch {
             k: 3,
             platform: Platform::CpuBitParallel,
             threads: 1,
+            chunk_retries: crispr_engines::DEFAULT_CHUNK_RETRIES,
+            input_degradations: 0,
         }
     }
 
@@ -55,6 +59,23 @@ impl OffTargetSearch {
         self
     }
 
+    /// Sets the per-chunk retry budget for multi-threaded runs (how many
+    /// times a failed chunk is re-queued before it is reported in a
+    /// partial-result error). Ignored when `threads` is 1.
+    pub fn chunk_retries(mut self, retries: u32) -> OffTargetSearch {
+        self.chunk_retries = retries;
+        self
+    }
+
+    /// Records degradation events that happened while *loading* the
+    /// inputs (e.g. a strict FASTA parse that fell back to lossy), so
+    /// they surface in the report's `degraded_paths` counter alongside
+    /// the engine's own degradations.
+    pub fn input_degradations(mut self, count: u64) -> OffTargetSearch {
+        self.input_degradations = count;
+        self
+    }
+
     /// Runs CPU platforms on `threads` worker threads (ignored by the
     /// modeled accelerators, whose parallelism is part of the model).
     ///
@@ -74,7 +95,7 @@ impl OffTargetSearch {
     /// Guide-validation, compilation, or platform-capacity errors from the
     /// selected backend.
     pub fn run(&self) -> Result<SearchReport, EngineError> {
-        let (hits, metrics) = match self.platform {
+        let (hits, mut metrics) = match self.platform {
             Platform::CpuScalar => self.run_cpu(ScalarEngine::new())?,
             Platform::CpuCasOffinder => self.run_cpu(CasOffinderCpuEngine::new())?,
             Platform::CpuCasot => self.run_cpu(CasotEngine::new())?,
@@ -128,6 +149,7 @@ impl OffTargetSearch {
                 (report.hits, m)
             }
         };
+        metrics.counters.degraded_paths += self.input_degradations;
         Ok(SearchReport::new(
             self.platform,
             hits,
@@ -154,12 +176,9 @@ impl OffTargetSearch {
     ) -> Result<(Vec<Hit>, SearchMetrics), EngineError> {
         let mut metrics = SearchMetrics::default();
         let hits = if self.threads > 1 {
-            ParallelEngine::new(engine, self.threads).search_metered(
-                &self.genome,
-                &self.guides,
-                self.k,
-                &mut metrics,
-            )?
+            ParallelEngine::new(engine, self.threads)
+                .with_retry_limit(self.chunk_retries)
+                .search_metered(&self.genome, &self.guides, self.k, &mut metrics)?
         } else {
             engine.search_metered(&self.genome, &self.guides, self.k, &mut metrics)?
         };

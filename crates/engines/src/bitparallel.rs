@@ -28,6 +28,7 @@
 //! pattern sets and the ground truth the prefiltered path is tested
 //! against.
 
+use crate::degrade::guarded_accel;
 use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
 use crate::multiseed::{MultiSeedPrepared, MultiSeedScan};
 use crate::prefilter::AnchoredScan;
@@ -194,6 +195,9 @@ struct BitParallelPrepared {
     anchored: Option<AnchoredScan>,
     site_len: usize,
     k: usize,
+    /// Accelerator builds that failed during `prepare` and were replaced
+    /// by a fallback path; surfaced as `degraded_paths`.
+    degraded: u64,
 }
 
 impl PreparedSearch for BitParallelPrepared {
@@ -239,6 +243,7 @@ impl PreparedSearch for BitParallelPrepared {
     }
 
     fn record_gauges(&self, m: &mut SearchMetrics) {
+        m.counters.degraded_paths += self.degraded;
         if let Some(anchored) = &self.anchored {
             m.set_gauge("anchor_rate", anchored.rate());
         }
@@ -262,15 +267,24 @@ impl Engine for BitParallelEngine {
             )));
         }
         let pattern_list = patterns(guides);
+        let mut degraded = 0;
         if self.batched {
-            if let Some(scan) = MultiSeedScan::build(&pattern_list, site_len, k) {
+            let scan = guarded_accel("multiseed.build", &mut degraded, || {
+                MultiSeedScan::build(&pattern_list, site_len, k)
+            });
+            if let Some(scan) = scan {
                 return Ok(Box::new(MultiSeedPrepared::new(scan)));
             }
         }
-        let anchored =
-            if self.prefilter { AnchoredScan::build(&pattern_list, site_len) } else { None };
+        let anchored = if self.prefilter {
+            guarded_accel("prefilter.build", &mut degraded, || {
+                AnchoredScan::build(&pattern_list, site_len)
+            })
+        } else {
+            None
+        };
         let bank = RegisterBank::new(&pattern_list, k);
-        Ok(Box::new(BitParallelPrepared { bank, anchored, site_len, k }))
+        Ok(Box::new(BitParallelPrepared { bank, anchored, site_len, k, degraded }))
     }
 }
 

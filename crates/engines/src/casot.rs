@@ -21,6 +21,7 @@
 //! Perl tool). The experiment harness reports both the measured ratio and
 //! a modeled one with a documented interpreter factor; see EXPERIMENTS.md.
 
+use crate::degrade::guarded_accel;
 use crate::engine::AnchorGroup;
 use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
 use crate::multiseed::{MultiSeedPrepared, MultiSeedScan};
@@ -139,6 +140,9 @@ struct CasotPrepared {
     site_len: usize,
     k: usize,
     seed_limit: usize,
+    /// Accelerator builds that failed during `prepare` and were replaced
+    /// by a fallback path; surfaced as `degraded_paths`.
+    degraded: u64,
 }
 
 impl CasotPrepared {
@@ -240,6 +244,7 @@ impl PreparedSearch for CasotPrepared {
     }
 
     fn record_gauges(&self, m: &mut SearchMetrics) {
+        m.counters.degraded_paths += self.degraded;
         if let Some((_, rate)) = &self.plan {
             m.set_gauge("anchor_rate", *rate);
         }
@@ -260,12 +265,20 @@ impl Engine for CasotEngine {
         let pattern_list = patterns(guides);
         // A seed mismatch limit tightens the hit set; the shared automaton
         // computes the engine-common semantics only, so it must not engage.
+        let mut degraded = 0;
         if self.batched && self.seed_mismatch_limit.is_none() {
-            if let Some(scan) = MultiSeedScan::build(&pattern_list, site_len, k) {
+            let scan = guarded_accel("multiseed.build", &mut degraded, || {
+                MultiSeedScan::build(&pattern_list, site_len, k)
+            });
+            if let Some(scan) = scan {
                 return Ok(Box::new(MultiSeedPrepared::new(scan)));
             }
         }
-        let plan = if self.prefilter { anchor_plan(&pattern_list, site_len) } else { None };
+        let plan = if self.prefilter {
+            guarded_accel("prefilter.build", &mut degraded, || anchor_plan(&pattern_list, site_len))
+        } else {
+            None
+        };
         let anchored: Vec<Anchored> =
             pattern_list.iter().map(|p| Anchored::new(p, self.seed_len)).collect();
         Ok(Box::new(CasotPrepared {
@@ -274,6 +287,7 @@ impl Engine for CasotEngine {
             site_len,
             k,
             seed_limit: self.seed_mismatch_limit.unwrap_or(k),
+            degraded,
         }))
     }
 }

@@ -93,12 +93,18 @@ pub trait Engine {
         k: usize,
         metrics: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        // Fault fires are metered as a delta over the whole search so
+        // prepare-time degradations count too. (The parallel deployment
+        // overrides this method and meters its own delta.)
+        let faults_before = crispr_failpoint::fired_total();
         metrics.engine = self.name().to_string();
         let compile_start = Instant::now();
         let prepared = self.prepare(guides, k)?;
         metrics.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
         prepared.record_gauges(metrics);
-        scan_genome(prepared.as_ref(), genome, metrics)
+        let result = scan_genome(prepared.as_ref(), genome, metrics);
+        metrics.counters.faults_injected += crispr_failpoint::fired_total() - faults_before;
+        result
     }
 }
 
@@ -141,6 +147,15 @@ pub(crate) fn validate_guides(guides: &[Guide], k: usize) -> Result<usize, Engin
     }
     let site_len = guides[0].site_len();
     for g in guides {
+        // A budget at or above the spacer length matches every window
+        // that carries a valid PAM — reject it as a degenerate request.
+        if k >= g.spacer().len() {
+            return Err(crispr_guides::GuideError::BudgetExceedsSpacer {
+                k,
+                spacer_len: g.spacer().len(),
+            }
+            .into());
+        }
         if g.site_len() != site_len {
             return Err(crispr_guides::GuideError::MixedSiteLengths {
                 expected: site_len,

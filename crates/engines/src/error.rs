@@ -1,51 +1,156 @@
+//! The unified search-error taxonomy.
+//!
+//! Every layer of the pipeline — guide validation, automata lowering,
+//! genome ingestion, guide-file parsing, engine capacity checks, and the
+//! fault-isolated parallel deployment — reports through one structured
+//! [`SearchError`], so callers (the CLI, the service layer, the test
+//! oracles) can branch on *what* failed and *where* instead of string
+//! matching. Partial failures carry per-chunk provenance
+//! ([`ChunkFailure`]): which contig, which byte range, how many attempts
+//! were made, and what the final cause was.
+
 use std::fmt;
 
-/// Error type for engine execution.
+/// Provenance of one chunk that exhausted its retry budget in the
+/// parallel deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkFailure {
+    /// Index of the contig the chunk belongs to.
+    pub contig: u32,
+    /// Name of that contig (filled by the deployment, which holds the
+    /// genome; empty when unknown).
+    pub contig_name: String,
+    /// Chunk start, in contig base coordinates.
+    pub start: u64,
+    /// Chunk length in bases (including the boundary overlap).
+    pub len: u64,
+    /// Scan attempts made (1 initial + retries) before giving up.
+    pub attempts: u32,
+    /// Human-readable cause of the final failure (panic payload or error
+    /// display).
+    pub cause: String,
+}
+
+impl fmt::Display for ChunkFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "contig {:?} (#{}) [{}..{}) after {} attempts: {}",
+            self.contig_name,
+            self.contig,
+            self.start,
+            self.start + self.len,
+            self.attempts,
+            self.cause
+        )
+    }
+}
+
+/// Unified error type for the whole search pipeline; see the module docs.
+///
+/// The historic name [`EngineError`](crate::EngineError) is kept as an
+/// alias — engine code and downstream callers use the two
+/// interchangeably.
 #[derive(Debug)]
-pub enum EngineError {
+pub enum SearchError {
     /// Guide validation or compilation failed.
     Guide(crispr_guides::GuideError),
     /// An automata transformation failed (e.g. DFA budget exceeded).
     Automata(crispr_automata::AutomataError),
+    /// Genome ingestion or sequence handling failed.
+    Genome(crispr_genome::GenomeError),
+    /// A guide file could not be parsed.
+    GuideIo(crispr_guides::io::GuideIoError),
     /// The engine's configuration cannot handle the request.
     Unsupported(String),
+    /// The parallel deployment completed, but some chunks failed every
+    /// retry. The result is *partial*: every chunk not listed here was
+    /// scanned successfully.
+    Partial {
+        /// The chunks that exhausted their retry budget, in discovery
+        /// order.
+        failures: Vec<ChunkFailure>,
+        /// Total chunks the deployment enqueued.
+        chunks_total: u64,
+        /// Hits recovered from the chunks that did succeed.
+        hits_recovered: usize,
+    },
 }
 
-impl fmt::Display for EngineError {
+impl SearchError {
+    /// Whether this is a partial-result error: the pipeline survived, some
+    /// chunks did not. Callers that can use incomplete hit sets branch on
+    /// this (the CLI maps it to its own exit code).
+    pub fn is_partial(&self) -> bool {
+        matches!(self, SearchError::Partial { .. })
+    }
+}
+
+impl fmt::Display for SearchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EngineError::Guide(e) => write!(f, "guide error: {e}"),
-            EngineError::Automata(e) => write!(f, "automata error: {e}"),
-            EngineError::Unsupported(reason) => write!(f, "unsupported request: {reason}"),
+            SearchError::Guide(e) => write!(f, "guide error: {e}"),
+            SearchError::Automata(e) => write!(f, "automata error: {e}"),
+            SearchError::Genome(e) => write!(f, "genome error: {e}"),
+            SearchError::GuideIo(e) => write!(f, "guide file error: {e}"),
+            SearchError::Unsupported(reason) => write!(f, "unsupported request: {reason}"),
+            SearchError::Partial { failures, chunks_total, hits_recovered } => {
+                write!(
+                    f,
+                    "partial result: {}/{} chunks failed after retries ({} hits recovered)",
+                    failures.len(),
+                    chunks_total,
+                    hits_recovered
+                )?;
+                for failure in failures {
+                    write!(f, "\n  failed chunk: {failure}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
 
-impl std::error::Error for EngineError {
+impl std::error::Error for SearchError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            EngineError::Guide(e) => Some(e),
-            EngineError::Automata(e) => Some(e),
-            EngineError::Unsupported(_) => None,
+            SearchError::Guide(e) => Some(e),
+            SearchError::Automata(e) => Some(e),
+            SearchError::Genome(e) => Some(e),
+            SearchError::GuideIo(e) => Some(e),
+            SearchError::Unsupported(_) | SearchError::Partial { .. } => None,
         }
     }
 }
 
-impl From<crispr_guides::GuideError> for EngineError {
+impl From<crispr_guides::GuideError> for SearchError {
     fn from(e: crispr_guides::GuideError) -> Self {
-        EngineError::Guide(e)
+        SearchError::Guide(e)
     }
 }
 
-impl From<crispr_automata::AutomataError> for EngineError {
+impl From<crispr_automata::AutomataError> for SearchError {
     fn from(e: crispr_automata::AutomataError) -> Self {
-        EngineError::Automata(e)
+        SearchError::Automata(e)
+    }
+}
+
+impl From<crispr_genome::GenomeError> for SearchError {
+    fn from(e: crispr_genome::GenomeError) -> Self {
+        SearchError::Genome(e)
+    }
+}
+
+impl From<crispr_guides::io::GuideIoError> for SearchError {
+    fn from(e: crispr_guides::io::GuideIoError) -> Self {
+        SearchError::GuideIo(e)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::EngineError;
 
     #[test]
     fn display_and_source() {
@@ -56,5 +161,30 @@ mod tests {
         let u = EngineError::Unsupported("too big".into());
         assert!(u.to_string().contains("too big"));
         assert!(u.source().is_none());
+        let g = SearchError::from(crispr_genome::GenomeError::UnknownContig("chrZ".into()));
+        assert!(g.to_string().contains("chrZ"));
+        assert!(g.source().is_some());
+    }
+
+    #[test]
+    fn partial_errors_name_their_chunks() {
+        let e = SearchError::Partial {
+            failures: vec![ChunkFailure {
+                contig: 2,
+                contig_name: "chr3".into(),
+                start: 1000,
+                len: 512,
+                attempts: 4,
+                cause: "injected panic".into(),
+            }],
+            chunks_total: 16,
+            hits_recovered: 41,
+        };
+        assert!(e.is_partial());
+        let text = e.to_string();
+        assert!(text.contains("1/16 chunks failed"), "{text}");
+        assert!(text.contains("chr3") && text.contains("[1000..1512)"), "{text}");
+        assert!(text.contains("4 attempts") && text.contains("injected panic"), "{text}");
+        assert!(!SearchError::Unsupported("x".into()).is_partial());
     }
 }

@@ -44,6 +44,7 @@
 
 mod bitparallel;
 mod casot;
+mod degrade;
 mod engine;
 mod error;
 pub mod multiseed;
@@ -58,11 +59,15 @@ mod prefilter;
 pub use bitparallel::BitParallelEngine;
 pub use casot::CasotEngine;
 pub use engine::{scan_genome, Engine, PreparedSearch, ScalarEngine};
-pub use error::EngineError;
+pub use error::{ChunkFailure, SearchError};
+
+/// Historic alias for [`SearchError`], kept for source compatibility:
+/// engine signatures predate the unified taxonomy.
+pub type EngineError = SearchError;
 pub use multiseed::MultiSeedScan;
 pub use myers::{IndelEngine, MyersMatcher};
 pub use naive::CasOffinderCpuEngine;
 pub use nfa::{reports_to_hits, NfaEngine};
 pub use offdfa::DfaEngine;
-pub use parallel::ParallelEngine;
+pub use parallel::{ParallelEngine, DEFAULT_CHUNK_RETRIES};
 pub use pigeonhole::PigeonholeEngine;

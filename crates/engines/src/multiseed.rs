@@ -512,9 +512,16 @@ mod tests {
     #[test]
     fn pamless_and_infeasible_sets_fall_back() {
         assert!(MultiSeedScan::from_guides(&guides(Pam::none()), 1).unwrap().is_none());
-        // 4-base spacer cannot yield 6 pigeonhole fragments.
+        // A budget at or above the spacer length is rejected outright by
+        // validation before batching is even considered.
         let short = vec![Guide::new("s", "ACGT".parse().unwrap(), Pam::ngg()).unwrap()];
-        assert!(MultiSeedScan::from_guides(&short, 5).unwrap().is_none());
+        assert!(matches!(
+            MultiSeedScan::from_guides(&short, 5),
+            Err(crate::EngineError::Guide(crispr_guides::GuideError::BudgetExceedsSpacer {
+                k: 5,
+                spacer_len: 4
+            }))
+        ));
         // 40-base spacer at k=0 needs one 40-base fragment (> 32).
         let long = vec![Guide::new("l", "ACGT".repeat(10).parse().unwrap(), Pam::ngg()).unwrap()];
         assert!(MultiSeedScan::from_guides(&long, 0).unwrap().is_none());

@@ -13,6 +13,7 @@
 //! pass of [`crate::prefilter`] — the per-candidate verify is unchanged,
 //! only the walk to the candidates gets cheaper.
 
+use crate::degrade::guarded_accel;
 use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
 use crate::multiseed::{MultiSeedPrepared, MultiSeedScan};
 use crate::prefilter::AnchoredScan;
@@ -111,6 +112,9 @@ struct CasOffinderPrepared {
     anchored: Option<AnchoredScan>,
     site_len: usize,
     k: usize,
+    /// Accelerator builds that failed during `prepare` and were replaced
+    /// by a fallback path; surfaced as `degraded_paths`.
+    degraded: u64,
 }
 
 impl PreparedSearch for CasOffinderPrepared {
@@ -166,6 +170,7 @@ impl PreparedSearch for CasOffinderPrepared {
     }
 
     fn record_gauges(&self, m: &mut SearchMetrics) {
+        m.counters.degraded_paths += self.degraded;
         if let Some(anchored) = &self.anchored {
             m.set_gauge("anchor_rate", anchored.rate());
         }
@@ -184,15 +189,24 @@ impl Engine for CasOffinderCpuEngine {
     fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError> {
         let site_len = validate_guides(guides, k)?;
         let pattern_list = patterns(guides);
+        let mut degraded = 0;
         if self.batched {
-            if let Some(scan) = MultiSeedScan::build(&pattern_list, site_len, k) {
+            let scan = guarded_accel("multiseed.build", &mut degraded, || {
+                MultiSeedScan::build(&pattern_list, site_len, k)
+            });
+            if let Some(scan) = scan {
                 return Ok(Box::new(MultiSeedPrepared::new(scan)));
             }
         }
-        let anchored =
-            if self.prefilter { AnchoredScan::build(&pattern_list, site_len) } else { None };
+        let anchored = if self.prefilter {
+            guarded_accel("prefilter.build", &mut degraded, || {
+                AnchoredScan::build(&pattern_list, site_len)
+            })
+        } else {
+            None
+        };
         let compiled = pattern_list.iter().map(Precompiled::new).collect();
-        Ok(Box::new(CasOffinderPrepared { compiled, anchored, site_len, k }))
+        Ok(Box::new(CasOffinderPrepared { compiled, anchored, site_len, k, degraded }))
     }
 }
 

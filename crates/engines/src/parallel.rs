@@ -1,4 +1,5 @@
-//! Multi-threaded deployment of any engine by genome chunking.
+//! Multi-threaded, panic-isolated deployment of any engine by genome
+//! chunking.
 //!
 //! The inner engine compiles its guide set exactly once
 //! ([`Engine::prepare`]); workers then scan *borrowed* overlapping slices
@@ -11,6 +12,23 @@
 //! the paper's CPU tools scale to many cores, and the fixture for the
 //! chunking ablation.
 //!
+//! # Fault isolation and self-healing
+//!
+//! Worker failure is treated as a normal operating condition, not a
+//! process event. Every chunk scan runs inside `catch_unwind`, so a
+//! panicking inner engine (or an injected fault at the `parallel.chunk`
+//! failpoint) unwinds back to the worker loop instead of tearing down the
+//! thread. A failed chunk is re-queued for a fresh attempt — with a fresh
+//! per-attempt metrics scratch, so counters stay identical to a clean run
+//! — up to [`ParallelEngine::with_retry_limit`] retries; a chunk that
+//! exhausts its budget is *reported* in a structured
+//! [`SearchError::Partial`] carrying full provenance
+//! ([`crate::ChunkFailure`]) while every healthy chunk's hits are still
+//! aggregated. Aggregation itself uses an mpsc channel (workers own their
+//! buffers and send once, at exit), so no lock can be poisoned by a
+//! worker's death; the shared work queue is accessed through a
+//! poison-recovering guard for the same reason.
+//!
 //! Phase attribution: `guide_compile_s` is charged once, on the parent,
 //! and is independent of thread and chunk counts; the parent's
 //! `kernel_scan_s` is the fan-out wall-clock; the workers' own phase sums
@@ -18,12 +36,47 @@
 //! reported separately as [`ParallelMetrics::worker_phases`].
 
 use crate::engine::{Engine, PreparedSearch};
-use crate::EngineError;
+use crate::error::ChunkFailure;
+use crate::{EngineError, SearchError};
 use crispr_genome::{Base, Genome};
 use crispr_guides::{normalize, Guide, Hit};
 use crispr_model::{ParallelMetrics, SearchMetrics, ThreadStats};
-use std::sync::Mutex;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{mpsc, Mutex, MutexGuard};
 use std::time::Instant;
+
+/// Default number of *re-queues* a failed chunk gets before it is
+/// reported as failed (so a chunk is attempted at most this plus one
+/// times).
+pub const DEFAULT_CHUNK_RETRIES: u32 = 3;
+
+/// Locks a mutex, recovering from poisoning. The queue it guards is a
+/// plain `VecDeque` whose operations never leave it half-mutated across
+/// an unwind, so a poisoned guard is safe to adopt — and the scan
+/// boundaries that *can* unwind are already fenced by `catch_unwind`.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+use crate::degrade::panic_cause;
+
+/// One unit of work: a borrowed contig slice plus its retry history.
+struct ChunkItem<'g> {
+    contig: u32,
+    offset: u64,
+    slice: &'g [Base],
+    attempts: u32,
+}
+
+/// Everything one worker learned, sent over the aggregation channel when
+/// the worker drains the queue.
+struct WorkerReport {
+    stats: ThreadStats,
+    local: SearchMetrics,
+    hits: Vec<Hit>,
+    failures: Vec<ChunkFailure>,
+}
 
 /// Parallel wrapper around an inner [`Engine`].
 #[derive(Debug)]
@@ -31,6 +84,7 @@ pub struct ParallelEngine<E> {
     inner: E,
     threads: usize,
     chunk_len: Option<usize>,
+    retry_limit: u32,
 }
 
 impl<E: Engine + Sync> ParallelEngine<E> {
@@ -41,7 +95,16 @@ impl<E: Engine + Sync> ParallelEngine<E> {
     /// Panics if `threads` is zero.
     pub fn new(inner: E, threads: usize) -> ParallelEngine<E> {
         assert!(threads > 0, "need at least one thread");
-        ParallelEngine { inner, threads, chunk_len: None }
+        ParallelEngine { inner, threads, chunk_len: None, retry_limit: DEFAULT_CHUNK_RETRIES }
+    }
+
+    /// Overrides the per-chunk retry budget (default
+    /// [`DEFAULT_CHUNK_RETRIES`]): how many times a failed chunk is
+    /// re-queued before being reported in [`SearchError::Partial`]. Zero
+    /// means fail-fast-per-chunk — one attempt, no healing.
+    pub fn with_retry_limit(mut self, retries: u32) -> ParallelEngine<E> {
+        self.retry_limit = retries;
+        self
     }
 
     /// Overrides the per-chunk base length (normally `contig length /
@@ -100,6 +163,7 @@ impl<E: Engine + Sync> ParallelEngine<E> {
         k: usize,
         m: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        let faults_before = crispr_failpoint::fired_total();
         let compile_start = Instant::now();
         let prepared = self.inner.prepare(guides, k)?;
         m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
@@ -112,57 +176,94 @@ impl<E: Engine + Sync> ParallelEngine<E> {
         let chunk_len_max = work.iter().map(|(_, _, s)| s.len() as u64).max().unwrap_or(0);
 
         let scan_start = Instant::now();
-        let queue = Mutex::new(work.into_iter());
-        let results: Mutex<Vec<Hit>> = Mutex::new(Vec::new());
-        let error: Mutex<Option<EngineError>> = Mutex::new(None);
-        let workers: Mutex<Vec<(ThreadStats, SearchMetrics)>> = Mutex::new(Vec::new());
+        let queue: Mutex<VecDeque<ChunkItem<'_>>> = Mutex::new(
+            work.into_iter()
+                .map(|(contig, offset, slice)| ChunkItem { contig, offset, slice, attempts: 0 })
+                .collect(),
+        );
         let prepared = prepared.as_ref();
+        let retry_limit = self.retry_limit;
+        let (tx, rx) = mpsc::channel::<WorkerReport>();
 
         std::thread::scope(|scope| {
             for _ in 0..self.threads {
-                scope.spawn(|| {
-                    let mut stats = ThreadStats::default();
-                    let mut local = SearchMetrics::default();
-                    let mut buf: Vec<Hit> = Vec::new();
+                let tx = tx.clone();
+                let queue = &queue;
+                scope.spawn(move || {
+                    let mut report = WorkerReport {
+                        stats: ThreadStats::default(),
+                        local: SearchMetrics::default(),
+                        hits: Vec::new(),
+                        failures: Vec::new(),
+                    };
                     loop {
-                        let item = queue.lock().expect("queue lock").next();
-                        let Some((contig, offset, slice)) = item else { break };
-                        buf.clear();
+                        let item = lock_unpoisoned(queue).pop_front();
+                        let Some(mut item) = item else { break };
                         let busy_start = Instant::now();
-                        let outcome = prepared.scan_slice(slice, &mut buf, &mut local);
-                        stats.busy_s += busy_start.elapsed().as_secs_f64();
-                        stats.chunks += 1;
+                        // The whole attempt — failpoint, scan, metrics —
+                        // runs behind the unwind fence with a *fresh*
+                        // per-attempt metrics scratch: a failed attempt
+                        // contributes nothing, so counters after healing
+                        // equal a clean run's.
+                        let attempt = catch_unwind(AssertUnwindSafe(
+                            || -> Result<(Vec<Hit>, SearchMetrics), String> {
+                                crispr_failpoint::hit("parallel.chunk")
+                                    .map_err(|e| e.to_string())?;
+                                let mut buf = Vec::new();
+                                let mut scratch = SearchMetrics::default();
+                                prepared
+                                    .scan_slice(item.slice, &mut buf, &mut scratch)
+                                    .map_err(|e| e.to_string())?;
+                                Ok((buf, scratch))
+                            },
+                        ));
+                        report.stats.busy_s += busy_start.elapsed().as_secs_f64();
+                        let outcome = match attempt {
+                            Ok(result) => result,
+                            Err(payload) => Err(panic_cause(payload)),
+                        };
+                        item.attempts += 1;
                         match outcome {
-                            Ok(()) => {
-                                stats.raw_hits += buf.len() as u64;
-                                let mut shifted: Vec<Hit> = buf
-                                    .drain(..)
-                                    .map(|mut h| {
-                                        h.contig = contig;
-                                        h.pos += offset;
-                                        h
-                                    })
-                                    .collect();
-                                results.lock().expect("results lock").append(&mut shifted);
+                            Ok((buf, scratch)) => {
+                                report.stats.chunks += 1;
+                                report.stats.raw_hits += buf.len() as u64;
+                                report.local.phases.merge(&scratch.phases);
+                                report.local.counters.merge(&scratch.counters);
+                                report.hits.extend(buf.into_iter().map(|mut h| {
+                                    h.contig = item.contig;
+                                    h.pos += item.offset;
+                                    h
+                                }));
                             }
-                            Err(e) => {
-                                let mut slot = error.lock().expect("error lock");
-                                if slot.is_none() {
-                                    *slot = Some(e);
-                                }
+                            Err(_cause) if item.attempts <= retry_limit => {
+                                // Heal: back of the queue, so healthy work
+                                // drains first and a flapping chunk's
+                                // retries are spread over time.
+                                report.local.counters.chunks_retried += 1;
+                                lock_unpoisoned(queue).push_back(item);
+                            }
+                            Err(cause) => {
+                                report.local.counters.chunks_failed += 1;
+                                report.failures.push(ChunkFailure {
+                                    contig: item.contig,
+                                    contig_name: String::new(),
+                                    start: item.offset,
+                                    len: item.slice.len() as u64,
+                                    attempts: item.attempts,
+                                    cause,
+                                });
                             }
                         }
                     }
-                    workers.lock().expect("workers lock").push((stats, local));
+                    // A receiver that vanished means the parent is gone;
+                    // nothing useful to do with the report then.
+                    let _ = tx.send(report);
                 });
             }
         });
+        drop(tx);
         let wall_s = scan_start.elapsed().as_secs_f64();
         m.phases.kernel_scan_s += wall_s;
-
-        if let Some(e) = error.into_inner().expect("error lock") {
-            return Err(e);
-        }
 
         let mut parallel = ParallelMetrics {
             threads: Vec::with_capacity(self.threads),
@@ -172,13 +273,17 @@ impl<E: Engine + Sync> ParallelEngine<E> {
             overlap: site_len.saturating_sub(1) as u64,
             worker_phases: Default::default(),
         };
-        for (stats, local) in workers.into_inner().expect("workers lock") {
+        let mut hits: Vec<Hit> = Vec::new();
+        let mut failures: Vec<ChunkFailure> = Vec::new();
+        for report in rx.iter() {
             // Workers never compile (the shared prepared search already
             // is), so their summed phases are pure scan-side CPU time.
-            m.counters.raw_hits += stats.raw_hits;
-            parallel.threads.push(stats);
-            parallel.worker_phases.merge(&local.phases);
-            m.counters.merge(&local.counters);
+            m.counters.raw_hits += report.stats.raw_hits;
+            parallel.threads.push(report.stats);
+            parallel.worker_phases.merge(&report.local.phases);
+            m.counters.merge(&report.local.counters);
+            hits.extend(report.hits);
+            failures.extend(report.failures);
         }
         m.set_gauge("utilization", parallel.utilization(wall_s));
         m.parallel = Some(parallel);
@@ -187,9 +292,21 @@ impl<E: Engine + Sync> ParallelEngine<E> {
         m.finalize_derived_gauges();
 
         let report_start = Instant::now();
-        let mut hits = results.into_inner().expect("results lock");
         normalize(&mut hits);
         m.phases.report_s += report_start.elapsed().as_secs_f64();
+        m.counters.faults_injected += crispr_failpoint::fired_total() - faults_before;
+
+        if !failures.is_empty() {
+            for failure in &mut failures {
+                failure.contig_name = genome.contigs()[failure.contig as usize].name().to_string();
+            }
+            failures.sort_by_key(|f| (f.contig, f.start));
+            return Err(SearchError::Partial {
+                failures,
+                chunks_total,
+                hits_recovered: hits.len(),
+            });
+        }
         Ok(hits)
     }
 }
@@ -276,10 +393,10 @@ mod tests {
             SynthSpec::new(len).seed(seed).generate().contigs()[0].seq().clone()
         };
         let mut genome = Genome::new();
-        genome.add_contig("tiny", piece(10, 91)); // shorter than a site: skipped
-        genome.add_contig("one-site", piece(23, 92)); // exactly one window
-        genome.add_contig("sub-chunk", piece(40, 93)); // smaller than one chunk
-        genome.add_contig("long", piece(12_000, 94)); // splits into many chunks
+        genome.add_contig("tiny", piece(10, 91)).unwrap(); // shorter than a site: skipped
+        genome.add_contig("one-site", piece(23, 92)).unwrap(); // exactly one window
+        genome.add_contig("sub-chunk", piece(40, 93)).unwrap(); // smaller than one chunk
+        genome.add_contig("long", piece(12_000, 94)).unwrap(); // splits into many chunks
         genome
     }
 
@@ -367,6 +484,36 @@ mod tests {
         assert!(m.phases.kernel_scan_s > 0.0);
         let utilization = m.gauge("utilization").expect("utilization gauge");
         assert!((0.0..=1.0 + 1e-9).contains(&utilization));
+    }
+
+    #[test]
+    fn injected_chunk_faults_self_heal() {
+        let (genome, guides, _) = planted_workload(78, 2);
+        let engine = ParallelEngine::new(BitParallelEngine::new(), 3);
+        let clean = engine.search(&genome, &guides, 2).unwrap();
+        // Two guaranteed fires, then the site exhausts; the default
+        // retry budget re-queues both failed chunks.
+        let _scenario = crispr_failpoint::FailScenario::setup("parallel.chunk=panic:1.0,5,2");
+        let mut m = SearchMetrics::default();
+        let hits = engine.search_metered(&genome, &guides, 2, &mut m).unwrap();
+        assert_eq!(hits, clean);
+        assert_eq!(m.counters.chunks_retried, 2);
+        assert_eq!(m.counters.chunks_failed, 0);
+        assert_eq!(m.counters.faults_injected, 2);
+    }
+
+    #[test]
+    fn persistent_faults_become_structured_partial_errors() {
+        let (genome, guides, _) = planted_workload(79, 1);
+        let engine = ParallelEngine::new(ScalarEngine::new(), 2).with_retry_limit(1);
+        let _scenario = crispr_failpoint::FailScenario::setup("parallel.chunk=error");
+        let err = engine.search(&genome, &guides, 1).unwrap_err();
+        let SearchError::Partial { failures, chunks_total, hits_recovered } = err else {
+            panic!("expected Partial");
+        };
+        assert_eq!(failures.len() as u64, chunks_total);
+        assert_eq!(hits_recovered, 0);
+        assert!(failures.iter().all(|f| f.attempts == 2 && !f.contig_name.is_empty()));
     }
 
     #[test]

@@ -198,10 +198,11 @@ mod tests {
         let genome =
             crispr_genome::Genome::from_seq("ACGTACGTACGTACGTACGTACGTACGT".parse().unwrap());
         let guide = Guide::new("g", "ACGT".parse().unwrap(), crispr_guides::Pam::ngg()).unwrap();
-        // k=5 would need 6 seeds from a 4-base spacer.
+        // k=5 on a 4-base spacer is a degenerate request; validation
+        // rejects it before the seed planner sees it.
         assert!(matches!(
             PigeonholeEngine::new().search(&genome, &[guide], 5),
-            Err(EngineError::Unsupported(_))
+            Err(EngineError::Guide(crispr_guides::GuideError::BudgetExceedsSpacer { .. }))
         ));
     }
 

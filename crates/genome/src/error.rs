@@ -21,6 +21,9 @@ pub enum GenomeError {
     },
     /// A contig name was not found in the genome.
     UnknownContig(String),
+    /// A contig with this name is already present. Duplicate names would
+    /// make name-based lookups and hit provenance ambiguous.
+    DuplicateContig(String),
     /// An underlying I/O failure.
     Io(std::io::Error),
 }
@@ -35,6 +38,9 @@ impl fmt::Display for GenomeError {
                 write!(f, "malformed FASTA at line {}: {}", line, reason)
             }
             GenomeError::UnknownContig(name) => write!(f, "unknown contig {:?}", name),
+            GenomeError::DuplicateContig(name) => {
+                write!(f, "duplicate contig name {:?}", name)
+            }
             GenomeError::Io(e) => write!(f, "i/o error: {}", e),
         }
     }

@@ -33,7 +33,40 @@ pub fn read_genome_lossy<R: Read>(reader: R) -> Result<Genome, GenomeError> {
     read_impl(reader, true)
 }
 
+/// Reads a genome from an in-memory FASTA image, degrading gracefully:
+/// the strict parse runs first, and if it fails on an invalid sequence
+/// byte the bytes are re-parsed lossily (dropping the offenders, as the
+/// published tools do) with a warning on stderr.
+///
+/// Returns the genome plus whether the lossy fallback was taken, so
+/// callers can count the degradation. Structural failures (malformed
+/// records, duplicate contig names, injected I/O faults) are not
+/// recoverable by dropping bytes and still error.
+///
+/// # Errors
+///
+/// [`GenomeError::MalformedFasta`], [`GenomeError::DuplicateContig`], or
+/// [`GenomeError::Io`] — everything except `InvalidBase`, which triggers
+/// the fallback instead.
+pub fn read_genome_resilient(bytes: &[u8]) -> Result<(Genome, bool), GenomeError> {
+    match read_impl(bytes, false) {
+        Ok(genome) => Ok((genome, false)),
+        Err(GenomeError::InvalidBase { byte, offset }) => {
+            eprintln!(
+                "warning: strict FASTA parse failed (invalid DNA base {:?} at offset {}); \
+                 re-reading lossily",
+                byte as char, offset
+            );
+            read_impl(bytes, true).map(|genome| (genome, true))
+        }
+        Err(e) => Err(e),
+    }
+}
+
 fn read_impl<R: Read>(reader: R, lossy: bool) -> Result<Genome, GenomeError> {
+    // Failpoint at the parse boundary: lets the robustness suite model a
+    // reference assembly that cannot be read.
+    crispr_failpoint::hit_io("fasta.read")?;
     let reader = BufReader::new(reader);
     let mut genome = Genome::new();
     let mut name: Option<String> = None;
@@ -48,7 +81,7 @@ fn read_impl<R: Read>(reader: R, lossy: bool) -> Result<Genome, GenomeError> {
         }
         if let Some(header) = line.strip_prefix('>') {
             if let Some(prev) = name.take() {
-                genome.add_contig(prev, std::mem::take(&mut seq));
+                genome.add_contig(prev, std::mem::take(&mut seq))?;
             }
             let token = header.split_whitespace().next().unwrap_or("");
             name = Some(token.to_string());
@@ -70,7 +103,7 @@ fn read_impl<R: Read>(reader: R, lossy: bool) -> Result<Genome, GenomeError> {
         }
     }
     if let Some(prev) = name {
-        genome.add_contig(prev, seq);
+        genome.add_contig(prev, seq)?;
     }
     Ok(genome)
 }
@@ -104,8 +137,8 @@ mod tests {
     #[test]
     fn roundtrip() {
         let mut genome = Genome::new();
-        genome.add_contig("chr1", "ACGTACGTACGT".parse().unwrap());
-        genome.add_contig("chr2", "GGGG".parse().unwrap());
+        genome.add_contig("chr1", "ACGTACGTACGT".parse().unwrap()).unwrap();
+        genome.add_contig("chr2", "GGGG".parse().unwrap()).unwrap();
         let mut buf = Vec::new();
         write_genome(&mut buf, &genome, 5).unwrap();
         let parsed = read_genome(buf.as_slice()).unwrap();
@@ -152,9 +185,46 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_fasta_contigs_are_rejected() {
+        let fasta = b">c\nACGT\n>c\nTTTT\n";
+        assert!(matches!(
+            read_genome(fasta.as_slice()),
+            Err(GenomeError::DuplicateContig(ref n)) if n == "c"
+        ));
+    }
+
+    #[test]
+    fn resilient_read_prefers_strict() {
+        let (genome, degraded) = read_genome_resilient(b">c\nACGT\n").unwrap();
+        assert!(!degraded);
+        assert_eq!(genome.contigs()[0].seq().to_string(), "ACGT");
+    }
+
+    #[test]
+    fn resilient_read_falls_back_to_lossy_on_bad_bases() {
+        let (genome, degraded) = read_genome_resilient(b">c\nACGNNNACGT\n").unwrap();
+        assert!(degraded);
+        assert_eq!(genome.contigs()[0].seq().to_string(), "ACGACGT");
+    }
+
+    #[test]
+    fn resilient_read_still_rejects_structural_damage() {
+        assert!(matches!(
+            read_genome_resilient(b"ACGT\n>c\nACGT\n"),
+            Err(GenomeError::MalformedFasta { .. })
+        ));
+    }
+
+    #[test]
+    fn injected_fasta_fault_surfaces_as_io_error() {
+        let _s = crispr_failpoint::FailScenario::setup("fasta.read=error:1.0,3");
+        assert!(matches!(read_genome(b">c\nACGT\n".as_slice()), Err(GenomeError::Io(_))));
+    }
+
+    #[test]
     fn multiline_wrapping_respects_width() {
         let mut genome = Genome::new();
-        genome.add_contig("c", "ACGTACGTAC".parse().unwrap());
+        genome.add_contig("c", "ACGTACGTAC".parse().unwrap()).unwrap();
         let mut buf = Vec::new();
         write_genome(&mut buf, &genome, 4).unwrap();
         let text = String::from_utf8(buf).unwrap();

@@ -83,7 +83,7 @@ impl Contig {
 /// use crispr_genome::{Genome, DnaSeq};
 ///
 /// let mut genome = Genome::new();
-/// genome.add_contig("chr1", "ACGTACGTAA".parse()?);
+/// genome.add_contig("chr1", "ACGTACGTAA".parse()?)?;
 /// assert_eq!(genome.total_len(), 10);
 /// assert_eq!(genome.contig("chr1").unwrap().len(), 10);
 /// # Ok::<(), crispr_genome::GenomeError>(())
@@ -102,13 +102,25 @@ impl Genome {
     /// Creates a genome holding a single contig named `"contig0"`.
     pub fn from_seq(seq: DnaSeq) -> Genome {
         let mut g = Genome::new();
-        g.add_contig("contig0", seq);
+        // Infallible: a fresh genome cannot already hold "contig0".
+        g.add_contig("contig0", seq).expect("fresh genome has no contigs");
         g
     }
 
     /// Appends a contig.
-    pub fn add_contig(&mut self, name: impl Into<String>, seq: DnaSeq) {
+    ///
+    /// # Errors
+    ///
+    /// [`GenomeError::DuplicateContig`] if a contig with this name is
+    /// already present — duplicate names would make name-based lookups
+    /// and hit provenance ambiguous.
+    pub fn add_contig(&mut self, name: impl Into<String>, seq: DnaSeq) -> Result<(), GenomeError> {
+        let name = name.into();
+        if self.contig(&name).is_some() {
+            return Err(GenomeError::DuplicateContig(name));
+        }
         self.contigs.push(Contig::new(name, seq));
+        Ok(())
     }
 
     /// The contigs in insertion order.
@@ -214,13 +226,24 @@ mod tests {
     #[test]
     fn contig_lookup() {
         let mut g = Genome::new();
-        g.add_contig("chr1", "ACGT".parse().unwrap());
-        g.add_contig("chr2", "TTTT".parse().unwrap());
+        g.add_contig("chr1", "ACGT".parse().unwrap()).unwrap();
+        g.add_contig("chr2", "TTTT".parse().unwrap()).unwrap();
         assert_eq!(g.contig_count(), 2);
         assert_eq!(g.total_len(), 8);
         assert_eq!(g.contig("chr2").unwrap().seq().to_string(), "TTTT");
         assert!(g.contig("chrX").is_none());
         assert!(matches!(g.contig_or_err("chrX"), Err(GenomeError::UnknownContig(_))));
+    }
+
+    #[test]
+    fn duplicate_contig_names_are_rejected() {
+        let mut g = Genome::new();
+        g.add_contig("chr1", "ACGT".parse().unwrap()).unwrap();
+        let err = g.add_contig("chr1", "TTTT".parse().unwrap()).unwrap_err();
+        assert!(matches!(err, GenomeError::DuplicateContig(ref n) if n == "chr1"), "{err}");
+        // The rejected contig was not appended.
+        assert_eq!(g.contig_count(), 1);
+        assert_eq!(g.contig("chr1").unwrap().seq().to_string(), "ACGT");
     }
 
     #[test]
@@ -254,8 +277,8 @@ mod tests {
     #[test]
     fn pack_matches_contigs() {
         let mut g = Genome::new();
-        g.add_contig("a", "ACGT".parse().unwrap());
-        g.add_contig("b", "GGCC".parse().unwrap());
+        g.add_contig("a", "ACGT".parse().unwrap()).unwrap();
+        g.add_contig("b", "GGCC".parse().unwrap()).unwrap();
         let packed = g.pack();
         assert_eq!(packed.len(), 2);
         assert_eq!(packed[1].unpack().to_string(), "GGCC");

@@ -113,10 +113,13 @@ impl SynthSpec {
         let mut genome = Genome::new();
         let per = self.len.div_ceil(self.contigs).max(1);
         for (idx, chunk) in bases.chunks(per).enumerate() {
-            genome.add_contig(format!("chr{}", idx + 1), DnaSeq::from_bases(chunk.to_vec()));
+            // Generated names "chr1", "chr2", ... are unique by construction.
+            genome
+                .add_contig(format!("chr{}", idx + 1), DnaSeq::from_bases(chunk.to_vec()))
+                .expect("generated contig names are unique");
         }
         if genome.is_empty() {
-            genome.add_contig("chr1", DnaSeq::new());
+            genome.add_contig("chr1", DnaSeq::new()).expect("fresh genome has no contigs");
         }
         genome
     }
@@ -295,7 +298,8 @@ impl Planter {
     pub fn finish(self) -> (Genome, Vec<PlantedSite>) {
         let mut genome = Genome::new();
         for (name, data) in self.names.into_iter().zip(self.genome) {
-            genome.add_contig(name, DnaSeq::from_bases(data));
+            // Names come from the source genome, whose contigs were unique.
+            genome.add_contig(name, DnaSeq::from_bases(data)).expect("source contigs were unique");
         }
         (genome, self.planted)
     }

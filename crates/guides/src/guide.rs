@@ -17,6 +17,15 @@ pub enum GuideError {
     /// The mismatch budget cannot be represented in a report code
     /// (maximum 30).
     BudgetTooLarge(usize),
+    /// The mismatch budget is at least the spacer length, so *every*
+    /// window with a valid PAM would match — the search degenerates to a
+    /// PAM scan and the request is almost certainly a mistake.
+    BudgetExceedsSpacer {
+        /// The requested mismatch budget.
+        k: usize,
+        /// The spacer length it must stay below.
+        spacer_len: usize,
+    },
     /// Guides in one compiled set must share a site length (the engines
     /// and platform models assume uniform windows, as the paper does).
     MixedSiteLengths {
@@ -38,6 +47,13 @@ impl fmt::Display for GuideError {
             GuideError::EmptySpacer => write!(f, "guide spacer is empty"),
             GuideError::BudgetTooLarge(k) => {
                 write!(f, "mismatch budget {k} exceeds the report-code maximum of 30")
+            }
+            GuideError::BudgetExceedsSpacer { k, spacer_len } => {
+                write!(
+                    f,
+                    "mismatch budget {k} is not below the spacer length {spacer_len}; \
+                     every PAM-adjacent window would match"
+                )
             }
             GuideError::MixedSiteLengths { expected, found } => {
                 write!(f, "guide site length {found} differs from the set's {expected}")

@@ -32,6 +32,11 @@ pub enum GuideIoError {
         /// The underlying validation failure.
         source: GuideError,
     },
+    /// The file parsed cleanly but contained no guides. A search over
+    /// zero guides is always a caller mistake (an empty or comment-only
+    /// file), so it is rejected here with the file context rather than
+    /// later as a bare `NoGuides`.
+    Empty,
 }
 
 impl std::fmt::Display for GuideIoError {
@@ -44,6 +49,7 @@ impl std::fmt::Display for GuideIoError {
             GuideIoError::Invalid { line, source } => {
                 write!(f, "guide file line {line}: {source}")
             }
+            GuideIoError::Empty => write!(f, "guide file contains no guides"),
         }
     }
 }
@@ -53,7 +59,7 @@ impl std::error::Error for GuideIoError {
         match self {
             GuideIoError::Io(e) => Some(e),
             GuideIoError::Invalid { source, .. } => Some(source),
-            GuideIoError::Malformed { .. } => None,
+            GuideIoError::Malformed { .. } | GuideIoError::Empty => None,
         }
     }
 }
@@ -68,13 +74,19 @@ impl From<std::io::Error> for GuideIoError {
 ///
 /// # Errors
 ///
-/// [`GuideIoError`] describing the first offending line, or I/O failure.
+/// [`GuideIoError`] describing the first offending line,
+/// [`GuideIoError::Empty`] if no line held a guide, or I/O failure.
 pub fn read_guides<R: Read>(reader: R) -> Result<Vec<Guide>, GuideIoError> {
+    // Failpoint at the parse boundary: lets the robustness suite model an
+    // unreadable guide list.
+    crispr_failpoint::hit_io("guides.read")?;
     let reader = BufReader::new(reader);
     let mut guides = Vec::new();
     for (line_no, line) in reader.lines().enumerate() {
         let line_no = line_no + 1;
         let line = line?;
+        // `split` always yields at least one (possibly empty) piece, so
+        // the `unwrap_or` default is unreachable.
         let content = line.split('#').next().unwrap_or("").trim();
         if content.is_empty() {
             continue;
@@ -99,6 +111,9 @@ pub fn read_guides<R: Read>(reader: R) -> Result<Vec<Guide>, GuideIoError> {
         let guide = Guide::new(fields[0], spacer, pam)
             .map_err(|source| GuideIoError::Invalid { line: line_no, source })?;
         guides.push(guide);
+    }
+    if guides.is_empty() {
+        return Err(GuideIoError::Empty);
     }
     Ok(guides)
 }
@@ -169,5 +184,27 @@ mod tests {
     fn five_prime_suffix_parses() {
         let guides = read_guides("g ACGT TTTV/5".as_bytes()).unwrap();
         assert_eq!(guides[0].pam().side(), PamSide::Five);
+    }
+
+    #[test]
+    fn empty_and_comment_only_files_are_rejected() {
+        for text in ["", "\n\n", "# only a comment\n  \n"] {
+            assert!(matches!(read_guides(text.as_bytes()), Err(GuideIoError::Empty)), "{text:?}");
+        }
+    }
+
+    #[test]
+    fn crlf_and_stray_whitespace_are_tolerated() {
+        let text = "# header\r\n\r\n  g1\tACGTACGTACGTACGTACGT \t NGG  \r\n";
+        let guides = read_guides(text.as_bytes()).unwrap();
+        assert_eq!(guides.len(), 1);
+        assert_eq!(guides[0].id(), "g1");
+        assert_eq!(guides[0].pam().to_string(), "NGG");
+    }
+
+    #[test]
+    fn injected_guides_fault_surfaces_as_io_error() {
+        let _s = crispr_failpoint::FailScenario::setup("guides.read=error:1.0,5");
+        assert!(matches!(read_guides("g ACGT NGG".as_bytes()), Err(GuideIoError::Io(_))));
     }
 }

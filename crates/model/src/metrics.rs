@@ -84,6 +84,20 @@ pub struct EngineCounters {
     /// so this should stay zero — a nonzero value flags a reintroduced
     /// per-chunk copy.
     pub bytes_copied: u64,
+    /// Faults raised by the failpoint subsystem during this search
+    /// (panics, injected errors, delays). Zero outside fault-injection
+    /// runs.
+    pub faults_injected: u64,
+    /// Chunk scans that failed (panic or error) and were re-queued for
+    /// another attempt by the parallel deployment.
+    pub chunks_retried: u64,
+    /// Chunk scans that exhausted their retry budget and were reported in
+    /// a partial-result error instead of aborting the search.
+    pub chunks_failed: u64,
+    /// Graceful-degradation fallbacks taken: a prefilter/multiseed build
+    /// fault downgraded to the per-guide full-scan path, or a strict
+    /// FASTA parse downgraded to lossy.
+    pub degraded_paths: u64,
 }
 
 impl EngineCounters {
@@ -99,6 +113,10 @@ impl EngineCounters {
         self.candidates_verified += other.candidates_verified;
         self.raw_hits += other.raw_hits;
         self.bytes_copied += other.bytes_copied;
+        self.faults_injected += other.faults_injected;
+        self.chunks_retried += other.chunks_retried;
+        self.chunks_failed += other.chunks_failed;
+        self.degraded_paths += other.degraded_paths;
     }
 
     /// True if any counter was incremented.
@@ -113,6 +131,10 @@ impl EngineCounters {
             + self.candidates_verified
             + self.raw_hits
             + self.bytes_copied
+            + self.faults_injected
+            + self.chunks_retried
+            + self.chunks_failed
+            + self.degraded_paths
             > 0
     }
 }
@@ -252,7 +274,7 @@ impl SearchMetrics {
         ));
         let c = &self.counters;
         out.push_str(&format!(
-            "\"counters\":{{\"windows_scanned\":{},\"pam_anchors_tested\":{},\"seed_survivors\":{},\"bit_steps\":{},\"early_exits\":{},\"multiseed_candidates\":{},\"multiseed_positions\":{},\"candidates_verified\":{},\"raw_hits\":{},\"bytes_copied\":{}}}",
+            "\"counters\":{{\"windows_scanned\":{},\"pam_anchors_tested\":{},\"seed_survivors\":{},\"bit_steps\":{},\"early_exits\":{},\"multiseed_candidates\":{},\"multiseed_positions\":{},\"candidates_verified\":{},\"raw_hits\":{},\"bytes_copied\":{},\"faults_injected\":{},\"chunks_retried\":{},\"chunks_failed\":{},\"degraded_paths\":{}}}",
             c.windows_scanned,
             c.pam_anchors_tested,
             c.seed_survivors,
@@ -263,6 +285,10 @@ impl SearchMetrics {
             c.candidates_verified,
             c.raw_hits,
             c.bytes_copied,
+            c.faults_injected,
+            c.chunks_retried,
+            c.chunks_failed,
+            c.degraded_paths,
         ));
         if let Some(p) = &self.parallel {
             out.push_str(&format!(
@@ -459,6 +485,22 @@ mod tests {
         plain.counters.windows_scanned = 10;
         plain.finalize_derived_gauges();
         assert_eq!(plain.gauge("guides_per_candidate"), None);
+    }
+
+    #[test]
+    fn fault_counters_merge_and_serialize() {
+        let mut m = SearchMetrics::new("faulted");
+        m.counters.faults_injected = 3;
+        m.counters.chunks_retried = 2;
+        let extra = EngineCounters { chunks_failed: 1, degraded_paths: 4, ..Default::default() };
+        assert!(extra.any_nonzero(), "fault counters register in any_nonzero");
+        m.counters.merge(&extra);
+        let value = json::parse(&m.to_json()).expect("metrics JSON parses");
+        let counters = value.get("counters").expect("counters present");
+        assert_eq!(counters.get("faults_injected").and_then(json::Value::as_f64), Some(3.0));
+        assert_eq!(counters.get("chunks_retried").and_then(json::Value::as_f64), Some(2.0));
+        assert_eq!(counters.get("chunks_failed").and_then(json::Value::as_f64), Some(1.0));
+        assert_eq!(counters.get("degraded_paths").and_then(json::Value::as_f64), Some(4.0));
     }
 
     #[test]

@@ -25,6 +25,12 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::from(2);
     };
+    // Fault injection from the environment applies to every subcommand;
+    // `--inject` (search only) is layered on top in `cmd_search`.
+    if let Err(e) = crispr_offtarget::failpoint::configure_from_env() {
+        eprintln!("offtarget: OFFTARGET_INJECT: {e}");
+        return ExitCode::from(2);
+    }
     let result = match command.as_str() {
         "synth" => cmd_synth(rest),
         "guides" => cmd_guides(rest),
@@ -40,7 +46,13 @@ fn main() -> ExitCode {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("offtarget: {e}");
-            ExitCode::FAILURE
+            // Partial results (some chunks failed every retry) get their
+            // own exit code so pipelines can distinguish "incomplete"
+            // from "broken".
+            let partial = e
+                .downcast_ref::<crispr_offtarget::engines::SearchError>()
+                .is_some_and(crispr_offtarget::engines::SearchError::is_partial);
+            ExitCode::from(if partial { 3 } else { 1 })
         }
     }
 }
@@ -50,16 +62,58 @@ const USAGE: &str = "usage:
   offtarget guides --count N [--from-genome genome.fa] [--seed S] [--pam MOTIF[/5]] -o guides.txt
   offtarget search --genome genome.fa --guides guides.txt [-k K]
                    [--platform NAME] [--threads T] [--format tsv|json]
-                   [--metrics metrics.json] [-o hits]
+                   [--metrics metrics.json] [--retries N]
+                   [--inject 'site=kind[:prob[,seed[,times]]][;...]'] [-o hits]
   offtarget anml   --guides guides.txt [-k K] [-o out.anml]
 
 platforms: cpu-scalar cpu-cas-offinder cpu-casot cpu-hyperscan cpu-nfa cpu-dfa
-           ap fpga gpu-infant2 gpu-cas-offinder";
+           ap fpga gpu-infant2 gpu-cas-offinder
+
+fault injection: --inject (or the OFFTARGET_INJECT environment variable)
+arms named failpoints; kinds are panic, error, delay<ms>. Known sites:
+parallel.chunk fasta.read guides.read prefilter.build multiseed.build";
 
 type CliError = Box<dyn std::error::Error>;
 
-/// Parses `--flag value` pairs (and `-k`, `-o` shorthands).
-fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
+/// The flags each subcommand accepts, by canonical key (shorthands `-o`
+/// and `-k` map to `out` and `k`).
+const SYNTH_FLAGS: &[&str] = &["len", "seed", "gc", "contigs", "out"];
+const GUIDES_FLAGS: &[&str] = &["count", "from-genome", "seed", "pam", "out"];
+const SEARCH_FLAGS: &[&str] = &[
+    "genome", "guides", "k", "platform", "threads", "format", "metrics", "retries", "inject", "out",
+];
+const ANML_FLAGS: &[&str] = &["guides", "k", "out"];
+
+/// Edit distance for the unknown-flag hint; small inputs only.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut prev = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { prev } else { prev + 1 };
+            prev = row[j + 1];
+            row[j + 1] = cost.min(row[j] + 1).min(row[j + 1] + 1);
+        }
+    }
+    row[b.len()]
+}
+
+/// The closest allowed flag, if any is close enough to be a plausible typo.
+fn suggest<'a>(key: &str, allowed: &[&'a str]) -> Option<&'a str> {
+    allowed
+        .iter()
+        .map(|&f| (edit_distance(key, f), f))
+        .min()
+        .filter(|&(d, f)| d <= 2.min(f.len().saturating_sub(1)).max(1))
+        .map(|(_, f)| f)
+}
+
+/// Parses `--flag value` pairs (and `-k`, `-o` shorthands), rejecting
+/// flags the subcommand does not define — with a "did you mean" hint for
+/// near-misses.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut iter = args.iter();
     while let Some(flag) = iter.next() {
@@ -69,6 +123,13 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, CliError> {
             s if s.starts_with("--") => &s[2..],
             s => return Err(format!("unexpected argument {s:?}").into()),
         };
+        if !allowed.contains(&key) {
+            let hint = match suggest(key, allowed) {
+                Some(f) => format!("; did you mean --{f}?"),
+                None => String::new(),
+            };
+            return Err(format!("unknown flag --{key}{hint}").into());
+        }
         let value = iter.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
     }
@@ -100,8 +161,13 @@ fn out_writer(flags: &HashMap<String, String>) -> Result<Box<dyn Write>, CliErro
     }
 }
 
-fn load_genome(path: &str) -> Result<Genome, CliError> {
-    Ok(fasta::read_genome_lossy(File::open(path)?)?)
+/// Loads a genome resiliently: strict parse first, lossy fallback (with a
+/// warning) on invalid sequence bytes. Returns the genome and how many
+/// degradation events occurred, for the `degraded_paths` counter.
+fn load_genome(path: &str) -> Result<(Genome, u64), CliError> {
+    let bytes = std::fs::read(path)?;
+    let (genome, degraded) = fasta::read_genome_resilient(&bytes)?;
+    Ok((genome, u64::from(degraded)))
 }
 
 fn load_guides(path: &str) -> Result<Vec<Guide>, CliError> {
@@ -117,7 +183,7 @@ fn parse_pam(text: &str) -> Result<Pam, CliError> {
 }
 
 fn cmd_synth(args: &[String]) -> Result<(), CliError> {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags(args, SYNTH_FLAGS)?;
     let len: usize = get(&flags, "len")?.parse().map_err(|e| format!("--len: {e}"))?;
     let spec = SynthSpec::new(len)
         .seed(parse(&flags, "seed", 0u64)?)
@@ -131,13 +197,13 @@ fn cmd_synth(args: &[String]) -> Result<(), CliError> {
 }
 
 fn cmd_guides(args: &[String]) -> Result<(), CliError> {
-    let flags = parse_flags(args)?;
+    let flags = parse_flags(args, GUIDES_FLAGS)?;
     let count: usize = get(&flags, "count")?.parse().map_err(|e| format!("--count: {e}"))?;
     let seed = parse(&flags, "seed", 0u64)?;
     let pam = parse_pam(flags.get("pam").map(String::as_str).unwrap_or("NGG"))?;
     let guides = match flags.get("from-genome") {
         Some(path) => {
-            let genome = load_genome(path)?;
+            let (genome, _) = load_genome(path)?;
             genset::guides_from_genome(&genome, count, 20, &pam, seed)
         }
         None => genset::random_guides(count, 20, &pam, seed),
@@ -158,13 +224,17 @@ fn parse_platform(name: &str) -> Result<Platform, CliError> {
 }
 
 fn cmd_search(args: &[String]) -> Result<(), CliError> {
-    let flags = parse_flags(args)?;
-    let genome = load_genome(get(&flags, "genome")?)?;
+    let flags = parse_flags(args, SEARCH_FLAGS)?;
+    if let Some(spec) = flags.get("inject") {
+        crispr_offtarget::failpoint::configure(spec).map_err(|e| format!("--inject: {e}"))?;
+    }
+    let (genome, degraded_inputs) = load_genome(get(&flags, "genome")?)?;
     let guides = load_guides(get(&flags, "guides")?)?;
     let k = parse(&flags, "k", 3usize)?;
     let platform =
         parse_platform(flags.get("platform").map(String::as_str).unwrap_or("cpu-hyperscan"))?;
     let threads = parse(&flags, "threads", 1usize)?;
+    let retries = parse(&flags, "retries", crispr_offtarget::engines::DEFAULT_CHUNK_RETRIES)?;
     let format = flags.get("format").map(String::as_str).unwrap_or("tsv");
 
     let contig_names: Vec<String> = genome.contigs().iter().map(|c| c.name().to_string()).collect();
@@ -173,6 +243,8 @@ fn cmd_search(args: &[String]) -> Result<(), CliError> {
         .max_mismatches(k)
         .platform(platform)
         .threads(threads)
+        .chunk_retries(retries)
+        .input_degradations(degraded_inputs)
         .run()?;
 
     let mut writer = out_writer(&flags)?;
@@ -235,7 +307,7 @@ fn cmd_search(args: &[String]) -> Result<(), CliError> {
 fn cmd_anml(args: &[String]) -> Result<(), CliError> {
     use crispr_offtarget::automata::anml;
     use crispr_offtarget::guides::{compile, CompileOptions};
-    let flags = parse_flags(args)?;
+    let flags = parse_flags(args, ANML_FLAGS)?;
     let guides = load_guides(get(&flags, "guides")?)?;
     let k = parse(&flags, "k", 3usize)?;
     let set = compile::compile_guides(&guides, &CompileOptions::new(k))?;

@@ -20,6 +20,8 @@
 //!   and GPU execution (iNFAnt2-class NFA engine, Cas-OFFinder brute force).
 //! * [`core`] — the high-level [`core::OffTargetSearch`] API tying it all
 //!   together.
+//! * [`failpoint`] — deterministic fault injection for the robustness
+//!   suite (named sites, zero-cost when disabled).
 //!
 //! # Quickstart
 //!
@@ -42,6 +44,7 @@ pub use crispr_ap as ap;
 pub use crispr_automata as automata;
 pub use crispr_core as core;
 pub use crispr_engines as engines;
+pub use crispr_failpoint as failpoint;
 pub use crispr_fpga as fpga;
 pub use crispr_genome as genome;
 pub use crispr_gpu as gpu;

@@ -80,6 +80,119 @@ fn json_output_escapes_ids_and_includes_metrics() {
 }
 
 #[test]
+fn unknown_flags_get_a_did_you_mean_hint() {
+    let output = run_search(&["--genom", "x.fa"]);
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("unknown flag --genom") && stderr.contains("did you mean --genome?"),
+        "stderr: {stderr}"
+    );
+
+    // Far-off garbage gets no hint, just the rejection.
+    let output = run_search(&["--zzzzzzzz", "1"]);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("unknown flag --zzzzzzzz"), "stderr: {stderr}");
+    assert!(!stderr.contains("did you mean"), "stderr: {stderr}");
+}
+
+#[test]
+fn injected_capped_faults_heal_to_the_clean_hit_set() {
+    let dir = scratch("inject-heal");
+    let (genome, guides) = write_workload(&dir);
+    let clean_path = dir.join("clean.tsv");
+    let faulted_path = dir.join("faulted.tsv");
+    let metrics_path = dir.join("metrics.json");
+    let base = |out: &Path| {
+        vec![
+            "--genome".to_string(),
+            genome.to_str().unwrap().to_string(),
+            "--guides".to_string(),
+            guides.to_str().unwrap().to_string(),
+            "-k".to_string(),
+            "1".to_string(),
+            "--threads".to_string(),
+            "2".to_string(),
+            "-o".to_string(),
+            out.to_str().unwrap().to_string(),
+        ]
+    };
+    let clean_args = base(&clean_path);
+    let output = run_search(&clean_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    let mut faulted_args = base(&faulted_path);
+    faulted_args.extend(
+        ["--inject", "parallel.chunk=panic:1.0,7,2", "--metrics", metrics_path.to_str().unwrap()]
+            .map(String::from),
+    );
+    let output = run_search(&faulted_args.iter().map(String::as_str).collect::<Vec<_>>());
+    assert!(output.status.success(), "stderr: {}", String::from_utf8_lossy(&output.stderr));
+
+    // Healing is invisible in the output: identical hit files.
+    let clean = fs::read_to_string(&clean_path).expect("clean hits");
+    let faulted = fs::read_to_string(&faulted_path).expect("faulted hits");
+    assert_eq!(clean, faulted, "faulted run must heal to the clean hit set");
+    assert!(clean.lines().count() > 1, "workload must produce hits");
+
+    // ... but visible in the metrics.
+    let metrics = json::parse(&fs::read_to_string(&metrics_path).expect("metrics"))
+        .expect("metrics JSON parses");
+    let counters = metrics.get("counters").expect("counters");
+    let counter = |name: &str| counters.get(name).and_then(Value::as_f64).expect(name);
+    assert_eq!(counter("faults_injected"), 2.0);
+    assert_eq!(counter("chunks_retried"), 2.0);
+    assert_eq!(counter("chunks_failed"), 0.0);
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn persistent_faults_exit_with_the_partial_code() {
+    let dir = scratch("inject-partial");
+    let (genome, guides) = write_workload(&dir);
+    let output = run_search(&[
+        "--genome",
+        genome.to_str().unwrap(),
+        "--guides",
+        guides.to_str().unwrap(),
+        "-k",
+        "1",
+        "--threads",
+        "2",
+        "--retries",
+        "0",
+        "--inject",
+        "parallel.chunk=panic",
+        "-o",
+        dir.join("hits.tsv").to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(3), "partial results get exit code 3");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(stderr.contains("partial result"), "stderr: {stderr}");
+    assert!(stderr.contains("failed chunk"), "stderr: {stderr}");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn malformed_injection_specs_are_usage_errors() {
+    // Bad --inject spec: rejected before any work happens.
+    let output = run_search(&["--inject", "nonsense"]);
+    assert!(!output.status.success());
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--inject"));
+
+    // Bad OFFTARGET_INJECT: usage error (exit 2) for any subcommand.
+    let output = Command::new(env!("CARGO_BIN_EXE_offtarget"))
+        .arg("help")
+        .env("OFFTARGET_INJECT", "bogus-spec")
+        .output()
+        .expect("run offtarget");
+    assert_eq!(output.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&output.stderr).contains("OFFTARGET_INJECT"));
+}
+
+#[test]
 fn metrics_flag_writes_standalone_json() {
     let dir = scratch("metrics");
     let (genome, guides) = write_workload(&dir);

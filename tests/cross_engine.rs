@@ -165,14 +165,14 @@ mod differential {
         let guides = genset::random_guides(guide_count, 20, &pam, seed.wrapping_add(7));
         let mut genome = Genome::new();
         if seed.is_multiple_of(3) {
-            genome.add_contig("empty", std::iter::empty::<Base>().collect());
+            genome.add_contig("empty", std::iter::empty::<Base>().collect()).unwrap();
         }
         let short_len = rng.below(22) as usize;
-        genome.add_contig("short", random_seq(&mut rng, short_len));
+        genome.add_contig("short", random_seq(&mut rng, short_len)).unwrap();
         let dense_len = 400 + rng.below(400) as usize;
-        genome.add_contig("pam-dense", pam_dense_seq(&mut rng, dense_len));
+        genome.add_contig("pam-dense", pam_dense_seq(&mut rng, dense_len)).unwrap();
         let main_len = 800 + rng.below(1200) as usize;
-        genome.add_contig("main", random_seq(&mut rng, main_len));
+        genome.add_contig("main", random_seq(&mut rng, main_len)).unwrap();
         let (genome, _) = genset::plant_offtargets(
             genome,
             &guides,
@@ -245,7 +245,7 @@ mod differential {
                 let mut cand = Genome::new();
                 for (ci, contig) in current.contigs().iter().enumerate() {
                     if ci != skip {
-                        cand.add_contig(contig.name(), contig.seq().clone());
+                        cand.add_contig(contig.name(), contig.seq().clone()).unwrap();
                     }
                 }
                 if disagrees(engine, &cand, guides, k) {
@@ -270,7 +270,7 @@ mod differential {
                             } else {
                                 contig.seq().clone()
                             };
-                            cand.add_contig(contig.name(), seq);
+                            cand.add_contig(contig.name(), seq).unwrap();
                         }
                         if disagrees(engine, &cand, guides, k) {
                             next = Some(cand);
@@ -397,11 +397,11 @@ mod differential {
         let guide = Guide::new("g", "GATTACAGATTACAGATTAC".parse().unwrap(), Pam::ngg()).unwrap();
         let mut rng = SplitMix(99);
         let mut genome = Genome::new();
-        genome.add_contig("filler", random_seq(&mut rng, 200));
+        genome.add_contig("filler", random_seq(&mut rng, 200)).unwrap();
         let mut with_site = random_seq(&mut rng, 50);
         with_site.extend_from_seq(&"GATTACAGATTACAGATTACTGG".parse().unwrap());
         with_site.extend_from_seq(&random_seq(&mut rng, 50));
-        genome.add_contig("site", with_site);
+        genome.add_contig("site", with_site).unwrap();
         let guides = vec![guide];
         let truth = ScalarEngine::new().search(&genome, &guides, 0).unwrap();
         let lossy = Lossy;

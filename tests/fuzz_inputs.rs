@@ -53,6 +53,60 @@ proptest! {
     }
 }
 
+/// Every prefix of a well-formed FASTA file — truncation mid-header,
+/// mid-sequence, or mid-line — parses or rejects cleanly, never panics,
+/// and any accepted genome is a prefix of the full one.
+#[test]
+fn truncated_fasta_never_panics_and_stays_a_prefix() {
+    let full: &[u8] = b">chr1\nACGTACGTACGTACGTACGTACG\nTACGT\n>chr2\nGGGGCCCCAAAA\n";
+    let complete = fasta::read_genome(full).expect("full file parses");
+    for cut in 0..full.len() {
+        if let Ok(genome) = fasta::read_genome(&full[..cut]) {
+            for contig in genome.contigs() {
+                // A cut inside a header line yields a shortened contig
+                // name; only sequence content of surviving names can be
+                // checked against the full file.
+                let Some(reference) = complete.contig(contig.name()) else { continue };
+                let got = contig.seq().to_string();
+                assert!(
+                    reference.seq().to_string().starts_with(&got),
+                    "cut {cut}: contig {} is not a prefix",
+                    contig.name()
+                );
+            }
+        }
+    }
+}
+
+/// CRLF line endings, stray blank lines, and tab/space mixtures in guide
+/// files are tolerated; the parsed set matches the clean file.
+#[test]
+fn crlf_and_whitespace_mangled_guide_files_parse_identically() {
+    let clean = "g1 GATTACAGATTACAGATTAC NGG\ng2 CATCATCATCATCATCATCA NGG\n";
+    let mangled = "g1 GATTACAGATTACAGATTAC NGG\r\n\r\n  \t\r\ng2\tCATCATCATCATCATCATCA\tNGG  \r\n";
+    let want = guide_io::read_guides(clean.as_bytes()).expect("clean file parses");
+    let got = guide_io::read_guides(mangled.as_bytes()).expect("mangled file parses");
+    assert_eq!(got.len(), want.len());
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(g.id(), w.id());
+        assert_eq!(g.spacer(), w.spacer());
+    }
+}
+
+/// A zero-length genome (header, no sequence) flows through the whole
+/// parallel pipeline: no hits, no panic, no error.
+#[test]
+fn zero_length_genome_searches_to_empty() {
+    use crispr_offtarget::engines::{BitParallelEngine, Engine, ParallelEngine};
+    use crispr_offtarget::guides::{genset, Pam};
+    let genome = fasta::read_genome(b">empty\n".as_slice()).expect("empty contig parses");
+    assert_eq!(genome.total_len(), 0);
+    let guides = genset::random_guides(1, 20, &Pam::ngg(), 9);
+    let hits =
+        ParallelEngine::new(BitParallelEngine::new(), 4).search(&genome, &guides, 3).unwrap();
+    assert!(hits.is_empty());
+}
+
 #[test]
 fn fasta_errors_carry_positions() {
     let err = fasta::read_genome(b"ACGT\n".as_slice()).unwrap_err();

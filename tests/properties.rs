@@ -151,7 +151,7 @@ proptest! {
         let mut genome = Genome::from_seq(text);
         // A contig shorter than one 23+ base site must contribute nothing
         // (and must not trip the anchor scanner's window handling).
-        genome.add_contig("stub", stub);
+        genome.add_contig("stub", stub).unwrap();
         let guides = vec![g];
         let truth = ScalarEngine::new().search(&genome, &guides, k).unwrap();
         let bp = BitParallelEngine::new().search(&genome, &guides, k).unwrap();
