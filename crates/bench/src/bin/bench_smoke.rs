@@ -12,6 +12,12 @@
 //!   grows by more than [`TOLERANCE`] versus the committed baseline has
 //!   genuinely regressed against the code it shipped with.
 //!
+//! Each row also records the best round's per-phase spans and key work
+//! counters. They are not gated (the check reads only `relative`) but
+//! localize a regression: a `relative` jump with unchanged counters is a
+//! code-speed problem in the named phase, while moved counters mean the
+//! filter cascade itself changed shape.
+//!
 //! Usage:
 //!
 //! * `bench_smoke` — print fresh JSON to stdout (redirect to
@@ -45,13 +51,22 @@ const SEED: u64 = 11;
 /// divides by — gets at least one sample from the same quiet windows.
 const ROUNDS: usize = 7;
 
-fn kernel_seconds(engine: &dyn Engine, genome: &Genome, guides: &[Guide]) -> f64 {
-    let mut m = SearchMetrics::default();
-    engine.search_metered(genome, guides, K, &mut m).expect("engine runs");
-    m.phases.kernel_scan_s
+/// One engine's measurement: name, best kernel seconds, and the full
+/// metrics of the best round — phases and counters localize *which*
+/// phase moved when the gate trips.
+struct Row {
+    name: &'static str,
+    kernel_s: f64,
+    metrics: SearchMetrics,
 }
 
-fn measure() -> Vec<(&'static str, f64)> {
+fn metered_run(engine: &dyn Engine, genome: &Genome, guides: &[Guide]) -> SearchMetrics {
+    let mut m = SearchMetrics::default();
+    engine.search_metered(genome, guides, K, &mut m).expect("engine runs");
+    m
+}
+
+fn measure() -> Vec<Row> {
     let (genome, guides, _) = workloads::planted(GENOME_LEN, GUIDES, K, SEED);
     let engines: Vec<(&'static str, Box<dyn Engine>)> = vec![
         ("cpu-scalar", Box::new(ScalarEngine::new())),
@@ -64,44 +79,83 @@ fn measure() -> Vec<(&'static str, f64)> {
         ("cpu-hyperscan-batched", Box::new(BitParallelEngine::batched())),
         ("cpu-nfa", Box::new(NfaEngine::new())),
     ];
-    let mut best = vec![f64::INFINITY; engines.len()];
+    let mut best: Vec<Option<SearchMetrics>> = (0..engines.len()).map(|_| None).collect();
     for _ in 0..ROUNDS {
         for (i, (_, engine)) in engines.iter().enumerate() {
-            best[i] = best[i].min(kernel_seconds(engine.as_ref(), &genome, &guides));
+            let m = metered_run(engine.as_ref(), &genome, &guides);
+            let better =
+                best[i].as_ref().is_none_or(|b| m.phases.kernel_scan_s < b.phases.kernel_scan_s);
+            if better {
+                best[i] = Some(m);
+            }
         }
     }
-    engines.iter().zip(best).map(|((name, _), secs)| (*name, secs)).collect()
+    engines
+        .iter()
+        .zip(best)
+        .map(|((name, _), metrics)| {
+            let metrics = metrics.expect("every engine measured");
+            Row { name, kernel_s: metrics.phases.kernel_scan_s, metrics }
+        })
+        .collect()
 }
 
-fn render(rows: &[(&'static str, f64)]) -> String {
-    let scalar_s = rows.iter().find(|(n, _)| *n == "cpu-scalar").expect("scalar is measured").1;
+fn scalar_seconds(rows: &[Row]) -> f64 {
+    rows.iter().find(|r| r.name == "cpu-scalar").expect("scalar is measured").kernel_s
+}
+
+fn render(rows: &[Row]) -> String {
+    let scalar_s = scalar_seconds(rows);
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"workload\": {{\"genome_bases\": {GENOME_LEN}, \"guides\": {GUIDES}, \"k\": {K}, \
          \"seed\": {SEED}}},\n"
     ));
     out.push_str("  \"engines\": {\n");
-    for (i, (name, secs)) in rows.iter().enumerate() {
-        let ns_per_base = secs * 1e9 / GENOME_LEN as f64;
+    for (i, row) in rows.iter().enumerate() {
+        let ns_per_base = row.kernel_s * 1e9 / GENOME_LEN as f64;
         let comma = if i + 1 == rows.len() { "" } else { "," };
+        let p = &row.metrics.phases;
+        let c = &row.metrics.counters;
+        // Alongside the gated `relative`: the best round's per-phase
+        // spans and the work counters that explain them. Counters are
+        // deterministic per workload; spans localize which phase a
+        // `relative` regression actually lives in.
         out.push_str(&format!(
-            "    \"{name}\": {{\"kernel_ns_per_base\": {ns_per_base:.3}, \"relative\": \
-             {:.4}}}{comma}\n",
-            secs / scalar_s
+            "    \"{}\": {{\"kernel_ns_per_base\": {ns_per_base:.3}, \"relative\": {:.4},\n",
+            row.name,
+            row.kernel_s / scalar_s
+        ));
+        out.push_str(&format!(
+            "      \"phases\": {{\"genome_load_s\": {:.6}, \"guide_compile_s\": {:.6}, \
+             \"kernel_scan_s\": {:.6}, \"report_s\": {:.6}}},\n",
+            p.genome_load_s, p.guide_compile_s, p.kernel_scan_s, p.report_s
+        ));
+        out.push_str(&format!(
+            "      \"counters\": {{\"windows_scanned\": {}, \"pam_anchors_tested\": {}, \
+             \"seed_survivors\": {}, \"bit_steps\": {}, \"early_exits\": {}, \
+             \"candidates_verified\": {}, \"raw_hits\": {}}}}}{comma}\n",
+            c.windows_scanned,
+            c.pam_anchors_tested,
+            c.seed_survivors,
+            c.bit_steps,
+            c.early_exits,
+            c.candidates_verified,
+            c.raw_hits
         ));
     }
     out.push_str("  }\n}\n");
     out
 }
 
-fn check(rows: &[(&'static str, f64)], baseline_path: &str) -> Result<(), String> {
+fn check(rows: &[Row], baseline_path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
     let baseline = json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
     let engines = baseline.get("engines").ok_or("baseline has no \"engines\" member")?;
-    let scalar_s = rows.iter().find(|(n, _)| *n == "cpu-scalar").expect("scalar is measured").1;
+    let scalar_s = scalar_seconds(rows);
     let mut failures = Vec::new();
-    for (name, secs) in rows {
+    for Row { name, kernel_s: secs, .. } in rows {
         let Some(was) = engines.get(name).and_then(|e| e.get("relative")).and_then(|v| v.as_f64())
         else {
             println!("  {name}: no baseline entry, skipped");

@@ -211,6 +211,7 @@ impl PreparedSearch for BitParallelPrepared {
         out: &mut Vec<Hit>,
         m: &mut SearchMetrics,
     ) -> Result<(), EngineError> {
+        let _kernel = crispr_trace::span("kernel:bitparallel");
         // Both paths are linear bitwise passes over the slice; meter them
         // under the same symbol count.
         m.counters.bit_steps += seq.len() as u64;

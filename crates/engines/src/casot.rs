@@ -214,6 +214,7 @@ impl PreparedSearch for CasotPrepared {
         if seq.len() < self.site_len {
             return Ok(());
         }
+        let _kernel = crispr_trace::span("kernel:casot");
         if let Some((groups, _)) = &self.plan {
             let load_start = Instant::now();
             let packed = PackedSeq::from_bases(seq);

@@ -41,6 +41,7 @@ pub(crate) fn guarded_accel<T>(
     degraded: &mut u64,
     build: impl FnOnce() -> Option<T>,
 ) -> Option<T> {
+    let _span = crispr_trace::span_dyn(&format!("build:{site}"));
     match catch_unwind(AssertUnwindSafe(|| {
         crispr_failpoint::breaker(site);
         build()
@@ -48,6 +49,7 @@ pub(crate) fn guarded_accel<T>(
         Ok(built) => built,
         Err(payload) => {
             *degraded += 1;
+            crispr_trace::instant_dyn(&format!("degrade:{site}"));
             eprintln!(
                 "warning: {site} failed ({}); continuing on the unaccelerated path",
                 panic_cause(payload)

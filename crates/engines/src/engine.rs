@@ -3,6 +3,7 @@ use crispr_genome::pamindex::AnchorScanner;
 use crispr_genome::{Base, Genome, IupacCode, Strand};
 use crispr_guides::{normalize, Guide, Hit, SitePattern};
 use crispr_model::SearchMetrics;
+use crispr_trace as trace;
 use std::time::Instant;
 
 /// The compiled, reusable half of a search: guides × budget lowered to an
@@ -99,7 +100,10 @@ pub trait Engine {
         let faults_before = crispr_failpoint::fired_total();
         metrics.engine = self.name().to_string();
         let compile_start = Instant::now();
-        let prepared = self.prepare(guides, k)?;
+        let prepared = {
+            let _span = trace::span("phase:guide_compile");
+            self.prepare(guides, k)?
+        };
         metrics.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
         prepared.record_gauges(metrics);
         let result = scan_genome(prepared.as_ref(), genome, metrics);
@@ -123,7 +127,16 @@ pub fn scan_genome(
     let mut hits = Vec::new();
     for (ci, contig) in genome.contigs().iter().enumerate() {
         let before = hits.len();
-        prepared.scan_slice(contig.seq().as_slice(), &mut hits, m)?;
+        let contig_start = Instant::now();
+        {
+            let _span = trace::span_args("contig", ci as u64, contig.len() as u64);
+            prepared.scan_slice(contig.seq().as_slice(), &mut hits, m)?;
+        }
+        // The serial driver scans one contig where the parallel one
+        // scans one chunk; both feed the same latency histogram so
+        // chunked and unchunked runs stay comparable.
+        m.observe("chunk_scan_s", contig_start.elapsed().as_secs_f64());
+        trace::progress::add(contig.len() as u64);
         for hit in &mut hits[before..] {
             hit.contig = ci as u32;
         }
@@ -131,7 +144,10 @@ pub fn scan_genome(
     m.counters.raw_hits += hits.len() as u64;
     m.finalize_derived_gauges();
     let report_start = Instant::now();
-    normalize(&mut hits);
+    {
+        let _span = trace::span("phase:report");
+        normalize(&mut hits);
+    }
     m.phases.report_s += report_start.elapsed().as_secs_f64();
     Ok(hits)
 }
@@ -271,6 +287,7 @@ impl PreparedSearch for ScalarPrepared {
         if seq.len() < self.site_len {
             return Ok(());
         }
+        let _kernel = trace::span("kernel:scalar");
         let scan_start = Instant::now();
         for start in 0..=seq.len() - self.site_len {
             m.counters.windows_scanned += 1;

@@ -469,6 +469,7 @@ impl crate::engine::PreparedSearch for MultiSeedPrepared {
         out: &mut Vec<Hit>,
         m: &mut SearchMetrics,
     ) -> Result<(), EngineError> {
+        let _kernel = crispr_trace::span("kernel:multiseed");
         self.scan.scan_slice(seq, out, m);
         Ok(())
     }

@@ -128,6 +128,7 @@ impl PreparedSearch for CasOffinderPrepared {
         out: &mut Vec<Hit>,
         m: &mut SearchMetrics,
     ) -> Result<(), EngineError> {
+        let _kernel = crispr_trace::span("kernel:casoffinder");
         if let Some(anchored) = &self.anchored {
             anchored.scan_slice(seq, self.k, out, m);
             return Ok(());

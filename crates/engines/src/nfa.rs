@@ -48,6 +48,7 @@ impl PreparedSearch for NfaPrepared {
         out: &mut Vec<Hit>,
         m: &mut SearchMetrics,
     ) -> Result<(), EngineError> {
+        let _kernel = crispr_trace::span("kernel:nfa");
         let scan_start = Instant::now();
         let mut sim = Simulator::new(&self.set.automaton);
         let mut reports = Vec::new();

@@ -80,6 +80,7 @@ impl PreparedSearch for DfaPrepared {
         out: &mut Vec<Hit>,
         m: &mut SearchMetrics,
     ) -> Result<(), EngineError> {
+        let _kernel = crispr_trace::span("kernel:offdfa");
         let load_start = Instant::now();
         let symbols: Vec<u8> = seq.iter().map(|b| b.code()).collect();
         m.phases.genome_load_s += load_start.elapsed().as_secs_f64();

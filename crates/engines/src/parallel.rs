@@ -41,6 +41,7 @@ use crate::{EngineError, SearchError};
 use crispr_genome::{Base, Genome};
 use crispr_guides::{normalize, Guide, Hit};
 use crispr_model::{ParallelMetrics, SearchMetrics, ThreadStats};
+use crispr_trace as trace;
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::{mpsc, Mutex, MutexGuard};
@@ -67,6 +68,9 @@ struct ChunkItem<'g> {
     offset: u64,
     slice: &'g [Base],
     attempts: u32,
+    /// When the item was last re-queued after a failure; the dequeue
+    /// side turns it into the `retry_backoff_s` histogram.
+    requeued_at: Option<Instant>,
 }
 
 /// Everything one worker learned, sent over the aggregation channel when
@@ -165,7 +169,10 @@ impl<E: Engine + Sync> ParallelEngine<E> {
     ) -> Result<Vec<Hit>, EngineError> {
         let faults_before = crispr_failpoint::fired_total();
         let compile_start = Instant::now();
-        let prepared = self.inner.prepare(guides, k)?;
+        let prepared = {
+            let _span = trace::span("phase:guide_compile");
+            self.inner.prepare(guides, k)?
+        };
         m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
         prepared.record_gauges(m);
 
@@ -178,18 +185,27 @@ impl<E: Engine + Sync> ParallelEngine<E> {
         let scan_start = Instant::now();
         let queue: Mutex<VecDeque<ChunkItem<'_>>> = Mutex::new(
             work.into_iter()
-                .map(|(contig, offset, slice)| ChunkItem { contig, offset, slice, attempts: 0 })
+                .map(|(contig, offset, slice)| ChunkItem {
+                    contig,
+                    offset,
+                    slice,
+                    attempts: 0,
+                    requeued_at: None,
+                })
                 .collect(),
         );
         let prepared = prepared.as_ref();
         let retry_limit = self.retry_limit;
+        let overlap = site_len.saturating_sub(1) as u64;
         let (tx, rx) = mpsc::channel::<WorkerReport>();
 
+        let fanout_span = trace::span("phase:fanout");
         std::thread::scope(|scope| {
-            for _ in 0..self.threads {
+            for w in 0..self.threads {
                 let tx = tx.clone();
                 let queue = &queue;
                 scope.spawn(move || {
+                    trace::name_thread(&format!("worker-{w}"));
                     let mut report = WorkerReport {
                         stats: ThreadStats::default(),
                         local: SearchMetrics::default(),
@@ -199,6 +215,12 @@ impl<E: Engine + Sync> ParallelEngine<E> {
                     loop {
                         let item = lock_unpoisoned(queue).pop_front();
                         let Some(mut item) = item else { break };
+                        if let Some(requeued_at) = item.requeued_at.take() {
+                            report
+                                .local
+                                .observe("retry_backoff_s", requeued_at.elapsed().as_secs_f64());
+                        }
+                        let chunk_span = trace::span_args("chunk", item.contig as u64, item.offset);
                         let busy_start = Instant::now();
                         // The whole attempt — failpoint, scan, metrics —
                         // runs behind the unwind fence with a *fresh*
@@ -217,7 +239,9 @@ impl<E: Engine + Sync> ParallelEngine<E> {
                                 Ok((buf, scratch))
                             },
                         ));
-                        report.stats.busy_s += busy_start.elapsed().as_secs_f64();
+                        let attempt_s = busy_start.elapsed().as_secs_f64();
+                        report.stats.busy_s += attempt_s;
+                        drop(chunk_span);
                         let outcome = match attempt {
                             Ok(result) => result,
                             Err(payload) => Err(panic_cause(payload)),
@@ -225,6 +249,13 @@ impl<E: Engine + Sync> ParallelEngine<E> {
                         item.attempts += 1;
                         match outcome {
                             Ok((buf, scratch)) => {
+                                if item.attempts > 1 {
+                                    trace::instant("chunk_heal", item.contig as u64, item.offset);
+                                }
+                                report.local.observe("chunk_scan_s", attempt_s);
+                                trace::progress::add(
+                                    item.slice.len() as u64 - overlap.min(item.slice.len() as u64),
+                                );
                                 report.stats.chunks += 1;
                                 report.stats.raw_hits += buf.len() as u64;
                                 report.local.phases.merge(&scratch.phases);
@@ -239,10 +270,13 @@ impl<E: Engine + Sync> ParallelEngine<E> {
                                 // Heal: back of the queue, so healthy work
                                 // drains first and a flapping chunk's
                                 // retries are spread over time.
+                                trace::instant("chunk_retry", item.contig as u64, item.offset);
                                 report.local.counters.chunks_retried += 1;
+                                item.requeued_at = Some(Instant::now());
                                 lock_unpoisoned(queue).push_back(item);
                             }
                             Err(cause) => {
+                                trace::instant("chunk_fail", item.contig as u64, item.offset);
                                 report.local.counters.chunks_failed += 1;
                                 report.failures.push(ChunkFailure {
                                     contig: item.contig,
@@ -255,12 +289,18 @@ impl<E: Engine + Sync> ParallelEngine<E> {
                             }
                         }
                     }
+                    // Hand this worker's events to the collector before
+                    // the scope joins the thread — the TLS destructor
+                    // would do it too, but explicitly flushing keeps the
+                    // ordering obvious.
+                    trace::flush_thread();
                     // A receiver that vanished means the parent is gone;
                     // nothing useful to do with the report then.
                     let _ = tx.send(report);
                 });
             }
         });
+        drop(fanout_span);
         drop(tx);
         let wall_s = scan_start.elapsed().as_secs_f64();
         m.phases.kernel_scan_s += wall_s;
@@ -282,18 +322,28 @@ impl<E: Engine + Sync> ParallelEngine<E> {
             parallel.threads.push(report.stats);
             parallel.worker_phases.merge(&report.local.phases);
             m.counters.merge(&report.local.counters);
+            m.merge_histograms(&report.local.histograms);
             hits.extend(report.hits);
             failures.extend(report.failures);
         }
-        m.set_gauge("utilization", parallel.utilization(wall_s));
+        m.set_gauge("worker_utilization", parallel.utilization(wall_s));
+        m.set_gauge("straggler_ratio", parallel.straggler_ratio());
+        let max_busy_s = parallel.max_busy_s();
         m.parallel = Some(parallel);
         // Worker gauges are not merged upward, so ratio gauges over the
         // merged counters are computed here, after the fold.
         m.finalize_derived_gauges();
 
         let report_start = Instant::now();
-        normalize(&mut hits);
+        {
+            let _span = trace::span("phase:report");
+            normalize(&mut hits);
+        }
         m.phases.report_s += report_start.elapsed().as_secs_f64();
+        // The shortest wall-clock this run could reach with perfect load
+        // balance: the serial compile and report phases, plus the busiest
+        // worker's scan time.
+        m.set_gauge("critical_path_s", m.phases.guide_compile_s + max_busy_s + m.phases.report_s);
         m.counters.faults_injected += crispr_failpoint::fired_total() - faults_before;
 
         if !failures.is_empty() {
@@ -482,8 +532,21 @@ mod tests {
         assert!(m.counters.bit_steps > 0);
         assert!(m.counters.raw_hits >= hits.len() as u64);
         assert!(m.phases.kernel_scan_s > 0.0);
-        let utilization = m.gauge("utilization").expect("utilization gauge");
+        let utilization = m.gauge("worker_utilization").expect("worker_utilization gauge");
         assert!((0.0..=1.0 + 1e-9).contains(&utilization));
+        let straggler = m.gauge("straggler_ratio").expect("straggler_ratio gauge");
+        assert!(straggler >= 1.0 - 1e-9, "straggler ratio is max/median: {straggler}");
+        let critical = m.gauge("critical_path_s").expect("critical_path_s gauge");
+        assert!(critical > 0.0);
+        assert!(
+            critical <= m.phases.total_s() + 1e-9,
+            "critical path cannot exceed the summed serial phases plus scan wall-clock"
+        );
+        // Every successful chunk attempt lands one chunk_scan_s sample.
+        let h = m.histogram("chunk_scan_s").expect("chunk_scan_s histogram");
+        assert_eq!(h.count(), p.chunks_total);
+        // A clean run never waits on a retry.
+        assert!(m.histogram("retry_backoff_s").is_none());
     }
 
     #[test]
@@ -500,6 +563,17 @@ mod tests {
         assert_eq!(m.counters.chunks_retried, 2);
         assert_eq!(m.counters.chunks_failed, 0);
         assert_eq!(m.counters.faults_injected, 2);
+        // Each re-queued chunk was dequeued again, so each healing
+        // records one backoff sample; failed attempts record no
+        // chunk_scan_s sample, so its count still equals chunks_total.
+        let backoff = m.histogram("retry_backoff_s").expect("retry_backoff_s histogram");
+        assert_eq!(backoff.count(), 2);
+        let p = m.parallel.as_ref().expect("parallel stats present");
+        assert_eq!(m.histogram("chunk_scan_s").map(|h| h.count()), Some(p.chunks_total));
+        // The imbalance gauges survive a healed run.
+        assert!(m.gauge("worker_utilization").is_some());
+        assert!(m.gauge("straggler_ratio").is_some());
+        assert!(m.gauge("critical_path_s").is_some());
     }
 
     #[test]

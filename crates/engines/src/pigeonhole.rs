@@ -67,6 +67,7 @@ impl PreparedSearch for PigeonholePrepared {
         if seq.len() < self.site_len {
             return Ok(());
         }
+        let _kernel = crispr_trace::span("kernel:pigeonhole");
         m.counters.windows_scanned += (seq.len() + 1 - self.site_len) as u64;
         let mut candidates: Vec<(usize, usize)> = Vec::new(); // (pattern, site start)
         for &len in &self.seg_lengths {

@@ -259,6 +259,21 @@ pub fn fired_total() -> u64 {
     FIRED_TOTAL.load(Ordering::Acquire)
 }
 
+fn fire_observer() -> &'static OnceLock<fn(&str)> {
+    static FIRE_OBSERVER: OnceLock<fn(&str)> = OnceLock::new();
+    &FIRE_OBSERVER
+}
+
+/// Registers a process-wide observer called with the site name every
+/// time a fault fires (after the fired counter is bumped, before the
+/// fault takes effect, on the firing thread). Write-once: the first
+/// registration wins and later calls are ignored — observers are
+/// infrastructure wiring (e.g. the tracing layer putting fault events
+/// on a timeline), not per-test state, and are never unregistered.
+pub fn set_fire_observer(observer: fn(&str)) {
+    let _ = fire_observer().set(observer);
+}
+
 /// Evaluates the site: decides (deterministically) whether it fires, and
 /// resolves delays in place.
 ///
@@ -302,6 +317,9 @@ fn evaluate(site: &str) -> Option<FailKind> {
     let kind = config.kind;
     drop(guard);
     FIRED_TOTAL.fetch_add(1, Ordering::AcqRel);
+    if let Some(observer) = fire_observer().get() {
+        observer(site);
+    }
     match kind {
         FailKind::Delay(ms) => {
             std::thread::sleep(Duration::from_millis(ms));

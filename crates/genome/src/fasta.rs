@@ -52,6 +52,7 @@ pub fn read_genome_resilient(bytes: &[u8]) -> Result<(Genome, bool), GenomeError
     match read_impl(bytes, false) {
         Ok(genome) => Ok((genome, false)),
         Err(GenomeError::InvalidBase { byte, offset }) => {
+            crispr_trace::instant_dyn("degrade:fasta.read");
             eprintln!(
                 "warning: strict FASTA parse failed (invalid DNA base {:?} at offset {}); \
                  re-reading lossily",
@@ -64,6 +65,7 @@ pub fn read_genome_resilient(bytes: &[u8]) -> Result<(Genome, bool), GenomeError
 }
 
 fn read_impl<R: Read>(reader: R, lossy: bool) -> Result<Genome, GenomeError> {
+    let _span = crispr_trace::span("fasta:read");
     // Failpoint at the parse boundary: lets the robustness suite model a
     // reference assembly that cannot be read.
     crispr_failpoint::hit_io("fasta.read")?;

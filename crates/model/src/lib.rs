@@ -18,7 +18,10 @@
 pub mod json;
 mod metrics;
 
-pub use metrics::{EngineCounters, ParallelMetrics, PhaseSpans, SearchMetrics, ThreadStats};
+pub use metrics::{
+    EngineCounters, Histogram, ParallelMetrics, PhaseSpans, SearchMetrics, ThreadStats,
+    HISTOGRAM_BUCKETS,
+};
 
 use std::fmt;
 use std::time::Duration;

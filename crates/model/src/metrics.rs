@@ -176,6 +176,11 @@ impl ParallelMetrics {
         self.threads.iter().map(|t| t.busy_s).sum()
     }
 
+    /// Busy seconds of the busiest worker.
+    pub fn max_busy_s(&self) -> f64 {
+        self.threads.iter().map(|t| t.busy_s).fold(0.0, f64::max)
+    }
+
     /// Mean worker utilization over `wall_s` of parallel-region
     /// wall-clock (1.0 = all workers busy the whole time).
     pub fn utilization(&self, wall_s: f64) -> f64 {
@@ -183,6 +188,88 @@ impl ParallelMetrics {
             return 0.0;
         }
         self.busy_total_s() / (wall_s * self.threads.len() as f64)
+    }
+
+    /// Load-imbalance measure: busiest worker's busy time over the
+    /// median worker's busy time. 1.0 means perfectly balanced; a large
+    /// value flags a straggler. Degenerate fleets (≤ 1 worker, or a
+    /// zero median) report 1.0 — no imbalance is observable.
+    pub fn straggler_ratio(&self) -> f64 {
+        if self.threads.len() <= 1 {
+            return 1.0;
+        }
+        let mut busy: Vec<f64> = self.threads.iter().map(|t| t.busy_s).collect();
+        busy.sort_by(|a, b| a.partial_cmp(b).expect("busy times are finite"));
+        let median = if busy.len() % 2 == 1 {
+            busy[busy.len() / 2]
+        } else {
+            (busy[busy.len() / 2 - 1] + busy[busy.len() / 2]) / 2.0
+        };
+        if median <= 0.0 {
+            return 1.0;
+        }
+        busy[busy.len() - 1] / median
+    }
+}
+
+/// Number of finite histogram buckets; bucket [`HISTOGRAM_BUCKETS`]` - 1`
+/// is the +Inf overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// A log₂-bucketed latency histogram.
+///
+/// Bucket `i < 39` counts observations `≤ 2^(i − 30)` seconds (and above
+/// the previous bound), spanning ~1 ns to ~512 s; bucket 39 counts
+/// everything larger. Merging is bucket-wise addition, which makes it
+/// associative and count-preserving — the property that lets per-worker
+/// histograms fold into one `SearchMetrics` in any order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Observation count per bucket.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+    /// Sum of all observed values, in seconds.
+    pub sum_s: f64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram { buckets: [0; HISTOGRAM_BUCKETS], sum_s: 0.0 }
+    }
+}
+
+impl Histogram {
+    /// The inclusive upper bound of bucket `i`, in seconds
+    /// (`f64::INFINITY` for the overflow bucket).
+    pub fn bucket_bound_s(i: usize) -> f64 {
+        if i >= HISTOGRAM_BUCKETS - 1 {
+            f64::INFINITY
+        } else {
+            (2.0f64).powi(i as i32 - 30)
+        }
+    }
+
+    /// Records one observation of `seconds`.
+    pub fn observe_s(&mut self, seconds: f64) {
+        let seconds = if seconds.is_finite() && seconds > 0.0 { seconds } else { 0.0 };
+        let mut i = 0;
+        while i < HISTOGRAM_BUCKETS - 1 && seconds > Histogram::bucket_bound_s(i) {
+            i += 1;
+        }
+        self.buckets[i] += 1;
+        self.sum_s += seconds;
+    }
+
+    /// Total observations across all buckets.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Adds `other` into `self`, bucket-wise.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum_s += other.sum_s;
     }
 }
 
@@ -200,6 +287,9 @@ pub struct SearchMetrics {
     /// Named model- or engine-specific values (streams, passes, DFA
     /// states, mean active states, …).
     pub gauges: Vec<(String, f64)>,
+    /// Named latency histograms (`chunk_scan_s`, `retry_backoff_s`),
+    /// merged across workers. Empty for engines that record none.
+    pub histograms: Vec<(String, Histogram)>,
 }
 
 impl SearchMetrics {
@@ -232,6 +322,36 @@ impl SearchMetrics {
     /// Reads a named gauge.
     pub fn gauge(&self, name: &str) -> Option<f64> {
         self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// Records one observation into the named histogram, creating it on
+    /// first use.
+    pub fn observe(&mut self, name: &str, seconds: f64) {
+        match self.histograms.iter_mut().find(|(n, _)| n == name) {
+            Some((_, h)) => h.observe_s(seconds),
+            None => {
+                let mut h = Histogram::default();
+                h.observe_s(seconds);
+                self.histograms.push((name.to_string(), h));
+            }
+        }
+    }
+
+    /// Reads a named histogram.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+
+    /// Merges every histogram of `other` into this record, bucket-wise,
+    /// creating any that do not exist yet. Associativity of
+    /// [`Histogram::merge`] makes the fold order irrelevant.
+    pub fn merge_histograms(&mut self, other: &[(String, Histogram)]) {
+        for (name, theirs) in other {
+            match self.histograms.iter_mut().find(|(n, _)| n == name) {
+                Some((_, ours)) => ours.merge(theirs),
+                None => self.histograms.push((name.clone(), theirs.clone())),
+            }
+        }
     }
 
     /// Sets the gauges that are ratios of finished counters, once all
@@ -322,6 +442,36 @@ impl SearchMetrics {
                     out.push(',');
                 }
                 out.push_str(&format!("\"{}\":{}", escape(name), num(*value)));
+            }
+            out.push('}');
+        }
+        if !self.histograms.is_empty() {
+            out.push_str(",\"histograms\":{");
+            for (i, (name, h)) in self.histograms.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                // Buckets are `[index, count]` pairs for the non-empty
+                // buckets only; the log₂ bound is recomputed from the
+                // index by consumers (`Histogram::bucket_bound_s`).
+                out.push_str(&format!(
+                    "\"{}\":{{\"count\":{},\"sum_s\":{},\"buckets\":[",
+                    escape(name),
+                    h.count(),
+                    num(h.sum_s)
+                ));
+                let mut first = true;
+                for (idx, &count) in h.buckets.iter().enumerate() {
+                    if count == 0 {
+                        continue;
+                    }
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    out.push_str(&format!("[{idx},{count}]"));
+                }
+                out.push_str("]}");
             }
             out.push('}');
         }
@@ -501,6 +651,86 @@ mod tests {
         assert_eq!(counters.get("chunks_retried").and_then(json::Value::as_f64), Some(2.0));
         assert_eq!(counters.get("chunks_failed").and_then(json::Value::as_f64), Some(1.0));
         assert_eq!(counters.get("degraded_paths").and_then(json::Value::as_f64), Some(4.0));
+    }
+
+    #[test]
+    fn straggler_ratio_is_max_over_median() {
+        let mut p = ParallelMetrics::default();
+        assert_eq!(p.straggler_ratio(), 1.0, "no workers, no imbalance");
+        p.threads = vec![ThreadStats { busy_s: 1.0, ..Default::default() }];
+        assert_eq!(p.straggler_ratio(), 1.0, "one worker, no imbalance");
+        p.threads = vec![
+            ThreadStats { busy_s: 1.0, ..Default::default() },
+            ThreadStats { busy_s: 2.0, ..Default::default() },
+            ThreadStats { busy_s: 6.0, ..Default::default() },
+        ];
+        assert_eq!(p.straggler_ratio(), 3.0);
+        assert_eq!(p.max_busy_s(), 6.0);
+        // Even worker count takes the mean of the middle pair.
+        p.threads.push(ThreadStats { busy_s: 2.0, ..Default::default() });
+        assert_eq!(p.straggler_ratio(), 3.0);
+        // All-idle fleet: median zero degenerates to balanced.
+        p.threads.iter_mut().for_each(|t| t.busy_s = 0.0);
+        assert_eq!(p.straggler_ratio(), 1.0);
+    }
+
+    #[test]
+    fn histogram_buckets_cover_log2_bounds() {
+        let mut h = Histogram::default();
+        h.observe_s(0.0); // clamps into the smallest bucket
+        h.observe_s(Histogram::bucket_bound_s(10)); // boundary is inclusive
+        h.observe_s(Histogram::bucket_bound_s(10) * 1.5);
+        h.observe_s(1e9); // far past the largest finite bound
+        h.observe_s(f64::NAN); // non-finite clamps instead of corrupting
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.buckets[0], 2);
+        assert_eq!(h.buckets[10], 1);
+        assert_eq!(h.buckets[11], 1);
+        assert_eq!(h.buckets[HISTOGRAM_BUCKETS - 1], 1);
+        assert!(h.sum_s.is_finite());
+        assert!(Histogram::bucket_bound_s(HISTOGRAM_BUCKETS - 1).is_infinite());
+        assert_eq!(Histogram::bucket_bound_s(30), 1.0);
+    }
+
+    #[test]
+    fn histogram_merge_adds_bucket_wise() {
+        let mut a = Histogram::default();
+        a.observe_s(0.5);
+        a.observe_s(2.0);
+        let mut b = Histogram::default();
+        b.observe_s(0.5);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.count(), 3);
+        assert!((merged.sum_s - 3.0).abs() < 1e-12);
+        // Merge with the empty histogram is the identity.
+        let mut id = a.clone();
+        id.merge(&Histogram::default());
+        assert_eq!(id, a);
+    }
+
+    #[test]
+    fn metrics_histograms_observe_merge_and_serialize() {
+        let mut m = SearchMetrics::new("h");
+        m.observe("chunk_scan_s", 0.001);
+        m.observe("chunk_scan_s", 0.002);
+        m.observe("retry_backoff_s", 0.1);
+        assert_eq!(m.histogram("chunk_scan_s").map(Histogram::count), Some(2));
+        let mut other = SearchMetrics::new("worker");
+        other.observe("chunk_scan_s", 0.004);
+        other.observe("fresh_s", 1.0);
+        m.merge_histograms(&other.histograms);
+        assert_eq!(m.histogram("chunk_scan_s").map(Histogram::count), Some(3));
+        assert_eq!(m.histogram("fresh_s").map(Histogram::count), Some(1));
+        let value = json::parse(&m.to_json()).expect("metrics JSON parses");
+        let hists = value.get("histograms").expect("histograms present");
+        let chunk = hists.get("chunk_scan_s").expect("chunk histogram present");
+        assert_eq!(chunk.get("count").and_then(json::Value::as_f64), Some(3.0));
+        assert!(chunk.get("sum_s").and_then(json::Value::as_f64).is_some());
+        // Empty-histogram records serialize without the key at all.
+        let plain = SearchMetrics::new("plain");
+        assert!(!plain.to_json().contains("histograms"));
+        json::parse(&plain.to_json()).expect("still valid JSON");
     }
 
     #[test]

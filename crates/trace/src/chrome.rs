@@ -1,0 +1,167 @@
+//! Chrome `trace_event` JSON rendering of a [`TraceData`].
+//!
+//! The output is the "JSON object format" understood by
+//! `chrome://tracing` and Perfetto: `{"traceEvents": [...]}` where each
+//! event carries `ph` (phase: `B`/`E`/`i`/`M`), `ts` (microseconds),
+//! `pid`, `tid`, `name`, and `cat`. Every traced thread becomes its own
+//! track via `thread_name` metadata events, so the parallel engine's
+//! workers render as a flame graph per worker.
+
+use crate::{Event, EventKind, TraceData};
+use std::fmt::Write as _;
+
+/// The constant process id: one trace describes one search process.
+const PID: u32 = 1;
+
+/// Renders the full Chrome-trace JSON document.
+pub fn render(data: &TraceData) -> String {
+    let mut out = String::with_capacity(64 + data.events.len() * 96);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (tid, name) in &data.thread_names {
+        push_sep(&mut out, &mut first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"M\",\"ts\":0,\"pid\":{PID},\"tid\":{tid},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":{}}}}}",
+            json_string(name)
+        );
+    }
+    for event in &data.events {
+        push_sep(&mut out, &mut first);
+        push_event(&mut out, event);
+    }
+    out.push(']');
+    if data.dropped > 0 {
+        let _ = write!(out, ",\"offtarget_dropped_events\":{}", data.dropped);
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn push_event(out: &mut String, event: &Event) {
+    let ph = match event.kind {
+        EventKind::Begin => "B",
+        EventKind::End => "E",
+        EventKind::Instant => "i",
+    };
+    // Chrome expects microseconds; keep nanosecond precision as a
+    // fractional part so adjacent sub-microsecond spans stay ordered.
+    let ts_us = event.ts_ns as f64 / 1000.0;
+    let _ = write!(
+        out,
+        "{{\"ph\":\"{ph}\",\"ts\":{ts_us:.3},\"pid\":{PID},\"tid\":{},\"name\":{},\
+         \"cat\":{}",
+        event.tid,
+        json_string(event.name),
+        json_string(category(event.name)),
+    );
+    if event.kind == EventKind::Instant {
+        // Thread-scoped instants render as small arrows on the track.
+        out.push_str(",\"s\":\"t\"");
+    }
+    // End events inherit their begin's args; instants with no payload
+    // stay bare. Chunk spans label their args by meaning.
+    if event.kind != EventKind::End && (event.arg0 != 0 || event.arg1 != 0) {
+        let (k0, k1) = arg_labels(event.name);
+        let _ = write!(out, ",\"args\":{{\"{k0}\":{},\"{k1}\":{}}}", event.arg0, event.arg1);
+    }
+    out.push('}');
+}
+
+/// The Chrome `cat` field: the `category:` prefix of the name, or the
+/// whole name when it has none.
+fn category(name: &str) -> &str {
+    name.split_once(':').map_or(name, |(cat, _)| cat)
+}
+
+fn arg_labels(name: &str) -> (&'static str, &'static str) {
+    match name {
+        "chunk" | "chunk_retry" | "chunk_heal" | "chunk_fail" => ("contig", "offset"),
+        _ => ("a", "b"),
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(ts_ns: u64, tid: u32, kind: EventKind, name: &'static str) -> Event {
+        Event { ts_ns, tid, kind, name, arg0: 0, arg1: 0 }
+    }
+
+    #[test]
+    fn renders_metadata_and_events() {
+        let data = TraceData {
+            events: vec![
+                Event {
+                    ts_ns: 1500,
+                    tid: 2,
+                    kind: EventKind::Begin,
+                    name: "chunk",
+                    arg0: 1,
+                    arg1: 4096,
+                },
+                event(2500, 2, EventKind::Instant, "fault:parallel.chunk"),
+                event(9000, 2, EventKind::End, "chunk"),
+            ],
+            thread_names: vec![(2, "worker-0".to_string())],
+            dropped: 0,
+        };
+        let out = render(&data);
+        assert!(out.starts_with("{\"traceEvents\":["));
+        assert!(out.contains("\"ph\":\"M\""));
+        assert!(out.contains("\"args\":{\"name\":\"worker-0\"}"));
+        assert!(out.contains("\"ph\":\"B\",\"ts\":1.500,\"pid\":1,\"tid\":2,\"name\":\"chunk\""));
+        assert!(out.contains("\"args\":{\"contig\":1,\"offset\":4096}"));
+        assert!(out.contains("\"cat\":\"fault\""));
+        assert!(out.contains("\"s\":\"t\""));
+        assert!(out.contains("\"ph\":\"E\",\"ts\":9.000"));
+    }
+
+    #[test]
+    fn category_splits_on_first_colon() {
+        assert_eq!(category("kernel:bitparallel"), "kernel");
+        assert_eq!(category("fault:parallel.chunk"), "fault");
+        assert_eq!(category("report"), "report");
+    }
+
+    #[test]
+    fn escapes_names() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    #[test]
+    fn dropped_count_is_surfaced() {
+        let data = TraceData { events: vec![], thread_names: vec![], dropped: 3 };
+        assert!(render(&data).contains("\"offtarget_dropped_events\":3"));
+    }
+}

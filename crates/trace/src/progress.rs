@@ -1,0 +1,65 @@
+//! Live scan-progress accounting.
+//!
+//! Engines report completed bases with [`add`] (one relaxed atomic add
+//! per contig or chunk — nothing per window); the CLI's reporter thread
+//! polls [`snapshot`] a few times per second and renders bases/s and an
+//! ETA on stderr. Like tracing, the whole surface is off by default:
+//! when no reporter enabled it, [`add`] is one relaxed load.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+static ON: AtomicBool = AtomicBool::new(false);
+static TOTAL: AtomicU64 = AtomicU64::new(0);
+static DONE: AtomicU64 = AtomicU64::new(0);
+
+/// Starts a progress run over `total_bases` (resets the counter).
+pub fn enable(total_bases: u64) {
+    DONE.store(0, Ordering::Relaxed);
+    TOTAL.store(total_bases, Ordering::Relaxed);
+    ON.store(true, Ordering::Release);
+}
+
+/// Stops progress accounting; [`add`] returns to its one-load path.
+pub fn disable() {
+    ON.store(false, Ordering::Release);
+}
+
+/// Credits `bases` scanned bases to the run. Overlapped chunk bases
+/// should be credited once (callers subtract the overlap).
+#[inline]
+pub fn add(bases: u64) {
+    if !ON.load(Ordering::Relaxed) {
+        return;
+    }
+    DONE.fetch_add(bases, Ordering::Relaxed);
+}
+
+/// `(done, total)` bases of the current run; `(0, 0)` when disabled.
+pub fn snapshot() -> (u64, u64) {
+    if !ON.load(Ordering::Relaxed) {
+        return (0, 0);
+    }
+    (DONE.load(Ordering::Relaxed), TOTAL.load(Ordering::Relaxed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_adds_are_dropped() {
+        disable();
+        add(100);
+        assert_eq!(snapshot(), (0, 0));
+        enable(1000);
+        add(100);
+        add(250);
+        assert_eq!(snapshot(), (350, 1000));
+        disable();
+        assert_eq!(snapshot(), (0, 0));
+        // Re-enable resets the counter.
+        enable(10);
+        assert_eq!(snapshot(), (0, 10));
+        disable();
+    }
+}

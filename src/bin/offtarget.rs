@@ -5,7 +5,8 @@
 //! offtarget guides --count 20 [--from-genome genome.fa] [--seed 7] [--pam NGG] -o guides.txt
 //! offtarget search --genome genome.fa --guides guides.txt [-k 3]
 //!                  [--platform cpu-hyperscan] [--threads 1] [--format tsv|json]
-//!                  [--metrics metrics.json] [-o hits.tsv]
+//!                  [--metrics metrics.json|-] [--trace trace.json|-]
+//!                  [--prom metrics.prom|-] [--progress] [-o hits.tsv]
 //! offtarget anml   --guides guides.txt [-k 3] [-o out.anml]
 //! ```
 
@@ -14,10 +15,14 @@ use crispr_offtarget::genome::synth::SynthSpec;
 use crispr_offtarget::genome::{fasta, Genome};
 use crispr_offtarget::guides::{genset, io as guide_io, Guide, Pam};
 use crispr_offtarget::model::json::escape;
+use crispr_offtarget::trace;
 use std::collections::HashMap;
 use std::fs::File;
 use std::io::Write;
 use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,7 +47,7 @@ fn main() -> ExitCode {
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
     };
-    match result {
+    let code = match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("offtarget: {e}");
@@ -54,7 +59,13 @@ fn main() -> ExitCode {
                 .is_some_and(crispr_offtarget::engines::SearchError::is_partial);
             ExitCode::from(if partial { 3 } else { 1 })
         }
-    }
+    };
+    // Warnings and progress go to stderr, results to stdout; make sure
+    // both are on disk (or the pipe) before the process exits, whatever
+    // buffering the platform applied.
+    let _ = std::io::stdout().flush();
+    let _ = std::io::stderr().flush();
+    code
 }
 
 const USAGE: &str = "usage:
@@ -62,16 +73,27 @@ const USAGE: &str = "usage:
   offtarget guides --count N [--from-genome genome.fa] [--seed S] [--pam MOTIF[/5]] -o guides.txt
   offtarget search --genome genome.fa --guides guides.txt [-k K]
                    [--platform NAME] [--threads T] [--format tsv|json]
-                   [--metrics metrics.json] [--retries N]
+                   [--metrics FILE|-] [--retries N]
+                   [--trace FILE|-] [--prom FILE|-] [--progress]
                    [--inject 'site=kind[:prob[,seed[,times]]][;...]'] [-o hits]
   offtarget anml   --guides guides.txt [-k K] [-o out.anml]
 
 platforms: cpu-scalar cpu-cas-offinder cpu-casot cpu-hyperscan cpu-nfa cpu-dfa
            ap fpga gpu-infant2 gpu-cas-offinder
 
+observability: --metrics writes the SearchMetrics JSON ('-' = stdout);
+--trace writes a Chrome trace_event JSON timeline (chrome://tracing,
+Perfetto) with one track per worker thread; --prom writes every
+counter/gauge/histogram in Prometheus text format; --progress streams
+live bases/s and ETA to stderr (off by default so redirected output
+stays clean).
+
 fault injection: --inject (or the OFFTARGET_INJECT environment variable)
 arms named failpoints; kinds are panic, error, delay<ms>. Known sites:
-parallel.chunk fasta.read guides.read prefilter.build multiseed.build";
+parallel.chunk fasta.read guides.read prefilter.build multiseed.build
+
+exit codes: 0 success; 1 error; 2 usage; 3 partial results — some chunks
+failed every retry, recovered hits and metrics were still written.";
 
 type CliError = Box<dyn std::error::Error>;
 
@@ -80,9 +102,13 @@ type CliError = Box<dyn std::error::Error>;
 const SYNTH_FLAGS: &[&str] = &["len", "seed", "gc", "contigs", "out"];
 const GUIDES_FLAGS: &[&str] = &["count", "from-genome", "seed", "pam", "out"];
 const SEARCH_FLAGS: &[&str] = &[
-    "genome", "guides", "k", "platform", "threads", "format", "metrics", "retries", "inject", "out",
+    "genome", "guides", "k", "platform", "threads", "format", "metrics", "retries", "inject",
+    "trace", "prom", "progress", "out",
 ];
 const ANML_FLAGS: &[&str] = &["guides", "k", "out"];
+
+/// Flags that take no value: present means enabled.
+const BOOLEAN_FLAGS: &[&str] = &["progress"];
 
 /// Edit distance for the unknown-flag hint; small inputs only.
 fn edit_distance(a: &str, b: &str) -> usize {
@@ -130,6 +156,10 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
             };
             return Err(format!("unknown flag --{key}{hint}").into());
         }
+        if BOOLEAN_FLAGS.contains(&key) {
+            flags.insert(key.to_string(), String::new());
+            continue;
+        }
         let value = iter.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
         flags.insert(key.to_string(), value.clone());
     }
@@ -156,8 +186,61 @@ where
 
 fn out_writer(flags: &HashMap<String, String>) -> Result<Box<dyn Write>, CliError> {
     match flags.get("out") {
-        Some(path) => Ok(Box::new(File::create(path)?)),
+        Some(path) => file_or_stdout(path),
         None => Ok(Box::new(std::io::stdout())),
+    }
+}
+
+/// Opens `path` for writing, with `-` meaning stdout.
+fn file_or_stdout(path: &str) -> Result<Box<dyn Write>, CliError> {
+    if path == "-" {
+        Ok(Box::new(std::io::stdout()))
+    } else {
+        Ok(Box::new(File::create(path)?))
+    }
+}
+
+/// The live `--progress` reporter: a thread polling the progress
+/// counters a few times a second and redrawing one stderr status line.
+struct ProgressReporter {
+    running: Arc<AtomicBool>,
+    handle: std::thread::JoinHandle<()>,
+}
+
+impl ProgressReporter {
+    fn start(total_bases: u64) -> ProgressReporter {
+        trace::progress::enable(total_bases);
+        let running = Arc::new(AtomicBool::new(true));
+        let flag = Arc::clone(&running);
+        let handle = std::thread::spawn(move || {
+            let start = Instant::now();
+            while flag.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(200));
+                let (done, total) = trace::progress::snapshot();
+                if total == 0 {
+                    continue;
+                }
+                let elapsed = start.elapsed().as_secs_f64();
+                let rate = done as f64 / elapsed.max(1e-9);
+                let eta = if rate > 1.0 && done < total {
+                    format!("{:.1}s", (total - done) as f64 / rate)
+                } else {
+                    "?".to_string()
+                };
+                eprint!("\rscanning: {done}/{total} bases ({:.3e} bases/s, ETA {eta})    ", rate);
+                let _ = std::io::stderr().flush();
+            }
+        });
+        ProgressReporter { running, handle }
+    }
+
+    /// Stops the reporter and clears its status line.
+    fn finish(self) {
+        self.running.store(false, Ordering::Relaxed);
+        let _ = self.handle.join();
+        trace::progress::disable();
+        eprint!("\r{:76}\r", "");
+        let _ = std::io::stderr().flush();
     }
 }
 
@@ -238,14 +321,46 @@ fn cmd_search(args: &[String]) -> Result<(), CliError> {
     let format = flags.get("format").map(String::as_str).unwrap_or("tsv");
 
     let contig_names: Vec<String> = genome.contigs().iter().map(|c| c.name().to_string()).collect();
-    let report = OffTargetSearch::new(genome)
+    let total_bases = genome.total_len() as u64;
+
+    // Observability surfaces around the search proper: the trace session
+    // (events from every instrumented site, one track per thread) and
+    // the live progress reporter. Both default off; with neither, the
+    // instrumentation in the pipeline is one atomic load per site.
+    let session = flags.get("trace").map(|_| {
+        let session = trace::TraceSession::start();
+        trace::name_thread("main");
+        session
+    });
+    let reporter = flags.get("progress").map(|_| ProgressReporter::start(total_bases));
+
+    let search_result = OffTargetSearch::new(genome)
         .guides(guides.clone())
         .max_mismatches(k)
         .platform(platform)
         .threads(threads)
         .chunk_retries(retries)
         .input_degradations(degraded_inputs)
-        .run()?;
+        .run();
+
+    if let Some(reporter) = reporter {
+        reporter.finish();
+    }
+    // The timeline is written even when the search failed — a fault
+    // trace is exactly when the timeline matters most — but a search
+    // error still wins over a trace-write error.
+    let trace_written = match session {
+        Some(session) => {
+            let data = session.finish();
+            flags.get("trace").map_or(Ok(()), |path| {
+                file_or_stdout(path)
+                    .and_then(|mut w| Ok(w.write_all(trace::chrome::render(&data).as_bytes())?))
+            })
+        }
+        None => Ok(()),
+    };
+    let report = search_result?;
+    trace_written?;
 
     let mut writer = out_writer(&flags)?;
     match format {
@@ -289,9 +404,18 @@ fn cmd_search(args: &[String]) -> Result<(), CliError> {
         }
         other => return Err(format!("unknown format {other:?} (tsv|json)").into()),
     }
+    // Results are fully written (and flushed, if stdout shares the
+    // stream with a sidecar below) before any sidecar or summary output.
+    writer.flush()?;
     if let Some(path) = flags.get("metrics") {
-        let mut out = File::create(path)?;
+        let mut out = file_or_stdout(path)?;
         writeln!(out, "{}", report.metrics().to_json())?;
+        out.flush()?;
+    }
+    if let Some(path) = flags.get("prom") {
+        let mut out = file_or_stdout(path)?;
+        out.write_all(trace::prom::render(report.metrics()).as_bytes())?;
+        out.flush()?;
     }
     eprintln!(
         "{}: {} hits, {} ({}){}",

@@ -50,3 +50,4 @@ pub use crispr_genome as genome;
 pub use crispr_gpu as gpu;
 pub use crispr_guides as guides;
 pub use crispr_model as model;
+pub use crispr_trace as trace;

@@ -284,6 +284,51 @@ proptest! {
         prop_assert_eq!(&only_b, &engine.search(&genome_b, &guides, k).unwrap());
     }
 
+    /// Histogram merge is associative and count/sum-preserving: folding
+    /// per-chunk partial histograms in any grouping (the parallel
+    /// deployment's fold order depends on worker scheduling) yields the
+    /// same distribution as observing every sample into one histogram
+    /// (the serial driver's view).
+    #[test]
+    fn histogram_merge_is_associative_and_count_preserving(
+        raw in prop::collection::vec(1u64..1_000_000_000_000, 0..200),
+        cut_a in 0usize..200,
+        cut_b in 0usize..200,
+    ) {
+        use crispr_offtarget::model::Histogram;
+        // Nanosecond-grained samples spanning 1ns..1000s — the full
+        // useful range of the log2 bucket ladder.
+        let samples: Vec<f64> = raw.into_iter().map(|ns| ns as f64 * 1e-9).collect();
+        let observe_all = |chunk: &[f64]| {
+            let mut h = Histogram::default();
+            for &s in chunk {
+                h.observe_s(s);
+            }
+            h
+        };
+        // Split the sample stream into three chunks at arbitrary cuts —
+        // empty chunks included, they are merge's identity element.
+        let (a, b) = (cut_a.min(samples.len()), cut_b.min(samples.len()));
+        let (lo, hi) = (a.min(b), a.max(b));
+        let (h1, h2, h3) =
+            (observe_all(&samples[..lo]), observe_all(&samples[lo..hi]), observe_all(&samples[hi..]));
+        let unchunked = observe_all(&samples);
+
+        // (h1 ⊕ h2) ⊕ h3 == h1 ⊕ (h2 ⊕ h3) == unchunked.
+        let mut left = h1.clone();
+        left.merge(&h2);
+        left.merge(&h3);
+        let mut right = h2.clone();
+        right.merge(&h3);
+        let mut outer = h1.clone();
+        outer.merge(&right);
+        prop_assert_eq!(left.buckets, outer.buckets);
+        prop_assert_eq!(left.buckets, unchunked.buckets);
+        prop_assert_eq!(left.count(), samples.len() as u64);
+        prop_assert!((left.sum_s - outer.sum_s).abs() <= 1e-9 * left.sum_s.abs().max(1.0));
+        prop_assert!((left.sum_s - unchunked.sum_s).abs() <= 1e-9 * left.sum_s.abs().max(1.0));
+    }
+
     /// Every hit an engine reports actually scores within budget when
     /// re-checked against the genome (no false positives, by construction
     /// of an independent re-scorer).
