@@ -1,0 +1,231 @@
+//! `bench_serve` — load generator for the `offtarget serve` daemon,
+//! emitted as `BENCH_serve.json`.
+//!
+//! The daemon's value proposition is the prepared-search cache: a warm
+//! query skips the guide-compile phase entirely. This bench boots an
+//! in-process server and drives it with concurrent clients over real
+//! sockets in two profiles:
+//!
+//! * **cold** — every request carries a *distinct* guide set, so every
+//!   request misses the cache and pays a fresh compile;
+//! * **warm** — every request carries the *same* guide set (pre-warmed
+//!   once), so every request rides the cache.
+//!
+//! Per profile it reports p50/p99 request latency and queries/s. The
+//! absolute numbers vary with the machine, so the CI gate reads only
+//! `warm_over_cold_p50` — the ratio of the two p50s measured in the same
+//! run, where machine speed cancels. The workload compiles through the
+//! DFA engine precisely because its subset construction is the most
+//! expensive compile in the suite: if caching works, warm requests are
+//! far below cold ones; if the cache silently stops hitting, the ratio
+//! snaps toward 1.0 and the gate trips.
+//!
+//! Usage:
+//!
+//! * `bench_serve` — print fresh JSON to stdout (redirect to
+//!   `BENCH_serve.json` to refresh the baseline).
+//! * `bench_serve --check BENCH_serve.json` — measure, compare against
+//!   the baseline, exit non-zero on regression.
+
+use crispr_genome::synth::SynthSpec;
+use crispr_guides::{genset, io as guide_io, Guide, Pam};
+use crispr_model::json;
+use crispr_serve::{ServeConfig, Server};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Instant;
+
+/// Allowed growth of `warm_over_cold_p50` before the check fails. The
+/// ratio is noisy at millisecond latencies, so the gate is generous; the
+/// cache-off failure mode it guards against moves the ratio toward 1.0,
+/// an order of magnitude beyond this.
+const TOLERANCE: f64 = 0.5;
+
+/// Workload shape: a genome small enough that the scan is cheap next to
+/// the DFA compile, making the cache's effect unmistakable.
+const GENOME_LEN: usize = 120_000;
+const GUIDES: usize = 4;
+const K: usize = 2;
+const SEED: u64 = 23;
+const ENGINE: &str = "cpu-dfa";
+/// Concurrent client threads, and requests each issues per profile.
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 8;
+
+struct Profile {
+    p50_ms: f64,
+    p99_ms: f64,
+    qps: f64,
+}
+
+fn guide_set(seed: u64) -> Vec<u8> {
+    let guides: Vec<Guide> = genset::random_guides(GUIDES, 20, &Pam::ngg(), seed);
+    let mut body = Vec::new();
+    guide_io::write_guides(&mut body, &guides).expect("serialize guides");
+    body
+}
+
+/// One `Connection: close` POST /search; returns the status code.
+fn post_search(addr: SocketAddr, body: &[u8]) -> u16 {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "POST /search?k={K}&engine={ENGINE} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    )
+    .expect("write head");
+    stream.write_all(body).expect("write body");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    String::from_utf8_lossy(&raw[..raw.len().min(16)])
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .expect("status code")
+}
+
+/// Runs `CLIENTS` threads, each issuing one request per body in its
+/// schedule, and folds every per-request latency into one profile.
+fn drive(addr: SocketAddr, schedules: Vec<Vec<Vec<u8>>>) -> Profile {
+    let total: usize = schedules.iter().map(Vec::len).sum();
+    let wall = Instant::now();
+    let mut latencies_ms: Vec<f64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = schedules
+            .into_iter()
+            .map(|bodies| {
+                scope.spawn(move || {
+                    bodies
+                        .iter()
+                        .map(|body| {
+                            let start = Instant::now();
+                            let status = post_search(addr, body);
+                            assert_eq!(status, 200, "search must succeed");
+                            start.elapsed().as_secs_f64() * 1e3
+                        })
+                        .collect::<Vec<f64>>()
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let wall_s = wall.elapsed().as_secs_f64();
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let percentile = |p: f64| latencies_ms[((latencies_ms.len() - 1) as f64 * p) as usize];
+    Profile { p50_ms: percentile(0.50), p99_ms: percentile(0.99), qps: total as f64 / wall_s }
+}
+
+fn measure() -> (Profile, Profile) {
+    let genome = SynthSpec::new(GENOME_LEN).seed(SEED).contigs(2).generate();
+    let cfg = ServeConfig {
+        workers: CLIENTS,
+        // Cold sets must never collide in the cache across rounds.
+        cache_capacity: 2 * CLIENTS * REQUESTS_PER_CLIENT,
+        default_engine: ENGINE.to_string(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(genome, cfg).expect("start server");
+    let addr = server.local_addr();
+
+    // Cold: every request is a distinct guide set → a distinct cache key.
+    let mut seed = 1000u64;
+    let cold_schedules: Vec<Vec<Vec<u8>>> = (0..CLIENTS)
+        .map(|_| {
+            (0..REQUESTS_PER_CLIENT)
+                .map(|_| {
+                    seed += 1;
+                    guide_set(seed)
+                })
+                .collect()
+        })
+        .collect();
+    let cold = drive(addr, cold_schedules);
+
+    // Warm: one shared set, compiled once before timing starts.
+    let shared = guide_set(SEED);
+    assert_eq!(post_search(addr, &shared), 200, "warm-up request");
+    let warm_schedules: Vec<Vec<Vec<u8>>> =
+        (0..CLIENTS).map(|_| (0..REQUESTS_PER_CLIENT).map(|_| shared.clone()).collect()).collect();
+    let warm = drive(addr, warm_schedules);
+
+    server.shutdown();
+    server.join();
+    (cold, warm)
+}
+
+fn render(cold: &Profile, warm: &Profile) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!(
+        "  \"workload\": {{\"genome_bases\": {GENOME_LEN}, \"guides\": {GUIDES}, \"k\": {K}, \
+         \"engine\": \"{ENGINE}\", \"clients\": {CLIENTS}, \
+         \"requests_per_client\": {REQUESTS_PER_CLIENT}, \"seed\": {SEED}}},\n"
+    ));
+    for (name, p, comma) in [("cold", cold, ","), ("warm", warm, ",")] {
+        out.push_str(&format!(
+            "  \"{name}\": {{\"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"qps\": {:.1}}}{comma}\n",
+            p.p50_ms, p.p99_ms, p.qps
+        ));
+    }
+    out.push_str(&format!("  \"warm_over_cold_p50\": {:.4}\n", warm.p50_ms / cold.p50_ms));
+    out.push_str("}\n");
+    out
+}
+
+fn check(cold: &Profile, warm: &Profile, baseline_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
+    let baseline = json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
+    let was = baseline
+        .get("warm_over_cold_p50")
+        .and_then(|v| v.as_f64())
+        .ok_or("baseline has no \"warm_over_cold_p50\" member")?;
+    let now = warm.p50_ms / cold.p50_ms;
+    println!(
+        "  cold p50 {:.3}ms p99 {:.3}ms {:.1} q/s; warm p50 {:.3}ms p99 {:.3}ms {:.1} q/s",
+        cold.p50_ms, cold.p99_ms, cold.qps, warm.p50_ms, warm.p99_ms, warm.qps
+    );
+    println!("  warm_over_cold_p50: {now:.4} vs baseline {was:.4}");
+    // Two gates: the cache must still beat a cold compile outright, and
+    // the ratio must not have drifted far past the committed baseline.
+    if now >= 1.0 {
+        return Err(format!(
+            "warm p50 ({:.3}ms) no longer beats cold ({:.3}ms): the \
+             prepared-search cache is not being hit",
+            warm.p50_ms, cold.p50_ms
+        ));
+    }
+    if now > was * (1.0 + TOLERANCE) {
+        return Err(format!(
+            "warm_over_cold_p50 regressed >{:.0}%: {now:.4} vs baseline {was:.4}",
+            TOLERANCE * 100.0
+        ));
+    }
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let start = Instant::now();
+    let (cold, warm) = measure();
+    eprintln!(
+        "drove {} requests in {:.1}s",
+        2 * CLIENTS * REQUESTS_PER_CLIENT + 1,
+        start.elapsed().as_secs_f64()
+    );
+    match args.as_slice() {
+        [] => print!("{}", render(&cold, &warm)),
+        [flag, path] if flag == "--check" => {
+            if let Err(msg) = check(&cold, &warm, path) {
+                eprintln!("bench-serve: {msg}");
+                std::process::exit(1);
+            }
+            println!(
+                "bench-serve: cache effect holds, within {:.0}% of baseline",
+                TOLERANCE * 100.0
+            );
+        }
+        _ => {
+            eprintln!("usage: bench_serve [--check BENCH_serve.json]");
+            std::process::exit(2);
+        }
+    }
+}

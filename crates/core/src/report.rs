@@ -1,8 +1,16 @@
 use crate::Platform;
+use crispr_engines::ChunkFailure;
 use crispr_guides::Hit;
 use crispr_model::{SearchMetrics, TimingBreakdown};
 
 /// The outcome of one [`crate::OffTargetSearch`] run.
+///
+/// A report may be *partial*: the pipeline survived, but some genome
+/// chunks exhausted their retry budget. The recovered hits and full
+/// metrics are still here — the partial-results contract — with the
+/// per-chunk provenance in [`SearchReport::chunk_failures`]. Callers
+/// that must not act on incomplete data branch on
+/// [`SearchReport::is_partial`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct SearchReport {
     platform: Platform,
@@ -11,6 +19,8 @@ pub struct SearchReport {
     genome_len: usize,
     guide_count: usize,
     k: usize,
+    chunk_failures: Vec<ChunkFailure>,
+    chunks_total: u64,
 }
 
 impl SearchReport {
@@ -22,7 +32,26 @@ impl SearchReport {
         guide_count: usize,
         k: usize,
     ) -> SearchReport {
-        SearchReport { platform, hits, metrics, genome_len, guide_count, k }
+        SearchReport {
+            platform,
+            hits,
+            metrics,
+            genome_len,
+            guide_count,
+            k,
+            chunk_failures: Vec::new(),
+            chunks_total: 0,
+        }
+    }
+
+    pub(crate) fn with_failures(
+        mut self,
+        failures: Vec<ChunkFailure>,
+        chunks_total: u64,
+    ) -> SearchReport {
+        self.chunk_failures = failures;
+        self.chunks_total = chunks_total;
+        self
     }
 
     /// The platform that produced this report.
@@ -73,6 +102,25 @@ impl SearchReport {
     /// Kernel throughput in input megabytes per second.
     pub fn kernel_throughput_mbps(&self) -> f64 {
         crispr_model::throughput_mbps(self.genome_len, self.timing().kernel_s)
+    }
+
+    /// Whether this report is partial: some chunks failed every retry and
+    /// [`SearchReport::hits`] covers only the chunks that survived.
+    pub fn is_partial(&self) -> bool {
+        !self.chunk_failures.is_empty()
+    }
+
+    /// Provenance of every chunk that exhausted its retry budget, sorted
+    /// by genome position; empty for a complete run.
+    pub fn chunk_failures(&self) -> &[ChunkFailure] {
+        &self.chunk_failures
+    }
+
+    /// Total chunks the deployment enqueued when this report is partial
+    /// (zero for a complete run — chunk accounting lives in
+    /// [`SearchReport::metrics`] there).
+    pub fn chunks_total(&self) -> u64 {
+        self.chunks_total
     }
 }
 

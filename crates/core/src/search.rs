@@ -1,7 +1,7 @@
 use crate::{Platform, SearchReport};
 use crispr_engines::{
     BitParallelEngine, CasOffinderCpuEngine, CasotEngine, DfaEngine, Engine, EngineError,
-    NfaEngine, ParallelEngine, ScalarEngine,
+    NfaEngine, ParallelEngine, ScalarEngine, SearchError,
 };
 use crispr_genome::Genome;
 use crispr_guides::{Guide, Hit};
@@ -90,12 +90,20 @@ impl OffTargetSearch {
 
     /// Executes the search.
     ///
+    /// A multi-threaded run in which some chunks failed every retry still
+    /// returns `Ok`: the report carries the recovered hits and full
+    /// metrics, with the failure provenance in
+    /// [`SearchReport::chunk_failures`] — check
+    /// [`SearchReport::is_partial`] before treating the hit set as
+    /// complete. (This is the partial-results contract the CLI's exit
+    /// code 3 and the serve layer's 206 responses are built on.)
+    ///
     /// # Errors
     ///
     /// Guide-validation, compilation, or platform-capacity errors from the
     /// selected backend.
     pub fn run(&self) -> Result<SearchReport, EngineError> {
-        let (hits, mut metrics) = match self.platform {
+        let (hits, mut metrics, partial) = match self.platform {
             Platform::CpuScalar => self.run_cpu(ScalarEngine::new())?,
             Platform::CpuCasOffinder => self.run_cpu(CasOffinderCpuEngine::new())?,
             Platform::CpuCasot => self.run_cpu(CasotEngine::new())?,
@@ -112,7 +120,7 @@ impl OffTargetSearch {
                 m.set_gauge("chips_used", report.placement.chips_used as f64);
                 m.set_gauge("stes_used", report.placement.stes_used as f64);
                 m.set_gauge("ste_utilization", report.placement.utilization);
-                (report.hits, m)
+                (report.hits, m, None)
             }
             Platform::Fpga => {
                 let report =
@@ -126,7 +134,7 @@ impl OffTargetSearch {
                     m.set_gauge("clock_hz", d.clock_hz);
                     m.set_gauge("lut_utilization", d.utilization);
                 }
-                (report.hits, m)
+                (report.hits, m, None)
             }
             Platform::GpuInfant2 => {
                 let report =
@@ -135,7 +143,7 @@ impl OffTargetSearch {
                 m.counters.raw_hits = report.hits.len() as u64;
                 m.set_gauge("mean_active_states", report.mean_active);
                 m.set_gauge("bytes_per_symbol", report.bytes_per_symbol);
-                (report.hits, m)
+                (report.hits, m, None)
             }
             Platform::GpuCasOffinder => {
                 let report = crispr_gpu::CasOffinderGpuSearch::new().run(
@@ -146,18 +154,22 @@ impl OffTargetSearch {
                 let mut m = SearchMetrics::from_timing("gpu-cas-offinder-modeled", &report.timing);
                 m.counters.raw_hits = report.hits.len() as u64;
                 m.set_gauge("kernel_bytes", report.kernel_bytes);
-                (report.hits, m)
+                (report.hits, m, None)
             }
         };
         metrics.counters.degraded_paths += self.input_degradations;
-        Ok(SearchReport::new(
+        let report = SearchReport::new(
             self.platform,
             hits,
             metrics,
             self.genome.total_len(),
             self.guides.len(),
             self.k,
-        ))
+        );
+        Ok(match partial {
+            Some((failures, chunks_total)) => report.with_failures(failures, chunks_total),
+            None => report,
+        })
     }
 
     /// Runs a CPU engine (parallel-wrapped when `threads > 1`) with full
@@ -170,21 +182,39 @@ impl OffTargetSearch {
     /// or chunk — see DESIGN.md §7.1), so `guide_compile_s` is paid once
     /// regardless of `threads`, and the parallel wrapper fans the same
     /// prepared searcher out over borrowed chunks without copying.
+    ///
+    /// A partial outcome (some chunks failed every retry) is *not* an
+    /// error at this level: the parallel deployment delivers the
+    /// recovered hits inside [`SearchError::Partial`] and fully populates
+    /// `metrics` before returning, so the partial branch unwraps both and
+    /// hands the failure provenance up for the report.
+    #[allow(clippy::type_complexity)]
     fn run_cpu<E: Engine + Sync>(
         &self,
         engine: E,
-    ) -> Result<(Vec<Hit>, SearchMetrics), EngineError> {
+    ) -> Result<(Vec<Hit>, SearchMetrics, Option<PartialOutcome>), EngineError> {
         let mut metrics = SearchMetrics::default();
-        let hits = if self.threads > 1 {
-            ParallelEngine::new(engine, self.threads)
+        if self.threads > 1 {
+            let result = ParallelEngine::new(engine, self.threads)
                 .with_retry_limit(self.chunk_retries)
-                .search_metered(&self.genome, &self.guides, self.k, &mut metrics)?
+                .search_metered(&self.genome, &self.guides, self.k, &mut metrics);
+            match result {
+                Ok(hits) => Ok((hits, metrics, None)),
+                Err(SearchError::Partial { failures, chunks_total, hits }) => {
+                    Ok((hits, metrics, Some((failures, chunks_total))))
+                }
+                Err(e) => Err(e),
+            }
         } else {
-            engine.search_metered(&self.genome, &self.guides, self.k, &mut metrics)?
-        };
-        Ok((hits, metrics))
+            let hits = engine.search_metered(&self.genome, &self.guides, self.k, &mut metrics)?;
+            Ok((hits, metrics, None))
+        }
     }
 }
+
+/// Chunk-failure provenance of a partial run: the failed chunks plus the
+/// total the deployment enqueued.
+type PartialOutcome = (Vec<crispr_engines::ChunkFailure>, u64);
 
 #[cfg(test)]
 mod tests {
@@ -299,6 +329,38 @@ mod tests {
         assert!(t.config_s > 0.0, "compile time not attributed");
         assert_eq!(t.kernel_s, report.metrics().phases.kernel_scan_s);
         assert!(report.metrics().gauge("dfa_states").unwrap_or(0.0) > 0.0);
+    }
+
+    #[test]
+    fn partial_runs_return_recovered_hits_and_provenance() {
+        let (genome, guides, _) = workload();
+        let clean = OffTargetSearch::new(genome.clone())
+            .guides(guides.clone())
+            .max_mismatches(2)
+            .threads(4)
+            .run()
+            .unwrap();
+        assert!(!clean.is_partial() && clean.chunk_failures().is_empty());
+
+        // One guaranteed fire, no retries: exactly one chunk is lost, and
+        // the run must still return Ok — report, hits, metrics intact.
+        let _scenario = crispr_failpoint::FailScenario::setup("parallel.chunk=error:1.0,21,1");
+        let report = OffTargetSearch::new(genome)
+            .guides(guides)
+            .max_mismatches(2)
+            .threads(4)
+            .chunk_retries(0)
+            .run()
+            .unwrap();
+        assert!(report.is_partial());
+        assert_eq!(report.chunk_failures().len(), 1);
+        assert!(report.chunks_total() > 1);
+        assert!(!report.chunk_failures()[0].contig_name.is_empty());
+        assert!(report.hits().iter().all(|h| clean.hits().binary_search(h).is_ok()));
+        let m = report.metrics();
+        assert_eq!(m.counters.chunks_failed, 1);
+        assert!(m.phases.kernel_scan_s > 0.0, "metrics survive the partial outcome");
+        assert!(m.parallel.is_some());
     }
 
     #[test]

@@ -65,15 +65,18 @@ pub enum SearchError {
     Unsupported(String),
     /// The parallel deployment completed, but some chunks failed every
     /// retry. The result is *partial*: every chunk not listed here was
-    /// scanned successfully.
+    /// scanned successfully, and the recovered hits ride along so
+    /// callers (the CLI, the serve layer) can still deliver them.
     Partial {
-        /// The chunks that exhausted their retry budget, in discovery
-        /// order.
+        /// The chunks that exhausted their retry budget, sorted by
+        /// genome position.
         failures: Vec<ChunkFailure>,
         /// Total chunks the deployment enqueued.
         chunks_total: u64,
-        /// Hits recovered from the chunks that did succeed.
-        hits_recovered: usize,
+        /// The normalized hits recovered from the chunks that did
+        /// succeed — the partial-results contract: an exit-code-3 run
+        /// still delivers these, it never discards them.
+        hits: Vec<crispr_guides::Hit>,
     },
 }
 
@@ -83,6 +86,30 @@ impl SearchError {
     /// this (the CLI maps it to its own exit code).
     pub fn is_partial(&self) -> bool {
         matches!(self, SearchError::Partial { .. })
+    }
+
+    /// For a partial-result error, the number of hits that were still
+    /// recovered; `None` for every other variant.
+    pub fn hits_recovered(&self) -> Option<usize> {
+        match self {
+            SearchError::Partial { hits, .. } => Some(hits.len()),
+            _ => None,
+        }
+    }
+
+    /// Consumes a partial-result error, returning the recovered hits and
+    /// the failure provenance; `Err(self)` unchanged for every other
+    /// variant.
+    #[allow(clippy::type_complexity)]
+    pub fn into_partial(
+        self,
+    ) -> Result<(Vec<crispr_guides::Hit>, Vec<ChunkFailure>, u64), SearchError> {
+        match self {
+            SearchError::Partial { failures, chunks_total, hits } => {
+                Ok((hits, failures, chunks_total))
+            }
+            other => Err(other),
+        }
     }
 }
 
@@ -94,13 +121,13 @@ impl fmt::Display for SearchError {
             SearchError::Genome(e) => write!(f, "genome error: {e}"),
             SearchError::GuideIo(e) => write!(f, "guide file error: {e}"),
             SearchError::Unsupported(reason) => write!(f, "unsupported request: {reason}"),
-            SearchError::Partial { failures, chunks_total, hits_recovered } => {
+            SearchError::Partial { failures, chunks_total, hits } => {
                 write!(
                     f,
                     "partial result: {}/{} chunks failed after retries ({} hits recovered)",
                     failures.len(),
                     chunks_total,
-                    hits_recovered
+                    hits.len()
                 )?;
                 for failure in failures {
                     write!(f, "\n  failed chunk: {failure}")?;
@@ -178,9 +205,19 @@ mod tests {
                 cause: "injected panic".into(),
             }],
             chunks_total: 16,
-            hits_recovered: 41,
+            hits: vec![
+                crispr_guides::Hit {
+                    contig: 0,
+                    pos: 7,
+                    guide: 0,
+                    strand: crispr_genome::Strand::Forward,
+                    mismatches: 1,
+                };
+                41
+            ],
         };
         assert!(e.is_partial());
+        assert_eq!(e.hits_recovered(), Some(41));
         let text = e.to_string();
         assert!(text.contains("1/16 chunks failed"), "{text}");
         assert!(text.contains("chr3") && text.contains("[1000..1512)"), "{text}");

@@ -69,5 +69,5 @@ pub use myers::{IndelEngine, MyersMatcher};
 pub use naive::CasOffinderCpuEngine;
 pub use nfa::{reports_to_hits, NfaEngine};
 pub use offdfa::DfaEngine;
-pub use parallel::{ParallelEngine, DEFAULT_CHUNK_RETRIES};
+pub use parallel::{scan_prepared, ParallelEngine, ScanDeployment, DEFAULT_CHUNK_RETRIES};
 pub use pigeonhole::PigeonholeEngine;

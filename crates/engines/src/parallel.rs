@@ -82,6 +82,38 @@ struct WorkerReport {
     failures: Vec<ChunkFailure>,
 }
 
+/// Scan-side deployment parameters for [`scan_prepared`]: how an
+/// already-compiled [`PreparedSearch`] is fanned out over a genome.
+///
+/// This is the reusable half of [`ParallelEngine`] — the serve layer
+/// drives cached prepared searches through it directly, skipping the
+/// compile phase entirely on a cache hit.
+#[derive(Debug, Clone)]
+pub struct ScanDeployment {
+    /// Worker threads to fan chunks out over (≥ 1).
+    pub threads: usize,
+    /// Re-queues a failed chunk gets before it is reported in
+    /// [`SearchError::Partial`].
+    pub retry_limit: u32,
+    /// Per-chunk base length override; `None` derives it from the
+    /// contig length and thread count.
+    pub chunk_len: Option<usize>,
+}
+
+impl ScanDeployment {
+    /// A deployment over `threads` workers with the default retry budget.
+    pub fn new(threads: usize) -> ScanDeployment {
+        assert!(threads > 0, "need at least one thread");
+        ScanDeployment { threads, retry_limit: DEFAULT_CHUNK_RETRIES, chunk_len: None }
+    }
+
+    /// Overrides the per-chunk retry budget.
+    pub fn with_retry_limit(mut self, retries: u32) -> ScanDeployment {
+        self.retry_limit = retries;
+        self
+    }
+}
+
 /// Parallel wrapper around an inner [`Engine`].
 #[derive(Debug)]
 pub struct ParallelEngine<E> {
@@ -130,36 +162,6 @@ impl<E: Engine + Sync> ParallelEngine<E> {
         &self.inner
     }
 
-    /// Splits contigs into overlapping chunk work items borrowing the
-    /// genome: `(contig index, chunk start, slice)`.
-    fn chunks<'g>(&self, genome: &'g Genome, site_len: usize) -> Vec<(u32, u64, &'g [Base])> {
-        let mut work = Vec::new();
-        for (ci, contig) in genome.contigs().iter().enumerate() {
-            if contig.len() < site_len {
-                continue;
-            }
-            let seq = contig.seq().as_slice();
-            let total = seq.len();
-            let base_len = match self.chunk_len {
-                Some(len) => len,
-                None => {
-                    let chunk_count = self.threads.min(total / site_len.max(1)).max(1);
-                    total.div_ceil(chunk_count)
-                }
-            };
-            let mut start = 0usize;
-            while start < total {
-                let end = (start + base_len + site_len - 1).min(total);
-                work.push((ci as u32, start as u64, &seq[start..end]));
-                if end == total {
-                    break;
-                }
-                start += base_len;
-            }
-        }
-        work
-    }
-
     fn scan(
         &self,
         genome: &Genome,
@@ -167,6 +169,8 @@ impl<E: Engine + Sync> ParallelEngine<E> {
         k: usize,
         m: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        // Faults fired during prepare are metered here; scan-side fires
+        // are metered by `scan_prepared`'s own delta.
         let faults_before = crispr_failpoint::fired_total();
         let compile_start = Instant::now();
         let prepared = {
@@ -175,190 +179,251 @@ impl<E: Engine + Sync> ParallelEngine<E> {
         };
         m.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
         prepared.record_gauges(m);
-
-        let site_len = prepared.site_len();
-        let work = self.chunks(genome, site_len);
-        let chunks_total = work.len() as u64;
-        let chunk_len_min = work.iter().map(|(_, _, s)| s.len() as u64).min().unwrap_or(0);
-        let chunk_len_max = work.iter().map(|(_, _, s)| s.len() as u64).max().unwrap_or(0);
-
-        let scan_start = Instant::now();
-        let queue: Mutex<VecDeque<ChunkItem<'_>>> = Mutex::new(
-            work.into_iter()
-                .map(|(contig, offset, slice)| ChunkItem {
-                    contig,
-                    offset,
-                    slice,
-                    attempts: 0,
-                    requeued_at: None,
-                })
-                .collect(),
-        );
-        let prepared = prepared.as_ref();
-        let retry_limit = self.retry_limit;
-        let overlap = site_len.saturating_sub(1) as u64;
-        let (tx, rx) = mpsc::channel::<WorkerReport>();
-
-        let fanout_span = trace::span("phase:fanout");
-        std::thread::scope(|scope| {
-            for w in 0..self.threads {
-                let tx = tx.clone();
-                let queue = &queue;
-                scope.spawn(move || {
-                    trace::name_thread(&format!("worker-{w}"));
-                    let mut report = WorkerReport {
-                        stats: ThreadStats::default(),
-                        local: SearchMetrics::default(),
-                        hits: Vec::new(),
-                        failures: Vec::new(),
-                    };
-                    loop {
-                        let item = lock_unpoisoned(queue).pop_front();
-                        let Some(mut item) = item else { break };
-                        if let Some(requeued_at) = item.requeued_at.take() {
-                            report
-                                .local
-                                .observe("retry_backoff_s", requeued_at.elapsed().as_secs_f64());
-                        }
-                        let chunk_span = trace::span_args("chunk", item.contig as u64, item.offset);
-                        let busy_start = Instant::now();
-                        // The whole attempt — failpoint, scan, metrics —
-                        // runs behind the unwind fence with a *fresh*
-                        // per-attempt metrics scratch: a failed attempt
-                        // contributes nothing, so counters after healing
-                        // equal a clean run's.
-                        let attempt = catch_unwind(AssertUnwindSafe(
-                            || -> Result<(Vec<Hit>, SearchMetrics), String> {
-                                crispr_failpoint::hit("parallel.chunk")
-                                    .map_err(|e| e.to_string())?;
-                                let mut buf = Vec::new();
-                                let mut scratch = SearchMetrics::default();
-                                prepared
-                                    .scan_slice(item.slice, &mut buf, &mut scratch)
-                                    .map_err(|e| e.to_string())?;
-                                Ok((buf, scratch))
-                            },
-                        ));
-                        let attempt_s = busy_start.elapsed().as_secs_f64();
-                        report.stats.busy_s += attempt_s;
-                        drop(chunk_span);
-                        let outcome = match attempt {
-                            Ok(result) => result,
-                            Err(payload) => Err(panic_cause(payload)),
-                        };
-                        item.attempts += 1;
-                        match outcome {
-                            Ok((buf, scratch)) => {
-                                if item.attempts > 1 {
-                                    trace::instant("chunk_heal", item.contig as u64, item.offset);
-                                }
-                                report.local.observe("chunk_scan_s", attempt_s);
-                                trace::progress::add(
-                                    item.slice.len() as u64 - overlap.min(item.slice.len() as u64),
-                                );
-                                report.stats.chunks += 1;
-                                report.stats.raw_hits += buf.len() as u64;
-                                report.local.phases.merge(&scratch.phases);
-                                report.local.counters.merge(&scratch.counters);
-                                report.hits.extend(buf.into_iter().map(|mut h| {
-                                    h.contig = item.contig;
-                                    h.pos += item.offset;
-                                    h
-                                }));
-                            }
-                            Err(_cause) if item.attempts <= retry_limit => {
-                                // Heal: back of the queue, so healthy work
-                                // drains first and a flapping chunk's
-                                // retries are spread over time.
-                                trace::instant("chunk_retry", item.contig as u64, item.offset);
-                                report.local.counters.chunks_retried += 1;
-                                item.requeued_at = Some(Instant::now());
-                                lock_unpoisoned(queue).push_back(item);
-                            }
-                            Err(cause) => {
-                                trace::instant("chunk_fail", item.contig as u64, item.offset);
-                                report.local.counters.chunks_failed += 1;
-                                report.failures.push(ChunkFailure {
-                                    contig: item.contig,
-                                    contig_name: String::new(),
-                                    start: item.offset,
-                                    len: item.slice.len() as u64,
-                                    attempts: item.attempts,
-                                    cause,
-                                });
-                            }
-                        }
-                    }
-                    // Hand this worker's events to the collector before
-                    // the scope joins the thread — the TLS destructor
-                    // would do it too, but explicitly flushing keeps the
-                    // ordering obvious.
-                    trace::flush_thread();
-                    // A receiver that vanished means the parent is gone;
-                    // nothing useful to do with the report then.
-                    let _ = tx.send(report);
-                });
-            }
-        });
-        drop(fanout_span);
-        drop(tx);
-        let wall_s = scan_start.elapsed().as_secs_f64();
-        m.phases.kernel_scan_s += wall_s;
-
-        let mut parallel = ParallelMetrics {
-            threads: Vec::with_capacity(self.threads),
-            chunks_total,
-            chunk_len_min,
-            chunk_len_max,
-            overlap: site_len.saturating_sub(1) as u64,
-            worker_phases: Default::default(),
-        };
-        let mut hits: Vec<Hit> = Vec::new();
-        let mut failures: Vec<ChunkFailure> = Vec::new();
-        for report in rx.iter() {
-            // Workers never compile (the shared prepared search already
-            // is), so their summed phases are pure scan-side CPU time.
-            m.counters.raw_hits += report.stats.raw_hits;
-            parallel.threads.push(report.stats);
-            parallel.worker_phases.merge(&report.local.phases);
-            m.counters.merge(&report.local.counters);
-            m.merge_histograms(&report.local.histograms);
-            hits.extend(report.hits);
-            failures.extend(report.failures);
-        }
-        m.set_gauge("worker_utilization", parallel.utilization(wall_s));
-        m.set_gauge("straggler_ratio", parallel.straggler_ratio());
-        let max_busy_s = parallel.max_busy_s();
-        m.parallel = Some(parallel);
-        // Worker gauges are not merged upward, so ratio gauges over the
-        // merged counters are computed here, after the fold.
-        m.finalize_derived_gauges();
-
-        let report_start = Instant::now();
-        {
-            let _span = trace::span("phase:report");
-            normalize(&mut hits);
-        }
-        m.phases.report_s += report_start.elapsed().as_secs_f64();
-        // The shortest wall-clock this run could reach with perfect load
-        // balance: the serial compile and report phases, plus the busiest
-        // worker's scan time.
-        m.set_gauge("critical_path_s", m.phases.guide_compile_s + max_busy_s + m.phases.report_s);
         m.counters.faults_injected += crispr_failpoint::fired_total() - faults_before;
 
-        if !failures.is_empty() {
-            for failure in &mut failures {
-                failure.contig_name = genome.contigs()[failure.contig as usize].name().to_string();
+        let deployment = ScanDeployment {
+            threads: self.threads,
+            retry_limit: self.retry_limit,
+            chunk_len: self.chunk_len,
+        };
+        scan_prepared(prepared.as_ref(), genome, &deployment, m)
+    }
+}
+
+/// Splits contigs into overlapping chunk work items borrowing the
+/// genome: `(contig index, chunk start, slice)`.
+fn chunks<'g>(
+    genome: &'g Genome,
+    site_len: usize,
+    deployment: &ScanDeployment,
+) -> Vec<(u32, u64, &'g [Base])> {
+    let mut work = Vec::new();
+    for (ci, contig) in genome.contigs().iter().enumerate() {
+        if contig.len() < site_len {
+            continue;
+        }
+        let seq = contig.seq().as_slice();
+        let total = seq.len();
+        let base_len = match deployment.chunk_len {
+            Some(len) => len,
+            None => {
+                let chunk_count = deployment.threads.min(total / site_len.max(1)).max(1);
+                total.div_ceil(chunk_count)
             }
-            failures.sort_by_key(|f| (f.contig, f.start));
-            return Err(SearchError::Partial {
-                failures,
-                chunks_total,
-                hits_recovered: hits.len(),
+        };
+        let mut start = 0usize;
+        while start < total {
+            let end = (start + base_len + site_len - 1).min(total);
+            work.push((ci as u32, start as u64, &seq[start..end]));
+            if end == total {
+                break;
+            }
+            start += base_len;
+        }
+    }
+    work
+}
+
+/// Fans an already-compiled [`PreparedSearch`] out over `genome` with the
+/// full self-healing machinery of [`ParallelEngine`]: per-chunk panic
+/// isolation, bounded retries, and structured partiality. This is the
+/// scan half of the engine, exposed so callers holding a cached prepared
+/// search (the serve layer) can skip the compile phase entirely.
+///
+/// `m.phases.guide_compile_s` is *not* touched — compile cost belongs to
+/// whoever ran [`Engine::prepare`]. Scan-side fault fires are metered as
+/// a delta into `m.counters.faults_injected`.
+///
+/// # Errors
+///
+/// [`SearchError::Partial`] when some chunks exhausted their retry
+/// budget — carrying the recovered hits and per-chunk provenance, with
+/// `m` fully populated (the partial-results contract: metrics and hits
+/// survive the failure).
+pub fn scan_prepared(
+    prepared: &dyn PreparedSearch,
+    genome: &Genome,
+    deployment: &ScanDeployment,
+    m: &mut SearchMetrics,
+) -> Result<Vec<Hit>, EngineError> {
+    assert!(deployment.threads > 0, "need at least one thread");
+    let faults_before = crispr_failpoint::fired_total();
+    let site_len = prepared.site_len();
+    let work = chunks(genome, site_len, deployment);
+    let chunks_total = work.len() as u64;
+    let chunk_len_min = work.iter().map(|(_, _, s)| s.len() as u64).min().unwrap_or(0);
+    let chunk_len_max = work.iter().map(|(_, _, s)| s.len() as u64).max().unwrap_or(0);
+
+    let scan_start = Instant::now();
+    let queue: Mutex<VecDeque<ChunkItem<'_>>> = Mutex::new(
+        work.into_iter()
+            .map(|(contig, offset, slice)| ChunkItem {
+                contig,
+                offset,
+                slice,
+                attempts: 0,
+                requeued_at: None,
+            })
+            .collect(),
+    );
+    let retry_limit = deployment.retry_limit;
+    let overlap = site_len.saturating_sub(1) as u64;
+    let (tx, rx) = mpsc::channel::<WorkerReport>();
+
+    let fanout_span = trace::span("phase:fanout");
+    std::thread::scope(|scope| {
+        for w in 0..deployment.threads {
+            let tx = tx.clone();
+            let queue = &queue;
+            scope.spawn(move || {
+                trace::name_thread(&format!("worker-{w}"));
+                let mut report = WorkerReport {
+                    stats: ThreadStats::default(),
+                    local: SearchMetrics::default(),
+                    hits: Vec::new(),
+                    failures: Vec::new(),
+                };
+                loop {
+                    let item = lock_unpoisoned(queue).pop_front();
+                    let Some(mut item) = item else { break };
+                    if let Some(requeued_at) = item.requeued_at.take() {
+                        report
+                            .local
+                            .observe("retry_backoff_s", requeued_at.elapsed().as_secs_f64());
+                    }
+                    let chunk_span = trace::span_args("chunk", item.contig as u64, item.offset);
+                    let busy_start = Instant::now();
+                    // The whole attempt — failpoint, scan, metrics —
+                    // runs behind the unwind fence with a *fresh*
+                    // per-attempt metrics scratch: a failed attempt
+                    // contributes nothing, so counters after healing
+                    // equal a clean run's.
+                    let attempt = catch_unwind(AssertUnwindSafe(
+                        || -> Result<(Vec<Hit>, SearchMetrics), String> {
+                            crispr_failpoint::hit("parallel.chunk").map_err(|e| e.to_string())?;
+                            let mut buf = Vec::new();
+                            let mut scratch = SearchMetrics::default();
+                            prepared
+                                .scan_slice(item.slice, &mut buf, &mut scratch)
+                                .map_err(|e| e.to_string())?;
+                            Ok((buf, scratch))
+                        },
+                    ));
+                    let attempt_s = busy_start.elapsed().as_secs_f64();
+                    report.stats.busy_s += attempt_s;
+                    drop(chunk_span);
+                    let outcome = match attempt {
+                        Ok(result) => result,
+                        Err(payload) => Err(panic_cause(payload)),
+                    };
+                    item.attempts += 1;
+                    match outcome {
+                        Ok((buf, scratch)) => {
+                            if item.attempts > 1 {
+                                trace::instant("chunk_heal", item.contig as u64, item.offset);
+                            }
+                            report.local.observe("chunk_scan_s", attempt_s);
+                            trace::progress::add(
+                                item.slice.len() as u64 - overlap.min(item.slice.len() as u64),
+                            );
+                            report.stats.chunks += 1;
+                            report.stats.raw_hits += buf.len() as u64;
+                            report.local.phases.merge(&scratch.phases);
+                            report.local.counters.merge(&scratch.counters);
+                            report.hits.extend(buf.into_iter().map(|mut h| {
+                                h.contig = item.contig;
+                                h.pos += item.offset;
+                                h
+                            }));
+                        }
+                        Err(_cause) if item.attempts <= retry_limit => {
+                            // Heal: back of the queue, so healthy work
+                            // drains first and a flapping chunk's
+                            // retries are spread over time.
+                            trace::instant("chunk_retry", item.contig as u64, item.offset);
+                            report.local.counters.chunks_retried += 1;
+                            item.requeued_at = Some(Instant::now());
+                            lock_unpoisoned(queue).push_back(item);
+                        }
+                        Err(cause) => {
+                            trace::instant("chunk_fail", item.contig as u64, item.offset);
+                            report.local.counters.chunks_failed += 1;
+                            report.failures.push(ChunkFailure {
+                                contig: item.contig,
+                                contig_name: String::new(),
+                                start: item.offset,
+                                len: item.slice.len() as u64,
+                                attempts: item.attempts,
+                                cause,
+                            });
+                        }
+                    }
+                }
+                // Hand this worker's events to the collector before
+                // the scope joins the thread — the TLS destructor
+                // would do it too, but explicitly flushing keeps the
+                // ordering obvious.
+                trace::flush_thread();
+                // A receiver that vanished means the parent is gone;
+                // nothing useful to do with the report then.
+                let _ = tx.send(report);
             });
         }
-        Ok(hits)
+    });
+    drop(fanout_span);
+    drop(tx);
+    let wall_s = scan_start.elapsed().as_secs_f64();
+    m.phases.kernel_scan_s += wall_s;
+
+    let mut parallel = ParallelMetrics {
+        threads: Vec::with_capacity(deployment.threads),
+        chunks_total,
+        chunk_len_min,
+        chunk_len_max,
+        overlap: site_len.saturating_sub(1) as u64,
+        worker_phases: Default::default(),
+    };
+    let mut hits: Vec<Hit> = Vec::new();
+    let mut failures: Vec<ChunkFailure> = Vec::new();
+    for report in rx.iter() {
+        // Workers never compile (the shared prepared search already
+        // is), so their summed phases are pure scan-side CPU time.
+        m.counters.raw_hits += report.stats.raw_hits;
+        parallel.threads.push(report.stats);
+        parallel.worker_phases.merge(&report.local.phases);
+        m.counters.merge(&report.local.counters);
+        m.merge_histograms(&report.local.histograms);
+        hits.extend(report.hits);
+        failures.extend(report.failures);
     }
+    m.set_gauge("worker_utilization", parallel.utilization(wall_s));
+    m.set_gauge("straggler_ratio", parallel.straggler_ratio());
+    let max_busy_s = parallel.max_busy_s();
+    m.parallel = Some(parallel);
+    // Worker gauges are not merged upward, so ratio gauges over the
+    // merged counters are computed here, after the fold.
+    m.finalize_derived_gauges();
+
+    let report_start = Instant::now();
+    {
+        let _span = trace::span("phase:report");
+        normalize(&mut hits);
+    }
+    m.phases.report_s += report_start.elapsed().as_secs_f64();
+    // The shortest wall-clock this run could reach with perfect load
+    // balance: the serial compile and report phases, plus the busiest
+    // worker's scan time.
+    m.set_gauge("critical_path_s", m.phases.guide_compile_s + max_busy_s + m.phases.report_s);
+    m.counters.faults_injected += crispr_failpoint::fired_total() - faults_before;
+
+    if !failures.is_empty() {
+        for failure in &mut failures {
+            failure.contig_name = genome.contigs()[failure.contig as usize].name().to_string();
+        }
+        failures.sort_by_key(|f| (f.contig, f.start));
+        return Err(SearchError::Partial { failures, chunks_total, hits });
+    }
+    Ok(hits)
 }
 
 impl<E: Engine + Sync> Engine for ParallelEngine<E> {
@@ -582,12 +647,62 @@ mod tests {
         let engine = ParallelEngine::new(ScalarEngine::new(), 2).with_retry_limit(1);
         let _scenario = crispr_failpoint::FailScenario::setup("parallel.chunk=error");
         let err = engine.search(&genome, &guides, 1).unwrap_err();
-        let SearchError::Partial { failures, chunks_total, hits_recovered } = err else {
+        let SearchError::Partial { failures, chunks_total, hits } = err else {
             panic!("expected Partial");
         };
         assert_eq!(failures.len() as u64, chunks_total);
-        assert_eq!(hits_recovered, 0);
+        assert!(hits.is_empty());
         assert!(failures.iter().all(|f| f.attempts == 2 && !f.contig_name.is_empty()));
+    }
+
+    #[test]
+    fn partial_errors_carry_the_recovered_hits() {
+        // One guaranteed fire, no retries: exactly one chunk fails and the
+        // partial error must deliver every other chunk's hits — the
+        // recovered set plus the failed chunk's windows re-scanned clean
+        // must reconstruct the full hit set.
+        let (genome, guides, _) = planted_workload(81, 2);
+        let engine = ParallelEngine::new(BitParallelEngine::new(), 4).with_retry_limit(0);
+        let clean = engine.search(&genome, &guides, 2).unwrap();
+        let _scenario = crispr_failpoint::FailScenario::setup("parallel.chunk=error:1.0,13,1");
+        let mut m = SearchMetrics::default();
+        let err = engine.search_metered(&genome, &guides, 2, &mut m).unwrap_err();
+        let SearchError::Partial { failures, chunks_total, hits } = err else {
+            panic!("expected Partial");
+        };
+        assert_eq!(failures.len(), 1);
+        assert!(chunks_total > 1);
+        // Recovered hits are normalized (sorted, deduplicated) and are a
+        // subset of the clean run's.
+        assert!(hits.windows(2).all(|w| w[0] < w[1]));
+        assert!(hits.iter().all(|h| clean.binary_search(h).is_ok()));
+        // Every clean hit outside the failed chunk's span was recovered.
+        let f = &failures[0];
+        let lost = |h: &Hit| h.contig == f.contig && h.pos >= f.start && h.pos < f.start + f.len;
+        for hit in clean.iter().filter(|h| !lost(h)) {
+            assert!(hits.binary_search(hit).is_ok(), "recoverable hit {hit} missing");
+        }
+        // The metrics passed in survive the partial outcome.
+        assert_eq!(m.counters.chunks_failed, 1);
+        assert!(m.parallel.is_some());
+    }
+
+    #[test]
+    fn scan_prepared_reuses_a_cached_compile() {
+        // The serve-layer path: prepare once, scan many times through the
+        // public deployment function. Results must match the engine
+        // driver's, and no compile time may be charged to the scan.
+        let (genome, guides, _) = planted_workload(82, 2);
+        let truth = BitParallelEngine::new().search(&genome, &guides, 2).unwrap();
+        let prepared = BitParallelEngine::new().prepare(&guides, 2).unwrap();
+        let deployment = ScanDeployment::new(3);
+        for _ in 0..2 {
+            let mut m = SearchMetrics::default();
+            let hits = scan_prepared(prepared.as_ref(), &genome, &deployment, &mut m).unwrap();
+            assert_eq!(hits, truth);
+            assert_eq!(m.phases.guide_compile_s, 0.0, "scan must not charge compile");
+            assert!(m.phases.kernel_scan_s > 0.0);
+        }
     }
 
     #[test]

@@ -1,0 +1,281 @@
+//! A deliberately small HTTP/1.1 implementation: enough protocol for the
+//! four endpoints the daemon exposes, with hard size limits so a
+//! malformed or hostile client cannot balloon memory. Every connection
+//! carries exactly one request and is answered `Connection: close`.
+
+use std::io::{self, Write};
+use std::io::{BufRead, BufReader, Read};
+
+/// Longest accepted request line (method + target + version).
+const MAX_REQUEST_LINE: usize = 8 * 1024;
+/// Total header bytes accepted before the request is rejected.
+const MAX_HEADER_BYTES: usize = 32 * 1024;
+/// Largest accepted body (a guide list; 16 MiB is ~400k guides).
+const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
+
+/// One parsed request: method, decoded path, decoded query pairs, body.
+#[derive(Debug)]
+pub(crate) struct Request {
+    pub method: String,
+    pub path: String,
+    pub query: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of query parameter `name`, if present.
+    pub fn query_param(&self, name: &str) -> Option<&str> {
+        self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+}
+
+/// Why a request could not be parsed: `Bad` becomes a 400 response,
+/// `Io` means the connection is dead and is simply dropped.
+#[derive(Debug)]
+pub(crate) enum ParseError {
+    Bad(String),
+    // The error value is carried for Debug output only; handlers just
+    // drop the connection.
+    Io(#[allow(dead_code)] io::Error),
+}
+
+impl From<io::Error> for ParseError {
+    fn from(e: io::Error) -> ParseError {
+        ParseError::Io(e)
+    }
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line of at most `limit` bytes.
+fn read_line<R: BufRead>(reader: &mut R, limit: usize) -> Result<String, ParseError> {
+    let mut raw = Vec::new();
+    let mut taken = reader.take(limit as u64 + 1);
+    taken.read_until(b'\n', &mut raw)?;
+    if raw.len() > limit {
+        return Err(ParseError::Bad(format!("line exceeds {limit} bytes")));
+    }
+    while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
+        raw.pop();
+    }
+    String::from_utf8(raw).map_err(|_| ParseError::Bad("non-UTF-8 header line".to_string()))
+}
+
+/// Decodes `%XX` escapes and `+`-as-space in a query component.
+fn percent_decode(text: &str) -> String {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => out.push(b' '),
+            b'%' if i + 2 < bytes.len() => {
+                let hex = std::str::from_utf8(&bytes[i + 1..i + 3]).ok();
+                match hex.and_then(|h| u8::from_str_radix(h, 16).ok()) {
+                    Some(byte) => {
+                        out.push(byte);
+                        i += 2;
+                    }
+                    None => out.push(b'%'),
+                }
+            }
+            b => out.push(b),
+        }
+        i += 1;
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Splits a query string into decoded `(key, value)` pairs. The value is
+/// everything after the *first* `=`, so failpoint specs like
+/// `inject=parallel.chunk=error:1.0` survive without escaping.
+fn parse_query(query: &str) -> Vec<(String, String)> {
+    query
+        .split('&')
+        .filter(|pair| !pair.is_empty())
+        .map(|pair| match pair.split_once('=') {
+            Some((k, v)) => (percent_decode(k), percent_decode(v)),
+            None => (percent_decode(pair), String::new()),
+        })
+        .collect()
+}
+
+/// Parses one request off `stream`.
+pub(crate) fn parse_request<R: Read>(stream: R) -> Result<Request, ParseError> {
+    let mut reader = BufReader::new(stream);
+    let request_line = read_line(&mut reader, MAX_REQUEST_LINE)?;
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
+        _ => return Err(ParseError::Bad(format!("malformed request line {request_line:?}"))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Bad(format!("unsupported protocol {version:?}")));
+    }
+
+    let mut content_length = 0usize;
+    let mut header_bytes = 0usize;
+    loop {
+        let line = read_line(&mut reader, MAX_REQUEST_LINE)?;
+        if line.is_empty() {
+            break;
+        }
+        header_bytes += line.len();
+        if header_bytes > MAX_HEADER_BYTES {
+            return Err(ParseError::Bad(format!("headers exceed {MAX_HEADER_BYTES} bytes")));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(ParseError::Bad(format!("malformed header {line:?}")));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| ParseError::Bad(format!("bad content-length {value:?}")))?;
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(ParseError::Bad(format!("body exceeds {MAX_BODY_BYTES} bytes")));
+    }
+
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, parse_query(q)),
+        None => (target.as_str(), Vec::new()),
+    };
+    Ok(Request { method, path: percent_decode(path), query, body })
+}
+
+/// One response, written with `Content-Length` and `Connection: close`.
+#[derive(Debug)]
+pub(crate) struct Response {
+    pub status: u16,
+    content_type: &'static str,
+    headers: Vec<(String, String)>,
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    pub fn new(status: u16, content_type: &'static str, body: Vec<u8>) -> Response {
+        Response { status, content_type, headers: Vec::new(), body }
+    }
+
+    pub fn text(status: u16, message: impl Into<String>) -> Response {
+        let mut body = message.into();
+        if !body.ends_with('\n') {
+            body.push('\n');
+        }
+        Response::new(status, "text/plain; charset=utf-8", body.into_bytes())
+    }
+
+    pub fn header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_string(), value.into()));
+        self
+    }
+
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        write!(writer, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
+        write!(writer, "Content-Type: {}\r\n", self.content_type)?;
+        write!(writer, "Content-Length: {}\r\n", self.body.len())?;
+        write!(writer, "Connection: close\r\n")?;
+        for (name, value) in &self.headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        write!(writer, "\r\n")?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        206 => "Partial Content",
+        400 => "Bad Request",
+        403 => "Forbidden",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        500 => "Internal Server Error",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(raw: &str) -> Result<Request, ParseError> {
+        parse_request(Cursor::new(raw.as_bytes().to_vec()))
+    }
+
+    #[test]
+    fn parses_a_post_with_query_and_body() {
+        let req = parse(
+            "POST /search?k=3&engine=cpu-hyperscan&inject=parallel.chunk=error:1.0,7,1 HTTP/1.1\r\n\
+             Host: localhost\r\nContent-Length: 5\r\n\r\nhello",
+        )
+        .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/search");
+        assert_eq!(req.query_param("k"), Some("3"));
+        assert_eq!(req.query_param("engine"), Some("cpu-hyperscan"));
+        // The value keeps everything after the first `=`.
+        assert_eq!(req.query_param("inject"), Some("parallel.chunk=error:1.0,7,1"));
+        assert_eq!(req.body, b"hello");
+    }
+
+    #[test]
+    fn parses_a_bare_get() {
+        let req = parse("GET /healthz HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.query.is_empty() && req.body.is_empty());
+    }
+
+    #[test]
+    fn decodes_percent_escapes() {
+        let req = parse("GET /x?a=one%20two&b=1%2C2 HTTP/1.1\r\n\r\n").unwrap();
+        assert_eq!(req.query_param("a"), Some("one two"));
+        assert_eq!(req.query_param("b"), Some("1,2"));
+    }
+
+    #[test]
+    fn rejects_garbage_and_oversize() {
+        assert!(matches!(parse("NOT-HTTP\r\n\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(parse("GET / SPDY/99\r\n\r\n"), Err(ParseError::Bad(_))));
+        assert!(matches!(
+            parse("GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n"),
+            Err(ParseError::Bad(_))
+        ));
+        let huge = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(MAX_REQUEST_LINE));
+        assert!(matches!(parse(&huge), Err(ParseError::Bad(_))));
+        assert!(matches!(
+            parse(&format!("GET / HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY_BYTES + 1)),
+            Err(ParseError::Bad(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_body_is_an_io_error() {
+        assert!(matches!(
+            parse("POST /search HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
+            Err(ParseError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn responses_carry_length_close_and_custom_headers() {
+        let mut out = Vec::new();
+        Response::new(206, "text/plain; charset=utf-8", b"body".to_vec())
+            .header("X-Offtarget-Partial", "1/8")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 206 Partial Content\r\n"));
+        assert!(text.contains("Content-Length: 4\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.contains("X-Offtarget-Partial: 1/8\r\n"));
+        assert!(text.ends_with("\r\n\r\nbody"));
+    }
+}

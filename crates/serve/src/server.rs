@@ -1,0 +1,479 @@
+//! The daemon: accept loop, bounded worker pool, request handlers, and
+//! graceful drain. See the crate docs for the endpoint table.
+
+use crate::cache::{fnv1a, CacheKey, PreparedCache, PreparedEntry};
+use crate::http::{parse_request, ParseError, Request, Response};
+use crispr_engines::{
+    scan_prepared, BitParallelEngine, CasOffinderCpuEngine, CasotEngine, DfaEngine, Engine,
+    EngineError, NfaEngine, PreparedSearch, ScalarEngine, ScanDeployment, SearchError,
+    DEFAULT_CHUNK_RETRIES,
+};
+use crispr_genome::Genome;
+use crispr_guides::{io as guide_io, Guide, Hit};
+use crispr_model::json::escape;
+use crispr_model::SearchMetrics;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// The engines a query may name — the measured CPU platforms. (Modeled
+/// accelerators answer timing questions, not hit queries, and stay in
+/// the batch CLI.)
+pub fn engine_names() -> &'static [&'static str] {
+    &["cpu-scalar", "cpu-cas-offinder", "cpu-casot", "cpu-hyperscan", "cpu-nfa", "cpu-dfa"]
+}
+
+/// Compiles `guides` at budget `k` for the named engine, or `None` for
+/// an unknown name.
+#[allow(clippy::type_complexity)]
+fn prepare_for(
+    engine: &str,
+    guides: &[Guide],
+    k: usize,
+) -> Option<Result<Box<dyn PreparedSearch>, EngineError>> {
+    Some(match engine {
+        "cpu-scalar" => ScalarEngine::new().prepare(guides, k),
+        "cpu-cas-offinder" => CasOffinderCpuEngine::new().prepare(guides, k),
+        "cpu-casot" => CasotEngine::new().prepare(guides, k),
+        "cpu-hyperscan" => BitParallelEngine::new().prepare(guides, k),
+        "cpu-nfa" => NfaEngine::new().prepare(guides, k),
+        "cpu-dfa" => DfaEngine::new().prepare(guides, k),
+        _ => return None,
+    })
+}
+
+/// Daemon configuration; [`ServeConfig::default`] binds an ephemeral
+/// loopback port with a small pool and cache.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, `host:port` (`:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads answering requests (≥ 1).
+    pub workers: usize,
+    /// Threads each scan fans its genome chunks over (≥ 1).
+    pub scan_threads: usize,
+    /// Prepared-search cache capacity in entries (≥ 1).
+    pub cache_capacity: usize,
+    /// Per-chunk retry budget for every scan.
+    pub retry_limit: u32,
+    /// Whether `POST /search?inject=…` may arm failpoints. Off by
+    /// default: fault injection is a test surface, not a public API.
+    pub allow_inject: bool,
+    /// Engine used when a query names none (see [`engine_names`]).
+    pub default_engine: String,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            scan_threads: 1,
+            cache_capacity: 8,
+            retry_limit: DEFAULT_CHUNK_RETRIES,
+            allow_inject: false,
+            default_engine: "cpu-hyperscan".to_string(),
+        }
+    }
+}
+
+/// Everything the accept loop and workers share.
+struct Shared {
+    genome: Genome,
+    contig_names: Vec<String>,
+    cfg: ServeConfig,
+    cache: PreparedCache,
+    /// Aggregate of every completed search's metrics, for `/metrics`.
+    metrics: Mutex<SearchMetrics>,
+    requests: AtomicU64,
+    partials: AtomicU64,
+    errors: AtomicU64,
+    inflight: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon. Dropping the handle does *not* stop the threads —
+/// call [`Server::shutdown`] then [`Server::join`] (or let
+/// `POST /shutdown` trigger the same flag remotely).
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listener, spawns the pool, and returns immediately.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from binding `cfg.addr`.
+    pub fn start(genome: Genome, cfg: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+        let contig_names = genome.contigs().iter().map(|c| c.name().to_string()).collect();
+        let shared = Arc::new(Shared {
+            genome,
+            contig_names,
+            cache: PreparedCache::new(cfg.cache_capacity),
+            cfg,
+            metrics: Mutex::new(SearchMetrics::new("serve")),
+            requests: AtomicU64::new(0),
+            partials: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            inflight: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        });
+
+        // Accepted connections flow through a channel to the pool; on
+        // shutdown the accept loop drops the sender, the queue drains,
+        // and each worker exits on the disconnect — the graceful drain.
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        let workers = (0..shared.cfg.workers.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let rx = Arc::clone(&rx);
+                std::thread::spawn(move || worker_loop(&shared, &rx))
+            })
+            .collect();
+        let accept = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &shared))
+        };
+        Ok(Server { shared, local_addr, accept: Some(accept), workers })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Begins a graceful drain: stop accepting, finish in-flight work.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+    }
+
+    /// Waits for the accept loop and every worker to exit (i.e. until a
+    /// shutdown — local or via `POST /shutdown` — has fully drained).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, shared: &Shared) {
+    loop {
+        if shared.shutdown.load(Ordering::Acquire) {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+    // Dropping `tx` here disconnects the channel once queued streams
+    // are consumed, releasing the workers.
+}
+
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+    loop {
+        // The guard is dropped before handling so one slow scan does not
+        // serialize the whole pool.
+        let stream = match rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv() {
+            Ok(stream) => stream,
+            Err(_) => break,
+        };
+        handle_connection(shared, stream);
+    }
+}
+
+fn handle_connection(shared: &Shared, stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let response = match parse_request(stream) {
+        Ok(request) => route(shared, &request),
+        Err(ParseError::Bad(reason)) => Response::text(400, reason),
+        // A dead connection cannot be answered.
+        Err(ParseError::Io(_)) => return,
+    };
+    let _ = response.write_to(&mut writer);
+}
+
+fn route(shared: &Shared, request: &Request) -> Response {
+    shared.requests.fetch_add(1, Ordering::Relaxed);
+    shared.inflight.fetch_add(1, Ordering::Relaxed);
+    let response = match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/search") => handle_search(shared, request),
+        ("GET", "/metrics") => handle_metrics(shared),
+        ("GET", "/healthz") => handle_healthz(shared),
+        ("POST", "/shutdown") => {
+            shared.shutdown.store(true, Ordering::Release);
+            Response::text(200, "{\"status\":\"draining\"}")
+        }
+        ("GET" | "POST", "/search" | "/metrics" | "/healthz" | "/shutdown") => {
+            Response::text(405, format!("{} not allowed on {}", request.method, request.path))
+        }
+        (_, path) => Response::text(404, format!("no such endpoint {path:?}")),
+    };
+    if response.status >= 400 {
+        shared.errors.fetch_add(1, Ordering::Relaxed);
+    }
+    shared.inflight.fetch_sub(1, Ordering::Relaxed);
+    response
+}
+
+/// `POST /search?k=K&engine=NAME&format=tsv|json[&inject=SPEC]`, guide
+/// list (the CLI's guides-file format) as the body. Answers 200 with the
+/// hit set, or 206 plus `X-Offtarget-Partial: failed/total` when some
+/// chunks exhausted their retries — the recovered hits are still in the
+/// body, mirroring the CLI's exit code 3.
+fn handle_search(shared: &Shared, request: &Request) -> Response {
+    let k: usize = match request.query_param("k").unwrap_or("3").parse() {
+        Ok(k) => k,
+        Err(e) => return Response::text(400, format!("bad k: {e}")),
+    };
+    let engine = request.query_param("engine").unwrap_or(&shared.cfg.default_engine).to_string();
+    let format = request.query_param("format").unwrap_or("tsv");
+    if format != "tsv" && format != "json" {
+        return Response::text(400, format!("unknown format {format:?} (tsv|json)"));
+    }
+    let guides = match guide_io::read_guides(request.body.as_slice()) {
+        Ok(guides) => guides,
+        Err(e) => return Response::text(400, format!("bad guide list: {e}")),
+    };
+
+    // Canonical serialized form of the parsed set, so formatting noise
+    // in the request body (comments, blank lines) cannot split the cache.
+    let mut canonical = Vec::new();
+    let _ = guide_io::write_guides(&mut canonical, &guides);
+    let key = CacheKey { guides_hash: fnv1a(&canonical), k, engine: engine.clone() };
+
+    let (entry, cache_hit) = match shared.cache.get(&key) {
+        Some(entry) => (entry, true),
+        None => {
+            let compile_start = Instant::now();
+            let prepared = match prepare_for(&engine, &guides, k) {
+                Some(Ok(prepared)) => prepared,
+                Some(Err(e)) => return Response::text(400, format!("cannot compile guides: {e}")),
+                None => {
+                    return Response::text(
+                        400,
+                        format!("unknown engine {engine:?} (one of {})", engine_names().join(" ")),
+                    )
+                }
+            };
+            let entry = Arc::new(PreparedEntry {
+                prepared,
+                compile_s: compile_start.elapsed().as_secs_f64(),
+            });
+            shared.cache.insert(key, Arc::clone(&entry));
+            (entry, false)
+        }
+    };
+
+    // An injected scenario holds the global scenario lock for the span
+    // of this scan, so injecting requests serialize against each other
+    // and clean up on every exit path. (The failpoint registry itself is
+    // process-global — run fault-injection experiments against a
+    // dedicated `--allow-inject` daemon, not a production one.)
+    let scenario = match request.query_param("inject") {
+        Some(_) if !shared.cfg.allow_inject => {
+            return Response::text(403, "fault injection disabled (start with --allow-inject)")
+        }
+        Some(spec) => {
+            let spec = spec.to_string();
+            match catch_unwind(AssertUnwindSafe(|| crispr_failpoint::FailScenario::setup(&spec))) {
+                Ok(scenario) => Some(scenario),
+                Err(_) => return Response::text(400, format!("bad inject spec {spec:?}")),
+            }
+        }
+        None => None,
+    };
+
+    let mut metrics = SearchMetrics::default();
+    let deployment = ScanDeployment::new(shared.cfg.scan_threads.max(1))
+        .with_retry_limit(shared.cfg.retry_limit);
+    let scan_start = Instant::now();
+    let outcome = scan_prepared(entry.prepared.as_ref(), &shared.genome, &deployment, &mut metrics);
+    drop(scenario);
+    if !cache_hit {
+        // The compile happened this request; hits ride a cached compile
+        // for free. This is what the warm/cold latency split measures.
+        metrics.phases.guide_compile_s += entry.compile_s;
+    }
+
+    let (hits, failures, chunks_total) = match outcome {
+        Ok(hits) => (hits, Vec::new(), 0),
+        Err(SearchError::Partial { failures, chunks_total, hits }) => {
+            shared.partials.fetch_add(1, Ordering::Relaxed);
+            (hits, failures, chunks_total)
+        }
+        Err(e) => return Response::text(500, format!("scan failed: {e}")),
+    };
+
+    {
+        let mut aggregate =
+            shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        aggregate.phases.merge(&metrics.phases);
+        aggregate.counters.merge(&metrics.counters);
+        aggregate.merge_histograms(&metrics.histograms);
+        aggregate.observe("serve_request_s", scan_start.elapsed().as_secs_f64());
+    }
+
+    let partial = !failures.is_empty();
+    let body = match format {
+        "tsv" => render_tsv(shared, &guides, &hits, &failures),
+        _ => render_json(shared, &guides, &hits, &failures, chunks_total, k, &engine, &metrics),
+    };
+    let content_type = if format == "tsv" {
+        "text/tab-separated-values; charset=utf-8"
+    } else {
+        "application/json"
+    };
+    let mut response = Response::new(if partial { 206 } else { 200 }, content_type, body)
+        .header("X-Offtarget-Cache", if cache_hit { "hit" } else { "miss" })
+        .header("X-Offtarget-Hits", hits.len().to_string());
+    if partial {
+        response =
+            response.header("X-Offtarget-Partial", format!("{}/{}", failures.len(), chunks_total));
+    }
+    response
+}
+
+/// The CLI's TSV hit format, byte for byte, so a served answer diffs
+/// cleanly against `offtarget search -o hits.tsv`. Partial responses
+/// append the failure provenance as trailing comment lines.
+fn render_tsv(
+    shared: &Shared,
+    guides: &[Guide],
+    hits: &[Hit],
+    failures: &[crispr_engines::ChunkFailure],
+) -> Vec<u8> {
+    let mut out = String::with_capacity(64 + hits.len() * 48);
+    out.push_str("#guide\tcontig\tpos\tstrand\tmismatches\n");
+    for hit in hits {
+        out.push_str(&format!(
+            "{}\t{}\t{}\t{}\t{}\n",
+            guides[hit.guide as usize].id(),
+            shared.contig_names[hit.contig as usize],
+            hit.pos,
+            hit.strand,
+            hit.mismatches
+        ));
+    }
+    for failure in failures {
+        out.push_str(&format!("# failed chunk: {failure}\n"));
+    }
+    out.into_bytes()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_json(
+    shared: &Shared,
+    guides: &[Guide],
+    hits: &[Hit],
+    failures: &[crispr_engines::ChunkFailure],
+    chunks_total: u64,
+    k: usize,
+    engine: &str,
+    metrics: &SearchMetrics,
+) -> Vec<u8> {
+    let mut out = String::with_capacity(256 + hits.len() * 96);
+    out.push_str("{\n");
+    out.push_str(&format!("  \"engine\": \"{}\",\n", escape(engine)));
+    out.push_str(&format!("  \"k\": {k},\n"));
+    out.push_str(&format!("  \"partial\": {},\n", !failures.is_empty()));
+    if !failures.is_empty() {
+        out.push_str("  \"chunk_failures\": [\n");
+        for (i, failure) in failures.iter().enumerate() {
+            let comma = if i + 1 < failures.len() { "," } else { "" };
+            out.push_str(&format!("    \"{}\"{comma}\n", escape(&failure.to_string())));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"chunks_total\": {chunks_total},\n"));
+    }
+    out.push_str("  \"hits\": [\n");
+    for (i, hit) in hits.iter().enumerate() {
+        let comma = if i + 1 < hits.len() { "," } else { "" };
+        out.push_str(&format!(
+            "    {{\"guide\":\"{}\",\"contig\":\"{}\",\"pos\":{},\"strand\":\"{}\",\"mismatches\":{}}}{comma}\n",
+            escape(guides[hit.guide as usize].id()),
+            escape(&shared.contig_names[hit.contig as usize]),
+            hit.pos,
+            hit.strand,
+            hit.mismatches
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!("  \"metrics\": {}\n", metrics.to_json()));
+    out.push_str("}\n");
+    out.into_bytes()
+}
+
+/// `GET /metrics`: every aggregated search counter in Prometheus text,
+/// plus the daemon's own `offtarget_serve_*` series.
+fn handle_metrics(shared: &Shared) -> Response {
+    let aggregate =
+        shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
+    let mut text = crispr_trace::prom::render(&aggregate);
+    let mut series = |name: &str, kind: &str, value: String| {
+        text.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
+    };
+    series(
+        "offtarget_serve_requests_total",
+        "counter",
+        shared.requests.load(Ordering::Relaxed).to_string(),
+    );
+    series(
+        "offtarget_serve_partial_total",
+        "counter",
+        shared.partials.load(Ordering::Relaxed).to_string(),
+    );
+    series(
+        "offtarget_serve_errors_total",
+        "counter",
+        shared.errors.load(Ordering::Relaxed).to_string(),
+    );
+    series("offtarget_serve_cache_hits_total", "counter", shared.cache.hits().to_string());
+    series("offtarget_serve_cache_misses_total", "counter", shared.cache.misses().to_string());
+    series("offtarget_serve_cache_entries", "gauge", shared.cache.len().to_string());
+    series(
+        "offtarget_serve_inflight",
+        "gauge",
+        // This request is itself in flight; report the others.
+        shared.inflight.load(Ordering::Relaxed).saturating_sub(1).to_string(),
+    );
+    Response::new(200, "text/plain; version=0.0.4; charset=utf-8", text.into_bytes())
+}
+
+fn handle_healthz(shared: &Shared) -> Response {
+    let body = format!(
+        "{{\"status\":\"ok\",\"genome_bases\":{},\"contigs\":{},\"cache_entries\":{},\"workers\":{}}}\n",
+        shared.genome.total_len(),
+        shared.genome.contig_count(),
+        shared.cache.len(),
+        shared.cfg.workers
+    );
+    Response::new(200, "application/json", body.into_bytes())
+}

@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::fs::File;
 use std::io::Write;
 use std::process::ExitCode;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,27 +37,26 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
     let result = match command.as_str() {
-        "synth" => cmd_synth(rest),
-        "guides" => cmd_guides(rest),
+        "synth" => cmd_synth(rest).map(|()| 0),
+        "guides" => cmd_guides(rest).map(|()| 0),
         "search" => cmd_search(rest),
-        "anml" => cmd_anml(rest),
+        "serve" => cmd_serve(rest).map(|()| 0),
+        "anml" => cmd_anml(rest).map(|()| 0),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
-            Ok(())
+            Ok(0)
         }
         other => Err(format!("unknown command {other:?}\n{USAGE}").into()),
     };
     let code = match result {
-        Ok(()) => ExitCode::SUCCESS,
+        // `cmd_search` returns 3 itself for partial results — after
+        // writing the recovered hits and every requested sidecar — so
+        // pipelines can distinguish "incomplete" from "broken" while
+        // still consuming the outputs.
+        Ok(code) => ExitCode::from(code),
         Err(e) => {
             eprintln!("offtarget: {e}");
-            // Partial results (some chunks failed every retry) get their
-            // own exit code so pipelines can distinguish "incomplete"
-            // from "broken".
-            let partial = e
-                .downcast_ref::<crispr_offtarget::engines::SearchError>()
-                .is_some_and(crispr_offtarget::engines::SearchError::is_partial);
-            ExitCode::from(if partial { 3 } else { 1 })
+            ExitCode::from(1)
         }
     };
     // Warnings and progress go to stderr, results to stdout; make sure
@@ -76,6 +75,9 @@ const USAGE: &str = "usage:
                    [--metrics FILE|-] [--retries N]
                    [--trace FILE|-] [--prom FILE|-] [--progress]
                    [--inject 'site=kind[:prob[,seed[,times]]][;...]'] [-o hits]
+  offtarget serve  --genome genome.fa [--addr HOST:PORT] [--workers W]
+                   [--scan-threads T] [--cache N] [--retries N]
+                   [--platform NAME] [--allow-inject]
   offtarget anml   --guides guides.txt [-k K] [-o out.anml]
 
 platforms: cpu-scalar cpu-cas-offinder cpu-casot cpu-hyperscan cpu-nfa cpu-dfa
@@ -88,12 +90,20 @@ counter/gauge/histogram in Prometheus text format; --progress streams
 live bases/s and ETA to stderr (off by default so redirected output
 stays clean).
 
+serve: a resident daemon that loads the genome once and answers
+concurrent queries over HTTP/1.1, sharing compiled guide sets through
+an LRU prepared-search cache. Endpoints: POST /search (guide list in,
+hits out; 206 + X-Offtarget-Partial on a partial result), GET /metrics
+(Prometheus), GET /healthz, POST /shutdown (graceful drain). See
+README.md for the request/response schema.
+
 fault injection: --inject (or the OFFTARGET_INJECT environment variable)
 arms named failpoints; kinds are panic, error, delay<ms>. Known sites:
 parallel.chunk fasta.read guides.read prefilter.build multiseed.build
 
 exit codes: 0 success; 1 error; 2 usage; 3 partial results — some chunks
-failed every retry, recovered hits and metrics were still written.";
+failed every retry; the recovered hits and every requested sidecar
+(--metrics, --trace, --prom) are written before the process exits.";
 
 type CliError = Box<dyn std::error::Error>;
 
@@ -106,9 +116,11 @@ const SEARCH_FLAGS: &[&str] = &[
     "trace", "prom", "progress", "out",
 ];
 const ANML_FLAGS: &[&str] = &["guides", "k", "out"];
+const SERVE_FLAGS: &[&str] =
+    &["genome", "addr", "workers", "scan-threads", "cache", "retries", "platform", "allow-inject"];
 
 /// Flags that take no value: present means enabled.
-const BOOLEAN_FLAGS: &[&str] = &["progress"];
+const BOOLEAN_FLAGS: &[&str] = &["progress", "allow-inject"];
 
 /// Edit distance for the unknown-flag hint; small inputs only.
 fn edit_distance(a: &str, b: &str) -> usize {
@@ -136,9 +148,26 @@ fn suggest<'a>(key: &str, allowed: &[&'a str]) -> Option<&'a str> {
         .map(|(_, f)| f)
 }
 
+/// Whether `token` spells one of the subcommand's own flags (so it can
+/// never be a flag *value* — see `parse_flags`).
+fn is_recognized_flag(token: &str, allowed: &[&str]) -> bool {
+    let key = match token {
+        "-o" => "out",
+        "-k" => "k",
+        s => match s.strip_prefix("--") {
+            Some(key) => key,
+            None => return false,
+        },
+    };
+    allowed.contains(&key)
+}
+
 /// Parses `--flag value` pairs (and `-k`, `-o` shorthands), rejecting
 /// flags the subcommand does not define — with a "did you mean" hint for
-/// near-misses.
+/// near-misses. A recognized flag is never consumed as another flag's
+/// value (`--trace --progress` is an error, not a trace file named
+/// "--progress"), and repeating a flag is an error rather than a silent
+/// last-one-wins.
 fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, CliError> {
     let mut flags = HashMap::new();
     let mut iter = args.iter();
@@ -156,12 +185,20 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
             };
             return Err(format!("unknown flag --{key}{hint}").into());
         }
-        if BOOLEAN_FLAGS.contains(&key) {
-            flags.insert(key.to_string(), String::new());
-            continue;
+        let value = if BOOLEAN_FLAGS.contains(&key) {
+            String::new()
+        } else {
+            let value = iter.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
+            if is_recognized_flag(value, allowed) {
+                return Err(
+                    format!("flag {flag} needs a value (found flag {value} instead)").into()
+                );
+            }
+            value.clone()
+        };
+        if flags.insert(key.to_string(), value).is_some() {
+            return Err(format!("flag {flag} given more than once").into());
         }
-        let value = iter.next().ok_or_else(|| format!("flag {flag} needs a value"))?;
-        flags.insert(key.to_string(), value.clone());
     }
     Ok(flags)
 }
@@ -200,10 +237,25 @@ fn file_or_stdout(path: &str) -> Result<Box<dyn Write>, CliError> {
     }
 }
 
+/// The ETA column of the `--progress` status line: the projected seconds
+/// remaining at the observed rate, or `?` while no rate is observable
+/// yet. Any positive rate projects — a slow scan (under one base per
+/// second) still has a finite ETA.
+fn format_eta(rate: f64, done: u64, total: u64) -> String {
+    if rate > 0.0 && done < total {
+        format!("{:.1}s", (total - done) as f64 / rate)
+    } else {
+        "?".to_string()
+    }
+}
+
 /// The live `--progress` reporter: a thread polling the progress
 /// counters a few times a second and redrawing one stderr status line.
 struct ProgressReporter {
     running: Arc<AtomicBool>,
+    /// Width of the last line the poll thread rendered, so `finish` can
+    /// blank exactly what is on screen instead of a guessed 76 columns.
+    last_width: Arc<AtomicUsize>,
     handle: std::thread::JoinHandle<()>,
 }
 
@@ -211,7 +263,9 @@ impl ProgressReporter {
     fn start(total_bases: u64) -> ProgressReporter {
         trace::progress::enable(total_bases);
         let running = Arc::new(AtomicBool::new(true));
+        let last_width = Arc::new(AtomicUsize::new(0));
         let flag = Arc::clone(&running);
+        let width = Arc::clone(&last_width);
         let handle = std::thread::spawn(move || {
             let start = Instant::now();
             while flag.load(Ordering::Relaxed) {
@@ -222,16 +276,17 @@ impl ProgressReporter {
                 }
                 let elapsed = start.elapsed().as_secs_f64();
                 let rate = done as f64 / elapsed.max(1e-9);
-                let eta = if rate > 1.0 && done < total {
-                    format!("{:.1}s", (total - done) as f64 / rate)
-                } else {
-                    "?".to_string()
-                };
-                eprint!("\rscanning: {done}/{total} bases ({:.3e} bases/s, ETA {eta})    ", rate);
+                let eta = format_eta(rate, done, total);
+                let line =
+                    format!("scanning: {done}/{total} bases ({rate:.3e} bases/s, ETA {eta})");
+                // Pad to the previous render so a shrinking line leaves
+                // no residue, then remember our own width.
+                let previous = width.swap(line.len(), Ordering::Relaxed);
+                eprint!("\r{line:<previous$}");
                 let _ = std::io::stderr().flush();
             }
         });
-        ProgressReporter { running, handle }
+        ProgressReporter { running, last_width, handle }
     }
 
     /// Stops the reporter and clears its status line.
@@ -239,7 +294,10 @@ impl ProgressReporter {
         self.running.store(false, Ordering::Relaxed);
         let _ = self.handle.join();
         trace::progress::disable();
-        eprint!("\r{:76}\r", "");
+        let width = self.last_width.load(Ordering::Relaxed);
+        if width > 0 {
+            eprint!("\r{:width$}\r", "");
+        }
         let _ = std::io::stderr().flush();
     }
 }
@@ -306,7 +364,7 @@ fn parse_platform(name: &str) -> Result<Platform, CliError> {
         .ok_or_else(|| format!("unknown platform {name:?}; see `offtarget help`").into())
 }
 
-fn cmd_search(args: &[String]) -> Result<(), CliError> {
+fn cmd_search(args: &[String]) -> Result<u8, CliError> {
     let flags = parse_flags(args, SEARCH_FLAGS)?;
     if let Some(spec) = flags.get("inject") {
         crispr_offtarget::failpoint::configure(spec).map_err(|e| format!("--inject: {e}"))?;
@@ -425,6 +483,60 @@ fn cmd_search(args: &[String]) -> Result<(), CliError> {
         if platform.is_modeled() { "modeled" } else { "measured" },
         if threads > 1 { format!(", {threads} threads") } else { String::new() },
     );
+    // The partial-results contract: everything above ran — the recovered
+    // hits and every requested sidecar are on disk — and only now does
+    // the exit code flip to 3 so pipelines know the hit set is a floor,
+    // not the full answer.
+    if report.is_partial() {
+        eprintln!(
+            "offtarget: partial result: {}/{} chunks failed after retries ({} hits recovered)",
+            report.chunk_failures().len(),
+            report.chunks_total(),
+            report.hits().len()
+        );
+        for failure in report.chunk_failures() {
+            eprintln!("  failed chunk: {failure}");
+        }
+        return Ok(3);
+    }
+    Ok(0)
+}
+
+/// `offtarget serve`: loads the genome once, then blocks inside the
+/// daemon until a `POST /shutdown` drains it.
+fn cmd_serve(args: &[String]) -> Result<(), CliError> {
+    use crispr_offtarget::serve::{engine_names, ServeConfig, Server};
+    let flags = parse_flags(args, SERVE_FLAGS)?;
+    let (genome, _) = load_genome(get(&flags, "genome")?)?;
+    let mut cfg = ServeConfig::default();
+    if let Some(addr) = flags.get("addr") {
+        cfg.addr = addr.clone();
+    }
+    cfg.workers = parse(&flags, "workers", cfg.workers)?;
+    cfg.scan_threads = parse(&flags, "scan-threads", cfg.scan_threads)?;
+    cfg.cache_capacity = parse(&flags, "cache", cfg.cache_capacity)?;
+    cfg.retry_limit = parse(&flags, "retries", cfg.retry_limit)?;
+    cfg.allow_inject = flags.contains_key("allow-inject");
+    if let Some(engine) = flags.get("platform") {
+        if !engine_names().contains(&engine.as_str()) {
+            return Err(format!(
+                "serve supports the measured CPU engines only: {}",
+                engine_names().join(" ")
+            )
+            .into());
+        }
+        cfg.default_engine = engine.clone();
+    }
+    let server = Server::start(genome, cfg.clone())?;
+    eprintln!(
+        "offtarget serve: listening on http://{} ({} workers, {} scan threads, engine {})",
+        server.local_addr(),
+        cfg.workers,
+        cfg.scan_threads,
+        cfg.default_engine
+    );
+    server.join();
+    eprintln!("offtarget serve: drained and stopped");
     Ok(())
 }
 
@@ -444,4 +556,72 @@ fn cmd_anml(args: &[String]) -> Result<(), CliError> {
         set.automaton.edge_count()
     );
     Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_flags_accepts_values_and_booleans() {
+        let flags = parse_flags(
+            &args(&["--genome", "g.fa", "--guides", "g.txt", "-k", "2", "--progress"]),
+            SEARCH_FLAGS,
+        )
+        .unwrap();
+        assert_eq!(flags.get("genome").map(String::as_str), Some("g.fa"));
+        assert_eq!(flags.get("k").map(String::as_str), Some("2"));
+        assert!(flags.contains_key("progress"));
+    }
+
+    #[test]
+    fn a_recognized_flag_is_never_eaten_as_a_value() {
+        // The regression: `--trace --progress` used to record "--progress"
+        // as the trace path and silently drop the progress request.
+        let err = parse_flags(&args(&["--trace", "--progress"]), SEARCH_FLAGS).unwrap_err();
+        let message = err.to_string();
+        assert!(message.contains("--trace") && message.contains("needs a value"), "{message}");
+        assert!(message.contains("--progress"), "{message}");
+        // Shorthands are recognized flags too.
+        let err = parse_flags(&args(&["--metrics", "-o"]), SEARCH_FLAGS).unwrap_err();
+        assert!(err.to_string().contains("needs a value"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flag_tokens_still_pass_as_values() {
+        // A value that merely *looks* flag-like but matches nothing the
+        // subcommand defines is accepted — files named "--weird" stay
+        // reachable.
+        let flags = parse_flags(&args(&["--trace", "--weird"]), SEARCH_FLAGS).unwrap();
+        assert_eq!(flags.get("trace").map(String::as_str), Some("--weird"));
+    }
+
+    #[test]
+    fn duplicate_flags_are_rejected() {
+        let err = parse_flags(&args(&["-k", "2", "--k", "3"]), SEARCH_FLAGS).unwrap_err();
+        assert!(err.to_string().contains("more than once"), "{err}");
+        let err = parse_flags(&args(&["--progress", "--progress"]), SEARCH_FLAGS).unwrap_err();
+        assert!(err.to_string().contains("more than once"), "{err}");
+    }
+
+    #[test]
+    fn near_miss_flags_get_a_hint() {
+        let err = parse_flags(&args(&["--genom", "g.fa"]), SEARCH_FLAGS).unwrap_err();
+        assert!(err.to_string().contains("did you mean --genome"), "{err}");
+    }
+
+    #[test]
+    fn eta_projects_for_any_positive_rate() {
+        // The regression: rates at or below 1 base/s rendered "?" forever
+        // even though the projection is perfectly computable.
+        assert_eq!(format_eta(0.5, 100, 200), "200.0s");
+        assert_eq!(format_eta(2.0, 100, 200), "50.0s");
+        assert_eq!(format_eta(0.0, 100, 200), "?");
+        assert_eq!(format_eta(-1.0, 100, 200), "?");
+        assert_eq!(format_eta(5.0, 200, 200), "?");
+    }
 }

@@ -22,6 +22,8 @@
 //!   together.
 //! * [`failpoint`] — deterministic fault injection for the robustness
 //!   suite (named sites, zero-cost when disabled).
+//! * [`serve`] — the resident query daemon: HTTP/1.1 front end over a
+//!   shared prepared-search cache (`offtarget serve`).
 //!
 //! # Quickstart
 //!
@@ -50,4 +52,5 @@ pub use crispr_genome as genome;
 pub use crispr_gpu as gpu;
 pub use crispr_guides as guides;
 pub use crispr_model as model;
+pub use crispr_serve as serve;
 pub use crispr_trace as trace;

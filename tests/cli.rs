@@ -175,6 +175,103 @@ fn persistent_faults_exit_with_the_partial_code() {
     fs::remove_dir_all(&dir).ok();
 }
 
+/// The partial-results contract, end to end: an injected fault that
+/// survives every retry must still leave the recovered hit TSV, the
+/// `--metrics` JSON, and the `--prom` text on disk — all mutually
+/// consistent — alongside exit code 3.
+#[test]
+fn partial_runs_still_write_hits_metrics_and_prom() {
+    let dir = scratch("partial-outputs");
+    let run = |cmd: &str, args: &[&str]| {
+        let output = Command::new(env!("CARGO_BIN_EXE_offtarget"))
+            .arg(cmd)
+            .args(args)
+            .output()
+            .expect("run offtarget");
+        (output.status.code(), String::from_utf8_lossy(&output.stderr).into_owned())
+    };
+    // A synthesized workload big enough to split into several chunks.
+    let genome = dir.join("genome.fa");
+    let guides = dir.join("guides.txt");
+    let (code, stderr) = run(
+        "synth",
+        &["--len", "30000", "--seed", "5", "--contigs", "2", "-o", genome.to_str().unwrap()],
+    );
+    assert_eq!(code, Some(0), "synth: {stderr}");
+    let (code, stderr) = run(
+        "guides",
+        &[
+            "--count",
+            "4",
+            "--from-genome",
+            genome.to_str().unwrap(),
+            "--seed",
+            "9",
+            "-o",
+            guides.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(code, Some(0), "guides: {stderr}");
+
+    let hits_path = dir.join("hits.tsv");
+    let metrics_path = dir.join("metrics.json");
+    let prom_path = dir.join("metrics.prom");
+    // Exactly one chunk fails (one guaranteed fire, no retries).
+    let (code, stderr) = run(
+        "search",
+        &[
+            "--genome",
+            genome.to_str().unwrap(),
+            "--guides",
+            guides.to_str().unwrap(),
+            "-k",
+            "3",
+            "--threads",
+            "4",
+            "--retries",
+            "0",
+            "--inject",
+            "parallel.chunk=error:1.0,7,1",
+            "-o",
+            hits_path.to_str().unwrap(),
+            "--metrics",
+            metrics_path.to_str().unwrap(),
+            "--prom",
+            prom_path.to_str().unwrap(),
+        ],
+    );
+    assert_eq!(code, Some(3), "stderr: {stderr}");
+    assert!(stderr.contains("partial result"), "stderr: {stderr}");
+    assert!(stderr.contains("failed chunk"), "stderr: {stderr}");
+
+    // stderr names the recovered count; the TSV must hold exactly that
+    // many data rows.
+    let recovered: usize = stderr
+        .lines()
+        .find_map(|l| l.split_once(" hits recovered")?.0.rsplit(['(', ' ']).next())
+        .expect("stderr names the recovered hit count")
+        .parse()
+        .expect("recovered count parses");
+    let tsv = fs::read_to_string(&hits_path).expect("partial run still writes the hit TSV");
+    assert!(tsv.starts_with("#guide\tcontig\tpos\tstrand\tmismatches"), "tsv: {tsv}");
+    let rows = tsv.lines().filter(|l| !l.is_empty() && !l.starts_with('#')).count();
+    assert_eq!(rows, recovered, "TSV rows must match the reported recovery\n{tsv}");
+
+    let metrics = json::parse(&fs::read_to_string(&metrics_path).expect("metrics written"))
+        .expect("metrics JSON parses");
+    let counters = metrics.get("counters").expect("counters");
+    let counter = |name: &str| counters.get(name).and_then(Value::as_f64).expect(name);
+    assert_eq!(counter("chunks_failed"), 1.0, "exactly the injected chunk failed");
+    assert_eq!(counter("faults_injected"), 1.0);
+    assert!(counter("chunks_retried") == 0.0, "retries were disabled");
+
+    let prom = fs::read_to_string(&prom_path).expect("prom written");
+    assert!(prom.contains("offtarget_chunks_failed_total 1"), "prom: {prom}");
+    assert!(prom.contains("offtarget_faults_injected_total 1"), "prom: {prom}");
+
+    fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn malformed_injection_specs_are_usage_errors() {
     // Bad --inject spec: rejected before any work happens.

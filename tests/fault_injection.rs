@@ -90,11 +90,11 @@ fn exhausted_retries_report_partial_with_provenance() {
     let err = engine.search_metered(&genome, &guides, 1, &mut m).unwrap_err();
 
     assert!(err.is_partial());
-    let SearchError::Partial { failures, chunks_total, hits_recovered } = err else {
+    let SearchError::Partial { failures, chunks_total, hits } = err else {
         panic!("expected Partial, got something else");
     };
     assert_eq!(failures.len() as u64, chunks_total, "every chunk failed");
-    assert_eq!(hits_recovered, 0);
+    assert!(hits.is_empty(), "no chunk survived, so no hits to recover");
     for failure in &failures {
         assert!(!failure.contig_name.is_empty(), "deployment fills contig names");
         assert_eq!(failure.attempts, 3, "1 initial + 2 retries");
@@ -118,12 +118,13 @@ fn one_poisoned_chunk_still_recovers_the_rest() {
     // chunk's hits are still aggregated into the partial report.
     let _scenario = FailScenario::setup("parallel.chunk=panic:1.0,3,1");
     let err = engine.search(&genome, &guides, 2).unwrap_err();
-    let SearchError::Partial { failures, chunks_total, hits_recovered } = err else {
+    let SearchError::Partial { failures, chunks_total, hits } = err else {
         panic!("expected Partial");
     };
     assert_eq!(failures.len(), 1);
     assert!(chunks_total > 1, "workload must split into several chunks");
-    assert!(hits_recovered <= clean.len());
+    assert!(hits.len() <= clean.len());
+    assert!(hits.iter().all(|h| clean.binary_search(h).is_ok()), "recovered hits are real hits");
     let failure = &failures[0];
     assert_eq!(
         failure.contig_name,
