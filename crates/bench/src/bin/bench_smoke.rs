@@ -30,6 +30,7 @@ use std::time::Instant;
 use crispr_bench::workloads;
 use crispr_engines::{
     BitParallelEngine, CasOffinderCpuEngine, CasotEngine, Engine, NfaEngine, ScalarEngine,
+    SimdBackend,
 };
 use crispr_genome::Genome;
 use crispr_guides::Guide;
@@ -50,6 +51,9 @@ const SEED: u64 = 11;
 /// each engine — including the scalar reference the `relative` column
 /// divides by — gets at least one sample from the same quiet windows.
 const ROUNDS: usize = 7;
+/// Timing rounds for the k-sweep. The sweep is informational (never
+/// gated), so fewer rounds keep the smoke's total wall time bounded.
+const SWEEP_ROUNDS: usize = 3;
 
 /// One engine's measurement: name, best kernel seconds, and the full
 /// metrics of the best round — phases and counters localize *which*
@@ -60,9 +64,9 @@ struct Row {
     metrics: SearchMetrics,
 }
 
-fn metered_run(engine: &dyn Engine, genome: &Genome, guides: &[Guide]) -> SearchMetrics {
+fn metered_run(engine: &dyn Engine, genome: &Genome, guides: &[Guide], k: usize) -> SearchMetrics {
     let mut m = SearchMetrics::default();
-    engine.search_metered(genome, guides, K, &mut m).expect("engine runs");
+    engine.search_metered(genome, guides, k, &mut m).expect("engine runs");
     m
 }
 
@@ -77,12 +81,23 @@ fn measure() -> Vec<Row> {
         ("cpu-hyperscan", Box::new(BitParallelEngine::new())),
         ("cpu-hyperscan-nofilter", Box::new(BitParallelEngine::without_prefilter())),
         ("cpu-hyperscan-batched", Box::new(BitParallelEngine::batched())),
+        // Forced-backend twins of the batched row: the committed baseline
+        // keeps the portable-fallback-vs-scalar relation visible (and
+        // relatively gated) on every machine, whatever ISA `auto` picks.
+        (
+            "cpu-hyperscan-batched-portable",
+            Box::new(BitParallelEngine::batched().with_simd(SimdBackend::Portable)),
+        ),
+        (
+            "cpu-hyperscan-batched-scalar",
+            Box::new(BitParallelEngine::batched().with_simd(SimdBackend::Scalar)),
+        ),
         ("cpu-nfa", Box::new(NfaEngine::new())),
     ];
     let mut best: Vec<Option<SearchMetrics>> = (0..engines.len()).map(|_| None).collect();
     for _ in 0..ROUNDS {
         for (i, (_, engine)) in engines.iter().enumerate() {
-            let m = metered_run(engine.as_ref(), &genome, &guides);
+            let m = metered_run(engine.as_ref(), &genome, &guides, K);
             let better =
                 best[i].as_ref().is_none_or(|b| m.phases.kernel_scan_s < b.phases.kernel_scan_s);
             if better {
@@ -100,16 +115,52 @@ fn measure() -> Vec<Row> {
         .collect()
 }
 
+/// Mismatch-budget sweep on the batched engine: kernel ns/base at each
+/// k in 0..=4 over the same planted workload. Informational only — the
+/// check never gates it — but it records how the SIMD verify/prefilter
+/// cascade scales as the budget loosens and the filters pass more.
+fn sweep_batched() -> Vec<(usize, f64)> {
+    let (genome, guides, _) = workloads::planted(GENOME_LEN, GUIDES, K, SEED);
+    let engine = BitParallelEngine::batched();
+    (0..=4)
+        .map(|k| {
+            let mut best = f64::INFINITY;
+            for _ in 0..SWEEP_ROUNDS {
+                let m = metered_run(&engine, &genome, &guides, k);
+                best = best.min(m.phases.kernel_scan_s);
+            }
+            (k, best * 1e9 / GENOME_LEN as f64)
+        })
+        .collect()
+}
+
 fn scalar_seconds(rows: &[Row]) -> f64 {
     rows.iter().find(|r| r.name == "cpu-scalar").expect("scalar is measured").kernel_s
 }
 
-fn render(rows: &[Row]) -> String {
+/// The SIMD backend the auto-dispatched batched row actually ran, read
+/// back from its `simd_backend` gauge so the baseline records the path
+/// the numbers belong to.
+fn dispatched_backend(rows: &[Row]) -> &'static str {
+    rows.iter()
+        .find(|r| r.name == "cpu-hyperscan-batched")
+        .and_then(|r| r.metrics.gauge("simd_backend"))
+        .and_then(|v| SimdBackend::ALL.into_iter().find(|b| b.gauge() == v))
+        .map_or("unknown", SimdBackend::name)
+}
+
+fn render(rows: &[Row], sweep: &[(usize, f64)]) -> String {
     let scalar_s = scalar_seconds(rows);
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"workload\": {{\"genome_bases\": {GENOME_LEN}, \"guides\": {GUIDES}, \"k\": {K}, \
-         \"seed\": {SEED}}},\n"
+         \"seed\": {SEED}, \"simd_backend\": \"{}\"}},\n",
+        dispatched_backend(rows)
+    ));
+    let ks: Vec<String> = sweep.iter().map(|(k, ns)| format!("\"{k}\": {ns:.3}")).collect();
+    out.push_str(&format!(
+        "  \"ksweep\": {{\"engine\": \"cpu-hyperscan-batched\", \"ns_per_base_by_k\": {{{}}}}},\n",
+        ks.join(", ")
     ));
     out.push_str("  \"engines\": {\n");
     for (i, row) in rows.iter().enumerate() {
@@ -188,7 +239,7 @@ fn main() {
     let rows = measure();
     eprintln!("measured {} engines in {:.1}s", rows.len(), start.elapsed().as_secs_f64());
     match args.as_slice() {
-        [] => print!("{}", render(&rows)),
+        [] => print!("{}", render(&rows, &sweep_batched())),
         [flag, path] if flag == "--check" => {
             if let Err(msg) = check(&rows, path) {
                 eprintln!("bench-smoke: {msg}");

@@ -14,6 +14,13 @@ pub enum Platform {
     /// Bit-parallel Hamming shift-and: the HyperScan-class automata-on-CPU
     /// data point.
     CpuBitParallel,
+    /// The bit-parallel engine behind the shared multi-seed automaton
+    /// (batched cascade, SIMD verify/prefilter kernels).
+    CpuBitParallelBatched,
+    /// Cas-OFFinder's verifier behind the shared multi-seed automaton.
+    CpuCasOffinderBatched,
+    /// CasOT's verifier behind the shared multi-seed automaton.
+    CpuCasotBatched,
     /// Direct frontier simulation of the mismatch NFAs.
     CpuNfa,
     /// Ahead-of-time subset-constructed DFA scan.
@@ -30,11 +37,14 @@ pub enum Platform {
 
 impl Platform {
     /// Every platform, baselines and automata approaches alike.
-    pub const ALL: [Platform; 10] = [
+    pub const ALL: [Platform; 13] = [
         Platform::CpuScalar,
         Platform::CpuCasOffinder,
         Platform::CpuCasot,
         Platform::CpuBitParallel,
+        Platform::CpuBitParallelBatched,
+        Platform::CpuCasOffinderBatched,
+        Platform::CpuCasotBatched,
         Platform::CpuNfa,
         Platform::CpuDfa,
         Platform::Ap,
@@ -61,6 +71,9 @@ impl Platform {
             Platform::CpuCasOffinder => "cpu-cas-offinder",
             Platform::CpuCasot => "cpu-casot",
             Platform::CpuBitParallel => "cpu-hyperscan",
+            Platform::CpuBitParallelBatched => "cpu-hyperscan-batched",
+            Platform::CpuCasOffinderBatched => "cpu-cas-offinder-batched",
+            Platform::CpuCasotBatched => "cpu-casot-batched",
             Platform::CpuNfa => "cpu-nfa",
             Platform::CpuDfa => "cpu-dfa",
             Platform::Ap => "ap",
@@ -80,13 +93,18 @@ impl Platform {
     }
 
     /// Whether this platform runs the automata formulation (as opposed to
-    /// a direct-comparison baseline).
+    /// a direct-comparison baseline). The batched baselines keep their
+    /// serial classification: the shared seed automaton generates their
+    /// candidates, but the verifier — the thing being compared — is
+    /// still the baseline algorithm.
     pub fn is_automata(self) -> bool {
         !matches!(
             self,
             Platform::CpuScalar
                 | Platform::CpuCasOffinder
                 | Platform::CpuCasot
+                | Platform::CpuCasOffinderBatched
+                | Platform::CpuCasotBatched
                 | Platform::GpuCasOffinder
         )
     }

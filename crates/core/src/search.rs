@@ -108,6 +108,9 @@ impl OffTargetSearch {
             Platform::CpuCasOffinder => self.run_cpu(CasOffinderCpuEngine::new())?,
             Platform::CpuCasot => self.run_cpu(CasotEngine::new())?,
             Platform::CpuBitParallel => self.run_cpu(BitParallelEngine::new())?,
+            Platform::CpuBitParallelBatched => self.run_cpu(BitParallelEngine::batched())?,
+            Platform::CpuCasOffinderBatched => self.run_cpu(CasOffinderCpuEngine::batched())?,
+            Platform::CpuCasotBatched => self.run_cpu(CasotEngine::batched())?,
             Platform::CpuNfa => self.run_cpu(NfaEngine::new())?,
             Platform::CpuDfa => self.run_cpu(DfaEngine::new())?,
             Platform::Ap => {

@@ -32,6 +32,7 @@ use crate::degrade::guarded_accel;
 use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
 use crate::multiseed::{MultiSeedPrepared, MultiSeedScan};
 use crate::prefilter::AnchoredScan;
+use crate::simd::SimdBackend;
 use crate::EngineError;
 use crispr_genome::Base;
 use crispr_guides::{Guide, Hit, SitePattern};
@@ -157,6 +158,7 @@ impl RegisterBank {
 pub struct BitParallelEngine {
     prefilter: bool,
     batched: bool,
+    simd: Option<SimdBackend>,
 }
 
 impl Default for BitParallelEngine {
@@ -168,13 +170,13 @@ impl Default for BitParallelEngine {
 impl BitParallelEngine {
     /// Creates the engine (PAM-anchor prefilter enabled where applicable).
     pub fn new() -> BitParallelEngine {
-        BitParallelEngine { prefilter: true, batched: false }
+        BitParallelEngine { prefilter: true, batched: false, simd: None }
     }
 
     /// Creates the engine with the prefilter disabled — every slice runs
     /// through the register machine. The ablation baseline.
     pub fn without_prefilter() -> BitParallelEngine {
-        BitParallelEngine { prefilter: false, batched: false }
+        BitParallelEngine { prefilter: false, batched: false, simd: None }
     }
 
     /// Creates the engine in batched multi-guide mode: where the guide
@@ -183,7 +185,15 @@ impl BitParallelEngine {
     /// scan cost grows with seed traffic rather than guide count.
     /// Unbatchable sets fall back to [`BitParallelEngine::new`] behavior.
     pub fn batched() -> BitParallelEngine {
-        BitParallelEngine { prefilter: true, batched: true }
+        BitParallelEngine { prefilter: true, batched: true, simd: None }
+    }
+
+    /// Forces the SIMD backend the prepared kernels dispatch to; the
+    /// default defers to `OFFTARGET_SIMD` and runtime detection (see
+    /// [`crate::simd`]). An unavailable choice degrades to portable.
+    pub fn with_simd(mut self, backend: SimdBackend) -> BitParallelEngine {
+        self.simd = Some(backend);
+        self
     }
 }
 
@@ -247,6 +257,7 @@ impl PreparedSearch for BitParallelPrepared {
         m.counters.degraded_paths += self.degraded;
         if let Some(anchored) = &self.anchored {
             m.set_gauge("anchor_rate", anchored.rate());
+            m.set_gauge("simd_backend", anchored.backend().gauge());
         }
     }
 }
@@ -268,10 +279,11 @@ impl Engine for BitParallelEngine {
             )));
         }
         let pattern_list = patterns(guides);
+        let backend = crate::simd::resolve(self.simd);
         let mut degraded = 0;
         if self.batched {
             let scan = guarded_accel("multiseed.build", &mut degraded, || {
-                MultiSeedScan::build(&pattern_list, site_len, k)
+                MultiSeedScan::build_with(&pattern_list, site_len, k, backend)
             });
             if let Some(scan) = scan {
                 return Ok(Box::new(MultiSeedPrepared::new(scan)));
@@ -279,7 +291,7 @@ impl Engine for BitParallelEngine {
         }
         let anchored = if self.prefilter {
             guarded_accel("prefilter.build", &mut degraded, || {
-                AnchoredScan::build(&pattern_list, site_len)
+                AnchoredScan::build(&pattern_list, site_len, backend)
             })
         } else {
             None

@@ -26,6 +26,7 @@ use crate::engine::AnchorGroup;
 use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
 use crate::multiseed::{MultiSeedPrepared, MultiSeedScan};
 use crate::prefilter::anchor_plan;
+use crate::simd::SimdBackend;
 use crate::EngineError;
 use crispr_genome::{Base, IupacCode, PackedSeq};
 use crispr_guides::{Guide, Hit, SitePattern};
@@ -39,13 +40,20 @@ pub struct CasotEngine {
     seed_mismatch_limit: Option<usize>,
     prefilter: bool,
     batched: bool,
+    simd: Option<SimdBackend>,
 }
 
 impl Default for CasotEngine {
     fn default() -> CasotEngine {
         // CasOT's default: 12-base PAM-proximal seed, no extra seed limit
         // (so results equal the other engines'; a limit tightens them).
-        CasotEngine { seed_len: 12, seed_mismatch_limit: None, prefilter: true, batched: false }
+        CasotEngine {
+            seed_len: 12,
+            seed_mismatch_limit: None,
+            prefilter: true,
+            batched: false,
+            simd: None,
+        }
     }
 }
 
@@ -84,6 +92,14 @@ impl CasotEngine {
     /// per-guide seed-and-compare path runs unchanged.
     pub fn batched() -> CasotEngine {
         CasotEngine { batched: true, ..CasotEngine::default() }
+    }
+
+    /// Forces the SIMD backend the prepared kernels dispatch to; the
+    /// default defers to `OFFTARGET_SIMD` and runtime detection (see
+    /// [`crate::simd`]). An unavailable choice degrades to portable.
+    pub fn with_simd(mut self, backend: SimdBackend) -> CasotEngine {
+        self.simd = Some(backend);
+        self
     }
 }
 
@@ -140,6 +156,10 @@ struct CasotPrepared {
     site_len: usize,
     k: usize,
     seed_limit: usize,
+    /// The kernel backend resolved at prepare time — selects the blocked
+    /// anchor intersection (the per-base seed compare itself is bespoke
+    /// and stays scalar).
+    backend: SimdBackend,
     /// Accelerator builds that failed during `prepare` and were replaced
     /// by a fallback path; surfaced as `degraded_paths`.
     degraded: u64,
@@ -223,7 +243,12 @@ impl PreparedSearch for CasotPrepared {
             let scan_start = Instant::now();
             m.counters.windows_scanned += (seq.len() + 1 - self.site_len) as u64;
             for (scanner, members) in groups {
-                for start in &scanner.candidates(&packed, self.site_len) {
+                let mask = if self.backend == SimdBackend::Scalar {
+                    scanner.candidates(&packed, self.site_len)
+                } else {
+                    scanner.candidates_blocked(&packed, self.site_len)
+                };
+                for start in &mask {
                     for &pi in members {
                         self.verify(&self.anchored[pi], seq, start, true, out, m);
                     }
@@ -248,6 +273,7 @@ impl PreparedSearch for CasotPrepared {
         m.counters.degraded_paths += self.degraded;
         if let Some((_, rate)) = &self.plan {
             m.set_gauge("anchor_rate", *rate);
+            m.set_gauge("simd_backend", self.backend.gauge());
         }
     }
 }
@@ -266,10 +292,11 @@ impl Engine for CasotEngine {
         let pattern_list = patterns(guides);
         // A seed mismatch limit tightens the hit set; the shared automaton
         // computes the engine-common semantics only, so it must not engage.
+        let backend = crate::simd::resolve(self.simd);
         let mut degraded = 0;
         if self.batched && self.seed_mismatch_limit.is_none() {
             let scan = guarded_accel("multiseed.build", &mut degraded, || {
-                MultiSeedScan::build(&pattern_list, site_len, k)
+                MultiSeedScan::build_with(&pattern_list, site_len, k, backend)
             });
             if let Some(scan) = scan {
                 return Ok(Box::new(MultiSeedPrepared::new(scan)));
@@ -288,6 +315,7 @@ impl Engine for CasotEngine {
             site_len,
             k,
             seed_limit: self.seed_mismatch_limit.unwrap_or(k),
+            backend,
             degraded,
         }))
     }

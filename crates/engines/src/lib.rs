@@ -55,6 +55,7 @@ mod offdfa;
 mod parallel;
 mod pigeonhole;
 mod prefilter;
+pub mod simd;
 
 pub use bitparallel::BitParallelEngine;
 pub use casot::CasotEngine;
@@ -71,3 +72,4 @@ pub use nfa::{reports_to_hits, NfaEngine};
 pub use offdfa::DfaEngine;
 pub use parallel::{scan_prepared, ParallelEngine, ScanDeployment, DEFAULT_CHUNK_RETRIES};
 pub use pigeonhole::PigeonholeEngine;
+pub use simd::SimdBackend;

@@ -41,6 +41,7 @@
 
 use crate::engine::AnchorGroup;
 use crate::prefilter::PackedPattern;
+use crate::simd::{self, SimdBackend};
 use crate::EngineError;
 use crispr_genome::kmer::{pack_qgram, QGramRoller};
 use crispr_genome::pamindex::CandidateMask;
@@ -147,6 +148,24 @@ pub struct MultiSeedScan {
     states: usize,
     /// Summed per-group anchor hit rate (the `anchor_rate` gauge value).
     rate: f64,
+    /// The kernel backend resolved at build time. `Scalar` runs the
+    /// original rolling-register loop; anything else runs the blocked
+    /// seed screen when every table is dense ([`SeedLookup::Direct`]).
+    backend: SimdBackend,
+}
+
+/// Register-local counter accumulators for one `scan_slice` call, flushed
+/// into [`SearchMetrics`] once at the end — a read-modify-write through
+/// the metrics struct per candidate costs measurably at high guide
+/// counts. Shared by the scalar and screened scan paths so their counter
+/// events are identical by construction.
+#[derive(Default)]
+struct ScanTallies {
+    candidates: u64,
+    positions: u64,
+    pam_tested: u64,
+    verified: u64,
+    early: u64,
 }
 
 impl MultiSeedScan {
@@ -159,6 +178,18 @@ impl MultiSeedScan {
     /// (fewer counted bases than `k + 1` segments, or a fragment longer
     /// than the 32-base q-gram limit).
     pub fn build(patterns: &[SitePattern], site_len: usize, k: usize) -> Option<MultiSeedScan> {
+        MultiSeedScan::build_with(patterns, site_len, k, simd::resolve(None))
+    }
+
+    /// [`MultiSeedScan::build`] with an explicit kernel backend — the
+    /// entry point for engines that resolve dispatch once per `prepare()`
+    /// and share the choice across their compiled stages.
+    pub fn build_with(
+        patterns: &[SitePattern],
+        site_len: usize,
+        k: usize,
+        backend: SimdBackend,
+    ) -> Option<MultiSeedScan> {
         if patterns.is_empty() || site_len > 64 {
             return None;
         }
@@ -258,6 +289,7 @@ impl MultiSeedScan {
             seeds_total,
             states,
             rate,
+            backend,
         })
     }
 
@@ -299,6 +331,11 @@ impl MultiSeedScan {
     /// Summed per-group PAM-anchor hit rate.
     pub fn rate(&self) -> f64 {
         self.rate
+    }
+
+    /// The kernel backend this deployment dispatches to.
+    pub fn backend(&self) -> SimdBackend {
+        self.backend
     }
 
     /// Enumerates the seed stage alone: every distinct in-bounds
@@ -365,7 +402,13 @@ impl MultiSeedScan {
         let masks: Vec<CandidateMask> = self
             .groups
             .iter()
-            .map(|(scanner, _)| scanner.candidates(&packed, self.site_len))
+            .map(|(scanner, _)| {
+                if self.backend == SimdBackend::Scalar {
+                    scanner.candidates(&packed, self.site_len)
+                } else {
+                    scanner.candidates_blocked(&packed, self.site_len)
+                }
+            })
             .collect();
         // Per-pattern streaming dedup: without it, a site matching two of
         // a pattern's fragments is verified and emitted twice (the
@@ -373,14 +416,35 @@ impl MultiSeedScan {
         // down).
         let mut seen = vec![RecentWindows::default(); self.verifiers.len()];
         let mut any_seen = RecentWindows::default();
-        // Counter traffic stays in registers and is flushed once at the
-        // end; a read-modify-write through `m` per candidate costs
-        // measurably at high guide counts.
-        let mut candidates = 0u64;
-        let mut positions = 0u64;
-        let mut pam_tested = 0u64;
-        let mut verified = 0u64;
-        let mut early = 0u64;
+        let mut tallies = ScanTallies::default();
+        let screened = self.backend != SimdBackend::Scalar
+            && self.tables.iter().all(|t| matches!(t.lookup, SeedLookup::Direct(_)));
+        if screened {
+            self.scan_screened(seq, &packed, &masks, &mut seen, &mut any_seen, &mut tallies, out);
+        } else {
+            self.scan_rolling(seq, &packed, &masks, &mut seen, &mut any_seen, &mut tallies, out);
+        }
+        m.counters.multiseed_candidates += tallies.candidates;
+        m.counters.multiseed_positions += tallies.positions;
+        m.counters.pam_anchors_tested += tallies.pam_tested;
+        m.counters.candidates_verified += tallies.verified;
+        m.counters.early_exits += tallies.early;
+        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+    }
+
+    /// The original scalar seed loop: one rolling register per table, one
+    /// table probe per symbol per table.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_rolling(
+        &self,
+        seq: &[Base],
+        packed: &PackedSeq,
+        masks: &[CandidateMask],
+        seen: &mut [RecentWindows],
+        any_seen: &mut RecentWindows,
+        tallies: &mut ScanTallies,
+        out: &mut Vec<Hit>,
+    ) {
         let mut rollers: Vec<QGramRoller> =
             self.tables.iter().map(|t| QGramRoller::new(t.len)).collect();
         for (end, &base) in seq.iter().enumerate() {
@@ -389,57 +453,138 @@ impl MultiSeedScan {
                 if end + 1 < table.len {
                     continue;
                 }
-                for entry in table.entries_for(code) {
-                    let back = entry.back as usize;
-                    if end + 1 < back {
+                self.visit_entries(
+                    table, code, end, seq, packed, masks, seen, any_seen, tallies, out,
+                );
+            }
+        }
+    }
+
+    /// The blocked seed loop: stage (c) of the SIMD cascade. Per table,
+    /// a vector of q-gram registers is materialised 32 window codes at a
+    /// time and screened against the dense offset table for emptiness
+    /// ([`simd::direct_seed_bitmap`]); the per-table fire bitmaps are
+    /// merged into one end-indexed union, and only symbol positions where
+    /// some fragment actually fires reach the entry walk. The walk visits
+    /// `(end, table)` pairs in exactly the scalar order — ends ascending,
+    /// tables in index order — which the [`RecentWindows`] dedup requires,
+    /// and skipped visits are precisely those with an empty entry range,
+    /// which touch no state in the scalar loop either. On random DNA at
+    /// seed length 5, ~5 of 6 positions never reach the walk.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_screened(
+        &self,
+        seq: &[Base],
+        packed: &PackedSeq,
+        masks: &[CandidateMask],
+        seen: &mut [RecentWindows],
+        any_seen: &mut RecentWindows,
+        tallies: &mut ScanTallies,
+        out: &mut Vec<Hit>,
+    ) {
+        let mut merged = vec![0u64; seq.len().div_ceil(64)];
+        let mut fires: Vec<Vec<u64>> = Vec::with_capacity(self.tables.len());
+        for table in &self.tables {
+            let q = table.len;
+            if seq.len() < q {
+                fires.push(Vec::new());
+                continue;
+            }
+            let n_starts = seq.len() + 1 - q;
+            let mut bits = vec![0u64; n_starts.div_ceil(64)];
+            let SeedLookup::Direct(offsets) = &table.lookup else {
+                unreachable!("screened path requires direct tables")
+            };
+            simd::direct_seed_bitmap(self.backend, packed, n_starts, q, offsets, &mut bits);
+            // Start-indexed fires become end-indexed: end = start + q − 1.
+            simd::or_shifted_left(&mut merged, &bits, q - 1);
+            fires.push(bits);
+        }
+        for (wi, &mword) in merged.iter().enumerate() {
+            let mut rem = mword;
+            while rem != 0 {
+                let end = wi * 64 + rem.trailing_zeros() as usize;
+                rem &= rem - 1;
+                for (ti, table) in self.tables.iter().enumerate() {
+                    let q = table.len;
+                    if end + 1 < q {
                         continue;
                     }
-                    let start = end + 1 - back;
-                    if start + self.site_len > seq.len() {
+                    let start = end + 1 - q;
+                    let bits = &fires[ti];
+                    if bits.is_empty() || bits[start / 64] >> (start % 64) & 1 == 0 {
                         continue;
                     }
-                    candidates += 1;
-                    let rel = (end - start) as u32;
-                    if any_seen.first_sight(end as u64, rel) {
-                        positions += 1;
-                    }
-                    let pattern = entry.pattern as usize;
-                    // Anchor intersection first: a two-load bit test that
-                    // rejects most candidates, so the per-pattern dedup
-                    // state is only touched for windows that can still
-                    // verify. The filters commute — the same distinct
-                    // (pattern, window) pairs survive in either order —
-                    // so `pam_anchors_tested` is unchanged.
-                    if !masks[self.group_of[pattern] as usize].contains(start) {
-                        continue;
-                    }
-                    if !seen[pattern].first_sight(end as u64, rel) {
-                        continue;
-                    }
-                    pam_tested += 1;
-                    let verifier = &self.verifiers[pattern];
-                    match verifier.verify(&packed, start, self.k) {
-                        Some(mm) => {
-                            verified += 1;
-                            out.push(Hit {
-                                contig: 0,
-                                pos: start as u64,
-                                guide: verifier.guide_index(),
-                                strand: verifier.strand(),
-                                mismatches: mm as u8,
-                            });
-                        }
-                        None => early += 1,
-                    }
+                    let code = packed.window_word(start, q);
+                    self.visit_entries(
+                        table, code, end, seq, packed, masks, seen, any_seen, tallies, out,
+                    );
                 }
             }
         }
-        m.counters.multiseed_candidates += candidates;
-        m.counters.multiseed_positions += positions;
-        m.counters.pam_anchors_tested += pam_tested;
-        m.counters.candidates_verified += verified;
-        m.counters.early_exits += early;
-        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+    }
+
+    /// Walks one `(table, code, end)` probe — the shared tail of both scan
+    /// paths, so counter events, dedup-state updates, and emitted hits are
+    /// identical by construction.
+    #[inline]
+    #[allow(clippy::too_many_arguments)]
+    fn visit_entries(
+        &self,
+        table: &SeedTable,
+        code: u64,
+        end: usize,
+        seq: &[Base],
+        packed: &PackedSeq,
+        masks: &[CandidateMask],
+        seen: &mut [RecentWindows],
+        any_seen: &mut RecentWindows,
+        tallies: &mut ScanTallies,
+        out: &mut Vec<Hit>,
+    ) {
+        for entry in table.entries_for(code) {
+            let back = entry.back as usize;
+            if end + 1 < back {
+                continue;
+            }
+            let start = end + 1 - back;
+            if start + self.site_len > seq.len() {
+                continue;
+            }
+            tallies.candidates += 1;
+            let rel = (end - start) as u32;
+            if any_seen.first_sight(end as u64, rel) {
+                tallies.positions += 1;
+            }
+            let pattern = entry.pattern as usize;
+            // Anchor intersection first: a two-load bit test that
+            // rejects most candidates, so the per-pattern dedup
+            // state is only touched for windows that can still
+            // verify. The filters commute — the same distinct
+            // (pattern, window) pairs survive in either order —
+            // so `pam_anchors_tested` is unchanged.
+            if !masks[self.group_of[pattern] as usize].contains(start) {
+                continue;
+            }
+            if !seen[pattern].first_sight(end as u64, rel) {
+                continue;
+            }
+            tallies.pam_tested += 1;
+            let verifier = &self.verifiers[pattern];
+            match verifier.verify(packed, start, self.k) {
+                Some(mm) => {
+                    tallies.verified += 1;
+                    out.push(Hit {
+                        contig: 0,
+                        pos: start as u64,
+                        guide: verifier.guide_index(),
+                        strand: verifier.strand(),
+                        mismatches: mm as u8,
+                    });
+                }
+                None => tallies.early += 1,
+            }
+        }
     }
 }
 
@@ -478,6 +623,7 @@ impl crate::engine::PreparedSearch for MultiSeedPrepared {
         m.set_gauge("anchor_rate", self.scan.rate);
         m.set_gauge("seed_automaton_states", self.scan.states as f64);
         m.set_gauge("multiseed_seeds", self.scan.seeds_total as f64);
+        m.set_gauge("simd_backend", self.scan.backend.gauge());
     }
 }
 

@@ -17,6 +17,7 @@ use crate::degrade::guarded_accel;
 use crate::engine::{patterns, validate_guides, Engine, PreparedSearch};
 use crate::multiseed::{MultiSeedPrepared, MultiSeedScan};
 use crate::prefilter::AnchoredScan;
+use crate::simd::SimdBackend;
 use crate::EngineError;
 use crispr_genome::{Base, IupacCode, PackedSeq};
 use crispr_guides::{Guide, Hit, SitePattern};
@@ -75,6 +76,7 @@ impl Precompiled {
 pub struct CasOffinderCpuEngine {
     prefilter: bool,
     batched: bool,
+    simd: Option<SimdBackend>,
 }
 
 impl Default for CasOffinderCpuEngine {
@@ -86,13 +88,13 @@ impl Default for CasOffinderCpuEngine {
 impl CasOffinderCpuEngine {
     /// Creates the engine (PAM-anchor prefilter enabled where applicable).
     pub fn new() -> CasOffinderCpuEngine {
-        CasOffinderCpuEngine { prefilter: true, batched: false }
+        CasOffinderCpuEngine { prefilter: true, batched: false, simd: None }
     }
 
     /// Creates the engine with the prefilter disabled — the per-window
     /// PAM-probe scan of the original tool. The ablation baseline.
     pub fn without_prefilter() -> CasOffinderCpuEngine {
-        CasOffinderCpuEngine { prefilter: false, batched: false }
+        CasOffinderCpuEngine { prefilter: false, batched: false, simd: None }
     }
 
     /// Creates the engine in batched multi-guide mode: where the guide
@@ -100,7 +102,15 @@ impl CasOffinderCpuEngine {
     /// [`crate::multiseed`] so one pass serves every guide; unbatchable
     /// sets fall back to [`CasOffinderCpuEngine::new`] behavior.
     pub fn batched() -> CasOffinderCpuEngine {
-        CasOffinderCpuEngine { prefilter: true, batched: true }
+        CasOffinderCpuEngine { prefilter: true, batched: true, simd: None }
+    }
+
+    /// Forces the SIMD backend the prepared kernels dispatch to; the
+    /// default defers to `OFFTARGET_SIMD` and runtime detection (see
+    /// [`crate::simd`]). An unavailable choice degrades to portable.
+    pub fn with_simd(mut self, backend: SimdBackend) -> CasOffinderCpuEngine {
+        self.simd = Some(backend);
+        self
     }
 }
 
@@ -174,6 +184,7 @@ impl PreparedSearch for CasOffinderPrepared {
         m.counters.degraded_paths += self.degraded;
         if let Some(anchored) = &self.anchored {
             m.set_gauge("anchor_rate", anchored.rate());
+            m.set_gauge("simd_backend", anchored.backend().gauge());
         }
     }
 }
@@ -190,10 +201,11 @@ impl Engine for CasOffinderCpuEngine {
     fn prepare(&self, guides: &[Guide], k: usize) -> Result<Box<dyn PreparedSearch>, EngineError> {
         let site_len = validate_guides(guides, k)?;
         let pattern_list = patterns(guides);
+        let backend = crate::simd::resolve(self.simd);
         let mut degraded = 0;
         if self.batched {
             let scan = guarded_accel("multiseed.build", &mut degraded, || {
-                MultiSeedScan::build(&pattern_list, site_len, k)
+                MultiSeedScan::build_with(&pattern_list, site_len, k, backend)
             });
             if let Some(scan) = scan {
                 return Ok(Box::new(MultiSeedPrepared::new(scan)));
@@ -201,7 +213,7 @@ impl Engine for CasOffinderCpuEngine {
         }
         let anchored = if self.prefilter {
             guarded_accel("prefilter.build", &mut degraded, || {
-                AnchoredScan::build(&pattern_list, site_len)
+                AnchoredScan::build(&pattern_list, site_len, backend)
             })
         } else {
             None

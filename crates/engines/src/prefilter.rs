@@ -16,6 +16,8 @@
 //! efficiency directly.
 
 use crate::engine::AnchorGroup;
+use crate::simd::{self, SimdBackend};
+use crispr_genome::pamindex::CandidateMask;
 use crispr_genome::{Base, PackedSeq, Strand};
 use crispr_guides::{Hit, SitePattern};
 use crispr_model::SearchMetrics;
@@ -123,6 +125,13 @@ pub(crate) struct AnchoredScan {
     site_len: usize,
     /// Summed per-group anchor hit rate — the `anchor_rate` gauge value.
     rate: f64,
+    /// The kernel backend resolved at build time.
+    backend: SimdBackend,
+    /// Per group: the shared `(window start offset, window length)` of the
+    /// members' one-word verifiers when the blocked SIMD verify applies
+    /// (all members lower to one word over the same spacer window — true
+    /// for real guide sets, where a group shares one PAM signature).
+    block_keys: Vec<Option<(usize, usize)>>,
 }
 
 impl AnchoredScan {
@@ -131,15 +140,38 @@ impl AnchoredScan {
     /// candidate rate exceeds [`crate::engine::ANCHOR_MAX_RATE`] (full
     /// scan is cheaper), an anchor falls outside the window, or a pattern
     /// does not lower to the packed compare.
-    pub fn build(patterns: &[SitePattern], site_len: usize) -> Option<AnchoredScan> {
+    pub fn build(
+        patterns: &[SitePattern],
+        site_len: usize,
+        backend: SimdBackend,
+    ) -> Option<AnchoredScan> {
         let (groups, rate) = anchor_plan(patterns, site_len)?;
         let verifiers = patterns.iter().map(PackedPattern::new).collect::<Option<Vec<_>>>()?;
-        Some(AnchoredScan { groups, verifiers, site_len, rate })
+        let block_keys = groups
+            .iter()
+            .map(|(_, members)| {
+                let first = &verifiers[members[0]];
+                let key = (first.spacer_offset, first.spacer.len());
+                members
+                    .iter()
+                    .all(|&pi| {
+                        let v = &verifiers[pi];
+                        v.word.is_some() && (v.spacer_offset, v.spacer.len()) == key
+                    })
+                    .then_some(key)
+            })
+            .collect();
+        Some(AnchoredScan { groups, verifiers, site_len, rate, backend, block_keys })
     }
 
     /// Summed anchor hit rate across groups.
     pub fn rate(&self) -> f64 {
         self.rate
+    }
+
+    /// The kernel backend this deployment dispatches to.
+    pub fn backend(&self) -> SimdBackend {
+        self.backend
     }
 
     /// Scans one slice: pack (`genome_load_s`), anchor + verify
@@ -158,47 +190,129 @@ impl AnchoredScan {
 
         let scan_start = Instant::now();
         m.counters.windows_scanned += (seq.len() + 1 - self.site_len) as u64;
-        for (scanner, members) in &self.groups {
-            for start in &scanner.candidates(&packed, self.site_len) {
-                // Group members share a PAM signature, hence a spacer
-                // offset and length: extract the window word once per
-                // candidate and XOR it against each member's spacer word.
-                let mut cached = (usize::MAX, 0usize);
-                let mut window = 0u64;
-                for &pi in members {
-                    m.counters.pam_anchors_tested += 1;
-                    let v = &self.verifiers[pi];
-                    let verdict = match v.word {
-                        Some(word) => {
-                            let key = (start + v.spacer_offset, v.spacer.len());
-                            if key != cached {
-                                window = packed.window_word(key.0, key.1);
-                                cached = key;
-                            }
-                            let diff = window ^ word;
-                            let lanes = (diff | (diff >> 1)) & 0x5555_5555_5555_5555;
-                            let mm = lanes.count_ones() as usize;
-                            (mm <= k).then_some(mm)
+        let blocked = self.backend != SimdBackend::Scalar;
+        for (gi, (scanner, members)) in self.groups.iter().enumerate() {
+            let mask = if blocked {
+                scanner.candidates_blocked(&packed, self.site_len)
+            } else {
+                scanner.candidates(&packed, self.site_len)
+            };
+            match self.block_keys[gi] {
+                Some((offset, len)) if blocked => {
+                    self.scan_group_blocked(members, &mask, offset, len, &packed, k, out, m);
+                }
+                _ => self.scan_group_scalar(members, &mask, &packed, k, out, m),
+            }
+        }
+        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+    }
+
+    /// The original one-candidate-at-a-time verify loop.
+    fn scan_group_scalar(
+        &self,
+        members: &[usize],
+        mask: &CandidateMask,
+        packed: &PackedSeq,
+        k: usize,
+        out: &mut Vec<Hit>,
+        m: &mut SearchMetrics,
+    ) {
+        for start in mask {
+            // Group members share a PAM signature, hence a spacer
+            // offset and length: extract the window word once per
+            // candidate and XOR it against each member's spacer word.
+            let mut cached = (usize::MAX, 0usize);
+            let mut window = 0u64;
+            for &pi in members {
+                m.counters.pam_anchors_tested += 1;
+                let v = &self.verifiers[pi];
+                let verdict = match v.word {
+                    Some(word) => {
+                        let key = (start + v.spacer_offset, v.spacer.len());
+                        if key != cached {
+                            window = packed.window_word(key.0, key.1);
+                            cached = key;
                         }
-                        None => packed.count_mismatches(&v.spacer, start + v.spacer_offset, k),
-                    };
-                    match verdict {
-                        Some(mm) => {
-                            m.counters.candidates_verified += 1;
-                            out.push(Hit {
-                                contig: 0,
-                                pos: start as u64,
-                                guide: v.guide_index,
-                                strand: v.strand,
-                                mismatches: mm as u8,
-                            });
-                        }
-                        None => m.counters.early_exits += 1,
+                        let diff = window ^ word;
+                        let lanes = (diff | (diff >> 1)) & 0x5555_5555_5555_5555;
+                        let mm = lanes.count_ones() as usize;
+                        (mm <= k).then_some(mm)
+                    }
+                    None => packed.count_mismatches(&v.spacer, start + v.spacer_offset, k),
+                };
+                match verdict {
+                    Some(mm) => {
+                        m.counters.candidates_verified += 1;
+                        out.push(Hit {
+                            contig: 0,
+                            pos: start as u64,
+                            guide: v.guide_index,
+                            strand: v.strand,
+                            mismatches: mm as u8,
+                        });
+                    }
+                    None => m.counters.early_exits += 1,
+                }
+            }
+        }
+    }
+
+    /// Blocked verify: pull [`simd::BLOCK`] candidate window words at
+    /// once, then run every member's spacer against the whole block with
+    /// the lane-parallel XOR/popcount kernel. Counter events and emitted
+    /// hits are identical to the scalar loop — only the iteration shape
+    /// changes (member-major within a block instead of start-major), and
+    /// hit order is re-normalized by the caller's report phase.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_group_blocked(
+        &self,
+        members: &[usize],
+        mask: &CandidateMask,
+        offset: usize,
+        len: usize,
+        packed: &PackedSeq,
+        k: usize,
+        out: &mut Vec<Hit>,
+        m: &mut SearchMetrics,
+    ) {
+        let starts: Vec<usize> = mask.iter().collect();
+        let mut pam_tested = 0u64;
+        let mut verified = 0u64;
+        let mut early = 0u64;
+        let mut counts = [0u32; simd::BLOCK];
+        for chunk in starts.chunks(simd::BLOCK) {
+            // Short tail chunks repeat the last start; surplus lanes are
+            // computed and discarded.
+            let mut window_starts = [chunk[chunk.len() - 1] + offset; simd::BLOCK];
+            for (slot, &start) in window_starts.iter_mut().zip(chunk) {
+                *slot = start + offset;
+            }
+            let windows = packed.window_words(&window_starts, len);
+            for &pi in members {
+                let v = &self.verifiers[pi];
+                let word = v.word.expect("blocked groups lower to one-word verifiers");
+                simd::mismatch_counts(self.backend, &windows, word, &mut counts);
+                pam_tested += chunk.len() as u64;
+                for (j, &start) in chunk.iter().enumerate() {
+                    let mm = counts[j] as usize;
+                    if mm <= k {
+                        verified += 1;
+                        out.push(Hit {
+                            contig: 0,
+                            pos: start as u64,
+                            guide: v.guide_index,
+                            strand: v.strand,
+                            mismatches: mm as u8,
+                        });
+                    } else {
+                        early += 1;
                     }
                 }
             }
         }
-        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+        m.counters.pam_anchors_tested += pam_tested;
+        m.counters.candidates_verified += verified;
+        m.counters.early_exits += early;
     }
 }
 
@@ -222,7 +336,7 @@ mod tests {
             (Pam::tttv(), 2.0 * (3.0 / 4.0) / 64.0),
         ] {
             let pats = patterns(&[guide(pam.clone())]);
-            let scan = AnchoredScan::build(&pats, pats[0].len())
+            let scan = AnchoredScan::build(&pats, pats[0].len(), SimdBackend::Scalar)
                 .unwrap_or_else(|| panic!("{pam:?} should anchor"));
             assert!((scan.rate() - rate).abs() < 1e-12, "{pam:?}");
         }
@@ -231,20 +345,16 @@ mod tests {
     #[test]
     fn pamless_patterns_do_not_build() {
         let pats = patterns(&[guide(Pam::none())]);
-        assert!(AnchoredScan::build(&pats, pats[0].len()).is_none());
+        assert!(AnchoredScan::build(&pats, pats[0].len(), SimdBackend::Scalar).is_none());
     }
 
     #[test]
-    fn anchored_scan_matches_brute_force_on_a_slice() {
+    fn anchored_scan_matches_brute_force_on_every_backend() {
         let pats = patterns(&[guide(Pam::ngg())]);
         let site_len = pats[0].len();
-        let scan = AnchoredScan::build(&pats, site_len).unwrap();
         let text: crispr_genome::DnaSeq =
             "TTTTGATTACAGATTACAGATTACTGGAAAAGATTACAGATTACAGATCACAGGCC".parse().unwrap();
         let k = 2;
-        let mut m = SearchMetrics::default();
-        let mut got = Vec::new();
-        scan.scan_slice(text.as_slice(), k, &mut got, &mut m);
 
         let mut want = Vec::new();
         for start in 0..=text.len() - site_len {
@@ -256,12 +366,31 @@ mod tests {
                 }
             }
         }
-        let mut got_keys: Vec<_> =
-            got.iter().map(|h| (h.pos, h.guide, h.strand, h.mismatches)).collect();
-        got_keys.sort_unstable();
         want.sort_unstable();
-        assert_eq!(got_keys, want);
-        assert!(m.counters.pam_anchors_tested > 0);
-        assert!(m.counters.windows_scanned >= m.counters.pam_anchors_tested);
+
+        let mut reference: Option<crispr_model::EngineCounters> = None;
+        for backend in SimdBackend::ALL {
+            if !backend.available() {
+                continue;
+            }
+            let scan = AnchoredScan::build(&pats, site_len, backend).unwrap();
+            assert_eq!(scan.backend(), backend);
+            let mut m = SearchMetrics::default();
+            let mut got = Vec::new();
+            scan.scan_slice(text.as_slice(), k, &mut got, &mut m);
+            let mut got_keys: Vec<_> =
+                got.iter().map(|h| (h.pos, h.guide, h.strand, h.mismatches)).collect();
+            got_keys.sort_unstable();
+            assert_eq!(got_keys, want, "backend {}", backend.name());
+            assert!(m.counters.pam_anchors_tested > 0);
+            assert!(m.counters.windows_scanned >= m.counters.pam_anchors_tested);
+            // Counter identity across backends: same events, any lane shape.
+            match reference {
+                None => reference = Some(m.counters),
+                Some(expect) => {
+                    assert_eq!(m.counters, expect, "counters diverged on {}", backend.name())
+                }
+            }
+        }
     }
 }

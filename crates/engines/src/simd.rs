@@ -1,0 +1,523 @@
+//! Runtime-dispatched SIMD kernels for the three hot loops of the CPU
+//! engines: the blocked window verifier (XOR + even-lane collapse +
+//! per-lane POPCNT over 4–8 candidate windows at once), the q-gram
+//! seed-table emptiness screen (a vector of rolling registers materialised
+//! as 32 window codes per packed word, gathered against the direct CSR
+//! offset table), and the 256-bit blocked PAM-bitmap intersection (which
+//! lives in [`crispr_genome::pamindex`] as width-generic portable code —
+//! profiling shows the compiler already lowers it well, so explicit
+//! intrinsics are reserved for the two loops codegen cannot reach: the
+//! gather probe and the lane popcount).
+//!
+//! Backends are selected **once per `prepare()`** via [`resolve`]:
+//! an explicit engine override beats the `OFFTARGET_SIMD` environment
+//! variable, which beats runtime feature detection
+//! (`is_x86_feature_detected!("avx2")` / the aarch64 NEON equivalent).
+//! A requested ISA the host lacks degrades to [`SimdBackend::Portable`]
+//! rather than crashing, and every resolution emits a `dispatch:simd`
+//! trace instant so timelines record which path actually ran.
+//!
+//! Correctness contract: every kernel here is *exact* — bit-identical
+//! output and identical counter events to the scalar path. SIMD changes
+//! how many lanes a loop touches per iteration, never what a lane means;
+//! the differential-oracle suite runs the same workloads through forced
+//! `portable`/`scalar` twins to pin that.
+
+use crispr_genome::kmer::qgram_codes32;
+use crispr_genome::{hamming_lanes, PackedSeq};
+
+/// Candidate windows verified per blocked-verifier iteration.
+pub(crate) const BLOCK: usize = 8;
+
+/// The instruction set a prepared search's kernels dispatch to.
+///
+/// `Scalar` reproduces the pre-SIMD code paths exactly (one window per
+/// iteration, rolling q-gram registers); the other three run the blocked
+/// kernels, differing only in how a block is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SimdBackend {
+    /// The original one-lane-at-a-time loops; the differential baseline.
+    Scalar,
+    /// Blocked kernels in plain `u64` code —`u64×4`/`u64×8` loops the
+    /// autovectorizer can widen, and the exact fallback semantics the
+    /// explicit ISAs must match.
+    Portable,
+    /// x86_64 AVX2: 256-bit XOR/AND, variable per-lane shifts, 8-byte
+    /// gathers against the seed offset table, nibble-LUT popcount.
+    Avx2,
+    /// aarch64 NEON: 128-bit pairs with `vcnt`+`vpaddl` popcount chains;
+    /// table probes stay scalar (NEON has no gather).
+    Neon,
+}
+
+impl SimdBackend {
+    /// Every backend, in gauge-code order.
+    pub const ALL: [SimdBackend; 4] =
+        [SimdBackend::Scalar, SimdBackend::Portable, SimdBackend::Avx2, SimdBackend::Neon];
+
+    /// The `OFFTARGET_SIMD` spelling of this backend.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdBackend::Scalar => "scalar",
+            SimdBackend::Portable => "portable",
+            SimdBackend::Avx2 => "avx2",
+            SimdBackend::Neon => "neon",
+        }
+    }
+
+    /// Stable numeric encoding for the `simd_backend` metrics gauge and
+    /// the `dispatch:simd` trace instant: 0 scalar, 1 portable, 2 avx2,
+    /// 3 neon.
+    pub fn gauge(self) -> f64 {
+        match self {
+            SimdBackend::Scalar => 0.0,
+            SimdBackend::Portable => 1.0,
+            SimdBackend::Avx2 => 2.0,
+            SimdBackend::Neon => 3.0,
+        }
+    }
+
+    /// The best backend the host supports, probed at runtime.
+    pub fn detect() -> SimdBackend {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return SimdBackend::Avx2;
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            if std::arch::is_aarch64_feature_detected!("neon") {
+                return SimdBackend::Neon;
+            }
+        }
+        SimdBackend::Portable
+    }
+
+    /// Whether this backend can run on the current host.
+    pub fn available(self) -> bool {
+        match self {
+            SimdBackend::Scalar | SimdBackend::Portable => true,
+            #[cfg(target_arch = "x86_64")]
+            SimdBackend::Avx2 => std::arch::is_x86_feature_detected!("avx2"),
+            #[cfg(target_arch = "aarch64")]
+            SimdBackend::Neon => std::arch::is_aarch64_feature_detected!("neon"),
+            #[allow(unreachable_patterns)]
+            _ => false,
+        }
+    }
+
+    /// Parses an `OFFTARGET_SIMD` value. `auto` — and, deliberately, any
+    /// unrecognized spelling — defers to detection; a named ISA the host
+    /// lacks degrades to `portable` instead of failing a production run.
+    pub fn from_env_value(value: &str) -> SimdBackend {
+        let choice = match value.trim().to_ascii_lowercase().as_str() {
+            "scalar" => SimdBackend::Scalar,
+            "portable" => SimdBackend::Portable,
+            "avx2" => SimdBackend::Avx2,
+            "neon" => SimdBackend::Neon,
+            _ => SimdBackend::detect(),
+        };
+        if choice.available() {
+            choice
+        } else {
+            SimdBackend::Portable
+        }
+    }
+}
+
+/// Resolves the backend for one `prepare()` call — explicit engine
+/// override first, then `OFFTARGET_SIMD`, then detection — and emits the
+/// `dispatch:simd` trace instant (arg0 = gauge code) so traces record
+/// which path ran.
+pub(crate) fn resolve(preference: Option<SimdBackend>) -> SimdBackend {
+    let backend = match preference {
+        Some(choice) if choice.available() => choice,
+        Some(_) => SimdBackend::Portable,
+        None => match std::env::var("OFFTARGET_SIMD") {
+            Ok(value) => SimdBackend::from_env_value(&value),
+            Err(_) => SimdBackend::detect(),
+        },
+    };
+    crispr_trace::instant("dispatch:simd", backend.gauge() as u64, 0);
+    backend
+}
+
+/// Per-lane mismatch counts for one block of extracted window words
+/// against one right-aligned 2-bit pattern word. Exact on every backend;
+/// only the lane grouping differs.
+#[inline]
+pub(crate) fn mismatch_counts(
+    backend: SimdBackend,
+    windows: &[u64; BLOCK],
+    pattern: u64,
+    out: &mut [u32; BLOCK],
+) {
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2 => unsafe { avx2::mismatch_counts(windows, pattern, out) },
+        #[cfg(target_arch = "aarch64")]
+        SimdBackend::Neon => unsafe { neon::mismatch_counts(windows, pattern, out) },
+        _ => *out = hamming_lanes(windows, pattern),
+    }
+}
+
+/// Sets bit `s` of `out` for every window start `s < n_starts` whose
+/// `q`-gram code has a non-empty entry range in the dense CSR `offsets`
+/// table (`offsets.len() == 4^q + 1`): the vector-of-rolling-registers
+/// seed screen. `packed` supplies the 2-bit word storage; bits at or past
+/// `n_starts` are cleared on return.
+pub(crate) fn direct_seed_bitmap(
+    backend: SimdBackend,
+    packed: &PackedSeq,
+    n_starts: usize,
+    q: usize,
+    offsets: &[u32],
+    out: &mut [u64],
+) {
+    debug_assert_eq!(offsets.len(), (1usize << (2 * q)) + 1);
+    debug_assert!(out.len() >= n_starts.div_ceil(64));
+    debug_assert!(out.iter().all(|&w| w == 0));
+    match backend {
+        #[cfg(target_arch = "x86_64")]
+        SimdBackend::Avx2 => unsafe {
+            avx2::seed_bitmap(packed.words(), n_starts, q, offsets, out)
+        },
+        _ => portable_seed_bitmap(packed.words(), n_starts, q, offsets, out),
+    }
+    if !n_starts.is_multiple_of(64) {
+        out[n_starts / 64] &= (1u64 << (n_starts % 64)) - 1;
+    }
+}
+
+/// Portable block seed screen: 32 window codes per packed word via
+/// [`qgram_codes32`], one table probe per lane.
+fn portable_seed_bitmap(
+    words: &[u64],
+    n_starts: usize,
+    q: usize,
+    offsets: &[u32],
+    out: &mut [u64],
+) {
+    let mut codes = [0u64; 32];
+    for (w, &lo) in words.iter().enumerate() {
+        let base = w * 32;
+        if base >= n_starts {
+            break;
+        }
+        let hi = words.get(w + 1).copied().unwrap_or(0);
+        qgram_codes32(lo, hi, q, &mut codes);
+        let lanes = (n_starts - base).min(32);
+        let mut bits = 0u64;
+        for (i, &code) in codes[..lanes].iter().enumerate() {
+            if offsets[code as usize] != offsets[code as usize + 1] {
+                bits |= 1u64 << i;
+            }
+        }
+        // base is a multiple of 32, so the block lands in one out word at
+        // bit offset 0 or 32.
+        out[base / 64] |= bits << (base % 64);
+    }
+}
+
+/// `dst |= src << shift` at bit granularity across word arrays: merges a
+/// start-indexed per-table fire bitmap into an end-indexed union (window
+/// end = start + q − 1). Bits shifted past `dst` are dropped.
+pub(crate) fn or_shifted_left(dst: &mut [u64], src: &[u64], shift: usize) {
+    let word_shift = shift / 64;
+    let bit_shift = shift % 64;
+    for (i, &w) in src.iter().enumerate() {
+        if w == 0 {
+            continue;
+        }
+        let di = i + word_shift;
+        if di < dst.len() {
+            dst[di] |= w << bit_shift;
+        }
+        if bit_shift != 0 && di + 1 < dst.len() {
+            dst[di + 1] |= w >> (64 - bit_shift);
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use super::BLOCK;
+    use crispr_genome::kmer::qgram_codes32;
+    use std::arch::x86_64::*;
+
+    /// AVX2 lane verifier: two 4×64 halves; XOR against the broadcast
+    /// pattern, collapse each 2-bit base lane to its low bit, then count
+    /// with the nibble-LUT `vpshufb` popcount + `vpsadbw` horizontal sum
+    /// (AVX2 has no per-lane POPCNT instruction).
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn mismatch_counts(windows: &[u64; BLOCK], pattern: u64, out: &mut [u32; BLOCK]) {
+        let pat = _mm256_set1_epi64x(pattern as i64);
+        let even = _mm256_set1_epi64x(0x5555_5555_5555_5555u64 as i64);
+        let low_nibble = _mm256_set1_epi8(0x0F);
+        #[rustfmt::skip]
+        let lut = _mm256_setr_epi8(
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+            0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        );
+        for half in 0..2 {
+            let v = _mm256_loadu_si256(windows.as_ptr().add(4 * half) as *const __m256i);
+            let diff = _mm256_xor_si256(v, pat);
+            let lanes = _mm256_and_si256(_mm256_or_si256(diff, _mm256_srli_epi64::<1>(diff)), even);
+            let lo = _mm256_and_si256(lanes, low_nibble);
+            let hi = _mm256_and_si256(_mm256_srli_epi16::<4>(lanes), low_nibble);
+            let counts =
+                _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo), _mm256_shuffle_epi8(lut, hi));
+            // Per-64-bit-lane byte sums land in the low 16 bits of each lane.
+            let sums = _mm256_sad_epu8(counts, _mm256_setzero_si256());
+            let mut lanes_out = [0u64; 4];
+            _mm256_storeu_si256(lanes_out.as_mut_ptr() as *mut __m256i, sums);
+            for (j, &sum) in lanes_out.iter().enumerate() {
+                out[4 * half + j] = sum as u32;
+            }
+        }
+    }
+
+    /// AVX2 seed screen: per packed word, 8 groups of 4 lanes. Each lane
+    /// extracts one window code with variable per-lane shifts
+    /// (`vpsrlvq`/`vpsllvq` — counts ≥ 64 yield 0, which makes the
+    /// `bit == 0` straddle case safe), then one 8-byte gather at byte
+    /// offset `4·code` fetches `offsets[code]` and `offsets[code + 1]`
+    /// together; equal halves mean an empty entry range.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure AVX2 is available. `offsets.len()` must be
+    /// `4^q + 1` so every gather (at index `code ≤ 4^q − 1`) reads the
+    /// pair in bounds.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn seed_bitmap(
+        words: &[u64],
+        n_starts: usize,
+        q: usize,
+        offsets: &[u32],
+        out: &mut [u64],
+    ) {
+        let code_mask = if q == 32 { u64::MAX } else { (1u64 << (2 * q)) - 1 };
+        let vmask = _mm256_set1_epi64x(code_mask as i64);
+        let lo32 = _mm256_set1_epi64x(0xFFFF_FFFFu64 as i64);
+        let sixty_four = _mm256_set1_epi64x(64);
+        let table = offsets.as_ptr() as *const i64;
+        let mut scalar_codes = [0u64; 32];
+        for (w, &word) in words.iter().enumerate() {
+            let base = w * 32;
+            if base >= n_starts {
+                break;
+            }
+            if w + 1 >= words.len() {
+                // Tail word: lanes that would read a next word are past
+                // the sequence end; take the portable path for the block.
+                qgram_codes32(word, 0, q, &mut scalar_codes);
+                let lanes = (n_starts - base).min(32);
+                let mut bits = 0u64;
+                for (i, &code) in scalar_codes[..lanes].iter().enumerate() {
+                    if offsets[code as usize] != offsets[code as usize + 1] {
+                        bits |= 1u64 << i;
+                    }
+                }
+                out[base / 64] |= bits << (base % 64);
+                continue;
+            }
+            let lo = _mm256_set1_epi64x(word as i64);
+            let hi = _mm256_set1_epi64x(words[w + 1] as i64);
+            let mut bits = 0u64;
+            for group in 0..8u64 {
+                let sh = _mm256_setr_epi64x(
+                    (8 * group) as i64,
+                    (8 * group + 2) as i64,
+                    (8 * group + 4) as i64,
+                    (8 * group + 6) as i64,
+                );
+                let low = _mm256_srlv_epi64(lo, sh);
+                let high = _mm256_sllv_epi64(hi, _mm256_sub_epi64(sixty_four, sh));
+                let code = _mm256_and_si256(_mm256_or_si256(low, high), vmask);
+                let pair = _mm256_i64gather_epi64::<4>(table, code);
+                let first = _mm256_and_si256(pair, lo32);
+                let second = _mm256_srli_epi64::<32>(pair);
+                let empty = _mm256_cmpeq_epi64(first, second);
+                let nonempty = (!_mm256_movemask_pd(_mm256_castsi256_pd(empty)) & 0xF) as u64;
+                bits |= nonempty << (4 * group);
+            }
+            // Lanes past n_starts are garbage here; the caller's final
+            // tail clear removes them.
+            out[base / 64] |= bits << (base % 64);
+        }
+    }
+}
+
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use super::BLOCK;
+    use std::arch::aarch64::*;
+
+    /// NEON lane verifier: four 2×64 pairs; XOR against the broadcast
+    /// pattern, collapse 2-bit base lanes, then the byte-popcount +
+    /// pairwise-widening-add chain (`vcnt` → `vpaddl×3`) yields per-64
+    /// counts.
+    ///
+    /// # Safety
+    ///
+    /// Caller must ensure NEON is available.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn mismatch_counts(windows: &[u64; BLOCK], pattern: u64, out: &mut [u32; BLOCK]) {
+        let pat = vdupq_n_u64(pattern);
+        let even = vdupq_n_u64(0x5555_5555_5555_5555);
+        for pair in 0..4 {
+            let v = vld1q_u64(windows.as_ptr().add(2 * pair));
+            let diff = veorq_u64(v, pat);
+            let lanes = vandq_u64(vorrq_u64(diff, vshrq_n_u64::<1>(diff)), even);
+            let bytes = vcntq_u8(vreinterpretq_u8_u64(lanes));
+            let sums = vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(bytes)));
+            out[2 * pair] = vgetq_lane_u64::<0>(sums) as u32;
+            out[2 * pair + 1] = vgetq_lane_u64::<1>(sums) as u32;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crispr_genome::DnaSeq;
+
+    fn packed(text: &str) -> PackedSeq {
+        PackedSeq::from_seq(&text.parse::<DnaSeq>().unwrap())
+    }
+
+    /// Pseudo-random base stream for kernel-equivalence checks.
+    fn synth(len: usize, seed: u64) -> PackedSeq {
+        let mut state = seed | 1;
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                crispr_genome::Base::from_code((state >> 33) as u8)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn env_value_parsing() {
+        assert_eq!(SimdBackend::from_env_value("scalar"), SimdBackend::Scalar);
+        assert_eq!(SimdBackend::from_env_value(" Portable "), SimdBackend::Portable);
+        // auto and junk both defer to detection.
+        assert_eq!(SimdBackend::from_env_value("auto"), SimdBackend::detect());
+        assert_eq!(SimdBackend::from_env_value("warp-drive"), SimdBackend::detect());
+        // A named ISA never resolves to something the host lacks.
+        for value in ["avx2", "neon"] {
+            assert!(SimdBackend::from_env_value(value).available(), "{value}");
+        }
+    }
+
+    #[test]
+    fn gauge_codes_are_stable_and_distinct() {
+        let codes: Vec<f64> = SimdBackend::ALL.iter().map(|b| b.gauge()).collect();
+        assert_eq!(codes, vec![0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(SimdBackend::ALL.map(|b| b.name()), ["scalar", "portable", "avx2", "neon"]);
+    }
+
+    #[test]
+    fn detected_backend_is_available() {
+        assert!(SimdBackend::detect().available());
+    }
+
+    #[test]
+    fn mismatch_counts_all_backends_agree() {
+        let genome = synth(512, 0x9E37_79B9);
+        let pattern_src = synth(20, 0xBF58_476D);
+        let pattern = pattern_src.window_word(0, 20);
+        for block_start in [0usize, 3, 31, 64, 200, 460] {
+            let starts: [usize; BLOCK] = std::array::from_fn(|j| block_start + 4 * j);
+            let windows = genome.window_words(&starts, 20);
+            let reference = hamming_lanes(&windows, pattern);
+            for backend in SimdBackend::ALL {
+                if !backend.available() {
+                    continue;
+                }
+                let mut got = [0u32; BLOCK];
+                mismatch_counts(backend, &windows, pattern, &mut got);
+                assert_eq!(got, reference, "backend {} block {block_start}", backend.name());
+            }
+        }
+    }
+
+    #[test]
+    fn seed_bitmap_backends_agree_with_direct_probe() {
+        for (len, seed, q) in [(70usize, 7u64, 3usize), (256, 11, 5), (513, 13, 5), (1000, 17, 6)] {
+            let genome = synth(len, seed);
+            // A table marking ~1/8 of codes non-empty, CSR style.
+            let codes = 1usize << (2 * q);
+            let mut offsets = vec![0u32; codes + 1];
+            let mut running = 0u32;
+            for (c, slot) in offsets.iter_mut().enumerate().take(codes) {
+                *slot = running;
+                if c % 8 == 3 {
+                    running += 1 + (c % 3) as u32;
+                }
+            }
+            offsets[codes] = running;
+            let n_starts = len + 1 - q;
+            for backend in SimdBackend::ALL {
+                if !backend.available() {
+                    continue;
+                }
+                let mut bits = vec![0u64; n_starts.div_ceil(64)];
+                direct_seed_bitmap(backend, &genome, n_starts, q, &offsets, &mut bits);
+                for s in 0..n_starts {
+                    let code = genome.window_word(s, q) as usize;
+                    let expect = offsets[code] != offsets[code + 1];
+                    let got = bits[s / 64] >> (s % 64) & 1 == 1;
+                    assert_eq!(got, expect, "backend {} len {len} q {q} start {s}", backend.name());
+                }
+                // No bits past n_starts.
+                if !n_starts.is_multiple_of(64) {
+                    assert_eq!(bits[n_starts / 64] >> (n_starts % 64), 0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn or_shifted_left_matches_bit_semantics() {
+        let src = vec![0x8000_0000_0000_0001u64, 0xDEAD_BEEF_0000_FFFF, 0x1];
+        for shift in [0usize, 1, 4, 31, 63, 64, 65, 100] {
+            let mut dst = vec![0u64; 4];
+            or_shifted_left(&mut dst, &src, shift);
+            for bit in 0..(src.len() * 64) {
+                let set = src[bit / 64] >> (bit % 64) & 1 == 1;
+                let target = bit + shift;
+                if target >= dst.len() * 64 {
+                    continue;
+                }
+                assert_eq!(
+                    dst[target / 64] >> (target % 64) & 1 == 1,
+                    set,
+                    "shift {shift} bit {bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn window_block_verify_on_handwritten_case() {
+        let genome = packed(&"ACGTAGGT".repeat(16));
+        let pat = packed("ACGTAGGT").window_word(0, 8);
+        let starts: [usize; BLOCK] = std::array::from_fn(|j| 8 * j);
+        let windows = genome.window_words(&starts, 8);
+        let counts = hamming_lanes(&windows, pat);
+        assert_eq!(counts, [0u32; BLOCK]);
+        let offset_starts: [usize; BLOCK] = std::array::from_fn(|j| 8 * j + 1);
+        let shifted = genome.window_words(&offset_starts, 8);
+        let shifted_counts = hamming_lanes(&shifted, pat);
+        assert!(shifted_counts.iter().all(|&c| c > 0));
+    }
+}

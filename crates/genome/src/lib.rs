@@ -46,5 +46,5 @@ pub mod synth;
 pub use base::{Base, IupacCode};
 pub use error::GenomeError;
 pub use genome::{Contig, Genome, Strand, WindowIter};
-pub use packed::PackedSeq;
+pub use packed::{hamming_lanes, PackedSeq};
 pub use seq::DnaSeq;

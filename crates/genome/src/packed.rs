@@ -182,6 +182,25 @@ impl PackedSeq {
         self.extract_word(index, count)
     }
 
+    /// The raw 2-bit packed storage: base `32·w + i` occupies bits `2i`
+    /// of word `w`. SIMD kernels walk this slice directly instead of
+    /// paying the per-call bounds logic of [`PackedSeq::window_word`].
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Extracts `N` windows of `count` bases in one call: `out[j]` equals
+    /// [`PackedSeq::window_word`]`(starts[j], count)`. Width-generic over
+    /// the lane count so a verifier can pull a whole block of candidate
+    /// windows before fanning them out to the lane-parallel compare.
+    pub fn window_words<const N: usize>(&self, starts: &[usize; N], count: usize) -> [u64; N] {
+        let mut out = [0u64; N];
+        for (slot, &start) in out.iter_mut().zip(starts) {
+            *slot = self.extract_word(start, count);
+        }
+        out
+    }
+
     /// Extracts `count ≤ 32` bases starting at `index` as a right-aligned
     /// 2-bit-per-base word; lanes beyond `count` are zero.
     fn extract_word(&self, index: usize, count: usize) -> u64 {
@@ -198,6 +217,23 @@ impl PackedSeq {
         }
         value
     }
+}
+
+/// Per-lane spacer mismatch counts: `out[j]` is the Hamming distance
+/// between the 2-bit window word `windows[j]` and `pattern`, both
+/// right-aligned and equal-length. The width-generic form of the
+/// one-word compare inside [`PackedSeq::count_mismatches`] — XOR,
+/// collapse each 2-bit lane to its low bit, popcount — written as
+/// straight-line per-lane code so vector backends can replace it with
+/// one wide XOR/AND/POPCNT sequence.
+pub fn hamming_lanes<const N: usize>(windows: &[u64; N], pattern: u64) -> [u32; N] {
+    const LOW_LANE_BITS: u64 = 0x5555_5555_5555_5555;
+    let mut out = [0u32; N];
+    for (slot, &window) in out.iter_mut().zip(windows) {
+        let diff = window ^ pattern;
+        *slot = ((diff | (diff >> 1)) & LOW_LANE_BITS).count_ones();
+    }
+    out
 }
 
 /// Per-base match positions of one packed word against `class`,
@@ -324,6 +360,39 @@ mod tests {
                 PackedSeq::from_seq(&original),
                 "len {len}"
             );
+        }
+    }
+
+    #[test]
+    fn window_words_matches_window_word() {
+        let text = seq(&"ACGTGGTACCTA".repeat(12)); // 144 bases
+        let packed = PackedSeq::from_seq(&text);
+        for count in [1, 5, 20, 31, 32] {
+            let starts = [0, 1, 31, 32, 33, 63, 100, 144 - count];
+            let block = packed.window_words(&starts, count);
+            for (j, &start) in starts.iter().enumerate() {
+                assert_eq!(
+                    block[j],
+                    packed.window_word(start, count),
+                    "start {start} count {count}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hamming_lanes_matches_count_mismatches() {
+        let text = seq(&"GATTACAGGCCTAGGTACGT".repeat(8)); // 160 bases
+        let packed = PackedSeq::from_seq(&text);
+        let pat_seq = text.subseq(7..27);
+        let pat = PackedSeq::from_seq(&pat_seq);
+        let pattern = pat.window_word(0, 20);
+        let starts = [0, 3, 7, 30, 64, 90, 128, 140];
+        let windows = packed.window_words(&starts, 20);
+        let counts = hamming_lanes(&windows, pattern);
+        for (j, &start) in starts.iter().enumerate() {
+            let expected = packed.count_mismatches(&pat, start, 20).unwrap();
+            assert_eq!(counts[j] as usize, expected, "start {start}");
         }
     }
 

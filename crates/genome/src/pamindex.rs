@@ -107,6 +107,57 @@ impl AnchorScanner {
         }
         CandidateMask { words: acc, limit }
     }
+
+    /// Block form of [`AnchorScanner::candidates`]: identical output, but
+    /// the intersection runs 256 bits (four accumulator words) at a time
+    /// with a per-block early exit — once a block's accumulator has gone
+    /// all-zero, the remaining anchor pairs skip it entirely. On
+    /// PAM-sparse genomes most blocks die after the first one or two
+    /// pairs, cutting the pass from `pairs × words` toward `words` AND
+    /// operations; the fixed four-word block also hands vector units four
+    /// independent 64-bit lanes per step with no cross-lane carries.
+    pub fn candidates_blocked(&self, packed: &PackedSeq, window: usize) -> CandidateMask {
+        assert!(window >= self.span, "window {window} shorter than anchor span {}", self.span);
+        let limit = (packed.len() + 1).saturating_sub(window.max(1));
+        let words = limit.div_ceil(64);
+        if words == 0 {
+            return CandidateMask { words: Vec::new(), limit: 0 };
+        }
+        let class_masks: Vec<(IupacCode, Vec<u64>)> =
+            self.classes.iter().map(|&c| (c, packed.match_mask(c))).collect();
+        let mut acc = vec![u64::MAX; words];
+        for block in (0..words).step_by(4) {
+            let block_end = (block + 4).min(words);
+            for &(offset, class) in &self.pairs {
+                let mask = &class_masks
+                    .iter()
+                    .find(|(c, _)| *c == class)
+                    .expect("every pair class is cached")
+                    .1;
+                let word_shift = offset / 64;
+                let bit_shift = offset % 64;
+                let mut alive = 0u64;
+                for (i, word) in acc[block..block_end].iter_mut().enumerate() {
+                    let slot = block + i;
+                    let lo = mask.get(slot + word_shift).copied().unwrap_or(0) >> bit_shift;
+                    let hi = if bit_shift == 0 {
+                        0
+                    } else {
+                        mask.get(slot + word_shift + 1).copied().unwrap_or(0) << (64 - bit_shift)
+                    };
+                    *word &= lo | hi;
+                    alive |= *word;
+                }
+                if alive == 0 {
+                    break;
+                }
+            }
+        }
+        if !limit.is_multiple_of(64) {
+            *acc.last_mut().expect("words > 0") &= (1u64 << (limit % 64)) - 1;
+        }
+        CandidateMask { words: acc, limit }
+    }
 }
 
 /// In-place `acc[p] &= mask[p + offset]` at bit granularity.
@@ -237,6 +288,23 @@ mod tests {
             let scanner = AnchorScanner::new(pairs.clone()).unwrap();
             let got: Vec<usize> = scanner.candidates(&packed, window).iter().collect();
             assert_eq!(got, scalar_candidates(&text, &pairs, window), "pairs {pairs:?}");
+            let blocked: Vec<usize> = scanner.candidates_blocked(&packed, window).iter().collect();
+            assert_eq!(blocked, got, "blocked pass diverged for pairs {pairs:?}");
+        }
+    }
+
+    #[test]
+    fn blocked_pass_matches_word_pass_on_all_lengths() {
+        // Lengths straddling the 256-bit block boundary and ragged tails;
+        // rare anchors so whole blocks actually die early.
+        let text = seq(&"ACGTAGGTGATTACCA".repeat(40)); // 640 bases
+        let scanner = AnchorScanner::new(vec![(5, class(b'G')), (6, class(b'G'))]).unwrap();
+        for len in [0, 7, 8, 63, 64, 255, 256, 257, 300, 511, 512, 513, 640] {
+            let prefix = text.subseq(0..len);
+            let packed = PackedSeq::from_seq(&prefix);
+            let word: Vec<usize> = scanner.candidates(&packed, 8).iter().collect();
+            let blocked: Vec<usize> = scanner.candidates_blocked(&packed, 8).iter().collect();
+            assert_eq!(blocked, word, "len {len}");
         }
     }
 

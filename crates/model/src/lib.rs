@@ -17,6 +17,7 @@
 
 pub mod json;
 mod metrics;
+pub mod names;
 
 pub use metrics::{
     EngineCounters, Histogram, ParallelMetrics, PhaseSpans, SearchMetrics, ThreadStats,

@@ -24,7 +24,17 @@ use std::time::{Duration, Instant};
 /// accelerators answer timing questions, not hit queries, and stay in
 /// the batch CLI.)
 pub fn engine_names() -> &'static [&'static str] {
-    &["cpu-scalar", "cpu-cas-offinder", "cpu-casot", "cpu-hyperscan", "cpu-nfa", "cpu-dfa"]
+    &[
+        "cpu-scalar",
+        "cpu-cas-offinder",
+        "cpu-cas-offinder-batched",
+        "cpu-casot",
+        "cpu-casot-batched",
+        "cpu-hyperscan",
+        "cpu-hyperscan-batched",
+        "cpu-nfa",
+        "cpu-dfa",
+    ]
 }
 
 /// Compiles `guides` at budget `k` for the named engine, or `None` for
@@ -38,8 +48,11 @@ fn prepare_for(
     Some(match engine {
         "cpu-scalar" => ScalarEngine::new().prepare(guides, k),
         "cpu-cas-offinder" => CasOffinderCpuEngine::new().prepare(guides, k),
+        "cpu-cas-offinder-batched" => CasOffinderCpuEngine::batched().prepare(guides, k),
         "cpu-casot" => CasotEngine::new().prepare(guides, k),
+        "cpu-casot-batched" => CasotEngine::batched().prepare(guides, k),
         "cpu-hyperscan" => BitParallelEngine::new().prepare(guides, k),
+        "cpu-hyperscan-batched" => BitParallelEngine::batched().prepare(guides, k),
         "cpu-nfa" => NfaEngine::new().prepare(guides, k),
         "cpu-dfa" => DfaEngine::new().prepare(guides, k),
         _ => return None,
@@ -279,7 +292,11 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
                 None => {
                     return Response::text(
                         400,
-                        format!("unknown engine {engine:?} (one of {})", engine_names().join(" ")),
+                        crispr_model::names::unknown_value_message(
+                            "engine",
+                            &engine,
+                            engine_names(),
+                        ),
                     )
                 }
             };
@@ -312,6 +329,10 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
     };
 
     let mut metrics = SearchMetrics::default();
+    // Compile-time gauges (DFA states, dispatched SIMD backend, …) live
+    // on the prepared search; surface them on every request, cached
+    // compiles included.
+    entry.prepared.record_gauges(&mut metrics);
     let deployment = ScanDeployment::new(shared.cfg.scan_threads.max(1))
         .with_retry_limit(shared.cfg.retry_limit);
     let scan_start = Instant::now();
@@ -338,6 +359,12 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
         aggregate.phases.merge(&metrics.phases);
         aggregate.counters.merge(&metrics.counters);
         aggregate.merge_histograms(&metrics.histograms);
+        // The dispatched SIMD backend is an identity, not a sum: carry
+        // the latest value so `GET /metrics` reports which kernel path
+        // scans are actually running.
+        if let Some(backend) = metrics.gauge("simd_backend") {
+            aggregate.set_gauge("simd_backend", backend);
+        }
         aggregate.observe("serve_request_s", scan_start.elapsed().as_secs_f64());
     }
 

@@ -390,7 +390,12 @@ mod tests {
             for i in 0..3 {
                 scope.spawn(move || {
                     name_thread(&format!("worker-{i}"));
-                    let _s = span_args("chunk", i, 100 * i);
+                    drop(span_args("chunk", i, 100 * i));
+                    // The scope unblocks when this closure returns, which
+                    // can be before the thread's TLS destructor flushes;
+                    // flush explicitly (as ParallelEngine workers do) so
+                    // finish() below is guaranteed to see these events.
+                    flush_thread();
                 });
             }
         });

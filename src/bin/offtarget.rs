@@ -81,7 +81,11 @@ const USAGE: &str = "usage:
   offtarget anml   --guides guides.txt [-k K] [-o out.anml]
 
 platforms: cpu-scalar cpu-cas-offinder cpu-casot cpu-hyperscan cpu-nfa cpu-dfa
+           cpu-hyperscan-batched cpu-cas-offinder-batched cpu-casot-batched
            ap fpga gpu-infant2 gpu-cas-offinder
+SIMD: the CPU verify/prefilter kernels auto-dispatch AVX2/NEON when the
+host supports them; OFFTARGET_SIMD={auto,avx2,neon,portable,scalar}
+forces a backend (unavailable choices fall back to portable).
 
 observability: --metrics writes the SearchMetrics JSON ('-' = stdout);
 --trace writes a Chrome trace_event JSON timeline (chrome://tracing,
@@ -122,31 +126,9 @@ const SERVE_FLAGS: &[&str] =
 /// Flags that take no value: present means enabled.
 const BOOLEAN_FLAGS: &[&str] = &["progress", "allow-inject"];
 
-/// Edit distance for the unknown-flag hint; small inputs only.
-fn edit_distance(a: &str, b: &str) -> usize {
-    let (a, b): (Vec<char>, Vec<char>) = (a.chars().collect(), b.chars().collect());
-    let mut row: Vec<usize> = (0..=b.len()).collect();
-    for (i, &ca) in a.iter().enumerate() {
-        let mut prev = row[0];
-        row[0] = i + 1;
-        for (j, &cb) in b.iter().enumerate() {
-            let cost = if ca == cb { prev } else { prev + 1 };
-            prev = row[j + 1];
-            row[j + 1] = cost.min(row[j] + 1).min(row[j + 1] + 1);
-        }
-    }
-    row[b.len()]
-}
-
-/// The closest allowed flag, if any is close enough to be a plausible typo.
-fn suggest<'a>(key: &str, allowed: &[&'a str]) -> Option<&'a str> {
-    allowed
-        .iter()
-        .map(|&f| (edit_distance(key, f), f))
-        .min()
-        .filter(|&(d, f)| d <= 2.min(f.len().saturating_sub(1)).max(1))
-        .map(|(_, f)| f)
-}
+/// The "did you mean" suggestion (shared with the serve daemon's
+/// unknown-engine responses — see `crispr_model::names`).
+use crispr_offtarget::model::names::{suggest, unknown_value_message};
 
 /// Whether `token` spells one of the subcommand's own flags (so it can
 /// never be a flag *value* — see `parse_flags`).
@@ -358,10 +340,10 @@ fn cmd_guides(args: &[String]) -> Result<(), CliError> {
 }
 
 fn parse_platform(name: &str) -> Result<Platform, CliError> {
-    Platform::ALL
-        .into_iter()
-        .find(|p| p.name() == name)
-        .ok_or_else(|| format!("unknown platform {name:?}; see `offtarget help`").into())
+    Platform::ALL.into_iter().find(|p| p.name() == name).ok_or_else(|| {
+        let valid: Vec<&str> = Platform::ALL.iter().map(|p| p.name()).collect();
+        unknown_value_message("platform", name, &valid).into()
+    })
 }
 
 fn cmd_search(args: &[String]) -> Result<u8, CliError> {
@@ -519,11 +501,9 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     cfg.allow_inject = flags.contains_key("allow-inject");
     if let Some(engine) = flags.get("platform") {
         if !engine_names().contains(&engine.as_str()) {
-            return Err(format!(
-                "serve supports the measured CPU engines only: {}",
-                engine_names().join(" ")
-            )
-            .into());
+            // Serve answers hit queries with the measured CPU engines
+            // only; the modeled accelerators stay in the batch CLI.
+            return Err(unknown_value_message("serve engine", engine, engine_names()).into());
         }
         cfg.default_engine = engine.clone();
     }
@@ -612,6 +592,33 @@ mod tests {
     fn near_miss_flags_get_a_hint() {
         let err = parse_flags(&args(&["--genom", "g.fa"]), SEARCH_FLAGS).unwrap_err();
         assert!(err.to_string().contains("did you mean --genome"), "{err}");
+    }
+
+    #[test]
+    fn unknown_platform_lists_valid_set_and_hints() {
+        // A near-miss of a batched/SIMD variant name suggests it.
+        let err = parse_platform("cpu-hyperscan-batch").unwrap_err().to_string();
+        assert!(err.contains("unknown platform \"cpu-hyperscan-batch\""), "{err}");
+        assert!(err.contains("did you mean \"cpu-hyperscan-batched\"?"), "{err}");
+        // The error lists every valid platform name, batched variants
+        // included.
+        for p in Platform::ALL {
+            assert!(err.contains(p.name()), "{} missing from: {err}", p.name());
+        }
+        // Nothing close: the valid set is still listed, with no hint.
+        let err = parse_platform("tpu").unwrap_err().to_string();
+        assert!(err.contains("one of:"), "{err}");
+        assert!(!err.contains("did you mean"), "{err}");
+        // The batched names parse to the batched platforms.
+        assert_eq!(
+            parse_platform("cpu-hyperscan-batched").unwrap(),
+            Platform::CpuBitParallelBatched
+        );
+        assert_eq!(
+            parse_platform("cpu-cas-offinder-batched").unwrap(),
+            Platform::CpuCasOffinderBatched
+        );
+        assert_eq!(parse_platform("cpu-casot-batched").unwrap(), Platform::CpuCasotBatched);
     }
 
     #[test]

@@ -102,7 +102,7 @@ fn extension_engines_agree_with_reference() {
 mod differential {
     use crispr_offtarget::engines::{
         BitParallelEngine, CasOffinderCpuEngine, CasotEngine, DfaEngine, Engine, NfaEngine,
-        ParallelEngine, PigeonholeEngine, ScalarEngine,
+        ParallelEngine, PigeonholeEngine, ScalarEngine, SimdBackend,
     };
     use crispr_offtarget::genome::{Base, DnaSeq, Genome};
     use crispr_offtarget::guides::genset::{self, PlantPlan};
@@ -215,6 +215,28 @@ mod differential {
                 ),
             ),
         ];
+        // Forced-SIMD twins: every backend the host can run (the vector
+        // ISA when present, and always the portable and scalar
+        // fallbacks) must reproduce the oracle hit set — so the
+        // fallback kernels stay under differential test even on
+        // hardware where `auto` dispatches AVX2/NEON, and vice versa.
+        for backend in SimdBackend::ALL.into_iter().filter(|b| b.available()) {
+            let name = match backend {
+                SimdBackend::Scalar => "bitparallel-batched-simd-scalar",
+                SimdBackend::Portable => "bitparallel-batched-simd-portable",
+                SimdBackend::Avx2 => "bitparallel-batched-simd-avx2",
+                SimdBackend::Neon => "bitparallel-batched-simd-neon",
+            };
+            variants.push((name, Box::new(BitParallelEngine::batched().with_simd(backend))));
+        }
+        variants.push((
+            "cas-offinder-simd-portable",
+            Box::new(CasOffinderCpuEngine::new().with_simd(SimdBackend::Portable)),
+        ));
+        variants.push((
+            "casot-simd-portable",
+            Box::new(CasotEngine::new().with_simd(SimdBackend::Portable)),
+        ));
         if k <= 2 {
             variants.push(("dfa", Box::new(DfaEngine::new())));
         }

@@ -329,6 +329,33 @@ proptest! {
         prop_assert!((left.sum_s - unchunked.sum_s).abs() <= 1e-9 * left.sum_s.abs().max(1.0));
     }
 
+    /// The SIMD verifier's lane arithmetic — XOR against the pattern
+    /// word, fold-to-even-lanes, per-lane popcount — equals the scalar
+    /// per-base mismatch count on every lane, for random packed windows
+    /// and patterns. This is the exactness contract the vector verify
+    /// kernels (portable and ISA backends alike) are built on.
+    #[test]
+    fn hamming_lanes_equal_scalar_verifier(
+        text in dna_seq(64..300),
+        pat in dna_seq(4..31),
+        raw_starts in prop::collection::vec(0usize..1_000, 8),
+    ) {
+        use crispr_offtarget::genome::hamming_lanes;
+        let max_start = text.len() - pat.len();
+        let mut starts = [0usize; 8];
+        for (slot, raw) in starts.iter_mut().zip(&raw_starts) {
+            *slot = raw % (max_start + 1);
+        }
+        let packed = PackedSeq::from_seq(&text);
+        let pattern = PackedSeq::from_seq(&pat).window_word(0, pat.len());
+        let windows = packed.window_words(&starts, pat.len());
+        let lanes = hamming_lanes(&windows, pattern);
+        for (lane, &start) in lanes.iter().zip(&starts) {
+            let expected = text.subseq(start..start + pat.len()).hamming_distance(&pat);
+            prop_assert_eq!(*lane as usize, expected);
+        }
+    }
+
     /// Every hit an engine reports actually scores within budget when
     /// re-checked against the genome (no false positives, by construction
     /// of an independent re-scorer).

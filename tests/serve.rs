@@ -163,6 +163,8 @@ fn repeated_queries_hit_the_prepared_cache() {
     // Aggregated search metrics flow through the existing renderer.
     assert!(text.contains("offtarget_windows_scanned_total"), "{text}");
     assert!(text.contains("offtarget_serve_request_seconds_count 4"), "{text}");
+    // The dispatched SIMD backend is visible to operators.
+    assert!(text.contains("offtarget_gauge{name=\"simd_backend\"}"), "{text}");
 
     server.shutdown();
     server.join();
@@ -236,8 +238,19 @@ fn malformed_requests_get_4xx_not_a_crash() {
     assert_eq!(status, 405);
     let (status, _, _) = request(addr, "POST", "/search?k=banana", &body);
     assert_eq!(status, 400);
-    let (status, _, _) = request(addr, "POST", "/search?engine=tpu", &body);
+    let (status, _, resp) = request(addr, "POST", "/search?engine=tpu", &body);
     assert_eq!(status, 400);
+    let resp = String::from_utf8_lossy(&resp);
+    assert!(resp.contains("one of:"), "unknown engine should list the valid set: {resp}");
+    assert!(resp.contains("cpu-hyperscan-batched"), "batched variants should be listed: {resp}");
+    // A near-miss of a batched variant gets a did-you-mean hint.
+    let (status, _, resp) = request(addr, "POST", "/search?engine=cpu-casot-batch", &body);
+    assert_eq!(status, 400);
+    let resp = String::from_utf8_lossy(&resp);
+    assert!(resp.contains("did you mean \"cpu-casot-batched\"?"), "{resp}");
+    // The batched engines themselves are servable.
+    let (status, _, _) = request(addr, "POST", "/search?engine=cpu-hyperscan-batched&k=2", &body);
+    assert_eq!(status, 200);
     let (status, _, _) = request(addr, "POST", "/search?format=xml", &body);
     assert_eq!(status, 400);
     let (status, _, _) = request(addr, "POST", "/search", b"not a guide file\n");
