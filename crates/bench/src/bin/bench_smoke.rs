@@ -54,6 +54,12 @@ const ROUNDS: usize = 7;
 /// Timing rounds for the k-sweep. The sweep is informational (never
 /// gated), so fewer rounds keep the smoke's total wall time bounded.
 const SWEEP_ROUNDS: usize = 3;
+/// Genome size for the on-disk-index rows: 100 Mbp-class, the scale at
+/// which re-deriving per-genome tables on every run visibly dominates a
+/// warm scan's setup. Informational (the check gates only `relative`),
+/// and measured only when regenerating the baseline, so `--check` CI
+/// latency is unchanged.
+const INDEX_GENOME_LEN: usize = 100_000_000;
 
 /// One engine's measurement: name, best kernel seconds, and the full
 /// metrics of the best round — phases and counters localize *which*
@@ -134,6 +140,84 @@ fn sweep_batched() -> Vec<(usize, f64)> {
         .collect()
 }
 
+/// The on-disk index measurement: one-time build cost, then the
+/// pre-kernel setup of a warm `--index` scan (open + in-scan payload
+/// reads) against the FASTA-rebuild path (parse + in-scan packing and
+/// mask derivation) on the same 100 Mbp reference and engine. The
+/// `setup_skip_fraction` is the acceptance number: how much of the
+/// rebuild path's pre-kernel setup a warm index run skips.
+struct IndexBench {
+    build_s: f64,
+    write_s: f64,
+    index_bytes: usize,
+    fasta_setup_s: f64,
+    index_setup_s: f64,
+    setup_skip_fraction: f64,
+    fasta_kernel_s: f64,
+    index_kernel_s: f64,
+}
+
+fn bench_index() -> IndexBench {
+    use crispr_genome::diskindex::GenomeIndex;
+    use crispr_genome::fasta;
+    let (genome, guides, _) = workloads::planted(INDEX_GENOME_LEN, GUIDES, K, SEED);
+    let dir = std::env::temp_dir().join(format!("offtarget-bench-index-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let fa_path = dir.join("bench.fa");
+    let idx_path = dir.join("bench.idx");
+    {
+        let mut writer = std::io::BufWriter::new(std::fs::File::create(&fa_path).expect("fasta"));
+        fasta::write_genome(&mut writer, &genome, 70).expect("write fasta");
+    }
+
+    let build_start = Instant::now();
+    let index = GenomeIndex::build(&genome, 0).expect("build index");
+    let build_s = build_start.elapsed().as_secs_f64();
+    let index_bytes = index.as_bytes().len();
+    let write_start = Instant::now();
+    index.write_to(&idx_path).expect("write index");
+    let write_s = write_start.elapsed().as_secs_f64();
+    drop(index);
+    drop(genome);
+
+    let engine = BitParallelEngine::new();
+    // The FASTA-rebuild path a warm run replaces: parse the reference,
+    // then scan (the engines re-pack and re-derive masks in-scan,
+    // charged to genome_load_s).
+    let parse_start = Instant::now();
+    let bytes = std::fs::read(&fa_path).expect("read fasta");
+    let reparsed = fasta::read_genome(bytes.as_slice()).expect("parse fasta");
+    let parse_s = parse_start.elapsed().as_secs_f64();
+    drop(bytes);
+    let mut fasta_m = SearchMetrics::default();
+    engine.search_metered(&reparsed, &guides, K, &mut fasta_m).expect("fasta scan");
+    drop(reparsed);
+    // The warm path: mmap the index, scan its payloads directly.
+    let open_start = Instant::now();
+    let reopened = GenomeIndex::open(&idx_path).expect("open index");
+    let open_s = open_start.elapsed().as_secs_f64();
+    let mut index_m = SearchMetrics::default();
+    engine.search_metered_indexed(&reopened, None, &guides, K, &mut index_m).expect("index scan");
+    assert_eq!(
+        fasta_m.counters.raw_hits, index_m.counters.raw_hits,
+        "index and FASTA scans must agree before their timings mean anything"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+    let fasta_setup_s = parse_s + fasta_m.phases.genome_load_s;
+    let index_setup_s = open_s + index_m.phases.genome_load_s;
+    IndexBench {
+        build_s,
+        write_s,
+        index_bytes,
+        fasta_setup_s,
+        index_setup_s,
+        setup_skip_fraction: 1.0 - index_setup_s / fasta_setup_s,
+        fasta_kernel_s: fasta_m.phases.kernel_scan_s,
+        index_kernel_s: index_m.phases.kernel_scan_s,
+    }
+}
+
 fn scalar_seconds(rows: &[Row]) -> f64 {
     rows.iter().find(|r| r.name == "cpu-scalar").expect("scalar is measured").kernel_s
 }
@@ -149,13 +233,27 @@ fn dispatched_backend(rows: &[Row]) -> &'static str {
         .map_or("unknown", SimdBackend::name)
 }
 
-fn render(rows: &[Row], sweep: &[(usize, f64)]) -> String {
+fn render(rows: &[Row], sweep: &[(usize, f64)], index: &IndexBench) -> String {
     let scalar_s = scalar_seconds(rows);
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"workload\": {{\"genome_bases\": {GENOME_LEN}, \"guides\": {GUIDES}, \"k\": {K}, \
          \"seed\": {SEED}, \"simd_backend\": \"{}\"}},\n",
         dispatched_backend(rows)
+    ));
+    out.push_str(&format!(
+        "  \"index\": {{\"genome_bases\": {INDEX_GENOME_LEN}, \"engine\": \"cpu-hyperscan\", \
+         \"build_s\": {:.3}, \"write_s\": {:.3}, \"index_bytes\": {}, \
+         \"fasta_setup_s\": {:.3}, \"index_setup_s\": {:.3}, \"setup_skip_fraction\": {:.4}, \
+         \"fasta_kernel_ns_per_base\": {:.3}, \"index_kernel_ns_per_base\": {:.3}}},\n",
+        index.build_s,
+        index.write_s,
+        index.index_bytes,
+        index.fasta_setup_s,
+        index.index_setup_s,
+        index.setup_skip_fraction,
+        index.fasta_kernel_s * 1e9 / INDEX_GENOME_LEN as f64,
+        index.index_kernel_s * 1e9 / INDEX_GENOME_LEN as f64,
     ));
     let ks: Vec<String> = sweep.iter().map(|(k, ns)| format!("\"{k}\": {ns:.3}")).collect();
     out.push_str(&format!(
@@ -239,7 +337,18 @@ fn main() {
     let rows = measure();
     eprintln!("measured {} engines in {:.1}s", rows.len(), start.elapsed().as_secs_f64());
     match args.as_slice() {
-        [] => print!("{}", render(&rows, &sweep_batched())),
+        [] => {
+            let index = bench_index();
+            eprintln!(
+                "index: built in {:.2}s, warm setup {:.3}s vs FASTA rebuild {:.3}s \
+                 (skips {:.1}% of pre-kernel setup)",
+                index.build_s,
+                index.index_setup_s,
+                index.fasta_setup_s,
+                index.setup_skip_fraction * 100.0
+            );
+            print!("{}", render(&rows, &sweep_batched(), &index));
+        }
         [flag, path] if flag == "--check" => {
             if let Err(msg) = check(&rows, path) {
                 eprintln!("bench-smoke: {msg}");

@@ -3,21 +3,36 @@ use crispr_engines::{
     BitParallelEngine, CasOffinderCpuEngine, CasotEngine, DfaEngine, Engine, EngineError,
     NfaEngine, ParallelEngine, ScalarEngine, SearchError,
 };
+use crispr_genome::diskindex::GenomeIndex;
 use crispr_genome::Genome;
 use crispr_guides::{Guide, Hit};
 use crispr_model::SearchMetrics;
+use std::borrow::Cow;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Where the reference sequence comes from: an in-memory [`Genome`]
+/// (FASTA/synthetic path) or an opened on-disk [`GenomeIndex`] whose
+/// packed payloads are scanned without re-deriving.
+#[derive(Debug, Clone)]
+enum GenomeSource {
+    Direct(Genome),
+    Index(Arc<GenomeIndex>),
+}
 
 /// Builder for a complete off-target search; see the crate docs for an
 /// end-to-end example.
 #[derive(Debug, Clone)]
 pub struct OffTargetSearch {
-    genome: Genome,
+    source: GenomeSource,
     guides: Vec<Guide>,
     k: usize,
     platform: Platform,
     threads: usize,
     chunk_retries: u32,
     input_degradations: u64,
+    shard: Option<usize>,
+    index_load_s: f64,
 }
 
 impl OffTargetSearch {
@@ -25,14 +40,53 @@ impl OffTargetSearch {
     /// the bit-parallel CPU platform, single-threaded.
     pub fn new(genome: Genome) -> OffTargetSearch {
         OffTargetSearch {
-            genome,
+            source: GenomeSource::Direct(genome),
             guides: Vec::new(),
             k: 3,
             platform: Platform::CpuBitParallel,
             threads: 1,
             chunk_retries: crispr_engines::DEFAULT_CHUNK_RETRIES,
             input_degradations: 0,
+            shard: None,
+            index_load_s: 0.0,
         }
+    }
+
+    /// Starts a search over an opened on-disk index. Single-threaded CPU
+    /// platforms scan the index's packed payloads directly (optionally in
+    /// bounded-memory shards, see [`OffTargetSearch::shard`]); threaded
+    /// runs and the modeled accelerators materialize the genome once,
+    /// charged to `genome_load_s`. Hit sets are identical to
+    /// [`OffTargetSearch::new`] on the genome the index was built from.
+    pub fn from_index(index: Arc<GenomeIndex>) -> OffTargetSearch {
+        OffTargetSearch {
+            source: GenomeSource::Index(index),
+            guides: Vec::new(),
+            k: 3,
+            platform: Platform::CpuBitParallel,
+            threads: 1,
+            chunk_retries: crispr_engines::DEFAULT_CHUNK_RETRIES,
+            input_degradations: 0,
+            shard: None,
+            index_load_s: 0.0,
+        }
+    }
+
+    /// Streams each contig of an indexed scan in shards of `len` window
+    /// starts, bounding resident memory by one shard instead of one
+    /// contig — hits and counters are unchanged. Ignored on the direct
+    /// (non-index) path and by threaded/modeled runs.
+    pub fn shard(mut self, len: Option<usize>) -> OffTargetSearch {
+        self.shard = len;
+        self
+    }
+
+    /// Records how long opening and validating the index file took (the
+    /// caller holds the timer; the open happens before this builder
+    /// exists), surfaced as the `index_load_s` gauge.
+    pub fn index_load_seconds(mut self, seconds: f64) -> OffTargetSearch {
+        self.index_load_s = seconds;
+        self
     }
 
     /// Adds one guide.
@@ -103,6 +157,10 @@ impl OffTargetSearch {
     /// Guide-validation, compilation, or platform-capacity errors from the
     /// selected backend.
     pub fn run(&self) -> Result<SearchReport, EngineError> {
+        // Modeled accelerators consume a byte-per-base genome; an indexed
+        // run materializes it here (once) and charges the unpack below.
+        let modeled_genome =
+            if self.platform.is_modeled() { Some(self.materialized()?) } else { None };
         let (hits, mut metrics, partial) = match self.platform {
             Platform::CpuScalar => self.run_cpu(ScalarEngine::new())?,
             Platform::CpuCasOffinder => self.run_cpu(CasOffinderCpuEngine::new())?,
@@ -114,7 +172,8 @@ impl OffTargetSearch {
             Platform::CpuNfa => self.run_cpu(NfaEngine::new())?,
             Platform::CpuDfa => self.run_cpu(DfaEngine::new())?,
             Platform::Ap => {
-                let report = crispr_ap::ApSearch::new().run(&self.genome, &self.guides, self.k)?;
+                let (genome, _) = modeled_genome.as_ref().expect("modeled platform");
+                let report = crispr_ap::ApSearch::new().run(genome, &self.guides, self.k)?;
                 let mut m = SearchMetrics::from_timing("ap-modeled", &report.timing);
                 m.counters.raw_hits = report.hits.len() as u64;
                 m.set_gauge("streams", report.streams as f64);
@@ -126,8 +185,8 @@ impl OffTargetSearch {
                 (report.hits, m, None)
             }
             Platform::Fpga => {
-                let report =
-                    crispr_fpga::FpgaSearch::new().run(&self.genome, &self.guides, self.k)?;
+                let (genome, _) = modeled_genome.as_ref().expect("modeled platform");
+                let report = crispr_fpga::FpgaSearch::new().run(genome, &self.guides, self.k)?;
                 let mut m = SearchMetrics::from_timing("fpga-modeled", &report.timing);
                 m.counters.raw_hits = report.hits.len() as u64;
                 m.set_gauge("passes", report.passes as f64);
@@ -140,8 +199,8 @@ impl OffTargetSearch {
                 (report.hits, m, None)
             }
             Platform::GpuInfant2 => {
-                let report =
-                    crispr_gpu::Infant2Search::new().run(&self.genome, &self.guides, self.k)?;
+                let (genome, _) = modeled_genome.as_ref().expect("modeled platform");
+                let report = crispr_gpu::Infant2Search::new().run(genome, &self.guides, self.k)?;
                 let mut m = SearchMetrics::from_timing("gpu-infant2-modeled", &report.timing);
                 m.counters.raw_hits = report.hits.len() as u64;
                 m.set_gauge("mean_active_states", report.mean_active);
@@ -149,11 +208,9 @@ impl OffTargetSearch {
                 (report.hits, m, None)
             }
             Platform::GpuCasOffinder => {
-                let report = crispr_gpu::CasOffinderGpuSearch::new().run(
-                    &self.genome,
-                    &self.guides,
-                    self.k,
-                )?;
+                let (genome, _) = modeled_genome.as_ref().expect("modeled platform");
+                let report =
+                    crispr_gpu::CasOffinderGpuSearch::new().run(genome, &self.guides, self.k)?;
                 let mut m = SearchMetrics::from_timing("gpu-cas-offinder-modeled", &report.timing);
                 m.counters.raw_hits = report.hits.len() as u64;
                 m.set_gauge("kernel_bytes", report.kernel_bytes);
@@ -161,11 +218,22 @@ impl OffTargetSearch {
             }
         };
         metrics.counters.degraded_paths += self.input_degradations;
+        if let Some((_, unpack_s)) = &modeled_genome {
+            metrics.phases.genome_load_s += unpack_s;
+        }
+        if let GenomeSource::Index(index) = &self.source {
+            metrics.set_gauge("index_cache", 1.0);
+            metrics.set_gauge("index_mmap", if index.mapped() { 1.0 } else { 0.0 });
+            metrics.set_gauge("index_load_s", self.index_load_s);
+            if let Some(shard) = self.shard {
+                metrics.set_gauge("index_shard_len", shard as f64);
+            }
+        }
         let report = SearchReport::new(
             self.platform,
             hits,
             metrics,
-            self.genome.total_len(),
+            self.total_len(),
             self.guides.len(),
             self.k,
         );
@@ -198,9 +266,14 @@ impl OffTargetSearch {
     ) -> Result<(Vec<Hit>, SearchMetrics, Option<PartialOutcome>), EngineError> {
         let mut metrics = SearchMetrics::default();
         if self.threads > 1 {
+            // The parallel deployment fans borrowed byte-per-base chunks
+            // out to workers, so an indexed run materializes the genome
+            // first (the unpack is charged to genome_load_s).
+            let (genome, unpack_s) = self.materialized()?;
+            metrics.phases.genome_load_s += unpack_s;
             let result = ParallelEngine::new(engine, self.threads)
                 .with_retry_limit(self.chunk_retries)
-                .search_metered(&self.genome, &self.guides, self.k, &mut metrics);
+                .search_metered(&genome, &self.guides, self.k, &mut metrics);
             match result {
                 Ok(hits) => Ok((hits, metrics, None)),
                 Err(SearchError::Partial { failures, chunks_total, hits }) => {
@@ -209,8 +282,40 @@ impl OffTargetSearch {
                 Err(e) => Err(e),
             }
         } else {
-            let hits = engine.search_metered(&self.genome, &self.guides, self.k, &mut metrics)?;
+            let hits = match &self.source {
+                GenomeSource::Direct(genome) => {
+                    engine.search_metered(genome, &self.guides, self.k, &mut metrics)?
+                }
+                GenomeSource::Index(index) => engine.search_metered_indexed(
+                    index,
+                    self.shard,
+                    &self.guides,
+                    self.k,
+                    &mut metrics,
+                )?,
+            };
             Ok((hits, metrics, None))
+        }
+    }
+
+    /// Total reference length without materializing anything.
+    fn total_len(&self) -> usize {
+        match &self.source {
+            GenomeSource::Direct(genome) => genome.total_len(),
+            GenomeSource::Index(index) => index.total_len(),
+        }
+    }
+
+    /// A byte-per-base view of the source: borrowed for the direct path,
+    /// unpacked from the index otherwise (with the seconds that took).
+    fn materialized(&self) -> Result<(Cow<'_, Genome>, f64), EngineError> {
+        match &self.source {
+            GenomeSource::Direct(genome) => Ok((Cow::Borrowed(genome), 0.0)),
+            GenomeSource::Index(index) => {
+                let start = Instant::now();
+                let genome = index.to_genome()?;
+                Ok((Cow::Owned(genome), start.elapsed().as_secs_f64()))
+            }
         }
     }
 }

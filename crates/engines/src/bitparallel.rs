@@ -253,6 +253,28 @@ impl PreparedSearch for BitParallelPrepared {
         Ok(())
     }
 
+    fn scan_packed(
+        &self,
+        packed: &crispr_genome::PackedSeq,
+        masks: &crispr_genome::pamindex::BaseMasks,
+        out: &mut Vec<Hit>,
+        m: &mut SearchMetrics,
+    ) -> Result<(), EngineError> {
+        // Anchorable sets consume the index form directly (stored anchor
+        // bitmaps, no repacking); the register-stepping fallback needs
+        // byte-per-base symbols and takes the unpack path.
+        if let Some(anchored) = &self.anchored {
+            let _kernel = crispr_trace::span("kernel:bitparallel");
+            m.counters.bit_steps += packed.len() as u64;
+            anchored.scan_packed(packed, masks, self.k, out, m);
+            return Ok(());
+        }
+        let load_start = Instant::now();
+        let bases = packed.unpack();
+        m.phases.genome_load_s += load_start.elapsed().as_secs_f64();
+        self.scan_slice(bases.as_slice(), out, m)
+    }
+
     fn record_gauges(&self, m: &mut SearchMetrics) {
         m.counters.degraded_paths += self.degraded;
         if let Some(anchored) = &self.anchored {

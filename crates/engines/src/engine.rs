@@ -1,6 +1,7 @@
 use crate::EngineError;
-use crispr_genome::pamindex::AnchorScanner;
-use crispr_genome::{Base, Genome, IupacCode, Strand};
+use crispr_genome::diskindex::GenomeIndex;
+use crispr_genome::pamindex::{AnchorScanner, BaseMasks};
+use crispr_genome::{Base, Genome, IupacCode, PackedSeq, Strand};
 use crispr_guides::{normalize, Guide, Hit, SitePattern};
 use crispr_model::SearchMetrics;
 use crispr_trace as trace;
@@ -34,6 +35,34 @@ pub trait PreparedSearch: Send + Sync {
         out: &mut Vec<Hit>,
         m: &mut SearchMetrics,
     ) -> Result<(), EngineError>;
+
+    /// Scans one slice delivered in index form — already 2-bit packed,
+    /// with its per-base anchor bitmaps alongside — appending raw hits
+    /// exactly like [`PreparedSearch::scan_slice`] on the same content.
+    ///
+    /// The default unpacks to bases (charged to `genome_load_s`) and
+    /// delegates to `scan_slice`, so every engine accepts indexed input
+    /// with identical hits, counters, and gauges by construction.
+    /// Engines whose kernels consume the packed form directly override
+    /// this to skip the unpack/repack round trip (see the anchored
+    /// prefilter deployment).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`PreparedSearch::scan_slice`].
+    fn scan_packed(
+        &self,
+        packed: &PackedSeq,
+        masks: &BaseMasks,
+        out: &mut Vec<Hit>,
+        m: &mut SearchMetrics,
+    ) -> Result<(), EngineError> {
+        let _ = masks;
+        let load_start = Instant::now();
+        let bases = packed.unpack();
+        m.phases.genome_load_s += load_start.elapsed().as_secs_f64();
+        self.scan_slice(bases.as_slice(), out, m)
+    }
 
     /// Records compile-time gauges (automaton state counts, seed counts,
     /// anchor rates) into `m`. Called once per metered search, not per
@@ -110,6 +139,37 @@ pub trait Engine {
         metrics.counters.faults_injected += crispr_failpoint::fired_total() - faults_before;
         result
     }
+
+    /// Runs the search against an opened on-disk index instead of a
+    /// byte-per-base genome — [`Engine::search_metered`] with
+    /// [`scan_genome_indexed`] as the scan driver. `shard_len` streams
+    /// each contig in shards of that many window starts to bound
+    /// resident memory; hits and counters are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::search_metered`].
+    fn search_metered_indexed(
+        &self,
+        index: &GenomeIndex,
+        shard_len: Option<usize>,
+        guides: &[Guide],
+        k: usize,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
+        let faults_before = crispr_failpoint::fired_total();
+        metrics.engine = self.name().to_string();
+        let compile_start = Instant::now();
+        let prepared = {
+            let _span = trace::span("phase:guide_compile");
+            self.prepare(guides, k)?
+        };
+        metrics.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
+        prepared.record_gauges(metrics);
+        let result = scan_genome_indexed(prepared.as_ref(), index, shard_len, metrics);
+        metrics.counters.faults_injected += crispr_failpoint::fired_total() - faults_before;
+        result
+    }
 }
 
 /// Drives a prepared search over every contig of `genome`: scan each
@@ -139,6 +199,75 @@ pub fn scan_genome(
         trace::progress::add(contig.len() as u64);
         for hit in &mut hits[before..] {
             hit.contig = ci as u32;
+        }
+    }
+    m.counters.raw_hits += hits.len() as u64;
+    m.finalize_derived_gauges();
+    let report_start = Instant::now();
+    {
+        let _span = trace::span("phase:report");
+        normalize(&mut hits);
+    }
+    m.phases.report_s += report_start.elapsed().as_secs_f64();
+    Ok(hits)
+}
+
+/// Drives a prepared search over an opened on-disk index — the
+/// counterpart of [`scan_genome`] that never touches FASTA or
+/// byte-per-base contigs. Each contig is read from the index in packed
+/// form (with its anchor bitmaps) and fed to
+/// [`PreparedSearch::scan_packed`].
+///
+/// With `shard_len = Some(n)`, each contig is streamed in shards of `n`
+/// window starts using the parallel deployment's partition geometry
+/// (shard slice `[start, start + n + site_len - 1)`, next start
+/// `start + n`): window starts partition exactly across shards, so hits
+/// and counters are identical to the unsharded pass while resident
+/// memory is bounded by one shard — the laptop path for a 3.2-Gbp
+/// reference. Contigs shorter than one site contribute nothing either
+/// way.
+///
+/// # Errors
+///
+/// Propagates [`PreparedSearch::scan_packed`] failures.
+pub fn scan_genome_indexed(
+    prepared: &dyn PreparedSearch,
+    index: &GenomeIndex,
+    shard_len: Option<usize>,
+    m: &mut SearchMetrics,
+) -> Result<Vec<Hit>, EngineError> {
+    let site_len = prepared.site_len();
+    let mut hits = Vec::new();
+    for ci in 0..index.contig_count() {
+        let contig_len = index.contig_len(ci);
+        let shard = shard_len.unwrap_or(contig_len).max(1);
+        // Every contig is scanned at least once — contigs shorter than a
+        // site yield no windows, but the engines still meter them (e.g.
+        // the register scan charges bit_steps per symbol delivered), and
+        // the serial FASTA driver feeds them through identically.
+        let mut start = 0usize;
+        loop {
+            let end = (start + shard + site_len - 1).min(contig_len);
+            let shard_start = Instant::now();
+            let before = hits.len();
+            {
+                let _span = trace::span_args("shard", ci as u64, (end - start) as u64);
+                let load_start = Instant::now();
+                let packed = index.contig_packed_range(ci, start, end - start);
+                let masks = index.contig_masks_range(ci, start, end - start);
+                m.phases.genome_load_s += load_start.elapsed().as_secs_f64();
+                prepared.scan_packed(&packed, &masks, &mut hits, m)?;
+            }
+            m.observe("chunk_scan_s", shard_start.elapsed().as_secs_f64());
+            trace::progress::add((end - start) as u64);
+            for hit in &mut hits[before..] {
+                hit.contig = ci as u32;
+                hit.pos += start as u64;
+            }
+            start += shard;
+            if start + site_len > contig_len {
+                break;
+            }
         }
     }
     m.counters.raw_hits += hits.len() as u64;

@@ -59,7 +59,7 @@ pub mod simd;
 
 pub use bitparallel::BitParallelEngine;
 pub use casot::CasotEngine;
-pub use engine::{scan_genome, Engine, PreparedSearch, ScalarEngine};
+pub use engine::{scan_genome, scan_genome_indexed, Engine, PreparedSearch, ScalarEngine};
 pub use error::{ChunkFailure, SearchError};
 
 /// Historic alias for [`SearchError`], kept for source compatibility:

@@ -146,6 +146,48 @@ impl PreparedSearch for CasOffinderPrepared {
         if seq.len() < self.site_len {
             return Ok(());
         }
+        self.scan_brute(seq, out, m)
+    }
+
+    fn scan_packed(
+        &self,
+        packed: &crispr_genome::PackedSeq,
+        masks: &crispr_genome::pamindex::BaseMasks,
+        out: &mut Vec<Hit>,
+        m: &mut SearchMetrics,
+    ) -> Result<(), EngineError> {
+        // Anchorable sets consume the index form directly; the brute
+        // path checks PAM classes on byte-per-base symbols and takes the
+        // unpack fallback.
+        if let Some(anchored) = &self.anchored {
+            let _kernel = crispr_trace::span("kernel:casoffinder");
+            anchored.scan_packed(packed, masks, self.k, out, m);
+            return Ok(());
+        }
+        let load_start = Instant::now();
+        let bases = packed.unpack();
+        m.phases.genome_load_s += load_start.elapsed().as_secs_f64();
+        self.scan_slice(bases.as_slice(), out, m)
+    }
+
+    fn record_gauges(&self, m: &mut SearchMetrics) {
+        m.counters.degraded_paths += self.degraded;
+        if let Some(anchored) = &self.anchored {
+            m.set_gauge("anchor_rate", anchored.rate());
+            m.set_gauge("simd_backend", anchored.backend().gauge());
+        }
+    }
+}
+
+impl CasOffinderPrepared {
+    /// The unfiltered per-window probe-then-verify scan of the original
+    /// tool; `scan_slice` dispatches here when no anchor pass applies.
+    fn scan_brute(
+        &self,
+        seq: &[Base],
+        out: &mut Vec<Hit>,
+        m: &mut SearchMetrics,
+    ) -> Result<(), EngineError> {
         let pack_start = Instant::now();
         let packed = PackedSeq::from_bases(seq);
         m.phases.genome_load_s += pack_start.elapsed().as_secs_f64();
@@ -178,14 +220,6 @@ impl PreparedSearch for CasOffinderPrepared {
         }
         m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
         Ok(())
-    }
-
-    fn record_gauges(&self, m: &mut SearchMetrics) {
-        m.counters.degraded_paths += self.degraded;
-        if let Some(anchored) = &self.anchored {
-            m.set_gauge("anchor_rate", anchored.rate());
-            m.set_gauge("simd_backend", anchored.backend().gauge());
-        }
     }
 }
 

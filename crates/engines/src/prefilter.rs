@@ -17,7 +17,7 @@
 
 use crate::engine::AnchorGroup;
 use crate::simd::{self, SimdBackend};
-use crispr_genome::pamindex::CandidateMask;
+use crispr_genome::pamindex::{BaseMasks, CandidateMask};
 use crispr_genome::{Base, PackedSeq, Strand};
 use crispr_guides::{Hit, SitePattern};
 use crispr_model::SearchMetrics;
@@ -207,6 +207,44 @@ impl AnchoredScan {
         m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
     }
 
+    /// The packed fast path of [`AnchoredScan::scan_slice`]: the slice
+    /// arrives already 2-bit packed with its per-base anchor bitmaps
+    /// (from an on-disk index), so both the packing pass *and* the
+    /// per-class mask derivation are skipped — the anchor intersection
+    /// runs straight off the stored bitmaps
+    /// ([`crispr_genome::pamindex::AnchorScanner::candidates_from`]).
+    /// Hits and counter events are identical to `scan_slice` on the
+    /// unpacked content.
+    pub fn scan_packed(
+        &self,
+        packed: &PackedSeq,
+        masks: &BaseMasks,
+        k: usize,
+        out: &mut Vec<Hit>,
+        m: &mut SearchMetrics,
+    ) {
+        if packed.len() < self.site_len {
+            return;
+        }
+        let scan_start = Instant::now();
+        m.counters.windows_scanned += (packed.len() + 1 - self.site_len) as u64;
+        let blocked = self.backend != SimdBackend::Scalar;
+        for (gi, (scanner, members)) in self.groups.iter().enumerate() {
+            let mask = if blocked {
+                scanner.candidates_from_blocked(masks, self.site_len)
+            } else {
+                scanner.candidates_from(masks, self.site_len)
+            };
+            match self.block_keys[gi] {
+                Some((offset, len)) if blocked => {
+                    self.scan_group_blocked(members, &mask, offset, len, packed, k, out, m);
+                }
+                _ => self.scan_group_scalar(members, &mask, packed, k, out, m),
+            }
+        }
+        m.phases.kernel_scan_s += scan_start.elapsed().as_secs_f64();
+    }
+
     /// The original one-candidate-at-a-time verify loop.
     fn scan_group_scalar(
         &self,
@@ -346,6 +384,30 @@ mod tests {
     fn pamless_patterns_do_not_build() {
         let pats = patterns(&[guide(Pam::none())]);
         assert!(AnchoredScan::build(&pats, pats[0].len(), SimdBackend::Scalar).is_none());
+    }
+
+    #[test]
+    fn packed_scan_matches_slice_scan_on_every_backend() {
+        let pats = patterns(&[guide(Pam::ngg())]);
+        let site_len = pats[0].len();
+        let text: crispr_genome::DnaSeq =
+            "TTTTGATTACAGATTACAGATTACTGGAAAAGATTACAGATTACAGATCACAGGCCACGTACGTAGG".parse().unwrap();
+        let packed = PackedSeq::from_bases(text.as_slice());
+        let masks = BaseMasks::build(&packed);
+        for backend in SimdBackend::ALL {
+            if !backend.available() {
+                continue;
+            }
+            let scan = AnchoredScan::build(&pats, site_len, backend).unwrap();
+            let mut slice_m = SearchMetrics::default();
+            let mut slice_hits = Vec::new();
+            scan.scan_slice(text.as_slice(), 2, &mut slice_hits, &mut slice_m);
+            let mut packed_m = SearchMetrics::default();
+            let mut packed_hits = Vec::new();
+            scan.scan_packed(&packed, &masks, 2, &mut packed_hits, &mut packed_m);
+            assert_eq!(packed_hits, slice_hits, "backend {}", backend.name());
+            assert_eq!(packed_m.counters, slice_m.counters, "backend {}", backend.name());
+        }
     }
 
     #[test]

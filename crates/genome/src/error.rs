@@ -26,6 +26,36 @@ pub enum GenomeError {
     DuplicateContig(String),
     /// An underlying I/O failure.
     Io(std::io::Error),
+    /// The file is not an off-target genome index (magic bytes differ).
+    IndexMagic,
+    /// The index was written by an incompatible format version.
+    IndexVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// The one version this build reads.
+        supported: u32,
+    },
+    /// The index file ends before the bytes its own header promises —
+    /// the signature of a truncated download or partial write.
+    IndexTruncated {
+        /// Bytes the header layout requires.
+        needed: u64,
+        /// Bytes actually present.
+        have: u64,
+    },
+    /// A stored checksum does not match the bytes it covers.
+    IndexChecksum {
+        /// Which checksum failed: a section name, or `"file"` for the
+        /// whole-file trailer.
+        section: &'static str,
+    },
+    /// The index is structurally inconsistent (checksums pass but the
+    /// decoded layout contradicts itself) — a writer bug, never expected
+    /// from bit rot.
+    IndexCorrupt {
+        /// What was inconsistent.
+        reason: String,
+    },
 }
 
 impl fmt::Display for GenomeError {
@@ -42,6 +72,21 @@ impl fmt::Display for GenomeError {
                 write!(f, "duplicate contig name {:?}", name)
             }
             GenomeError::Io(e) => write!(f, "i/o error: {}", e),
+            GenomeError::IndexMagic => {
+                write!(f, "not an offtarget genome index (magic bytes differ)")
+            }
+            GenomeError::IndexVersion { found, supported } => {
+                write!(f, "unsupported index version {} (this build reads {})", found, supported)
+            }
+            GenomeError::IndexTruncated { needed, have } => {
+                write!(f, "index truncated: header promises {} bytes, file has {}", needed, have)
+            }
+            GenomeError::IndexChecksum { section } => {
+                write!(f, "index checksum mismatch in section {:?}", section)
+            }
+            GenomeError::IndexCorrupt { reason } => {
+                write!(f, "corrupt index: {}", reason)
+            }
         }
     }
 }

@@ -177,6 +177,120 @@ impl QGramIndex {
     }
 }
 
+/// Largest `q` the dense table supports: `4^q + 1` offset slots must stay
+/// small next to the positions they index (q = 12 → 64 Mi slots).
+pub const DENSE_Q_MAX: usize = 12;
+
+/// A dense CSR (compressed sparse row) q-gram table: `offsets` has
+/// `4^q + 1` prefix-sum entries and `positions[offsets[c]..offsets[c+1]]`
+/// are the ascending occurrence positions of packed code `c`.
+///
+/// Same answers as [`QGramIndex`], different trade: O(1) array lookup
+/// with no hashing, and — the reason it exists — a layout that is two
+/// flat `u32` arrays, serializable to an on-disk genome index verbatim
+/// and reconstructible from it without rebuilding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DenseQGrams {
+    q: usize,
+    offsets: Vec<u32>,
+    positions: Vec<u32>,
+}
+
+impl DenseQGrams {
+    /// Builds the table over every window of `seq` in two counting
+    /// passes (count per code, prefix-sum, fill).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is 0 or greater than [`DENSE_Q_MAX`].
+    pub fn build(seq: &DnaSeq, q: usize) -> DenseQGrams {
+        DenseQGrams::build_from_bases(seq.as_slice(), q)
+    }
+
+    /// Builds the table over a borrowed base slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is 0 or greater than [`DENSE_Q_MAX`].
+    pub fn build_from_bases(seq: &[Base], q: usize) -> DenseQGrams {
+        assert!((1..=DENSE_Q_MAX).contains(&q), "q must be within 1..={DENSE_Q_MAX}");
+        let buckets = 1usize << (2 * q);
+        let mut offsets = vec![0u32; buckets + 1];
+        if seq.len() < q {
+            return DenseQGrams { q, offsets, positions: Vec::new() };
+        }
+        let mut roller = QGramRoller::new(q);
+        for (i, &base) in seq.iter().enumerate() {
+            let code = roller.push(base);
+            if i + 1 >= q {
+                offsets[code as usize + 1] += 1;
+            }
+        }
+        for i in 1..offsets.len() {
+            offsets[i] += offsets[i - 1];
+        }
+        let mut cursor: Vec<u32> = offsets[..buckets].to_vec();
+        let mut positions = vec![0u32; *offsets.last().expect("buckets + 1 > 0") as usize];
+        let mut roller = QGramRoller::new(q);
+        for (i, &base) in seq.iter().enumerate() {
+            let code = roller.push(base) as usize;
+            if i + 1 >= q {
+                positions[cursor[code] as usize] = (i + 1 - q) as u32;
+                cursor[code] += 1;
+            }
+        }
+        DenseQGrams { q, offsets, positions }
+    }
+
+    /// Reassembles a table from its two flat arrays — the
+    /// deserialization entry point. Returns `None` unless the CSR
+    /// invariants hold: `q` in range, `4^q + 1` offsets starting at 0,
+    /// monotone non-decreasing, and ending exactly at `positions.len()`.
+    pub fn from_raw_parts(q: usize, offsets: Vec<u32>, positions: Vec<u32>) -> Option<DenseQGrams> {
+        if !(1..=DENSE_Q_MAX).contains(&q) || offsets.len() != (1usize << (2 * q)) + 1 {
+            return None;
+        }
+        if offsets[0] != 0 || *offsets.last().expect("non-empty") as usize != positions.len() {
+            return None;
+        }
+        if offsets.windows(2).any(|w| w[0] > w[1]) {
+            return None;
+        }
+        Some(DenseQGrams { q, offsets, positions })
+    }
+
+    /// The q this table was built with.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Occurrence positions of a packed q-gram code, ascending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code >= 4^q`.
+    pub fn lookup(&self, code: u64) -> &[u32] {
+        let c = code as usize;
+        &self.positions[self.offsets[c] as usize..self.offsets[c + 1] as usize]
+    }
+
+    /// Number of distinct q-grams present.
+    pub fn distinct(&self) -> usize {
+        self.offsets.windows(2).filter(|w| w[0] < w[1]).count()
+    }
+
+    /// The raw prefix-sum array (`4^q + 1` entries) — the serialization
+    /// view.
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The raw position array — the serialization view.
+    pub fn positions(&self) -> &[u32] {
+        &self.positions
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -249,6 +363,52 @@ mod tests {
     #[should_panic(expected = "1..=32")]
     fn roller_rejects_oversized_q() {
         let _ = QGramRoller::new(33);
+    }
+
+    #[test]
+    fn dense_table_agrees_with_hash_index() {
+        let text = seq(&"GATTACAGGCCTAGGTACGT".repeat(7)); // 140 bases
+        for q in [1usize, 2, 5, 8] {
+            let dense = DenseQGrams::build(&text, q);
+            let hashed = QGramIndex::build(&text, q);
+            for code in 0..(1u64 << (2 * q)) {
+                assert_eq!(dense.lookup(code), hashed.lookup(code), "q={q} code={code}");
+            }
+            assert_eq!(dense.distinct(), hashed.distinct(), "q={q}");
+        }
+    }
+
+    #[test]
+    fn dense_table_handles_short_and_empty_sequences() {
+        for text in ["", "A", "AC"] {
+            let dense = DenseQGrams::build(&seq(text), 3);
+            assert_eq!(dense.positions().len(), 0, "text {text:?}");
+            assert_eq!(dense.distinct(), 0, "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn dense_raw_parts_round_trip_and_rejection() {
+        let built = DenseQGrams::build(&seq(&"ACGTGATTACA".repeat(9)), 4);
+        let again = DenseQGrams::from_raw_parts(
+            built.q(),
+            built.offsets().to_vec(),
+            built.positions().to_vec(),
+        )
+        .unwrap();
+        assert_eq!(again, built);
+        // Broken CSR invariants are rejected, not mis-read.
+        assert!(DenseQGrams::from_raw_parts(4, vec![0; 3], Vec::new()).is_none());
+        let mut bad = built.offsets().to_vec();
+        bad[1] = bad[1].wrapping_add(1_000_000);
+        assert!(DenseQGrams::from_raw_parts(4, bad, built.positions().to_vec()).is_none());
+        assert!(DenseQGrams::from_raw_parts(0, vec![0], Vec::new()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=12")]
+    fn dense_rejects_oversized_q() {
+        let _ = DenseQGrams::build(&seq("ACGT"), DENSE_Q_MAX + 1);
     }
 
     #[test]

@@ -12,7 +12,10 @@
 //!   slice yielding a bitmask of candidate site starts, shared by the CPU
 //!   engines as a skip-ahead, and [`kmer`] — q-gram indexing for
 //!   filtration-style engines.
-//! * [`fasta`] — a minimal FASTA reader/writer.
+//! * [`fasta`] — a minimal FASTA reader/writer, and [`diskindex`] — a
+//!   versioned, checksummed on-disk serialization of the packed bases,
+//!   anchor bitmaps, and q-gram tables that scans mmap instead of
+//!   re-deriving.
 //! * [`Genome`] — a set of named contigs with window iteration over both
 //!   strands.
 //! * [`synth`] — synthetic genome generation with controllable GC content,
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 mod base;
+pub mod diskindex;
 mod error;
 pub mod fasta;
 mod genome;

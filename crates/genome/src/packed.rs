@@ -56,6 +56,24 @@ impl PackedSeq {
         PackedSeq { words: Vec::with_capacity(capacity.div_ceil(BASES_PER_WORD)), len: 0 }
     }
 
+    /// Reassembles a packed sequence from raw 2-bit words — the
+    /// deserialization entry point. Lanes of the last word beyond `len`
+    /// are zeroed so equality and hashing stay canonical regardless of
+    /// what the source bytes carried there. Returns `None` when the word
+    /// count does not match `len` (a corrupt or mis-sliced payload).
+    pub fn from_raw_parts(mut words: Vec<u64>, len: usize) -> Option<PackedSeq> {
+        if words.len() != len.div_ceil(BASES_PER_WORD) {
+            return None;
+        }
+        let tail = len % BASES_PER_WORD;
+        if tail != 0 {
+            if let Some(last) = words.last_mut() {
+                *last &= (1u64 << (tail * 2)) - 1;
+            }
+        }
+        Some(PackedSeq { words, len })
+    }
+
     /// Number of bases stored.
     pub fn len(&self) -> usize {
         self.len

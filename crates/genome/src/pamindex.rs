@@ -27,7 +27,80 @@
 //! # Ok::<(), crispr_genome::GenomeError>(())
 //! ```
 
-use crate::{IupacCode, PackedSeq};
+use crate::{Base, IupacCode, PackedSeq};
+
+/// The four concrete-base position bitmaps of one sequence — the exact
+/// per-base masks [`PackedSeq::match_mask`] is built from, precomputed
+/// and stored so an on-disk index can hand them back without touching
+/// the packed bases. Any IUPAC class mask is the OR of its member base
+/// masks ([`BaseMasks::class_mask`]), bit for bit what `match_mask`
+/// would have produced, which is what lets an index-fed anchor pass
+/// yield byte-identical candidates to a FASTA-fed one.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaseMasks {
+    /// One bitmap per base in [`Base::ALL`] order; bit `p % 64` of word
+    /// `p / 64` is set iff position `p` holds that base.
+    masks: [Vec<u64>; 4],
+    len: usize,
+}
+
+impl BaseMasks {
+    /// Computes the four bitmaps of `packed` — one
+    /// [`PackedSeq::match_mask`] pass per concrete base.
+    pub fn build(packed: &PackedSeq) -> BaseMasks {
+        let masks = Base::ALL.map(|b| packed.match_mask(IupacCode::from_base(b)));
+        BaseMasks { masks, len: packed.len() }
+    }
+
+    /// Reassembles from raw bitmap words (A, C, G, T order) — the
+    /// deserialization entry point. Bits beyond `len` in each last word
+    /// are cleared so stored tail garbage cannot leak spurious anchor
+    /// matches. Returns `None` when any bitmap's word count does not
+    /// match `len`.
+    pub fn from_raw_parts(mut masks: [Vec<u64>; 4], len: usize) -> Option<BaseMasks> {
+        let words = len.div_ceil(64);
+        if masks.iter().any(|m| m.len() != words) {
+            return None;
+        }
+        if !len.is_multiple_of(64) {
+            for mask in &mut masks {
+                if let Some(last) = mask.last_mut() {
+                    *last &= (1u64 << (len % 64)) - 1;
+                }
+            }
+        }
+        Some(BaseMasks { masks, len })
+    }
+
+    /// Number of positions covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the masks cover an empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The position bitmap of one concrete base.
+    pub fn mask(&self, base: Base) -> &[u64] {
+        &self.masks[base.code() as usize]
+    }
+
+    /// The position bitmap of an IUPAC class: the OR of its member base
+    /// bitmaps, equal to [`PackedSeq::match_mask`] on the same sequence.
+    pub fn class_mask(&self, class: IupacCode) -> Vec<u64> {
+        let mut out = vec![0u64; self.len.div_ceil(64)];
+        for base in Base::ALL {
+            if class.matches(base) {
+                for (slot, &word) in out.iter_mut().zip(&self.masks[base.code() as usize]) {
+                    *slot |= word;
+                }
+            }
+        }
+        out
+    }
+}
 
 /// The selective anchor positions of one pattern class: `(site offset,
 /// accepted bases)` pairs that a window must satisfy to be a candidate.
@@ -85,14 +158,35 @@ impl AnchorScanner {
     /// Panics if `window < self.span()` (an anchor would fall outside the
     /// window).
     pub fn candidates(&self, packed: &PackedSeq, window: usize) -> CandidateMask {
+        self.intersect(packed.len(), window, |c| packed.match_mask(c))
+    }
+
+    /// [`AnchorScanner::candidates`] fed from precomputed per-base
+    /// bitmaps instead of the packed bases — the path an on-disk index
+    /// takes. Identical output: both passes intersect the same class
+    /// masks ([`BaseMasks::class_mask`] ≡ [`PackedSeq::match_mask`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < self.span()`.
+    pub fn candidates_from(&self, masks: &BaseMasks, window: usize) -> CandidateMask {
+        self.intersect(masks.len(), window, |c| masks.class_mask(c))
+    }
+
+    fn intersect(
+        &self,
+        len: usize,
+        window: usize,
+        mask_of: impl Fn(IupacCode) -> Vec<u64>,
+    ) -> CandidateMask {
         assert!(window >= self.span, "window {window} shorter than anchor span {}", self.span);
-        let limit = (packed.len() + 1).saturating_sub(window.max(1));
+        let limit = (len + 1).saturating_sub(window.max(1));
         let words = limit.div_ceil(64);
         if words == 0 {
             return CandidateMask { words: Vec::new(), limit: 0 };
         }
         let class_masks: Vec<(IupacCode, Vec<u64>)> =
-            self.classes.iter().map(|&c| (c, packed.match_mask(c))).collect();
+            self.classes.iter().map(|&c| (c, mask_of(c))).collect();
         let mut acc = vec![u64::MAX; words];
         for &(offset, class) in &self.pairs {
             let mask = &class_masks
@@ -117,14 +211,34 @@ impl AnchorScanner {
     /// operations; the fixed four-word block also hands vector units four
     /// independent 64-bit lanes per step with no cross-lane carries.
     pub fn candidates_blocked(&self, packed: &PackedSeq, window: usize) -> CandidateMask {
+        self.intersect_blocked(packed.len(), window, |c| packed.match_mask(c))
+    }
+
+    /// [`AnchorScanner::candidates_blocked`] fed from precomputed
+    /// per-base bitmaps — the index-backed counterpart, identical
+    /// output (see [`AnchorScanner::candidates_from`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window < self.span()`.
+    pub fn candidates_from_blocked(&self, masks: &BaseMasks, window: usize) -> CandidateMask {
+        self.intersect_blocked(masks.len(), window, |c| masks.class_mask(c))
+    }
+
+    fn intersect_blocked(
+        &self,
+        len: usize,
+        window: usize,
+        mask_of: impl Fn(IupacCode) -> Vec<u64>,
+    ) -> CandidateMask {
         assert!(window >= self.span, "window {window} shorter than anchor span {}", self.span);
-        let limit = (packed.len() + 1).saturating_sub(window.max(1));
+        let limit = (len + 1).saturating_sub(window.max(1));
         let words = limit.div_ceil(64);
         if words == 0 {
             return CandidateMask { words: Vec::new(), limit: 0 };
         }
         let class_masks: Vec<(IupacCode, Vec<u64>)> =
-            self.classes.iter().map(|&c| (c, packed.match_mask(c))).collect();
+            self.classes.iter().map(|&c| (c, mask_of(c))).collect();
         let mut acc = vec![u64::MAX; words];
         for block in (0..words).step_by(4) {
             let block_end = (block + 4).min(words);
@@ -344,6 +458,56 @@ mod tests {
     fn unanchorable_inputs_are_rejected() {
         assert!(AnchorScanner::new(Vec::new()).is_none());
         assert!(AnchorScanner::new(vec![(3, IupacCode::NONE)]).is_none());
+    }
+
+    #[test]
+    fn base_masks_reproduce_match_mask_and_candidates() {
+        let text = seq(&"GATTACAGGCCTAGGT".repeat(11)); // 176 bases
+        for len in [0usize, 1, 7, 63, 64, 65, 127, 128, 129, 176] {
+            let prefix = text.subseq(0..len);
+            let packed = PackedSeq::from_seq(&prefix);
+            let masks = BaseMasks::build(&packed);
+            assert_eq!(masks.len(), len);
+            for letter in *b"ACGTRYSWKMBDHVN" {
+                let class = IupacCode::from_ascii(letter).unwrap();
+                assert_eq!(
+                    masks.class_mask(class),
+                    packed.match_mask(class),
+                    "len {len} class {}",
+                    letter as char
+                );
+            }
+            if len >= 8 {
+                let scanner = AnchorScanner::new(vec![(5, class(b'G')), (6, class(b'G'))]).unwrap();
+                let direct: Vec<usize> = scanner.candidates(&packed, 8).iter().collect();
+                let from_masks: Vec<usize> = scanner.candidates_from(&masks, 8).iter().collect();
+                assert_eq!(from_masks, direct, "len {len}");
+                let from_masks_blocked: Vec<usize> =
+                    scanner.candidates_from_blocked(&masks, 8).iter().collect();
+                assert_eq!(from_masks_blocked, direct, "blocked, len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn base_masks_raw_parts_canonicalize_tail_bits() {
+        let packed = PackedSeq::from_seq(&seq(&"ACGT".repeat(10))); // 40 bases
+        let built = BaseMasks::build(&packed);
+        let mut raw = [
+            built.mask(Base::A).to_vec(),
+            built.mask(Base::C).to_vec(),
+            built.mask(Base::G).to_vec(),
+            built.mask(Base::T).to_vec(),
+        ];
+        // Pollute bits past position 40; round-trip must scrub them.
+        for mask in &mut raw {
+            *mask.last_mut().unwrap() |= !0u64 << 40;
+        }
+        let rebuilt = BaseMasks::from_raw_parts(raw, 40).unwrap();
+        assert_eq!(rebuilt, built);
+        // Wrong word count is rejected, not mis-read.
+        assert!(BaseMasks::from_raw_parts([vec![0; 2], vec![0; 1], vec![0; 1], vec![0; 1]], 40)
+            .is_none());
     }
 
     #[test]

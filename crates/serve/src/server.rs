@@ -8,6 +8,7 @@ use crispr_engines::{
     EngineError, NfaEngine, PreparedSearch, ScalarEngine, ScanDeployment, SearchError,
     DEFAULT_CHUNK_RETRIES,
 };
+use crispr_genome::diskindex::GenomeIndex;
 use crispr_genome::Genome;
 use crispr_guides::{io as guide_io, Guide, Hit};
 use crispr_model::json::escape;
@@ -94,10 +95,25 @@ impl Default for ServeConfig {
     }
 }
 
+/// How an index-booted daemon got its genome, for the provenance
+/// headers and `/metrics` series.
+#[derive(Debug, Clone, Copy)]
+struct IndexProvenance {
+    /// Whether the index bytes were memory-mapped (vs the buffered-read
+    /// fallback).
+    mmap: bool,
+    /// Seconds spent opening and validating the index file.
+    load_s: f64,
+    /// Seconds spent unpacking the indexed contigs into the resident
+    /// genome at boot.
+    unpack_s: f64,
+}
+
 /// Everything the accept loop and workers share.
 struct Shared {
     genome: Genome,
     contig_names: Vec<String>,
+    index: Option<IndexProvenance>,
     cfg: ServeConfig,
     cache: PreparedCache,
     /// Aggregate of every completed search's metrics, for `/metrics`.
@@ -126,6 +142,38 @@ impl Server {
     ///
     /// Socket errors from binding `cfg.addr`.
     pub fn start(genome: Genome, cfg: ServeConfig) -> io::Result<Server> {
+        Server::start_with(genome, None, cfg)
+    }
+
+    /// [`Server::start`] from an opened on-disk index: the genome is
+    /// materialized from the index's packed payloads once at boot (no
+    /// FASTA parse), and every `/search` response carries an
+    /// `X-Offtarget-Index: mmap|read` provenance header. `load_s` is how
+    /// long the caller's open+validate of the index took, surfaced on
+    /// `/metrics` as `offtarget_serve_index_load_seconds`.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from binding `cfg.addr`, plus `InvalidData` when
+    /// the index payloads fail to materialize.
+    pub fn start_indexed(index: &GenomeIndex, load_s: f64, cfg: ServeConfig) -> io::Result<Server> {
+        let unpack_start = Instant::now();
+        let genome = index
+            .to_genome()
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        let provenance = IndexProvenance {
+            mmap: index.mapped(),
+            load_s,
+            unpack_s: unpack_start.elapsed().as_secs_f64(),
+        };
+        Server::start_with(genome, Some(provenance), cfg)
+    }
+
+    fn start_with(
+        genome: Genome,
+        index: Option<IndexProvenance>,
+        cfg: ServeConfig,
+    ) -> io::Result<Server> {
         let listener = TcpListener::bind(&cfg.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
@@ -133,6 +181,7 @@ impl Server {
         let shared = Arc::new(Shared {
             genome,
             contig_names,
+            index,
             cache: PreparedCache::new(cfg.cache_capacity),
             cfg,
             metrics: Mutex::new(SearchMetrics::new("serve")),
@@ -381,6 +430,10 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
     let mut response = Response::new(if partial { 206 } else { 200 }, content_type, body)
         .header("X-Offtarget-Cache", if cache_hit { "hit" } else { "miss" })
         .header("X-Offtarget-Hits", hits.len().to_string());
+    if let Some(provenance) = &shared.index {
+        response =
+            response.header("X-Offtarget-Index", if provenance.mmap { "mmap" } else { "read" });
+    }
     if partial {
         response =
             response.header("X-Offtarget-Partial", format!("{}/{}", failures.len(), chunks_total));
@@ -491,6 +544,15 @@ fn handle_metrics(shared: &Shared) -> Response {
         // This request is itself in flight; report the others.
         shared.inflight.load(Ordering::Relaxed).saturating_sub(1).to_string(),
     );
+    if let Some(provenance) = &shared.index {
+        series(
+            "offtarget_serve_index_mmap",
+            "gauge",
+            if provenance.mmap { "1" } else { "0" }.to_string(),
+        );
+        series("offtarget_serve_index_load_seconds", "gauge", format!("{}", provenance.load_s));
+        series("offtarget_serve_index_unpack_seconds", "gauge", format!("{}", provenance.unpack_s));
+    }
     Response::new(200, "text/plain; version=0.0.4; charset=utf-8", text.into_bytes())
 }
 

@@ -39,6 +39,7 @@ fn main() -> ExitCode {
     let result = match command.as_str() {
         "synth" => cmd_synth(rest).map(|()| 0),
         "guides" => cmd_guides(rest).map(|()| 0),
+        "index" => cmd_index(rest).map(|()| 0),
         "search" => cmd_search(rest),
         "serve" => cmd_serve(rest).map(|()| 0),
         "anml" => cmd_anml(rest).map(|()| 0),
@@ -70,12 +71,15 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   offtarget synth  --len N [--seed S] [--gc F] [--contigs C] -o genome.fa
   offtarget guides --count N [--from-genome genome.fa] [--seed S] [--pam MOTIF[/5]] -o guides.txt
-  offtarget search --genome genome.fa --guides guides.txt [-k K]
+  offtarget index  --genome genome.fa -o genome.idx [--qgram Q]
+  offtarget search (--genome genome.fa | --index genome.idx [--shard N])
+                   --guides guides.txt [-k K]
                    [--platform NAME] [--threads T] [--format tsv|json]
                    [--metrics FILE|-] [--retries N]
                    [--trace FILE|-] [--prom FILE|-] [--progress]
                    [--inject 'site=kind[:prob[,seed[,times]]][;...]'] [-o hits]
-  offtarget serve  --genome genome.fa [--addr HOST:PORT] [--workers W]
+  offtarget serve  (--genome genome.fa | --index genome.idx)
+                   [--addr HOST:PORT] [--workers W]
                    [--scan-threads T] [--cache N] [--retries N]
                    [--platform NAME] [--allow-inject]
   offtarget anml   --guides guides.txt [-k K] [-o out.anml]
@@ -105,6 +109,14 @@ fault injection: --inject (or the OFFTARGET_INJECT environment variable)
 arms named failpoints; kinds are panic, error, delay<ms>. Known sites:
 parallel.chunk fasta.read guides.read prefilter.build multiseed.build
 
+index: `offtarget index` serializes the 2-bit packed bases, per-base
+anchor bitmaps, and q-gram seed tables into one versioned, checksummed
+file; `search --index` / `serve --index` memory-map it (falling back to
+a buffered read) and skip the FASTA parse and all per-run derivation.
+`--shard N` streams each contig in N-window shards to bound resident
+memory on references larger than RAM. `--qgram 0` omits the seed
+tables.
+
 exit codes: 0 success; 1 error; 2 usage; 3 partial results — some chunks
 failed every retry; the recovered hits and every requested sidecar
 (--metrics, --trace, --prom) are written before the process exits.";
@@ -115,13 +127,23 @@ type CliError = Box<dyn std::error::Error>;
 /// and `-k` map to `out` and `k`).
 const SYNTH_FLAGS: &[&str] = &["len", "seed", "gc", "contigs", "out"];
 const GUIDES_FLAGS: &[&str] = &["count", "from-genome", "seed", "pam", "out"];
+const INDEX_FLAGS: &[&str] = &["genome", "qgram", "out"];
 const SEARCH_FLAGS: &[&str] = &[
-    "genome", "guides", "k", "platform", "threads", "format", "metrics", "retries", "inject",
-    "trace", "prom", "progress", "out",
+    "genome", "index", "shard", "guides", "k", "platform", "threads", "format", "metrics",
+    "retries", "inject", "trace", "prom", "progress", "out",
 ];
 const ANML_FLAGS: &[&str] = &["guides", "k", "out"];
-const SERVE_FLAGS: &[&str] =
-    &["genome", "addr", "workers", "scan-threads", "cache", "retries", "platform", "allow-inject"];
+const SERVE_FLAGS: &[&str] = &[
+    "genome",
+    "index",
+    "addr",
+    "workers",
+    "scan-threads",
+    "cache",
+    "retries",
+    "platform",
+    "allow-inject",
+];
 
 /// Flags that take no value: present means enabled.
 const BOOLEAN_FLAGS: &[&str] = &["progress", "allow-inject"];
@@ -339,6 +361,39 @@ fn cmd_guides(args: &[String]) -> Result<(), CliError> {
     Ok(())
 }
 
+/// `offtarget index`: derives every per-genome table the engines need
+/// (packed bases, anchor bitmaps, q-gram seeds) once, and writes them as
+/// one checksummed file that later `search --index` runs memory-map.
+fn cmd_index(args: &[String]) -> Result<(), CliError> {
+    use crispr_offtarget::genome::diskindex::{GenomeIndex, DEFAULT_Q};
+    let flags = parse_flags(args, INDEX_FLAGS)?;
+    let (genome, degraded) = load_genome(get(&flags, "genome")?)?;
+    if degraded > 0 {
+        eprintln!("warning: lossy FASTA parse ({degraded} degradation events)");
+    }
+    let q = parse(&flags, "qgram", DEFAULT_Q)?;
+    if q != 0 && !(1..=crispr_offtarget::genome::kmer::DENSE_Q_MAX).contains(&q) {
+        return Err(format!(
+            "--qgram {q}: must be 0 (omit seed tables) or 1..={}",
+            crispr_offtarget::genome::kmer::DENSE_Q_MAX
+        )
+        .into());
+    }
+    let build_start = Instant::now();
+    let index = GenomeIndex::build(&genome, q)?;
+    let path = get(&flags, "out")?;
+    index.write_to(path)?;
+    eprintln!(
+        "indexed {} bases in {} contigs -> {} ({} bytes, q={q}) in {:.2}s",
+        genome.total_len(),
+        genome.contig_count(),
+        path,
+        index.as_bytes().len(),
+        build_start.elapsed().as_secs_f64()
+    );
+    Ok(())
+}
+
 fn parse_platform(name: &str) -> Result<Platform, CliError> {
     Platform::ALL.into_iter().find(|p| p.name() == name).ok_or_else(|| {
         let valid: Vec<&str> = Platform::ALL.iter().map(|p| p.name()).collect();
@@ -351,7 +406,6 @@ fn cmd_search(args: &[String]) -> Result<u8, CliError> {
     if let Some(spec) = flags.get("inject") {
         crispr_offtarget::failpoint::configure(spec).map_err(|e| format!("--inject: {e}"))?;
     }
-    let (genome, degraded_inputs) = load_genome(get(&flags, "genome")?)?;
     let guides = load_guides(get(&flags, "guides")?)?;
     let k = parse(&flags, "k", 3usize)?;
     let platform =
@@ -360,8 +414,39 @@ fn cmd_search(args: &[String]) -> Result<u8, CliError> {
     let retries = parse(&flags, "retries", crispr_offtarget::engines::DEFAULT_CHUNK_RETRIES)?;
     let format = flags.get("format").map(String::as_str).unwrap_or("tsv");
 
-    let contig_names: Vec<String> = genome.contigs().iter().map(|c| c.name().to_string()).collect();
-    let total_bases = genome.total_len() as u64;
+    // The reference comes from exactly one of --genome (FASTA parse) or
+    // --index (pre-derived tables, memory-mapped).
+    if flags.contains_key("genome") && flags.contains_key("index") {
+        return Err("--genome and --index are mutually exclusive".into());
+    }
+    if flags.contains_key("shard") && !flags.contains_key("index") {
+        return Err("--shard requires --index (the direct path scans whole contigs)".into());
+    }
+    let (search, contig_names, total_bases) = match flags.get("index") {
+        Some(path) => {
+            use crispr_offtarget::genome::diskindex::GenomeIndex;
+            let load_start = Instant::now();
+            let index = Arc::new(GenomeIndex::open(path)?);
+            let load_s = load_start.elapsed().as_secs_f64();
+            let shard = match flags.get("shard") {
+                Some(v) => Some(v.parse::<usize>().map_err(|e| format!("--shard {v:?}: {e}"))?),
+                None => None,
+            };
+            let names: Vec<String> =
+                (0..index.contig_count()).map(|ci| index.contig_name(ci).to_string()).collect();
+            let total = index.total_len() as u64;
+            let search = OffTargetSearch::from_index(index).shard(shard).index_load_seconds(load_s);
+            (search, names, total)
+        }
+        None => {
+            let (genome, degraded_inputs) =
+                load_genome(get(&flags, "genome").map_err(|_| "missing --genome (or --index)")?)?;
+            let names: Vec<String> =
+                genome.contigs().iter().map(|c| c.name().to_string()).collect();
+            let total = genome.total_len() as u64;
+            (OffTargetSearch::new(genome).input_degradations(degraded_inputs), names, total)
+        }
+    };
 
     // Observability surfaces around the search proper: the trace session
     // (events from every instrumented site, one track per thread) and
@@ -374,13 +459,12 @@ fn cmd_search(args: &[String]) -> Result<u8, CliError> {
     });
     let reporter = flags.get("progress").map(|_| ProgressReporter::start(total_bases));
 
-    let search_result = OffTargetSearch::new(genome)
+    let search_result = search
         .guides(guides.clone())
         .max_mismatches(k)
         .platform(platform)
         .threads(threads)
         .chunk_retries(retries)
-        .input_degradations(degraded_inputs)
         .run();
 
     if let Some(reporter) = reporter {
@@ -489,7 +573,9 @@ fn cmd_search(args: &[String]) -> Result<u8, CliError> {
 fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     use crispr_offtarget::serve::{engine_names, ServeConfig, Server};
     let flags = parse_flags(args, SERVE_FLAGS)?;
-    let (genome, _) = load_genome(get(&flags, "genome")?)?;
+    if flags.contains_key("genome") && flags.contains_key("index") {
+        return Err("--genome and --index are mutually exclusive".into());
+    }
     let mut cfg = ServeConfig::default();
     if let Some(addr) = flags.get("addr") {
         cfg.addr = addr.clone();
@@ -507,7 +593,19 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         }
         cfg.default_engine = engine.clone();
     }
-    let server = Server::start(genome, cfg.clone())?;
+    let server = match flags.get("index") {
+        Some(path) => {
+            use crispr_offtarget::genome::diskindex::GenomeIndex;
+            let load_start = Instant::now();
+            let index = GenomeIndex::open(path)?;
+            Server::start_indexed(&index, load_start.elapsed().as_secs_f64(), cfg.clone())?
+        }
+        None => {
+            let (genome, _) =
+                load_genome(get(&flags, "genome").map_err(|_| "missing --genome (or --index)")?)?;
+            Server::start(genome, cfg.clone())?
+        }
+    };
     eprintln!(
         "offtarget serve: listening on http://{} ({} workers, {} scan threads, engine {})",
         server.local_addr(),

@@ -121,3 +121,124 @@ fn anml_error_messages_name_the_line() {
     let err = anml::from_anml(text).unwrap_err();
     assert!(err.to_string().contains("line 1"), "{err}");
 }
+
+mod index_corruption {
+    //! The on-disk genome index loader against hostile bytes: every
+    //! rejection is a typed [`GenomeError`] index variant, never a panic,
+    //! never a silently-wrong accept.
+
+    use crispr_offtarget::genome::diskindex::{GenomeIndex, MAGIC, VERSION};
+    use crispr_offtarget::genome::synth::SynthSpec;
+    use crispr_offtarget::genome::GenomeError;
+    use proptest::prelude::*;
+
+    fn index_bytes() -> Vec<u8> {
+        let genome = SynthSpec::new(4_000).seed(991).contigs(2).generate();
+        GenomeIndex::build(&genome, 6).unwrap().as_bytes().to_vec()
+    }
+
+    fn is_typed_index_error(err: &GenomeError) -> bool {
+        matches!(
+            err,
+            GenomeError::IndexMagic
+                | GenomeError::IndexVersion { .. }
+                | GenomeError::IndexTruncated { .. }
+                | GenomeError::IndexChecksum { .. }
+                | GenomeError::IndexCorrupt { .. }
+        )
+    }
+
+    /// Every proper prefix of a valid index is rejected with a typed
+    /// error — truncation mid-header, mid-table, mid-payload, or one
+    /// byte short of the trailer.
+    #[test]
+    fn every_truncated_prefix_is_rejected_typed() {
+        let bytes = index_bytes();
+        assert!(GenomeIndex::from_bytes(bytes.clone()).is_ok());
+        for cut in 0..bytes.len() {
+            let err = GenomeIndex::from_bytes(bytes[..cut].to_vec())
+                .err()
+                .unwrap_or_else(|| panic!("prefix of {cut} bytes accepted"));
+            assert!(is_typed_index_error(&err), "cut {cut}: untyped error {err}");
+        }
+    }
+
+    /// Every single-bit flip anywhere in the file — header, section
+    /// table, payloads, pad bytes, trailer — is caught by a checksum or
+    /// a structural check.
+    #[test]
+    fn every_single_byte_flip_is_rejected_typed() {
+        let bytes = index_bytes();
+        for pos in 0..bytes.len() {
+            for bit in [0x01u8, 0x80] {
+                let mut mutated = bytes.clone();
+                mutated[pos] ^= bit;
+                let err = GenomeIndex::from_bytes(mutated)
+                    .err()
+                    .unwrap_or_else(|| panic!("flip at {pos} (bit {bit:#x}) accepted"));
+                assert!(is_typed_index_error(&err), "flip at {pos}: untyped error {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_magic_and_version_yield_their_specific_errors() {
+        let bytes = index_bytes();
+        let mut wrong_magic = bytes.clone();
+        wrong_magic[..8].copy_from_slice(b"NOTANIDX");
+        assert!(matches!(GenomeIndex::from_bytes(wrong_magic), Err(GenomeError::IndexMagic)));
+        let mut future_version = bytes.clone();
+        future_version[8..12].copy_from_slice(&(VERSION + 1).to_le_bytes());
+        match GenomeIndex::from_bytes(future_version) {
+            Err(GenomeError::IndexVersion { found, supported }) => {
+                assert_eq!(found, VERSION + 1);
+                assert_eq!(supported, VERSION);
+            }
+            other => panic!("expected IndexVersion, got {other:?}"),
+        }
+        // Magic is checked before anything else: a wrong-magic file with
+        // a also-wrong version reports the magic problem.
+        let mut both = bytes;
+        both[..8].copy_from_slice(&[0u8; 8]);
+        both[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(GenomeIndex::from_bytes(both), Err(GenomeError::IndexMagic)));
+        assert_eq!(MAGIC, *b"CRISPRIX");
+    }
+
+    #[test]
+    fn payload_tampering_reports_a_checksum_mismatch() {
+        let bytes = index_bytes();
+        // Flip a byte well inside the payload region (past header and
+        // section table) — the whole-file checksum must catch it.
+        let mut mutated = bytes.clone();
+        let pos = bytes.len() / 2;
+        mutated[pos] ^= 0x10;
+        assert!(matches!(GenomeIndex::from_bytes(mutated), Err(GenomeError::IndexChecksum { .. })));
+        // Zero-extending the file is not a valid index either.
+        let mut padded = bytes;
+        padded.extend_from_slice(&[0u8; 16]);
+        let err = GenomeIndex::from_bytes(padded).unwrap_err();
+        assert!(is_typed_index_error(&err), "{err}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Arbitrary bytes never panic the loader.
+        #[test]
+        fn arbitrary_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+            let _ = GenomeIndex::from_bytes(bytes);
+        }
+
+        /// Arbitrary bytes stuffed behind a valid header/magic never
+        /// panic either — the structured-garbage case.
+        #[test]
+        fn magic_plus_garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..600)) {
+            let mut file = Vec::with_capacity(12 + bytes.len());
+            file.extend_from_slice(&MAGIC);
+            file.extend_from_slice(&VERSION.to_le_bytes());
+            file.extend_from_slice(&bytes);
+            let _ = GenomeIndex::from_bytes(file);
+        }
+    }
+}

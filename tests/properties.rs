@@ -382,3 +382,136 @@ proptest! {
         }
     }
 }
+
+mod index_roundtrips {
+    //! Serialize → deserialize identity for every payload the on-disk
+    //! genome index carries, on arbitrary genomes — empty contigs,
+    //! single-base contigs, and word-boundary lengths included.
+
+    use super::dna_seq;
+    use crispr_offtarget::genome::diskindex::GenomeIndex;
+    use crispr_offtarget::genome::kmer::{DenseQGrams, QGramIndex};
+    use crispr_offtarget::genome::pamindex::BaseMasks;
+    use crispr_offtarget::genome::{DnaSeq, Genome, IupacCode, PackedSeq};
+    use proptest::prelude::*;
+
+    fn genome(contigs: std::ops::Range<usize>) -> impl Strategy<Value = Genome> {
+        prop::collection::vec(dna_seq(0..80), contigs).prop_map(|seqs| {
+            let mut genome = Genome::new();
+            for (i, seq) in seqs.into_iter().enumerate() {
+                genome.add_contig(format!("c{i}"), seq).unwrap();
+            }
+            genome
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// PackedSeq words survive the raw-parts round trip, whatever
+        /// garbage sits in the tail bits before canonicalization.
+        #[test]
+        fn packed_raw_parts_round_trip(seq in dna_seq(0..130), garbage in any::<u64>()) {
+            let packed = PackedSeq::from_seq(&seq);
+            let mut words = packed.words().to_vec();
+            let rebuilt = PackedSeq::from_raw_parts(words.clone(), seq.len()).unwrap();
+            prop_assert_eq!(&rebuilt, &packed);
+            prop_assert_eq!(rebuilt.unpack(), seq.clone());
+            // Dirty bits above the last valid base are scrubbed, not
+            // trusted.
+            let tail = seq.len() % 32;
+            if tail != 0 {
+                if let Some(last) = words.last_mut() {
+                    *last |= garbage << (2 * tail);
+                }
+            }
+            let scrubbed = PackedSeq::from_raw_parts(words, seq.len()).unwrap();
+            prop_assert_eq!(scrubbed.unpack(), seq.clone());
+            // A word-count mismatch is a rejection, not a guess.
+            prop_assert!(PackedSeq::from_raw_parts(vec![0; seq.len() / 32 + 2], seq.len()).is_none());
+        }
+
+        /// Per-base anchor bitmaps reproduce `match_mask` for every
+        /// IUPAC class after a raw-parts round trip.
+        #[test]
+        fn base_masks_round_trip_and_agree(seq in dna_seq(0..130)) {
+            let packed = PackedSeq::from_seq(&seq);
+            let masks = BaseMasks::build(&packed);
+            let rebuilt = BaseMasks::from_raw_parts(
+                [
+                    masks.mask(crispr_offtarget::genome::Base::A).to_vec(),
+                    masks.mask(crispr_offtarget::genome::Base::C).to_vec(),
+                    masks.mask(crispr_offtarget::genome::Base::G).to_vec(),
+                    masks.mask(crispr_offtarget::genome::Base::T).to_vec(),
+                ],
+                masks.len(),
+            )
+            .unwrap();
+            prop_assert_eq!(&rebuilt, &masks);
+            for letter in b"ACGTRYSWKMBDHVN" {
+                let class = IupacCode::from_ascii(*letter).unwrap();
+                prop_assert_eq!(rebuilt.class_mask(class), packed.match_mask(class));
+            }
+        }
+
+        /// The dense CSR q-gram table round-trips and agrees with the
+        /// hash-based index bucket for bucket.
+        #[test]
+        fn dense_qgrams_round_trip_and_agree(seq in dna_seq(0..100), q in 1usize..5) {
+            let dense = DenseQGrams::build(&seq, q);
+            let rebuilt = DenseQGrams::from_raw_parts(
+                q,
+                dense.offsets().to_vec(),
+                dense.positions().to_vec(),
+            )
+            .unwrap();
+            prop_assert_eq!(&rebuilt, &dense);
+            let hashed = QGramIndex::build(&seq, q);
+            for code in 0..(1u64 << (2 * q)) {
+                prop_assert_eq!(rebuilt.lookup(code), hashed.lookup(code), "code {}", code);
+            }
+        }
+
+        /// The whole index file round-trips: contig payloads, ranged
+        /// reads, q-gram tables, and the materialized genome all match
+        /// what was serialized — including empty and one-base contigs.
+        #[test]
+        fn genome_index_round_trip(genome in genome(1..4), q in 1usize..4) {
+            let index = GenomeIndex::build(&genome, q).unwrap();
+            let reread = GenomeIndex::from_bytes(index.as_bytes().to_vec()).unwrap();
+            prop_assert_eq!(reread.contig_count(), genome.contig_count());
+            prop_assert_eq!(reread.total_len(), genome.total_len());
+            prop_assert_eq!(reread.q(), Some(q));
+            for (ci, contig) in genome.contigs().iter().enumerate() {
+                prop_assert_eq!(reread.contig_name(ci), contig.name());
+                let packed = PackedSeq::from_seq(contig.seq());
+                prop_assert_eq!(&reread.contig_packed(ci), &packed);
+                prop_assert_eq!(&reread.contig_masks(ci), &BaseMasks::build(&packed));
+                let qgrams = reread.contig_qgrams(ci).unwrap();
+                if contig.len() >= q {
+                    prop_assert_eq!(qgrams, Some(DenseQGrams::build(contig.seq(), q)));
+                } else {
+                    prop_assert!(qgrams.is_none() || qgrams == Some(DenseQGrams::build(contig.seq(), q)));
+                }
+            }
+            prop_assert_eq!(&reread.to_genome().unwrap(), &genome);
+        }
+
+        /// Ranged reads out of the index equal slices of the rebuilt
+        /// whole-contig payloads at arbitrary offsets.
+        #[test]
+        fn ranged_reads_equal_slices(seq in dna_seq(1..200), start in 0usize..200, len in 0usize..200) {
+            let start = start % seq.len();
+            let len = len.min(seq.len() - start);
+            let mut genome = Genome::new();
+            genome.add_contig("c", seq.clone()).unwrap();
+            let index = GenomeIndex::build(&genome, 0).unwrap();
+            let window: DnaSeq = seq.subseq(start..start + len);
+            let expect = PackedSeq::from_seq(&window);
+            prop_assert_eq!(&index.contig_packed_range(0, start, len), &expect);
+            prop_assert_eq!(&index.contig_masks_range(0, start, len), &BaseMasks::build(&expect));
+            prop_assert_eq!(index.q(), None);
+            prop_assert!(index.contig_qgrams(0).unwrap().is_none());
+        }
+    }
+}
