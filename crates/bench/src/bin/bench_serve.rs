@@ -20,6 +20,15 @@
 //! far below cold ones; if the cache silently stops hitting, the ratio
 //! snaps toward 1.0 and the gate trips.
 //!
+//! A third **overload** profile drives a burst of one-shot clients far
+//! past a deliberately tiny admission queue (slow workers via the
+//! `serve.worker` delay failpoint) and reports `shed_fraction` — the
+//! share of the burst answered `503` at the door — plus the p99 of the
+//! requests that were admitted. The gate on this profile is likewise
+//! machine-independent: under a 4×-capacity burst some requests must
+//! shed and some must serve (`0 < shed_fraction < 1`); a daemon that
+//! stalls the whole burst or sheds all of it fails outright.
+//!
 //! Usage:
 //!
 //! * `bench_serve` — print fresh JSON to stdout (redirect to
@@ -51,11 +60,25 @@ const ENGINE: &str = "cpu-dfa";
 /// Concurrent client threads, and requests each issues per profile.
 const CLIENTS: usize = 4;
 const REQUESTS_PER_CLIENT: usize = 8;
+/// Overload profile shape: a one-shot burst far past the admission
+/// queue (2 workers + 2 queue slots = 4 admittable; 32 arrivals).
+const OVERLOAD_CLIENTS: usize = 32;
+const OVERLOAD_WORKERS: usize = 2;
+const OVERLOAD_QUEUE: usize = 2;
 
 struct Profile {
     p50_ms: f64,
     p99_ms: f64,
     qps: f64,
+}
+
+struct OverloadProfile {
+    /// Share of the burst shed with `503` at admission.
+    shed_fraction: f64,
+    /// p99 latency of the requests that *were* admitted and served.
+    p99_ms: f64,
+    served: usize,
+    shed: usize,
 }
 
 fn guide_set(seed: u64) -> Vec<u8> {
@@ -152,7 +175,69 @@ fn measure() -> (Profile, Profile) {
     (cold, warm)
 }
 
-fn render(cold: &Profile, warm: &Profile) -> String {
+/// Boots a deliberately under-provisioned daemon, bursts
+/// `OVERLOAD_CLIENTS` one-shot requests at it, and splits the outcomes
+/// into served (200) and shed (503).
+fn measure_overload() -> OverloadProfile {
+    let genome = SynthSpec::new(GENOME_LEN).seed(SEED).contigs(2).generate();
+    let cfg = ServeConfig {
+        workers: OVERLOAD_WORKERS,
+        queue_depth: Some(OVERLOAD_QUEUE),
+        default_engine: ENGINE.to_string(),
+        ..ServeConfig::default()
+    };
+    let server = Server::start(genome, cfg).expect("start server");
+    let addr = server.local_addr();
+
+    // Warm the cache first so admitted-request latency measures
+    // queueing, not a fresh DFA compile per request.
+    let shared = guide_set(SEED);
+    assert_eq!(post_search(addr, &shared), 200, "warm-up request");
+
+    // Slow every dequeue so the burst outruns the pool: without the
+    // stall, local workers drain a 120 kb scan faster than 32 loopback
+    // connects arrive and nothing sheds.
+    let scenario = crispr_failpoint::FailScenario::setup("serve.worker=delay40");
+    let outcomes: Vec<(u16, f64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..OVERLOAD_CLIENTS)
+            .map(|_| {
+                let body = shared.clone();
+                scope.spawn(move || {
+                    let start = Instant::now();
+                    let status = post_search(addr, &body);
+                    (status, start.elapsed().as_secs_f64() * 1e3)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("client thread")).collect()
+    });
+    drop(scenario);
+    server.shutdown();
+    server.join();
+
+    let mut served_ms: Vec<f64> = Vec::new();
+    let mut shed = 0usize;
+    for (status, ms) in outcomes {
+        match status {
+            200 => served_ms.push(ms),
+            503 => shed += 1,
+            other => panic!("overload burst must answer 200 or 503, got {other}"),
+        }
+    }
+    served_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let p99_ms = match served_ms.len() {
+        0 => 0.0,
+        n => served_ms[((n - 1) as f64 * 0.99) as usize],
+    };
+    OverloadProfile {
+        shed_fraction: shed as f64 / OVERLOAD_CLIENTS as f64,
+        p99_ms,
+        served: served_ms.len(),
+        shed,
+    }
+}
+
+fn render(cold: &Profile, warm: &Profile, overload: &OverloadProfile) -> String {
     let mut out = String::from("{\n");
     out.push_str(&format!(
         "  \"workload\": {{\"genome_bases\": {GENOME_LEN}, \"guides\": {GUIDES}, \"k\": {K}, \
@@ -165,12 +250,23 @@ fn render(cold: &Profile, warm: &Profile) -> String {
             p.p50_ms, p.p99_ms, p.qps
         ));
     }
+    out.push_str(&format!(
+        "  \"overload\": {{\"clients\": {OVERLOAD_CLIENTS}, \"workers\": {OVERLOAD_WORKERS}, \
+         \"queue_depth\": {OVERLOAD_QUEUE}, \"shed_fraction\": {:.4}, \"served\": {}, \
+         \"shed\": {}, \"p99_ms\": {:.3}}},\n",
+        overload.shed_fraction, overload.served, overload.shed, overload.p99_ms
+    ));
     out.push_str(&format!("  \"warm_over_cold_p50\": {:.4}\n", warm.p50_ms / cold.p50_ms));
     out.push_str("}\n");
     out
 }
 
-fn check(cold: &Profile, warm: &Profile, baseline_path: &str) -> Result<(), String> {
+fn check(
+    cold: &Profile,
+    warm: &Profile,
+    overload: &OverloadProfile,
+    baseline_path: &str,
+) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read {baseline_path}: {e}"))?;
     let baseline = json::parse(&text).map_err(|e| format!("{baseline_path}: {e}"))?;
@@ -178,12 +274,21 @@ fn check(cold: &Profile, warm: &Profile, baseline_path: &str) -> Result<(), Stri
         .get("warm_over_cold_p50")
         .and_then(|v| v.as_f64())
         .ok_or("baseline has no \"warm_over_cold_p50\" member")?;
+    baseline
+        .get("overload")
+        .and_then(|o| o.get("shed_fraction"))
+        .and_then(|v| v.as_f64())
+        .ok_or("baseline has no \"overload\".\"shed_fraction\" member")?;
     let now = warm.p50_ms / cold.p50_ms;
     println!(
         "  cold p50 {:.3}ms p99 {:.3}ms {:.1} q/s; warm p50 {:.3}ms p99 {:.3}ms {:.1} q/s",
         cold.p50_ms, cold.p99_ms, cold.qps, warm.p50_ms, warm.p99_ms, warm.qps
     );
     println!("  warm_over_cold_p50: {now:.4} vs baseline {was:.4}");
+    println!(
+        "  overload: {}/{} served, {} shed (shed_fraction {:.4}), served p99 {:.3}ms",
+        overload.served, OVERLOAD_CLIENTS, overload.shed, overload.shed_fraction, overload.p99_ms
+    );
     // Two gates: the cache must still beat a cold compile outright, and
     // the ratio must not have drifted far past the committed baseline.
     if now >= 1.0 {
@@ -199,6 +304,20 @@ fn check(cold: &Profile, warm: &Profile, baseline_path: &str) -> Result<(), Stri
             TOLERANCE * 100.0
         ));
     }
+    // The overload gate is structural, not a latency comparison: a
+    // 4×-capacity burst against slowed workers must shed *some* of the
+    // burst (admission control alive) and serve *some* of it
+    // (backpressure is not a full outage) — on any machine.
+    if overload.shed == 0 {
+        return Err(format!(
+            "overload burst shed nothing ({}/{} served): admission control is not bounding \
+             the queue",
+            overload.served, OVERLOAD_CLIENTS
+        ));
+    }
+    if overload.served == 0 {
+        return Err("overload burst served nothing: shedding has become a full outage".into());
+    }
     Ok(())
 }
 
@@ -206,20 +325,21 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let start = Instant::now();
     let (cold, warm) = measure();
+    let overload = measure_overload();
     eprintln!(
         "drove {} requests in {:.1}s",
-        2 * CLIENTS * REQUESTS_PER_CLIENT + 1,
+        2 * CLIENTS * REQUESTS_PER_CLIENT + 1 + OVERLOAD_CLIENTS + 1,
         start.elapsed().as_secs_f64()
     );
     match args.as_slice() {
-        [] => print!("{}", render(&cold, &warm)),
+        [] => print!("{}", render(&cold, &warm, &overload)),
         [flag, path] if flag == "--check" => {
-            if let Err(msg) = check(&cold, &warm, path) {
+            if let Err(msg) = check(&cold, &warm, &overload, path) {
                 eprintln!("bench-serve: {msg}");
                 std::process::exit(1);
             }
             println!(
-                "bench-serve: cache effect holds, within {:.0}% of baseline",
+                "bench-serve: cache effect holds and overload sheds cleanly, within {:.0}% of baseline",
                 TOLERANCE * 100.0
             );
         }

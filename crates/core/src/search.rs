@@ -1,7 +1,7 @@
 use crate::{Platform, SearchReport};
 use crispr_engines::{
-    BitParallelEngine, CasOffinderCpuEngine, CasotEngine, DfaEngine, Engine, EngineError,
-    NfaEngine, ParallelEngine, ScalarEngine, SearchError,
+    BitParallelEngine, CancelToken, CasOffinderCpuEngine, CasotEngine, DfaEngine, Engine,
+    EngineError, NfaEngine, ParallelEngine, ScalarEngine, SearchError,
 };
 use crispr_genome::diskindex::GenomeIndex;
 use crispr_genome::Genome;
@@ -33,6 +33,7 @@ pub struct OffTargetSearch {
     input_degradations: u64,
     shard: Option<usize>,
     index_load_s: f64,
+    cancel: CancelToken,
 }
 
 impl OffTargetSearch {
@@ -49,6 +50,7 @@ impl OffTargetSearch {
             input_degradations: 0,
             shard: None,
             index_load_s: 0.0,
+            cancel: CancelToken::none(),
         }
     }
 
@@ -69,6 +71,7 @@ impl OffTargetSearch {
             input_degradations: 0,
             shard: None,
             index_load_s: 0.0,
+            cancel: CancelToken::none(),
         }
     }
 
@@ -142,6 +145,25 @@ impl OffTargetSearch {
         self
     }
 
+    /// Arms a cooperative [`CancelToken`] for the run: CPU platforms poll
+    /// it at every chunk/contig/shard boundary, so a manual trip or an
+    /// expired deadline stops the scan within one chunk-scan and
+    /// surfaces as [`SearchError::Cancelled`] /
+    /// [`SearchError::DeadlineExceeded`] carrying the hits recovered
+    /// from completed chunks. The modeled accelerators check only
+    /// between phases (their kernels are closed-form models).
+    pub fn cancel_token(mut self, cancel: CancelToken) -> OffTargetSearch {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Shorthand for [`OffTargetSearch::cancel_token`] with a
+    /// deadline-armed token: the run is cancelled once `timeout` has
+    /// elapsed from this call.
+    pub fn deadline(self, timeout: std::time::Duration) -> OffTargetSearch {
+        self.cancel_token(CancelToken::with_deadline(timeout))
+    }
+
     /// Executes the search.
     ///
     /// A multi-threaded run in which some chunks failed every retry still
@@ -157,6 +179,13 @@ impl OffTargetSearch {
     /// Guide-validation, compilation, or platform-capacity errors from the
     /// selected backend.
     pub fn run(&self) -> Result<SearchReport, EngineError> {
+        // A token already tripped when the run starts (deadline in the
+        // past, client gone) fails fast before any compile or unpack
+        // work — this is also the only cancellation point the modeled
+        // accelerators get, since their kernels are closed-form models.
+        if let Err(kind) = self.cancel.check() {
+            return Err(SearchError::from_cancel(kind, Vec::new(), 0, 0));
+        }
         // Modeled accelerators consume a byte-per-base genome; an indexed
         // run materializes it here (once) and charges the unpack below.
         let modeled_genome =
@@ -273,7 +302,7 @@ impl OffTargetSearch {
             metrics.phases.genome_load_s += unpack_s;
             let result = ParallelEngine::new(engine, self.threads)
                 .with_retry_limit(self.chunk_retries)
-                .search_metered(&genome, &self.guides, self.k, &mut metrics);
+                .search_cancellable(&genome, &self.guides, self.k, &self.cancel, &mut metrics);
             match result {
                 Ok(hits) => Ok((hits, metrics, None)),
                 Err(SearchError::Partial { failures, chunks_total, hits }) => {
@@ -283,14 +312,19 @@ impl OffTargetSearch {
             }
         } else {
             let hits = match &self.source {
-                GenomeSource::Direct(genome) => {
-                    engine.search_metered(genome, &self.guides, self.k, &mut metrics)?
-                }
-                GenomeSource::Index(index) => engine.search_metered_indexed(
+                GenomeSource::Direct(genome) => engine.search_cancellable(
+                    genome,
+                    &self.guides,
+                    self.k,
+                    &self.cancel,
+                    &mut metrics,
+                )?,
+                GenomeSource::Index(index) => engine.search_indexed_cancellable(
                     index,
                     self.shard,
                     &self.guides,
                     self.k,
+                    &self.cancel,
                     &mut metrics,
                 )?,
             };

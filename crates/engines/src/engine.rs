@@ -1,4 +1,4 @@
-use crate::EngineError;
+use crate::{CancelToken, EngineError, SearchError};
 use crispr_genome::diskindex::GenomeIndex;
 use crispr_genome::pamindex::{AnchorScanner, BaseMasks};
 use crispr_genome::{Base, Genome, IupacCode, PackedSeq, Strand};
@@ -123,6 +123,28 @@ pub trait Engine {
         k: usize,
         metrics: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        self.search_cancellable(genome, guides, k, &CancelToken::none(), metrics)
+    }
+
+    /// [`Engine::search_metered`] with a cooperative [`CancelToken`]: the
+    /// token is polled at every contig boundary, so a manual trip or an
+    /// expired deadline stops the scan within one contig-scan and
+    /// surfaces as [`SearchError::Cancelled`] /
+    /// [`SearchError::DeadlineExceeded`] carrying the hits recovered from
+    /// the contigs already scanned.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::search_metered`], plus the cancellation
+    /// variants.
+    fn search_cancellable(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+        cancel: &CancelToken,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
         // Fault fires are metered as a delta over the whole search so
         // prepare-time degradations count too. (The parallel deployment
         // overrides this method and meters its own delta.)
@@ -135,7 +157,7 @@ pub trait Engine {
         };
         metrics.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
         prepared.record_gauges(metrics);
-        let result = scan_genome(prepared.as_ref(), genome, metrics);
+        let result = scan_genome_cancellable(prepared.as_ref(), genome, cancel, metrics);
         metrics.counters.faults_injected += crispr_failpoint::fired_total() - faults_before;
         result
     }
@@ -157,6 +179,26 @@ pub trait Engine {
         k: usize,
         metrics: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
+        self.search_indexed_cancellable(index, shard_len, guides, k, &CancelToken::none(), metrics)
+    }
+
+    /// [`Engine::search_metered_indexed`] with a cooperative
+    /// [`CancelToken`], polled at every shard boundary — the indexed
+    /// counterpart of [`Engine::search_cancellable`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Engine::search_metered_indexed`], plus the cancellation
+    /// variants.
+    fn search_indexed_cancellable(
+        &self,
+        index: &GenomeIndex,
+        shard_len: Option<usize>,
+        guides: &[Guide],
+        k: usize,
+        cancel: &CancelToken,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
         let faults_before = crispr_failpoint::fired_total();
         metrics.engine = self.name().to_string();
         let compile_start = Instant::now();
@@ -166,7 +208,8 @@ pub trait Engine {
         };
         metrics.phases.guide_compile_s += compile_start.elapsed().as_secs_f64();
         prepared.record_gauges(metrics);
-        let result = scan_genome_indexed(prepared.as_ref(), index, shard_len, metrics);
+        let result =
+            scan_genome_indexed_cancellable(prepared.as_ref(), index, shard_len, cancel, metrics);
         metrics.counters.faults_injected += crispr_failpoint::fired_total() - faults_before;
         result
     }
@@ -184,8 +227,49 @@ pub fn scan_genome(
     genome: &Genome,
     m: &mut SearchMetrics,
 ) -> Result<Vec<Hit>, EngineError> {
+    scan_genome_cancellable(prepared, genome, &CancelToken::none(), m)
+}
+
+/// Finalizes a run stopped by a tripped token: the completed chunks keep
+/// their exact counters (same merge discipline as a clean run — the PR 4
+/// identity), the recovered hits are normalized, and the result is the
+/// typed cancellation error.
+fn finish_cancelled(
+    kind: crate::CancelKind,
+    mut hits: Vec<Hit>,
+    chunks_scanned: u64,
+    chunks_total: u64,
+    m: &mut SearchMetrics,
+) -> EngineError {
+    m.counters.raw_hits += hits.len() as u64;
+    m.finalize_derived_gauges();
+    let report_start = Instant::now();
+    normalize(&mut hits);
+    m.phases.report_s += report_start.elapsed().as_secs_f64();
+    SearchError::from_cancel(kind, hits, chunks_scanned, chunks_total)
+}
+
+/// [`scan_genome`] with a cooperative [`CancelToken`], polled once per
+/// contig (one relaxed load; see `cancel.rs` for why checks sit at chunk
+/// boundaries). On a trip, the hits recovered from fully-scanned contigs
+/// are normalized and returned inside the typed cancellation error.
+///
+/// # Errors
+///
+/// Propagates [`PreparedSearch::scan_slice`] failures, plus
+/// [`SearchError::Cancelled`] / [`SearchError::DeadlineExceeded`].
+pub fn scan_genome_cancellable(
+    prepared: &dyn PreparedSearch,
+    genome: &Genome,
+    cancel: &CancelToken,
+    m: &mut SearchMetrics,
+) -> Result<Vec<Hit>, EngineError> {
+    let chunks_total = genome.contigs().len() as u64;
     let mut hits = Vec::new();
     for (ci, contig) in genome.contigs().iter().enumerate() {
+        if let Err(kind) = cancel.check() {
+            return Err(finish_cancelled(kind, hits, ci as u64, chunks_total, m));
+        }
         let before = hits.len();
         let contig_start = Instant::now();
         {
@@ -236,7 +320,41 @@ pub fn scan_genome_indexed(
     shard_len: Option<usize>,
     m: &mut SearchMetrics,
 ) -> Result<Vec<Hit>, EngineError> {
+    scan_genome_indexed_cancellable(prepared, index, shard_len, &CancelToken::none(), m)
+}
+
+/// [`scan_genome_indexed`] with a cooperative [`CancelToken`], polled
+/// once per shard — the indexed counterpart of
+/// [`scan_genome_cancellable`].
+///
+/// # Errors
+///
+/// Propagates [`PreparedSearch::scan_packed`] failures, plus
+/// [`SearchError::Cancelled`] / [`SearchError::DeadlineExceeded`].
+pub fn scan_genome_indexed_cancellable(
+    prepared: &dyn PreparedSearch,
+    index: &GenomeIndex,
+    shard_len: Option<usize>,
+    cancel: &CancelToken,
+    m: &mut SearchMetrics,
+) -> Result<Vec<Hit>, EngineError> {
     let site_len = prepared.site_len();
+    // Total shard count across contigs, so a cancelled run can report
+    // progress. Mirrors the loop below: every contig contributes at
+    // least one shard, plus one per further `shard` step that still
+    // leaves room for a full site.
+    let chunks_total: u64 = (0..index.contig_count())
+        .map(|ci| {
+            let contig_len = index.contig_len(ci);
+            let shard = shard_len.unwrap_or(contig_len).max(1);
+            if contig_len >= site_len {
+                1 + ((contig_len - site_len) / shard) as u64
+            } else {
+                1
+            }
+        })
+        .sum();
+    let mut chunks_scanned = 0u64;
     let mut hits = Vec::new();
     for ci in 0..index.contig_count() {
         let contig_len = index.contig_len(ci);
@@ -247,6 +365,9 @@ pub fn scan_genome_indexed(
         // the serial FASTA driver feeds them through identically.
         let mut start = 0usize;
         loop {
+            if let Err(kind) = cancel.check() {
+                return Err(finish_cancelled(kind, hits, chunks_scanned, chunks_total, m));
+            }
             let end = (start + shard + site_len - 1).min(contig_len);
             let shard_start = Instant::now();
             let before = hits.len();
@@ -264,6 +385,7 @@ pub fn scan_genome_indexed(
                 hit.contig = ci as u32;
                 hit.pos += start as u64;
             }
+            chunks_scanned += 1;
             start += shard;
             if start + site_len > contig_len {
                 break;

@@ -78,6 +78,30 @@ pub enum SearchError {
         /// still delivers these, it never discards them.
         hits: Vec<crispr_guides::Hit>,
     },
+    /// The search was tripped by a manual [`CancelToken`](crate::CancelToken)
+    /// cancellation before every chunk was scanned. Like
+    /// [`Partial`](SearchError::Partial), the hits recovered from the
+    /// chunks that *did* complete ride along — a cancelled run never
+    /// discards finished work.
+    Cancelled {
+        /// Chunks scanned to completion before the trip was observed.
+        chunks_scanned: u64,
+        /// Total chunks the run would have scanned.
+        chunks_total: u64,
+        /// Normalized hits from the completed chunks.
+        hits: Vec<crispr_guides::Hit>,
+    },
+    /// The search's armed deadline passed before every chunk was
+    /// scanned. Same recovered-hits contract as
+    /// [`Cancelled`](SearchError::Cancelled).
+    DeadlineExceeded {
+        /// Chunks scanned to completion before the deadline tripped.
+        chunks_scanned: u64,
+        /// Total chunks the run would have scanned.
+        chunks_total: u64,
+        /// Normalized hits from the completed chunks.
+        hits: Vec<crispr_guides::Hit>,
+    },
 }
 
 impl SearchError {
@@ -92,8 +116,33 @@ impl SearchError {
     /// recovered; `None` for every other variant.
     pub fn hits_recovered(&self) -> Option<usize> {
         match self {
-            SearchError::Partial { hits, .. } => Some(hits.len()),
+            SearchError::Partial { hits, .. }
+            | SearchError::Cancelled { hits, .. }
+            | SearchError::DeadlineExceeded { hits, .. } => Some(hits.len()),
             _ => None,
+        }
+    }
+
+    /// Whether this run was stopped by a [`CancelToken`](crate::CancelToken)
+    /// (manual trip or deadline) rather than by a fault.
+    pub fn is_cancelled(&self) -> bool {
+        matches!(self, SearchError::Cancelled { .. } | SearchError::DeadlineExceeded { .. })
+    }
+
+    /// Consumes a cancellation error, returning `(hits, chunks_scanned,
+    /// chunks_total, deadline)` where `deadline` is `true` for
+    /// [`DeadlineExceeded`](SearchError::DeadlineExceeded); `Err(self)`
+    /// unchanged for every other variant.
+    #[allow(clippy::type_complexity)]
+    pub fn into_cancelled(self) -> Result<(Vec<crispr_guides::Hit>, u64, u64, bool), SearchError> {
+        match self {
+            SearchError::Cancelled { hits, chunks_scanned, chunks_total } => {
+                Ok((hits, chunks_scanned, chunks_total, false))
+            }
+            SearchError::DeadlineExceeded { hits, chunks_scanned, chunks_total } => {
+                Ok((hits, chunks_scanned, chunks_total, true))
+            }
+            other => Err(other),
         }
     }
 
@@ -109,6 +158,27 @@ impl SearchError {
                 Ok((hits, failures, chunks_total))
             }
             other => Err(other),
+        }
+    }
+}
+
+impl SearchError {
+    /// Builds the cancellation variant matching a tripped
+    /// [`CancelKind`](crate::CancelKind), attaching the hits recovered so
+    /// far and chunk progress.
+    pub fn from_cancel(
+        kind: crate::CancelKind,
+        hits: Vec<crispr_guides::Hit>,
+        chunks_scanned: u64,
+        chunks_total: u64,
+    ) -> SearchError {
+        match kind {
+            crate::CancelKind::Cancelled => {
+                SearchError::Cancelled { hits, chunks_scanned, chunks_total }
+            }
+            crate::CancelKind::DeadlineExceeded => {
+                SearchError::DeadlineExceeded { hits, chunks_scanned, chunks_total }
+            }
         }
     }
 }
@@ -134,6 +204,16 @@ impl fmt::Display for SearchError {
                 }
                 Ok(())
             }
+            SearchError::Cancelled { chunks_scanned, chunks_total, hits } => write!(
+                f,
+                "cancelled after {chunks_scanned}/{chunks_total} chunks ({} hits recovered)",
+                hits.len()
+            ),
+            SearchError::DeadlineExceeded { chunks_scanned, chunks_total, hits } => write!(
+                f,
+                "deadline exceeded after {chunks_scanned}/{chunks_total} chunks ({} hits recovered)",
+                hits.len()
+            ),
         }
     }
 }
@@ -145,7 +225,10 @@ impl std::error::Error for SearchError {
             SearchError::Automata(e) => Some(e),
             SearchError::Genome(e) => Some(e),
             SearchError::GuideIo(e) => Some(e),
-            SearchError::Unsupported(_) | SearchError::Partial { .. } => None,
+            SearchError::Unsupported(_)
+            | SearchError::Partial { .. }
+            | SearchError::Cancelled { .. }
+            | SearchError::DeadlineExceeded { .. } => None,
         }
     }
 }

@@ -37,7 +37,7 @@
 
 use crate::engine::{Engine, PreparedSearch};
 use crate::error::ChunkFailure;
-use crate::{EngineError, SearchError};
+use crate::{CancelToken, EngineError, SearchError};
 use crispr_genome::{Base, Genome};
 use crispr_guides::{normalize, Guide, Hit};
 use crispr_model::{ParallelMetrics, SearchMetrics, ThreadStats};
@@ -98,18 +98,34 @@ pub struct ScanDeployment {
     /// Per-chunk base length override; `None` derives it from the
     /// contig length and thread count.
     pub chunk_len: Option<usize>,
+    /// Cooperative cancellation token, polled before every chunk
+    /// attempt. Defaults to [`CancelToken::none`] (checks are free).
+    pub cancel: CancelToken,
 }
 
 impl ScanDeployment {
     /// A deployment over `threads` workers with the default retry budget.
     pub fn new(threads: usize) -> ScanDeployment {
         assert!(threads > 0, "need at least one thread");
-        ScanDeployment { threads, retry_limit: DEFAULT_CHUNK_RETRIES, chunk_len: None }
+        ScanDeployment {
+            threads,
+            retry_limit: DEFAULT_CHUNK_RETRIES,
+            chunk_len: None,
+            cancel: CancelToken::none(),
+        }
     }
 
     /// Overrides the per-chunk retry budget.
     pub fn with_retry_limit(mut self, retries: u32) -> ScanDeployment {
         self.retry_limit = retries;
+        self
+    }
+
+    /// Arms a cooperative [`CancelToken`] (deadline or manual trip);
+    /// workers poll it before every chunk attempt, so a trip stops the
+    /// fan-out within one chunk-scan.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> ScanDeployment {
+        self.cancel = cancel;
         self
     }
 }
@@ -167,6 +183,7 @@ impl<E: Engine + Sync> ParallelEngine<E> {
         genome: &Genome,
         guides: &[Guide],
         k: usize,
+        cancel: &CancelToken,
         m: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
         // Faults fired during prepare are metered here; scan-side fires
@@ -185,6 +202,7 @@ impl<E: Engine + Sync> ParallelEngine<E> {
             threads: self.threads,
             retry_limit: self.retry_limit,
             chunk_len: self.chunk_len,
+            cancel: cancel.clone(),
         };
         scan_prepared(prepared.as_ref(), genome, &deployment, m)
     }
@@ -284,6 +302,13 @@ pub fn scan_prepared(
                     failures: Vec::new(),
                 };
                 loop {
+                    // Cooperative cancellation: one relaxed load before
+                    // each chunk attempt. A tripped token stops this
+                    // worker from taking new work; the chunk it already
+                    // finished keeps its exact counters.
+                    if deployment.cancel.check().is_err() {
+                        break;
+                    }
                     let item = lock_unpoisoned(queue).pop_front();
                     let Some(mut item) = item else { break };
                     if let Some(requeued_at) = item.requeued_at.take() {
@@ -399,6 +424,7 @@ pub fn scan_prepared(
     m.set_gauge("worker_utilization", parallel.utilization(wall_s));
     m.set_gauge("straggler_ratio", parallel.straggler_ratio());
     let max_busy_s = parallel.max_busy_s();
+    let chunks_scanned: u64 = parallel.threads.iter().map(|t| t.chunks).sum();
     m.parallel = Some(parallel);
     // Worker gauges are not merged upward, so ratio gauges over the
     // merged counters are computed here, after the fold.
@@ -415,6 +441,16 @@ pub fn scan_prepared(
     // worker's scan time.
     m.set_gauge("critical_path_s", m.phases.guide_compile_s + max_busy_s + m.phases.report_s);
     m.counters.faults_injected += crispr_failpoint::fired_total() - faults_before;
+
+    // A trip observed after every chunk already completed is not a
+    // cancellation: the full answer exists, so it is returned. Only a
+    // run that actually stopped short surfaces the typed error — with
+    // the hits recovered from completed chunks, already normalized.
+    if chunks_scanned < chunks_total {
+        if let Err(kind) = deployment.cancel.check() {
+            return Err(SearchError::from_cancel(kind, hits, chunks_scanned, chunks_total));
+        }
+    }
 
     if !failures.is_empty() {
         for failure in &mut failures {
@@ -440,7 +476,7 @@ impl<E: Engine + Sync> Engine for ParallelEngine<E> {
     }
 
     fn search(&self, genome: &Genome, guides: &[Guide], k: usize) -> Result<Vec<Hit>, EngineError> {
-        self.scan(genome, guides, k, &mut SearchMetrics::default())
+        self.scan(genome, guides, k, &CancelToken::none(), &mut SearchMetrics::default())
     }
 
     fn search_metered(
@@ -451,7 +487,19 @@ impl<E: Engine + Sync> Engine for ParallelEngine<E> {
         metrics: &mut SearchMetrics,
     ) -> Result<Vec<Hit>, EngineError> {
         metrics.engine = self.name().to_string();
-        self.scan(genome, guides, k, metrics)
+        self.scan(genome, guides, k, &CancelToken::none(), metrics)
+    }
+
+    fn search_cancellable(
+        &self,
+        genome: &Genome,
+        guides: &[Guide],
+        k: usize,
+        cancel: &CancelToken,
+        metrics: &mut SearchMetrics,
+    ) -> Result<Vec<Hit>, EngineError> {
+        metrics.engine = self.name().to_string();
+        self.scan(genome, guides, k, cancel, metrics)
     }
 }
 

@@ -27,6 +27,8 @@
 //! parallel.chunk=panic:1.0,7,3              # exactly the first 3 hits panic
 //! fasta.read=error:0.5,42                   # half of reads fail, seeded
 //! multiseed.build=delay10                   # build stalls 10 ms
+//! serve.worker=panic:1.0,0,1                # kill one daemon worker
+//! index.write=error                         # index writes fail (no torn file)
 //! ```
 //!
 //! The CLI exposes this as `--inject <spec>`; the `OFFTARGET_INJECT`

@@ -325,14 +325,38 @@ impl GenomeIndex {
         GenomeIndex::from_source(Source::Owned(bytes), false)
     }
 
-    /// Writes the index bytes to `path`.
+    /// Writes the index bytes to `path`, crash-safely: the bytes land in
+    /// a `.tmp` sibling first, are fsynced, and only then renamed over
+    /// `path` — so a crash (or the `index.write` failpoint) mid-write
+    /// can never leave a torn index where a valid one is expected.
     ///
     /// # Errors
     ///
-    /// I/O errors from the write.
+    /// I/O errors from the write, fsync, or rename. On any error the
+    /// temporary file is removed; a pre-existing `path` is untouched.
     pub fn write_to(&self, path: impl AsRef<Path>) -> Result<(), GenomeError> {
-        std::fs::write(path, self.source.bytes())?;
-        Ok(())
+        let path = path.as_ref();
+        let tmp = {
+            // `<path>.tmp` (appended, not substituted) so distinct
+            // targets never share a staging file.
+            let mut os = path.as_os_str().to_owned();
+            os.push(".tmp");
+            std::path::PathBuf::from(os)
+        };
+        let result = (|| -> std::io::Result<()> {
+            crispr_failpoint::hit_io("index.write")?;
+            let mut file = std::fs::File::create(&tmp)?;
+            std::io::Write::write_all(&mut file, self.source.bytes())?;
+            // Durability before visibility: the rename must not promote
+            // bytes the OS has not committed.
+            file.sync_all()?;
+            drop(file);
+            std::fs::rename(&tmp, path)
+        })();
+        if result.is_err() {
+            let _ = std::fs::remove_file(&tmp);
+        }
+        result.map_err(GenomeError::from)
     }
 
     /// The validated file bytes.

@@ -5,6 +5,7 @@
 
 use std::io::{self, Write};
 use std::io::{BufRead, BufReader, Read};
+use std::time::Instant;
 
 /// Longest accepted request line (method + target + version).
 const MAX_REQUEST_LINE: usize = 8 * 1024;
@@ -45,11 +46,53 @@ impl From<io::Error> for ParseError {
     }
 }
 
-/// Reads one `\r\n`- (or `\n`-) terminated line of at most `limit` bytes.
-fn read_line<R: BufRead>(reader: &mut R, limit: usize) -> Result<String, ParseError> {
+/// Fails with a timed-out I/O error once `deadline` has passed.
+///
+/// This is the slow-loris bound: the socket's `read_timeout` only
+/// restarts per successful `read`, so a client trickling one byte per
+/// timeout window could otherwise hold a worker indefinitely. Checking
+/// an *absolute* deadline between buffer refills caps the whole
+/// request-read phase at `deadline + one socket timeout`.
+fn check_deadline(deadline: Option<Instant>) -> Result<(), ParseError> {
+    match deadline {
+        Some(d) if Instant::now() >= d => Err(ParseError::Io(io::Error::new(
+            io::ErrorKind::TimedOut,
+            "request read deadline exceeded",
+        ))),
+        _ => Ok(()),
+    }
+}
+
+/// Reads one `\r\n`- (or `\n`-) terminated line of at most `limit`
+/// bytes, polling `deadline` between buffer refills.
+fn read_line<R: BufRead>(
+    reader: &mut R,
+    limit: usize,
+    deadline: Option<Instant>,
+) -> Result<String, ParseError> {
     let mut raw = Vec::new();
-    let mut taken = reader.take(limit as u64 + 1);
-    taken.read_until(b'\n', &mut raw)?;
+    loop {
+        check_deadline(deadline)?;
+        let buf = reader.fill_buf()?;
+        if buf.is_empty() {
+            break; // EOF before a newline; an empty/short line is rejected below.
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                raw.extend_from_slice(&buf[..=pos]);
+                reader.consume(pos + 1);
+                break;
+            }
+            None => {
+                let len = buf.len();
+                raw.extend_from_slice(buf);
+                reader.consume(len);
+            }
+        }
+        if raw.len() > limit {
+            return Err(ParseError::Bad(format!("line exceeds {limit} bytes")));
+        }
+    }
     if raw.len() > limit {
         return Err(ParseError::Bad(format!("line exceeds {limit} bytes")));
     }
@@ -98,10 +141,15 @@ fn parse_query(query: &str) -> Vec<(String, String)> {
         .collect()
 }
 
-/// Parses one request off `stream`.
-pub(crate) fn parse_request<R: Read>(stream: R) -> Result<Request, ParseError> {
+/// Parses one request off `stream`. `deadline`, when set, bounds the
+/// whole read — request line, headers, and body — against slow-loris
+/// clients (see [`check_deadline`]).
+pub(crate) fn parse_request<R: Read>(
+    stream: R,
+    deadline: Option<Instant>,
+) -> Result<Request, ParseError> {
     let mut reader = BufReader::new(stream);
-    let request_line = read_line(&mut reader, MAX_REQUEST_LINE)?;
+    let request_line = read_line(&mut reader, MAX_REQUEST_LINE, deadline)?;
     let mut parts = request_line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
@@ -114,7 +162,7 @@ pub(crate) fn parse_request<R: Read>(stream: R) -> Result<Request, ParseError> {
     let mut content_length = 0usize;
     let mut header_bytes = 0usize;
     loop {
-        let line = read_line(&mut reader, MAX_REQUEST_LINE)?;
+        let line = read_line(&mut reader, MAX_REQUEST_LINE, deadline)?;
         if line.is_empty() {
             break;
         }
@@ -137,7 +185,18 @@ pub(crate) fn parse_request<R: Read>(stream: R) -> Result<Request, ParseError> {
     }
 
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body)?;
+    let mut filled = 0usize;
+    while filled < content_length {
+        check_deadline(deadline)?;
+        let n = reader.read(&mut body[filled..])?;
+        if n == 0 {
+            return Err(ParseError::Io(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "body shorter than content-length",
+            )));
+        }
+        filled += n;
+    }
 
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, parse_query(q)),
@@ -196,6 +255,8 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
         _ => "Unknown",
     }
 }
@@ -206,7 +267,7 @@ mod tests {
     use std::io::Cursor;
 
     fn parse(raw: &str) -> Result<Request, ParseError> {
-        parse_request(Cursor::new(raw.as_bytes().to_vec()))
+        parse_request(Cursor::new(raw.as_bytes().to_vec()), None)
     }
 
     #[test]
@@ -262,6 +323,19 @@ mod tests {
             parse("POST /search HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
             Err(ParseError::Io(_))
         ));
+    }
+
+    #[test]
+    fn expired_deadline_rejects_the_read() {
+        let past = Instant::now() - std::time::Duration::from_millis(1);
+        let err = parse_request(Cursor::new(b"GET /healthz HTTP/1.1\r\n\r\n".to_vec()), Some(past));
+        assert!(matches!(err, Err(ParseError::Io(_))));
+        let future = Instant::now() + std::time::Duration::from_secs(60);
+        assert!(parse_request(
+            Cursor::new(b"GET /healthz HTTP/1.1\r\n\r\n".to_vec()),
+            Some(future)
+        )
+        .is_ok());
     }
 
     #[test]

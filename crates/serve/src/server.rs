@@ -4,8 +4,8 @@
 use crate::cache::{fnv1a, CacheKey, PreparedCache, PreparedEntry};
 use crate::http::{parse_request, ParseError, Request, Response};
 use crispr_engines::{
-    scan_prepared, BitParallelEngine, CasOffinderCpuEngine, CasotEngine, DfaEngine, Engine,
-    EngineError, NfaEngine, PreparedSearch, ScalarEngine, ScanDeployment, SearchError,
+    scan_prepared, BitParallelEngine, CancelToken, CasOffinderCpuEngine, CasotEngine, DfaEngine,
+    Engine, EngineError, NfaEngine, PreparedSearch, ScalarEngine, ScanDeployment, SearchError,
     DEFAULT_CHUNK_RETRIES,
 };
 use crispr_genome::diskindex::GenomeIndex;
@@ -79,6 +79,25 @@ pub struct ServeConfig {
     pub allow_inject: bool,
     /// Engine used when a query names none (see [`engine_names`]).
     pub default_engine: String,
+    /// Admission-queue depth: connections accepted but not yet claimed
+    /// by a worker. When the queue is full, new connections are shed
+    /// immediately with `503 + Retry-After` — never accepted-then-
+    /// stalled. `None` derives `4 × workers`.
+    pub queue_depth: Option<usize>,
+    /// Upper bound on a request's `?deadline_ms=`; larger requests are
+    /// clamped to this, so one client cannot opt out of the daemon's
+    /// wall-clock discipline.
+    pub max_deadline: Duration,
+    /// Socket read timeout, which also bounds the whole header+body
+    /// read phase against slow-loris clients (absolute deadline checked
+    /// between reads).
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// How many panicked workers the supervisor will respawn over the
+    /// daemon's lifetime before letting the pool shrink (a crash-looping
+    /// pool should become visible, not thrash forever).
+    pub respawn_budget: u32,
 }
 
 impl Default for ServeConfig {
@@ -91,7 +110,20 @@ impl Default for ServeConfig {
             retry_limit: DEFAULT_CHUNK_RETRIES,
             allow_inject: false,
             default_engine: "cpu-hyperscan".to_string(),
+            queue_depth: None,
+            max_deadline: Duration::from_secs(30),
+            read_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(30),
+            respawn_budget: 8,
         }
+    }
+}
+
+impl ServeConfig {
+    /// The resolved admission-queue capacity (`queue_depth` or
+    /// `4 × workers`, at least 1).
+    pub fn queue_capacity(&self) -> usize {
+        self.queue_depth.unwrap_or(4 * self.workers.max(1)).max(1)
     }
 }
 
@@ -123,6 +155,16 @@ struct Shared {
     errors: AtomicU64,
     inflight: AtomicU64,
     shutdown: AtomicBool,
+    /// Connections shed at admission because the queue was full.
+    shed: AtomicU64,
+    /// Connections currently sitting in the admission queue.
+    queued: AtomicU64,
+    /// Requests answered 504/206 because their deadline tripped.
+    deadlines: AtomicU64,
+    /// Panicked workers respawned by the supervisor.
+    respawned: AtomicU64,
+    /// Resolved admission-queue capacity.
+    queue_capacity: usize,
 }
 
 /// A running daemon. Dropping the handle does *not* stop the threads —
@@ -132,7 +174,13 @@ pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    pool: Arc<WorkerPool>,
+}
+
+/// The worker handles, shared between [`Server::join`] and the accept
+/// loop's supervisor (which joins panicked workers and respawns them).
+struct WorkerPool {
+    handles: Mutex<Vec<JoinHandle<()>>>,
 }
 
 impl Server {
@@ -178,6 +226,7 @@ impl Server {
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
         let contig_names = genome.contigs().iter().map(|c| c.name().to_string()).collect();
+        let queue_capacity = cfg.queue_capacity();
         let shared = Arc::new(Shared {
             genome,
             contig_names,
@@ -190,25 +239,32 @@ impl Server {
             errors: AtomicU64::new(0),
             inflight: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            shed: AtomicU64::new(0),
+            queued: AtomicU64::new(0),
+            deadlines: AtomicU64::new(0),
+            respawned: AtomicU64::new(0),
+            queue_capacity,
         });
 
-        // Accepted connections flow through a channel to the pool; on
-        // shutdown the accept loop drops the sender, the queue drains,
-        // and each worker exits on the disconnect — the graceful drain.
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        // Accepted connections flow through a *bounded* channel to the
+        // pool — the admission queue. `try_send` on a full queue sheds
+        // the connection with 503 instead of queueing it (backpressure
+        // at the ingest boundary, never accept-then-stall). On shutdown
+        // the accept loop drops the sender, the queue drains, and each
+        // worker exits on the disconnect — the graceful drain.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
-        let workers = (0..shared.cfg.workers.max(1))
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                let rx = Arc::clone(&rx);
-                std::thread::spawn(move || worker_loop(&shared, &rx))
-            })
-            .collect();
+        let pool = Arc::new(WorkerPool {
+            handles: Mutex::new(
+                (0..shared.cfg.workers.max(1)).map(|_| spawn_worker(&shared, &rx)).collect(),
+            ),
+        });
         let accept = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || accept_loop(&listener, &tx, &shared))
+            let pool = Arc::clone(&pool);
+            std::thread::spawn(move || accept_loop(&listener, &tx, &shared, &rx, &pool))
         };
-        Ok(Server { shared, local_addr, accept: Some(accept), workers })
+        Ok(Server { shared, local_addr, accept: Some(accept), pool })
     }
 
     /// The bound address (useful with an ephemeral port).
@@ -227,31 +283,133 @@ impl Server {
         if let Some(accept) = self.accept.take() {
             let _ = accept.join();
         }
-        for worker in self.workers.drain(..) {
+        // The accept loop (the only respawner) has exited, so the handle
+        // list is final now.
+        let handles = std::mem::take(
+            &mut *self.pool.handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner),
+        );
+        for worker in handles {
             let _ = worker.join();
         }
     }
 }
 
-fn accept_loop(listener: &TcpListener, tx: &mpsc::Sender<TcpStream>, shared: &Shared) {
+/// Spawns one pool worker.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    let rx = Arc::clone(rx);
+    std::thread::spawn(move || worker_loop(&shared, &rx))
+}
+
+/// The self-healing pass: joins any worker thread that has died and —
+/// when it died of a panic, the daemon is not draining, and the respawn
+/// budget is not exhausted — spawns a replacement, keeping the pool at
+/// full strength. Runs on the accept thread between accepts.
+fn heal_pool(shared: &Arc<Shared>, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, pool: &WorkerPool) {
+    let mut handles = pool.handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let mut i = 0;
+    while i < handles.len() {
+        if !handles[i].is_finished() {
+            i += 1;
+            continue;
+        }
+        let panicked = handles.swap_remove(i).join().is_err();
+        let draining = shared.shutdown.load(Ordering::Acquire);
+        if panicked
+            && !draining
+            && shared.respawned.load(Ordering::Relaxed) < u64::from(shared.cfg.respawn_budget)
+        {
+            shared.respawned.fetch_add(1, Ordering::Relaxed);
+            handles.push(spawn_worker(shared, rx));
+        }
+    }
+}
+
+/// Answers a connection the admission queue has no room for: an
+/// immediate `503 + Retry-After` written from the accept thread (a few
+/// bytes into a fresh socket buffer — it cannot stall the loop, and a
+/// short write timeout guards the pathological case).
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    shared.shed.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
+    let sent = Response::text(503, "overloaded: admission queue full, retry later")
+        .header("Retry-After", "1")
+        .write_to(&mut stream)
+        .is_ok();
+    if !sent {
+        return;
+    }
+    // Closing with the client's request still unread in the receive
+    // queue makes TCP reset the connection, destroying the 503 before
+    // the client reads it. Signal end-of-response, then drain what the
+    // client sent — briefly, so a misbehaving peer cannot stall
+    // admission for longer than the cap.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let drain_deadline = Instant::now() + Duration::from_millis(250);
+    let mut sink = [0u8; 4096];
+    while Instant::now() < drain_deadline {
+        match io::Read::read(&mut stream, &mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Admits one accepted connection: failpoint gate, then a non-blocking
+/// enqueue that sheds on a full queue.
+fn admit(shared: &Shared, tx: &mpsc::SyncSender<TcpStream>, stream: TcpStream) {
+    // Chaos site: `error` drops the connection at the door, `panic` is
+    // fenced by the accept loop's catch_unwind (the accept thread is the
+    // daemon's front door and must survive).
+    if crispr_failpoint::hit("serve.accept").is_err() {
+        return;
+    }
+    // Count the slot *before* handing the stream over: a worker may
+    // dequeue (and decrement) the instant `try_send` returns, and a
+    // post-send increment would let the gauge underflow past zero.
+    shared.queued.fetch_add(1, Ordering::Relaxed);
+    match tx.try_send(stream) {
+        Ok(()) => {}
+        Err(mpsc::TrySendError::Full(stream)) => {
+            shared.queued.fetch_sub(1, Ordering::Relaxed);
+            shed(shared, stream);
+        }
+        Err(mpsc::TrySendError::Disconnected(_)) => {
+            shared.queued.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    tx: &mpsc::SyncSender<TcpStream>,
+    shared: &Arc<Shared>,
+    rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    pool: &WorkerPool,
+) {
     loop {
         if shared.shutdown.load(Ordering::Acquire) {
             break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                if tx.send(stream).is_err() {
-                    break;
-                }
+                let _ = catch_unwind(AssertUnwindSafe(|| admit(shared, tx, stream)));
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                heal_pool(shared, rx, pool);
                 std::thread::sleep(Duration::from_millis(5));
             }
             Err(_) => std::thread::sleep(Duration::from_millis(5)),
         }
     }
     // Dropping `tx` here disconnects the channel once queued streams
-    // are consumed, releasing the workers.
+    // are consumed, releasing the workers. One final heal pass joins
+    // any already-dead worker so `join` does not wait on a corpse.
+    heal_pool(shared, rx, pool);
 }
 
 fn worker_loop(shared: &Shared, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
@@ -262,23 +420,42 @@ fn worker_loop(shared: &Shared, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
             Ok(stream) => stream,
             Err(_) => break,
         };
+        shared.queued.fetch_sub(1, Ordering::Relaxed);
+        // Chaos site: `error` drops the dequeued connection, `panic`
+        // kills this worker thread — which is exactly what the
+        // supervisor's respawn path is tested against. Deliberately NOT
+        // fenced by catch_unwind.
+        if crispr_failpoint::hit("serve.worker").is_err() {
+            continue;
+        }
         handle_connection(shared, stream);
     }
 }
 
 fn handle_connection(shared: &Shared, stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
+    let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
         Err(_) => return,
     };
-    let response = match parse_request(stream) {
+    // Absolute bound on the whole request read (line + headers + body):
+    // the socket timeout restarts per successful read, so a slow-loris
+    // client trickling bytes would otherwise hold this worker
+    // indefinitely.
+    let read_deadline = Instant::now() + shared.cfg.read_timeout;
+    let response = match parse_request(stream, Some(read_deadline)) {
         Ok(request) => route(shared, &request),
         Err(ParseError::Bad(reason)) => Response::text(400, reason),
         // A dead connection cannot be answered.
         Err(ParseError::Io(_)) => return,
     };
+    // Chaos site: `error` drops the connection before the response is
+    // written (the client sees a reset), `panic` kills the worker after
+    // the scan completed — both respond-path failure modes.
+    if crispr_failpoint::hit("serve.respond").is_err() {
+        return;
+    }
     let _ = response.write_to(&mut writer);
 }
 
@@ -305,11 +482,14 @@ fn route(shared: &Shared, request: &Request) -> Response {
     response
 }
 
-/// `POST /search?k=K&engine=NAME&format=tsv|json[&inject=SPEC]`, guide
-/// list (the CLI's guides-file format) as the body. Answers 200 with the
-/// hit set, or 206 plus `X-Offtarget-Partial: failed/total` when some
-/// chunks exhausted their retries — the recovered hits are still in the
-/// body, mirroring the CLI's exit code 3.
+/// `POST /search?k=K&engine=NAME&format=tsv|json[&deadline_ms=MS][&inject=SPEC]`,
+/// guide list (the CLI's guides-file format) as the body. Answers 200
+/// with the hit set, or 206 plus `X-Offtarget-Partial: failed/total`
+/// when some chunks exhausted their retries — the recovered hits are
+/// still in the body, mirroring the CLI's exit code 3. A `deadline_ms`
+/// budget (clamped to `--max-deadline`) that trips mid-scan answers 504
+/// — or 206 when completed chunks already recovered hits — with
+/// `X-Offtarget-Deadline` naming the effective budget.
 fn handle_search(shared: &Shared, request: &Request) -> Response {
     let k: usize = match request.query_param("k").unwrap_or("3").parse() {
         Ok(k) => k,
@@ -320,6 +500,19 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
     if format != "tsv" && format != "json" {
         return Response::text(400, format!("unknown format {format:?} (tsv|json)"));
     }
+    // Armed before the compile so the budget covers the whole request,
+    // not just the scan.
+    let deadline = match request.query_param("deadline_ms") {
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(ms) => Some(Duration::from_millis(ms).min(shared.cfg.max_deadline)),
+            Err(e) => return Response::text(400, format!("bad deadline_ms: {e}")),
+        },
+        None => None,
+    };
+    let cancel = match deadline {
+        Some(budget) => CancelToken::with_deadline(budget),
+        None => CancelToken::none(),
+    };
     let guides = match guide_io::read_guides(request.body.as_slice()) {
         Ok(guides) => guides,
         Err(e) => return Response::text(400, format!("bad guide list: {e}")),
@@ -383,7 +576,8 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
     // compiles included.
     entry.prepared.record_gauges(&mut metrics);
     let deployment = ScanDeployment::new(shared.cfg.scan_threads.max(1))
-        .with_retry_limit(shared.cfg.retry_limit);
+        .with_retry_limit(shared.cfg.retry_limit)
+        .with_cancel(cancel.clone());
     let scan_start = Instant::now();
     let outcome = scan_prepared(entry.prepared.as_ref(), &shared.genome, &deployment, &mut metrics);
     drop(scenario);
@@ -393,11 +587,21 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
         metrics.phases.guide_compile_s += entry.compile_s;
     }
 
+    // `(chunks_scanned, chunks_total)` when the request's deadline
+    // tripped before the scan finished.
+    let mut tripped: Option<(u64, u64)> = None;
     let (hits, failures, chunks_total) = match outcome {
         Ok(hits) => (hits, Vec::new(), 0),
         Err(SearchError::Partial { failures, chunks_total, hits }) => {
             shared.partials.fetch_add(1, Ordering::Relaxed);
             (hits, failures, chunks_total)
+        }
+        Err(e) if e.is_cancelled() => {
+            let (hits, chunks_scanned, chunks_total, _deadline) =
+                e.into_cancelled().expect("is_cancelled checked");
+            shared.deadlines.fetch_add(1, Ordering::Relaxed);
+            tripped = Some((chunks_scanned, chunks_total));
+            (hits, Vec::new(), chunks_total)
         }
         Err(e) => return Response::text(500, format!("scan failed: {e}")),
     };
@@ -417,10 +621,36 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
         aggregate.observe("serve_request_s", scan_start.elapsed().as_secs_f64());
     }
 
-    let partial = !failures.is_empty();
+    let deadline_header = || format!("{}ms", deadline.map_or(0, |budget| budget.as_millis()));
+    // A tripped deadline with nothing recovered is a clean 504; with
+    // recovered hits it degrades to the partial-results contract (206,
+    // hits in the body) so finished work is never discarded.
+    if let Some((chunks_scanned, chunks_total)) = tripped {
+        if hits.is_empty() {
+            return Response::text(
+                504,
+                format!(
+                    "deadline exceeded after {chunks_scanned}/{chunks_total} chunks (no hits recovered)"
+                ),
+            )
+            .header("X-Offtarget-Deadline", deadline_header());
+        }
+    }
+
+    let partial = !failures.is_empty() || tripped.is_some();
     let body = match format {
         "tsv" => render_tsv(shared, &guides, &hits, &failures),
-        _ => render_json(shared, &guides, &hits, &failures, chunks_total, k, &engine, &metrics),
+        _ => render_json(
+            shared,
+            &guides,
+            &hits,
+            &failures,
+            chunks_total,
+            k,
+            &engine,
+            &metrics,
+            partial,
+        ),
     };
     let content_type = if format == "tsv" {
         "text/tab-separated-values; charset=utf-8"
@@ -434,7 +664,14 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
         response =
             response.header("X-Offtarget-Index", if provenance.mmap { "mmap" } else { "read" });
     }
-    if partial {
+    if let Some((chunks_scanned, chunks_total)) = tripped {
+        response = response
+            .header(
+                "X-Offtarget-Partial",
+                format!("{}/{}", chunks_total.saturating_sub(chunks_scanned), chunks_total),
+            )
+            .header("X-Offtarget-Deadline", deadline_header());
+    } else if partial {
         response =
             response.header("X-Offtarget-Partial", format!("{}/{}", failures.len(), chunks_total));
     }
@@ -478,12 +715,13 @@ fn render_json(
     k: usize,
     engine: &str,
     metrics: &SearchMetrics,
+    partial: bool,
 ) -> Vec<u8> {
     let mut out = String::with_capacity(256 + hits.len() * 96);
     out.push_str("{\n");
     out.push_str(&format!("  \"engine\": \"{}\",\n", escape(engine)));
     out.push_str(&format!("  \"k\": {k},\n"));
-    out.push_str(&format!("  \"partial\": {},\n", !failures.is_empty()));
+    out.push_str(&format!("  \"partial\": {partial},\n"));
     if !failures.is_empty() {
         out.push_str("  \"chunk_failures\": [\n");
         for (i, failure) in failures.iter().enumerate() {
@@ -544,6 +782,27 @@ fn handle_metrics(shared: &Shared) -> Response {
         // This request is itself in flight; report the others.
         shared.inflight.load(Ordering::Relaxed).saturating_sub(1).to_string(),
     );
+    series(
+        "offtarget_serve_shed_total",
+        "counter",
+        shared.shed.load(Ordering::Relaxed).to_string(),
+    );
+    series(
+        "offtarget_serve_deadline_total",
+        "counter",
+        shared.deadlines.load(Ordering::Relaxed).to_string(),
+    );
+    series(
+        "offtarget_serve_workers_respawned_total",
+        "counter",
+        shared.respawned.load(Ordering::Relaxed).to_string(),
+    );
+    series(
+        "offtarget_serve_queue_depth",
+        "gauge",
+        shared.queued.load(Ordering::Relaxed).to_string(),
+    );
+    series("offtarget_serve_queue_capacity", "gauge", shared.queue_capacity.to_string());
     if let Some(provenance) = &shared.index {
         series(
             "offtarget_serve_index_mmap",
@@ -556,13 +815,27 @@ fn handle_metrics(shared: &Shared) -> Response {
     Response::new(200, "text/plain; version=0.0.4; charset=utf-8", text.into_bytes())
 }
 
+/// `GET /healthz`: 200 when the daemon can take traffic; 503 with
+/// `"draining"` once a shutdown has begun, or `"overloaded"` while the
+/// admission queue is full — so load balancers stop routing here before
+/// requests start getting shed.
 fn handle_healthz(shared: &Shared) -> Response {
+    let queued = shared.queued.load(Ordering::Relaxed);
+    let status = if shared.shutdown.load(Ordering::Acquire) {
+        "draining"
+    } else if queued >= shared.queue_capacity as u64 {
+        "overloaded"
+    } else {
+        "ok"
+    };
     let body = format!(
-        "{{\"status\":\"ok\",\"genome_bases\":{},\"contigs\":{},\"cache_entries\":{},\"workers\":{}}}\n",
+        "{{\"status\":\"{status}\",\"genome_bases\":{},\"contigs\":{},\"cache_entries\":{},\"workers\":{},\"queue_depth\":{queued},\"queue_capacity\":{}}}\n",
         shared.genome.total_len(),
         shared.genome.contig_count(),
         shared.cache.len(),
-        shared.cfg.workers
+        shared.cfg.workers,
+        shared.queue_capacity
     );
-    Response::new(200, "application/json", body.into_bytes())
+    let status_code = if status == "ok" { 200 } else { 503 };
+    Response::new(status_code, "application/json", body.into_bytes())
 }

@@ -75,13 +75,14 @@ const USAGE: &str = "usage:
   offtarget search (--genome genome.fa | --index genome.idx [--shard N])
                    --guides guides.txt [-k K]
                    [--platform NAME] [--threads T] [--format tsv|json]
-                   [--metrics FILE|-] [--retries N]
+                   [--metrics FILE|-] [--retries N] [--timeout SECS]
                    [--trace FILE|-] [--prom FILE|-] [--progress]
                    [--inject 'site=kind[:prob[,seed[,times]]][;...]'] [-o hits]
   offtarget serve  (--genome genome.fa | --index genome.idx)
-                   [--addr HOST:PORT] [--workers W]
+                   [--addr HOST:PORT] [--workers W] [--queue-depth N]
                    [--scan-threads T] [--cache N] [--retries N]
-                   [--platform NAME] [--allow-inject]
+                   [--max-deadline MS] [--read-timeout SECS]
+                   [--write-timeout SECS] [--platform NAME] [--allow-inject]
   offtarget anml   --guides guides.txt [-k K] [-o out.anml]
 
 platforms: cpu-scalar cpu-cas-offinder cpu-casot cpu-hyperscan cpu-nfa cpu-dfa
@@ -101,13 +102,18 @@ stays clean).
 serve: a resident daemon that loads the genome once and answers
 concurrent queries over HTTP/1.1, sharing compiled guide sets through
 an LRU prepared-search cache. Endpoints: POST /search (guide list in,
-hits out; 206 + X-Offtarget-Partial on a partial result), GET /metrics
-(Prometheus), GET /healthz, POST /shutdown (graceful drain). See
-README.md for the request/response schema.
+hits out; 206 + X-Offtarget-Partial on a partial result; 504 — or 206
+with the recovered hits — when a ?deadline_ms= budget trips, clamped to
+--max-deadline), GET /metrics (Prometheus), GET /healthz (503 while
+draining or overloaded), POST /shutdown (graceful drain). Admission is
+bounded: when --queue-depth connections (default 4 x workers) are
+already waiting, new ones are shed immediately with 503 + Retry-After.
+Panicked workers are respawned. See README.md for the schema.
 
 fault injection: --inject (or the OFFTARGET_INJECT environment variable)
 arms named failpoints; kinds are panic, error, delay<ms>. Known sites:
 parallel.chunk fasta.read guides.read prefilter.build multiseed.build
+index.write serve.accept serve.worker serve.respond
 
 index: `offtarget index` serializes the 2-bit packed bases, per-base
 anchor bitmaps, and q-gram seed tables into one versioned, checksummed
@@ -119,7 +125,9 @@ tables.
 
 exit codes: 0 success; 1 error; 2 usage; 3 partial results — some chunks
 failed every retry; the recovered hits and every requested sidecar
-(--metrics, --trace, --prom) are written before the process exits.";
+(--metrics, --trace, --prom) are written before the process exits;
+4 deadline exceeded — the --timeout budget tripped mid-scan, and the
+hits recovered from the chunks that completed are still written.";
 
 type CliError = Box<dyn std::error::Error>;
 
@@ -130,7 +138,7 @@ const GUIDES_FLAGS: &[&str] = &["count", "from-genome", "seed", "pam", "out"];
 const INDEX_FLAGS: &[&str] = &["genome", "qgram", "out"];
 const SEARCH_FLAGS: &[&str] = &[
     "genome", "index", "shard", "guides", "k", "platform", "threads", "format", "metrics",
-    "retries", "inject", "trace", "prom", "progress", "out",
+    "retries", "inject", "trace", "prom", "progress", "timeout", "out",
 ];
 const ANML_FLAGS: &[&str] = &["guides", "k", "out"];
 const SERVE_FLAGS: &[&str] = &[
@@ -143,6 +151,10 @@ const SERVE_FLAGS: &[&str] = &[
     "retries",
     "platform",
     "allow-inject",
+    "queue-depth",
+    "max-deadline",
+    "read-timeout",
+    "write-timeout",
 ];
 
 /// Flags that take no value: present means enabled.
@@ -223,6 +235,20 @@ where
         None => Ok(default),
         Some(v) => v.parse().map_err(|e| format!("--{key} {v:?}: {e}").into()),
     }
+}
+
+/// Parses a duration flag given in (possibly fractional) seconds,
+/// rejecting zero, negatives, and non-finite values.
+fn parse_secs(
+    flags: &HashMap<String, String>,
+    key: &str,
+    default: Duration,
+) -> Result<Duration, CliError> {
+    let secs: f64 = parse(flags, key, default.as_secs_f64())?;
+    if !secs.is_finite() || secs <= 0.0 {
+        return Err(format!("--{key} {secs}: must be a positive number of seconds").into());
+    }
+    Ok(Duration::from_secs_f64(secs))
 }
 
 fn out_writer(flags: &HashMap<String, String>) -> Result<Box<dyn Write>, CliError> {
@@ -413,6 +439,10 @@ fn cmd_search(args: &[String]) -> Result<u8, CliError> {
     let threads = parse(&flags, "threads", 1usize)?;
     let retries = parse(&flags, "retries", crispr_offtarget::engines::DEFAULT_CHUNK_RETRIES)?;
     let format = flags.get("format").map(String::as_str).unwrap_or("tsv");
+    let timeout = match flags.contains_key("timeout") {
+        true => Some(parse_secs(&flags, "timeout", Duration::from_secs(1))?),
+        false => None,
+    };
 
     // The reference comes from exactly one of --genome (FASTA parse) or
     // --index (pre-derived tables, memory-mapped).
@@ -459,13 +489,16 @@ fn cmd_search(args: &[String]) -> Result<u8, CliError> {
     });
     let reporter = flags.get("progress").map(|_| ProgressReporter::start(total_bases));
 
-    let search_result = search
+    let mut search = search
         .guides(guides.clone())
         .max_mismatches(k)
         .platform(platform)
         .threads(threads)
-        .chunk_retries(retries)
-        .run();
+        .chunk_retries(retries);
+    if let Some(budget) = timeout {
+        search = search.deadline(budget);
+    }
+    let search_result = search.run();
 
     if let Some(reporter) = reporter {
         reporter.finish();
@@ -483,7 +516,67 @@ fn cmd_search(args: &[String]) -> Result<u8, CliError> {
         }
         None => Ok(()),
     };
-    let report = search_result?;
+    // The `--timeout` contract mirrors the partial-results one: a run the
+    // deadline tripped still writes every hit recovered from the chunks
+    // that completed, then exits 4 so pipelines can tell "out of time"
+    // from "broken" (1) and "some chunks failed" (3).
+    let report = match search_result {
+        Ok(report) => report,
+        Err(e) if e.is_cancelled() => {
+            let (hits, chunks_scanned, chunks_total, deadline) =
+                e.into_cancelled().expect("is_cancelled checked");
+            let mut writer = out_writer(&flags)?;
+            match format {
+                "tsv" => {
+                    writeln!(writer, "#guide\tcontig\tpos\tstrand\tmismatches")?;
+                    for hit in &hits {
+                        writeln!(
+                            writer,
+                            "{}\t{}\t{}\t{}\t{}",
+                            guides[hit.guide as usize].id(),
+                            contig_names[hit.contig as usize],
+                            hit.pos,
+                            hit.strand,
+                            hit.mismatches
+                        )?;
+                    }
+                }
+                "json" => {
+                    writeln!(writer, "{{")?;
+                    writeln!(writer, "  \"platform\": \"{}\",", escape(platform.name()))?;
+                    writeln!(writer, "  \"k\": {k},")?;
+                    writeln!(writer, "  \"deadline_exceeded\": {deadline},")?;
+                    writeln!(writer, "  \"chunks_scanned\": {chunks_scanned},")?;
+                    writeln!(writer, "  \"chunks_total\": {chunks_total},")?;
+                    writeln!(writer, "  \"hits\": [")?;
+                    for (i, hit) in hits.iter().enumerate() {
+                        let comma = if i + 1 < hits.len() { "," } else { "" };
+                        writeln!(
+                            writer,
+                            "    {{\"guide\":\"{}\",\"contig\":\"{}\",\"pos\":{},\"strand\":\"{}\",\"mismatches\":{}}}{comma}",
+                            escape(guides[hit.guide as usize].id()),
+                            escape(&contig_names[hit.contig as usize]),
+                            hit.pos,
+                            hit.strand,
+                            hit.mismatches
+                        )?;
+                    }
+                    writeln!(writer, "  ]")?;
+                    writeln!(writer, "}}")?;
+                }
+                other => return Err(format!("unknown format {other:?} (tsv|json)").into()),
+            }
+            writer.flush()?;
+            trace_written?;
+            eprintln!(
+                "offtarget: {} after {chunks_scanned}/{chunks_total} chunks ({} hits recovered)",
+                if deadline { "deadline exceeded" } else { "cancelled" },
+                hits.len()
+            );
+            return Ok(4);
+        }
+        Err(e) => return Err(e.into()),
+    };
     trace_written?;
 
     let mut writer = out_writer(&flags)?;
@@ -585,6 +678,17 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
     cfg.cache_capacity = parse(&flags, "cache", cfg.cache_capacity)?;
     cfg.retry_limit = parse(&flags, "retries", cfg.retry_limit)?;
     cfg.allow_inject = flags.contains_key("allow-inject");
+    if flags.contains_key("queue-depth") {
+        let depth: usize = parse(&flags, "queue-depth", 0)?;
+        if depth == 0 {
+            return Err("--queue-depth 0: the admission queue needs at least one slot".into());
+        }
+        cfg.queue_depth = Some(depth);
+    }
+    cfg.max_deadline =
+        Duration::from_millis(parse(&flags, "max-deadline", cfg.max_deadline.as_millis() as u64)?);
+    cfg.read_timeout = parse_secs(&flags, "read-timeout", cfg.read_timeout)?;
+    cfg.write_timeout = parse_secs(&flags, "write-timeout", cfg.write_timeout)?;
     if let Some(engine) = flags.get("platform") {
         if !engine_names().contains(&engine.as_str()) {
             // Serve answers hit queries with the measured CPU engines
