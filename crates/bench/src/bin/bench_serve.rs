@@ -29,6 +29,14 @@
 //! shed and some must serve (`0 < shed_fraction < 1`); a daemon that
 //! stalls the whole burst or sheds all of it fails outright.
 //!
+//! The overload run doubles as the observability cross-check: it boots
+//! the daemon with an access log and asserts one schema-valid JSON line
+//! per request, and it scrapes the 1-minute sliding-window p99 gauge
+//! before shutdown and gates it against the client-measured p99 — the
+//! two views of the same burst must agree within the window's 2×-wide
+//! log₂ buckets. The warm/cold profiles stay access-log-free on
+//! purpose: their latencies double as the disabled-path overhead gate.
+//!
 //! Usage:
 //!
 //! * `bench_serve` — print fresh JSON to stdout (redirect to
@@ -79,6 +87,13 @@ struct OverloadProfile {
     p99_ms: f64,
     served: usize,
     shed: usize,
+    /// The daemon's own `offtarget_serve_window_p99_seconds{window="1m"}`
+    /// gauge, scraped right after the burst, in milliseconds.
+    window_p99_ms: f64,
+    /// Client-side p99 over every request the daemon *handled* — the
+    /// burst plus the cold warm-up — i.e. the same population the
+    /// window gauge aggregates. Used only for the agreement gate.
+    handled_p99_ms: f64,
 }
 
 fn guide_set(seed: u64) -> Vec<u8> {
@@ -86,6 +101,17 @@ fn guide_set(seed: u64) -> Vec<u8> {
     let mut body = Vec::new();
     guide_io::write_guides(&mut body, &guides).expect("serialize guides");
     body
+}
+
+/// One `Connection: close` GET; returns the response body.
+fn get(addr: SocketAddr, target: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(stream, "GET {target} HTTP/1.1\r\nHost: bench\r\nContent-Length: 0\r\n\r\n")
+        .expect("write head");
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let split = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("header/body split");
+    String::from_utf8_lossy(&raw[split + 4..]).into_owned()
 }
 
 /// One `Connection: close` POST /search; returns the status code.
@@ -180,19 +206,26 @@ fn measure() -> (Profile, Profile) {
 /// into served (200) and shed (503).
 fn measure_overload() -> OverloadProfile {
     let genome = SynthSpec::new(GENOME_LEN).seed(SEED).contigs(2).generate();
-    let cfg = ServeConfig {
+    let log_path =
+        std::env::temp_dir().join(format!("bench-serve-access-{}.log", std::process::id()));
+    let _ = std::fs::remove_file(&log_path);
+    let mut cfg = ServeConfig {
         workers: OVERLOAD_WORKERS,
         queue_depth: Some(OVERLOAD_QUEUE),
         default_engine: ENGINE.to_string(),
         ..ServeConfig::default()
     };
+    cfg.obs.access_log = Some(log_path.to_str().expect("utf-8 temp path").to_string());
     let server = Server::start(genome, cfg).expect("start server");
     let addr = server.local_addr();
 
     // Warm the cache first so admitted-request latency measures
-    // queueing, not a fresh DFA compile per request.
+    // queueing, not a fresh DFA compile per request. Its latency is
+    // timed because the daemon's window sees this request too.
     let shared = guide_set(SEED);
+    let warmup_start = Instant::now();
     assert_eq!(post_search(addr, &shared), 200, "warm-up request");
+    let warmup_ms = warmup_start.elapsed().as_secs_f64() * 1e3;
 
     // Slow every dequeue so the burst outruns the pool: without the
     // stall, local workers drain a 120 kb scan faster than 32 loopback
@@ -212,8 +245,29 @@ fn measure_overload() -> OverloadProfile {
         handles.into_iter().map(|h| h.join().expect("client thread")).collect()
     });
     drop(scenario);
+
+    // The daemon's own view of the burst, before the window ages out.
+    let metrics = get(addr, "/metrics");
+    let window_p99_ms = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("offtarget_serve_window_p99_seconds{window=\"1m\"} "))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .expect("window p99 gauge on /metrics")
+        * 1e3;
     server.shutdown();
     server.join();
+
+    // Access-log exactness: the warm-up, every burst client (served and
+    // shed alike), and the metrics scrape each left one JSON line.
+    let log = std::fs::read_to_string(&log_path).expect("read access log");
+    let expected = 1 + OVERLOAD_CLIENTS + 1;
+    assert_eq!(log.lines().count(), expected, "one access-log line per request");
+    for line in log.lines() {
+        let record = json::parse(line).expect("access-log line parses as JSON");
+        assert!(record.get("id").and_then(|v| v.as_str()).is_some(), "log line has an id");
+        assert!(record.get("outcome").and_then(|v| v.as_str()).is_some());
+    }
+    let _ = std::fs::remove_file(&log_path);
 
     let mut served_ms: Vec<f64> = Vec::new();
     let mut shed = 0usize;
@@ -229,11 +283,17 @@ fn measure_overload() -> OverloadProfile {
         0 => 0.0,
         n => served_ms[((n - 1) as f64 * 0.99) as usize],
     };
+    let mut handled_ms = served_ms.clone();
+    handled_ms.push(warmup_ms);
+    handled_ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let handled_p99_ms = handled_ms[((handled_ms.len() - 1) as f64 * 0.99) as usize];
     OverloadProfile {
         shed_fraction: shed as f64 / OVERLOAD_CLIENTS as f64,
         p99_ms,
         served: served_ms.len(),
         shed,
+        window_p99_ms,
+        handled_p99_ms,
     }
 }
 
@@ -253,8 +313,12 @@ fn render(cold: &Profile, warm: &Profile, overload: &OverloadProfile) -> String 
     out.push_str(&format!(
         "  \"overload\": {{\"clients\": {OVERLOAD_CLIENTS}, \"workers\": {OVERLOAD_WORKERS}, \
          \"queue_depth\": {OVERLOAD_QUEUE}, \"shed_fraction\": {:.4}, \"served\": {}, \
-         \"shed\": {}, \"p99_ms\": {:.3}}},\n",
-        overload.shed_fraction, overload.served, overload.shed, overload.p99_ms
+         \"shed\": {}, \"p99_ms\": {:.3}, \"window_p99_ms\": {:.3}}},\n",
+        overload.shed_fraction,
+        overload.served,
+        overload.shed,
+        overload.p99_ms,
+        overload.window_p99_ms
     ));
     out.push_str(&format!("  \"warm_over_cold_p50\": {:.4}\n", warm.p50_ms / cold.p50_ms));
     out.push_str("}\n");
@@ -286,8 +350,15 @@ fn check(
     );
     println!("  warm_over_cold_p50: {now:.4} vs baseline {was:.4}");
     println!(
-        "  overload: {}/{} served, {} shed (shed_fraction {:.4}), served p99 {:.3}ms",
-        overload.served, OVERLOAD_CLIENTS, overload.shed, overload.shed_fraction, overload.p99_ms
+        "  overload: {}/{} served, {} shed (shed_fraction {:.4}), served p99 {:.3}ms, \
+         handled p99 {:.3}ms, window p99 {:.3}ms",
+        overload.served,
+        OVERLOAD_CLIENTS,
+        overload.shed,
+        overload.shed_fraction,
+        overload.p99_ms,
+        overload.handled_p99_ms,
+        overload.window_p99_ms
     );
     // Two gates: the cache must still beat a cold compile outright, and
     // the ratio must not have drifted far past the committed baseline.
@@ -317,6 +388,20 @@ fn check(
     }
     if overload.served == 0 {
         return Err("overload burst served nothing: shedding has become a full outage".into());
+    }
+    // The daemon's sliding-window p99 must agree with the client-side
+    // measurement of the same burst. The window buckets latencies into
+    // 2×-wide log₂ bins, so agreement within [0.5, 2.0]× is the
+    // tightest machine-independent gate the geometry supports; a window
+    // that drifts past it is reporting a different reality than the
+    // clients lived.
+    let agreement = overload.window_p99_ms / overload.handled_p99_ms.max(1e-9);
+    if !(0.5..=2.0).contains(&agreement) {
+        return Err(format!(
+            "window p99 ({:.3}ms) disagrees with the measured handled p99 ({:.3}ms) by {:.2}x: \
+             the SLO gauges are not tracking observed latency",
+            overload.window_p99_ms, overload.handled_p99_ms, agreement
+        ));
     }
     Ok(())
 }

@@ -261,18 +261,29 @@ pub fn fired_total() -> u64 {
     FIRED_TOTAL.load(Ordering::Acquire)
 }
 
-fn fire_observer() -> &'static OnceLock<fn(&str)> {
-    static FIRE_OBSERVER: OnceLock<fn(&str)> = OnceLock::new();
+/// What a fire observer is told about one fired fault: the site name
+/// and the configured kind (including the delay length), so consumers
+/// can label the event without re-parsing the active spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FireEvent<'a> {
+    /// The site that fired.
+    pub site: &'a str,
+    /// What the fire does (panic, error, or a delay of N milliseconds).
+    pub kind: FailKind,
+}
+
+fn fire_observer() -> &'static OnceLock<fn(FireEvent<'_>)> {
+    static FIRE_OBSERVER: OnceLock<fn(FireEvent<'_>)> = OnceLock::new();
     &FIRE_OBSERVER
 }
 
-/// Registers a process-wide observer called with the site name every
+/// Registers a process-wide observer called with a [`FireEvent`] every
 /// time a fault fires (after the fired counter is bumped, before the
 /// fault takes effect, on the firing thread). Write-once: the first
 /// registration wins and later calls are ignored — observers are
 /// infrastructure wiring (e.g. the tracing layer putting fault events
 /// on a timeline), not per-test state, and are never unregistered.
-pub fn set_fire_observer(observer: fn(&str)) {
+pub fn set_fire_observer(observer: fn(FireEvent<'_>)) {
     let _ = fire_observer().set(observer);
 }
 
@@ -320,7 +331,7 @@ fn evaluate(site: &str) -> Option<FailKind> {
     drop(guard);
     FIRED_TOTAL.fetch_add(1, Ordering::AcqRel);
     if let Some(observer) = fire_observer().get() {
-        observer(site);
+        observer(FireEvent { site, kind });
     }
     match kind {
         FailKind::Delay(ms) => {

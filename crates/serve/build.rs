@@ -1,0 +1,22 @@
+//! Bakes the git revision into the daemon for the
+//! `offtarget_build_info` metric, falling back to `unknown` when the
+//! build happens outside a git checkout (a source tarball, a vendored
+//! copy).
+
+use std::process::Command;
+
+fn main() {
+    let sha = Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|raw| raw.trim().to_string())
+        .filter(|sha| !sha.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    println!("cargo:rustc-env=OFFTARGET_GIT_SHA={sha}");
+    // Recompile when the checked-out commit moves; harmless when the
+    // path does not exist.
+    println!("cargo:rerun-if-changed=../../.git/HEAD");
+}

@@ -14,19 +14,29 @@ const MAX_HEADER_BYTES: usize = 32 * 1024;
 /// Largest accepted body (a guide list; 16 MiB is ~400k guides).
 const MAX_BODY_BYTES: usize = 16 * 1024 * 1024;
 
-/// One parsed request: method, decoded path, decoded query pairs, body.
+/// One parsed request: method, decoded path, decoded query pairs,
+/// headers (names lowercased), body, and how many wire bytes it cost.
 #[derive(Debug)]
 pub(crate) struct Request {
     pub method: String,
     pub path: String,
     pub query: Vec<(String, String)>,
+    pub headers: Vec<(String, String)>,
     pub body: Vec<u8>,
+    /// Wire bytes consumed by this request: request line, headers,
+    /// separators, and body — the access log's `bytes_in`.
+    pub bytes_in: u64,
 }
 
 impl Request {
     /// The first value of query parameter `name`, if present.
     pub fn query_param(&self, name: &str) -> Option<&str> {
         self.query.iter().find(|(k, _)| k == name).map(|(_, v)| v.as_str())
+    }
+
+    /// The value of header `name` (ASCII case-insensitive), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers.iter().find(|(k, _)| k.eq_ignore_ascii_case(name)).map(|(_, v)| v.as_str())
     }
 }
 
@@ -64,11 +74,13 @@ fn check_deadline(deadline: Option<Instant>) -> Result<(), ParseError> {
 }
 
 /// Reads one `\r\n`- (or `\n`-) terminated line of at most `limit`
-/// bytes, polling `deadline` between buffer refills.
+/// bytes, polling `deadline` between buffer refills. `consumed` is
+/// advanced by the raw wire bytes taken, terminator included.
 fn read_line<R: BufRead>(
     reader: &mut R,
     limit: usize,
     deadline: Option<Instant>,
+    consumed: &mut u64,
 ) -> Result<String, ParseError> {
     let mut raw = Vec::new();
     loop {
@@ -96,6 +108,7 @@ fn read_line<R: BufRead>(
     if raw.len() > limit {
         return Err(ParseError::Bad(format!("line exceeds {limit} bytes")));
     }
+    *consumed += raw.len() as u64;
     while raw.last() == Some(&b'\n') || raw.last() == Some(&b'\r') {
         raw.pop();
     }
@@ -149,7 +162,8 @@ pub(crate) fn parse_request<R: Read>(
     deadline: Option<Instant>,
 ) -> Result<Request, ParseError> {
     let mut reader = BufReader::new(stream);
-    let request_line = read_line(&mut reader, MAX_REQUEST_LINE, deadline)?;
+    let mut bytes_in = 0u64;
+    let request_line = read_line(&mut reader, MAX_REQUEST_LINE, deadline, &mut bytes_in)?;
     let mut parts = request_line.split_whitespace();
     let (method, target, version) = match (parts.next(), parts.next(), parts.next()) {
         (Some(m), Some(t), Some(v)) => (m.to_string(), t.to_string(), v),
@@ -161,8 +175,9 @@ pub(crate) fn parse_request<R: Read>(
 
     let mut content_length = 0usize;
     let mut header_bytes = 0usize;
+    let mut headers = Vec::new();
     loop {
-        let line = read_line(&mut reader, MAX_REQUEST_LINE, deadline)?;
+        let line = read_line(&mut reader, MAX_REQUEST_LINE, deadline, &mut bytes_in)?;
         if line.is_empty() {
             break;
         }
@@ -179,6 +194,7 @@ pub(crate) fn parse_request<R: Read>(
                 .parse()
                 .map_err(|_| ParseError::Bad(format!("bad content-length {value:?}")))?;
         }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
     }
     if content_length > MAX_BODY_BYTES {
         return Err(ParseError::Bad(format!("body exceeds {MAX_BODY_BYTES} bytes")));
@@ -198,11 +214,12 @@ pub(crate) fn parse_request<R: Read>(
         filled += n;
     }
 
+    bytes_in += content_length as u64;
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, parse_query(q)),
         None => (target.as_str(), Vec::new()),
     };
-    Ok(Request { method, path: percent_decode(path), query, body })
+    Ok(Request { method, path: percent_decode(path), query, headers, body, bytes_in })
 }
 
 /// One response, written with `Content-Length` and `Connection: close`.
@@ -232,17 +249,23 @@ impl Response {
         self
     }
 
-    pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<()> {
-        write!(writer, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status))?;
-        write!(writer, "Content-Type: {}\r\n", self.content_type)?;
-        write!(writer, "Content-Length: {}\r\n", self.body.len())?;
-        write!(writer, "Connection: close\r\n")?;
+    /// Writes the response and returns the total wire bytes sent — the
+    /// access log's `bytes_out`.
+    pub fn write_to<W: Write>(&self, writer: &mut W) -> io::Result<u64> {
+        let mut head = String::with_capacity(128);
+        use std::fmt::Write as _;
+        let _ = write!(head, "HTTP/1.1 {} {}\r\n", self.status, reason(self.status));
+        let _ = write!(head, "Content-Type: {}\r\n", self.content_type);
+        let _ = write!(head, "Content-Length: {}\r\n", self.body.len());
+        head.push_str("Connection: close\r\n");
         for (name, value) in &self.headers {
-            write!(writer, "{name}: {value}\r\n")?;
+            let _ = write!(head, "{name}: {value}\r\n");
         }
-        write!(writer, "\r\n")?;
+        head.push_str("\r\n");
+        writer.write_all(head.as_bytes())?;
         writer.write_all(&self.body)?;
-        writer.flush()
+        writer.flush()?;
+        Ok(head.len() as u64 + self.body.len() as u64)
     }
 }
 
@@ -284,6 +307,16 @@ mod tests {
         // The value keeps everything after the first `=`.
         assert_eq!(req.query_param("inject"), Some("parallel.chunk=error:1.0,7,1"));
         assert_eq!(req.body, b"hello");
+        assert_eq!(req.header("host"), Some("localhost"));
+        assert_eq!(req.header("Content-Length"), Some("5"));
+        assert_eq!(req.header("x-missing"), None);
+    }
+
+    #[test]
+    fn bytes_in_counts_the_whole_wire_request() {
+        let raw = "POST /search HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.bytes_in, raw.len() as u64);
     }
 
     #[test]
@@ -341,10 +374,11 @@ mod tests {
     #[test]
     fn responses_carry_length_close_and_custom_headers() {
         let mut out = Vec::new();
-        Response::new(206, "text/plain; charset=utf-8", b"body".to_vec())
+        let sent = Response::new(206, "text/plain; charset=utf-8", b"body".to_vec())
             .header("X-Offtarget-Partial", "1/8")
             .write_to(&mut out)
             .unwrap();
+        assert_eq!(sent, out.len() as u64);
         let text = String::from_utf8(out).unwrap();
         assert!(text.starts_with("HTTP/1.1 206 Partial Content\r\n"));
         assert!(text.contains("Content-Length: 4\r\n"));

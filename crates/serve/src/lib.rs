@@ -35,14 +35,23 @@
 //! | Endpoint | Method | Answer |
 //! |---|---|---|
 //! | `/search` | POST | hits for the guide list in the body (TSV or JSON) |
-//! | `/metrics` | GET | aggregated Prometheus text, plus `offtarget_serve_*` series |
-//! | `/healthz` | GET | liveness JSON (genome size, cache occupancy) |
+//! | `/metrics` | GET | aggregated Prometheus text, plus `offtarget_serve_*` series and sliding-window SLO gauges |
+//! | `/healthz` | GET | liveness JSON (genome size, cache occupancy, 1-minute SLO summary) |
+//! | `/debug/requests` | GET | the live request table plus recent completions |
 //! | `/shutdown` | POST | graceful drain: stop accepting, finish in-flight scans |
+//!
+//! Every request carries an identity: the daemon assigns (or adopts
+//! from `X-Offtarget-Request-Id`) a per-request id, echoes it on every
+//! response, stamps it on the request's trace spans and failpoint
+//! instants, and — when `--access-log` is set — emits one JSON-lines
+//! access-log record per request. See the `obs` module.
 
 #![warn(missing_docs)]
 
 mod cache;
 mod http;
+mod obs;
 mod server;
 
+pub use obs::ObsConfig;
 pub use server::{engine_names, ServeConfig, Server};

@@ -3,6 +3,7 @@
 
 use crate::cache::{fnv1a, CacheKey, PreparedCache, PreparedEntry};
 use crate::http::{parse_request, ParseError, Request, Response};
+use crate::obs::{sanitize_client_id, Obs, ObsConfig, RequestCtx};
 use crispr_engines::{
     scan_prepared, BitParallelEngine, CancelToken, CasOffinderCpuEngine, CasotEngine, DfaEngine,
     Engine, EngineError, NfaEngine, PreparedSearch, ScalarEngine, ScanDeployment, SearchError,
@@ -98,6 +99,9 @@ pub struct ServeConfig {
     /// daemon's lifetime before letting the pool shrink (a crash-looping
     /// pool should become visible, not thrash forever).
     pub respawn_budget: u32,
+    /// Per-request observability knobs (access log, slow-trace capture).
+    /// Request ids and the sliding-window SLOs are always on.
+    pub obs: ObsConfig,
 }
 
 impl Default for ServeConfig {
@@ -115,6 +119,7 @@ impl Default for ServeConfig {
             read_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(30),
             respawn_budget: 8,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -165,6 +170,9 @@ struct Shared {
     respawned: AtomicU64,
     /// Resolved admission-queue capacity.
     queue_capacity: usize,
+    /// Per-request observability: ids, access log, SLO window,
+    /// in-flight table, slow-trace capture.
+    obs: Arc<Obs>,
 }
 
 /// A running daemon. Dropping the handle does *not* stop the threads —
@@ -227,6 +235,12 @@ impl Server {
         let local_addr = listener.local_addr()?;
         let contig_names = genome.contigs().iter().map(|c| c.name().to_string()).collect();
         let queue_capacity = cfg.queue_capacity();
+        let index_str = match &index {
+            Some(provenance) if provenance.mmap => "mmap",
+            Some(_) => "read",
+            None => "-",
+        };
+        let obs = Arc::new(Obs::new(&cfg.obs, index_str)?);
         let shared = Arc::new(Shared {
             genome,
             contig_names,
@@ -244,6 +258,7 @@ impl Server {
             deadlines: AtomicU64::new(0),
             respawned: AtomicU64::new(0),
             queue_capacity,
+            obs,
         });
 
         // Accepted connections flow through a *bounded* channel to the
@@ -252,7 +267,7 @@ impl Server {
         // at the ingest boundary, never accept-then-stall). On shutdown
         // the accept loop drops the sender, the queue drains, and each
         // worker exits on the disconnect — the graceful drain.
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(queue_capacity);
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_capacity);
         let rx = Arc::new(Mutex::new(rx));
         let pool = Arc::new(WorkerPool {
             handles: Mutex::new(
@@ -294,11 +309,16 @@ impl Server {
     }
 }
 
+/// One admitted connection riding the queue: the socket plus the
+/// observability context created at accept, so the queue wait is
+/// measured from admission, not from dequeue.
+struct Job {
+    stream: TcpStream,
+    ctx: RequestCtx,
+}
+
 /// Spawns one pool worker.
-fn spawn_worker(
-    shared: &Arc<Shared>,
-    rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
-) -> JoinHandle<()> {
+fn spawn_worker(shared: &Arc<Shared>, rx: &Arc<Mutex<mpsc::Receiver<Job>>>) -> JoinHandle<()> {
     let shared = Arc::clone(shared);
     let rx = Arc::clone(rx);
     std::thread::spawn(move || worker_loop(&shared, &rx))
@@ -308,7 +328,7 @@ fn spawn_worker(
 /// when it died of a panic, the daemon is not draining, and the respawn
 /// budget is not exhausted — spawns a replacement, keeping the pool at
 /// full strength. Runs on the accept thread between accepts.
-fn heal_pool(shared: &Arc<Shared>, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, pool: &WorkerPool) {
+fn heal_pool(shared: &Arc<Shared>, rx: &Arc<Mutex<mpsc::Receiver<Job>>>, pool: &WorkerPool) {
     let mut handles = pool.handles.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     let mut i = 0;
     while i < handles.len() {
@@ -331,14 +351,28 @@ fn heal_pool(shared: &Arc<Shared>, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>, p
 /// Answers a connection the admission queue has no room for: an
 /// immediate `503 + Retry-After` written from the accept thread (a few
 /// bytes into a fresh socket buffer — it cannot stall the loop, and a
-/// short write timeout guards the pathological case).
-fn shed(shared: &Shared, mut stream: TcpStream) {
+/// short write timeout guards the pathological case). The `Retry-After`
+/// hint is derived from the queue drain rate observed over the last
+/// minute, clamped to [1, 30] — an idle daemon answers the cap rather
+/// than promising a retry window it cannot back up.
+fn shed(shared: &Shared, job: Job) {
+    let Job { mut stream, mut ctx } = job;
     shared.shed.fetch_add(1, Ordering::Relaxed);
+    let retry_after = shared.obs.window.retry_after_hint(shared.queued.load(Ordering::Relaxed));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(1)));
-    let sent = Response::text(503, "overloaded: admission queue full, retry later")
-        .header("Retry-After", "1")
-        .write_to(&mut stream)
-        .is_ok();
+    let id = ctx.id();
+    let mut response = Response::text(503, "overloaded: admission queue full, retry later")
+        .header("Retry-After", retry_after.to_string())
+        .header("X-Offtarget-Request-Id", id.clone());
+    stamp_error_body(&mut response, &id);
+    let sent = match response.write_to(&mut stream) {
+        Ok(n) => {
+            ctx.bytes_out = n;
+            true
+        }
+        Err(_) => false,
+    };
+    ctx.finish(503, "shed");
     if !sent {
         return;
     }
@@ -361,34 +395,39 @@ fn shed(shared: &Shared, mut stream: TcpStream) {
 
 /// Admits one accepted connection: failpoint gate, then a non-blocking
 /// enqueue that sheds on a full queue.
-fn admit(shared: &Shared, tx: &mpsc::SyncSender<TcpStream>, stream: TcpStream) {
+fn admit(shared: &Shared, tx: &mpsc::SyncSender<Job>, stream: TcpStream) {
     // Chaos site: `error` drops the connection at the door, `panic` is
     // fenced by the accept loop's catch_unwind (the accept thread is the
-    // daemon's front door and must survive).
+    // daemon's front door and must survive). Fires before the request
+    // gains an identity: a connection dropped at the door was never
+    // admitted, so it leaves no access-log line.
     if crispr_failpoint::hit("serve.accept").is_err() {
         return;
     }
+    let peer = stream.peer_addr().map_or_else(|_| "-".to_string(), |addr| addr.to_string());
+    let ctx = shared.obs.begin_request(peer);
     // Count the slot *before* handing the stream over: a worker may
     // dequeue (and decrement) the instant `try_send` returns, and a
     // post-send increment would let the gauge underflow past zero.
     shared.queued.fetch_add(1, Ordering::Relaxed);
-    match tx.try_send(stream) {
+    match tx.try_send(Job { stream, ctx }) {
         Ok(()) => {}
-        Err(mpsc::TrySendError::Full(stream)) => {
+        Err(mpsc::TrySendError::Full(job)) => {
             shared.queued.fetch_sub(1, Ordering::Relaxed);
-            shed(shared, stream);
+            shed(shared, job);
         }
-        Err(mpsc::TrySendError::Disconnected(_)) => {
+        Err(mpsc::TrySendError::Disconnected(job)) => {
             shared.queued.fetch_sub(1, Ordering::Relaxed);
+            job.ctx.finish(0, "dropped");
         }
     }
 }
 
 fn accept_loop(
     listener: &TcpListener,
-    tx: &mpsc::SyncSender<TcpStream>,
+    tx: &mpsc::SyncSender<Job>,
     shared: &Arc<Shared>,
-    rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>,
+    rx: &Arc<Mutex<mpsc::Receiver<Job>>>,
     pool: &WorkerPool,
 ) {
     loop {
@@ -412,65 +451,175 @@ fn accept_loop(
     heal_pool(shared, rx, pool);
 }
 
-fn worker_loop(shared: &Shared, rx: &Arc<Mutex<mpsc::Receiver<TcpStream>>>) {
+fn worker_loop(shared: &Shared, rx: &Arc<Mutex<mpsc::Receiver<Job>>>) {
     loop {
         // The guard is dropped before handling so one slow scan does not
         // serialize the whole pool.
-        let stream = match rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv() {
-            Ok(stream) => stream,
+        let job = match rx.lock().unwrap_or_else(std::sync::PoisonError::into_inner).recv() {
+            Ok(job) => job,
             Err(_) => break,
         };
         shared.queued.fetch_sub(1, Ordering::Relaxed);
+        let Job { stream, mut ctx } = job;
+        // Stage `scanning` is entered at dequeue — before the failpoint
+        // below — so a request stalled by `serve.worker=delay` is
+        // visible in `/debug/requests` as an in-flight scan.
+        ctx.mark_dequeued();
         // Chaos site: `error` drops the dequeued connection, `panic`
         // kills this worker thread — which is exactly what the
         // supervisor's respawn path is tested against. Deliberately NOT
-        // fenced by catch_unwind.
+        // fenced by catch_unwind: the context's Drop records the
+        // `respawned-worker` outcome during the unwind.
         if crispr_failpoint::hit("serve.worker").is_err() {
+            ctx.finish(0, "dropped");
             continue;
         }
-        handle_connection(shared, stream);
+        handle_connection(shared, stream, ctx);
     }
 }
 
-fn handle_connection(shared: &Shared, stream: TcpStream) {
+fn handle_connection(shared: &Shared, stream: TcpStream, mut ctx: RequestCtx) {
     let _ = stream.set_read_timeout(Some(shared.cfg.read_timeout));
     let _ = stream.set_write_timeout(Some(shared.cfg.write_timeout));
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
-        Err(_) => return,
+        Err(_) => {
+            ctx.finish(0, "disconnect");
+            return;
+        }
     };
     // Absolute bound on the whole request read (line + headers + body):
     // the socket timeout restarts per successful read, so a slow-loris
     // client trickling bytes would otherwise hold this worker
     // indefinitely.
     let read_deadline = Instant::now() + shared.cfg.read_timeout;
-    let response = match parse_request(stream, Some(read_deadline)) {
-        Ok(request) => route(shared, &request),
+    let mut response = match parse_request(stream, Some(read_deadline)) {
+        Ok(request) => {
+            ctx.bytes_in = request.bytes_in;
+            // A client-supplied id (sanitized: 1–64 chars of
+            // `[A-Za-z0-9._-]`) replaces the generated one, so callers
+            // can thread their own correlation ids end to end.
+            if let Some(id) = request.header("x-offtarget-request-id").and_then(sanitize_client_id)
+            {
+                ctx.adopt_id(id);
+            }
+            // Everything this worker records on the timeline while
+            // routing — the request span, scan spans, fault instants —
+            // carries the request's tag, so one request can be filtered
+            // out of a whole-daemon trace. The guards drop before the
+            // flush below.
+            let _tag = crispr_trace::request_scope(ctx.trace_tag());
+            let _span = crispr_trace::span("serve:request");
+            route(shared, &request, &mut ctx)
+        }
         Err(ParseError::Bad(reason)) => Response::text(400, reason),
         // A dead connection cannot be answered.
-        Err(ParseError::Io(_)) => return,
+        Err(ParseError::Io(_)) => {
+            ctx.finish(0, "disconnect");
+            return;
+        }
     };
+    // Pool workers live across requests, so their trace buffers must be
+    // flushed per request for a session to collect them; one relaxed
+    // load when tracing is off.
+    if crispr_trace::enabled() {
+        crispr_trace::flush_thread();
+    }
+    let id = ctx.id();
+    response = response.header("X-Offtarget-Request-Id", id.clone());
+    if response.status >= 400 {
+        stamp_error_body(&mut response, &id);
+    }
+    ctx.mark_responding();
     // Chaos site: `error` drops the connection before the response is
     // written (the client sees a reset), `panic` kills the worker after
     // the scan completed — both respond-path failure modes.
     if crispr_failpoint::hit("serve.respond").is_err() {
+        ctx.finish(response.status, "dropped");
         return;
     }
-    let _ = response.write_to(&mut writer);
+    match response.write_to(&mut writer) {
+        Ok(bytes_out) => {
+            ctx.bytes_out = bytes_out;
+            let outcome = outcome_for(response.status, ctx.deadline_tripped);
+            ctx.finish(response.status, outcome);
+        }
+        Err(_) => ctx.finish(response.status, "disconnect"),
+    }
 }
 
-fn route(shared: &Shared, request: &Request) -> Response {
+/// The access-log outcome for a written response: the deadline verdict
+/// wins (a 206 that degraded because its budget tripped is still a
+/// `deadline`), then the status maps to its name.
+fn outcome_for(status: u16, deadline_tripped: bool) -> &'static str {
+    if status == 504 || deadline_tripped {
+        return "deadline";
+    }
+    match status {
+        200 => "ok",
+        206 => "partial",
+        400 => "bad-request",
+        403 => "forbidden",
+        404 => "not-found",
+        405 => "method-not-allowed",
+        500 => "error",
+        503 => "unavailable",
+        _ => "other",
+    }
+}
+
+/// Stamps the request id into a 4xx/5xx body, so a client that lost the
+/// response headers (a proxy hop, a truncated log paste) can still
+/// correlate with the daemon's access log: JSON bodies gain a
+/// `"request_id"` member, text bodies a trailing `request-id:` line.
+fn stamp_error_body(response: &mut Response, id: &str) {
+    if response.body.first() == Some(&b'{') {
+        if let Some(pos) = response.body.iter().rposition(|&b| b == b'}') {
+            let member = format!(",\"request_id\":\"{}\"", escape(id));
+            response.body.splice(pos..pos, member.into_bytes());
+        }
+    } else {
+        response.body.extend_from_slice(format!("request-id: {id}\n").as_bytes());
+    }
+}
+
+/// The known method names, as `'static` strings for the access log (an
+/// arbitrary client string must not reach the log schema).
+fn method_label(method: &str) -> &'static str {
+    match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        "HEAD" => "HEAD",
+        "PUT" => "PUT",
+        "DELETE" => "DELETE",
+        _ => "other",
+    }
+}
+
+fn route(shared: &Shared, request: &Request, ctx: &mut RequestCtx) -> Response {
     shared.requests.fetch_add(1, Ordering::Relaxed);
     shared.inflight.fetch_add(1, Ordering::Relaxed);
+    let route_label = match request.path.as_str() {
+        "/search" => "/search",
+        "/metrics" => "/metrics",
+        "/healthz" => "/healthz",
+        "/shutdown" => "/shutdown",
+        "/debug/requests" => "/debug/requests",
+        _ => "other",
+    };
+    ctx.set_route(method_label(&request.method), route_label);
     let response = match (request.method.as_str(), request.path.as_str()) {
-        ("POST", "/search") => handle_search(shared, request),
+        ("POST", "/search") => handle_search(shared, request, ctx),
         ("GET", "/metrics") => handle_metrics(shared),
         ("GET", "/healthz") => handle_healthz(shared),
+        ("GET", "/debug/requests") => {
+            Response::new(200, "application/json", shared.obs.debug_requests_json().into_bytes())
+        }
         ("POST", "/shutdown") => {
             shared.shutdown.store(true, Ordering::Release);
             Response::text(200, "{\"status\":\"draining\"}")
         }
-        ("GET" | "POST", "/search" | "/metrics" | "/healthz" | "/shutdown") => {
+        ("GET" | "POST", "/search" | "/metrics" | "/healthz" | "/shutdown" | "/debug/requests") => {
             Response::text(405, format!("{} not allowed on {}", request.method, request.path))
         }
         (_, path) => Response::text(404, format!("no such endpoint {path:?}")),
@@ -490,12 +639,14 @@ fn route(shared: &Shared, request: &Request) -> Response {
 /// budget (clamped to `--max-deadline`) that trips mid-scan answers 504
 /// — or 206 when completed chunks already recovered hits — with
 /// `X-Offtarget-Deadline` naming the effective budget.
-fn handle_search(shared: &Shared, request: &Request) -> Response {
+fn handle_search(shared: &Shared, request: &Request, ctx: &mut RequestCtx) -> Response {
     let k: usize = match request.query_param("k").unwrap_or("3").parse() {
         Ok(k) => k,
         Err(e) => return Response::text(400, format!("bad k: {e}")),
     };
     let engine = request.query_param("engine").unwrap_or(&shared.cfg.default_engine).to_string();
+    ctx.k = k as i64;
+    ctx.engine = engine.clone();
     let format = request.query_param("format").unwrap_or("tsv");
     if format != "tsv" && format != "json" {
         return Response::text(400, format!("unknown format {format:?} (tsv|json)"));
@@ -510,19 +661,24 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
         None => None,
     };
     let cancel = match deadline {
-        Some(budget) => CancelToken::with_deadline(budget),
+        Some(budget) => {
+            ctx.set_deadline(budget);
+            CancelToken::with_deadline(budget)
+        }
         None => CancelToken::none(),
     };
     let guides = match guide_io::read_guides(request.body.as_slice()) {
         Ok(guides) => guides,
         Err(e) => return Response::text(400, format!("bad guide list: {e}")),
     };
+    ctx.guides = guides.len() as u64;
 
     // Canonical serialized form of the parsed set, so formatting noise
     // in the request body (comments, blank lines) cannot split the cache.
     let mut canonical = Vec::new();
     let _ = guide_io::write_guides(&mut canonical, &guides);
     let key = CacheKey { guides_hash: fnv1a(&canonical), k, engine: engine.clone() };
+    ctx.guides_hash = Some(key.guides_hash);
 
     let (entry, cache_hit) = match shared.cache.get(&key) {
         Some(entry) => (entry, true),
@@ -578,8 +734,10 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
     let deployment = ScanDeployment::new(shared.cfg.scan_threads.max(1))
         .with_retry_limit(shared.cfg.retry_limit)
         .with_cancel(cancel.clone());
+    ctx.cache = Some(cache_hit);
     let scan_start = Instant::now();
     let outcome = scan_prepared(entry.prepared.as_ref(), &shared.genome, &deployment, &mut metrics);
+    ctx.scan_s = scan_start.elapsed().as_secs_f64();
     drop(scenario);
     if !cache_hit {
         // The compile happened this request; hits ride a cached compile
@@ -600,6 +758,7 @@ fn handle_search(shared: &Shared, request: &Request) -> Response {
             let (hits, chunks_scanned, chunks_total, _deadline) =
                 e.into_cancelled().expect("is_cancelled checked");
             shared.deadlines.fetch_add(1, Ordering::Relaxed);
+            ctx.deadline_tripped = true;
             tripped = Some((chunks_scanned, chunks_total));
             (hits, Vec::new(), chunks_total)
         }
@@ -749,69 +908,202 @@ fn render_json(
     out.into_bytes()
 }
 
+/// Appends one fully annotated Prometheus series: `# HELP`, `# TYPE`,
+/// then the sample.
+fn push_series(text: &mut String, name: &str, kind: &str, help: &str, value: String) {
+    text.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"));
+}
+
+/// Appends one sliding-window gauge family: a `1m` and a `5m` sample
+/// under a shared `HELP`/`TYPE` header.
+fn push_windowed(text: &mut String, name: &str, help: &str, v1: f64, v5: f64) {
+    text.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name}{{window=\"1m\"}} {v1}\n{name}{{window=\"5m\"}} {v5}\n"
+    ));
+}
+
 /// `GET /metrics`: every aggregated search counter in Prometheus text,
 /// plus the daemon's own `offtarget_serve_*` series.
 fn handle_metrics(shared: &Shared) -> Response {
     let aggregate =
         shared.metrics.lock().unwrap_or_else(std::sync::PoisonError::into_inner).clone();
     let mut text = crispr_trace::prom::render(&aggregate);
-    let mut series = |name: &str, kind: &str, value: String| {
-        text.push_str(&format!("# TYPE {name} {kind}\n{name} {value}\n"));
-    };
-    series(
+    push_series(
+        &mut text,
         "offtarget_serve_requests_total",
         "counter",
+        "Requests routed since boot.",
         shared.requests.load(Ordering::Relaxed).to_string(),
     );
-    series(
+    push_series(
+        &mut text,
         "offtarget_serve_partial_total",
         "counter",
+        "Searches answered 206 with partial results.",
         shared.partials.load(Ordering::Relaxed).to_string(),
     );
-    series(
+    push_series(
+        &mut text,
         "offtarget_serve_errors_total",
         "counter",
+        "Requests answered 4xx/5xx.",
         shared.errors.load(Ordering::Relaxed).to_string(),
     );
-    series("offtarget_serve_cache_hits_total", "counter", shared.cache.hits().to_string());
-    series("offtarget_serve_cache_misses_total", "counter", shared.cache.misses().to_string());
-    series("offtarget_serve_cache_entries", "gauge", shared.cache.len().to_string());
-    series(
+    push_series(
+        &mut text,
+        "offtarget_serve_cache_hits_total",
+        "counter",
+        "Prepared-search cache hits.",
+        shared.cache.hits().to_string(),
+    );
+    push_series(
+        &mut text,
+        "offtarget_serve_cache_misses_total",
+        "counter",
+        "Prepared-search cache misses (each one paid a compile).",
+        shared.cache.misses().to_string(),
+    );
+    push_series(
+        &mut text,
+        "offtarget_serve_cache_entries",
+        "gauge",
+        "Prepared searches currently cached.",
+        shared.cache.len().to_string(),
+    );
+    push_series(
+        &mut text,
         "offtarget_serve_inflight",
         "gauge",
+        "Requests being handled right now (this scrape excluded).",
         // This request is itself in flight; report the others.
         shared.inflight.load(Ordering::Relaxed).saturating_sub(1).to_string(),
     );
-    series(
+    push_series(
+        &mut text,
         "offtarget_serve_shed_total",
         "counter",
+        "Connections shed at admission with 503.",
         shared.shed.load(Ordering::Relaxed).to_string(),
     );
-    series(
+    push_series(
+        &mut text,
         "offtarget_serve_deadline_total",
         "counter",
+        "Requests whose deadline tripped mid-scan (504 or degraded 206).",
         shared.deadlines.load(Ordering::Relaxed).to_string(),
     );
-    series(
+    push_series(
+        &mut text,
         "offtarget_serve_workers_respawned_total",
         "counter",
+        "Panicked pool workers respawned by the supervisor.",
         shared.respawned.load(Ordering::Relaxed).to_string(),
     );
-    series(
+    push_series(
+        &mut text,
         "offtarget_serve_queue_depth",
         "gauge",
+        "Connections sitting in the admission queue.",
         shared.queued.load(Ordering::Relaxed).to_string(),
     );
-    series("offtarget_serve_queue_capacity", "gauge", shared.queue_capacity.to_string());
+    push_series(
+        &mut text,
+        "offtarget_serve_queue_capacity",
+        "gauge",
+        "Admission-queue capacity; at depth == capacity new connections shed.",
+        shared.queue_capacity.to_string(),
+    );
     if let Some(provenance) = &shared.index {
-        series(
+        push_series(
+            &mut text,
             "offtarget_serve_index_mmap",
             "gauge",
+            "1 when the boot index was memory-mapped, 0 for buffered read.",
             if provenance.mmap { "1" } else { "0" }.to_string(),
         );
-        series("offtarget_serve_index_load_seconds", "gauge", format!("{}", provenance.load_s));
-        series("offtarget_serve_index_unpack_seconds", "gauge", format!("{}", provenance.unpack_s));
+        push_series(
+            &mut text,
+            "offtarget_serve_index_load_seconds",
+            "gauge",
+            "Seconds spent opening and validating the boot index.",
+            format!("{}", provenance.load_s),
+        );
+        push_series(
+            &mut text,
+            "offtarget_serve_index_unpack_seconds",
+            "gauge",
+            "Seconds spent unpacking indexed contigs into the resident genome.",
+            format!("{}", provenance.unpack_s),
+        );
     }
+    // Sliding-window SLOs: one family per quantity, a sample per
+    // window, so dashboards can alert on the 1-minute series while the
+    // 5-minute one smooths deploy blips.
+    let w1 = shared.obs.window.snapshot(60);
+    let w5 = shared.obs.window.snapshot(300);
+    push_windowed(
+        &mut text,
+        "offtarget_serve_window_p50_seconds",
+        "Median request latency over the window (handled requests).",
+        w1.p50_s,
+        w5.p50_s,
+    );
+    push_windowed(
+        &mut text,
+        "offtarget_serve_window_p99_seconds",
+        "99th-percentile request latency over the window (handled requests).",
+        w1.p99_s,
+        w5.p99_s,
+    );
+    push_windowed(
+        &mut text,
+        "offtarget_serve_window_qps",
+        "Completed requests per second over the window (sheds included).",
+        w1.qps(),
+        w5.qps(),
+    );
+    push_windowed(
+        &mut text,
+        "offtarget_serve_window_error_rate",
+        "Fraction of requests answered 4xx/5xx over the window (sheds excluded).",
+        w1.error_rate(),
+        w5.error_rate(),
+    );
+    push_windowed(
+        &mut text,
+        "offtarget_serve_window_shed_rate",
+        "Fraction of requests shed at admission over the window.",
+        w1.shed_rate(),
+        w5.shed_rate(),
+    );
+    text.push_str(&format!(
+        "# HELP offtarget_build_info Build metadata; the value is always 1.\n\
+         # TYPE offtarget_build_info gauge\n\
+         offtarget_build_info{{version=\"{}\",git=\"{}\"}} 1\n",
+        env!("CARGO_PKG_VERSION"),
+        env!("OFFTARGET_GIT_SHA"),
+    ));
+    push_series(
+        &mut text,
+        "offtarget_serve_slow_traces_total",
+        "counter",
+        "Slow-request trace files captured since boot.",
+        shared.obs.slow_traces_saved().to_string(),
+    );
+    push_series(
+        &mut text,
+        "offtarget_serve_start_time_seconds",
+        "gauge",
+        "Unix time the daemon booted, in seconds.",
+        format!("{:.3}", shared.obs.start_unix_s),
+    );
+    push_series(
+        &mut text,
+        "offtarget_serve_uptime_seconds",
+        "gauge",
+        "Seconds since the daemon booted.",
+        format!("{:.3}", shared.obs.started.elapsed().as_secs_f64()),
+    );
     Response::new(200, "text/plain; version=0.0.4; charset=utf-8", text.into_bytes())
 }
 
@@ -828,13 +1120,20 @@ fn handle_healthz(shared: &Shared) -> Response {
     } else {
         "ok"
     };
+    let w1 = shared.obs.window.snapshot(60);
     let body = format!(
-        "{{\"status\":\"{status}\",\"genome_bases\":{},\"contigs\":{},\"cache_entries\":{},\"workers\":{},\"queue_depth\":{queued},\"queue_capacity\":{}}}\n",
+        "{{\"status\":\"{status}\",\"genome_bases\":{},\"contigs\":{},\"cache_entries\":{},\"workers\":{},\"queue_depth\":{queued},\"queue_capacity\":{},\"uptime_seconds\":{:.3},\"window_1m\":{{\"qps\":{:.3},\"p50_ms\":{:.3},\"p99_ms\":{:.3},\"error_rate\":{:.4},\"shed_rate\":{:.4}}}}}\n",
         shared.genome.total_len(),
         shared.genome.contig_count(),
         shared.cache.len(),
         shared.cfg.workers,
-        shared.queue_capacity
+        shared.queue_capacity,
+        shared.obs.started.elapsed().as_secs_f64(),
+        w1.qps(),
+        w1.p50_s * 1e3,
+        w1.p99_s * 1e3,
+        w1.error_rate(),
+        w1.shed_rate(),
     );
     let status_code = if status == "ok" { 200 } else { 503 };
     Response::new(status_code, "application/json", body.into_bytes())

@@ -69,10 +69,23 @@ fn push_event(out: &mut String, event: &Event) {
         out.push_str(",\"s\":\"t\"");
     }
     // End events inherit their begin's args; instants with no payload
-    // stay bare. Chunk spans label their args by meaning.
-    if event.kind != EventKind::End && (event.arg0 != 0 || event.arg1 != 0) {
-        let (k0, k1) = arg_labels(event.name);
-        let _ = write!(out, ",\"args\":{{\"{k0}\":{},\"{k1}\":{}}}", event.arg0, event.arg1);
+    // stay bare. Chunk spans label their args by meaning, and events
+    // recorded inside a request scope carry the request tag so one
+    // served request can be filtered out of a whole-daemon timeline.
+    let has_args = event.kind != EventKind::End && (event.arg0 != 0 || event.arg1 != 0);
+    if has_args || event.req != 0 {
+        out.push_str(",\"args\":{");
+        if has_args {
+            let (k0, k1) = arg_labels(event.name);
+            let _ = write!(out, "\"{k0}\":{},\"{k1}\":{}", event.arg0, event.arg1);
+        }
+        if event.req != 0 {
+            if has_args {
+                out.push(',');
+            }
+            let _ = write!(out, "\"req\":\"{:016x}\"", event.req);
+        }
+        out.push('}');
     }
     out.push('}');
 }
@@ -115,7 +128,7 @@ mod tests {
     use super::*;
 
     fn event(ts_ns: u64, tid: u32, kind: EventKind, name: &'static str) -> Event {
-        Event { ts_ns, tid, kind, name, arg0: 0, arg1: 0 }
+        Event { ts_ns, tid, kind, name, arg0: 0, arg1: 0, req: 0 }
     }
 
     #[test]
@@ -129,6 +142,7 @@ mod tests {
                     name: "chunk",
                     arg0: 1,
                     arg1: 4096,
+                    req: 0,
                 },
                 event(2500, 2, EventKind::Instant, "fault:parallel.chunk"),
                 event(9000, 2, EventKind::End, "chunk"),
@@ -163,5 +177,26 @@ mod tests {
     fn dropped_count_is_surfaced() {
         let data = TraceData { events: vec![], thread_names: vec![], dropped: 3 };
         assert!(render(&data).contains("\"offtarget_dropped_events\":3"));
+    }
+
+    #[test]
+    fn request_tags_render_as_hex_args() {
+        let tagged = Event { req: 0xabcd, ..event(100, 1, EventKind::Begin, "serve:request") };
+        let with_both =
+            Event { req: 7, arg0: 2, arg1: 9, ..event(200, 1, EventKind::Begin, "chunk") };
+        let end = Event { req: 0xabcd, ..event(300, 1, EventKind::End, "serve:request") };
+        let data =
+            TraceData { events: vec![tagged, with_both, end], thread_names: vec![], dropped: 0 };
+        let out = render(&data);
+        assert!(out.contains("\"args\":{\"req\":\"000000000000abcd\"}"), "{out}");
+        assert!(
+            out.contains("\"args\":{\"contig\":2,\"offset\":9,\"req\":\"0000000000000007\"}"),
+            "{out}"
+        );
+        // End events keep the tag too (their positional args are dropped).
+        assert!(
+            out.contains("\"ph\":\"E\",\"ts\":0.300") && out.matches("abcd").count() == 2,
+            "{out}"
+        );
     }
 }

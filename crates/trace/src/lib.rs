@@ -82,6 +82,10 @@ pub struct Event {
     pub arg0: u64,
     /// Second untyped argument (chunk spans: base offset).
     pub arg1: u64,
+    /// Request tag of the serving request this event belongs to, or 0
+    /// when no request scope was active on the recording thread (batch
+    /// runs, daemon housekeeping). See [`request_scope`].
+    pub req: u64,
 }
 
 /// Everything one trace session collected.
@@ -183,6 +187,11 @@ impl Drop for ThreadBuf {
 
 thread_local! {
     static THREAD_BUF: RefCell<ThreadBuf> = RefCell::new(ThreadBuf::new());
+    /// The request tag stamped on every event this thread records; 0
+    /// outside any request scope. Written by the serving layer around
+    /// each request so spans and fault instants can be attributed to
+    /// the one request their worker was handling.
+    static CURRENT_REQUEST: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
 }
 
 /// The one-load fast path: is tracing on?
@@ -193,6 +202,7 @@ pub fn enabled() -> bool {
 
 fn record(kind: EventKind, name: &'static str, arg0: u64, arg1: u64) {
     let ts_ns = epoch().elapsed().as_nanos() as u64;
+    let req = current_request();
     // A recursive record (e.g. from a TLS destructor) or an
     // already-destroyed TLS slot silently drops the event.
     let _ = THREAD_BUF.try_with(|buf| {
@@ -202,8 +212,41 @@ fn record(kind: EventKind, name: &'static str, arg0: u64, arg1: u64) {
             return;
         }
         let tid = buf.tid;
-        buf.events.push(Event { ts_ns, tid, kind, name, arg0, arg1 });
+        buf.events.push(Event { ts_ns, tid, kind, name, arg0, arg1, req });
     });
+}
+
+/// The request tag currently stamped on this thread's events (0 outside
+/// any [`request_scope`]).
+#[inline]
+pub fn current_request() -> u64 {
+    CURRENT_REQUEST.try_with(std::cell::Cell::get).unwrap_or(0)
+}
+
+/// An active per-thread request scope; restores the previous tag on
+/// drop, so nested scopes (a daemon worker tracing its own housekeeping
+/// mid-request) unwind correctly.
+#[must_use = "a request scope un-tags the thread when dropped"]
+#[derive(Debug)]
+pub struct RequestTag {
+    prev: u64,
+}
+
+impl Drop for RequestTag {
+    fn drop(&mut self) {
+        let _ = CURRENT_REQUEST.try_with(|cell| cell.set(self.prev));
+    }
+}
+
+/// Tags every event the current thread records until the guard drops
+/// with `tag` — the serving layer's request-id hash, so one request's
+/// spans and fault instants can be pulled out of a whole-daemon
+/// timeline. Costs one TLS write per scope; the tag is only read inside
+/// `record`, which is reached only while tracing is enabled.
+#[inline]
+pub fn request_scope(tag: u64) -> RequestTag {
+    let prev = CURRENT_REQUEST.try_with(|cell| cell.replace(tag)).unwrap_or(0);
+    RequestTag { prev }
 }
 
 /// An open span; records the matching end event on drop.
@@ -282,12 +325,19 @@ pub fn flush_thread() {
 }
 
 /// The failpoint fire observer: puts every fired fault on the timeline
-/// as a `fault:<site>` instant on the firing thread.
-fn fault_fired(site: &str) {
+/// as a `fault:<site>` instant on the firing thread, carrying the fault
+/// kind (and delay length) as arguments so the timeline distinguishes a
+/// panic from an injected stall without cross-referencing the spec.
+fn fault_fired(fire: crispr_failpoint::FireEvent<'_>) {
     if !enabled() {
         return;
     }
-    record(EventKind::Instant, intern(&format!("fault:{site}")), 0, 0);
+    let (kind_code, delay_ms) = match fire.kind {
+        crispr_failpoint::FailKind::Panic => (1, 0),
+        crispr_failpoint::FailKind::Error => (2, 0),
+        crispr_failpoint::FailKind::Delay(ms) => (3, ms),
+    };
+    record(EventKind::Instant, intern(&format!("fault:{}", fire.site)), kind_code, delay_ms);
 }
 
 /// An exclusive tracing session. See the crate docs.
@@ -423,13 +473,56 @@ mod tests {
         assert!(crispr_failpoint::hit("trace.test.site").is_err());
         let data = session.finish();
         drop(scenario);
-        assert!(
-            data.events
-                .iter()
-                .any(|e| e.kind == EventKind::Instant && e.name == "fault:trace.test.site"),
-            "fault instant missing: {:?}",
-            data.events
-        );
+        let fault = data
+            .events
+            .iter()
+            .find(|e| e.kind == EventKind::Instant && e.name == "fault:trace.test.site")
+            .unwrap_or_else(|| panic!("fault instant missing: {:?}", data.events));
+        assert_eq!(fault.arg0, 2, "error-kind faults carry kind code 2");
+    }
+
+    #[test]
+    fn request_scope_tags_events_and_restores_on_drop() {
+        let session = TraceSession::start();
+        instant("untagged", 0, 0);
+        {
+            let _outer = request_scope(0xfeed);
+            drop(span("tagged"));
+            {
+                let _inner = request_scope(0xbeef);
+                instant("inner", 0, 0);
+            }
+            instant("outer-again", 0, 0);
+        }
+        instant("after", 0, 0);
+        let data = session.finish();
+        let req_of = |name: &str| {
+            data.events.iter().find(|e| e.name == name).map(|e| e.req).expect("event recorded")
+        };
+        assert_eq!(req_of("untagged"), 0);
+        assert_eq!(req_of("tagged"), 0xfeed);
+        assert_eq!(req_of("inner"), 0xbeef);
+        assert_eq!(req_of("outer-again"), 0xfeed, "nested scope restores the outer tag");
+        assert_eq!(req_of("after"), 0, "dropping the scope un-tags the thread");
+        assert_eq!(current_request(), 0);
+    }
+
+    #[test]
+    fn fault_instants_inherit_the_request_tag() {
+        let scenario = crispr_failpoint::FailScenario::setup("trace.tag.site=error");
+        let session = TraceSession::start();
+        {
+            let _tag = request_scope(77);
+            assert!(crispr_failpoint::hit("trace.tag.site").is_err());
+        }
+        let data = session.finish();
+        drop(scenario);
+        let fault = data
+            .events
+            .iter()
+            .find(|e| e.name == "fault:trace.tag.site")
+            .expect("fault instant recorded");
+        assert_eq!(fault.req, 77, "the fault landed inside the request scope");
     }
 
     #[test]

@@ -83,6 +83,8 @@ const USAGE: &str = "usage:
                    [--scan-threads T] [--cache N] [--retries N]
                    [--max-deadline MS] [--read-timeout SECS]
                    [--write-timeout SECS] [--platform NAME] [--allow-inject]
+                   [--access-log FILE|-] [--access-log-max-bytes N]
+                   [--slow-ms MS [--slow-trace-dir DIR] [--slow-trace-max N]]
   offtarget anml   --guides guides.txt [-k K] [-o out.anml]
 
 platforms: cpu-scalar cpu-cas-offinder cpu-casot cpu-hyperscan cpu-nfa cpu-dfa
@@ -107,8 +109,19 @@ with the recovered hits — when a ?deadline_ms= budget trips, clamped to
 --max-deadline), GET /metrics (Prometheus), GET /healthz (503 while
 draining or overloaded), POST /shutdown (graceful drain). Admission is
 bounded: when --queue-depth connections (default 4 x workers) are
-already waiting, new ones are shed immediately with 503 + Retry-After.
+already waiting, new ones are shed immediately with 503 + Retry-After
+(derived from the observed queue drain rate, clamped to [1, 30]).
 Panicked workers are respawned. See README.md for the schema.
+
+serve observability: every request gets an id (or adopts a client's
+X-Offtarget-Request-Id), echoed on the response, stamped on its trace
+spans, and included in 4xx/5xx bodies. --access-log writes one JSON
+line per request ('-' = stdout, size-rotated at --access-log-max-bytes,
+default 64 MiB). GET /metrics exports 1m/5m sliding-window gauges
+(p50/p99/qps/error rate/shed rate) plus build info and uptime;
+GET /debug/requests returns the live request table and recent
+completions. Requests slower than --slow-ms save a per-request Chrome
+trace into --slow-trace-dir (at most --slow-trace-max files).
 
 fault injection: --inject (or the OFFTARGET_INJECT environment variable)
 arms named failpoints; kinds are panic, error, delay<ms>. Known sites:
@@ -155,6 +168,11 @@ const SERVE_FLAGS: &[&str] = &[
     "max-deadline",
     "read-timeout",
     "write-timeout",
+    "access-log",
+    "access-log-max-bytes",
+    "slow-ms",
+    "slow-trace-dir",
+    "slow-trace-max",
 ];
 
 /// Flags that take no value: present means enabled.
@@ -689,6 +707,28 @@ fn cmd_serve(args: &[String]) -> Result<(), CliError> {
         Duration::from_millis(parse(&flags, "max-deadline", cfg.max_deadline.as_millis() as u64)?);
     cfg.read_timeout = parse_secs(&flags, "read-timeout", cfg.read_timeout)?;
     cfg.write_timeout = parse_secs(&flags, "write-timeout", cfg.write_timeout)?;
+    cfg.obs.access_log = flags.get("access-log").cloned();
+    cfg.obs.access_log_max_bytes =
+        parse(&flags, "access-log-max-bytes", cfg.obs.access_log_max_bytes)?;
+    if flags.contains_key("slow-ms") {
+        cfg.obs.slow_ms = Some(parse(&flags, "slow-ms", 0u64)?);
+        // Capture needs a destination; default beside the access log,
+        // falling back to the working directory.
+        let default_dir = cfg
+            .obs
+            .access_log
+            .as_deref()
+            .filter(|target| *target != "-")
+            .and_then(|target| {
+                std::path::Path::new(target).parent().map(|p| p.display().to_string())
+            })
+            .filter(|dir| !dir.is_empty())
+            .unwrap_or_else(|| ".".to_string());
+        cfg.obs.slow_trace_dir = Some(flags.get("slow-trace-dir").cloned().unwrap_or(default_dir));
+    } else if flags.contains_key("slow-trace-dir") {
+        return Err("--slow-trace-dir without --slow-ms: set a threshold to capture".into());
+    }
+    cfg.obs.slow_trace_max = parse(&flags, "slow-trace-max", cfg.obs.slow_trace_max)?;
     if let Some(engine) = flags.get("platform") {
         if !engine_names().contains(&engine.as_str()) {
             // Serve answers hit queries with the measured CPU engines
